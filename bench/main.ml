@@ -1,0 +1,148 @@
+(* Benchmark harness.
+
+   Two layers:
+   - regeneration of every table and figure of the paper (the same
+     rows/series the paper reports), via Psched_experiments;
+   - bechamel micro-benchmarks: one Test.make per table/figure (timing
+     its regeneration) plus one per core algorithm.
+
+   Usage: main.exe [all|figures|tables|perf]  (default: all). *)
+
+open Bechamel
+open Toolkit
+open Psched_workload
+open Psched_core
+
+let fig2_quick () = Psched_experiments.Fig2.run ~seeds:1 ~ns:[ 50; 200; 1000 ] ()
+
+(* --- fixed workloads for the algorithm micro-benches ----------------- *)
+
+let moldable_jobs ~n ~m ~seed =
+  let rng = Psched_util.Rng.create seed in
+  Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0
+
+let rigid_jobs ~n ~m ~seed =
+  let rng = Psched_util.Rng.create seed in
+  Workload_gen.rigid_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0
+
+let released jobs =
+  let rng = Psched_util.Rng.create 99 in
+  Workload_gen.with_poisson_arrivals rng ~rate:0.2 jobs
+
+let star_workers p =
+  List.init p (fun i ->
+      Psched_dlt.Worker.make ~id:i
+        ~w:(0.5 +. (0.01 *. float_of_int i))
+        ~z:(0.01 *. float_of_int (1 + (i mod 7)))
+        ())
+
+(* One Test.make per table/figure (regeneration cost)... *)
+let table_tests =
+  [
+    Test.make ~name:"Fig2 (quick)" (Staged.stage (fun () -> ignore (fig2_quick ())));
+    Test.make ~name:"T-ratio-mrt" (Staged.stage (fun () -> ignore (Psched_experiments.Tables.mrt ())));
+    Test.make ~name:"T-ratio-online"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.online ())));
+    Test.make ~name:"T-ratio-smart"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.smart ())));
+    Test.make ~name:"T-ratio-bicriteria"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.bicriteria ())));
+    Test.make ~name:"T-dlt" (Staged.stage (fun () -> ignore (Psched_experiments.Tables.dlt ())));
+    Test.make ~name:"T-grid" (Staged.stage (fun () -> ignore (Psched_experiments.Tables.grid ())));
+    Test.make ~name:"T-grid-decentralized"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.multicluster ())));
+    Test.make ~name:"T-mix" (Staged.stage (fun () -> ignore (Psched_experiments.Tables.mix ())));
+    Test.make ~name:"T-delay"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.delay_model ())));
+    Test.make ~name:"T-stretch"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.stretch ())));
+    Test.make ~name:"T-tardiness"
+      (Staged.stage (fun () -> ignore (Psched_experiments.Tables.tardiness ())));
+  ]
+
+(* ... and one per core algorithm on a fixed instance. *)
+let algo_tests =
+  let m = 64 in
+  let moldable = moldable_jobs ~n:100 ~m ~seed:7 in
+  let rigid = rigid_jobs ~n:200 ~m ~seed:8 in
+  let rigid_rel = released rigid in
+  let allocated = List.map Packing.allocate_rigid rigid_rel in
+  let workers = star_workers 100 in
+  [
+    Test.make ~name:"MRT n=100 m=64" (Staged.stage (fun () -> ignore (Mrt.schedule ~m moldable)));
+    Test.make ~name:"bi-criteria n=100 m=64"
+      (Staged.stage (fun () -> ignore (Bicriteria.schedule ~m moldable)));
+    Test.make ~name:"batch on-line n=100 m=64"
+      (Staged.stage (fun () -> ignore (Batch_online.with_mrt ~m (released moldable))));
+    Test.make ~name:"SMART n=200 m=64"
+      (Staged.stage (fun () -> ignore (Smart.schedule_rigid_jobs ~m rigid)));
+    Test.make ~name:"EASY n=200 m=64"
+      (Staged.stage (fun () -> ignore (Backfilling.easy ~m allocated)));
+    Test.make ~name:"conservative n=200 m=64"
+      (Staged.stage (fun () -> ignore (Backfilling.conservative ~m allocated)));
+    Test.make ~name:"DLT star p=100"
+      (Staged.stage (fun () -> ignore (Psched_dlt.Star.schedule ~load:1e4 workers)));
+    Test.make ~name:"DLT steady-state p=100"
+      (Staged.stage (fun () -> ignore (Psched_dlt.Steady_state.optimal workers)));
+    Test.make ~name:"work stealing 2000 units"
+      (Staged.stage (fun () ->
+           ignore (Psched_dlt.Work_stealing.simulate ~units:2000 ~chunk:10 workers)));
+  ]
+
+let benchmark tests =
+  let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"psched" tests) in
+  Bechamel.Analyze.all ols Instance.monotonic_clock raw
+
+let human_time ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_perf () =
+  print_endline "== micro-benchmarks (bechamel, OLS estimate per run) ==";
+  let results = benchmark (table_tests @ algo_tests) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Bechamel.Analyze.OLS.estimates ols with Some (e :: _) -> human_time e | _ -> "n/a"
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Printf.printf "%-42s %s\n" name est) rows
+
+let print_figures () =
+  print_string (Psched_experiments.Fig2.to_string (Psched_experiments.Fig2.run ()))
+
+let print_tables () =
+  List.iter
+    (fun (id, text) -> Printf.printf "== %s ==\n%s\n\n" id text)
+    (Psched_experiments.Tables.all ())
+
+let print_ablations () =
+  List.iter
+    (fun (id, text) -> Printf.printf "== %s ==\n%s\n\n" id text)
+    (Psched_experiments.Ablations.all ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "figures" | "fig2" -> print_figures ()
+  | "tables" -> print_tables ()
+  | "ablations" -> print_ablations ()
+  | "perf" -> print_perf ()
+  | "all" ->
+    print_figures ();
+    print_newline ();
+    print_tables ();
+    print_ablations ();
+    print_perf ()
+  | other ->
+    Printf.eprintf "unknown mode %S (all | figures | tables | ablations | perf)\n" other;
+    exit 1

@@ -1,0 +1,330 @@
+(* psched: command-line driver for the scheduling-policy library.
+
+   Sub-commands regenerate the paper's figure and tables, inspect the
+   built-in platforms, and run one-off simulations of each policy. *)
+
+open Cmdliner
+open Psched_workload
+open Psched_core
+open Psched_sim
+
+(* ------------------------------------------------------------- fig2 *)
+
+let fig2_cmd =
+  let run quick m seeds =
+    let ns = if quick then Some [ 50; 100; 200; 400; 700; 1000 ] else None in
+    let result = Psched_experiments.Fig2.run ~m ~seeds ?ns () in
+    print_string (Psched_experiments.Fig2.to_string result)
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer task counts for a fast run.")
+  in
+  let m = Arg.(value & opt int 100 & info [ "m" ] ~doc:"Cluster size (the paper uses 100).") in
+  let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Seeds averaged per point.") in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Regenerate Figure 2 (bi-criteria ratios vs number of tasks).")
+    Term.(const run $ quick $ m $ seeds)
+
+(* ------------------------------------------------------------ tables *)
+
+let table_names =
+  [ "mrt"; "online"; "smart"; "bicriteria"; "dlt"; "grid"; "multicluster"; "mix"; "delay"; "stretch"; "tardiness" ]
+
+let table_of_name = function
+  | "mrt" -> Psched_experiments.Tables.mrt ()
+  | "online" -> Psched_experiments.Tables.online ()
+  | "smart" -> Psched_experiments.Tables.smart ()
+  | "bicriteria" -> Psched_experiments.Tables.bicriteria ()
+  | "dlt" -> Psched_experiments.Tables.dlt ()
+  | "grid" -> Psched_experiments.Tables.grid ()
+  | "multicluster" -> Psched_experiments.Tables.multicluster ()
+  | "mix" -> Psched_experiments.Tables.mix ()
+  | "delay" -> Psched_experiments.Tables.delay_model ()
+  | "stretch" -> Psched_experiments.Tables.stretch ()
+  | "tardiness" -> Psched_experiments.Tables.tardiness ()
+  | other -> Printf.sprintf "unknown table %S (try: %s)" other (String.concat ", " table_names)
+
+let ablations_cmd =
+  let run () =
+    List.iter
+      (fun (id, text) -> Printf.printf "== %s ==\n%s\n\n" id text)
+      (Psched_experiments.Ablations.all ())
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the ablation studies (design-choice sweeps).")
+    Term.(const run $ const ())
+
+let tables_cmd =
+  let run names =
+    match names with
+    | [] ->
+      List.iter
+        (fun (id, text) -> Printf.printf "== %s ==\n%s\n\n" id text)
+        (Psched_experiments.Tables.all ())
+    | names -> List.iter (fun n -> Printf.printf "%s\n\n" (table_of_name n)) names
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"TABLE" ~doc:"Tables to print (default all).")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the empirical tables (see DESIGN.md section 4).")
+    Term.(const run $ names)
+
+(* ---------------------------------------------------------- platform *)
+
+let platform_cmd =
+  let run () =
+    let p = Psched_platform.Platform.ciment in
+    Format.printf "%a@." Psched_platform.Platform.pp p;
+    Format.printf "@.%a@." Psched_platform.Platform.pp Psched_platform.Platform.light_grid_example
+  in
+  Cmd.v
+    (Cmd.info "platform" ~doc:"Show the built-in platform descriptions (Figures 1 and 3).")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------- simulate *)
+
+let policies =
+  [
+    ("mrt", `Mrt);
+    ("bicriteria", `Bicriteria);
+    ("batch-online", `Batch);
+    ("smart", `Smart);
+    ("easy", `Easy);
+    ("conservative", `Conservative);
+  ]
+
+let simulate_cmd =
+  let run policy n m seed rate =
+    let rng = Psched_util.Rng.create seed in
+    let jobs = Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0 in
+    let jobs =
+      if rate > 0.0 then Workload_gen.with_poisson_arrivals rng ~rate jobs else jobs
+    in
+    let zeroed () = List.map (fun (j : Job.t) -> { j with release = 0.0 }) jobs in
+    let sched, used_jobs =
+      match List.assoc_opt policy policies with
+      | Some `Mrt -> (Mrt.schedule ~m (zeroed ()), zeroed ())
+      | Some `Bicriteria -> (Bicriteria.schedule ~m jobs, jobs)
+      | Some `Batch -> (Batch_online.with_mrt ~m jobs, jobs)
+      | Some `Smart ->
+        let rigid =
+          List.map
+            (fun (j : Job.t) ->
+              let k = Moldable_alloc.work_bounded ~m ~delta:0.25 j in
+              Job.rigid ~weight:j.weight ~id:j.id ~procs:k ~time:(Job.time_on j k) ())
+            (zeroed ())
+        in
+        (Smart.schedule_rigid_jobs ~m rigid, rigid)
+      | Some `Easy ->
+        ( Backfilling.easy ~m
+            (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs),
+          jobs )
+      | Some `Conservative ->
+        ( Backfilling.conservative ~m
+            (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs),
+          jobs )
+      | None ->
+        Printf.eprintf "unknown policy %S (try: %s)\n" policy
+          (String.concat ", " (List.map fst policies));
+        exit 1
+    in
+    Validate.check_exn ~jobs:used_jobs sched;
+    let metrics = Metrics.compute ~jobs:used_jobs sched in
+    Format.printf "policy=%s n=%d m=%d seed=%d@." policy n m seed;
+    Format.printf "%a@." Metrics.pp metrics;
+    Format.printf "Cmax lower bound: %g (ratio %.3f)@."
+      (Lower_bounds.cmax ~m used_jobs)
+      (Schedule.makespan sched /. Lower_bounds.cmax ~m used_jobs);
+    Format.printf "sum wC lower bound: %g (ratio %.3f)@."
+      (Lower_bounds.sum_weighted_completion ~m used_jobs)
+      (metrics.Metrics.sum_weighted_completion /. Lower_bounds.sum_weighted_completion ~m used_jobs)
+  in
+  let policy =
+    Arg.(value & opt string "bicriteria"
+         & info [ "policy" ] ~doc:"mrt | bicriteria | batch-online | smart | easy | conservative")
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of jobs.") in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Processors.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let rate =
+    Arg.(value & opt float 0.0 & info [ "rate" ] ~doc:"Poisson arrival rate (0 = all at time 0).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one policy on a synthetic workload and print all criteria.")
+    Term.(const run $ policy $ n $ m $ seed $ rate)
+
+(* ------------------------------------------------------------ workload *)
+
+let workload_cmd =
+  let run n m seed rate kind out =
+    let rng = Psched_util.Rng.create seed in
+    let jobs =
+      match kind with
+      | "rigid" -> Workload_gen.rigid_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0
+      | "moldable" -> Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0
+      | "fig2-parallel" -> Workload_gen.fig2_parallel rng ~n ~m
+      | "fig2-sequential" -> Workload_gen.fig2_nonparallel rng ~n
+      | "communities" ->
+        Workload_gen.community_stream rng ~horizon:(24.0 *. 3600.0)
+          ~profiles:
+            [
+              Workload_gen.physicists ~community:0 ~m;
+              Workload_gen.cs_debug ~community:1 ~m;
+              Workload_gen.parametric_users ~community:2;
+            ]
+      | other ->
+        Printf.eprintf "unknown workload kind %S\n" other;
+        exit 1
+    in
+    let jobs = if rate > 0.0 then Workload_gen.with_poisson_arrivals rng ~rate jobs else jobs in
+    Format.printf "%a@." Analyze.pp (Analyze.profile jobs);
+    match out with
+    | Some path ->
+      Swf.save path jobs;
+      Format.printf "wrote SWF trace to %s@." path
+    | None -> ()
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of jobs.") in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Target cluster size.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let rate = Arg.(value & opt float 0.0 & info [ "rate" ] ~doc:"Poisson arrival rate.") in
+  let kind =
+    Arg.(value & opt string "moldable"
+         & info [ "kind" ]
+             ~doc:"rigid | moldable | fig2-parallel | fig2-sequential | communities")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "swf" ] ~doc:"Write the workload as an SWF trace.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate and characterise a workload; optionally export SWF.")
+    Term.(const run $ n $ m $ seed $ rate $ kind $ out)
+
+(* ------------------------------------------------------------ gantt *)
+
+let gantt_cmd =
+  let run policy n m seed =
+    let rng = Psched_util.Rng.create seed in
+    let jobs = Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0 in
+    let sched =
+      match policy with
+      | "mrt" -> Mrt.schedule ~m jobs
+      | "bicriteria" -> Bicriteria.schedule ~m jobs
+      | "smart" ->
+        Smart.schedule ~m (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs)
+      | _ ->
+        Printf.eprintf "unknown policy %S (mrt | bicriteria | smart)\n" policy;
+        exit 1
+    in
+    Validate.check_exn ~jobs sched;
+    print_string (Gantt.render ~max_rows:(min m 32) sched)
+  in
+  let policy = Arg.(value & opt string "mrt" & info [ "policy" ] ~doc:"mrt | bicriteria | smart") in
+  let n = Arg.(value & opt int 20 & info [ "n" ] ~doc:"Jobs.") in
+  let m = Arg.(value & opt int 16 & info [ "m" ] ~doc:"Processors.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Draw a policy's schedule as an ASCII Gantt chart.")
+    Term.(const run $ policy $ n $ m $ seed)
+
+(* ------------------------------------------------------------ grid ops *)
+
+let grid_cmd =
+  let run n seed policy =
+    let rng = Psched_util.Rng.create seed in
+    let jobs =
+      List.init n (fun id ->
+          let community = Psched_util.Rng.int rng 4 in
+          let time = Psched_util.Rng.uniform rng 20.0 400.0 in
+          let procs = 1 + Psched_util.Rng.int rng 16 in
+          Job.rigid ~community ~id ~procs ~time ())
+      |> Workload_gen.with_poisson_arrivals rng ~rate:0.05
+    in
+    let p =
+      match policy with
+      | "independent" -> Psched_grid.Multi_cluster.Independent
+      | "centralized" -> Psched_grid.Multi_cluster.Centralized
+      | "exchange" -> Psched_grid.Multi_cluster.Exchange { threshold = 1.5 }
+      | other ->
+        Printf.eprintf "unknown policy %S (independent | centralized | exchange)\n" other;
+        exit 1
+    in
+    let o = Psched_grid.Multi_cluster.simulate p ~grid:Psched_platform.Platform.ciment ~jobs in
+    Format.printf "policy=%s Cmax=%.0f mean-flow=%.0f fairness=%.3f migrations=%d@." policy
+      o.Psched_grid.Multi_cluster.makespan o.Psched_grid.Multi_cluster.mean_flow
+      o.Psched_grid.Multi_cluster.fairness o.Psched_grid.Multi_cluster.migrations;
+    List.iter
+      (fun ((c : Psched_platform.Platform.cluster), sched) ->
+        Format.printf "  %-28s %4d jobs, util %.3f@." c.Psched_platform.Platform.name
+          (List.length sched.Psched_sim.Schedule.entries)
+          (Psched_sim.Schedule.utilisation sched))
+      o.Psched_grid.Multi_cluster.per_cluster
+  in
+  let n = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Jobs.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let policy =
+    Arg.(value & opt string "centralized"
+         & info [ "policy" ] ~doc:"independent | centralized | exchange")
+  in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Simulate multi-cluster placement on the CIMENT platform (S5.2).")
+    Term.(const run $ n $ seed $ policy)
+
+let resilience_cmd =
+  let run n m seed rate =
+    let rng = Psched_util.Rng.create seed in
+    let jobs =
+      Workload_gen.rigid_uniform rng ~n ~m ~tmin:5.0 ~tmax:50.0
+      |> Workload_gen.with_poisson_arrivals rng ~rate:0.1
+      |> List.map Packing.allocate_rigid
+    in
+    let outages =
+      Psched_grid.Resilience.poisson_outages rng ~horizon:2000.0 ~rate ~mean_duration:60.0
+        ~max_procs:(m / 2)
+    in
+    let o = Psched_grid.Resilience.simulate ~m ~outages jobs in
+    Format.printf "outages=%d restarts=%d wasted=%.0f proc.s Cmax=%.0f@." (List.length outages)
+      o.Psched_grid.Resilience.restarts o.Psched_grid.Resilience.wasted_work
+      o.Psched_grid.Resilience.makespan
+  in
+  let n = Arg.(value & opt int 60 & info [ "n" ] ~doc:"Jobs.") in
+  let m = Arg.(value & opt int 32 & info [ "m" ] ~doc:"Processors.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let rate = Arg.(value & opt float 0.01 & info [ "outage-rate" ] ~doc:"Outages per second.") in
+  Cmd.v
+    (Cmd.info "resilience" ~doc:"Node-outage injection with kill and restart (S1.1 versatility).")
+    Term.(const run $ n $ m $ seed $ rate)
+
+(* --------------------------------------------------------------- dlt *)
+
+let dlt_cmd =
+  let run load workers z rounds =
+    let ws = Psched_dlt.Worker.bus ~z (List.init workers (fun _ -> 1.0)) in
+    let single = Psched_dlt.Star.schedule ~load ws in
+    Format.printf "single round: makespan %g@." single.Psched_dlt.Star.makespan;
+    List.iter
+      (fun (w, a) ->
+        Format.printf "  worker %d gets %.4f@." w.Psched_dlt.Worker.id a)
+      single.Psched_dlt.Star.alphas;
+    let multi = Psched_dlt.Multiround.simulate ~load ~rounds ws in
+    Format.printf "%d rounds: makespan %g@." rounds multi.Psched_dlt.Multiround.makespan;
+    let best = Psched_dlt.Multiround.best_rounds ~load ws in
+    Format.printf "best rounds: R=%d makespan %g@." best.Psched_dlt.Multiround.rounds
+      best.Psched_dlt.Multiround.makespan
+  in
+  let load = Arg.(value & opt float 1000.0 & info [ "load" ] ~doc:"Total load (units).") in
+  let workers = Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Bus workers.") in
+  let z = Arg.(value & opt float 0.2 & info [ "z" ] ~doc:"Communication time per unit.") in
+  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Rounds for the multi-round run.") in
+  Cmd.v
+    (Cmd.info "dlt" ~doc:"Divisible-load distribution on a bus platform.")
+    Term.(const run $ load $ workers $ z $ rounds)
+
+let main =
+  Cmd.group
+    (Cmd.info "psched" ~version:"1.0.0"
+       ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,47 @@
+(* Quickstart: build a handful of jobs, schedule them with three
+   policies, validate, and compare the criteria of section 3.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Psched_workload
+open Psched_core
+open Psched_sim
+
+let () =
+  let m = 8 in
+  (* Four moldable tasks from speedup models, two rigid ones. *)
+  let jobs =
+    [
+      Job.of_model ~id:0 ~model:(Speedup.Amdahl { seq_fraction = 0.1 }) ~t1:40.0 ~max_procs:8 ();
+      Job.of_model ~id:1 ~model:(Speedup.Power { alpha = 0.8 }) ~t1:30.0 ~max_procs:6 ();
+      Job.of_model ~weight:5.0 ~id:2 ~model:Speedup.Linear ~t1:16.0 ~max_procs:4 ();
+      Job.of_model ~id:3 ~model:(Speedup.Amdahl { seq_fraction = 0.3 }) ~t1:25.0 ~max_procs:8 ();
+      Job.rigid ~id:4 ~procs:3 ~time:12.0 ();
+      Job.rigid ~weight:2.0 ~id:5 ~procs:1 ~time:20.0 ();
+    ]
+  in
+  Format.printf "Jobs:@.";
+  List.iter (fun j -> Format.printf "  %a@." Job.pp j) jobs;
+  Format.printf "@.Lower bounds on %d processors: Cmax >= %.2f, sum wC >= %.2f@.@." m
+    (Lower_bounds.cmax ~m jobs)
+    (Lower_bounds.sum_weighted_completion ~m jobs);
+  let policies =
+    [
+      ("MRT (makespan)", fun () -> Mrt.schedule ~m jobs);
+      ("bi-criteria (both)", fun () -> Bicriteria.schedule ~m jobs);
+      ( "a-priori alloc + conservative backfilling",
+        fun () ->
+          Backfilling.conservative ~m
+            (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs) );
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let sched = run () in
+      (* Every schedule in this library can be checked by the same
+         oracle: exactly-once placement, feasible allocations, release
+         dates, capacity. *)
+      Validate.check_exn ~jobs sched;
+      let metrics = Metrics.compute ~jobs sched in
+      Format.printf "=== %s ===@.%a@.%s@." name Metrics.pp metrics (Gantt.render ~max_rows:8 sched))
+    policies

@@ -1,0 +1,53 @@
+(* Trace replay: the workflow of a scheduling study on a real log.
+
+   1. Generate a community workload and write it as an SWF trace (the
+      Parallel Workloads Archive format);
+   2. reload the trace (as any archive trace would be loaded);
+   3. replay it under several policies — clairvoyant EASY, EASY with
+      x3 user over-estimates, conservative backfilling, SJF — and
+      compare the criteria of section 3.
+
+   Run with: dune exec examples/trace_replay.exe *)
+
+open Psched_workload
+open Psched_core
+open Psched_sim
+
+let () =
+  let m = 64 in
+  let rng = Psched_util.Rng.create 777 in
+  let jobs =
+    Workload_gen.rigid_uniform rng ~n:150 ~m:32 ~tmin:10.0 ~tmax:600.0
+    |> Workload_gen.with_poisson_arrivals rng ~rate:0.02
+  in
+  let path = Filename.temp_file "psched_trace" ".swf" in
+  Swf.save path jobs;
+  Printf.printf "wrote %d jobs to %s\n" (List.length jobs) path;
+  let replayed = Swf.load path in
+  Sys.remove path;
+  Printf.printf "reloaded %d jobs\n\n" (List.length replayed);
+  let allocated = List.map Packing.allocate_rigid replayed in
+  let policies =
+    [
+      ("EASY (exact estimates)", fun () -> Backfilling.easy ~m allocated);
+      ( "EASY (x3 over-estimates)",
+        fun () ->
+          Nonclairvoyant.easy ~estimator:(Nonclairvoyant.overestimate ~factor:3.0) ~m allocated );
+      ("conservative", fun () -> Backfilling.conservative ~m allocated);
+      ("SJF queue", fun () -> Queue_policies.schedule Queue_policies.Sjf ~m allocated);
+    ]
+  in
+  Printf.printf "%-26s %10s %12s %12s %12s\n" "policy" "Cmax" "mean flow" "mean stretch"
+    "max stretch";
+  List.iter
+    (fun (name, run) ->
+      let sched = run () in
+      Validate.check_exn ~jobs:replayed sched;
+      let metrics = Metrics.compute ~jobs:replayed sched in
+      Printf.printf "%-26s %10.0f %12.0f %12.2f %12.2f\n" name metrics.Metrics.makespan
+        metrics.Metrics.mean_flow metrics.Metrics.mean_stretch metrics.Metrics.max_stretch)
+    policies;
+  print_newline ();
+  print_endline
+    "Reading: over-estimation barely hurts EASY (completions wake the scheduler early);";
+  print_endline "SJF minimises stretch but can delay wide jobs - which policy for which users."

@@ -1,0 +1,87 @@
+(* The paper's question, executed: for each application class, run the
+   candidate policies and report which wins under each criterion of
+   section 3.
+
+   Classes:  A. sequential batch (the physicists)
+             B. moldable parallel simulations
+             C. rigid legacy + moldable mix
+             D. multi-parametric campaign (divisible view)
+
+   Run with: dune exec examples/which_policy.exe *)
+
+open Psched_workload
+open Psched_core
+open Psched_sim
+
+let m = 64
+
+let policies =
+  [
+    ("MRT batches (on-line)", fun jobs -> Batch_online.with_mrt ~m jobs);
+    ("bi-criteria", fun jobs -> Bicriteria.schedule ~m jobs);
+    ( "EASY backfilling",
+      fun jobs ->
+        Backfilling.easy ~m
+          (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs) );
+    ( "SJF queue",
+      fun jobs ->
+        Queue_policies.schedule Queue_policies.Sjf ~m
+          (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs) );
+  ]
+
+let classes rng =
+  [
+    ( "A. sequential batch",
+      Workload_gen.fig2_nonparallel rng ~n:120 |> Workload_gen.with_poisson_arrivals rng ~rate:0.3
+    );
+    ( "B. moldable simulations",
+      Workload_gen.moldable_uniform rng ~n:80 ~m ~tmin:10.0 ~tmax:300.0
+      |> Workload_gen.with_poisson_arrivals rng ~rate:0.05 );
+    ( "C. rigid + moldable mix",
+      (let rigid = Workload_gen.rigid_uniform rng ~n:40 ~m:(m / 2) ~tmin:10.0 ~tmax:200.0 in
+       let moldable = Workload_gen.moldable_uniform rng ~n:40 ~m ~tmin:10.0 ~tmax:200.0 in
+       let moldable = List.map (fun (j : Job.t) -> { j with Job.id = j.Job.id + 40 }) moldable in
+       Workload_gen.with_poisson_arrivals rng ~rate:0.1 (rigid @ moldable)) );
+    ( "D. parametric campaign",
+      List.init 30 (fun id ->
+          Job.make ~id (Job.Multiparam { count = 50 + (7 * id); unit_time = 2.0 })) );
+  ]
+
+let () =
+  let rng = Psched_util.Rng.create 20260706 in
+  let header = Printf.sprintf "%-26s" "policy" in
+  List.iter
+    (fun (class_name, jobs) ->
+      Printf.printf "=== %s (%d jobs) ===\n" class_name (List.length jobs);
+      Printf.printf "%s %10s %12s %12s %10s\n" header "Cmax" "sum wC" "mean flow" "stretch";
+      let results =
+        List.map
+          (fun (name, run) ->
+            let sched = run jobs in
+            Validate.check_exn ~jobs sched;
+            (name, Metrics.compute ~jobs sched))
+          policies
+      in
+      List.iter
+        (fun (name, x) ->
+          Printf.printf "%-26s %10.0f %12.4g %12.0f %10.2f\n" name x.Metrics.makespan
+            x.Metrics.sum_weighted_completion x.Metrics.mean_flow x.Metrics.mean_stretch)
+        results;
+      let winner select label =
+        let name, _ =
+          List.fold_left (fun (bn, bv) (n, v) -> if select v < bv then (n, select v) else (bn, bv))
+            ("", infinity) results
+        in
+        Printf.printf "  -> best %s: %s\n" label name
+      in
+      winner (fun x -> x.Metrics.makespan) "makespan";
+      winner (fun x -> x.Metrics.sum_weighted_completion) "weighted completion";
+      winner (fun x -> x.Metrics.mean_stretch) "stretch";
+      print_newline ())
+    (classes rng);
+  print_endline "No policy wins everywhere - the paper's point, reproduced.";
+  (* The campaign class is really a DLT problem: show the steady-state view. *)
+  let workers = List.map Psched_dlt.Worker.of_cluster Psched_platform.Platform.ciment.Psched_platform.Platform.clusters in
+  let alloc = Psched_dlt.Steady_state.optimal workers in
+  Printf.printf "\n(D under the DLT lens: steady-state throughput %.1f runs/s across CIMENT)\n"
+    alloc.Psched_dlt.Steady_state.throughput

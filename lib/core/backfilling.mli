@@ -1,0 +1,24 @@
+(** Backfilling for rigid (already-allocated) jobs with release dates,
+    with support for advance reservations (§5.1).
+
+    - {e Conservative}: every queued job holds a start-time guarantee;
+      later jobs may fill holes only if no earlier guarantee moves.
+      With clairvoyant (exact) estimates this equals FCFS
+      earliest-fit, which {!Packing.list_schedule} computes; the
+      wrapper here adds reservations.
+    - {e EASY} (aggressive): only the queue head holds a guarantee;
+      any other job may start immediately if it does not delay the
+      head's reservation.  Implemented as an event-driven simulation. *)
+
+val conservative :
+  ?reservations:Psched_platform.Reservation.t list ->
+  m:int ->
+  Packing.allocated list ->
+  Psched_sim.Schedule.t
+
+val easy :
+  ?reservations:Psched_platform.Reservation.t list ->
+  m:int ->
+  Packing.allocated list ->
+  Psched_sim.Schedule.t
+(** @raise Invalid_argument if a job is wider than [m]. *)

@@ -1,0 +1,46 @@
+open Psched_workload
+open Psched_sim
+
+type offline = m:int -> Job.t list -> Psched_sim.Schedule.t
+
+(* Shift every entry of a schedule by [delta]. *)
+let shift delta (s : Schedule.t) =
+  { s with Schedule.entries =
+      List.map (fun (e : Schedule.entry) -> { e with Schedule.start = e.start +. delta })
+        s.Schedule.entries }
+
+let run ~offline ~m jobs =
+  let remaining = ref (List.sort (fun (a : Job.t) b -> compare a.release b.release) jobs) in
+  let batches = ref [] in
+  let entries = ref [] in
+  let clock = ref 0.0 in
+  while !remaining <> [] do
+    let ready, later = List.partition (fun (j : Job.t) -> j.release <= !clock) !remaining in
+    match ready with
+    | [] ->
+      (* Idle until the next release. *)
+      (match later with
+      | (j : Job.t) :: _ -> clock := j.release
+      | [] -> assert false)
+    | batch ->
+      remaining := later;
+      (* The off-line algorithm sees the batch as released at 0. *)
+      let zeroed = List.map (fun (j : Job.t) -> { j with release = 0.0 }) batch in
+      let sched = shift !clock (offline ~m zeroed) in
+      batches := (!clock, batch) :: !batches;
+      entries := sched.Schedule.entries @ !entries;
+      let finish =
+        List.fold_left
+          (fun acc e -> Float.max acc (Schedule.completion e))
+          !clock sched.Schedule.entries
+      in
+      clock := finish
+  done;
+  (List.rev !batches, Schedule.make ~m !entries)
+
+let schedule ~offline ~m jobs = snd (run ~offline ~m jobs)
+
+let with_mrt ?epsilon ~m jobs =
+  schedule ~offline:(fun ~m js -> Mrt.schedule ?epsilon ~m js) ~m jobs
+
+let batches ~offline ~m jobs = fst (run ~offline ~m jobs)

@@ -1,0 +1,29 @@
+(** On-line batch scheduling (§4.2): the Shmoys–Wein–Williamson
+    transformation.
+
+    Jobs arrive over time (clairvoyant: characteristics known at
+    release).  Jobs are gathered into batches: all jobs released while
+    batch k executes wait and form batch k+1, scheduled with an
+    off-line algorithm when batch k completes.  If the off-line
+    algorithm has performance ratio rho (without release dates), the
+    batch algorithm has ratio 2·rho with release dates.
+
+    Using the MRT (3/2 + eps) off-line algorithm this yields the
+    (3 + eps)-competitive moldable algorithm of §4.2. *)
+
+open Psched_workload
+
+type offline = m:int -> Job.t list -> Psched_sim.Schedule.t
+(** An off-line makespan algorithm for jobs available at time 0; the
+    schedule it returns is shifted to the batch start date. *)
+
+val schedule : offline:offline -> m:int -> Job.t list -> Psched_sim.Schedule.t
+(** Run the batch transformation over the full job stream.  Jobs must
+    have finite feasible allocations on [m] processors. *)
+
+val with_mrt : ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+(** The paper's 3 + eps algorithm: batches solved by {!Mrt.schedule}. *)
+
+val batches : offline:offline -> m:int -> Job.t list -> (float * Job.t list) list
+(** The (start date, batch contents) decomposition, for inspection and
+    tests. *)

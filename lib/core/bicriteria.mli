@@ -1,0 +1,30 @@
+(** Bi-criteria scheduling by doubling batches (§4.4; Hall, Schulz,
+    Shmoys, Wein).
+
+    A makespan procedure A_Cmax takes a deadline [d] and schedules a
+    subset of the pending jobs of (near-)maximal weight within
+    [rho * d].  Running it in batches of doubling deadlines d, 2d, 4d,
+    ... yields simultaneous performance ratios 4*rho on the makespan
+    and on the sum of weighted completion times.
+
+    The dual procedure used here allocates each job its canonical
+    allocation gamma(j, d) (smallest allocation meeting the deadline),
+    considers jobs by decreasing weight density w_j / minwork_j, and
+    keeps a job iff it fits within the batch window — a greedy
+    weight-maximising knapsack, as in the paper's "simulated
+    implementation of a variation of the bi-criteria algorithm"
+    (Figure 2).  Release dates are honoured: a job joins the first
+    batch that opens after its release. *)
+
+open Psched_workload
+
+type batch = { start : float; deadline : float; jobs : Job.t list }
+
+val schedule : ?rho:float -> ?d0:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+(** [rho] is the ratio budget of the dual procedure (default 1.5, the
+    MRT guarantee); [d0] the initial deadline (default: the smallest
+    fastest-time among the jobs).
+    @raise Invalid_argument if a job cannot run on [m] processors. *)
+
+val batches : ?rho:float -> ?d0:float -> m:int -> Job.t list -> batch list
+(** The batch decomposition of the same run. *)

@@ -1,0 +1,32 @@
+open Psched_workload
+open Psched_sim
+
+let due (j : Job.t) = Option.value ~default:infinity j.due
+
+let edd_order =
+  fun ((a : Job.t), _) ((b : Job.t), _) -> compare (due a, a.release, a.id) (due b, b.release, b.id)
+
+let edd ~m allocated = Packing.list_schedule ~order:edd_order ~m allocated
+
+type outcome = { schedule : Schedule.t; accepted : Job.t list; rejected : Job.t list }
+
+let with_admission ~m allocated =
+  let profile = Profile.create m in
+  let sorted = List.sort edd_order allocated in
+  let entries = ref [] and accepted = ref [] and rejected = ref [] in
+  List.iter
+    (fun ((job : Job.t), procs) ->
+      let duration = Job.time_on job procs in
+      let start = Profile.find_start profile ~earliest:job.release ~duration ~procs in
+      if start +. duration <= due job +. 1e-9 then begin
+        if duration > 0.0 then Profile.reserve profile ~start ~duration ~procs;
+        entries := Schedule.entry ~job ~start ~procs () :: !entries;
+        accepted := job :: !accepted
+      end
+      else rejected := job :: !rejected)
+    sorted;
+  {
+    schedule = Schedule.make ~m !entries;
+    accepted = List.rev !accepted;
+    rejected = List.rev !rejected;
+  }

@@ -1,0 +1,28 @@
+(** Due dates: tardiness scheduling and admission control (§3's
+    tardiness and rejection criteria).
+
+    - {!edd}: Earliest Due Date ordering with conservative
+      (earliest-fit) placement — the classical heuristic against
+      maximum tardiness;
+    - {!with_admission}: same, but a job whose placement would finish
+      after its due date is {e rejected} instead of scheduled — the §3
+      "rejection of tasks" criterion; rejected work can be resubmitted
+      elsewhere (e.g. through the grid layer). *)
+
+open Psched_workload
+
+val edd : m:int -> Packing.allocated list -> Psched_sim.Schedule.t
+(** Jobs without a due date sort last (due = +infinity), FCFS among
+    themselves. *)
+
+type outcome = {
+  schedule : Psched_sim.Schedule.t;
+  accepted : Job.t list;
+  rejected : Job.t list;
+}
+
+val with_admission : m:int -> Packing.allocated list -> outcome
+(** EDD order; each job is tentatively placed at its earliest start
+    and kept only if it meets its due date (jobs without one are
+    always kept).  The returned schedule contains accepted jobs only
+    and is guaranteed tardiness-free on jobs with due dates. *)

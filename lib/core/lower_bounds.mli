@@ -1,0 +1,31 @@
+(** Computable lower bounds on the optimisation criteria of §3.
+
+    Approximation ratios in the paper are stated against the (unknown)
+    optimum; all empirical ratios in this reproduction are measured
+    against these bounds, which lower-bound the optimum, so measured
+    ratios upper-bound true ratios. *)
+
+open Psched_workload
+
+val cmax : m:int -> Job.t list -> float
+(** Off-line makespan lower bound on [m] processors:
+    max(critical path, area) =
+    max(max_j fastest-time_j, sum_j minwork_j / m),
+    where allocations are capped at [m].  With release dates the bound
+    also includes max_j (r_j + fastest-time_j). *)
+
+val sum_weighted_completion : m:int -> Job.t list -> float
+(** Lower bound on sum w_i C_i: the maximum of
+    - the squashed-area bound: preemptive WSPT on a single machine that
+      is [m] times faster, with job areas = minimal works;
+    - the trivial bound sum_j w_j (r_j + fastest-time_j). *)
+
+val sum_completion : m:int -> Job.t list -> float
+(** Unweighted specialisation of {!sum_weighted_completion}. *)
+
+val fastest_time : m:int -> Job.t -> float
+(** Fastest possible execution time of a job using at most [m]
+    processors. *)
+
+val min_work : m:int -> Job.t -> float
+(** Minimal work of a job over allocations of at most [m] processors. *)

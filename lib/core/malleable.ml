@@ -1,0 +1,125 @@
+open Psched_workload
+
+type task = { id : int; work : float; max_procs : float; release : float; weight : float }
+
+let task ?(release = 0.0) ?(weight = 1.0) ~id ~work ~max_procs () =
+  if work <= 0.0 then invalid_arg "Malleable.task: work must be positive";
+  if max_procs <= 0.0 then invalid_arg "Malleable.task: max_procs must be positive";
+  if weight <= 0.0 then invalid_arg "Malleable.task: weight must be positive";
+  if release < 0.0 then invalid_arg "Malleable.task: release must be non-negative";
+  { id; work; max_procs; release; weight }
+
+let of_job ~m (job : Job.t) =
+  let cap = float_of_int (min m (Job.max_procs job)) in
+  task ~release:job.release ~weight:job.weight ~id:job.id
+    ~work:(Lower_bounds.min_work ~m job) ~max_procs:cap ()
+
+type policy = Equipartition | Weighted
+type completion = { task : task; finish : float }
+
+type outcome = {
+  completions : completion list;
+  makespan : float;
+  events : (float * (int * float) list) list;
+}
+
+(* Water-filling: distribute [m] processors among active tasks with
+   caps and (for Weighted) weights.  Iterative: give each unsaturated
+   task its proportional share; tasks hitting their cap are frozen and
+   the surplus is redistributed. *)
+let shares ~policy ~m active =
+  let total_weight tasks =
+    match policy with
+    | Equipartition -> float_of_int (List.length tasks)
+    | Weighted -> List.fold_left (fun acc (t, _) -> acc +. t.weight) 0.0 tasks
+  in
+  let weight t = match policy with Equipartition -> 1.0 | Weighted -> t.weight in
+  let rec fill remaining_m unsat acc =
+    if unsat = [] || remaining_m <= 1e-12 then
+      acc @ List.map (fun (t, _) -> (t, 0.0)) unsat
+    else begin
+      let w = total_weight unsat in
+      let saturated, ok =
+        List.partition
+          (fun (t, _) -> remaining_m *. weight t /. w >= t.max_procs -. 1e-12)
+          unsat
+      in
+      if saturated = [] then
+        acc @ List.map (fun (t, _) -> (t, remaining_m *. weight t /. w)) ok
+      else begin
+        let given = List.fold_left (fun a (t, _) -> a +. t.max_procs) 0.0 saturated in
+        fill (remaining_m -. given) ok (acc @ List.map (fun (t, _) -> (t, t.max_procs)) saturated)
+      end
+    end
+  in
+  fill (float_of_int m) active []
+
+let simulate ?(policy = Equipartition) ~m tasks =
+  if m < 1 then invalid_arg "Malleable.simulate: m must be >= 1";
+  let pending = ref (List.sort (fun a b -> compare (a.release, a.id) (b.release, b.id)) tasks) in
+  let active = ref [] (* (task, remaining work) *) in
+  let clock = ref 0.0 in
+  let completions = ref [] in
+  let events = ref [] in
+  let record share_list =
+    events := (!clock, List.map (fun (t, s) -> (t.id, s)) share_list) :: !events
+  in
+  while !pending <> [] || !active <> [] do
+    (* Admit arrivals. *)
+    let arrived, later = List.partition (fun t -> t.release <= !clock +. 1e-12) !pending in
+    pending := later;
+    active := !active @ List.map (fun t -> (t, t.work)) arrived;
+    if !active = [] then begin
+      match !pending with
+      | t :: _ -> clock := t.release
+      | [] -> ()
+    end
+    else begin
+      let share_list = shares ~policy ~m (List.map (fun (t, r) -> (t, r)) !active) in
+      record share_list;
+      let rate t =
+        match List.find_opt (fun (t', _) -> t'.id = t.id) share_list with
+        | Some (_, s) -> s
+        | None -> 0.0
+      in
+      (* Horizon: first completion at current rates, or next arrival. *)
+      let next_completion =
+        List.fold_left
+          (fun acc (t, remaining) ->
+            let r = rate t in
+            if r > 1e-12 then Float.min acc (remaining /. r) else acc)
+          infinity !active
+      in
+      let next_arrival =
+        match !pending with t :: _ -> t.release -. !clock | [] -> infinity
+      in
+      let dt = Float.min next_completion next_arrival in
+      if not (Float.is_finite dt) then
+        invalid_arg "Malleable.simulate: starved task (zero rate and no arrivals)";
+      clock := !clock +. dt;
+      active :=
+        List.filter_map
+          (fun (t, remaining) ->
+            let remaining = remaining -. (rate t *. dt) in
+            if remaining <= 1e-9 *. t.work then begin
+              completions := { task = t; finish = !clock } :: !completions;
+              None
+            end
+            else Some (t, remaining))
+          !active
+    end
+  done;
+  let makespan = List.fold_left (fun acc c -> Float.max acc c.finish) 0.0 !completions in
+  { completions = List.rev !completions; makespan; events = List.rev !events }
+
+let completion_of outcome id =
+  match List.find_opt (fun c -> c.task.id = id) outcome.completions with
+  | Some c -> c.finish
+  | None -> raise Not_found
+
+let fluid_lower_bound ~m tasks =
+  let area = List.fold_left (fun acc t -> acc +. t.work) 0.0 tasks /. float_of_int m in
+  let critical =
+    List.fold_left (fun acc t -> Float.max acc (t.release +. (t.work /. t.max_procs))) 0.0 tasks
+  in
+  Float.max area critical

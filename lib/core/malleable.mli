@@ -1,0 +1,58 @@
+(** Malleable scheduling — the third PT class of §2.2, which the paper
+    leaves out ("Malleability is much more easily usable from the
+    scheduling point of view but requires advanced capabilities from
+    the runtime environment ... We will not consider malleability
+    here").  Provided as the natural extension: it quantifies what the
+    runtime capabilities would buy.
+
+    Model: processor-sharing fluid allocation.  A malleable task has a
+    total work, a maximum useful parallelism, and processes work at a
+    rate equal to its (possibly fractional) processor share, capped by
+    that maximum.  The scheduler re-partitions processors at every
+    event (arrival or completion):
+
+    - {e equipartition}: equal shares, water-filled over the caps —
+      the classic fair policy;
+    - {e weighted}: shares proportional to weights (priorities). *)
+
+open Psched_workload
+
+type task = {
+  id : int;
+  work : float;  (** processor-seconds *)
+  max_procs : float;  (** maximum useful parallelism (cap on the rate) *)
+  release : float;
+  weight : float;
+}
+
+val task : ?release:float -> ?weight:float -> id:int -> work:float -> max_procs:float -> unit -> task
+(** @raise Invalid_argument on non-positive work/max_procs/weight. *)
+
+val of_job : m:int -> Job.t -> task
+(** Malleable view of a PT job: work = minimal work, parallelism cap =
+    largest feasible allocation (capped by [m]).  This is the
+    idealisation a malleable runtime could achieve for that job. *)
+
+type policy = Equipartition | Weighted
+
+type completion = { task : task; finish : float }
+
+type outcome = {
+  completions : completion list;
+  makespan : float;
+  events : (float * (int * float) list) list;
+      (** re-partition trace: date, (task id, processor share) list *)
+}
+
+val simulate : ?policy:policy -> m:int -> task list -> outcome
+(** Run the fluid simulation.  Total shares never exceed [m]; each
+    task's share never exceeds its cap; tasks finish exactly when
+    their work is exhausted.
+    @raise Invalid_argument on an empty machine. *)
+
+val completion_of : outcome -> int -> float
+(** @raise Not_found for an unknown task id. *)
+
+val fluid_lower_bound : m:int -> task list -> float
+(** max(total work / m, max_j (release_j + work_j / cap_j)): no fluid
+    schedule can beat it. *)

@@ -1,0 +1,46 @@
+open Psched_workload
+
+let feasible_range ~m (job : Job.t) =
+  let lo = Job.min_procs job and hi = min m (Job.max_procs job) in
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Moldable_alloc: job %d cannot run on %d processors" job.id m);
+  (lo, hi)
+
+let argmin ~lo ~hi f =
+  let best = ref lo and best_v = ref (f lo) in
+  for k = lo + 1 to hi do
+    let v = f k in
+    if v < !best_v then begin
+      best := k;
+      best_v := v
+    end
+  done;
+  !best
+
+let fastest ~m job =
+  let lo, hi = feasible_range ~m job in
+  argmin ~lo ~hi (fun k -> Job.time_on job k)
+
+let thriftiest ~m job =
+  let lo, hi = feasible_range ~m job in
+  argmin ~lo ~hi (fun k -> Job.work_on job k)
+
+let work_bounded ~m ~delta job =
+  let lo, hi = feasible_range ~m job in
+  let wmin = Job.work_on job (thriftiest ~m job) in
+  let budget = (1.0 +. delta) *. wmin in
+  let best = ref lo and best_t = ref infinity in
+  for k = lo to hi do
+    if Job.work_on job k <= budget +. 1e-12 && Job.time_on job k < !best_t then begin
+      best := k;
+      best_t := Job.time_on job k
+    end
+  done;
+  !best
+
+let canonical ~m ~guess job =
+  match Mrt.canonical_alloc ~m ~deadline:guess job with
+  | Some k -> k
+  | None -> fastest ~m job
+
+let allocate choose jobs = List.map (fun j -> (j, choose j)) jobs

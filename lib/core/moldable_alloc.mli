@@ -1,0 +1,23 @@
+(** A-priori allocation strategies for moldable jobs (§5.1, second
+    strategy for the rigid/moldable mix: "calculate a-priori an
+    allocation for the moldable jobs, and then apply a rigid
+    scheduling algorithm on the resulting rigid jobs"). *)
+
+open Psched_workload
+
+val fastest : m:int -> Job.t -> int
+(** Allocation minimising execution time (ties: fewest processors). *)
+
+val thriftiest : m:int -> Job.t -> int
+(** Allocation minimising work — the communication-avoiding choice. *)
+
+val work_bounded : m:int -> delta:float -> Job.t -> int
+(** Fastest allocation whose work stays within (1 + delta) of the
+    minimal work: the classic compromise between parallel efficiency
+    and response time. *)
+
+val canonical : m:int -> guess:float -> Job.t -> int
+(** gamma(j, guess): smallest allocation meeting the deadline [guess];
+    falls back to {!fastest} when the guess is unreachable. *)
+
+val allocate : (Job.t -> int) -> Job.t list -> Packing.allocated list

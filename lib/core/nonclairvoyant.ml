@@ -1,0 +1,127 @@
+open Psched_workload
+open Psched_sim
+
+type estimator = Job.t -> int -> float
+
+let exact job procs = Job.time_on job procs
+
+let overestimate ~factor =
+  if factor < 1.0 then invalid_arg "Nonclairvoyant.overestimate: factor must be >= 1";
+  fun job procs -> factor *. Job.time_on job procs
+
+let noisy ~seed ~max_factor =
+  if max_factor < 1.0 then invalid_arg "Nonclairvoyant.noisy: max_factor must be >= 1";
+  fun (job : Job.t) procs ->
+    let rng = Psched_util.Rng.create ((job.id * 2654435761) + seed) in
+    Psched_util.Rng.uniform rng 1.0 max_factor *. Job.time_on job procs
+
+let easy ?(reservations = []) ~estimator ~m allocated =
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if k > m then
+        invalid_arg (Printf.sprintf "Nonclairvoyant.easy: job %d wider than %d" j.id m);
+      if estimator j k < Job.time_on j k -. 1e-9 then
+        invalid_arg (Printf.sprintf "Nonclairvoyant.easy: job %d under-estimated" j.id))
+    allocated;
+  (* The profile is the scheduler's *belief*: running jobs occupy their
+     estimated window; when a job actually completes earlier, the
+     leftover belief is released. *)
+  let profile = Profile.create m in
+  List.iter
+    (fun (r : Psched_platform.Reservation.t) ->
+      Profile.reserve profile ~start:r.start ~duration:r.duration ~procs:r.procs)
+    reservations;
+  let entries = ref [] in
+  let by_fcfs ((a : Job.t), _) ((b : Job.t), _) = compare (a.release, a.id) (b.release, b.id) in
+  let pending = ref (List.sort by_fcfs allocated) in
+  let queue = ref [] in
+  let module H = Psched_util.Heap in
+  (* Events carry an optional belief-release action. *)
+  let events = H.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  let seq = ref 0 in
+  let push t = incr seq; H.add events (t, !seq) in
+  List.iter (fun ((j : Job.t), _) -> push j.release) !pending;
+  List.iter
+    (fun (r : Psched_platform.Reservation.t) ->
+      push r.start;
+      push (Psched_platform.Reservation.finish r))
+    reservations;
+  let eps = 1e-9 in
+  let releases = ref [] (* (actual completion, start, est_duration, procs) *) in
+  let start_job now ((job : Job.t), procs) =
+    let actual = Job.time_on job procs in
+    let believed = estimator job procs in
+    if believed > 0.0 then Profile.reserve profile ~start:now ~duration:believed ~procs;
+    entries := Schedule.entry ~job ~start:now ~procs () :: !entries;
+    releases := (now +. actual, now, believed, procs) :: !releases;
+    push (now +. actual)
+  in
+  let flush_releases now =
+    let due, keep = List.partition (fun (t, _, _, _) -> t <= now +. eps) !releases in
+    releases := keep;
+    List.iter
+      (fun (actual_finish, start, believed, procs) ->
+        (* Give back the belief tail [actual finish, start + believed);
+           the endpoint must match the reservation's breakpoint
+           exactly, hence release_window. *)
+        let belief_end = start +. believed in
+        if belief_end > actual_finish +. eps then
+          Profile.release_window profile ~start:actual_finish ~stop:belief_end ~procs)
+      due
+  in
+  let starts_now now ((job : Job.t), procs) =
+    let believed = estimator job procs in
+    match Profile.find_start profile ~earliest:now ~duration:believed ~procs with
+    | s -> s <= now +. eps
+    | exception Not_found -> false
+  in
+  let rec drain_head now =
+    match !queue with
+    | head :: rest when starts_now now head ->
+      start_job now head;
+      queue := rest;
+      drain_head now
+    | _ -> ()
+  in
+  let backfill now =
+    match !queue with
+    | [] | [ _ ] -> ()
+    | ((hjob : Job.t), hprocs) :: rest ->
+      let hdur = estimator hjob hprocs in
+      let hstart = Profile.find_start profile ~earliest:now ~duration:hdur ~procs:hprocs in
+      if hdur > 0.0 then Profile.reserve profile ~start:hstart ~duration:hdur ~procs:hprocs;
+      let kept =
+        List.filter
+          (fun job ->
+            if starts_now now job then begin
+              start_job now job;
+              false
+            end
+            else true)
+          rest
+      in
+      if hdur > 0.0 then Profile.release profile ~start:hstart ~duration:hdur ~procs:hprocs;
+      queue := (hjob, hprocs) :: kept
+  in
+  let step now =
+    flush_releases now;
+    let arrived, still = List.partition (fun ((j : Job.t), _) -> j.release <= now +. eps) !pending in
+    pending := still;
+    queue := !queue @ arrived;
+    drain_head now;
+    backfill now
+  in
+  let last = ref neg_infinity in
+  let rec loop () =
+    match H.pop events with
+    | None -> ()
+    | Some (t, _) ->
+      if t > !last +. eps then begin
+        last := t;
+        step t
+      end;
+      loop ()
+  in
+  loop ();
+  assert (!queue = [] && !pending = []);
+  Schedule.make ~m !entries

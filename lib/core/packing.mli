@@ -1,0 +1,45 @@
+(** Greedy placement of allocated jobs on an availability profile.
+
+    The common engine behind list scheduling, conservative backfilling
+    and batch construction: jobs whose allocation is already decided
+    are placed, in list order, at the earliest date compatible with
+    their release and with capacity.  Because each job is placed at
+    the earliest feasible date given the jobs placed before it, FCFS
+    order gives exactly conservative backfilling. *)
+
+open Psched_workload
+
+type allocated = Job.t * int
+(** A job together with its decided processor count. *)
+
+val allocate_rigid : Job.t -> allocated
+(** Identity for rigid jobs; moldable jobs get their minimal
+    allocation; @raise Invalid_argument on divisible jobs (those go
+    through the DLT layer). *)
+
+val place :
+  ?profile:Psched_sim.Profile.t ->
+  ?earliest:float ->
+  m:int ->
+  allocated list ->
+  Psched_sim.Schedule.entry list
+(** Place jobs in list order on [profile] (fresh [m]-processor profile
+    if omitted; the profile is mutated so callers can chain batches).
+    [earliest] floors every start date (default 0).  Each job starts at
+    the earliest feasible date >= max(release, earliest).
+    @raise Invalid_argument if a job requires more than [m] processors. *)
+
+val list_schedule :
+  ?order:(allocated -> allocated -> int) ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  m:int ->
+  allocated list ->
+  Psched_sim.Schedule.t
+(** List scheduling: sort by [order] (default: release date, then id —
+    i.e. FCFS / conservative backfilling) and {!place} on a profile
+    from which [reservations] have been subtracted. *)
+
+val largest_area_first : allocated -> allocated -> int
+(** Priority: decreasing procs x time, the classic LPT-like order. *)
+
+val longest_time_first : allocated -> allocated -> int

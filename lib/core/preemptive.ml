@@ -1,0 +1,88 @@
+open Psched_workload
+
+type piece = { job_id : int; proc : int; start : float; stop : float }
+type t = { pieces : piece list; makespan : float; m : int }
+
+let optimum ~m times =
+  let total = List.fold_left ( +. ) 0.0 times in
+  let longest = List.fold_left Float.max 0.0 times in
+  Float.max (total /. float_of_int m) longest
+
+let schedule ~m jobs =
+  if m < 1 then invalid_arg "Preemptive.schedule: m must be >= 1";
+  List.iter
+    (fun (j : Job.t) ->
+      if j.release <> 0.0 then invalid_arg "Preemptive.schedule: release dates not supported")
+    jobs;
+  let times = List.map Job.seq_time jobs in
+  let horizon = optimum ~m times in
+  let pieces = ref [] in
+  let proc = ref 0 and cursor = ref 0.0 in
+  let place (j : Job.t) =
+    let remaining = ref (Job.seq_time j) in
+    while !remaining > 1e-12 do
+      let room = horizon -. !cursor in
+      if room <= 1e-12 then begin
+        incr proc;
+        cursor := 0.0
+      end
+      else begin
+        let slice = Float.min room !remaining in
+        pieces := { job_id = j.id; proc = !proc; start = !cursor; stop = !cursor +. slice } :: !pieces;
+        cursor := !cursor +. slice;
+        remaining := !remaining -. slice
+      end
+    done
+  in
+  List.iter place jobs;
+  let makespan =
+    List.fold_left (fun acc p -> Float.max acc p.stop) 0.0 !pieces
+  in
+  { pieces = List.rev !pieces; makespan; m }
+
+let validate t jobs =
+  let eps = 1e-6 in
+  (* Exact processing time per job. *)
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals p.job_id) in
+      Hashtbl.replace totals p.job_id (prev +. (p.stop -. p.start)))
+    t.pieces;
+  let amounts_ok =
+    List.for_all
+      (fun (j : Job.t) ->
+        Float.abs (Option.value ~default:0.0 (Hashtbl.find_opt totals j.id) -. Job.seq_time j)
+        <= eps)
+      jobs
+  in
+  let in_range = List.for_all (fun p -> p.proc >= 0 && p.proc < t.m) t.pieces in
+  (* No overlap on a processor. *)
+  let per_proc_ok =
+    List.for_all
+      (fun q ->
+        let ps =
+          List.filter (fun p -> p.proc = q) t.pieces
+          |> List.sort (fun a b -> compare a.start b.start)
+        in
+        let rec scan = function
+          | a :: (b :: _ as rest) -> b.start >= a.stop -. eps && scan rest
+          | _ -> true
+        in
+        scan ps)
+      (List.init t.m Fun.id)
+  in
+  (* No job on two processors at once. *)
+  let no_self_overlap =
+    List.for_all
+      (fun (j : Job.t) ->
+        let ps = List.filter (fun p -> p.job_id = j.id) t.pieces in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b -> a == b || a.proc = b.proc || a.stop <= b.start +. eps || b.stop <= a.start +. eps)
+              ps)
+          ps)
+      jobs
+  in
+  amounts_ok && in_range && per_proc_ok && no_self_overlap

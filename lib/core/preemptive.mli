@@ -1,0 +1,38 @@
+(** Optimal preemptive scheduling (McNaughton's wrap-around rule).
+
+    The theoretical anchor of malleability (§2.2: malleable jobs are
+    implemented "by preemption of the tasks or simply by data
+    redistributions"): for sequential tasks with preemption and
+    migration allowed, the minimum makespan on [m] identical
+    processors is exactly
+
+      C* = max(sum p_j / m, max_j p_j)
+
+    attained by filling processors one after the other and wrapping a
+    task to the next processor when the horizon C* is reached
+    (McNaughton 1959).  A task is never scheduled on two processors at
+    the same instant because each piece of a wrapped task sits at the
+    horizon boundary.
+
+    This yields both a lower-bound oracle for the malleable simulator
+    and a scheduler for the paper's preemption-capable runtimes. *)
+
+open Psched_workload
+
+type piece = { job_id : int; proc : int; start : float; stop : float }
+
+type t = { pieces : piece list; makespan : float; m : int }
+
+val optimum : m:int -> float list -> float
+(** max(sum/m, max). *)
+
+val schedule : m:int -> Job.t list -> t
+(** Wrap-around schedule of the jobs' sequential times (release dates
+    must be 0; allocations are 1 processor, preempted/migrated as
+    needed).
+    @raise Invalid_argument on release dates or [m < 1]. *)
+
+val validate : t -> Job.t list -> bool
+(** Every job gets exactly its processing time, pieces on one
+    processor never overlap, and no job runs on two processors
+    simultaneously. *)

@@ -1,0 +1,81 @@
+open Psched_workload
+open Psched_sim
+
+type policy = Fcfs | Sjf | Wsjf | Max_stretch_first
+
+let all =
+  [
+    ("FCFS", Fcfs);
+    ("SJF", Sjf);
+    ("WSJF", Wsjf);
+    ("max-stretch-first", Max_stretch_first);
+  ]
+
+let priority policy ~now ((job : Job.t), procs) =
+  let p = Job.time_on job procs in
+  match policy with
+  | Fcfs -> (job.release, float_of_int job.id)
+  | Sjf -> (p, float_of_int job.id)
+  | Wsjf -> (p /. job.weight, float_of_int job.id)
+  | Max_stretch_first ->
+    (* Highest (wait + run) / run first: negate for the sort. *)
+    (-.((now -. job.release +. p) /. p), float_of_int job.id)
+
+let schedule policy ~m allocated =
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if k > m then
+        invalid_arg (Printf.sprintf "Queue_policies.schedule: job %d wider than %d" j.id m))
+    allocated;
+  let module H = Psched_util.Heap in
+  let events = H.create ~cmp:compare in
+  List.iter (fun ((j : Job.t), _) -> H.add events j.release) allocated;
+  let pending = ref allocated in
+  let queue = ref [] in
+  let free = ref m in
+  let entries = ref [] in
+  let eps = 1e-9 in
+  let step now =
+    let arrived, still =
+      List.partition (fun ((j : Job.t), _) -> j.release <= now +. eps) !pending
+    in
+    pending := still;
+    queue := !queue @ arrived;
+    let ordered = List.sort (fun a b -> compare (priority policy ~now a) (priority policy ~now b)) !queue in
+    let kept =
+      List.filter
+        (fun ((job : Job.t), procs) ->
+          if procs <= !free then begin
+            free := !free - procs;
+            let e = Schedule.entry ~job ~start:now ~procs () in
+            entries := e :: !entries;
+            H.add events (Schedule.completion e);
+            false
+          end
+          else true)
+        ordered
+    in
+    queue := kept
+  in
+  let last = ref neg_infinity in
+  let completions_at now =
+    (* Processors freed by entries finishing at [now]. *)
+    List.iter
+      (fun (e : Schedule.entry) ->
+        if Float.abs (Schedule.completion e -. now) <= eps then free := !free + e.Schedule.procs)
+      !entries
+  in
+  let rec loop () =
+    match H.pop events with
+    | None -> ()
+    | Some t ->
+      if t > !last +. eps then begin
+        last := t;
+        completions_at t;
+        step t
+      end;
+      loop ()
+  in
+  loop ();
+  assert (!queue = [] && !pending = []);
+  Schedule.make ~m !entries

@@ -1,0 +1,28 @@
+(** On-line queue disciplines for the response-time criteria of §3
+    (mean/maximum stretch, mean flow).
+
+    The guarantees of §4 target makespan and weighted completion; a
+    grid's users mostly feel waiting time.  This module provides the
+    classical non-preemptive queue orders, applied greedily: at every
+    event (arrival or completion) the queue is scanned in priority
+    order and every job that fits on the currently free processors is
+    started.
+
+    - [Fcfs]: arrival order (baseline);
+    - [Sjf]: shortest job first — near-optimal for mean flow;
+    - [Wsjf]: weight-over-time density (generalised Smith rule);
+    - [Max_stretch_first]: highest current stretch (wait + run over
+      run) first — ages long-waiting short jobs, counters starvation
+      and targets the stretch criteria.
+
+    Wide jobs can be overtaken under all but FCFS — the classic price
+    of greedy space sharing; the due-date layer ({!Due_date}) and
+    backfilling ({!Backfilling}) are the remedies. *)
+
+type policy = Fcfs | Sjf | Wsjf | Max_stretch_first
+
+val all : (string * policy) list
+
+val schedule : policy -> m:int -> Packing.allocated list -> Psched_sim.Schedule.t
+(** Event-driven greedy run; terminates once every job is placed.
+    @raise Invalid_argument if a job is wider than [m]. *)

@@ -1,0 +1,88 @@
+open Psched_workload
+open Psched_sim
+module R = Psched_platform.Reservation
+
+let windows ~m ~reservations =
+  let boundaries =
+    List.concat_map (fun (r : R.t) -> [ r.R.start; R.finish r ]) reservations
+    |> List.filter (fun b -> b > 0.0)
+    |> List.sort_uniq compare
+  in
+  let cuts = 0.0 :: boundaries in
+  let rec build = function
+    | [] -> []
+    | [ last ] -> [ (last, infinity, m - R.procs_reserved_at reservations last) ]
+    | a :: (b :: _ as rest) -> (a, b, m - R.procs_reserved_at reservations a) :: build rest
+  in
+  build cuts
+
+let schedule ~m ~reservations jobs =
+  if not (R.feasible ~m reservations) then
+    invalid_arg "Reservation_batches.schedule: reservations exceed capacity";
+  List.iter
+    (fun (j : Job.t) ->
+      if Job.min_procs j > m then
+        invalid_arg
+          (Printf.sprintf "Reservation_batches.schedule: job %d needs more than %d" j.Job.id m))
+    jobs;
+  let windows = windows ~m ~reservations in
+  let density (j : Job.t) = j.weight /. Float.max (Lower_bounds.min_work ~m j) 1e-12 in
+  let entries = ref [] in
+  let remaining = ref jobs in
+  let fill (wstart, wstop, capacity) =
+    if capacity >= 1 && !remaining <> [] then begin
+      let length = wstop -. wstart in
+      let eligible, later =
+        List.partition (fun (j : Job.t) -> j.release <= wstart +. 1e-9) !remaining
+      in
+      let profile = Profile.create capacity in
+      let ordered =
+        List.sort (fun a b -> compare (density b, a.Job.id) (density a, b.Job.id)) eligible
+      in
+      let leftover =
+        List.filter
+          (fun job ->
+            (* Canonical allocation for the window length; infinite
+               windows take the thriftiest allocation. *)
+            let deadline = if Float.is_finite length then length else infinity in
+            let alloc =
+              if Float.is_finite deadline then Mrt.canonical_alloc ~m:capacity ~deadline job
+              else Some (Moldable_alloc.work_bounded ~m:capacity ~delta:0.25 job)
+            in
+            match alloc with
+            | None -> true
+            | Some procs -> (
+              let duration = Job.time_on job procs in
+              match Profile.find_start profile ~earliest:0.0 ~duration ~procs with
+              | s when s +. duration <= length +. 1e-9 ->
+                Profile.reserve profile ~start:s ~duration ~procs;
+                entries := Schedule.entry ~job ~start:(wstart +. s) ~procs () :: !entries;
+                false
+              | _ -> true
+              | exception Not_found -> true))
+          ordered
+      in
+      remaining := leftover @ later
+    end
+  in
+  List.iter fill windows;
+  (* Everything left (released after the last boundary, or never
+     fitting a finite window) goes after the last reservation via
+     conservative packing on the full machine. *)
+  (match !remaining with
+  | [] -> ()
+  | rest ->
+    let horizon =
+      List.fold_left (fun acc (r : R.t) -> Float.max acc (R.finish r)) 0.0 reservations
+    in
+    let horizon =
+      List.fold_left
+        (fun acc (e : Schedule.entry) -> Float.max acc (Schedule.completion e))
+        horizon !entries
+    in
+    let allocated =
+      List.map (fun j -> (j, Moldable_alloc.work_bounded ~m ~delta:0.25 j)) rest
+    in
+    let tail = Packing.place ~earliest:horizon ~m allocated in
+    entries := tail @ !entries);
+  Schedule.make ~m !entries

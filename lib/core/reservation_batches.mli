@@ -1,0 +1,32 @@
+(** Batch scheduling around advance reservations (§5.1,
+    "Reservations": "A batch algorithm could try to ensure that batch
+    boundaries match the beginning and the end of the reservations").
+
+    The time axis is cut at every reservation boundary; each window is
+    a batch with the capacity left over by the active reservations.
+    Within a window, pending moldable jobs are packed greedily by
+    weight density with their canonical allocation for the window
+    length (the bi-criteria dual procedure), and leftovers spill to
+    the next window.  After the last boundary the window is unbounded
+    and everything remaining is scheduled by MRT.
+
+    The paper suspects this "would likely be inefficient"; the
+    A-reservations ablation quantifies it against plain conservative
+    backfilling around the same reservations. *)
+
+open Psched_workload
+
+val schedule :
+  m:int ->
+  reservations:Psched_platform.Reservation.t list ->
+  Job.t list ->
+  Psched_sim.Schedule.t
+(** Off-line: release dates are honoured (a job only enters windows
+    after its release).
+    @raise Invalid_argument if a job cannot run on [m] processors, or
+    if the reservations are infeasible on [m]. *)
+
+val windows :
+  m:int -> reservations:Psched_platform.Reservation.t list -> (float * float * int) list
+(** The batch windows: (start, stop, capacity) with stop = infinity
+    for the final one — exposed for tests. *)

@@ -1,0 +1,43 @@
+open Psched_workload
+open Psched_sim
+
+type strategy = Separate of { rigid_first : bool } | Apriori of { delta : float } | First_fit_batch
+
+let is_rigid (j : Job.t) = match j.shape with Job.Rigid _ -> true | _ -> false
+
+let shift_entries delta entries =
+  List.map (fun (e : Schedule.entry) -> { e with Schedule.start = e.start +. delta }) entries
+
+let separate ~rigid_first ~m jobs =
+  let rigid, moldable = List.partition is_rigid jobs in
+  let sched_rigid js = Packing.list_schedule ~m (List.map Packing.allocate_rigid js) in
+  let sched_moldable js = Mrt.schedule ~m js in
+  let first, second = if rigid_first then (sched_rigid rigid, sched_moldable moldable)
+    else (sched_moldable moldable, sched_rigid rigid)
+  in
+  let offset = Schedule.makespan first in
+  Schedule.make ~m (first.Schedule.entries @ shift_entries offset second.Schedule.entries)
+
+let apriori ~delta ~m jobs =
+  let allocated =
+    List.map
+      (fun (j : Job.t) ->
+        if is_rigid j then Packing.allocate_rigid j else (j, Moldable_alloc.work_bounded ~m ~delta j))
+      jobs
+  in
+  (* Largest-area-first conservative packing behaves well off-line. *)
+  Packing.list_schedule ~order:Packing.largest_area_first ~m allocated
+
+let schedule strategy ~m jobs =
+  match strategy with
+  | Separate { rigid_first } -> separate ~rigid_first ~m jobs
+  | Apriori { delta } -> apriori ~delta ~m jobs
+  | First_fit_batch -> Bicriteria.schedule ~m jobs
+
+let all_strategies =
+  [
+    ("separate (moldable first)", Separate { rigid_first = false });
+    ("separate (rigid first)", Separate { rigid_first = true });
+    ("a-priori allocation", Apriori { delta = 0.25 });
+    ("first-fit batches", First_fit_batch);
+  ]

@@ -1,0 +1,25 @@
+(** The three strategies of §5.1 for scheduling a mix of rigid and
+    moldable jobs on one cluster.
+
+    1. {e Separate}: "separate rigid and moldable jobs and schedule one
+       category after the other" — moldable jobs via the MRT off-line
+       algorithm, then rigid jobs FCFS behind them (or the converse).
+    2. {e A-priori allocation}: "calculate a-priori an allocation for
+       the moldable jobs, and then apply a rigid scheduling algorithm
+       on the resulting rigid jobs" — allocation by
+       {!Moldable_alloc.work_bounded}, then conservative backfilling.
+    3. {e First-fit batches}: "modify the bi-criteria algorithm in
+       order to schedule each rigid job in the first batch in which it
+       fits" — {!Bicriteria.schedule} natively handles both kinds. *)
+
+open Psched_workload
+
+type strategy = Separate of { rigid_first : bool } | Apriori of { delta : float } | First_fit_batch
+
+val schedule : strategy -> m:int -> Job.t list -> Psched_sim.Schedule.t
+(** All release dates are expected to be 0 (the §5.1 discussion is
+    off-line); release dates are still honoured via the underlying
+    algorithms. *)
+
+val all_strategies : (string * strategy) list
+(** Named strategies for benches. *)

@@ -1,0 +1,47 @@
+open Psched_workload
+
+let spt_order jobs =
+  List.sort (fun (a : Job.t) (b : Job.t) -> compare (Job.seq_time a, a.id) (Job.seq_time b, b.id)) jobs
+
+let wspt_order jobs =
+  let ratio (j : Job.t) = Job.seq_time j /. j.weight in
+  List.sort (fun a b -> compare (ratio a, a.Job.id) (ratio b, b.Job.id)) jobs
+
+let schedule jobs =
+  let ordered = wspt_order jobs in
+  let _, entries =
+    List.fold_left
+      (fun (clock, acc) (j : Job.t) ->
+        let start = Float.max clock j.release in
+        let e = Psched_sim.Schedule.entry ~job:j ~start ~procs:(Job.min_procs j) () in
+        (Psched_sim.Schedule.completion e, e :: acc))
+      (0.0, []) ordered
+  in
+  Psched_sim.Schedule.make ~m:1 (List.rev entries)
+
+let sum_weighted_completion_of_order jobs =
+  let _, total =
+    List.fold_left
+      (fun (clock, acc) (j : Job.t) ->
+        let clock = clock +. Job.seq_time j in
+        (clock, acc +. (j.weight *. clock)))
+      (0.0, 0.0) jobs
+  in
+  total
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let brute_force_best jobs =
+  match jobs with
+  | [] -> 0.0
+  | _ ->
+    List.fold_left
+      (fun best order -> Float.min best (sum_weighted_completion_of_order order))
+      infinity (permutations jobs)

@@ -1,0 +1,28 @@
+(** Single-machine scheduling, the building block of §4.3.
+
+    Sorting by increasing processing time (SPT) minimises sum C_i;
+    sorting by Smith's ratio p/w (WSPT) minimises sum w_i C_i.  Batch
+    (shelf) sequencing reduces to this problem: each shelf is a
+    single-machine job whose length is the shelf height and whose
+    weight is the sum of its tasks' weights. *)
+
+open Psched_workload
+
+val spt_order : Job.t list -> Job.t list
+(** Jobs sorted by increasing sequential time (ties by id). *)
+
+val wspt_order : Job.t list -> Job.t list
+(** Jobs sorted by increasing p/w (Smith's rule, ties by id). *)
+
+val schedule : Job.t list -> Psched_sim.Schedule.t
+(** WSPT schedule on one machine (all release dates must be 0 for the
+    optimality guarantee; release dates are still honoured if present,
+    by idling). *)
+
+val sum_weighted_completion_of_order : Job.t list -> float
+(** sum w_i C_i of executing the given order back-to-back from 0,
+    ignoring release dates — the shelf-sequencing objective. *)
+
+val brute_force_best : Job.t list -> float
+(** Minimum of {!sum_weighted_completion_of_order} over all
+    permutations; factorial cost, test use only (n <= 8). *)

@@ -1,0 +1,80 @@
+open Psched_workload
+
+let shelf_class ~base p =
+  if p <= base then 0
+  else begin
+    let c = int_of_float (Float.ceil (Float.log2 (p /. base) -. 1e-12)) in
+    (* Guard against floating point at the boundary. *)
+    let c = max 0 c in
+    if base *. Float.pow 2.0 (float_of_int c) >= p then c else c + 1
+  end
+
+type shelf = { height : float; mutable used : int; mutable tasks : (Job.t * int) list; mutable weight : float }
+
+let schedule ?base ~m tasks =
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if j.release <> 0.0 then invalid_arg "Smart.schedule: release dates must be 0";
+      if k > m then invalid_arg (Printf.sprintf "Smart.schedule: job %d wider than %d" j.id m))
+    tasks;
+  match tasks with
+  | [] -> Psched_sim.Schedule.make ~m []
+  | _ ->
+    let time (j, k) = Job.time_on j k in
+    let base =
+      match base with
+      | Some b -> b
+      | None -> List.fold_left (fun acc t -> Float.min acc (time t)) infinity tasks
+    in
+    (* Group tasks by shelf class and pack first-fit inside a class,
+       longest tasks first to tighten shelves. *)
+    let classes : (int, shelf list ref) Hashtbl.t = Hashtbl.create 16 in
+    let sorted =
+      List.sort (fun a b -> compare (time b, (fst a).Job.id) (time a, (fst b).Job.id)) tasks
+    in
+    let add ((j : Job.t), k) =
+      let c = shelf_class ~base (time (j, k)) in
+      let shelves =
+        match Hashtbl.find_opt classes c with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace classes c r;
+          r
+      in
+      let rec fit = function
+        | [] ->
+          let height = base *. Float.pow 2.0 (float_of_int c) in
+          shelves := !shelves @ [ { height; used = k; tasks = [ (j, k) ]; weight = j.weight } ]
+        | s :: rest ->
+          if s.used + k <= m then begin
+            s.used <- s.used + k;
+            s.tasks <- (j, k) :: s.tasks;
+            s.weight <- s.weight +. j.weight
+          end
+          else fit rest
+      in
+      fit !shelves
+    in
+    List.iter add sorted;
+    let all_shelves = Hashtbl.fold (fun _ r acc -> !r @ acc) classes [] in
+    (* Sequence shelves by Smith's rule on (height / weight). *)
+    let ordered =
+      List.sort (fun a b -> compare (a.height /. a.weight) (b.height /. b.weight)) all_shelves
+    in
+    let _, entries =
+      List.fold_left
+        (fun (clock, acc) s ->
+          let acc =
+            List.fold_left
+              (fun acc (job, procs) ->
+                Psched_sim.Schedule.entry ~job ~start:clock ~procs () :: acc)
+              acc s.tasks
+          in
+          (clock +. s.height, acc))
+        (0.0, []) ordered
+    in
+    Psched_sim.Schedule.make ~m entries
+
+let schedule_rigid_jobs ?base ~m jobs =
+  schedule ?base ~m (List.map Packing.allocate_rigid jobs)

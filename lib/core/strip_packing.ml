@@ -1,0 +1,81 @@
+open Psched_workload
+
+type shelf = { start : float; height : float; tasks : (Job.t * int) list }
+
+let by_decreasing_time ((a : Job.t), ka) ((b : Job.t), kb) =
+  compare (Job.time_on b kb, a.id) (Job.time_on a ka, b.id)
+
+(* Mutable shelf under construction. *)
+type building = { mutable used : int; mutable height_b : float; mutable tasks_b : (Job.t * int) list }
+
+let check_width ~m tasks =
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if k > m then
+        invalid_arg (Printf.sprintf "Strip_packing: job %d needs %d > %d processors" j.id k m))
+    tasks
+
+let close_shelves shelves =
+  (* Stack the built shelves from 0, preserving build order. *)
+  let _, out =
+    List.fold_left
+      (fun (clock, acc) b ->
+        let shelf = { start = clock; height = b.height_b; tasks = List.rev b.tasks_b } in
+        (clock +. b.height_b, shelf :: acc))
+      (0.0, []) shelves
+  in
+  List.rev out
+
+let nfdh_shelves ~m tasks =
+  check_width ~m tasks;
+  let sorted = List.sort by_decreasing_time tasks in
+  let shelves = ref [] in
+  let current = ref None in
+  let open_shelf (job, k) =
+    let b = { used = k; height_b = Job.time_on job k; tasks_b = [ (job, k) ] } in
+    shelves := b :: !shelves;
+    current := Some b
+  in
+  let add ((job : Job.t), k) =
+    match !current with
+    | Some b when b.used + k <= m ->
+      b.used <- b.used + k;
+      b.tasks_b <- (job, k) :: b.tasks_b
+    | _ -> open_shelf (job, k)
+  in
+  List.iter add sorted;
+  close_shelves (List.rev !shelves)
+
+let ffdh_shelves ~m tasks =
+  check_width ~m tasks;
+  let sorted = List.sort by_decreasing_time tasks in
+  let shelves = ref [] in
+  let add ((job : Job.t), k) =
+    let rec fit = function
+      | [] ->
+        shelves :=
+          !shelves @ [ { used = k; height_b = Job.time_on job k; tasks_b = [ (job, k) ] } ]
+      | b :: rest ->
+        if b.used + k <= m then begin
+          b.used <- b.used + k;
+          b.tasks_b <- (job, k) :: b.tasks_b
+        end
+        else fit rest
+    in
+    fit !shelves
+  in
+  List.iter add sorted;
+  close_shelves !shelves
+
+let schedule_of_shelves ~m shelves =
+  let entries =
+    List.concat_map
+      (fun shelf ->
+        List.map (fun (job, procs) -> Psched_sim.Schedule.entry ~job ~start:shelf.start ~procs ())
+          shelf.tasks)
+      shelves
+  in
+  Psched_sim.Schedule.make ~m entries
+
+let nfdh ~m tasks = schedule_of_shelves ~m (nfdh_shelves ~m tasks)
+let ffdh ~m tasks = schedule_of_shelves ~m (ffdh_shelves ~m tasks)

@@ -1,0 +1,26 @@
+(** Shelf algorithms for rigid parallel tasks (§2.2: "the allocation
+    problem corresponds to a strip-packing problem").
+
+    A shelf is a set of tasks starting at the same date; the shelf's
+    height is its longest task.  Classic level heuristics: Next-Fit
+    Decreasing Height (NFDH, ratio 3 for strip packing) and First-Fit
+    Decreasing Height (FFDH, ratio 2.7).  Widths are processor counts,
+    so a shelf holds tasks whose widths sum to at most [m]; no
+    contiguity is required. *)
+
+open Psched_workload
+
+type shelf = { start : float; height : float; tasks : (Job.t * int) list }
+
+val nfdh_shelves : m:int -> (Job.t * int) list -> shelf list
+(** Next-fit: sort by decreasing time, open a new shelf whenever the
+    current one is full.  Shelves are stacked from date 0; release
+    dates are ignored (off-line setting). *)
+
+val ffdh_shelves : m:int -> (Job.t * int) list -> shelf list
+(** First-fit: each task goes to the lowest shelf with room. *)
+
+val schedule_of_shelves : m:int -> shelf list -> Psched_sim.Schedule.t
+
+val nfdh : m:int -> (Job.t * int) list -> Psched_sim.Schedule.t
+val ffdh : m:int -> (Job.t * int) list -> Psched_sim.Schedule.t

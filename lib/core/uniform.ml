@@ -1,0 +1,104 @@
+open Psched_workload
+
+type placement = { job_id : int; procs : int list; start : float; duration : float }
+type t = { speeds : float array; placements : placement list; makespan : float }
+
+let min_speed speeds procs =
+  List.fold_left (fun acc q -> Float.min acc speeds.(q)) infinity procs
+
+let list_schedule ?(order = Packing.largest_area_first) ~speeds allocated =
+  let m = Array.length speeds in
+  Array.iter (fun s -> if s <= 0.0 then invalid_arg "Uniform: speeds must be positive") speeds;
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if k > m then invalid_arg (Printf.sprintf "Uniform: job %d needs %d > %d processors" j.id k m))
+    allocated;
+  let free_at = Array.make m 0.0 in
+  let placements = ref [] in
+  let place ((job : Job.t), k) =
+    let p = Job.time_on job k in
+    (* Processors by increasing availability. *)
+    let by_free = List.init m Fun.id in
+    let by_free = List.sort (fun a b -> compare (free_at.(a), a) (free_at.(b), b)) by_free in
+    let best = ref None in
+    (* Among the L earliest-free processors, the k fastest: sweeping L
+       trades waiting for speed. *)
+    for l = k to m do
+      let pool = List.filteri (fun i _ -> i < l) by_free in
+      let chosen =
+        List.sort (fun a b -> compare (speeds.(b), a) (speeds.(a), b)) pool
+        |> List.filteri (fun i _ -> i < k)
+      in
+      let start =
+        List.fold_left (fun acc q -> Float.max acc free_at.(q)) job.release chosen
+      in
+      let duration = p /. min_speed speeds chosen in
+      let completion = start +. duration in
+      match !best with
+      | Some (c, _, _, _) when c <= completion -> ()
+      | _ -> best := Some (completion, chosen, start, duration)
+    done;
+    match !best with
+    | None -> assert false
+    | Some (completion, chosen, start, duration) ->
+      List.iter (fun q -> free_at.(q) <- completion) chosen;
+      placements := { job_id = job.id; procs = chosen; start; duration } :: !placements
+  in
+  List.iter place (List.sort order allocated);
+  let makespan =
+    List.fold_left (fun acc p -> Float.max acc (p.start +. p.duration)) 0.0 !placements
+  in
+  { speeds; placements = List.rev !placements; makespan }
+
+let makespan_lower_bound ~speeds allocated =
+  let total_speed = Array.fold_left ( +. ) 0.0 speeds in
+  let fastest = Array.fold_left Float.max 0.0 speeds in
+  let area =
+    List.fold_left (fun acc ((j : Job.t), k) -> acc +. Job.work_on j k) 0.0 allocated
+  in
+  let critical =
+    List.fold_left
+      (fun acc ((j : Job.t), k) -> Float.max acc (j.release +. (Job.time_on j k /. fastest)))
+      0.0 allocated
+  in
+  Float.max (area /. total_speed) critical
+
+let validate t jobs =
+  let eps = 1e-6 in
+  let m = Array.length t.speeds in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun (j : Job.t) -> Hashtbl.replace by_id j.id j) jobs;
+  let seen = Hashtbl.create 16 in
+  let placement_ok (p : placement) =
+    match Hashtbl.find_opt by_id p.job_id with
+    | None -> false
+    | Some job ->
+      let fresh = not (Hashtbl.mem seen p.job_id) in
+      Hashtbl.replace seen p.job_id ();
+      let k = List.length p.procs in
+      let distinct = List.length (List.sort_uniq compare p.procs) = k in
+      let in_range = List.for_all (fun q -> q >= 0 && q < m) p.procs in
+      let expected = Job.time_on job k /. min_speed t.speeds p.procs in
+      fresh && distinct && in_range
+      && Job.can_run_on job k
+      && Float.abs (p.duration -. expected) <= eps *. Float.max 1.0 expected
+      && p.start >= job.release -. eps
+  in
+  let placements_ok = List.for_all placement_ok t.placements in
+  let all_placed = List.for_all (fun (j : Job.t) -> Hashtbl.mem seen j.id) jobs in
+  let exclusive =
+    List.for_all
+      (fun q ->
+        let intervals =
+          List.filter (fun p -> List.mem q p.procs) t.placements
+          |> List.map (fun p -> (p.start, p.start +. p.duration))
+          |> List.sort compare
+        in
+        let rec scan = function
+          | (_, e1) :: ((s2, _) :: _ as rest) -> s2 >= e1 -. eps && scan rest
+          | _ -> true
+        in
+        scan intervals)
+      (List.init m Fun.id)
+  in
+  placements_ok && all_placed && exclusive

@@ -1,0 +1,44 @@
+(** Scheduling on uniform (related) processors — the paper's
+    intra-cluster heterogeneity (§1.2: "weakly heterogeneous inside
+    each cluster (different generations of processors ... with
+    different clock speeds)"; §2.2: "the heterogeneity of
+    computational units ... can also be considered by uniform ...
+    processors").
+
+    Processors have speeds; a sequential task of length p runs in
+    p / s on a speed-s processor.  A rigid parallel task on a set S of
+    processors is synchronous, so it runs at the pace of the slowest:
+    p / min(s, S).  Unlike the identical-machine core, allocations
+    here name explicit processors, with per-processor busy intervals
+    checked by {!validate}. *)
+
+open Psched_workload
+
+type placement = {
+  job_id : int;
+  procs : int list;  (** explicit processor indices *)
+  start : float;
+  duration : float;
+}
+
+type t = { speeds : float array; placements : placement list; makespan : float }
+
+val list_schedule :
+  ?order:(Packing.allocated -> Packing.allocated -> int) ->
+  speeds:float array ->
+  Packing.allocated list ->
+  t
+(** Greedy earliest-completion placement in list order (default
+    largest area first): for each job needing k processors, every
+    k-subset that is a prefix of processors sorted by availability is
+    evaluated (with the candidate's min speed) and the completion-time
+    minimiser wins.  Release dates are honoured.
+    @raise Invalid_argument if a job needs more processors than exist
+    or a speed is non-positive. *)
+
+val makespan_lower_bound : speeds:float array -> Packing.allocated list -> float
+(** max(total work / total speed, per-job fastest execution). *)
+
+val validate : t -> Job.t list -> bool
+(** Exactly-once placement, correct (speed-scaled) durations,
+    per-processor exclusivity, release dates. *)

@@ -1,0 +1,134 @@
+open Psched_util
+
+type t = {
+  costs : float array;
+  succ : (int * float) list array;
+  pred : (int * float) list array;
+}
+
+let size t = Array.length t.costs
+let cost t i = t.costs.(i)
+let predecessors t i = t.pred.(i)
+let successors t i = t.succ.(i)
+
+let edge_volume t u v =
+  match List.assoc_opt v t.succ.(u) with Some vol -> vol | None -> 0.0
+
+let create ~costs ~edges =
+  let n = Array.length costs in
+  Array.iter (fun c -> if c <= 0.0 then invalid_arg "Dag.create: costs must be positive") costs;
+  let succ = Array.make n [] and pred = Array.make n [] in
+  List.iter
+    (fun (u, v, volume) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Dag.create: node out of range";
+      if u = v then invalid_arg "Dag.create: self loop";
+      if volume < 0.0 then invalid_arg "Dag.create: negative volume";
+      succ.(u) <- (v, volume) :: succ.(u);
+      pred.(v) <- (u, volume) :: pred.(v))
+    edges;
+  let t = { costs; succ; pred } in
+  (* Cycle check via Kahn's algorithm. *)
+  let indeg = Array.map List.length pred in
+  let queue = ref [] in
+  Array.iteri (fun i d -> if d = 0 then queue := i :: !queue) indeg;
+  let visited = ref 0 in
+  let rec drain () =
+    match !queue with
+    | [] -> ()
+    | u :: rest ->
+      queue := rest;
+      incr visited;
+      List.iter
+        (fun (v, _) ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then queue := v :: !queue)
+        succ.(u);
+      drain ()
+  in
+  drain ();
+  if !visited <> n then invalid_arg "Dag.create: graph has a cycle";
+  t
+
+let topological_order t =
+  let n = size t in
+  let indeg = Array.map List.length t.pred in
+  let heap = Heap.create ~cmp:compare in
+  Array.iteri (fun i d -> if d = 0 then Heap.add heap i) indeg;
+  let rec drain acc =
+    match Heap.pop heap with
+    | None -> List.rev acc
+    | Some u ->
+      List.iter
+        (fun (v, _) ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Heap.add heap v)
+        t.succ.(u);
+      drain (u :: acc)
+  in
+  let order = drain [] in
+  assert (List.length order = n);
+  order
+
+let total_work t = Array.fold_left ( +. ) 0.0 t.costs
+
+let critical_path t ~delay_per_unit =
+  let n = size t in
+  let finish = Array.make n 0.0 in
+  List.iter
+    (fun u ->
+      let ready =
+        List.fold_left
+          (fun acc (p, volume) -> Float.max acc (finish.(p) +. (delay_per_unit *. volume)))
+          0.0 t.pred.(u)
+      in
+      finish.(u) <- ready +. t.costs.(u))
+    (topological_order t);
+  Array.fold_left Float.max 0.0 finish
+
+let perturbed rng mean = Rng.lognormal rng ~mu:(log mean) ~sigma:0.3
+
+let fork_join rng ~width ~levels ~mean_cost ~volume =
+  if width < 1 || levels < 1 then invalid_arg "Dag.fork_join: width and levels must be >= 1";
+  (* Per level: a source, [width] branches, a sink; the sink feeds the
+     next level's source. *)
+  let per_level = width + 2 in
+  let n = levels * per_level in
+  let costs = Array.init n (fun _ -> perturbed rng mean_cost) in
+  let edges = ref [] in
+  for l = 0 to levels - 1 do
+    let base = l * per_level in
+    let source = base and sink = base + per_level - 1 in
+    for b = 1 to width do
+      edges := (source, base + b, volume) :: (base + b, sink, volume) :: !edges
+    done;
+    if l > 0 then edges := (((l - 1) * per_level) + per_level - 1, source, volume) :: !edges
+  done;
+  create ~costs ~edges:!edges
+
+let layered rng ~width ~depth ~density ~mean_cost ~volume =
+  if width < 1 || depth < 1 then invalid_arg "Dag.layered: width and depth must be >= 1";
+  if density < 0.0 || density > 1.0 then invalid_arg "Dag.layered: density in [0,1]";
+  let n = width * depth in
+  let costs = Array.init n (fun _ -> perturbed rng mean_cost) in
+  let edges = ref [] in
+  for l = 0 to depth - 2 do
+    for i = 0 to width - 1 do
+      let connected = ref false in
+      for j = 0 to width - 1 do
+        if Rng.float rng 1.0 < density then begin
+          edges := ((l * width) + i, ((l + 1) * width) + j, volume) :: !edges;
+          connected := true
+        end
+      done;
+      (* Keep the graph connected layer to layer. *)
+      if not !connected then
+        edges := ((l * width) + i, ((l + 1) * width) + (i mod width), volume) :: !edges
+    done
+  done;
+  create ~costs ~edges:!edges
+
+let chain ~n ~cost ~volume =
+  if n < 1 then invalid_arg "Dag.chain: n must be >= 1";
+  let costs = Array.make n cost in
+  let edges = List.init (max 0 (n - 1)) (fun i -> (i, i + 1, volume)) in
+  create ~costs ~edges

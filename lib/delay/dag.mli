@@ -1,0 +1,51 @@
+(** Precedence task graphs for the {e delay model} (§1.1/§1.3).
+
+    The paper's argument against explicit-communication models (delay
+    model of Hwang et al. [12], LogP [6]) is that "even the most
+    elementary problems are already intractable, especially for large
+    communication delays".  This substrate lets the argument be
+    reproduced: applications as DAGs of sequential tasks with
+    per-edge communication volumes, scheduled by classical delay-model
+    heuristics ({!Etf}) and compared against the PT treatment of the
+    same application at a rough granularity.
+
+    Nodes are numbered 0..n-1; edges go from lower to higher
+    topological rank (the constructors enforce acyclicity by
+    construction). *)
+
+type t
+
+val create : costs:float array -> edges:(int * int * float) list -> t
+(** [create ~costs ~edges]: [costs.(i)] is task i's sequential time;
+    [(u, v, volume)] is a dependency with [volume] units to transfer.
+    @raise Invalid_argument on self-loops, out-of-range nodes,
+    non-positive costs, negative volumes, or cycles. *)
+
+val size : t -> int
+val cost : t -> int -> float
+val edge_volume : t -> int -> int -> float
+
+val predecessors : t -> int -> (int * float) list
+(** (predecessor, volume) pairs. *)
+
+val successors : t -> int -> (int * float) list
+
+val topological_order : t -> int list
+
+val total_work : t -> float
+val critical_path : t -> delay_per_unit:float -> float
+(** Longest path counting computation plus [delay_per_unit x volume]
+    on every edge — the delay-model lower bound. *)
+
+(** Generators of classic application structures. *)
+
+val fork_join : Psched_util.Rng.t -> width:int -> levels:int -> mean_cost:float -> volume:float -> t
+(** [levels] fork-join stages of [width] parallel branches each, with
+    lognormally-perturbed task costs. *)
+
+val layered : Psched_util.Rng.t -> width:int -> depth:int -> density:float -> mean_cost:float -> volume:float -> t
+(** Random layered DAG: edges between consecutive layers with
+    probability [density]. *)
+
+val chain : n:int -> cost:float -> volume:float -> t
+(** A fully sequential pipeline (the worst case for parallelism). *)

@@ -1,0 +1,120 @@
+type placement = { task : int; proc : int; start : float; finish : float }
+type result = { placements : placement list; makespan : float }
+
+let schedule ~m ~delay_per_unit dag =
+  if m < 1 then invalid_arg "Etf.schedule: m must be >= 1";
+  if delay_per_unit < 0.0 then invalid_arg "Etf.schedule: negative delay";
+  let n = Dag.size dag in
+  let proc_free = Array.make m 0.0 in
+  let placed = Array.make n None in
+  let remaining_preds = Array.init n (fun i -> List.length (Dag.predecessors dag i)) in
+  let ready = ref [] in
+  for i = 0 to n - 1 do
+    if remaining_preds.(i) = 0 then ready := i :: !ready
+  done;
+  let placements = ref [] in
+  let makespan = ref 0.0 in
+  (* Earliest start of [task] on [q]: processor free date and arrival
+     of every predecessor's data. *)
+  let est task q =
+    List.fold_left
+      (fun acc (p, volume) ->
+        match placed.(p) with
+        | Some { proc; finish; _ } ->
+          let arrival = if proc = q then finish else finish +. (delay_per_unit *. volume) in
+          Float.max acc arrival
+        | None -> assert false)
+      proc_free.(q)
+      (Dag.predecessors dag task)
+  in
+  let count = ref 0 in
+  while !ready <> [] do
+    (* ETF: the (task, proc) pair with the smallest earliest start. *)
+    let best = ref None in
+    List.iter
+      (fun task ->
+        for q = 0 to m - 1 do
+          let s = est task q in
+          match !best with
+          | Some (_, _, s') when s' <= s -> ()
+          | _ -> best := Some (task, q, s)
+        done)
+      !ready;
+    (match !best with
+    | None -> assert false
+    | Some (task, q, start) ->
+      let finish = start +. Dag.cost dag task in
+      placed.(task) <- Some { task; proc = q; start; finish };
+      placements := { task; proc = q; start; finish } :: !placements;
+      proc_free.(q) <- finish;
+      makespan := Float.max !makespan finish;
+      incr count;
+      ready := List.filter (fun t -> t <> task) !ready;
+      List.iter
+        (fun (v, _) ->
+          remaining_preds.(v) <- remaining_preds.(v) - 1;
+          if remaining_preds.(v) = 0 then ready := v :: !ready)
+        (Dag.successors dag task))
+  done;
+  assert (!count = n);
+  { placements = List.rev !placements; makespan = !makespan }
+
+let validate ~m ~delay_per_unit dag result =
+  let n = Dag.size dag in
+  let by_task = Hashtbl.create n in
+  List.iter (fun p -> Hashtbl.add by_task p.task p) result.placements;
+  let placed_once = List.length result.placements = n && Hashtbl.length by_task = n in
+  let in_range = List.for_all (fun p -> p.proc >= 0 && p.proc < m) result.placements in
+  let durations_ok =
+    List.for_all (fun p -> Float.abs (p.finish -. p.start -. Dag.cost dag p.task) <= 1e-9)
+      result.placements
+  in
+  let precedence_ok =
+    List.for_all
+      (fun p ->
+        List.for_all
+          (fun (pred, volume) ->
+            match Hashtbl.find_opt by_task pred with
+            | None -> false
+            | Some pp ->
+              let arrival =
+                if pp.proc = p.proc then pp.finish else pp.finish +. (delay_per_unit *. volume)
+              in
+              p.start >= arrival -. 1e-9)
+          (Dag.predecessors dag p.task))
+      result.placements
+  in
+  let exclusive =
+    (* No two tasks overlap on one processor. *)
+    let by_proc = Hashtbl.create m in
+    List.iter (fun p -> Hashtbl.add by_proc p.proc p) result.placements;
+    let ok = ref true in
+    for q = 0 to m - 1 do
+      let ps = List.sort (fun a b -> compare a.start b.start) (Hashtbl.find_all by_proc q) in
+      let rec scan = function
+        | a :: (b :: _ as rest) ->
+          if b.start < a.finish -. 1e-9 then ok := false;
+          scan rest
+        | _ -> ()
+      in
+      scan ps
+    done;
+    !ok
+  in
+  placed_once && in_range && durations_ok && precedence_ok && exclusive
+
+let moldable_profile ?(max_procs = 16) ~delay_per_unit dag =
+  let times =
+    Array.init max_procs (fun i -> (schedule ~m:(i + 1) ~delay_per_unit dag).makespan)
+  in
+  (* More processors never hurt a moldable abstraction: surplus ones
+     can idle (ETF itself can suffer delay anomalies). *)
+  for k = 1 to max_procs - 1 do
+    if times.(k) > times.(k - 1) then times.(k) <- times.(k - 1)
+  done;
+  times
+
+let as_moldable_job ?(id = 0) ?weight ?max_procs ~delay_per_unit dag =
+  Psched_workload.Job.moldable ?weight ~id
+    ~times:(moldable_profile ?max_procs ~delay_per_unit dag)
+    ()

@@ -1,0 +1,37 @@
+(** ETF list scheduling under the delay model (Hwang, Chow, Anger, Lee
+    [12] — the classical heuristic for DAGs with communication
+    delays).
+
+    Earliest Task First: repeatedly start the ready task that can
+    begin soonest on some processor, where a task may start on
+    processor q only after each predecessor's result has arrived
+    (immediately if the predecessor ran on q, after
+    [delay_per_unit x volume] otherwise).
+
+    This is the model the paper dismisses for large-scale platforms
+    ("the delay models ... should be forgotten because of their
+    intrinsic intractability"); it is implemented here so the
+    comparison against the PT treatment is reproducible. *)
+
+type placement = { task : int; proc : int; start : float; finish : float }
+
+type result = { placements : placement list; makespan : float }
+
+val schedule : m:int -> delay_per_unit:float -> Dag.t -> result
+(** ETF on [m] identical processors.
+    @raise Invalid_argument if [m < 1] or the delay is negative. *)
+
+val validate : m:int -> delay_per_unit:float -> Dag.t -> result -> bool
+(** Independent re-check: one task at a time per processor, all
+    precedence+delay constraints met, every task placed once. *)
+
+val moldable_profile : ?max_procs:int -> delay_per_unit:float -> Dag.t -> float array
+(** The PT view (§2.2): execution time of the whole DAG on k = 1..
+    [max_procs] processors (default 16) under ETF, made time-monotone.
+    Feeding this to {!Psched_workload.Job.moldable} folds the
+    communications into the parallel-profile penalty, exactly the
+    "rough level of granularity" abstraction of the paper. *)
+
+val as_moldable_job :
+  ?id:int -> ?weight:float -> ?max_procs:int -> delay_per_unit:float -> Dag.t ->
+  Psched_workload.Job.t

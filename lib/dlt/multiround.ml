@@ -1,0 +1,69 @@
+type outcome = { makespan : float; rounds : int; chunks : (int * int * float) list }
+
+let simulate ?(return_fraction = 0.0) ~load ~rounds workers =
+  if load <= 0.0 then invalid_arg "Multiround.simulate: load must be positive";
+  if rounds < 1 then invalid_arg "Multiround.simulate: rounds must be >= 1";
+  if return_fraction < 0.0 then invalid_arg "Multiround.simulate: negative return fraction";
+  let share = load /. float_of_int rounds in
+  let { Star.alphas; _ } = Star.schedule ~load:share workers in
+  (* Simulate the one-port master: forward sends round by round in the
+     single-round order; each worker queues its chunks; results (if
+     any) are sent back after each chunk completes, competing for the
+     same port (port priority: pending result returns first, so the
+     mirror image property holds round-robin). *)
+  let port = ref 0.0 in
+  let chunks = ref [] in
+  let finish = Hashtbl.create 8 (* worker id -> availability date *) in
+  let avail (w : Worker.t) = Option.value ~default:0.0 (Hashtbl.find_opt finish w.Worker.id) in
+  let pending_returns = ref [] (* (ready_date, volume, z, latency) *) in
+  let makespan = ref 0.0 in
+  let flush_returns ~upto =
+    (* Serve result transfers that are ready before [upto]. *)
+    let ready, later =
+      List.partition (fun (date, _, _, _) -> date <= Float.max !port upto) !pending_returns
+    in
+    pending_returns := later;
+    List.iter
+      (fun (date, volume, z, latency) ->
+        port := Float.max !port date +. latency +. (volume *. z);
+        makespan := Float.max !makespan !port)
+      (List.sort compare ready)
+  in
+  for round = 0 to rounds - 1 do
+    List.iter
+      (fun ((wk : Worker.t), alpha) ->
+        let chunk = alpha *. share in
+        if chunk > 0.0 then begin
+          flush_returns ~upto:!port;
+          port := !port +. wk.Worker.latency +. (chunk *. wk.Worker.z);
+          let start = Float.max !port (avail wk) in
+          let done_at = start +. (chunk *. wk.Worker.w) in
+          Hashtbl.replace finish wk.Worker.id done_at;
+          makespan := Float.max !makespan done_at;
+          chunks := (round, wk.Worker.id, chunk) :: !chunks;
+          if return_fraction > 0.0 then
+            pending_returns :=
+              (done_at, chunk *. return_fraction, wk.Worker.z, wk.Worker.latency)
+              :: !pending_returns
+        end)
+      alphas
+  done;
+  (* Drain remaining result returns. *)
+  while !pending_returns <> [] do
+    let next_ready =
+      List.fold_left (fun acc (d, _, _, _) -> Float.min acc d) infinity !pending_returns
+    in
+    port := Float.max !port next_ready;
+    flush_returns ~upto:!port
+  done;
+  { makespan = !makespan; rounds; chunks = List.rev !chunks }
+
+let best_rounds ?return_fraction ?(max_rounds = 32) ~load workers =
+  let rec scan best r =
+    if r > max_rounds then best
+    else begin
+      let o = simulate ?return_fraction ~load ~rounds:r workers in
+      scan (if o.makespan < best.makespan then o else best) (r + 1)
+    end
+  in
+  scan (simulate ?return_fraction ~load ~rounds:1 workers) 2

@@ -1,0 +1,25 @@
+(** Multi-round divisible-load distribution (§2.1: "this distribution
+    can be made in one, several rounds or dynamically").
+
+    One big round serialises all communication before the last worker
+    can start; splitting the load into [rounds] installments overlaps
+    communication with computation.  Each round distributes its share
+    with the single-round equal-finish fractions; the whole execution
+    is then evaluated exactly by simulating the one-port master and
+    the workers' chunk queues.  Optionally each chunk's results return
+    to the master (mirror image of the distribution) at
+    [return_fraction] of the input volume. *)
+
+type outcome = {
+  makespan : float;
+  rounds : int;
+  chunks : (int * int * float) list;  (** (round, worker id, chunk size) in send order *)
+}
+
+val simulate :
+  ?return_fraction:float -> load:float -> rounds:int -> Worker.t list -> outcome
+(** @raise Invalid_argument on non-positive load or rounds. *)
+
+val best_rounds :
+  ?return_fraction:float -> ?max_rounds:int -> load:float -> Worker.t list -> outcome
+(** Scan 1..max_rounds (default 32) and keep the best makespan. *)

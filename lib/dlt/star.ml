@@ -1,0 +1,71 @@
+type result = { alphas : (Worker.t * float) list; makespan : float; dropped : Worker.t list }
+
+let finish_times ~load alphas =
+  let _, finishes =
+    List.fold_left
+      (fun (port, acc) ((wk : Worker.t), alpha) ->
+        let chunk = alpha *. load in
+        let recv_end = port +. wk.Worker.latency +. (chunk *. wk.Worker.z) in
+        (recv_end, (recv_end +. (chunk *. wk.Worker.w)) :: acc))
+      (0.0, []) alphas
+  in
+  List.rev finishes
+
+let evaluate ~load alphas = List.fold_left Float.max 0.0 (finish_times ~load alphas)
+
+(* Equal-finish fractions for a fixed order: alpha_i is affine in
+   alpha_1; normalising the sum to 1 yields alpha_1. *)
+let equal_finish ~load workers =
+  match workers with
+  | [] -> invalid_arg "Star.solve_order: no workers"
+  | first :: rest ->
+    let coeffs = ref [ (first, 1.0, 0.0) ] in
+    let prev = ref (first, 1.0, 0.0) in
+    List.iter
+      (fun (wk : Worker.t) ->
+        let (pw : Worker.t), pa, pb = !prev in
+        let denom = load *. (wk.Worker.z +. wk.Worker.w) in
+        let a = pa *. load *. pw.Worker.w /. denom in
+        let b = ((pb *. load *. pw.Worker.w) -. wk.Worker.latency) /. denom in
+        prev := (wk, a, b);
+        coeffs := (wk, a, b) :: !coeffs)
+      rest;
+    let coeffs = List.rev !coeffs in
+    let sum_a = List.fold_left (fun acc (_, a, _) -> acc +. a) 0.0 coeffs in
+    let sum_b = List.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 coeffs in
+    let alpha1 = (1.0 -. sum_b) /. sum_a in
+    List.map (fun (wk, a, b) -> (wk, (a *. alpha1) +. b)) coeffs
+
+let solve_order ~load workers =
+  if load <= 0.0 then invalid_arg "Star.solve_order: load must be positive";
+  if workers = [] then invalid_arg "Star.solve_order: no workers";
+  (* Drop workers whose equal-finish fraction is negative (latency too
+     high to be worth the transfer) and re-solve. *)
+  let rec fix participating dropped =
+    let alphas = equal_finish ~load participating in
+    match List.filter (fun (_, alpha) -> alpha < 0.0) alphas with
+    | [] -> (alphas, dropped)
+    | negatives ->
+      let worst =
+        List.fold_left
+          (fun (bw, ba) (w, a) -> if a < ba then (w, a) else (bw, ba))
+          (List.hd negatives) (List.tl negatives)
+      in
+      let out = fst worst in
+      let remaining = List.filter (fun (w : Worker.t) -> w.Worker.id <> out.Worker.id) participating in
+      if remaining = [] then
+        invalid_arg "Star.solve_order: no worker can usefully participate"
+      else fix remaining (out :: dropped)
+  in
+  let alphas, dropped = fix workers [] in
+  { alphas; makespan = evaluate ~load alphas; dropped }
+
+let schedule ~load workers =
+  let sorted =
+    List.sort (fun (a : Worker.t) b -> compare (a.Worker.z, a.Worker.id) (b.Worker.z, b.Worker.id))
+      workers
+  in
+  solve_order ~load sorted
+
+let single_worker ~load (wk : Worker.t) =
+  wk.Worker.latency +. (load *. (wk.Worker.z +. wk.Worker.w))

@@ -1,0 +1,42 @@
+(** Single-round divisible-load distribution on a heterogeneous star
+    (§2.1).
+
+    The master holds [load] units and sends one chunk to each
+    participating worker over a one-port link (sequential transfers,
+    in a chosen order); each worker computes its chunk; no results
+    return (the paper: "there is only one processor which [has] to
+    send back data" in the search example — see
+    {!Multiround} for the mirror-image return).
+
+    For a fixed participation and order the optimal fractions make all
+    workers finish simultaneously, giving a linear recurrence; the
+    classic optimal order (no latencies) serves links by decreasing
+    bandwidth.  With latencies some workers may be better left out;
+    {!schedule} drops workers whose optimal fraction would be
+    negative. *)
+
+type result = {
+  alphas : (Worker.t * float) list;  (** participating workers, send order, load fractions *)
+  makespan : float;
+  dropped : Worker.t list;  (** workers excluded from the distribution *)
+}
+
+val finish_times : load:float -> (Worker.t * float) list -> float list
+(** Completion date of each worker for arbitrary fractions (sent in
+    list order, one-port): sum of previous transfer times + own
+    transfer + own computation. *)
+
+val evaluate : load:float -> (Worker.t * float) list -> float
+(** Makespan of arbitrary fractions = max of {!finish_times}. *)
+
+val solve_order : load:float -> Worker.t list -> result
+(** Optimal fractions for the given participation and order
+    (equal-finish recurrence), dropping negative-fraction workers.
+    @raise Invalid_argument on an empty worker list or non-positive
+    load. *)
+
+val schedule : load:float -> Worker.t list -> result
+(** Sort by decreasing bandwidth (increasing [z]) and {!solve_order}. *)
+
+val single_worker : load:float -> Worker.t -> float
+(** Makespan of giving everything to one worker. *)

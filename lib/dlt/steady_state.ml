@@ -1,0 +1,43 @@
+type allocation = {
+  rates : (Worker.t * float) list;
+  throughput : float;
+  port_utilisation : float;
+}
+
+let task_cost (wk : Worker.t) = wk.Worker.z +. wk.Worker.latency
+
+let throughput_of rates = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 rates
+
+let is_feasible ?(eps = 1e-9) rates =
+  let port = List.fold_left (fun acc (wk, r) -> acc +. (r *. task_cost wk)) 0.0 rates in
+  port <= 1.0 +. eps
+  && List.for_all (fun ((wk : Worker.t), r) -> r >= -.eps && r <= (1.0 /. wk.Worker.w) +. eps) rates
+
+let optimal workers =
+  let sorted =
+    List.sort
+      (fun (a : Worker.t) b -> compare (task_cost a, a.Worker.id) (task_cost b, b.Worker.id))
+      workers
+  in
+  let budget = ref 1.0 in
+  let rates =
+    List.map
+      (fun (wk : Worker.t) ->
+        let saturation = 1.0 /. wk.Worker.w in
+        let cost = task_cost wk in
+        let rate =
+          if cost <= 0.0 then saturation
+          else Float.min saturation (!budget /. cost)
+        in
+        budget := Float.max 0.0 (!budget -. (rate *. cost));
+        (wk, rate))
+      sorted
+  in
+  {
+    rates;
+    throughput = throughput_of rates;
+    port_utilisation = 1.0 -. !budget;
+  }
+
+let makespan_estimate ~tasks alloc =
+  if alloc.throughput <= 0.0 then infinity else float_of_int tasks /. alloc.throughput

@@ -1,0 +1,30 @@
+(** Steady-state (throughput) optimal distribution of multi-parametric
+    jobs (§3 "maximum throughput", §5.2: "the theory of asymptotic
+    behavior shows that optimal solutions can be computed in polynomial
+    time").
+
+    For an endless stream of identical unit tasks served from the
+    master over a one-port link, the sustainable rates r_i maximise
+    sum r_i subject to r_i <= 1/w_i (worker saturation) and
+    sum r_i z_i <= 1 (port saturation).  The bandwidth-centric greedy —
+    serve workers by increasing communication cost z, saturating each —
+    is optimal (exchange argument). *)
+
+type allocation = {
+  rates : (Worker.t * float) list;  (** tasks per second per worker *)
+  throughput : float;  (** total tasks per second *)
+  port_utilisation : float;  (** fraction of master port capacity used *)
+}
+
+val optimal : Worker.t list -> allocation
+(** Bandwidth-centric allocation.  Latencies are folded into the
+    per-task communication cost ([z + latency] per task). *)
+
+val is_feasible : ?eps:float -> (Worker.t * float) list -> bool
+(** Rates respect worker and port capacity. *)
+
+val throughput_of : (Worker.t * float) list -> float
+
+val makespan_estimate : tasks:int -> allocation -> float
+(** Time to process [tasks] at the steady-state rate — the asymptotic
+    optimum the paper invokes for multi-parametric jobs. *)

@@ -1,0 +1,88 @@
+type t = Node of { worker : Worker.t; children : t list }
+
+let leaf worker = Node { worker; children = [] }
+let node worker children = Node { worker; children }
+
+let rec size (Node { children; _ }) = 1 + List.fold_left (fun acc c -> acc + size c) 0 children
+
+let rec depth (Node { children; _ }) =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec ids (Node { worker; children }) =
+  worker.Worker.id :: List.concat_map ids children
+
+(* The star a node induces: itself with a free link (it already holds
+   its share) plus each child subtree as an equivalent worker. *)
+let star_of worker child_equivalents =
+  { worker with Worker.z = 0.0; Worker.latency = 0.0 } :: child_equivalents
+
+let rec equivalent_worker (Node { worker; children }) =
+  match children with
+  | [] -> worker
+  | _ ->
+    let eqs = List.map equivalent_worker children in
+    let star = star_of worker eqs in
+    let { Star.makespan; _ } = Star.schedule ~load:1.0 star in
+    { worker with Worker.w = makespan }
+
+type assignment = { node_id : int; fraction : float }
+
+let solve ~load tree =
+  if load <= 0.0 then invalid_arg "Tree.solve: load must be positive";
+  let all_ids = ids tree in
+  if List.length (List.sort_uniq compare all_ids) <> List.length all_ids then
+    invalid_arg "Tree.solve: duplicate node ids";
+  let acc = Hashtbl.create 16 in
+  let put id f = Hashtbl.replace acc id (f +. Option.value ~default:0.0 (Hashtbl.find_opt acc id)) in
+  let rec go (Node { worker; children }) share =
+    if share <= 0.0 then List.iter (fun id -> put id 0.0) (ids (Node { worker; children }))
+    else
+      match children with
+      | [] -> put worker.Worker.id share
+      | _ ->
+        let eqs = List.map equivalent_worker children in
+        let star = star_of worker eqs in
+        let { Star.alphas; dropped; _ } = Star.schedule ~load:1.0 star in
+        List.iter
+          (fun (w, alpha) ->
+            if w.Worker.id = worker.Worker.id then put worker.Worker.id (share *. alpha)
+            else begin
+              let child =
+                List.find (fun (Node { worker = cw; _ }) -> cw.Worker.id = w.Worker.id) children
+              in
+              go child (share *. alpha)
+            end)
+          alphas;
+        List.iter
+          (fun (w : Worker.t) ->
+            let child =
+              List.find (fun (Node { worker = cw; _ }) -> cw.Worker.id = w.Worker.id) children
+            in
+            go child 0.0)
+          dropped
+  in
+  go tree 1.0;
+  let assignments =
+    List.map (fun id -> { node_id = id; fraction = Option.value ~default:0.0 (Hashtbl.find_opt acc id) })
+      (List.sort compare all_ids)
+  in
+  let root_eq = equivalent_worker tree in
+  (assignments, load *. root_eq.Worker.w)
+
+let balanced rng ~depth:d ~fanout ~w ~z =
+  if d < 1 then invalid_arg "Tree.balanced: depth must be >= 1";
+  if fanout < 1 then invalid_arg "Tree.balanced: fanout must be >= 1";
+  let next = ref (-1) in
+  let fresh () = incr next; !next in
+  let rec build level =
+    let id = fresh () in
+    let worker =
+      Worker.make ~id
+        ~w:(Psched_util.Rng.lognormal rng ~mu:(log w) ~sigma:0.2)
+        ~z:(Psched_util.Rng.lognormal rng ~mu:(log z) ~sigma:0.2)
+        ()
+    in
+    if level = 1 then leaf worker
+    else node worker (List.init fanout (fun _ -> build (level - 1)))
+  in
+  build d

@@ -1,0 +1,39 @@
+(** Divisible load on tree networks — the original DLT setting
+    (Cheng & Robertazzi [4]: "Distributed computation for a tree
+    network with communication delays", the paper's reference for the
+    model).
+
+    The load sits at the root; every node can compute and forward to
+    its children over one-port links.  The classical resolution
+    collapses each subtree bottom-up into an {e equivalent worker}
+    whose rate is the subtree's saturated processing rate: a node with
+    children is a star of [itself (z = 0)] + [children's equivalent
+    workers], solved by the single-round equal-finish rule; the
+    subtree then behaves (asymptotically, latencies ignored) like a
+    single worker with [w_eq] = time per load unit of that star.
+    A depth-1 tree is exactly {!Star}. *)
+
+type t = Node of { worker : Worker.t; children : t list }
+
+val leaf : Worker.t -> t
+val node : Worker.t -> t list -> t
+
+val size : t -> int
+val depth : t -> int
+
+val equivalent_worker : t -> Worker.t
+(** The subtree as one worker: same [id]/[z]/[latency] as the root,
+    [w] replaced by the subtree's equivalent time-per-unit. *)
+
+type assignment = { node_id : int; fraction : float }
+
+val solve : load:float -> t -> assignment list * float
+(** Load fractions computed (recursively) by the equivalent-worker
+    reduction, and the resulting makespan estimate.  Fractions sum to
+    1; nodes dropped by the star rule get fraction 0.
+    @raise Invalid_argument on non-positive load or duplicate node
+    ids. *)
+
+val balanced : Psched_util.Rng.t -> depth:int -> fanout:int -> w:float -> z:float -> t
+(** Random-perturbed balanced tree for tests and benches (ids are
+    dense from 0 in breadth-first order). *)

@@ -1,0 +1,43 @@
+type outcome = { makespan : float; transfers : int; per_worker : (int * int) list }
+
+let lower_bound ~units workers =
+  let rate = List.fold_left (fun acc (w : Worker.t) -> acc +. (1.0 /. w.Worker.w)) 0.0 workers in
+  float_of_int units /. rate
+
+let simulate ~units ~chunk workers =
+  if units < 1 then invalid_arg "Work_stealing.simulate: units must be >= 1";
+  if chunk < 1 then invalid_arg "Work_stealing.simulate: chunk must be >= 1";
+  if workers = [] then invalid_arg "Work_stealing.simulate: no workers";
+  let bag = ref units in
+  let port = ref 0.0 in
+  let transfers = ref 0 in
+  let makespan = ref 0.0 in
+  let done_units = Hashtbl.create 8 in
+  (* Heap of (idle date, worker id, worker): serve steal requests in
+     idle-date order, master port sequential. *)
+  let module H = Psched_util.Heap in
+  let queue = H.create ~cmp:(fun (a, ia, _) (b, ib, _) -> compare (a, ia) (b, ib)) in
+  List.iter (fun (w : Worker.t) -> H.add queue (0.0, w.Worker.id, w)) workers;
+  while !bag > 0 do
+    match H.pop queue with
+    | None -> assert false
+    | Some (idle_at, _, wk) ->
+      let grab = min chunk !bag in
+      bag := !bag - grab;
+      incr transfers;
+      let volume = float_of_int grab in
+      (* The transfer starts when both the port and the worker are free. *)
+      port := Float.max !port idle_at +. wk.Worker.latency +. (volume *. wk.Worker.z);
+      let finish = !port +. (volume *. wk.Worker.w) in
+      Hashtbl.replace done_units wk.Worker.id
+        (grab + Option.value ~default:0 (Hashtbl.find_opt done_units wk.Worker.id));
+      makespan := Float.max !makespan finish;
+      if !bag > 0 then H.add queue (finish, wk.Worker.id, wk)
+  done;
+  let per_worker =
+    List.map
+      (fun (w : Worker.t) ->
+        (w.Worker.id, Option.value ~default:0 (Hashtbl.find_opt done_units w.Worker.id)))
+      workers
+  in
+  { makespan = !makespan; transfers = !transfers; per_worker }

@@ -1,0 +1,24 @@
+(** Dynamic distribution by demand-driven chunking (§2.1: the
+    distribution "can be made ... dynamically with a work stealing
+    strategy" [Blumofe–Leiserson]).
+
+    The master holds a bag of [units] atomic work units; an idle
+    worker steals a chunk of at most [chunk] units, pays the one-port
+    transfer (sequential at the master), computes, and returns for
+    more.  Small chunks balance heterogeneous workers at the price of
+    more transfers; large chunks amortise latency but risk imbalance —
+    the trade-off the benches sweep. *)
+
+type outcome = {
+  makespan : float;
+  transfers : int;  (** number of chunk transfers *)
+  per_worker : (int * int) list;  (** worker id, units computed *)
+}
+
+val simulate : units:int -> chunk:int -> Worker.t list -> outcome
+(** Deterministic event-driven simulation (ties broken by worker id).
+    @raise Invalid_argument on non-positive units/chunk or empty
+    worker list. *)
+
+val lower_bound : units:int -> Worker.t list -> float
+(** Perfect-sharing bound: units / (sum of compute rates). *)

@@ -1,0 +1,18 @@
+type t = { id : int; w : float; z : float; latency : float }
+
+let make ?(latency = 0.0) ~id ~w ~z () =
+  if w <= 0.0 then invalid_arg "Worker.make: w must be positive";
+  if z < 0.0 then invalid_arg "Worker.make: z must be non-negative";
+  if latency < 0.0 then invalid_arg "Worker.make: latency must be non-negative";
+  { id; w; z; latency }
+
+let of_cluster (c : Psched_platform.Platform.cluster) =
+  let procs = float_of_int (Psched_platform.Platform.processors c) in
+  let w = 1.0 /. (c.Psched_platform.Platform.speed *. procs) in
+  let z = 1.0 /. c.Psched_platform.Platform.link_bandwidth in
+  let latency = Psched_platform.Platform.network_latency c.Psched_platform.Platform.network in
+  make ~latency ~id:c.Psched_platform.Platform.id ~w ~z ()
+
+let bus ?latency ~z ws = List.mapi (fun id w -> make ?latency ~id ~w ~z ()) ws
+
+let pp ppf t = Format.fprintf ppf "worker#%d w=%g z=%g L=%g" t.id t.w t.z t.latency

@@ -1,0 +1,26 @@
+(** Workers of a divisible-load star (or bus) network (§2.1).
+
+    The master holds the load and sends chunks over a one-port link:
+    transfers are sequential.  Worker [i] computes one load unit in
+    [w] seconds and receives one unit in [z] seconds ([z = 0] models
+    pre-staged data; equal [z] across workers models a bus). *)
+
+type t = {
+  id : int;
+  w : float;  (** computation time per load unit (inverse speed) *)
+  z : float;  (** communication time per load unit over the worker's link *)
+  latency : float;  (** fixed per-transfer start-up cost *)
+}
+
+val make : ?latency:float -> id:int -> w:float -> z:float -> unit -> t
+(** @raise Invalid_argument on non-positive [w] or negative [z]/[latency]. *)
+
+val of_cluster : Psched_platform.Platform.cluster -> t
+(** Derive a DLT worker from a cluster: computation rate from the
+    cluster's aggregate speed, link parameters from its interconnect —
+    how the CiGri layer sees each cluster as one big worker. *)
+
+val bus : ?latency:float -> z:float -> float list -> t list
+(** Workers on a common bus: same [z], given [w]s. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Psched_util
+open Psched_core
+open Psched_sim
+
+type point = { n : int; wici_ratio : float; cmax_ratio : float }
+type result = { m : int; seeds : int; nonparallel : point list; parallel : point list }
+
+let default_ns = [ 50; 100; 200; 300; 400; 500; 600; 700; 800; 900; 1000 ]
+
+let measure ~m jobs =
+  let sched = Bicriteria.schedule ~m jobs in
+  let metrics = Metrics.compute ~jobs sched in
+  let lb_cmax = Lower_bounds.cmax ~m jobs in
+  let lb_wc = Lower_bounds.sum_weighted_completion ~m jobs in
+  ( metrics.Metrics.sum_weighted_completion /. Float.max lb_wc 1e-12,
+    Schedule.makespan sched /. Float.max lb_cmax 1e-12 )
+
+let run ?(m = 100) ?(seeds = 3) ?(ns = default_ns) () =
+  let point ~parallel n =
+    let samples =
+      List.init seeds (fun seed ->
+          let rng = Rng.create ((1000 * seed) + n + if parallel then 7 else 0) in
+          let jobs =
+            if parallel then Psched_workload.Workload_gen.fig2_parallel rng ~n ~m
+            else Psched_workload.Workload_gen.fig2_nonparallel rng ~n
+          in
+          measure ~m jobs)
+    in
+    {
+      n;
+      wici_ratio = Stats.mean (List.map fst samples);
+      cmax_ratio = Stats.mean (List.map snd samples);
+    }
+  in
+  {
+    m;
+    seeds;
+    nonparallel = List.map (point ~parallel:false) ns;
+    parallel = List.map (point ~parallel:true) ns;
+  }
+
+let series select result =
+  [
+    ("Non Parallel", List.map (fun p -> (float_of_int p.n, select p)) result.nonparallel);
+    ("Parallel", List.map (fun p -> (float_of_int p.n, select p)) result.parallel);
+  ]
+
+let wici_series = series (fun p -> p.wici_ratio)
+let cmax_series = series (fun p -> p.cmax_ratio)
+
+let to_string result =
+  let top =
+    Render.plot ~title:"Figure 2 (top): sum(wi.Ci) ratio vs number of tasks"
+      ~xlabel:"Number of tasks" ~ylabel:"WiCi ratio" ~series:(wici_series result) ()
+  in
+  let bottom =
+    Render.plot ~title:"Figure 2 (bottom): Cmax ratio vs number of tasks"
+      ~xlabel:"Number of tasks" ~ylabel:"Cmax ratio" ~series:(cmax_series result) ()
+  in
+  let rows =
+    List.map2
+      (fun np p ->
+        [
+          string_of_int np.n;
+          Render.float_cell np.wici_ratio;
+          Render.float_cell np.cmax_ratio;
+          Render.float_cell p.wici_ratio;
+          Render.float_cell p.cmax_ratio;
+        ])
+      result.nonparallel result.parallel
+  in
+  let data =
+    Render.table
+      ~header:[ "n"; "WiCi (seq)"; "Cmax (seq)"; "WiCi (par)"; "Cmax (par)" ]
+      ~rows
+  in
+  Printf.sprintf "%s\n%s\n%s\n(m = %d machines, %d seeds averaged)\n" top bottom data result.m
+    result.seeds

@@ -1,0 +1,28 @@
+(** Reproduction of Figure 2: "a simulated implementation of a
+    variation of the bi-criteria algorithm ... the simulation assumed a
+    cluster of 100 machines, parallel and non-parallel jobs, and two
+    criteria Cmax and sum(w_i C_i)".
+
+    For each task count n the bi-criteria doubling-batch algorithm
+    schedules a generated workload on 100 machines; both criteria are
+    compared against lower bounds of the respective optima (the paper
+    plots the same kind of ratio).  Two series: "Non Parallel"
+    (sequential tasks) and "Parallel" (moldable Amdahl tasks). *)
+
+type point = { n : int; wici_ratio : float; cmax_ratio : float }
+
+type result = {
+  m : int;
+  seeds : int;
+  nonparallel : point list;
+  parallel : point list;
+}
+
+val run : ?m:int -> ?seeds:int -> ?ns:int list -> unit -> result
+(** Defaults: m = 100, 3 seeds averaged, n in 50, 100, ..., 1000. *)
+
+val wici_series : result -> (string * (float * float) list) list
+val cmax_series : result -> (string * (float * float) list) list
+
+val to_string : result -> string
+(** Both panels (ASCII) plus the underlying data table. *)

@@ -1,0 +1,71 @@
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1000.0 then Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.3f" v
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row c with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = Option.value ~default:"" (List.nth_opt row c) in
+           s ^ String.make (w - String.length s) ' ')
+         widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let marks = [| '+'; 'x'; 'o'; '*'; '#'; '@' |]
+
+let plot ?(width = 72) ?(height = 20) ~title ~xlabel ~ylabel ~series () =
+  let points = List.concat_map snd series in
+  match points with
+  | [] -> title ^ "\n(no data)\n"
+  | _ ->
+    let xs = List.map fst points and ys = List.map snd points in
+    let xmin = List.fold_left Float.min infinity xs
+    and xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = List.fold_left Float.min infinity ys
+    and ymax = List.fold_left Float.max neg_infinity ys in
+    let xspan = Float.max (xmax -. xmin) 1e-9 and yspan = Float.max (ymax -. ymin) 1e-9 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let mark = marks.(si mod Array.length marks) in
+        List.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+            in
+            let row =
+              height - 1
+              - int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then grid.(row).(col) <- mark)
+          pts)
+      series;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "%s\n" title);
+    let legend =
+      String.concat "   "
+        (List.mapi (fun si (name, _) -> Printf.sprintf "%c %s" marks.(si mod Array.length marks) name)
+           series)
+    in
+    Buffer.add_string buf (Printf.sprintf "%s (y: %s)\n" legend ylabel);
+    for r = 0 to height - 1 do
+      let yval = ymax -. (float_of_int r /. float_of_int (height - 1) *. yspan) in
+      Buffer.add_string buf (Printf.sprintf "%8.3g |%s\n" yval (String.init width (fun c -> grid.(r).(c))))
+    done;
+    Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%8s  %-8.4g%*s (x: %s)\n" "" xmin (width - 10)
+         (Printf.sprintf "%.4g" xmax) xlabel);
+    Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Plain-text rendering of experiment results: aligned tables and
+    gnuplot-style ASCII line plots, so every figure and table of the
+    paper regenerates on a terminal. *)
+
+val table : header:string list -> rows:string list list -> string
+(** Aligned columns with a separator line under the header. *)
+
+val float_cell : float -> string
+(** Compact numeric formatting ("%.3g"-like with stable width). *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string
+(** ASCII scatter/line plot of several named series (distinct marks per
+    series), with y-axis ticks — the Figure 2 panels. *)

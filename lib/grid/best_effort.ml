@@ -1,0 +1,147 @@
+open Psched_workload
+open Psched_sim
+
+type config = { m : int; bag : int; unit_time : float; horizon : float }
+
+type outcome = {
+  local_schedule : Schedule.t;
+  grid_entries : Schedule.entry list;
+  grid_completed : int;
+  grid_killed : int;
+  wasted_time : float;
+  grid_done_at : float option;
+  finished_at : float;
+}
+
+let grid_id_base = 1_000_000
+
+type be_task = { be_id : int; started_at : float; mutable alive : bool }
+
+type event = Arrival of Job.t * int | Local_done of int | Be_done of be_task
+
+let simulate config ~local =
+  if config.m < 1 then invalid_arg "Best_effort.simulate: m must be >= 1";
+  if config.bag < 0 then invalid_arg "Best_effort.simulate: negative bag";
+  if config.unit_time <= 0.0 then invalid_arg "Best_effort.simulate: unit_time must be positive";
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if k > config.m then
+        invalid_arg (Printf.sprintf "Best_effort.simulate: job %d wider than %d" j.id config.m))
+    local;
+  let module H = Psched_util.Heap in
+  let seq = ref 0 in
+  let events =
+    H.create ~cmp:(fun (ta, sa, _) (tb, sb, _) -> compare (ta, sa) (tb, sb))
+  in
+  let push t ev =
+    incr seq;
+    H.add events (t, !seq, ev)
+  in
+  List.iter (fun ((j : Job.t), k) -> push j.release (Arrival (j, k))) local;
+  let queue = ref [] (* FCFS local queue *) in
+  let local_used = ref 0 and be_used = ref 0 in
+  let running_be = ref [] (* youngest first *) in
+  let bag = ref config.bag in
+  let next_be_id = ref grid_id_base in
+  let local_entries = ref [] and grid_entries = ref [] in
+  let grid_completed = ref 0 and grid_killed = ref 0 in
+  let wasted = ref 0.0 in
+  let grid_done_at = ref None in
+  let finished = ref 0.0 in
+  let kill_one now =
+    match !running_be with
+    | [] -> assert false
+    | task :: rest ->
+      task.alive <- false;
+      running_be := rest;
+      decr be_used;
+      incr grid_killed;
+      incr bag;
+      wasted := !wasted +. (now -. task.started_at)
+  in
+  let start_be now =
+    let task = { be_id = !next_be_id; started_at = now; alive = true } in
+    incr next_be_id;
+    running_be := task :: !running_be;
+    incr be_used;
+    decr bag;
+    push (now +. config.unit_time) (Be_done task)
+  in
+  let scheduling_pass now =
+    (* 1. Local FCFS: start queue heads while they fit among local
+       jobs, killing best-effort runs as needed. *)
+    let rec drain () =
+      match !queue with
+      | ((job : Job.t), procs) :: rest when procs <= config.m - !local_used ->
+        while procs > config.m - !local_used - !be_used do
+          kill_one now
+        done;
+        local_used := !local_used + procs;
+        let e = Schedule.entry ~job ~start:now ~procs () in
+        local_entries := e :: !local_entries;
+        push (Schedule.completion e) (Local_done procs);
+        queue := rest;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    (* 2. Fill idle processors with best-effort runs. *)
+    if now < config.horizon then
+      while config.m - !local_used - !be_used > 0 && !bag > 0 do
+        start_be now
+      done
+  in
+  let handle now = function
+    | Arrival (job, procs) -> queue := !queue @ [ (job, procs) ]
+    | Local_done procs -> local_used := !local_used - procs
+    | Be_done task ->
+      if task.alive then begin
+        task.alive <- false;
+        running_be := List.filter (fun t -> t.be_id <> task.be_id) !running_be;
+        decr be_used;
+        incr grid_completed;
+        grid_entries :=
+          {
+            Schedule.job_id = task.be_id;
+            start = task.started_at;
+            duration = config.unit_time;
+            procs = 1;
+            cluster = 0;
+          }
+          :: !grid_entries;
+        if !bag = 0 && !be_used = 0 && !grid_done_at = None then grid_done_at := Some now
+      end
+  in
+  (* Kick off: an idle cluster starts draining the bag at time 0. *)
+  scheduling_pass 0.0;
+  let rec loop () =
+    match H.pop events with
+    | None -> ()
+    | Some (now, _, ev) ->
+      finished := Float.max !finished now;
+      handle now ev;
+      scheduling_pass now;
+      loop ()
+  in
+  loop ();
+  assert (!queue = [] && !local_used = 0);
+  {
+    local_schedule = Schedule.make ~m:config.m !local_entries;
+    grid_entries = !grid_entries;
+    grid_completed = !grid_completed;
+    grid_killed = !grid_killed;
+    wasted_time = !wasted;
+    grid_done_at = !grid_done_at;
+    finished_at = !finished;
+  }
+
+let utilisation_gain config ~local =
+  let without = simulate { config with bag = 0 } ~local in
+  let with_grid = simulate config ~local in
+  let local_work = Schedule.total_work without.local_schedule in
+  let span0 = Float.max (Schedule.makespan without.local_schedule) 1e-9 in
+  let u0 = local_work /. (float_of_int config.m *. span0) in
+  let be_work = float_of_int with_grid.grid_completed *. config.unit_time in
+  let span1 = Float.max with_grid.finished_at span0 in
+  let u1 = (local_work +. be_work) /. (float_of_int config.m *. span1) in
+  (u0, u1)

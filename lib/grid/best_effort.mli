@@ -1,0 +1,50 @@
+(** The centralized CiGri model (§5.2, "Centralized"): a grid server
+    injects multi-parametric runs as {e best-effort} jobs into the
+    holes of a cluster's local schedule.
+
+    "The local scheduler gives no warranty that the job will be
+    finished.  If a locally submitted job requires a processor
+    currently in use by a best-effort job, the latter will be killed.
+    The central server then has to submit it once again. [...] local
+    users of the clusters will not be disturbed by grid jobs."
+
+    The local policy here is FCFS (a local job starts as soon as the
+    head of the local queue fits in [m] minus the processors of
+    {e local} jobs); best-effort runs, one processor each, fill
+    whatever remains and are killed — youngest first — whenever the
+    next local job needs their processors.  Killed runs return to the
+    central server's bag and are resubmitted.  By construction local
+    start dates are exactly those of a grid-free cluster, which the
+    tests assert. *)
+
+open Psched_workload
+
+type config = {
+  m : int;  (** cluster processors *)
+  bag : int;  (** best-effort runs the central server wants executed *)
+  unit_time : float;  (** duration of one best-effort run *)
+  horizon : float;  (** stop dispatching new best-effort runs after this date *)
+}
+
+type outcome = {
+  local_schedule : Psched_sim.Schedule.t;  (** the local jobs' placements *)
+  grid_entries : Psched_sim.Schedule.entry list;
+      (** completed best-effort runs (pseudo-job ids >= grid_id_base) *)
+  grid_completed : int;
+  grid_killed : int;  (** kill events (a run may be killed several times) *)
+  wasted_time : float;  (** processor-seconds destroyed by kills *)
+  grid_done_at : float option;  (** date the bag was exhausted, if it was *)
+  finished_at : float;  (** last event date of the simulation *)
+}
+
+val grid_id_base : int
+(** Best-effort pseudo-entries are numbered from this id. *)
+
+val simulate : config -> local:(Job.t * int) list -> outcome
+(** [local] are the cluster's own (allocated, rigid) jobs with their
+    release dates.
+    @raise Invalid_argument if a local job is wider than [m]. *)
+
+val utilisation_gain : config -> local:(Job.t * int) list -> float * float
+(** (without, with) processor utilisation over the local makespan
+    horizon; the with-grid figure counts completed best-effort work. *)

@@ -1,0 +1,28 @@
+open Psched_workload
+
+let jain = function
+  | [] -> 1.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if s2 <= 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let per_community ~jobs ~completion =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (j : Job.t) ->
+      match completion j.id with
+      | None -> ()
+      | Some c ->
+        let flow = c -. j.release in
+        let sum, count = Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl j.community) in
+        Hashtbl.replace tbl j.community (sum +. flow, count + 1))
+    jobs;
+  Hashtbl.fold (fun community (sum, count) acc -> (community, sum /. float_of_int count) :: acc)
+    tbl []
+  |> List.sort compare
+
+let index ~jobs ~completion =
+  let flows = List.map snd (per_community ~jobs ~completion) in
+  jain (List.map (fun f -> 1.0 /. Float.max f 1e-12) flows)

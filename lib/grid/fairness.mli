@@ -1,0 +1,20 @@
+(** Fairness accounting between communities (§5.2: "guarantee a kind
+    of fairness between the different communities ... make sure that
+    making [a resource] available to others does not make them loose
+    too much"). *)
+
+val jain : float list -> float
+(** Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly
+    equal, 1/n = maximally unfair.  1.0 on the empty list. *)
+
+val per_community :
+  jobs:Psched_workload.Job.t list ->
+  completion:(int -> float option) ->
+  (int * float) list
+(** Mean flow time (completion - release) per community, sorted by
+    community id; jobs without a completion are skipped. *)
+
+val index :
+  jobs:Psched_workload.Job.t list -> completion:(int -> float option) -> float
+(** Jain index over the inverse mean flows of {!per_community} (lower
+    flow = better served; fairness compares service levels). *)

@@ -1,0 +1,114 @@
+open Psched_workload
+module P = Psched_platform.Platform
+
+type strategy = Proportional | Fastest_fit
+
+type outcome = {
+  per_cluster : (P.cluster * Psched_sim.Schedule.t) list;
+  makespan : float;
+  lower_bound : float;
+}
+
+let capacity_speed c = float_of_int (P.processors c) *. c.P.speed
+
+let fastest_time_on (c : P.cluster) job =
+  let m = P.processors c in
+  if Job.min_procs job > m then infinity
+  else Psched_core.Lower_bounds.fastest_time ~m job /. c.P.speed
+
+let lower_bound ~grid jobs =
+  let total_capacity =
+    List.fold_left (fun acc c -> acc +. capacity_speed c) 0.0 grid.P.clusters
+  in
+  let area =
+    List.fold_left
+      (fun acc j ->
+        let biggest =
+          List.fold_left (fun best c -> max best (P.processors c)) 1 grid.P.clusters
+        in
+        acc +. Psched_core.Lower_bounds.min_work ~m:biggest j)
+      0.0 jobs
+  in
+  let critical =
+    List.fold_left
+      (fun acc j ->
+        let best =
+          List.fold_left (fun b c -> Float.min b (fastest_time_on c j)) infinity grid.P.clusters
+        in
+        Float.max acc best)
+      0.0 jobs
+  in
+  Float.max (area /. total_capacity) critical
+
+let schedule ?(strategy = Proportional) ~grid jobs =
+  let clusters = grid.P.clusters in
+  (* Accumulated normalised load per cluster. *)
+  let load = Hashtbl.create 8 in
+  let get_load c = Option.value ~default:0.0 (Hashtbl.find_opt load c.P.id) in
+  let add_load c w = Hashtbl.replace load c.P.id (get_load c +. (w /. capacity_speed c)) in
+  let assignments = Hashtbl.create 8 (* cluster id -> job list *) in
+  let assign c job =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt assignments c.P.id) in
+    Hashtbl.replace assignments c.P.id (job :: prev);
+    add_load c (Psched_core.Lower_bounds.min_work ~m:(P.processors c) job)
+  in
+  let feasible job c = Job.min_procs job <= P.processors c in
+  let pick job =
+    let candidates = List.filter (feasible job) clusters in
+    if candidates = [] then
+      invalid_arg (Printf.sprintf "Hierarchical.schedule: job %d fits no cluster" job.Job.id);
+    match strategy with
+    | Proportional ->
+      List.fold_left
+        (fun best c -> if get_load c < get_load best then c else best)
+        (List.hd candidates) (List.tl candidates)
+    | Fastest_fit ->
+      (* Smallest standalone time, load as tie-break: favours fast
+         clusters until their queue grows. *)
+      let score c = (fastest_time_on c job *. (1.0 +. get_load c), c.P.id) in
+      List.fold_left
+        (fun best c -> if score c < score best then c else best)
+        (List.hd candidates) (List.tl candidates)
+  in
+  let by_decreasing_work =
+    let biggest = List.fold_left (fun b c -> max b (P.processors c)) 1 clusters in
+    List.sort
+      (fun a b ->
+        compare
+          (Psched_core.Lower_bounds.min_work ~m:biggest b, a.Job.id)
+          (Psched_core.Lower_bounds.min_work ~m:biggest a, b.Job.id))
+      jobs
+  in
+  List.iter (fun j -> assign (pick j) j) by_decreasing_work;
+  let per_cluster =
+    List.map
+      (fun c ->
+        let share = Option.value ~default:[] (Hashtbl.find_opt assignments c.P.id) in
+        let m = P.processors c in
+        (* Scale times through the speed by scheduling speed-adjusted
+           clones, then stretching the resulting schedule back. *)
+        let sched = Psched_core.Mrt.schedule ~m share in
+        let stretched =
+          {
+            sched with
+            Psched_sim.Schedule.entries =
+              List.map
+                (fun (e : Psched_sim.Schedule.entry) ->
+                  {
+                    e with
+                    Psched_sim.Schedule.start = e.Psched_sim.Schedule.start /. c.P.speed;
+                    duration = e.Psched_sim.Schedule.duration /. c.P.speed;
+                    cluster = c.P.id;
+                  })
+                sched.Psched_sim.Schedule.entries;
+          }
+        in
+        (c, stretched))
+      clusters
+  in
+  let makespan =
+    List.fold_left
+      (fun acc (_, s) -> Float.max acc (Psched_sim.Schedule.makespan s))
+      0.0 per_cluster
+  in
+  { per_cluster; makespan; lower_bound = lower_bound ~grid jobs }

@@ -1,0 +1,38 @@
+(** Hierarchical PT scheduling across a light grid (§2.2: "the
+    hierarchical character of the execution support ... can be
+    naturally expressed in PT model").
+
+    Moldable jobs are first partitioned between clusters, then each
+    cluster schedules its share off-line with the MRT algorithm.  A
+    job never spans clusters — the light-grid assumption (slow
+    inter-cluster links make cross-cluster parallel tasks pointless).
+
+    Partition strategies:
+    - [Proportional]: jobs sorted by decreasing minimal work, each
+      assigned to the cluster with the least accumulated
+      work-per-capacity (LPT across clusters);
+    - [Fastest_fit]: each job goes to the cluster giving it the
+      smallest standalone execution time that can host it (speed
+      bias); ties and overload resolved by accumulated load. *)
+
+open Psched_workload
+
+type strategy = Proportional | Fastest_fit
+
+type outcome = {
+  per_cluster : (Psched_platform.Platform.cluster * Psched_sim.Schedule.t) list;
+  makespan : float;
+  lower_bound : float;
+}
+
+val schedule :
+  ?strategy:strategy ->
+  grid:Psched_platform.Platform.t ->
+  Job.t list ->
+  outcome
+(** Off-line (release dates ignored; all jobs available).
+    @raise Invalid_argument if a job fits on no cluster. *)
+
+val lower_bound : grid:Psched_platform.Platform.t -> Job.t list -> float
+(** max(total minimal work / total speed-weighted capacity,
+    max_j fastest execution on the best cluster). *)

@@ -1,0 +1,179 @@
+open Psched_workload
+open Psched_sim
+module P = Psched_platform.Platform
+
+type policy = Independent | Centralized | Exchange of { threshold : float }
+
+type placement = { job : Job.t; cluster : int; migrated : bool; entry : Schedule.entry }
+
+type outcome = {
+  placements : placement list;
+  per_cluster : (P.cluster * Schedule.t) list;
+  migrations : int;
+  makespan : float;
+  mean_flow : float;
+  fairness : float;
+}
+
+let delay_for ~data_mb grid ~src ~dst =
+  if src = dst then 0.0
+  else begin
+    let find id = List.find (fun (c : P.cluster) -> c.P.id = id) grid.P.clusters in
+    let a = find src and b = find dst in
+    let bandwidth = Float.min a.P.link_bandwidth b.P.link_bandwidth in
+    P.network_latency a.P.network +. P.network_latency b.P.network +. (data_mb /. bandwidth)
+  end
+
+let migration_delay grid (job : Job.t) ~src ~dst =
+  ignore job;
+  delay_for ~data_mb:100.0 grid ~src ~dst
+
+type cluster_state = {
+  cluster : P.cluster;
+  capacity : int;
+  profile : Profile.t;
+  mutable backlog : float;  (** latest planned completion *)
+  mutable entries : Schedule.entry list;
+}
+
+let alloc_for ~capacity (job : Job.t) =
+  match job.shape with
+  | Job.Rigid { procs; _ } -> if procs <= capacity then Some procs else None
+  | Job.Moldable _ ->
+    if Job.min_procs job > capacity then None
+    else Some (Psched_core.Moldable_alloc.work_bounded ~m:capacity ~delta:0.25 job)
+  | Job.Divisible _ | Job.Multiparam _ ->
+    (* Grid placement treats these as single-processor streams; the
+       DLT layer handles their internal distribution. *)
+    Some (min capacity (Job.max_procs job))
+
+(* Earliest completion of [job] on [state] if submitted at [release]. *)
+let probe state ~release (job : Job.t) =
+  match alloc_for ~capacity:state.capacity job with
+  | None -> None
+  | Some procs ->
+    let duration = Job.time_on job procs /. state.cluster.P.speed in
+    let start = Profile.find_start state.profile ~earliest:release ~duration ~procs in
+    Some (procs, duration, start)
+
+let commit state (job : Job.t) ~migrated ~release =
+  match probe state ~release job with
+  | None -> None
+  | Some (procs, duration, start) ->
+    if duration > 0.0 then Profile.reserve state.profile ~start ~duration ~procs;
+    let entry =
+      Schedule.entry ~cluster:state.cluster.P.id ~speed:state.cluster.P.speed ~job ~start ~procs
+        ()
+    in
+    state.entries <- entry :: state.entries;
+    state.backlog <- Float.max state.backlog (start +. duration);
+    Some { job; cluster = state.cluster.P.id; migrated; entry }
+
+let simulate ?(data_mb = 100.0) policy ~grid ~jobs =
+  let states =
+    List.map
+      (fun (c : P.cluster) ->
+        { cluster = c; capacity = P.processors c; profile = Profile.create (P.processors c);
+          backlog = 0.0; entries = [] })
+      grid.P.clusters
+  in
+  let n_clusters = List.length states in
+  let state_of idx = List.nth states idx in
+  let home_of (job : Job.t) = job.community mod n_clusters in
+  let by_release = List.sort (fun (a : Job.t) b -> compare (a.release, a.id) (b.release, b.id)) jobs in
+  let migrations = ref 0 in
+  let place (job : Job.t) =
+    let home = home_of job in
+    let try_commit state ~migrated ~release =
+      match commit state job ~migrated ~release with
+      | Some p ->
+        if migrated then incr migrations;
+        Some p
+      | None -> None
+    in
+    let commit_best candidates =
+      (* candidates : (state, migrated, release) list; pick earliest
+         completion among feasible ones. *)
+      let scored =
+        List.filter_map
+          (fun (state, migrated, release) ->
+            match probe state ~release job with
+            | Some (_, duration, start) -> Some (start +. duration, state, migrated, release)
+            | None -> None)
+          candidates
+      in
+      match List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) scored with
+      | [] -> None
+      | (_, state, migrated, release) :: _ -> try_commit state ~migrated ~release
+    in
+    let result =
+      match policy with
+      | Independent -> try_commit (state_of home) ~migrated:false ~release:job.release
+      | Centralized ->
+        let candidates =
+          List.map
+            (fun state ->
+              let dst = state.cluster.P.id in
+              let delay = delay_for ~data_mb grid ~src:(state_of home).cluster.P.id ~dst in
+              (state, dst <> (state_of home).cluster.P.id, job.release +. delay))
+            states
+        in
+        commit_best candidates
+      | Exchange { threshold } ->
+        let avg =
+          List.fold_left (fun acc s -> acc +. s.backlog) 0.0 states /. float_of_int n_clusters
+        in
+        let home_state = state_of home in
+        if home_state.backlog <= (threshold *. avg) +. 1e-9 then
+          try_commit home_state ~migrated:false ~release:job.release
+        else begin
+          (* Overloaded: offer the job to the least-loaded cluster. *)
+          let target =
+            List.fold_left (fun best s -> if s.backlog < best.backlog then s else best)
+              home_state states
+          in
+          if target.cluster.P.id = home_state.cluster.P.id then
+            try_commit home_state ~migrated:false ~release:job.release
+          else begin
+            let delay =
+              delay_for ~data_mb grid ~src:home_state.cluster.P.id ~dst:target.cluster.P.id
+            in
+            match try_commit target ~migrated:true ~release:(job.release +. delay) with
+            | Some p -> Some p
+            | None -> try_commit home_state ~migrated:false ~release:job.release
+          end
+        end
+    in
+    match result with
+    | Some p -> p
+    | None ->
+      (* Home cluster cannot host it: fall back to any cluster that can. *)
+      let candidates = List.map (fun s -> (s, true, job.release)) states in
+      (match commit_best candidates with
+      | Some p -> p
+      | None ->
+        invalid_arg (Printf.sprintf "Multi_cluster.simulate: job %d fits no cluster" job.id))
+  in
+  let placements = List.map place by_release in
+  let per_cluster =
+    List.map (fun s -> (s.cluster, Schedule.make ~m:s.capacity (List.rev s.entries))) states
+  in
+  let completions = Hashtbl.create 64 in
+  List.iter
+    (fun p -> Hashtbl.replace completions p.entry.Schedule.job_id (Schedule.completion p.entry))
+    placements;
+  let completion id = Hashtbl.find_opt completions id in
+  let makespan =
+    List.fold_left (fun acc p -> Float.max acc (Schedule.completion p.entry)) 0.0 placements
+  in
+  let flows =
+    List.map (fun p -> Schedule.completion p.entry -. p.job.Job.release) placements
+  in
+  {
+    placements;
+    per_cluster;
+    migrations = !migrations;
+    makespan;
+    mean_flow = Psched_util.Stats.mean flows;
+    fairness = Fairness.index ~jobs ~completion;
+  }

@@ -1,0 +1,48 @@
+(** Linking several clusters together (§5.2): job placement across a
+    light grid under the three regimes the paper discusses.
+
+    - [Independent]: each community's jobs run on its home cluster
+      only (the pre-grid status quo).
+    - [Centralized]: one global server places every job on the cluster
+      giving it the earliest completion, paying a migration delay on
+      foreign clusters.
+    - [Exchange]: decentralized — jobs are submitted home, but a
+      cluster whose backlog exceeds the grid average by [threshold]
+      hands the job to the currently least-loaded cluster (paying the
+      same migration delay): the work-exchange protocol sketched in
+      the paper.
+
+    Placement uses clairvoyant conservative backfilling per cluster
+    (earliest-fit on an availability profile, durations scaled by
+    cluster speed).  Communities are mapped to home clusters by index
+    modulo the cluster count. *)
+
+open Psched_workload
+
+type policy = Independent | Centralized | Exchange of { threshold : float }
+
+type placement = {
+  job : Job.t;
+  cluster : int;
+  migrated : bool;
+  entry : Psched_sim.Schedule.entry;
+}
+
+type outcome = {
+  placements : placement list;
+  per_cluster : (Psched_platform.Platform.cluster * Psched_sim.Schedule.t) list;
+  migrations : int;
+  makespan : float;
+  mean_flow : float;
+  fairness : float;  (** Jain index over per-community service, see {!Fairness} *)
+}
+
+val migration_delay : Psched_platform.Platform.t -> Job.t -> src:int -> dst:int -> float
+(** Delay added to a job's effective release when it leaves its home
+    cluster: a fixed per-job data volume over the slower of the two
+    grid links, plus latency.  Zero when [src = dst]. *)
+
+val simulate :
+  ?data_mb:float -> policy -> grid:Psched_platform.Platform.t -> jobs:Job.t list -> outcome
+(** [data_mb] (default 100) is the input volume migrated with a job.
+    @raise Invalid_argument if a job fits on no cluster. *)

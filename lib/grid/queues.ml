@@ -1,0 +1,50 @@
+open Psched_workload
+
+type queue = { name : string; priority : int; jobs : Job.t list }
+
+let queue ~name ~priority jobs =
+  if priority <= 0 then invalid_arg "Queues.queue: priority must be positive";
+  { name; priority; jobs }
+
+type discipline = Strict | Weighted_fair
+
+let fcfs jobs =
+  List.sort (fun (a : Job.t) (b : Job.t) -> compare (a.release, a.id) (b.release, b.id)) jobs
+
+let dispatch_order discipline queues =
+  match discipline with
+  | Strict ->
+    List.sort (fun a b -> compare b.priority a.priority) queues
+    |> List.concat_map (fun q -> fcfs q.jobs)
+  | Weighted_fair ->
+    (* Deficit round-robin on job counts: queue of priority p emits up
+       to p jobs per round. *)
+    let state = ref (List.map (fun q -> (q, fcfs q.jobs)) queues) in
+    let out = ref [] in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      state :=
+        List.map
+          (fun (q, remaining) ->
+            let rec take n rem =
+              if n = 0 then rem
+              else
+                match rem with
+                | [] -> []
+                | j :: rest ->
+                  out := j :: !out;
+                  progress := true;
+                  take (n - 1) rest
+            in
+            (q, take q.priority remaining))
+          !state
+    done;
+    List.rev !out
+
+let schedule ?(discipline = Weighted_fair) ~m queues =
+  let order = dispatch_order discipline queues in
+  let allocated = List.map Psched_core.Packing.allocate_rigid order in
+  (* Keep the dispatch order: the packer must not re-sort. *)
+  let entries = Psched_core.Packing.place ~m allocated in
+  Psched_sim.Schedule.make ~m entries

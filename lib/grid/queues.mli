@@ -1,0 +1,40 @@
+(** Submission queues (§1.2: "The submissions of jobs is done by some
+    specific nodes by the way of several priority files.  No other
+    submission is allowed.").
+
+    A cluster front-end holds several named queues, each with a
+    priority weight.  Jobs are pulled into a single dispatch order by
+    one of two disciplines:
+
+    - {e strict}: higher-priority queues drain first (FCFS inside a
+      queue) — simple, but starves low-priority work under load;
+    - {e weighted fair} (lottery-free deficit round-robin on job
+      counts): queues are interleaved proportionally to their weights,
+      so every queue makes progress.
+
+    The resulting order feeds any rigid scheduler
+    ({!Psched_core.Packing.list_schedule}, backfilling, ...). *)
+
+open Psched_workload
+
+type queue = { name : string; priority : int; jobs : Job.t list }
+
+val queue : name:string -> priority:int -> Job.t list -> queue
+(** @raise Invalid_argument on non-positive priority. *)
+
+type discipline = Strict | Weighted_fair
+
+val dispatch_order : discipline -> queue list -> Job.t list
+(** Merge the queues into one submission order.  Inside a queue, FCFS
+    (release then id).  [Strict]: by decreasing priority.
+    [Weighted_fair]: round-robin, a queue of priority p takes p jobs
+    per round. *)
+
+val schedule :
+  ?discipline:discipline ->
+  m:int ->
+  queue list ->
+  Psched_sim.Schedule.t
+(** Dispatch then place with the conservative (earliest-fit) packer,
+    allocating rigid views of the jobs.  Default discipline:
+    [Weighted_fair]. *)

@@ -1,0 +1,36 @@
+(** Resource versatility (§1.1: "versatility of the system components
+    (some nodes can appear or disappear ...)").
+
+    Nodes disappear during {e outages} and reappear afterwards; a
+    running job hit by a capacity drop is killed and resubmitted
+    (restarting from scratch — the checkpoint-free worst case).  The
+    dispatcher is greedy FCFS over the surviving capacity.
+
+    Outages are modelled exactly like reservations (a window stealing
+    processors), so the produced schedule is checked with the standard
+    validator against the outage windows. *)
+
+type outage = { start : float; duration : float; procs : int }
+
+val outages_as_reservations : outage list -> Psched_platform.Reservation.t list
+
+val poisson_outages :
+  Psched_util.Rng.t ->
+  horizon:float ->
+  rate:float ->
+  mean_duration:float ->
+  max_procs:int ->
+  outage list
+(** Poisson outage arrivals; exponential durations; uniform widths in
+    [\[1, max_procs\]]. *)
+
+type outcome = {
+  schedule : Psched_sim.Schedule.t;  (** successful (final) runs only *)
+  restarts : int;  (** kill events *)
+  wasted_work : float;  (** processor-seconds destroyed by kills *)
+  makespan : float;
+}
+
+val simulate : m:int -> outages:outage list -> Psched_core.Packing.allocated list -> outcome
+(** @raise Invalid_argument if a job is wider than [m], or an outage
+    wider than [m] (the whole cluster may vanish: procs = m). *)

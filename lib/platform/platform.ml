@@ -1,0 +1,80 @@
+type network = Ethernet100 | GigaEthernet | Myrinet | CustomNet of string
+
+type cluster = {
+  id : int;
+  name : string;
+  nodes : int;
+  cores_per_node : int;
+  speed : float;
+  network : network;
+  link_bandwidth : float;
+}
+
+type t = { name : string; clusters : cluster list }
+
+let cluster ?(name = "") ?(cores_per_node = 1) ?(speed = 1.0) ?(network = Ethernet100)
+    ?(link_bandwidth = 12.5) ~id ~nodes () =
+  let name = if name = "" then Printf.sprintf "cluster-%d" id else name in
+  { id; name; nodes; cores_per_node; speed; network; link_bandwidth }
+
+let processors c = c.nodes * c.cores_per_node
+let total_processors t = List.fold_left (fun acc c -> acc + processors c) 0 t.clusters
+
+let network_latency = function
+  | Ethernet100 -> 1e-4
+  | GigaEthernet -> 5e-5
+  | Myrinet -> 7e-6
+  | CustomNet _ -> 1e-4
+
+let network_bandwidth = function
+  | Ethernet100 -> 12.5
+  | GigaEthernet -> 125.0
+  | Myrinet -> 250.0
+  | CustomNet _ -> 12.5
+
+let single_cluster ?(speed = 1.0) m =
+  { name = "single"; clusters = [ cluster ~id:0 ~nodes:m ~speed () ] }
+
+let fig2_platform = single_cluster 100
+
+let ciment =
+  {
+    name = "CIMENT";
+    clusters =
+      [
+        cluster ~id:0 ~name:"icluster2 (bi-Itanium 2)" ~nodes:104 ~cores_per_node:2 ~speed:1.6
+          ~network:Myrinet ~link_bandwidth:125.0 ();
+        cluster ~id:1 ~name:"bi-P4 Xeon" ~nodes:48 ~cores_per_node:2 ~speed:1.2
+          ~network:GigaEthernet ~link_bandwidth:125.0 ();
+        cluster ~id:2 ~name:"bi-Athlon A" ~nodes:40 ~cores_per_node:2 ~speed:1.0
+          ~network:Ethernet100 ~link_bandwidth:12.5 ();
+        cluster ~id:3 ~name:"bi-Athlon B" ~nodes:24 ~cores_per_node:2 ~speed:1.0
+          ~network:Ethernet100 ~link_bandwidth:12.5 ();
+      ];
+  }
+
+let light_grid_example =
+  {
+    name = "light-grid";
+    clusters =
+      [
+        cluster ~id:0 ~name:"site-A" ~nodes:64 ~speed:1.0 ~network:GigaEthernet ();
+        cluster ~id:1 ~name:"site-B" ~nodes:32 ~speed:1.3 ~network:Myrinet ();
+        cluster ~id:2 ~name:"site-C" ~nodes:48 ~speed:0.9 ();
+        cluster ~id:3 ~name:"site-D" ~nodes:16 ~speed:1.1 ();
+      ];
+  }
+
+let pp_network ppf = function
+  | Ethernet100 -> Format.pp_print_string ppf "Eth 100"
+  | GigaEthernet -> Format.pp_print_string ppf "Giga Eth"
+  | Myrinet -> Format.pp_print_string ppf "Myrinet"
+  | CustomNet s -> Format.pp_print_string ppf s
+
+let pp_cluster ppf (c : cluster) =
+  Format.fprintf ppf "%s: %d x %d procs, speed %.2f, %a" c.name c.nodes c.cores_per_node c.speed
+    pp_network c.network
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>grid %s (%d processors)@,%a@]" t.name (total_processors t)
+    (Format.pp_print_list pp_cluster) t.clusters

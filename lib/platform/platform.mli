@@ -1,0 +1,66 @@
+(** Execution platform model (§1.2 of the paper).
+
+    A {e light grid} is a small collection of clusters in one
+    geographical area.  Clusters are weakly heterogeneous inside
+    (same OS, slightly different clock speeds) and strongly
+    heterogeneous between each other (different processor families,
+    counts and interconnects).  *)
+
+type network = Ethernet100 | GigaEthernet | Myrinet | CustomNet of string
+(** Interconnect family of a cluster; used by the DLT layer to derive
+    link parameters and reported in platform listings. *)
+
+type cluster = {
+  id : int;
+  name : string;
+  nodes : int;  (** number of nodes *)
+  cores_per_node : int;  (** SMP width; bi-processor nodes have 2 *)
+  speed : float;  (** relative computing speed of one processor, 1.0 = reference *)
+  network : network;
+  link_bandwidth : float;  (** MB/s towards the grid backbone, for DLT *)
+}
+
+type t = { name : string; clusters : cluster list }
+(** A light grid. *)
+
+val cluster :
+  ?name:string ->
+  ?cores_per_node:int ->
+  ?speed:float ->
+  ?network:network ->
+  ?link_bandwidth:float ->
+  id:int ->
+  nodes:int ->
+  unit ->
+  cluster
+(** Cluster constructor with sensible defaults (1 core/node, speed 1.0,
+    100 Mb Ethernet, 12.5 MB/s). *)
+
+val processors : cluster -> int
+(** Total processors of a cluster ([nodes * cores_per_node]). *)
+
+val total_processors : t -> int
+
+val network_latency : network -> float
+(** One-way latency in seconds, representative per family. *)
+
+val network_bandwidth : network -> float
+(** Intra-cluster bandwidth in MB/s, representative per family. *)
+
+val single_cluster : ?speed:float -> int -> t
+(** [single_cluster m] is a degenerate grid with one [m]-processor
+    cluster — the single-cluster setting of §4 and of Figure 2. *)
+
+val fig2_platform : t
+(** The 100-machine cluster used for the Figure 2 simulation. *)
+
+val ciment : t
+(** The 4 largest clusters of the CIMENT project (Figure 3):
+    104 bi-Itanium2 on Myrinet, 48 bi-P4 Xeon on Gigabit Ethernet,
+    40 bi-Athlon and 24 bi-Athlon on 100 Mb Ethernet. *)
+
+val light_grid_example : t
+(** A generic 4-cluster light grid matching the sketch of Figure 1. *)
+
+val pp_cluster : Format.formatter -> cluster -> unit
+val pp : Format.formatter -> t -> unit

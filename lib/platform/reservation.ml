@@ -1,0 +1,19 @@
+type t = { id : int; start : float; duration : float; procs : int }
+
+let make ~id ~start ~duration ~procs =
+  if duration <= 0.0 then invalid_arg "Reservation.make: duration must be positive";
+  if procs <= 0 then invalid_arg "Reservation.make: procs must be positive";
+  if start < 0.0 then invalid_arg "Reservation.make: start must be non-negative";
+  { id; start; duration; procs }
+
+let finish r = r.start +. r.duration
+let overlaps a b = a.start < finish b && b.start < finish a
+let active_at r t = r.start <= t && t < finish r
+
+let procs_reserved_at rs t =
+  List.fold_left (fun acc r -> if active_at r t then acc + r.procs else acc) 0 rs
+
+let feasible ~m rs = List.for_all (fun r -> procs_reserved_at rs r.start <= m) rs
+
+let pp ppf r =
+  Format.fprintf ppf "resa#%d [%g, %g) x%d procs" r.id r.start (finish r) r.procs

@@ -1,0 +1,27 @@
+(** Advance reservations (§5.1).
+
+    A reservation pins [procs] processors of a cluster during
+    [\[start, start + duration)]; the scheduler must treat them as
+    unavailable.  Reservations are the paper's mechanism for
+    demonstrations and cross-site experiments. *)
+
+type t = { id : int; start : float; duration : float; procs : int }
+
+val make : id:int -> start:float -> duration:float -> procs:int -> t
+(** @raise Invalid_argument on non-positive duration/procs or negative start. *)
+
+val finish : t -> float
+val overlaps : t -> t -> bool
+
+val active_at : t -> float -> bool
+(** Reservation holds processors at instant [t] (half-open interval). *)
+
+val procs_reserved_at : t list -> float -> int
+(** Total processors reserved at instant [t]. *)
+
+val feasible : m:int -> t list -> bool
+(** No instant requires more than [m] processors.  Checked at the
+    breakpoints (reservation starts), which is sufficient for step
+    functions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+open Psched_util
+
+type event = { date : float; seq : int; action : unit -> unit }
+
+type t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+
+let compare_event a b =
+  let c = compare a.date b.date in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(now = 0.0) () = { clock = now; next_seq = 0; queue = Heap.create ~cmp:compare_event }
+let now t = t.clock
+
+let at t date action =
+  if date < t.clock then invalid_arg "Engine.at: date in the past";
+  Heap.add t.queue { date; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let after t delay action =
+  if delay < 0.0 then invalid_arg "Engine.after: negative delay";
+  at t (t.clock +. delay) action
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.date;
+    ev.action ();
+    true
+
+let run ?until t =
+  let continue () =
+    match Heap.min t.queue, until with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some ev, Some limit -> ev.date <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with Some limit when limit > t.clock && Heap.is_empty t.queue -> () | _ -> ()

@@ -1,0 +1,29 @@
+(** Discrete-event simulation engine.
+
+    A minimal callback-driven engine: callbacks are scheduled at
+    absolute dates and executed in date order (FIFO among equal dates).
+    Callbacks may schedule further events, including at the current
+    date.  Time never goes backwards. *)
+
+type t
+
+val create : ?now:float -> unit -> t
+val now : t -> float
+
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute date.
+    @raise Invalid_argument if the date is in the past. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback [delay] seconds from now (delay >= 0). *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in order until the queue is empty or the next event
+    is strictly later than [until].  The clock ends at the date of the
+    last executed event (or [until] if given and reached). *)
+
+val step : t -> bool
+(** Execute the single next event; [false] if the queue was empty. *)

@@ -1,0 +1,53 @@
+type event = Started of Schedule.entry | Completed of Schedule.entry
+
+let pp_event ppf = function
+  | Started e -> Format.fprintf ppf "start job#%d x%d" e.Schedule.job_id e.Schedule.procs
+  | Completed e -> Format.fprintf ppf "end job#%d" e.Schedule.job_id
+
+let run ?(on_event = fun _ _ -> ()) ?until (sched : Schedule.t) =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let in_use = ref 0 in
+  let emit ev =
+    let now = Engine.now engine in
+    (match ev with
+    | Started e ->
+      in_use := !in_use + e.Schedule.procs;
+      if !in_use > sched.Schedule.m then
+        failwith
+          (Printf.sprintf "Executor.run: %d processors in use at t=%g on a %d-cluster" !in_use
+             now sched.Schedule.m)
+    | Completed e -> in_use := !in_use - e.Schedule.procs);
+    log := (now, ev) :: !log;
+    on_event now ev
+  in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      (* Completions are scheduled before starts at equal dates (FIFO
+         among equal dates follows insertion order), so back-to-back
+         placements hand processors over correctly. *)
+      Engine.at engine (Schedule.completion e) (fun () -> emit (Completed e)))
+    sched.Schedule.entries;
+  List.iter
+    (fun (e : Schedule.entry) -> Engine.at engine e.Schedule.start (fun () -> emit (Started e)))
+    sched.Schedule.entries;
+  Engine.run ?until engine;
+  List.rev !log
+
+let utilisation_trace sched =
+  let trace = ref [] in
+  let usage = ref 0 in
+  let record now delta =
+    usage := !usage + delta;
+    match !trace with
+    | (t, _) :: rest when t = now -> trace := (now, !usage) :: rest
+    | _ -> trace := (now, !usage) :: !trace
+  in
+  ignore
+    (run
+       ~on_event:(fun now ev ->
+         match ev with
+         | Started e -> record now e.Schedule.procs
+         | Completed e -> record now (-e.Schedule.procs))
+       sched);
+  List.rev !trace

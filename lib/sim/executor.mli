@@ -1,0 +1,25 @@
+(** Replay a planned schedule on the discrete-event engine.
+
+    Bridges planning and execution: each placement becomes a start and
+    a completion event; hooks observe the execution (logging,
+    middleware simulation, live metrics).  The executor re-checks
+    capacity as it runs, so a corrupt plan fails loudly at simulated
+    time rather than producing a silent overload. *)
+
+type event = Started of Schedule.entry | Completed of Schedule.entry
+
+val pp_event : Format.formatter -> event -> unit
+
+val run :
+  ?on_event:(float -> event -> unit) ->
+  ?until:float ->
+  Schedule.t ->
+  (float * event) list
+(** Execute the schedule; returns the chronological event log (also
+    fed to [on_event] as the clock advances).  [until] truncates the
+    replay.
+    @raise Failure if the plan overloads the cluster at some event. *)
+
+val utilisation_trace : Schedule.t -> (float * int) list
+(** Processors in use as a step function of time (breakpoints at
+    every start/completion), derived by replay. *)

@@ -1,0 +1,54 @@
+let float_str v = Printf.sprintf "%.17g" v
+
+let schedule_csv (s : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "job_id,start,duration,procs,cluster\n";
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%d,%d\n" e.Schedule.job_id (float_str e.Schedule.start)
+           (float_str e.Schedule.duration) e.Schedule.procs e.Schedule.cluster))
+    (Schedule.sort_by_start s).Schedule.entries;
+  Buffer.contents buf
+
+let schedule_json (s : Schedule.t) =
+  let entry (e : Schedule.entry) =
+    Printf.sprintf {|{"job":%d,"start":%s,"duration":%s,"procs":%d,"cluster":%d}|}
+      e.Schedule.job_id (float_str e.Schedule.start) (float_str e.Schedule.duration)
+      e.Schedule.procs e.Schedule.cluster
+  in
+  Printf.sprintf {|{"m":%d,"entries":[%s]}|} s.Schedule.m
+    (String.concat "," (List.map entry (Schedule.sort_by_start s).Schedule.entries))
+
+let metrics_csv runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "name,makespan,sum_completion,sum_weighted_completion,mean_flow,max_flow,mean_stretch,\
+     max_stretch,tardy_count,sum_tardiness,max_tardiness,utilisation,throughput\n";
+  List.iter
+    (fun (name, (m : Metrics.t)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%s,%d,%s,%s,%s,%s\n" name
+           (float_str m.Metrics.makespan) (float_str m.Metrics.sum_completion)
+           (float_str m.Metrics.sum_weighted_completion) (float_str m.Metrics.mean_flow)
+           (float_str m.Metrics.max_flow) (float_str m.Metrics.mean_stretch)
+           (float_str m.Metrics.max_stretch) m.Metrics.tardy_count
+           (float_str m.Metrics.sum_tardiness) (float_str m.Metrics.max_tardiness)
+           (float_str m.Metrics.utilisation) (float_str m.Metrics.throughput)))
+    runs;
+  Buffer.contents buf
+
+let series_csv ~header rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map float_str row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let save path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

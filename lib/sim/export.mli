@@ -1,0 +1,20 @@
+(** Schedule and metric export for external tooling (gnuplot,
+    spreadsheets, the paper's original plots were gnuplot). *)
+
+val schedule_csv : Schedule.t -> string
+(** One line per placement: [job_id,start,duration,procs,cluster],
+    with a header line. *)
+
+val schedule_json : Schedule.t -> string
+(** Compact JSON: {m, entries: [{job, start, duration, procs,
+    cluster}]}.  Hand-rolled (no JSON dependency); floats printed with
+    full round-trip precision. *)
+
+val metrics_csv : (string * Metrics.t) list -> string
+(** One line per named run, all §3 criteria as columns. *)
+
+val series_csv : header:string list -> (float list) list -> string
+(** Generic numeric table (e.g. the Figure 2 points) as CSV. *)
+
+val save : string -> string -> unit
+(** [save path content]: write a file (for CLI export commands). *)

@@ -1,0 +1,51 @@
+let label_of_job id =
+  let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  alphabet.[id mod String.length alphabet]
+
+let render ?(width = 72) ?(max_rows = 32) sched =
+  let open Schedule in
+  let span = makespan sched in
+  if span <= 0.0 || sched.entries = [] then "(empty schedule)\n"
+  else begin
+    let rows = min max_rows sched.m in
+    let grid = Array.make_matrix rows width '.' in
+    (* Row occupancy expressed in columns: free.(r).(c) = true. *)
+    let free = Array.make_matrix rows width true in
+    let col_of t =
+      min (width - 1) (int_of_float (Float.floor (t /. span *. float_of_int width)))
+    in
+    let draw (e : entry) =
+      let c0 = col_of e.start in
+      let c1 = max c0 (col_of (completion e -. (1e-9 *. span))) in
+      (* How many of the visible rows this job occupies, proportional to
+         its share of the machine. *)
+      let nrows =
+        max 1 (int_of_float (Float.round (float_of_int (e.procs * rows) /. float_of_int sched.m)))
+      in
+      let mark = label_of_job e.job_id in
+      let remaining = ref nrows in
+      for r = 0 to rows - 1 do
+        if !remaining > 0 then begin
+          let row_free = ref true in
+          for c = c0 to c1 do
+            if not free.(r).(c) then row_free := false
+          done;
+          if !row_free then begin
+            for c = c0 to c1 do
+              grid.(r).(c) <- mark;
+              free.(r).(c) <- false
+            done;
+            decr remaining
+          end
+        end
+      done
+    in
+    List.iter draw (sort_by_start sched).entries;
+    let buf = Buffer.create (rows * (width + 8)) in
+    for r = 0 to rows - 1 do
+      Buffer.add_string buf (Printf.sprintf "p%-3d |%s|\n" r (String.init width (fun c -> grid.(r).(c))))
+    done;
+    Buffer.add_string buf (Printf.sprintf "     +%s+\n" (String.make width '-'));
+    Buffer.add_string buf (Printf.sprintf "      0%*s\n" (width - 1) (Printf.sprintf "%.4g" span));
+    Buffer.contents buf
+  end

@@ -1,0 +1,15 @@
+(** ASCII Gantt charts.
+
+    Renders a schedule as rows of processors against time, one
+    character column per time step.  Since schedules do not pin jobs to
+    processor identities, the renderer assigns rows greedily (first
+    free row block), which always succeeds within capacity for
+    visualisation purposes; if a job cannot be drawn contiguously it is
+    split across free rows. *)
+
+val render : ?width:int -> ?max_rows:int -> Schedule.t -> string
+(** [render sched] draws at most [max_rows] processor rows (default 32,
+    capped at the cluster size) over [width] columns (default 72).
+    Jobs are labelled with the last character of their id (digits
+    cycle); idle space is ['.'].  Returns a printable multi-line
+    string ending in a time axis. *)

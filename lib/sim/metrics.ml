@@ -1,0 +1,68 @@
+open Psched_workload
+
+type t = {
+  makespan : float;
+  sum_completion : float;
+  sum_weighted_completion : float;
+  mean_flow : float;
+  max_flow : float;
+  mean_stretch : float;
+  max_stretch : float;
+  tardy_count : int;
+  sum_tardiness : float;
+  max_tardiness : float;
+  utilisation : float;
+  throughput : float;
+}
+
+let compute ~jobs sched =
+  let completions =
+    List.filter_map
+      (fun (j : Job.t) ->
+        match Schedule.completion_of sched j.id with
+        | c -> Some (j, c)
+        | exception Not_found -> None)
+      jobs
+  in
+  let n = List.length completions in
+  let nf = float_of_int n in
+  let fold f init = List.fold_left f init completions in
+  let makespan = fold (fun acc (_, c) -> Float.max acc c) 0.0 in
+  let sum_completion = fold (fun acc (_, c) -> acc +. c) 0.0 in
+  let sum_weighted_completion = fold (fun acc (j, c) -> acc +. (j.Job.weight *. c)) 0.0 in
+  let flows = List.map (fun ((j : Job.t), c) -> c -. j.release) completions in
+  let stretches =
+    List.map (fun ((j : Job.t), c) -> (c -. j.release) /. Float.max (Job.min_time j) 1e-12)
+      completions
+  in
+  let tardiness =
+    List.filter_map
+      (fun ((j : Job.t), c) ->
+        match j.due with Some d -> Some (Float.max 0.0 (c -. d)) | None -> None)
+      completions
+  in
+  {
+    makespan;
+    sum_completion;
+    sum_weighted_completion;
+    mean_flow = (if n = 0 then 0.0 else Psched_util.Stats.sum flows /. nf);
+    max_flow = Psched_util.Stats.max_l flows;
+    mean_stretch = (if n = 0 then 0.0 else Psched_util.Stats.sum stretches /. nf);
+    max_stretch = Psched_util.Stats.max_l stretches;
+    tardy_count = List.length (List.filter (fun t -> t > 0.0) tardiness);
+    sum_tardiness = Psched_util.Stats.sum tardiness;
+    max_tardiness = Psched_util.Stats.max_l tardiness;
+    utilisation = Schedule.utilisation sched;
+    throughput = (if makespan <= 0.0 then 0.0 else nf /. makespan);
+  }
+
+let makespan_ratio ~lower_bound sched =
+  let c = Schedule.makespan sched in
+  if lower_bound > 0.0 then c /. lower_bound else if c = 0.0 then 1.0 else infinity
+
+let pp ppf t =
+  Format.fprintf ppf
+    "Cmax=%.4g sumC=%.4g sumWC=%.4g flow(mean/max)=%.4g/%.4g stretch(mean/max)=%.4g/%.4g \
+     tardy=%d util=%.3f thpt=%.4g"
+    t.makespan t.sum_completion t.sum_weighted_completion t.mean_flow t.max_flow t.mean_stretch
+    t.max_stretch t.tardy_count t.utilisation t.throughput

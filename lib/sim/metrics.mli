@@ -1,0 +1,27 @@
+(** Optimisation criteria of §3 of the paper, computed on a schedule.
+
+    All functions take the job set (for weights, release dates and due
+    dates) and the schedule.  Jobs absent from the schedule are
+    ignored; use {!Validate} first when completeness matters. *)
+
+type t = {
+  makespan : float;  (** Cmax = max completion *)
+  sum_completion : float;  (** sum of C_i *)
+  sum_weighted_completion : float;  (** sum of w_i C_i *)
+  mean_flow : float;  (** mean of C_i - r_i (the paper's "mean stretch") *)
+  max_flow : float;  (** max of C_i - r_i (the paper's "maximum stretch") *)
+  mean_stretch : float;  (** mean of (C_i - r_i) / p_i^seq, the normalised variant *)
+  max_stretch : float;
+  tardy_count : int;  (** number of late jobs (those with due dates) *)
+  sum_tardiness : float;
+  max_tardiness : float;
+  utilisation : float;
+  throughput : float;  (** jobs completed per unit time over the span *)
+}
+
+val compute : jobs:Psched_workload.Job.t list -> Schedule.t -> t
+
+val makespan_ratio : lower_bound:float -> Schedule.t -> float
+(** Cmax / LB; infinity when LB = 0 and Cmax > 0, 1 when both are 0. *)
+
+val pp : Format.formatter -> t -> unit

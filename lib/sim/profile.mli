@@ -1,0 +1,54 @@
+(** Availability profile: free processors of a cluster as a step
+    function of time.
+
+    This is the planning structure behind every list/backfilling
+    scheduler in the library: it answers "when is the earliest date at
+    which [k] processors are simultaneously free for [d] seconds?" and
+    records placements.  The function is piecewise constant with
+    finitely many breakpoints and extends with its last value to
+    +infinity. *)
+
+type t
+
+val create : int -> t
+(** [create m]: [m] processors free from time 0 on. *)
+
+val capacity : t -> int
+
+val free_at : t -> float -> int
+(** Free processors at instant [t] (intervals are half-open [\[s, e)]). *)
+
+val find_start : t -> earliest:float -> duration:float -> procs:int -> float
+(** Earliest start [s >= earliest] such that at least [procs]
+    processors are free during the whole of [\[s, s + duration)].
+    Always exists since the profile is eventually constant with at
+    least the final free count; @raise Not_found if even the final
+    plateau has fewer than [procs] free. *)
+
+val reserve : t -> start:float -> duration:float -> procs:int -> unit
+(** Subtract [procs] from the window.
+    @raise Invalid_argument if it would drive availability negative. *)
+
+val release : t -> start:float -> duration:float -> procs:int -> unit
+(** Add [procs] back on the window (used to undo placements and to
+    model reservation expiry).  Availability may not exceed capacity.
+    @raise Invalid_argument on overflow. *)
+
+val release_window : t -> start:float -> stop:float -> procs:int -> unit
+(** Like {!release} but with an exact right endpoint: use this to give
+    back the tail of an earlier reservation, where recomputing the
+    endpoint as [start + duration] could overshoot it by one ulp. *)
+
+val place : t -> earliest:float -> duration:float -> procs:int -> float
+(** [find_start] then [reserve]; returns the start date. *)
+
+val breakpoints : t -> (float * int) list
+(** The step function as (date, free-from-that-date) pairs, strictly
+    increasing dates, first at 0. *)
+
+val holes : t -> until:float -> (float * float * int) list
+(** Maximal constant segments [(start, stop, free)] with [free > 0]
+    before [until] — the Gantt-chart holes the best-effort layer fills. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type entry = { job_id : int; start : float; duration : float; procs : int; cluster : int }
+type t = { m : int; entries : entry list }
+
+let make ~m entries = { m; entries }
+
+let entry ?(cluster = 0) ?(speed = 1.0) ~job ~start ~procs () =
+  if speed <= 0.0 then invalid_arg "Schedule.entry: speed must be positive";
+  let duration = Psched_workload.Job.time_on job procs /. speed in
+  if not (Float.is_finite duration) then
+    invalid_arg
+      (Printf.sprintf "Schedule.entry: job %d cannot run on %d processors"
+         job.Psched_workload.Job.id procs);
+  { job_id = job.Psched_workload.Job.id; start; duration; procs; cluster }
+
+let completion e = e.start +. e.duration
+let makespan t = List.fold_left (fun acc e -> Float.max acc (completion e)) 0.0 t.entries
+
+let completion_of t id =
+  match List.find_opt (fun e -> e.job_id = id) t.entries with
+  | Some e -> completion e
+  | None -> raise Not_found
+
+let sort_by_start t =
+  { t with entries = List.sort (fun a b -> compare (a.start, a.job_id) (b.start, b.job_id)) t.entries }
+
+let usage_at t date =
+  List.fold_left
+    (fun acc e -> if e.start <= date && date < completion e then acc + e.procs else acc)
+    0 t.entries
+
+let peak_usage t =
+  (* Usage only changes at entry starts; peak is attained at one of them. *)
+  List.fold_left (fun acc e -> max acc (usage_at t e.start)) 0 t.entries
+
+let total_work t =
+  List.fold_left (fun acc e -> acc +. (float_of_int e.procs *. e.duration)) 0.0 t.entries
+
+let utilisation t =
+  let span = makespan t in
+  if span <= 0.0 then 0.0 else total_work t /. (float_of_int t.m *. span)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "job#%d @@%g +%g x%d" e.job_id e.start e.duration e.procs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule on %d procs (Cmax=%g):@,%a@]" t.m (makespan t)
+    (Format.pp_print_list pp_entry)
+    (sort_by_start t).entries

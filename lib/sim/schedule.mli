@@ -1,0 +1,55 @@
+(** Schedules: the output of every policy in the library.
+
+    A schedule is a set of placements (job, start date, processor
+    count, cluster).  Processor identities are not tracked: on a
+    homogeneous cluster a set of placements is feasible iff at every
+    instant the sum of allocated processors stays within capacity
+    (allocations need not be contiguous), which {!Validate} checks. *)
+
+type entry = {
+  job_id : int;
+  start : float;
+  duration : float;
+  procs : int;
+  cluster : int;  (** 0 in single-cluster settings *)
+}
+
+type t = { m : int; entries : entry list }
+(** [m] is the capacity of the (single) cluster; multi-cluster
+    schedules use one [t] per cluster. *)
+
+val make : m:int -> entry list -> t
+
+val entry :
+  ?cluster:int ->
+  ?speed:float ->
+  job:Psched_workload.Job.t ->
+  start:float ->
+  procs:int ->
+  unit ->
+  entry
+(** Placement of [job] on [procs] processors at [start]; the duration
+    is the job's execution time on that allocation, divided by the
+    cluster [speed] (default 1.0).
+    @raise Invalid_argument if the allocation is infeasible for the job. *)
+
+val completion : entry -> float
+val makespan : t -> float
+
+val completion_of : t -> int -> float
+(** Completion date of a job id. @raise Not_found if absent. *)
+
+val sort_by_start : t -> t
+
+val peak_usage : t -> int
+(** Maximum number of processors used simultaneously. *)
+
+val usage_at : t -> float -> int
+
+val total_work : t -> float
+(** Sum of procs x duration over all entries. *)
+
+val utilisation : t -> float
+(** [total_work / (m * makespan)]; 0 for an empty schedule. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+open Psched_workload
+
+type violation =
+  | Missing_job of int
+  | Duplicate_job of int
+  | Unknown_job of int
+  | Bad_allocation of int
+  | Bad_duration of int
+  | Before_release of int
+  | Over_capacity of float
+
+let pp_violation ppf = function
+  | Missing_job id -> Format.fprintf ppf "job %d is not scheduled" id
+  | Duplicate_job id -> Format.fprintf ppf "job %d is scheduled more than once" id
+  | Unknown_job id -> Format.fprintf ppf "schedule contains unknown job %d" id
+  | Bad_allocation id -> Format.fprintf ppf "job %d has an infeasible allocation" id
+  | Bad_duration id -> Format.fprintf ppf "job %d has a wrong duration" id
+  | Before_release id -> Format.fprintf ppf "job %d starts before its release date" id
+  | Over_capacity date -> Format.fprintf ppf "capacity exceeded at t=%g" date
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check ?(speed = 1.0) ?(reservations = []) ~jobs sched =
+  let open Schedule in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let job_tbl = Hashtbl.create 64 in
+  List.iter (fun (j : Job.t) -> Hashtbl.replace job_tbl j.id j) jobs;
+  let seen = Hashtbl.create 64 in
+  let check_entry (e : entry) =
+    if Hashtbl.mem seen e.job_id then add (Duplicate_job e.job_id)
+    else begin
+      Hashtbl.replace seen e.job_id ();
+      match Hashtbl.find_opt job_tbl e.job_id with
+      | None -> add (Unknown_job e.job_id)
+      | Some job ->
+        if not (Job.can_run_on job e.procs) then add (Bad_allocation e.job_id)
+        else if not (close e.duration (Job.time_on job e.procs /. speed)) then
+          add (Bad_duration e.job_id)
+        else if e.start < job.release -. 1e-9 then add (Before_release e.job_id)
+    end
+  in
+  List.iter check_entry sched.entries;
+  List.iter
+    (fun (j : Job.t) -> if not (Hashtbl.mem seen j.id) then add (Missing_job j.id))
+    jobs;
+  (* Capacity: sweep over start/finish events, counting reservations as
+     extra demand.  Demand only increases at a start event, so checking
+     there suffices.  A small epsilon avoids flagging back-to-back
+     placements where one job ends exactly when the next begins. *)
+  let eps = 1e-9 in
+  let demands =
+    List.map (fun (e : entry) -> (e.start, completion e, e.procs)) sched.entries
+    @ List.map
+        (fun (r : Psched_platform.Reservation.t) ->
+          (r.start, Psched_platform.Reservation.finish r, r.procs))
+        reservations
+  in
+  let usage_at date =
+    List.fold_left
+      (fun acc (s, f, p) -> if s <= date +. eps && date +. eps < f then acc + p else acc)
+      0 demands
+  in
+  let starts = List.sort_uniq compare (List.map (fun (s, _, _) -> s) demands) in
+  List.iter (fun s -> if usage_at s > sched.m then add (Over_capacity s)) starts;
+  List.rev !violations
+
+let is_valid ?speed ?reservations ~jobs sched = check ?speed ?reservations ~jobs sched = []
+
+let check_exn ?speed ?reservations ~jobs sched =
+  match check ?speed ?reservations ~jobs sched with
+  | [] -> ()
+  | vs ->
+    let msg =
+      Format.asprintf "invalid schedule:@ %a"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_violation)
+        vs
+    in
+    failwith msg

@@ -1,0 +1,46 @@
+(** Schedule validity checker.
+
+    Every policy in the library is tested through this single oracle:
+    a schedule is valid for a job set iff
+
+    - every job is placed exactly once, on a feasible allocation, with
+      the duration implied by that allocation;
+    - no job starts before its release date;
+    - at every instant the allocated processors (plus active
+      reservations) fit within cluster capacity. *)
+
+type violation =
+  | Missing_job of int
+  | Duplicate_job of int
+  | Unknown_job of int
+  | Bad_allocation of int  (** infeasible processor count *)
+  | Bad_duration of int  (** duration does not match the allocation *)
+  | Before_release of int
+  | Over_capacity of float  (** date at which capacity is exceeded *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?speed:float ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  jobs:Psched_workload.Job.t list ->
+  Schedule.t ->
+  violation list
+(** All violations found ([] iff the schedule is valid).  [speed]
+    (default 1.0) is the cluster speed: durations are expected to be
+    the job execution time divided by it. *)
+
+val is_valid :
+  ?speed:float ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  jobs:Psched_workload.Job.t list ->
+  Schedule.t ->
+  bool
+
+val check_exn :
+  ?speed:float ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  jobs:Psched_workload.Job.t list ->
+  Schedule.t ->
+  unit
+(** @raise Failure with a readable report when invalid. *)

@@ -1,0 +1,30 @@
+(** Imperative binary min-heap, the workhorse of the event engine.
+
+    Elements are ordered by a user-supplied comparison captured at
+    creation time.  All operations are the textbook O(log n). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val min : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in arbitrary order (heap order, not sorted). *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t

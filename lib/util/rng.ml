@@ -1,0 +1,81 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tt = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) in
+  create seed
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let float t bound =
+  (* 53 high bits -> [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  let u = Int64.to_float r *. 0x1.0p-53 in
+  u *. bound
+
+let uniform t lo hi = lo +. float t (hi -. lo)
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t rate =
+  let u = float t 1.0 in
+  -.log1p (-.u) /. rate
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+let pick t arr = arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    Every simulation in the library is a pure function of an initial
+    seed: the generator is an explicit mutable state threaded by hand,
+    never a global.  The core is splitmix64 (for seeding) feeding
+    xoshiro256**, which is more than adequate for simulation workloads
+    and is reproducible across platforms (only 64-bit integer ops). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+(** Independent copy: advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator statistically
+    independent of the future of [t]; used to give each simulation
+    component its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate); mean [1/rate]. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Lognormal with parameters of the underlying normal. *)
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller, one value per call). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,55 @@
+let sum = List.fold_left ( +. ) 0.0
+let mean = function [] -> 0.0 | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let min_l = function [] -> 0.0 | x :: xs -> List.fold_left Float.min x xs
+let max_l = function [] -> 0.0 | x :: xs -> List.fold_left Float.max x xs
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end
+
+let median xs = percentile 0.5 xs
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let summarize xs =
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = min_l xs;
+    max = max_l xs;
+    p50 = median xs;
+    p95 = percentile 0.95 xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g" s.n s.mean
+    s.stddev s.min s.p50 s.p95 s.max

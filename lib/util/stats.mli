@@ -1,0 +1,30 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on fewer than two samples. *)
+
+val min_l : float list -> float
+val max_l : float list -> float
+val sum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0,1\]], linear interpolation between
+    order statistics; 0 on the empty list. *)
+
+val median : float list -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+val summarize : float list -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,58 @@
+open Psched_util
+
+type profile = {
+  jobs : int;
+  rigid : int;
+  moldable : int;
+  divisible : int;
+  multiparam : int;
+  total_min_work : float;
+  seq_time : Stats.summary;
+  parallelism : Stats.summary;
+  interarrival : Stats.summary;
+  per_community : (int * int) list;
+}
+
+let profile jobs =
+  let count p = List.length (List.filter p jobs) in
+  let releases = List.sort compare (List.map (fun (j : Job.t) -> j.release) jobs) in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  let communities = Hashtbl.create 8 in
+  List.iter
+    (fun (j : Job.t) ->
+      Hashtbl.replace communities j.community
+        (1 + Option.value ~default:0 (Hashtbl.find_opt communities j.community)))
+    jobs;
+  let parallelism (j : Job.t) =
+    let p = Job.max_procs j in
+    if p = max_int then infinity else float_of_int p
+  in
+  {
+    jobs = List.length jobs;
+    rigid = count (fun j -> match j.Job.shape with Job.Rigid _ -> true | _ -> false);
+    moldable = count (fun j -> match j.Job.shape with Job.Moldable _ -> true | _ -> false);
+    divisible = count (fun j -> match j.Job.shape with Job.Divisible _ -> true | _ -> false);
+    multiparam = count (fun j -> match j.Job.shape with Job.Multiparam _ -> true | _ -> false);
+    total_min_work = List.fold_left (fun acc j -> acc +. Job.min_work j) 0.0 jobs;
+    seq_time = Stats.summarize (List.map Job.seq_time jobs);
+    parallelism = Stats.summarize (List.filter Float.is_finite (List.map parallelism jobs));
+    interarrival = Stats.summarize (gaps releases);
+    per_community = List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) communities []);
+  }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>%d jobs (%d rigid, %d moldable, %d divisible, %d multiparam)@,\
+     total minimal work: %.4g proc.s@,\
+     sequential time: %a@,\
+     max parallelism: %a@,\
+     inter-arrival: %a@,\
+     per community: %a@]"
+    p.jobs p.rigid p.moldable p.divisible p.multiparam p.total_min_work Stats.pp_summary
+    p.seq_time Stats.pp_summary p.parallelism Stats.pp_summary p.interarrival
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (c, n) ->
+         Format.fprintf ppf "#%d:%d" c n))
+    p.per_community

@@ -1,0 +1,20 @@
+(** Workload characterisation — the numbers a scheduling study quotes
+    about its input (§5.2's observation that communities differ wildly
+    in job length and parallelism is the kind of fact this module
+    surfaces). *)
+
+type profile = {
+  jobs : int;
+  rigid : int;
+  moldable : int;
+  divisible : int;
+  multiparam : int;
+  total_min_work : float;  (** processor-seconds *)
+  seq_time : Psched_util.Stats.summary;  (** sequential-time distribution *)
+  parallelism : Psched_util.Stats.summary;  (** max useful processors *)
+  interarrival : Psched_util.Stats.summary;  (** gaps between sorted releases *)
+  per_community : (int * int) list;  (** community -> job count *)
+}
+
+val profile : Job.t list -> profile
+val pp : Format.formatter -> profile -> unit

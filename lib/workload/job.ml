@@ -1,0 +1,105 @@
+type shape =
+  | Rigid of { procs : int; time : float }
+  | Moldable of { min_procs : int; times : float array }
+  | Divisible of { work : float }
+  | Multiparam of { count : int; unit_time : float }
+
+type t = {
+  id : int;
+  shape : shape;
+  weight : float;
+  release : float;
+  due : float option;
+  community : int;
+}
+
+let validate_shape = function
+  | Rigid { procs; time } ->
+    if procs < 1 then invalid_arg "Job: rigid procs must be >= 1";
+    if time <= 0.0 then invalid_arg "Job: rigid time must be positive"
+  | Moldable { min_procs; times } ->
+    if min_procs < 1 then invalid_arg "Job: min_procs must be >= 1";
+    if Array.length times < min_procs then invalid_arg "Job: times shorter than min_procs";
+    Array.iter (fun p -> if p <= 0.0 then invalid_arg "Job: moldable times must be positive") times
+  | Divisible { work } -> if work <= 0.0 then invalid_arg "Job: divisible work must be positive"
+  | Multiparam { count; unit_time } ->
+    if count < 1 then invalid_arg "Job: multiparam count must be >= 1";
+    if unit_time <= 0.0 then invalid_arg "Job: unit_time must be positive"
+
+let make ?(weight = 1.0) ?(release = 0.0) ?due ?(community = 0) ~id shape =
+  validate_shape shape;
+  if weight <= 0.0 then invalid_arg "Job: weight must be positive";
+  if release < 0.0 then invalid_arg "Job: release must be non-negative";
+  { id; shape; weight; release; due; community }
+
+let rigid ?weight ?release ?due ?community ~id ~procs ~time () =
+  make ?weight ?release ?due ?community ~id (Rigid { procs; time })
+
+let moldable ?weight ?release ?due ?community ?(min_procs = 1) ~id ~times () =
+  make ?weight ?release ?due ?community ~id (Moldable { min_procs; times })
+
+let of_model ?weight ?release ?due ?community ~id ~model ~t1 ~max_procs () =
+  moldable ?weight ?release ?due ?community ~id ~times:(Speedup.profile model ~t1 ~max_procs) ()
+
+let min_procs t =
+  match t.shape with
+  | Rigid { procs; _ } -> procs
+  | Moldable { min_procs; _ } -> min_procs
+  | Divisible _ | Multiparam _ -> 1
+
+let max_procs t =
+  match t.shape with
+  | Rigid { procs; _ } -> procs
+  | Moldable { times; _ } -> Array.length times
+  | Divisible _ -> max_int
+  | Multiparam { count; _ } -> count
+
+let can_run_on t k = k >= min_procs t && k <= max_procs t
+
+let time_on t k =
+  if k < 1 || not (can_run_on t k) then infinity
+  else
+    match t.shape with
+    | Rigid { time; _ } -> time
+    | Moldable { times; _ } -> times.(k - 1)
+    | Divisible { work } -> work /. float_of_int k
+    | Multiparam { count; unit_time } ->
+      (* Runs are atomic: k processors execute ceil(count/k) waves. *)
+      float_of_int ((count + k - 1) / k) *. unit_time
+
+let min_time t =
+  match t.shape with
+  | Rigid { time; _ } -> time
+  | Moldable { times; _ } -> times.(Array.length times - 1)
+  | Divisible _ -> 0.0
+  | Multiparam { unit_time; _ } -> unit_time
+
+let seq_time t = time_on t (min_procs t)
+let work_on t k = float_of_int k *. time_on t k
+
+let min_work t =
+  match t.shape with
+  | Rigid { procs; time } -> float_of_int procs *. time
+  | Moldable { min_procs; times } ->
+    let best = ref infinity in
+    for k = min_procs to Array.length times do
+      let w = float_of_int k *. times.(k - 1) in
+      if w < !best then best := w
+    done;
+    !best
+  | Divisible { work } -> work
+  | Multiparam { count; unit_time } -> float_of_int count *. unit_time
+
+let completion t ~start ~procs = start +. time_on t procs
+
+let pp_shape ppf = function
+  | Rigid { procs; time } -> Format.fprintf ppf "rigid(%d procs, %g s)" procs time
+  | Moldable { min_procs; times } ->
+    Format.fprintf ppf "moldable(%d..%d procs, t1=%g, tmax=%g)" min_procs (Array.length times)
+      times.(min_procs - 1)
+      times.(Array.length times - 1)
+  | Divisible { work } -> Format.fprintf ppf "divisible(%g proc.s)" work
+  | Multiparam { count; unit_time } -> Format.fprintf ppf "multiparam(%d x %g s)" count unit_time
+
+let pp ppf t =
+  Format.fprintf ppf "job#%d %a w=%g r=%g" t.id pp_shape t.shape t.weight t.release

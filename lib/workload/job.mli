@@ -1,0 +1,106 @@
+(** Jobs, in the four flavours the paper manipulates.
+
+    - {e Rigid} parallel tasks: processor count fixed at submission
+      (§2.2); a rectangle in the Gantt chart.
+    - {e Moldable} parallel tasks: processor count chosen by the
+      scheduler before execution, then fixed (§2.2).
+    - {e Divisible} loads: arbitrarily partitionable work (§2.1).
+    - {e Multi-parametric} jobs: large bags of identical short runs
+      (§5.2), the CiGri best-effort workload; a discretised divisible
+      load.
+
+    Malleable jobs (processor count changing during execution) are
+    explicitly out of scope, as in the paper ("We will not consider
+    malleability here"). *)
+
+type shape =
+  | Rigid of { procs : int; time : float }
+  | Moldable of { min_procs : int; times : float array }
+      (** [times.(k-1)] = execution time on [k] processors, valid for
+          [min_procs <= k <= Array.length times] *)
+  | Divisible of { work : float }
+      (** total work in processor·seconds, partitionable at will *)
+  | Multiparam of { count : int; unit_time : float }
+      (** [count] independent runs of [unit_time] seconds each *)
+
+type t = {
+  id : int;
+  shape : shape;
+  weight : float;  (** priority weight for sum(w·C); 1.0 if unweighted *)
+  release : float;  (** release (submission) date *)
+  due : float option;  (** due date for tardiness criteria *)
+  community : int;  (** owning community / submitting cluster (§5.2); 0 by default *)
+}
+
+val make : ?weight:float -> ?release:float -> ?due:float -> ?community:int -> id:int -> shape -> t
+(** @raise Invalid_argument on malformed shapes (non-positive times or
+    processor counts, non-monotone validity range, negative release,
+    non-positive weight). *)
+
+val rigid :
+  ?weight:float ->
+  ?release:float ->
+  ?due:float ->
+  ?community:int ->
+  id:int ->
+  procs:int ->
+  time:float ->
+  unit ->
+  t
+
+val moldable :
+  ?weight:float ->
+  ?release:float ->
+  ?due:float ->
+  ?community:int ->
+  ?min_procs:int ->
+  id:int ->
+  times:float array ->
+  unit ->
+  t
+
+val of_model :
+  ?weight:float ->
+  ?release:float ->
+  ?due:float ->
+  ?community:int ->
+  id:int ->
+  model:Speedup.model ->
+  t1:float ->
+  max_procs:int ->
+  unit ->
+  t
+(** Moldable job tabulated from a speedup model. *)
+
+val min_procs : t -> int
+(** Smallest feasible allocation (for a divisible load: 1). *)
+
+val max_procs : t -> int
+(** Largest useful allocation ([max_int] for divisible loads, which can
+    use any number of processors). *)
+
+val can_run_on : t -> int -> bool
+
+val time_on : t -> int -> float
+(** Execution time on exactly [k] processors; [infinity] when [k] is
+    not a feasible allocation.  Divisible and multi-parametric jobs get
+    linear (resp. ceil-of-linear) semantics so PT algorithms can
+    schedule them too. *)
+
+val min_time : t -> float
+(** Fastest possible execution time (on [max_procs]). *)
+
+val seq_time : t -> float
+(** Time on the smallest feasible allocation — an upper bound on the
+    job's "length" used by lower bounds. *)
+
+val work_on : t -> int -> float
+(** k · time_on k. *)
+
+val min_work : t -> float
+(** Minimum work over feasible allocations; with work monotony this is
+    the work of the smallest allocation. *)
+
+val completion : t -> start:float -> procs:int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type model =
+  | Linear
+  | Amdahl of { seq_fraction : float }
+  | Power of { alpha : float }
+  | Comm_penalty of { overhead : float }
+  | Downey of { avg_parallelism : float; sigma : float }
+
+(* Downey's two-regime speedup S(n); see the 1997 paper, low-variance
+   branch for sigma <= 1 and high-variance branch otherwise. *)
+let downey_speedup ~a ~sigma n =
+  let n = float_of_int n in
+  if sigma <= 1.0 then begin
+    if n <= a then a *. n /. (a +. (sigma /. 2.0 *. (n -. 1.0)))
+    else if n <= 2.0 *. a -. 1.0 then
+      a *. n /. (sigma *. (a -. 0.5) +. (n *. (1.0 -. (sigma /. 2.0))))
+    else a
+  end
+  else begin
+    if n <= a +. (a *. sigma) -. sigma then
+      n *. a *. (sigma +. 1.0) /. (sigma *. (n +. a -. 1.0) +. a)
+    else a
+  end
+
+let time model ~t1 k =
+  assert (k >= 1);
+  let kf = float_of_int k in
+  match model with
+  | Linear -> t1 /. kf
+  | Amdahl { seq_fraction = f } -> t1 *. (f +. ((1.0 -. f) /. kf))
+  | Power { alpha } -> t1 /. (kf ** alpha)
+  | Comm_penalty { overhead } -> (t1 /. kf) +. (overhead *. (kf -. 1.0))
+  | Downey { avg_parallelism; sigma } -> t1 /. downey_speedup ~a:avg_parallelism ~sigma k
+
+let profile model ~t1 ~max_procs =
+  if max_procs < 1 then invalid_arg "Speedup.profile: max_procs must be >= 1";
+  let times = Array.init max_procs (fun i -> time model ~t1 (i + 1)) in
+  (* Prefix minimum: using k processors is never slower than using fewer,
+     since the extra ones can idle. *)
+  for k = 1 to max_procs - 1 do
+    if times.(k) > times.(k - 1) then times.(k) <- times.(k - 1)
+  done;
+  times
+
+let monotone_time times =
+  let ok = ref true in
+  for k = 1 to Array.length times - 1 do
+    if times.(k) > times.(k - 1) +. 1e-9 then ok := false
+  done;
+  !ok
+
+let work times k = float_of_int k *. times.(k - 1)
+
+let monotone_work times =
+  let ok = ref true in
+  for k = 2 to Array.length times do
+    if work times k < work times (k - 1) -. 1e-9 then ok := false
+  done;
+  !ok

@@ -1,0 +1,44 @@
+(** Parallel-profile models for moldable tasks.
+
+    In the PT model communications are folded into a global penalty on
+    the execution time (§4 of the paper).  A profile gives the
+    execution time of a task as a function of the number of processors;
+    the standard assumptions (required by the MRT analysis) are
+    {e time monotony} (p(k) non-increasing) and {e work monotony}
+    (k·p(k) non-decreasing). *)
+
+type model =
+  | Linear  (** ideal speedup: t(k) = t1 / k *)
+  | Amdahl of { seq_fraction : float }
+      (** t(k) = t1 · (f + (1 - f)/k); [seq_fraction] in [\[0,1\]] *)
+  | Power of { alpha : float }
+      (** t(k) = t1 / k^alpha, [alpha] in (0,1]; the "communication
+          penalty as exponent" family *)
+  | Comm_penalty of { overhead : float }
+      (** t(k) = t1/k + overhead·(k-1): explicit per-processor
+          synchronisation cost; non-monotonic for large k, so profiles
+          built from it are truncated/flattened to stay time-monotonic *)
+  | Downey of { avg_parallelism : float; sigma : float }
+      (** Downey's empirical model of parallel speedup ("A model for
+          speedup of parallel programs", 1997), the standard choice
+          for synthetic moldable workloads: speedup grows near
+          linearly up to the average parallelism A, modulated by the
+          variance parameter sigma, and saturates at A. *)
+
+val time : model -> t1:float -> int -> float
+(** Raw model evaluation on [k >= 1] processors. *)
+
+val profile : model -> t1:float -> max_procs:int -> float array
+(** [profile m ~t1 ~max_procs] tabulates the model for k = 1..max_procs
+    and enforces time monotony by prefix minimum (a scheduler may always
+    ignore surplus processors).  The result satisfies
+    [monotone_time]. *)
+
+val monotone_time : float array -> bool
+(** Times non-increasing in the number of processors. *)
+
+val monotone_work : float array -> bool
+(** Work k·t(k) non-decreasing in the number of processors. *)
+
+val work : float array -> int -> float
+(** [work times k] = k · times.(k-1). *)

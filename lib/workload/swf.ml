@@ -1,0 +1,86 @@
+let header =
+  "; SWF trace written by psched (reproduction of Dutot et al., IPDPS'04)\n\
+   ; Version: 2\n\
+   ; fields: job submit wait run alloc_procs avg_cpu mem req_procs req_time req_mem\n\
+   ;         status user group exe queue partition preceding think\n"
+
+let to_string jobs =
+  let line (j : Job.t) =
+    let procs = Job.min_procs j in
+    let time = Job.seq_time j in
+    Printf.sprintf "%d %.2f -1 %.2f %d -1 -1 %d %.2f -1 1 %d %d -1 %d -1 -1 -1 ; weight=%g"
+      j.Job.id j.Job.release time procs procs time j.Job.community j.Job.community
+      j.Job.community j.Job.weight
+  in
+  header ^ String.concat "\n" (List.map line jobs) ^ "\n"
+
+let parse_line ~lineno line =
+  let fail fmt = Printf.ksprintf (fun s -> failwith (Printf.sprintf "Swf line %d: %s" lineno s)) fmt in
+  (* Strip the comment suffix but remember a weight annotation. *)
+  let weight = ref 1.0 in
+  let body =
+    match String.index_opt line ';' with
+    | None -> line
+    | Some i ->
+      let comment = String.sub line (i + 1) (String.length line - i - 1) in
+      (try Scanf.sscanf (String.trim comment) "weight=%f" (fun w -> weight := w)
+       with Scanf.Scan_failure _ | End_of_file | Failure _ -> ());
+      String.sub line 0 i
+  in
+  let fields =
+    String.split_on_char ' ' (String.trim body)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match fields with
+  | [] -> None
+  | _ when List.length fields < 18 -> fail "expected 18 fields, got %d" (List.length fields)
+  | _ ->
+    let nth i = List.nth fields (i - 1) in
+    let float_field i =
+      match float_of_string_opt (nth i) with
+      | Some v -> v
+      | None -> fail "field %d is not a number: %S" i (nth i)
+    in
+    let int_field i =
+      match int_of_string_opt (nth i) with
+      | Some v -> v
+      | None ->
+        (* SWF allows floats in integer columns of some traces. *)
+        int_of_float (float_field i)
+    in
+    let id = int_field 1 in
+    let submit = Float.max 0.0 (float_field 2) in
+    let run = float_field 4 in
+    let run = if run <= 0.0 then float_field 9 else run in
+    let procs =
+      let req = int_field 8 in
+      if req > 0 then req else int_field 5
+    in
+    if run <= 0.0 || procs <= 0 then None (* cancelled / unusable record *)
+    else begin
+      let queue = int_field 15 in
+      let community = if queue >= 0 then queue else 0 in
+      Some
+        (Job.rigid ~weight:!weight ~release:submit ~community ~id ~procs ~time:run ())
+    end
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  List.filteri (fun _ line -> String.trim line <> "") lines
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lineno, line) ->
+         let trimmed = String.trim line in
+         if trimmed = "" || trimmed.[0] = ';' then None else parse_line ~lineno trimmed)
+
+let save path jobs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string jobs))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,31 @@
+(** Standard Workload Format (SWF) import/export.
+
+    The de-facto trace format of the Parallel Workloads Archive
+    (Feitelson), which the scheduling community uses to replay real
+    cluster logs.  Each job is one line of 18 whitespace-separated
+    fields; [-1] marks missing values.  We read the fields relevant to
+    this library (submit time, run time, processors, user estimate,
+    group/queue as community) and write rigid-job views of our
+    workloads, so traces round-trip.
+
+    Field map (1-based, per the SWF definition):
+    1 job number - 2 submit time - 3 wait time - 4 run time -
+    5 allocated processors - 6 average CPU time - 7 used memory -
+    8 requested processors - 9 requested time - 10 requested memory -
+    11 status - 12 user id - 13 group id - 14 executable -
+    15 queue - 16 partition - 17 preceding job - 18 think time. *)
+
+val to_string : Job.t list -> string
+(** Serialise jobs as SWF (header comments included).  Moldable jobs
+    are written with their minimal allocation; divisible and
+    multi-parametric jobs with their sequential view.  Weights have no
+    SWF field and are written as a [; weight=...] comment suffix that
+    {!of_string} understands. *)
+
+val of_string : string -> Job.t list
+(** Parse an SWF trace into rigid jobs (requested processors and run
+    time; submit time as release; queue as community).
+    @raise Failure on malformed lines (with the line number). *)
+
+val save : string -> Job.t list -> unit
+val load : string -> Job.t list

@@ -1,0 +1,97 @@
+open Psched_util
+
+let uniform_times rng ~n ~lo ~hi = Array.init n (fun _ -> Rng.uniform rng lo hi)
+
+let fig2_nonparallel rng ~n =
+  List.init n (fun id ->
+      let time = Rng.uniform rng 1.0 100.0 in
+      let weight = Rng.uniform rng 1.0 10.0 in
+      Job.rigid ~weight ~id ~procs:1 ~time ())
+
+let fig2_parallel rng ~n ~m =
+  List.init n (fun id ->
+      let t1 = Rng.uniform rng 1.0 100.0 in
+      let weight = Rng.uniform rng 1.0 10.0 in
+      let seq_fraction = Rng.uniform rng 0.02 0.4 in
+      let max_procs = 1 + Rng.int rng m in
+      Job.of_model ~weight ~id ~model:(Speedup.Amdahl { seq_fraction }) ~t1 ~max_procs ())
+
+let rigid_uniform rng ~n ~m ~tmin ~tmax =
+  List.init n (fun id ->
+      let procs = 1 + Rng.int rng m in
+      let time = Rng.uniform rng tmin tmax in
+      let weight = Rng.uniform rng 1.0 10.0 in
+      Job.rigid ~weight ~id ~procs ~time ())
+
+let random_model rng =
+  if Rng.bool rng then Speedup.Amdahl { seq_fraction = Rng.uniform rng 0.0 0.5 }
+  else Speedup.Power { alpha = Rng.uniform rng 0.5 1.0 }
+
+let moldable_uniform ?(weighted = true) rng ~n ~m ~tmin ~tmax =
+  List.init n (fun id ->
+      let t1 = Rng.uniform rng tmin tmax in
+      let weight = if weighted then Rng.uniform rng 1.0 10.0 else 1.0 in
+      let max_procs = 1 + Rng.int rng m in
+      Job.of_model ~weight ~id ~model:(random_model rng) ~t1 ~max_procs ())
+
+let with_poisson_arrivals rng ~rate jobs =
+  let clock = ref 0.0 in
+  let restamp job =
+    clock := !clock +. Rng.exponential rng rate;
+    { job with Job.release = !clock }
+  in
+  List.map restamp jobs
+
+let multiparam_campaign rng ~id_base ~runs ~unit_time ~community =
+  let weight = Rng.uniform rng 1.0 2.0 in
+  Job.make ~weight ~community ~id:id_base (Job.Multiparam { count = runs; unit_time })
+
+type community_profile = {
+  community : int;
+  arrival_rate : float;
+  gen : Rng.t -> id:int -> release:float -> Job.t;
+}
+
+let physicists ~community ~m:_ =
+  let gen rng ~id ~release =
+    (* Median around 8 h, heavy upper tail up to several weeks. *)
+    let time = Rng.lognormal rng ~mu:(log 28800.0) ~sigma:1.4 in
+    Job.make ~community ~release ~id (Job.Rigid { procs = 1; time })
+  in
+  { community; arrival_rate = 1.0 /. 3600.0; gen }
+
+let cs_debug ~community ~m =
+  let gen rng ~id ~release =
+    let t1 = Rng.lognormal rng ~mu:(log 120.0) ~sigma:1.0 in
+    let max_procs = 1 + Rng.int rng (min 16 m) in
+    let model = Speedup.Amdahl { seq_fraction = Rng.uniform rng 0.05 0.3 } in
+    Job.of_model ~community ~release ~id ~model ~t1 ~max_procs ()
+  in
+  { community; arrival_rate = 1.0 /. 300.0; gen }
+
+let parametric_users ~community =
+  let gen rng ~id ~release =
+    let runs = 100 + Rng.int rng 2000 in
+    let unit_time = Rng.uniform rng 10.0 120.0 in
+    Job.make ~community ~release ~id (Job.Multiparam { count = runs; unit_time })
+  in
+  { community; arrival_rate = 1.0 /. 7200.0; gen }
+
+let community_stream rng ~horizon ~profiles =
+  (* One Poisson stream per community, merged then re-numbered. *)
+  let events = ref [] in
+  let emit profile =
+    let stream_rng = Rng.split rng in
+    let clock = ref 0.0 in
+    let rec loop () =
+      clock := !clock +. Rng.exponential stream_rng profile.arrival_rate;
+      if !clock < horizon then begin
+        events := (!clock, profile) :: !events;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  List.iter emit profiles;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !events in
+  List.mapi (fun id (release, profile) -> profile.gen rng ~id ~release) sorted

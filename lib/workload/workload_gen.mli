@@ -1,0 +1,62 @@
+(** Synthetic workload generators.
+
+    The paper evaluates on unpublished workloads; these generators
+    reproduce the qualitative classes it describes: the Figure 2
+    "Parallel" and "Non Parallel" task sets, and the §5.2 community
+    mixes (long sequential physics jobs, short CS debug jobs,
+    multi-parametric campaigns).  Everything is deterministic given the
+    RNG. *)
+
+open Psched_util
+
+val uniform_times : Rng.t -> n:int -> lo:float -> hi:float -> float array
+(** [n] i.i.d. uniform durations. *)
+
+val fig2_nonparallel : Rng.t -> n:int -> Job.t list
+(** The "Non Parallel" series of Figure 2: [n] sequential (1-processor
+    rigid) tasks, durations uniform in [\[1, 100\]], weights uniform in
+    [\[1, 10\]], all released at 0. *)
+
+val fig2_parallel : Rng.t -> n:int -> m:int -> Job.t list
+(** The "Parallel" series of Figure 2: [n] moldable tasks with Amdahl
+    profiles (sequential fraction uniform in [\[0.02, 0.4\]]), sequential
+    times uniform in [\[1, 100\]], maximum useful allocation uniform in
+    [\[1, m\]], weights uniform in [\[1, 10\]], all released at 0. *)
+
+val rigid_uniform :
+  Rng.t -> n:int -> m:int -> tmin:float -> tmax:float -> Job.t list
+(** Rigid jobs with processor counts uniform in [\[1, m\]] and times
+    uniform in [\[tmin, tmax\]]. *)
+
+val moldable_uniform :
+  ?weighted:bool -> Rng.t -> n:int -> m:int -> tmin:float -> tmax:float -> Job.t list
+(** Moldable jobs with random Amdahl/Power profiles. *)
+
+val with_poisson_arrivals : Rng.t -> rate:float -> Job.t list -> Job.t list
+(** Re-stamp release dates with a Poisson process of [rate] jobs per
+    second (job order preserved). *)
+
+val multiparam_campaign :
+  Rng.t -> id_base:int -> runs:int -> unit_time:float -> community:int -> Job.t
+(** One multi-parametric job: [runs] runs of [unit_time] seconds. *)
+
+type community_profile = {
+  community : int;
+  arrival_rate : float;  (** jobs per second *)
+  gen : Rng.t -> id:int -> release:float -> Job.t;  (** job factory *)
+}
+
+val physicists : community:int -> m:int -> community_profile
+(** Long sequential jobs: lognormal durations, median ~ 8 hours. *)
+
+val cs_debug : community:int -> m:int -> community_profile
+(** Short, small parallel debug jobs: lognormal durations, median ~ 2
+    minutes, moldable up to 16 processors. *)
+
+val parametric_users : community:int -> community_profile
+(** Multi-parametric campaigns: hundreds to thousands of short runs. *)
+
+val community_stream :
+  Rng.t -> horizon:float -> profiles:community_profile list -> Job.t list
+(** Merge the communities' Poisson submission streams over
+    [\[0, horizon)], sorted by release date, ids dense from 0. *)

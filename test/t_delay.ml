@@ -1,0 +1,176 @@
+(* Tests for the delay-model substrate (DAGs + ETF) and the §3
+   criteria policies (queue disciplines, due dates). *)
+
+open Psched_delay
+open Psched_core
+open Psched_workload
+
+(* --- dag ---------------------------------------------------------------- *)
+
+let test_dag_basics () =
+  let dag = Dag.create ~costs:[| 1.0; 2.0; 3.0 |] ~edges:[ (0, 1, 5.0); (1, 2, 7.0) ] in
+  Alcotest.(check int) "size" 3 (Dag.size dag);
+  T_helpers.check_float "cost" 2.0 (Dag.cost dag 1);
+  T_helpers.check_float "volume" 5.0 (Dag.edge_volume dag 0 1);
+  T_helpers.check_float "no edge" 0.0 (Dag.edge_volume dag 0 2);
+  Alcotest.(check (list int)) "topo order" [ 0; 1; 2 ] (Dag.topological_order dag);
+  T_helpers.check_float "total work" 6.0 (Dag.total_work dag);
+  T_helpers.check_float "critical path no delay" 6.0 (Dag.critical_path dag ~delay_per_unit:0.0);
+  T_helpers.check_float "critical path with delay" (6.0 +. 12.0)
+    (Dag.critical_path dag ~delay_per_unit:1.0)
+
+let test_dag_rejects_cycles () =
+  Alcotest.(check bool) "cycle rejected" true
+    (match Dag.create ~costs:[| 1.0; 1.0 |] ~edges:[ (0, 1, 0.0); (1, 0, 0.0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "self loop rejected" true
+    (match Dag.create ~costs:[| 1.0 |] ~edges:[ (0, 0, 0.0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let arb_dag =
+  let ( let* ) = QCheck.Gen.( >>= ) in
+  let gen =
+    let* seed = QCheck.Gen.int_range 0 10000 in
+    let rng = Psched_util.Rng.create seed in
+    let* kind = QCheck.Gen.int_range 0 2 in
+    let dag =
+      match kind with
+      | 0 -> Dag.fork_join rng ~width:3 ~levels:2 ~mean_cost:5.0 ~volume:1.0
+      | 1 -> Dag.layered rng ~width:4 ~depth:3 ~density:0.4 ~mean_cost:5.0 ~volume:1.0
+      | _ -> Dag.chain ~n:6 ~cost:3.0 ~volume:2.0
+    in
+    QCheck.Gen.return dag
+  in
+  QCheck.make ~print:(fun d -> Printf.sprintf "dag(%d nodes)" (Dag.size d)) gen
+
+let qcheck_generators_acyclic_connected =
+  T_helpers.qtest "dag: generated graphs are consistent" arb_dag (fun dag ->
+      let order = Dag.topological_order dag in
+      List.length order = Dag.size dag
+      && Dag.total_work dag > 0.0
+      && Dag.critical_path dag ~delay_per_unit:0.0 <= Dag.total_work dag +. 1e-9)
+
+(* --- ETF ---------------------------------------------------------------- *)
+
+let qcheck_etf_valid =
+  T_helpers.qtest "etf: schedules are valid"
+    QCheck.(pair arb_dag (pair (int_range 1 8) (float_range 0.0 5.0)))
+    (fun (dag, (m, delay)) ->
+      let r = Etf.schedule ~m ~delay_per_unit:delay dag in
+      Etf.validate ~m ~delay_per_unit:delay dag r)
+
+let qcheck_etf_bounds =
+  T_helpers.qtest "etf: between critical path and serial execution"
+    QCheck.(pair arb_dag (int_range 1 8))
+    (fun (dag, m) ->
+      let r = Etf.schedule ~m ~delay_per_unit:0.5 dag in
+      r.Etf.makespan >= Dag.critical_path dag ~delay_per_unit:0.0 -. 1e-9
+      && r.Etf.makespan <= Dag.total_work dag +. Dag.critical_path dag ~delay_per_unit:0.5 +. 1e-6)
+
+let test_etf_single_proc_is_serial () =
+  let rng = Psched_util.Rng.create 3 in
+  let dag = Dag.fork_join rng ~width:4 ~levels:2 ~mean_cost:5.0 ~volume:1.0 in
+  let r = Etf.schedule ~m:1 ~delay_per_unit:10.0 dag in
+  (* One processor: no communication ever paid. *)
+  T_helpers.check_float "serial" (Dag.total_work dag) r.Etf.makespan
+
+let test_etf_chain_ignores_procs () =
+  let dag = Dag.chain ~n:5 ~cost:2.0 ~volume:1.0 in
+  let r1 = Etf.schedule ~m:1 ~delay_per_unit:3.0 dag in
+  let r4 = Etf.schedule ~m:4 ~delay_per_unit:3.0 dag in
+  (* ETF keeps a chain on one processor: delays make moving worse. *)
+  T_helpers.check_float "m=1" 10.0 r1.Etf.makespan;
+  T_helpers.check_float "m=4 same" 10.0 r4.Etf.makespan
+
+let qcheck_moldable_profile_monotone =
+  T_helpers.qtest "etf: moldable profiles are time-monotone" arb_dag (fun dag ->
+      Speedup.monotone_time (Etf.moldable_profile ~max_procs:8 ~delay_per_unit:1.0 dag))
+
+let test_as_moldable_job () =
+  let dag = Dag.chain ~n:4 ~cost:5.0 ~volume:0.0 in
+  let job = Etf.as_moldable_job ~id:7 ~max_procs:4 ~delay_per_unit:0.0 dag in
+  Alcotest.(check int) "id" 7 job.Job.id;
+  (* A chain cannot parallelise: flat profile. *)
+  T_helpers.check_float "t(1)" 20.0 (Job.time_on job 1);
+  T_helpers.check_float "t(4)" 20.0 (Job.time_on job 4)
+
+(* --- queue policies -------------------------------------------------------- *)
+
+let arb_rigid_rel = T_helpers.arb_instance ~releases:true `Rigid
+let allocate_all jobs = List.map Packing.allocate_rigid jobs
+
+let qcheck_queue_policies_valid =
+  T_helpers.qtest "queue policies: all valid" arb_rigid_rel (fun (m, jobs) ->
+      List.for_all
+        (fun (_, policy) ->
+          T_helpers.assert_valid ~jobs (Queue_policies.schedule policy ~m (allocate_all jobs)))
+        Queue_policies.all)
+
+let test_sjf_beats_fcfs_on_flow () =
+  (* A blocker occupies the machine while a long job and many short
+     ones queue up; at the blocker's completion FCFS picks the long
+     job first, SJF the short ones: SJF improves mean flow. *)
+  let jobs =
+    Job.rigid ~id:100 ~procs:1 ~time:2.0 ()
+    :: Job.rigid ~id:0 ~release:1.0 ~procs:1 ~time:100.0 ()
+    :: List.init 10 (fun i -> Job.rigid ~id:(i + 1) ~release:1.0 ~procs:1 ~time:1.0 ())
+  in
+  let run policy =
+    let sched = Queue_policies.schedule policy ~m:1 (allocate_all jobs) in
+    (Psched_sim.Metrics.compute ~jobs sched).Psched_sim.Metrics.mean_flow
+  in
+  Alcotest.(check bool) "sjf < fcfs" true (run Queue_policies.Sjf < run Queue_policies.Fcfs)
+
+(* --- due dates -------------------------------------------------------------- *)
+
+let with_due_dates jobs =
+  List.map
+    (fun (j : Job.t) -> { j with Job.due = Some (j.Job.release +. (3.0 *. Job.seq_time j)) })
+    jobs
+
+let qcheck_edd_valid =
+  T_helpers.qtest "due dates: EDD schedules valid" arb_rigid_rel (fun (m, jobs) ->
+      let jobs = with_due_dates jobs in
+      T_helpers.assert_valid ~jobs (Due_date.edd ~m (allocate_all jobs)))
+
+let qcheck_admission_never_tardy =
+  T_helpers.qtest "due dates: admission keeps zero tardiness" arb_rigid_rel (fun (m, jobs) ->
+      let jobs = with_due_dates jobs in
+      let o = Due_date.with_admission ~m (allocate_all jobs) in
+      let metrics = Psched_sim.Metrics.compute ~jobs:o.Due_date.accepted o.Due_date.schedule in
+      metrics.Psched_sim.Metrics.tardy_count = 0
+      && List.length o.Due_date.accepted + List.length o.Due_date.rejected = List.length jobs
+      && T_helpers.assert_valid ~jobs:o.Due_date.accepted o.Due_date.schedule)
+
+let test_admission_rejects_hopeless () =
+  let jobs =
+    [
+      Job.make ~id:0 ~due:5.0 (Job.Rigid { procs = 1; time = 4.0 });
+      (* Cannot meet its due date even alone. *)
+      Job.make ~id:1 ~due:1.0 (Job.Rigid { procs = 1; time = 4.0 });
+    ]
+  in
+  let o = Due_date.with_admission ~m:1 (allocate_all jobs) in
+  Alcotest.(check int) "one accepted" 1 (List.length o.Due_date.accepted);
+  Alcotest.(check int) "one rejected" 1 (List.length o.Due_date.rejected);
+  Alcotest.(check int) "rejected is job 1" 1 (List.hd o.Due_date.rejected).Job.id
+
+let suite =
+  [
+    Alcotest.test_case "dag basics" `Quick test_dag_basics;
+    Alcotest.test_case "dag rejects cycles" `Quick test_dag_rejects_cycles;
+    qcheck_generators_acyclic_connected;
+    qcheck_etf_valid;
+    qcheck_etf_bounds;
+    Alcotest.test_case "etf single proc serial" `Quick test_etf_single_proc_is_serial;
+    Alcotest.test_case "etf chain" `Quick test_etf_chain_ignores_procs;
+    qcheck_moldable_profile_monotone;
+    Alcotest.test_case "as moldable job" `Quick test_as_moldable_job;
+    qcheck_queue_policies_valid;
+    Alcotest.test_case "sjf beats fcfs on flow" `Quick test_sjf_beats_fcfs_on_flow;
+    qcheck_edd_valid;
+    qcheck_admission_never_tardy;
+    Alcotest.test_case "admission rejects hopeless" `Quick test_admission_rejects_hopeless;
+  ]

@@ -1,0 +1,304 @@
+open Psched_dlt
+
+let ( let* ) = QCheck.Gen.( >>= )
+
+let gen_worker id =
+  let* w = QCheck.Gen.float_range 0.1 5.0 in
+  let* z = QCheck.Gen.float_range 0.0 2.0 in
+  QCheck.Gen.return (Worker.make ~id ~w ~z ())
+
+let gen_workers =
+  let* n = QCheck.Gen.int_range 1 8 in
+  let rec build acc i =
+    if i >= n then QCheck.Gen.return (List.rev acc)
+    else
+      let* w = gen_worker i in
+      build (w :: acc) (i + 1)
+  in
+  build [] 0
+
+let print_workers ws = Format.asprintf "%a" (Format.pp_print_list Worker.pp) ws
+let arb_workers = QCheck.make ~print:print_workers gen_workers
+
+let arb_load_workers =
+  QCheck.make
+    ~print:(fun (load, ws) -> Format.asprintf "load=%g %s" load (print_workers ws))
+    (let* load = QCheck.Gen.float_range 1.0 1000.0 in
+     let* ws = gen_workers in
+     QCheck.Gen.return (load, ws))
+
+(* --- star single round -------------------------------------------------- *)
+
+let qcheck_star_fractions_sum =
+  T_helpers.qtest "star: fractions sum to 1 and are non-negative" arb_load_workers
+    (fun (load, workers) ->
+      let r = Star.schedule ~load workers in
+      let total = List.fold_left (fun acc (_, a) -> acc +. a) 0.0 r.Star.alphas in
+      Float.abs (total -. 1.0) <= 1e-6
+      && List.for_all (fun (_, a) -> a >= -1e-9) r.Star.alphas)
+
+let qcheck_star_equal_finish =
+  T_helpers.qtest "star: all participants finish simultaneously" arb_load_workers
+    (fun (load, workers) ->
+      let r = Star.schedule ~load workers in
+      let finishes = Star.finish_times ~load r.Star.alphas in
+      let fmax = List.fold_left Float.max 0.0 finishes in
+      List.for_all (fun f -> Float.abs (f -. fmax) <= 1e-6 *. Float.max 1.0 fmax) finishes)
+
+let qcheck_star_beats_single_worker =
+  T_helpers.qtest "star: never worse than the best single worker" arb_load_workers
+    (fun (load, workers) ->
+      let r = Star.schedule ~load workers in
+      let best_single =
+        List.fold_left (fun acc w -> Float.min acc (Star.single_worker ~load w)) infinity workers
+      in
+      r.Star.makespan <= best_single +. 1e-6)
+
+let qcheck_star_order_optimal =
+  (* Decreasing-bandwidth order is optimal among all orders (no
+     latencies): check against every permutation on small sets. *)
+  T_helpers.qtest ~count:60 "star: bandwidth order beats all permutations"
+    (QCheck.make ~print:(fun (l, ws) -> Format.asprintf "load=%g %s" l (print_workers ws))
+       (let* load = QCheck.Gen.float_range 1.0 100.0 in
+        let* n = QCheck.Gen.int_range 1 5 in
+        let rec build acc i =
+          if i >= n then QCheck.Gen.return (load, List.rev acc)
+          else
+            let* w = gen_worker i in
+            build (w :: acc) (i + 1)
+        in
+        build [] 0))
+    (fun (load, workers) ->
+      let rec perms = function
+        | [] -> [ [] ]
+        | xs ->
+          List.concat_map
+            (fun x ->
+              let rest = List.filter (fun y -> y != x) xs in
+              List.map (fun p -> x :: p) (perms rest))
+            xs
+      in
+      let opt = (Star.schedule ~load workers).Star.makespan in
+      List.for_all
+        (fun order -> opt <= (Star.solve_order ~load order).Star.makespan +. 1e-6)
+        (perms workers))
+
+let test_star_two_workers_hand () =
+  (* Two identical workers w=1, z=1, load 3: alpha1*(1+1) = alpha1*1 +
+     (alpha2)*(1+1) with the recurrence alpha2 = alpha1*w/(z+w) =
+     alpha1/2 -> alpha1=2/3, alpha2=1/3; makespan = 3*(2/3)*2 = 4. *)
+  let workers = Worker.bus ~z:1.0 [ 1.0; 1.0 ] in
+  let r = Star.schedule ~load:3.0 workers in
+  (match r.Star.alphas with
+  | [ (_, a1); (_, a2) ] ->
+    T_helpers.check_float "alpha1" (2.0 /. 3.0) a1;
+    T_helpers.check_float "alpha2" (1.0 /. 3.0) a2
+  | _ -> Alcotest.fail "expected two fractions");
+  T_helpers.check_float "makespan" 4.0 r.Star.makespan
+
+let test_star_drops_useless_worker () =
+  (* A worker with an enormous latency should be excluded. *)
+  let good = Worker.make ~id:0 ~w:1.0 ~z:0.1 () in
+  let bad = Worker.make ~latency:1e6 ~id:1 ~w:0.5 ~z:0.1 () in
+  let r = Star.schedule ~load:10.0 [ good; bad ] in
+  Alcotest.(check int) "one dropped" 1 (List.length r.Star.dropped);
+  Alcotest.(check int) "good one kept" 0 (fst (List.hd r.Star.alphas)).Worker.id
+
+(* --- multiround ---------------------------------------------------------- *)
+
+let qcheck_multiround_improves_with_comm =
+  T_helpers.qtest ~count:100 "multiround: best_rounds never worse than single round"
+    arb_load_workers (fun (load, workers) ->
+      let single = (Multiround.simulate ~load ~rounds:1 workers).Multiround.makespan in
+      let best = (Multiround.best_rounds ~max_rounds:16 ~load workers).Multiround.makespan in
+      best <= single +. 1e-6)
+
+let qcheck_multiround_conserves_work =
+  T_helpers.qtest "multiround: chunks sum to the load" arb_load_workers (fun (load, workers) ->
+      let o = Multiround.simulate ~load ~rounds:4 workers in
+      let total = List.fold_left (fun acc (_, _, c) -> acc +. c) 0.0 o.Multiround.chunks in
+      Float.abs (total -. load) <= 1e-6 *. load)
+
+let test_multiround_overlap_helps () =
+  (* Heavy communication: two rounds must beat one by overlapping. *)
+  let workers = Worker.bus ~z:1.0 [ 1.0; 1.0; 1.0 ] in
+  let one = (Multiround.simulate ~load:30.0 ~rounds:1 workers).Multiround.makespan in
+  let four = (Multiround.simulate ~load:30.0 ~rounds:4 workers).Multiround.makespan in
+  Alcotest.(check bool) "4 rounds beat 1" true (four < one)
+
+let qcheck_multiround_returns_cost =
+  T_helpers.qtest "multiround: returning results is never free" arb_load_workers
+    (fun (load, workers) ->
+      let without = (Multiround.simulate ~load ~rounds:3 workers).Multiround.makespan in
+      let with_ret =
+        (Multiround.simulate ~return_fraction:0.5 ~load ~rounds:3 workers).Multiround.makespan
+      in
+      with_ret >= without -. 1e-6)
+
+(* --- steady state --------------------------------------------------------- *)
+
+let qcheck_steady_feasible =
+  T_helpers.qtest "steady state: allocation is feasible" arb_workers (fun workers ->
+      Steady_state.is_feasible (Steady_state.optimal workers).Steady_state.rates)
+
+let qcheck_steady_beats_random_feasible =
+  T_helpers.qtest ~count:100 "steady state: optimal beats scaled-uniform allocations"
+    arb_workers (fun workers ->
+      let opt = (Steady_state.optimal workers).Steady_state.throughput in
+      (* Uniform rates scaled to the tightest constraint are feasible. *)
+      let n = float_of_int (List.length workers) in
+      let limit =
+        List.fold_left
+          (fun acc (w : Worker.t) ->
+            let port_cap = if w.Worker.z > 0.0 then 1.0 /. (n *. w.Worker.z) else infinity in
+            Float.min acc (Float.min (1.0 /. w.Worker.w) port_cap))
+          infinity workers
+      in
+      let uniform = List.map (fun w -> (w, limit)) workers in
+      Steady_state.is_feasible uniform
+      && opt >= Steady_state.throughput_of uniform -. 1e-9)
+
+let test_steady_hand () =
+  (* Worker A: w=1, z=0.25; worker B: w=1, z=0.5.  Saturating both
+     costs 0.25+0.5 = 0.75 <= 1 port: throughput 2. *)
+  let a = Worker.make ~id:0 ~w:1.0 ~z:0.25 () in
+  let b = Worker.make ~id:1 ~w:1.0 ~z:0.5 () in
+  let alloc = Steady_state.optimal [ a; b ] in
+  T_helpers.check_float "throughput" 2.0 alloc.Steady_state.throughput;
+  T_helpers.check_float "port" 0.75 alloc.Steady_state.port_utilisation;
+  (* Tighten the port: z doubled -> port saturates, B only partly fed. *)
+  let a' = Worker.make ~id:0 ~w:1.0 ~z:0.5 () in
+  let b' = Worker.make ~id:1 ~w:1.0 ~z:1.0 () in
+  let alloc' = Steady_state.optimal [ a'; b' ] in
+  T_helpers.check_float "port saturated" 1.0 alloc'.Steady_state.port_utilisation;
+  T_helpers.check_float "throughput limited" 1.5 alloc'.Steady_state.throughput
+
+(* --- work stealing --------------------------------------------------------- *)
+
+let qcheck_stealing_completes =
+  T_helpers.qtest "work stealing: all units computed"
+    (QCheck.make
+       ~print:(fun (u, c, ws) -> Format.asprintf "units=%d chunk=%d %s" u c (print_workers ws))
+       (let* units = QCheck.Gen.int_range 1 500 in
+        let* chunk = QCheck.Gen.int_range 1 50 in
+        let* ws = gen_workers in
+        QCheck.Gen.return (units, chunk, ws)))
+    (fun (units, chunk, workers) ->
+      let o = Work_stealing.simulate ~units ~chunk workers in
+      List.fold_left (fun acc (_, u) -> acc + u) 0 o.Work_stealing.per_worker = units
+      && o.Work_stealing.makespan >= Work_stealing.lower_bound ~units workers -. 1e-6)
+
+let test_stealing_balances_heterogeneous () =
+  (* Fast and slow worker, no comm cost: small chunks give the fast
+     worker proportionally more units. *)
+  let fast = Worker.make ~id:0 ~w:0.1 ~z:0.0 () in
+  let slow = Worker.make ~id:1 ~w:1.0 ~z:0.0 () in
+  let o = Work_stealing.simulate ~units:110 ~chunk:1 [ fast; slow ] in
+  let fast_units = List.assoc 0 o.Work_stealing.per_worker in
+  Alcotest.(check bool) "fast gets ~10x" true (fast_units >= 90);
+  (* And the makespan approaches the perfect-sharing bound. *)
+  let lb = Work_stealing.lower_bound ~units:110 [ fast; slow ] in
+  Alcotest.(check bool) "close to LB" true (o.Work_stealing.makespan <= 1.2 *. lb)
+
+let test_stealing_chunk_tradeoff () =
+  (* With per-transfer latency, chunk=1 pays many latencies; a larger
+     chunk is better. *)
+  let workers = List.map (fun id -> Worker.make ~latency:5.0 ~id ~w:1.0 ~z:0.01 ()) [ 0; 1 ] in
+  let tiny = Work_stealing.simulate ~units:100 ~chunk:1 workers in
+  let big = Work_stealing.simulate ~units:100 ~chunk:25 workers in
+  Alcotest.(check bool) "chunking amortises latency" true
+    (big.Work_stealing.makespan < tiny.Work_stealing.makespan)
+
+let test_worker_of_cluster () =
+  let c = List.hd Psched_platform.Platform.ciment.Psched_platform.Platform.clusters in
+  let w = Worker.of_cluster c in
+  Alcotest.(check bool) "positive rate" true (w.Worker.w > 0.0);
+  T_helpers.check_float "bandwidth" (1.0 /. 125.0) w.Worker.z
+
+let base_suite =
+  [
+    qcheck_star_fractions_sum;
+    qcheck_star_equal_finish;
+    qcheck_star_beats_single_worker;
+    qcheck_star_order_optimal;
+    Alcotest.test_case "star two workers (hand)" `Quick test_star_two_workers_hand;
+    Alcotest.test_case "star drops useless worker" `Quick test_star_drops_useless_worker;
+    qcheck_multiround_improves_with_comm;
+    qcheck_multiround_conserves_work;
+    Alcotest.test_case "multiround overlap helps" `Quick test_multiround_overlap_helps;
+    qcheck_multiround_returns_cost;
+    qcheck_steady_feasible;
+    qcheck_steady_beats_random_feasible;
+    Alcotest.test_case "steady state hand values" `Quick test_steady_hand;
+    qcheck_stealing_completes;
+    Alcotest.test_case "stealing balances heterogeneity" `Quick test_stealing_balances_heterogeneous;
+    Alcotest.test_case "stealing chunk tradeoff" `Quick test_stealing_chunk_tradeoff;
+    Alcotest.test_case "worker of cluster" `Quick test_worker_of_cluster;
+  ]
+
+(* --- tree networks (Cheng-Robertazzi [4]) -------------------------------- *)
+
+let test_tree_depth1_equals_star () =
+  (* A root that only forwards (infinite w would do; use huge w) with
+     leaf children reduces to the star of the children plus a
+     negligible root share. *)
+  let children = [ Worker.make ~id:1 ~w:1.0 ~z:0.5 (); Worker.make ~id:2 ~w:2.0 ~z:0.5 () ] in
+  let root = Worker.make ~id:0 ~w:1e9 ~z:0.0 () in
+  let tree = Tree.node root (List.map Tree.leaf children) in
+  let assignments, makespan = Tree.solve ~load:10.0 tree in
+  let star = Star.schedule ~load:10.0 children in
+  Alcotest.(check (float 0.01)) "same makespan as star" star.Star.makespan makespan;
+  let frac id = (List.find (fun a -> a.Tree.node_id = id) assignments).Tree.fraction in
+  Alcotest.(check bool) "root does ~nothing" true (frac 0 < 1e-6)
+
+let test_tree_leaf_alone () =
+  let w = Worker.make ~id:0 ~w:2.0 ~z:1.0 () in
+  let assignments, makespan = Tree.solve ~load:5.0 (Tree.leaf w) in
+  Alcotest.(check int) "one assignment" 1 (List.length assignments);
+  T_helpers.check_float "full fraction" 1.0 (List.hd assignments).Tree.fraction;
+  (* Leaf root already holds the load: equivalent worker keeps z but
+     the root of the solve pays no transfer; makespan = load * w. *)
+  T_helpers.check_float "makespan" 10.0 makespan
+
+let arb_tree =
+  let ( let* ) = QCheck.Gen.( >>= ) in
+  let gen =
+    let* seed = QCheck.Gen.int_range 0 10000 in
+    let* d = QCheck.Gen.int_range 1 3 in
+    let* fanout = QCheck.Gen.int_range 1 3 in
+    let rng = Psched_util.Rng.create seed in
+    QCheck.Gen.return (Tree.balanced rng ~depth:d ~fanout ~w:1.0 ~z:0.3)
+  in
+  QCheck.make ~print:(fun t -> Printf.sprintf "tree(%d nodes, depth %d)" (Tree.size t) (Tree.depth t)) gen
+
+let qcheck_tree_fractions_sum =
+  T_helpers.qtest "tree: fractions sum to 1 and are non-negative" arb_tree (fun tree ->
+      let assignments, makespan = Tree.solve ~load:100.0 tree in
+      let total = List.fold_left (fun acc a -> acc +. a.Tree.fraction) 0.0 assignments in
+      Float.abs (total -. 1.0) <= 1e-6
+      && List.for_all (fun a -> a.Tree.fraction >= -1e-9) assignments
+      && makespan > 0.0
+      && List.length assignments = Tree.size tree)
+
+let qcheck_tree_beats_root_alone =
+  T_helpers.qtest "tree: never slower than the root computing alone" arb_tree (fun tree ->
+      let (Tree.Node { worker = root; _ }) = tree in
+      let _, makespan = Tree.solve ~load:100.0 tree in
+      makespan <= (100.0 *. root.Worker.w) +. 1e-6)
+
+let qcheck_tree_equivalent_consistent =
+  T_helpers.qtest "tree: equivalent worker rate matches the solve" arb_tree (fun tree ->
+      let eq = Tree.equivalent_worker tree in
+      let _, makespan = Tree.solve ~load:50.0 tree in
+      Float.abs (makespan -. (50.0 *. eq.Worker.w)) <= 1e-6 *. Float.max 1.0 makespan)
+
+let tree_suite =
+  [
+    Alcotest.test_case "tree depth-1 = star" `Quick test_tree_depth1_equals_star;
+    Alcotest.test_case "tree leaf alone" `Quick test_tree_leaf_alone;
+    qcheck_tree_fractions_sum;
+    qcheck_tree_beats_root_alone;
+    qcheck_tree_equivalent_consistent;
+  ]
+
+let suite = base_suite @ tree_suite

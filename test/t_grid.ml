@@ -1,0 +1,231 @@
+open Psched_grid
+open Psched_workload
+open Psched_util
+
+(* --- best effort -------------------------------------------------------- *)
+
+let local_jobs rng ~n ~m =
+  let jobs = Workload_gen.rigid_uniform rng ~n ~m ~tmin:1.0 ~tmax:20.0 in
+  let jobs = Workload_gen.with_poisson_arrivals rng ~rate:0.2 jobs in
+  List.map Psched_core.Packing.allocate_rigid jobs
+
+let cfg ?(bag = 200) ?(unit_time = 2.0) ~m () =
+  { Best_effort.m; bag; unit_time; horizon = 1e6 }
+
+let test_be_local_jobs_undisturbed () =
+  (* The paper's guarantee: local users "cannot have their job delayed
+     by a grid job".  Local start dates must be identical with and
+     without best-effort load. *)
+  let rng = Rng.create 17 in
+  let local = local_jobs rng ~n:40 ~m:16 in
+  let base = Best_effort.simulate (cfg ~bag:0 ~m:16 ()) ~local in
+  let loaded = Best_effort.simulate (cfg ~bag:500 ~m:16 ()) ~local in
+  let starts (o : Best_effort.outcome) =
+    List.sort compare
+      (List.map
+         (fun (e : Psched_sim.Schedule.entry) -> (e.Psched_sim.Schedule.job_id, e.Psched_sim.Schedule.start))
+         o.Best_effort.local_schedule.Psched_sim.Schedule.entries)
+  in
+  Alcotest.(check (list (pair int (float 1e-9)))) "identical local starts" (starts base)
+    (starts loaded)
+
+let test_be_capacity_never_exceeded () =
+  let rng = Rng.create 23 in
+  let local = local_jobs rng ~n:30 ~m:8 in
+  let o = Best_effort.simulate (cfg ~bag:300 ~m:8 ()) ~local in
+  (* Merge local and best-effort entries; peak usage must fit. *)
+  let merged =
+    Psched_sim.Schedule.make ~m:8
+      (o.Best_effort.local_schedule.Psched_sim.Schedule.entries @ o.Best_effort.grid_entries)
+  in
+  Alcotest.(check bool) "within capacity" true (Psched_sim.Schedule.peak_usage merged <= 8)
+
+let test_be_accounting () =
+  let rng = Rng.create 29 in
+  let local = local_jobs rng ~n:25 ~m:8 in
+  let bag = 120 in
+  let o = Best_effort.simulate (cfg ~bag ~m:8 ()) ~local in
+  Alcotest.(check int) "all runs eventually complete" bag o.Best_effort.grid_completed;
+  Alcotest.(check int) "completed entries recorded" bag (List.length o.Best_effort.grid_entries);
+  Alcotest.(check bool) "waste non-negative" true (o.Best_effort.wasted_time >= 0.0);
+  Alcotest.(check bool) "bag exhaustion recorded" true (o.Best_effort.grid_done_at <> None)
+
+let test_be_kills_happen () =
+  (* One wide local job arriving over a fully best-effort-loaded
+     cluster must kill grid runs. *)
+  let local = [ (Job.rigid ~id:0 ~release:1.0 ~procs:4 ~time:5.0 (), 4) ] in
+  let o =
+    Best_effort.simulate { Best_effort.m = 4; bag = 100; unit_time = 10.0; horizon = 1e6 } ~local
+  in
+  Alcotest.(check bool) "kills happened" true (o.Best_effort.grid_killed >= 4);
+  Alcotest.(check bool) "waste accounted" true (o.Best_effort.wasted_time > 0.0);
+  (* The local job starts exactly at its release. *)
+  T_helpers.check_float "local start" 1.0
+    (List.hd o.Best_effort.local_schedule.Psched_sim.Schedule.entries).Psched_sim.Schedule.start
+
+let test_be_fills_idle () =
+  (* Empty cluster: the bag drains at full width. *)
+  let o = Best_effort.simulate { Best_effort.m = 10; bag = 100; unit_time = 1.0; horizon = 1e6 } ~local:[] in
+  Alcotest.(check int) "all done" 100 o.Best_effort.grid_completed;
+  Alcotest.(check int) "no kills" 0 o.Best_effort.grid_killed;
+  (* 100 runs on 10 procs at 1s each = 10 seconds. *)
+  T_helpers.check_float "perfect packing" 10.0 o.Best_effort.finished_at
+
+let test_be_utilisation_gain () =
+  let rng = Rng.create 31 in
+  let local = local_jobs rng ~n:20 ~m:8 in
+  let u0, u1 = Best_effort.utilisation_gain (cfg ~bag:100 ~unit_time:1.0 ~m:8 ()) ~local in
+  Alcotest.(check bool) "grid load raises utilisation" true (u1 > u0)
+
+(* --- fairness ------------------------------------------------------------ *)
+
+let test_jain_index () =
+  T_helpers.check_float "equal is fair" 1.0 (Fairness.jain [ 3.0; 3.0; 3.0 ]);
+  T_helpers.check_float "single user" 1.0 (Fairness.jain [ 5.0 ]);
+  T_helpers.check_float "maximally unfair" 0.25 (Fairness.jain [ 1.0; 0.0; 0.0; 0.0 ]);
+  T_helpers.check_float "empty" 1.0 (Fairness.jain [])
+
+let test_per_community () =
+  let jobs =
+    [
+      Job.rigid ~community:0 ~id:0 ~procs:1 ~time:1.0 ();
+      Job.rigid ~community:0 ~id:1 ~procs:1 ~time:1.0 ();
+      Job.rigid ~community:1 ~id:2 ~procs:1 ~time:1.0 ();
+    ]
+  in
+  let completion = function 0 -> Some 2.0 | 1 -> Some 4.0 | 2 -> Some 10.0 | _ -> None in
+  (match Fairness.per_community ~jobs ~completion with
+  | [ (0, f0); (1, f1) ] ->
+    T_helpers.check_float "community 0 mean flow" 3.0 f0;
+    T_helpers.check_float "community 1 mean flow" 10.0 f1
+  | _ -> Alcotest.fail "unexpected community stats");
+  Alcotest.(check bool) "index in (0,1]" true
+    (let i = Fairness.index ~jobs ~completion in
+     i > 0.0 && i <= 1.0)
+
+(* --- multi cluster -------------------------------------------------------- *)
+
+let grid = Psched_platform.Platform.ciment
+
+let grid_jobs rng ~n =
+  let jobs =
+    List.init n (fun id ->
+        let time = Rng.uniform rng 10.0 500.0 in
+        let procs = 1 + Rng.int rng 16 in
+        let community = Rng.int rng 4 in
+        Job.rigid ~community ~id ~procs ~time ())
+  in
+  Workload_gen.with_poisson_arrivals rng ~rate:0.05 jobs
+
+let policies =
+  [
+    ("independent", Multi_cluster.Independent);
+    ("centralized", Multi_cluster.Centralized);
+    ("exchange", Multi_cluster.Exchange { threshold = 1.5 });
+  ]
+
+let test_mc_schedules_valid () =
+  let rng = Rng.create 37 in
+  let jobs = grid_jobs rng ~n:120 in
+  List.iter
+    (fun (name, policy) ->
+      let o = Multi_cluster.simulate policy ~grid ~jobs in
+      List.iter
+        (fun ((c : Psched_platform.Platform.cluster), sched) ->
+          let placed =
+            List.filter_map
+              (fun (p : Multi_cluster.placement) ->
+                if p.Multi_cluster.cluster = c.Psched_platform.Platform.id then
+                  Some p.Multi_cluster.job
+                else None)
+              o.Multi_cluster.placements
+          in
+          match
+            Psched_sim.Validate.check ~speed:c.Psched_platform.Platform.speed ~jobs:placed sched
+          with
+          | [] -> ()
+          | vs ->
+            Alcotest.failf "%s/%s: %a" name c.Psched_platform.Platform.name
+              (Format.pp_print_list Psched_sim.Validate.pp_violation)
+              vs)
+        o.Multi_cluster.per_cluster)
+    policies
+
+let test_mc_every_job_placed_once () =
+  let rng = Rng.create 41 in
+  let jobs = grid_jobs rng ~n:80 in
+  List.iter
+    (fun (_, policy) ->
+      let o = Multi_cluster.simulate policy ~grid ~jobs in
+      Alcotest.(check int) "one placement per job" (List.length jobs)
+        (List.length o.Multi_cluster.placements);
+      let ids =
+        List.sort_uniq compare
+          (List.map (fun (p : Multi_cluster.placement) -> p.Multi_cluster.job.Job.id)
+             o.Multi_cluster.placements)
+      in
+      Alcotest.(check int) "all distinct" (List.length jobs) (List.length ids))
+    policies
+
+let test_mc_independent_stays_home () =
+  let rng = Rng.create 43 in
+  let jobs = grid_jobs rng ~n:60 in
+  let o = Multi_cluster.simulate Multi_cluster.Independent ~grid ~jobs in
+  Alcotest.(check int) "no migrations" 0 o.Multi_cluster.migrations;
+  List.iter
+    (fun (p : Multi_cluster.placement) ->
+      Alcotest.(check int) "home placement" (p.Multi_cluster.job.Job.community mod 4)
+        p.Multi_cluster.cluster)
+    o.Multi_cluster.placements
+
+let test_mc_sharing_helps_imbalanced_load () =
+  (* All jobs from one community: independent swamps one cluster;
+     centralized spreads them. *)
+  let rng = Rng.create 47 in
+  let jobs =
+    List.init 120 (fun id ->
+        let time = Rng.uniform rng 50.0 200.0 in
+        Job.rigid ~community:2 ~id ~procs:2 ~time ())
+  in
+  let indep = Multi_cluster.simulate Multi_cluster.Independent ~grid ~jobs in
+  let central = Multi_cluster.simulate Multi_cluster.Centralized ~grid ~jobs in
+  let exchange = Multi_cluster.simulate (Multi_cluster.Exchange { threshold = 1.2 }) ~grid ~jobs in
+  Alcotest.(check bool) "centralized beats independent" true
+    (central.Multi_cluster.makespan < indep.Multi_cluster.makespan);
+  Alcotest.(check bool) "exchange beats independent" true
+    (exchange.Multi_cluster.makespan < indep.Multi_cluster.makespan);
+  Alcotest.(check bool) "exchange migrates" true (exchange.Multi_cluster.migrations > 0)
+
+let test_mc_fairness_in_range () =
+  let rng = Rng.create 53 in
+  let jobs = grid_jobs rng ~n:100 in
+  List.iter
+    (fun (name, policy) ->
+      let o = Multi_cluster.simulate policy ~grid ~jobs in
+      if not (o.Multi_cluster.fairness > 0.0 && o.Multi_cluster.fairness <= 1.0 +. 1e-9) then
+        Alcotest.failf "%s: fairness %g out of range" name o.Multi_cluster.fairness)
+    policies
+
+let test_migration_delay () =
+  let d_same = Multi_cluster.migration_delay grid (Job.rigid ~id:0 ~procs:1 ~time:1.0 ()) ~src:0 ~dst:0 in
+  T_helpers.check_float "same cluster free" 0.0 d_same;
+  let d = Multi_cluster.migration_delay grid (Job.rigid ~id:0 ~procs:1 ~time:1.0 ()) ~src:0 ~dst:2 in
+  Alcotest.(check bool) "cross-cluster costs" true (d > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "best-effort: locals undisturbed" `Quick test_be_local_jobs_undisturbed;
+    Alcotest.test_case "best-effort: capacity" `Quick test_be_capacity_never_exceeded;
+    Alcotest.test_case "best-effort: accounting" `Quick test_be_accounting;
+    Alcotest.test_case "best-effort: kills" `Quick test_be_kills_happen;
+    Alcotest.test_case "best-effort: fills idle cluster" `Quick test_be_fills_idle;
+    Alcotest.test_case "best-effort: utilisation gain" `Quick test_be_utilisation_gain;
+    Alcotest.test_case "fairness: jain" `Quick test_jain_index;
+    Alcotest.test_case "fairness: per community" `Quick test_per_community;
+    Alcotest.test_case "multi-cluster: valid schedules" `Quick test_mc_schedules_valid;
+    Alcotest.test_case "multi-cluster: placement uniqueness" `Quick test_mc_every_job_placed_once;
+    Alcotest.test_case "multi-cluster: independent stays home" `Quick test_mc_independent_stays_home;
+    Alcotest.test_case "multi-cluster: sharing helps" `Quick test_mc_sharing_helps_imbalanced_load;
+    Alcotest.test_case "multi-cluster: fairness range" `Quick test_mc_fairness_in_range;
+    Alcotest.test_case "multi-cluster: migration delay" `Quick test_migration_delay;
+  ]

@@ -1,0 +1,126 @@
+(* Shared generators and checkers for the test suites. *)
+
+open Psched_workload
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- generators ------------------------------------------------------ *)
+
+module G = QCheck.Gen
+
+let ( let* ) = G.( >>= )
+
+let gen_weight = G.float_range 1.0 10.0
+
+let gen_rigid ~m id =
+  let* procs = G.int_range 1 m in
+  let* time = G.float_range 0.5 50.0 in
+  let* weight = gen_weight in
+  G.return (Job.rigid ~weight ~id ~procs ~time ())
+
+let gen_model =
+  G.frequency
+    [
+      (1, G.return Speedup.Linear);
+      (3, G.map (fun f -> Speedup.Amdahl { seq_fraction = f }) (G.float_range 0.0 0.6));
+      (2, G.map (fun a -> Speedup.Power { alpha = a }) (G.float_range 0.4 1.0));
+      (1, G.map (fun o -> Speedup.Comm_penalty { overhead = o }) (G.float_range 0.0 2.0));
+      ( 2,
+        G.map2
+          (fun a sigma -> Speedup.Downey { avg_parallelism = a; sigma })
+          (G.float_range 1.0 32.0) (G.float_range 0.0 3.0) );
+    ]
+
+let gen_moldable ~m id =
+  let* t1 = G.float_range 0.5 50.0 in
+  let* max_procs = G.int_range 1 m in
+  let* model = gen_model in
+  let* weight = gen_weight in
+  G.return (Job.of_model ~weight ~id ~model ~t1 ~max_procs ())
+
+let gen_job ~m id = G.frequency [ (1, gen_rigid ~m id); (2, gen_moldable ~m id) ]
+
+let with_releases gen =
+  let* jobs = gen in
+  let* use_releases = G.bool in
+  if not use_releases then G.return jobs
+  else
+    let* gaps = G.list_repeat (List.length jobs) (G.float_range 0.0 20.0) in
+    let _, stamped =
+      List.fold_left2
+        (fun (clock, acc) job gap ->
+          let clock = clock +. gap in
+          (clock, { job with Job.release = clock } :: acc))
+        (0.0, []) jobs gaps
+    in
+    G.return (List.rev stamped)
+
+(* (m, jobs) instances. *)
+let gen_instance ?(max_m = 16) ?(max_n = 12) ?(releases = false) ~kind () =
+  let* m = G.int_range 2 max_m in
+  let* n = G.int_range 1 max_n in
+  let gen_one =
+    match kind with `Rigid -> gen_rigid ~m | `Moldable -> gen_moldable ~m | `Mixed -> gen_job ~m
+  in
+  let base =
+    let rec build acc i =
+      if i >= n then G.return (List.rev acc)
+      else
+        let* j = gen_one i in
+        build (j :: acc) (i + 1)
+    in
+    build [] 0
+  in
+  let* jobs = if releases then with_releases base else base in
+  G.return (m, jobs)
+
+let print_instance (m, jobs) =
+  Format.asprintf "m=%d@ %a" m (Format.pp_print_list Job.pp) jobs
+
+let arb_instance ?max_m ?max_n ?releases kind =
+  QCheck.make ~print:print_instance (gen_instance ?max_m ?max_n ?releases ~kind ())
+
+(* --- checkers -------------------------------------------------------- *)
+
+let assert_valid ?reservations ~jobs sched =
+  match Psched_sim.Validate.check ?reservations ~jobs sched with
+  | [] -> true
+  | vs ->
+    QCheck.Test.fail_reportf "invalid schedule:@ %a@ %a"
+      (Format.pp_print_list Psched_sim.Validate.pp_violation)
+      vs Psched_sim.Schedule.pp sched
+
+(* Reference makespan: best list schedule over all permutations and all
+   feasible allocation vectors; an upper bound on the optimum that is
+   usually tight on tiny instances. *)
+let best_permutation_makespan ~m jobs =
+  let rec perms = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) xs in
+          List.map (fun p -> x :: p) (perms rest))
+        xs
+  in
+  let choices (j : Job.t) =
+    let lo = Job.min_procs j and hi = min m (Job.max_procs j) in
+    List.init (hi - lo + 1) (fun i -> (j, lo + i))
+  in
+  let rec alloc_vectors = function
+    | [] -> [ [] ]
+    | j :: rest ->
+      let tails = alloc_vectors rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) (choices j)
+  in
+  List.fold_left
+    (fun best vec ->
+      List.fold_left
+        (fun best order ->
+          let sched = Psched_core.Packing.list_schedule ~m order in
+          Float.min best (Psched_sim.Schedule.makespan sched))
+        best (perms vec))
+    infinity (alloc_vectors jobs)

@@ -1,0 +1,181 @@
+(* Tests for the preemptive (McNaughton), uniform-processor and
+   hierarchical-grid schedulers. *)
+
+open Psched_core
+open Psched_workload
+
+(* --- McNaughton ----------------------------------------------------------- *)
+
+let seq_jobs times = List.mapi (fun id time -> Job.rigid ~id ~procs:1 ~time ()) times
+
+let test_mcnaughton_hand () =
+  (* times 4,3,3 on m=2: optimum = max(10/2, 4) = 5. *)
+  let jobs = seq_jobs [ 4.0; 3.0; 3.0 ] in
+  let s = Preemptive.schedule ~m:2 jobs in
+  T_helpers.check_float "optimal" 5.0 s.Preemptive.makespan;
+  Alcotest.(check bool) "valid" true (Preemptive.validate s jobs);
+  (* Job 1 (3s) wraps across the two processors. *)
+  let pieces_of id = List.filter (fun (p : Preemptive.piece) -> p.Preemptive.job_id = id) s.Preemptive.pieces in
+  Alcotest.(check int) "wrapped job has two pieces" 2 (List.length (pieces_of 1))
+
+let test_mcnaughton_long_job () =
+  (* A job longer than the average load dictates the horizon. *)
+  let jobs = seq_jobs [ 10.0; 1.0; 1.0 ] in
+  let s = Preemptive.schedule ~m:4 jobs in
+  T_helpers.check_float "horizon is longest job" 10.0 s.Preemptive.makespan;
+  Alcotest.(check bool) "valid" true (Preemptive.validate s jobs)
+
+let arb_times =
+  QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range 0.5 50.0))
+
+let qcheck_mcnaughton_optimal_and_valid =
+  T_helpers.qtest "mcnaughton: achieves the preemptive optimum"
+    QCheck.(pair (int_range 1 8) arb_times)
+    (fun (m, times) ->
+      let jobs = seq_jobs times in
+      let s = Preemptive.schedule ~m jobs in
+      Float.abs (s.Preemptive.makespan -. Preemptive.optimum ~m times)
+      <= 1e-6 *. Float.max 1.0 s.Preemptive.makespan
+      && Preemptive.validate s jobs)
+
+let test_mcnaughton_rejects_releases () =
+  Alcotest.(check bool) "releases rejected" true
+    (match Preemptive.schedule ~m:2 [ Job.rigid ~release:1.0 ~id:0 ~procs:1 ~time:1.0 () ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- uniform processors ----------------------------------------------------- *)
+
+let allocate_all jobs = List.map Packing.allocate_rigid jobs
+
+let test_uniform_prefers_fast_proc () =
+  let speeds = [| 1.0; 4.0 |] in
+  let jobs = [ Job.rigid ~id:0 ~procs:1 ~time:8.0 () ] in
+  let s = Uniform.list_schedule ~speeds (allocate_all jobs) in
+  T_helpers.check_float "runs on the fast one" 2.0 s.Uniform.makespan;
+  Alcotest.(check (list int)) "proc 1 chosen" [ 1 ]
+    (List.hd s.Uniform.placements).Uniform.procs
+
+let test_uniform_parallel_pace_of_slowest () =
+  let speeds = [| 1.0; 2.0 |] in
+  let jobs = [ Job.rigid ~id:0 ~procs:2 ~time:6.0 () ] in
+  let s = Uniform.list_schedule ~speeds (allocate_all jobs) in
+  (* Synchronous task: min speed 1.0. *)
+  T_helpers.check_float "slowest pace" 6.0 s.Uniform.makespan
+
+let test_uniform_identical_matches_core () =
+  let rng = Psched_util.Rng.create 7 in
+  let jobs = Workload_gen.rigid_uniform rng ~n:20 ~m:4 ~tmin:1.0 ~tmax:20.0 in
+  let speeds = Array.make 4 1.0 in
+  let s = Uniform.list_schedule ~speeds (allocate_all jobs) in
+  Alcotest.(check bool) "valid" true (Uniform.validate s jobs);
+  (* Same greedy order and unit speeds: no worse than 2x the identical
+     lower bound (loose sanity). *)
+  let lb = Lower_bounds.cmax ~m:4 jobs in
+  Alcotest.(check bool) "sane" true (s.Uniform.makespan <= 3.0 *. lb +. 1e-6)
+
+let arb_uniform =
+  let ( let* ) = QCheck.Gen.( >>= ) in
+  let gen =
+    let* m = QCheck.Gen.int_range 2 8 in
+    let* speeds =
+      QCheck.Gen.list_repeat m (QCheck.Gen.float_range 0.5 4.0)
+    in
+    let* n = QCheck.Gen.int_range 1 12 in
+    let* seed = QCheck.Gen.int_range 0 9999 in
+    let rng = Psched_util.Rng.create seed in
+    let jobs = Workload_gen.rigid_uniform rng ~n ~m ~tmin:0.5 ~tmax:30.0 in
+    QCheck.Gen.return (Array.of_list speeds, jobs)
+  in
+  QCheck.make
+    ~print:(fun (speeds, jobs) ->
+      Format.asprintf "speeds=%s %a"
+        (String.concat "," (List.map string_of_float (Array.to_list speeds)))
+        (Format.pp_print_list Job.pp) jobs)
+    gen
+
+let qcheck_uniform_valid =
+  T_helpers.qtest "uniform: schedules are valid" arb_uniform (fun (speeds, jobs) ->
+      let s = Uniform.list_schedule ~speeds (allocate_all jobs) in
+      Uniform.validate s jobs
+      && s.Uniform.makespan >= Uniform.makespan_lower_bound ~speeds (allocate_all jobs) -. 1e-6)
+
+(* --- hierarchical grid -------------------------------------------------------- *)
+
+let grid = Psched_platform.Platform.ciment
+
+let moldable_set seed n =
+  let rng = Psched_util.Rng.create seed in
+  Workload_gen.moldable_uniform rng ~n ~m:64 ~tmin:1.0 ~tmax:100.0
+
+let test_hierarchical_valid_and_covering () =
+  let jobs = moldable_set 5 60 in
+  List.iter
+    (fun strategy ->
+      let o = Psched_grid.Hierarchical.schedule ~strategy ~grid jobs in
+      (* Every job placed on exactly one cluster, each cluster schedule
+         valid at its own speed. *)
+      let placed_ids =
+        List.concat_map
+          (fun ((_ : Psched_platform.Platform.cluster), s) ->
+            List.map
+              (fun (e : Psched_sim.Schedule.entry) -> e.Psched_sim.Schedule.job_id)
+              s.Psched_sim.Schedule.entries)
+          o.Psched_grid.Hierarchical.per_cluster
+      in
+      Alcotest.(check int) "all jobs placed" (List.length jobs) (List.length placed_ids);
+      Alcotest.(check int) "no duplicates" (List.length jobs)
+        (List.length (List.sort_uniq compare placed_ids));
+      List.iter
+        (fun ((c : Psched_platform.Platform.cluster), s) ->
+          let mine =
+            List.filter
+              (fun (j : Job.t) ->
+                List.exists
+                  (fun (e : Psched_sim.Schedule.entry) -> e.Psched_sim.Schedule.job_id = j.id)
+                  s.Psched_sim.Schedule.entries)
+              jobs
+          in
+          match
+            Psched_sim.Validate.check ~speed:c.Psched_platform.Platform.speed ~jobs:mine s
+          with
+          | [] -> ()
+          | vs ->
+            Alcotest.failf "cluster %s: %a" c.Psched_platform.Platform.name
+              (Format.pp_print_list Psched_sim.Validate.pp_violation)
+              vs)
+        o.Psched_grid.Hierarchical.per_cluster;
+      Alcotest.(check bool) "above LB" true
+        (o.Psched_grid.Hierarchical.makespan >= o.Psched_grid.Hierarchical.lower_bound -. 1e-6))
+    [ Psched_grid.Hierarchical.Proportional; Psched_grid.Hierarchical.Fastest_fit ]
+
+let test_hierarchical_uses_all_clusters () =
+  let jobs = moldable_set 11 80 in
+  let o = Psched_grid.Hierarchical.schedule ~grid jobs in
+  let used =
+    List.filter
+      (fun (_, s) -> s.Psched_sim.Schedule.entries <> [])
+      o.Psched_grid.Hierarchical.per_cluster
+  in
+  Alcotest.(check bool) "several clusters used" true (List.length used >= 3)
+
+let test_hierarchical_reasonable_ratio () =
+  let jobs = moldable_set 13 100 in
+  let o = Psched_grid.Hierarchical.schedule ~grid jobs in
+  let ratio = o.Psched_grid.Hierarchical.makespan /. o.Psched_grid.Hierarchical.lower_bound in
+  if ratio > 4.0 then Alcotest.failf "ratio %.3f too large" ratio
+
+let suite =
+  [
+    Alcotest.test_case "mcnaughton hand" `Quick test_mcnaughton_hand;
+    Alcotest.test_case "mcnaughton long job" `Quick test_mcnaughton_long_job;
+    qcheck_mcnaughton_optimal_and_valid;
+    Alcotest.test_case "mcnaughton rejects releases" `Quick test_mcnaughton_rejects_releases;
+    Alcotest.test_case "uniform fast proc" `Quick test_uniform_prefers_fast_proc;
+    Alcotest.test_case "uniform slowest pace" `Quick test_uniform_parallel_pace_of_slowest;
+    Alcotest.test_case "uniform identical sanity" `Quick test_uniform_identical_matches_core;
+    qcheck_uniform_valid;
+    Alcotest.test_case "hierarchical valid" `Quick test_hierarchical_valid_and_covering;
+    Alcotest.test_case "hierarchical spreads" `Quick test_hierarchical_uses_all_clusters;
+    Alcotest.test_case "hierarchical ratio" `Quick test_hierarchical_reasonable_ratio;
+  ]

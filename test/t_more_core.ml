@@ -1,0 +1,209 @@
+(* Deeper core properties: cross-validation between algorithms,
+   monotonicity of the dual machinery, edge cases. *)
+
+open Psched_core
+open Psched_workload
+open Psched_sim
+
+let allocate_all jobs = List.map Packing.allocate_rigid jobs
+let arb_moldable = T_helpers.arb_instance `Moldable
+let arb_rigid = T_helpers.arb_instance `Rigid
+let arb_mixed = T_helpers.arb_instance `Mixed
+
+(* --- canonical allocation ------------------------------------------------- *)
+
+let qcheck_canonical_monotone_in_deadline =
+  (* Looser deadline => never more processors. *)
+  T_helpers.qtest "canonical alloc: antitone in the deadline" arb_moldable (fun (m, jobs) ->
+      List.for_all
+        (fun job ->
+          let d1 = Job.min_time job *. 1.2 in
+          let d2 = d1 *. 2.0 in
+          match (Mrt.canonical_alloc ~m ~deadline:d1 job, Mrt.canonical_alloc ~m ~deadline:d2 job) with
+          | Some k1, Some k2 -> k2 <= k1
+          | None, Some _ -> true
+          | Some _, None -> false
+          | None, None -> true)
+        jobs)
+
+let qcheck_canonical_meets_deadline =
+  T_helpers.qtest "canonical alloc: meets its deadline minimally" arb_moldable
+    (fun (m, jobs) ->
+      List.for_all
+        (fun job ->
+          let deadline = Job.seq_time job *. 0.7 in
+          match Mrt.canonical_alloc ~m ~deadline job with
+          | None -> true
+          | Some k ->
+            Job.time_on job k <= deadline +. 1e-9
+            && (k = Job.min_procs job || Job.time_on job (k - 1) > deadline))
+        jobs)
+
+(* --- MRT guess monotonicity (statistical) ----------------------------------- *)
+
+let qcheck_mrt_accepts_above_makespan =
+  (* Any lambda at least the makespan MRT itself achieved must be
+     accepted (the schedule is a witness). *)
+  T_helpers.qtest ~count:100 "MRT: accepts its own achieved makespan" arb_moldable
+    (fun (m, jobs) ->
+      let c = Schedule.makespan (Mrt.schedule ~m jobs) in
+      match Mrt.try_guess ~m ~lambda:(c *. 1.01) jobs with
+      | Mrt.Accepted _ -> true
+      | Mrt.Rejected -> false)
+
+(* --- batch on-line degenerates to off-line ---------------------------------- *)
+
+let qcheck_batch_online_equals_offline_at_zero =
+  T_helpers.qtest "batch on-line: single batch when all release at 0" arb_moldable
+    (fun (m, jobs) ->
+      let offline ~m js = Mrt.schedule ~m js in
+      let batches = Batch_online.batches ~offline ~m jobs in
+      List.length batches = 1
+      &&
+      let online = Batch_online.schedule ~offline ~m jobs in
+      let direct = Mrt.schedule ~m jobs in
+      Float.abs (Schedule.makespan online -. Schedule.makespan direct)
+      <= 1e-9 *. Float.max 1.0 (Schedule.makespan direct))
+
+(* --- SMART ------------------------------------------------------------------- *)
+
+let qcheck_smart_base_override =
+  T_helpers.qtest ~count:100 "SMART: explicit base still valid" arb_rigid (fun (m, jobs) ->
+      let tasks = allocate_all jobs in
+      T_helpers.assert_valid ~jobs (Smart.schedule ~base:1.0 ~m tasks))
+
+let test_smart_empty () =
+  T_helpers.check_float "empty" 0.0 (Schedule.makespan (Smart.schedule ~m:4 []))
+
+(* --- bi-criteria covers everything ------------------------------------------- *)
+
+let qcheck_bicriteria_places_all =
+  T_helpers.qtest "bi-criteria: batches partition the job set" arb_mixed (fun (m, jobs) ->
+      let batches = Bicriteria.batches ~m jobs in
+      let ids =
+        List.concat_map (fun (b : Bicriteria.batch) -> List.map (fun (j : Job.t) -> j.Job.id) b.Bicriteria.jobs) batches
+      in
+      List.sort compare ids = List.sort compare (List.map (fun (j : Job.t) -> j.Job.id) jobs))
+
+(* --- strip packing vs list scheduling ----------------------------------------- *)
+
+let qcheck_list_not_worse_than_nfdh =
+  (* Earliest-fit placement of the same (sorted) task list dominates
+     shelf stacking: shelves are one feasible earliest-fit outcome. *)
+  T_helpers.qtest "packing: earliest-fit <= NFDH shelves" arb_rigid (fun (m, jobs) ->
+      let tasks = allocate_all jobs in
+      let shelves = Strip_packing.nfdh ~m tasks in
+      let listed = Packing.list_schedule ~order:Packing.longest_time_first ~m tasks in
+      Schedule.makespan listed <= Schedule.makespan shelves +. 1e-6)
+
+(* --- profile ------------------------------------------------------------------- *)
+
+let test_profile_copy_independent () =
+  let p = Profile.create 8 in
+  Profile.reserve p ~start:0.0 ~duration:5.0 ~procs:4;
+  let q = Profile.copy p in
+  Profile.reserve q ~start:0.0 ~duration:5.0 ~procs:4;
+  Alcotest.(check int) "original untouched" 4 (Profile.free_at p 1.0);
+  Alcotest.(check int) "copy updated" 0 (Profile.free_at q 1.0)
+
+let qcheck_profile_reserve_release_inverse =
+  T_helpers.qtest "profile: release inverts reserve"
+    QCheck.(
+      pair (int_range 1 10)
+        (small_list (triple (float_range 0.0 20.0) (float_range 0.1 5.0) (int_range 1 10))))
+    (fun (m, ops) ->
+      let p = Profile.create m in
+      let applied =
+        List.filter_map
+          (fun (start, duration, procs) ->
+            let procs = min procs m in
+            match Profile.reserve p ~start ~duration ~procs with
+            | () -> Some (start, duration, procs)
+            | exception Invalid_argument _ -> None)
+          ops
+      in
+      List.iter (fun (start, duration, procs) -> Profile.release p ~start ~duration ~procs)
+        (List.rev applied);
+      Profile.breakpoints p = [ (0.0, m) ])
+
+(* --- lower bounds consistency ---------------------------------------------------- *)
+
+let qcheck_lb_monotone_in_m =
+  T_helpers.qtest "lower bounds: more processors never raise the bound" arb_mixed
+    (fun (m, jobs) ->
+      Lower_bounds.cmax ~m:(2 * m) jobs <= Lower_bounds.cmax ~m jobs +. 1e-9
+      && Lower_bounds.sum_weighted_completion ~m:(2 * m) jobs
+         <= Lower_bounds.sum_weighted_completion ~m jobs +. 1e-6)
+
+let qcheck_lb_scaling =
+  T_helpers.qtest "lower bounds: weight scaling scales the wC bound"
+    (T_helpers.arb_instance `Rigid) (fun (m, jobs) ->
+      let doubled = List.map (fun (j : Job.t) -> { j with Job.weight = 2.0 *. j.Job.weight }) jobs in
+      Float.abs
+        (Lower_bounds.sum_weighted_completion ~m doubled
+        -. (2.0 *. Lower_bounds.sum_weighted_completion ~m jobs))
+      <= 1e-6 *. Lower_bounds.sum_weighted_completion ~m doubled)
+
+(* --- metrics ------------------------------------------------------------------------ *)
+
+let qcheck_metrics_consistency =
+  T_helpers.qtest "metrics: internal consistency on produced schedules" arb_mixed
+    (fun (m, jobs) ->
+      let sched = Packing.list_schedule ~m (allocate_all jobs) in
+      let x = Metrics.compute ~jobs sched in
+      let n = float_of_int (List.length jobs) in
+      (* throughput * makespan = n; sum C >= n * Cmax/n trivia; flows
+         below makespan for release-0 instances. *)
+      Float.abs ((x.Metrics.throughput *. x.Metrics.makespan) -. n) <= 1e-6 *. n
+      && x.Metrics.sum_weighted_completion >= x.Metrics.sum_completion *. 0.0
+      && x.Metrics.mean_flow <= x.Metrics.max_flow +. 1e-9
+      && x.Metrics.mean_stretch <= x.Metrics.max_stretch +. 1e-9
+      && x.Metrics.utilisation <= 1.0 +. 1e-9)
+
+(* --- single machine edge cases -------------------------------------------------------- *)
+
+let test_wspt_ties_by_id () =
+  let jobs =
+    [ Job.rigid ~id:5 ~procs:1 ~time:3.0 (); Job.rigid ~id:2 ~procs:1 ~time:3.0 () ] in
+  match Single_machine.wspt_order jobs with
+  | [ a; b ] ->
+    Alcotest.(check int) "lower id first" 2 a.Job.id;
+    Alcotest.(check int) "then higher" 5 b.Job.id
+  | _ -> Alcotest.fail "expected two jobs"
+
+let test_spt_empty () =
+  Alcotest.(check (list Alcotest.reject)) "empty order stays empty"
+    [] (List.map (fun _ -> Alcotest.fail "no") (Single_machine.spt_order []))
+
+(* --- uniform degenerates -------------------------------------------------------------- *)
+
+let qcheck_uniform_unit_speeds_close_to_identical =
+  T_helpers.qtest ~count:100 "uniform: unit speeds match identical-machine durations"
+    arb_rigid (fun (m, jobs) ->
+      let speeds = Array.make m 1.0 in
+      let s = Uniform.list_schedule ~speeds (allocate_all jobs) in
+      List.for_all
+        (fun (p : Uniform.placement) ->
+          let job = List.find (fun (j : Job.t) -> j.Job.id = p.Uniform.job_id) jobs in
+          Float.abs (p.Uniform.duration -. Job.seq_time job) <= 1e-9)
+        s.Uniform.placements)
+
+let suite =
+  [
+    qcheck_canonical_monotone_in_deadline;
+    qcheck_canonical_meets_deadline;
+    qcheck_mrt_accepts_above_makespan;
+    qcheck_batch_online_equals_offline_at_zero;
+    qcheck_smart_base_override;
+    Alcotest.test_case "SMART empty" `Quick test_smart_empty;
+    qcheck_bicriteria_places_all;
+    qcheck_list_not_worse_than_nfdh;
+    Alcotest.test_case "profile copy" `Quick test_profile_copy_independent;
+    qcheck_profile_reserve_release_inverse;
+    qcheck_lb_monotone_in_m;
+    qcheck_lb_scaling;
+    qcheck_metrics_consistency;
+    Alcotest.test_case "WSPT tie-break" `Quick test_wspt_ties_by_id;
+    Alcotest.test_case "SPT empty" `Quick test_spt_empty;
+    qcheck_uniform_unit_speeds_close_to_identical;
+  ]

@@ -1,0 +1,139 @@
+(* Additional behaviour tests for the DLT and grid layers. *)
+
+open Psched_dlt
+open Psched_workload
+
+(* --- multiround structure ----------------------------------------------------- *)
+
+let bus3 = Worker.bus ~z:0.3 [ 1.0; 1.0; 1.0 ]
+
+let test_multiround_chunk_structure () =
+  let o = Multiround.simulate ~load:90.0 ~rounds:3 bus3 in
+  (* 3 rounds x 3 participants. *)
+  Alcotest.(check int) "chunk count" 9 (List.length o.Multiround.chunks);
+  let rounds = List.sort_uniq compare (List.map (fun (r, _, _) -> r) o.Multiround.chunks) in
+  Alcotest.(check (list int)) "rounds 0..2" [ 0; 1; 2 ] rounds
+
+let test_multiround_zero_return_matches () =
+  let a = Multiround.simulate ~load:50.0 ~rounds:2 bus3 in
+  let b = Multiround.simulate ~return_fraction:0.0 ~load:50.0 ~rounds:2 bus3 in
+  T_helpers.check_float "identical" a.Multiround.makespan b.Multiround.makespan
+
+let test_multiround_aggregate_lb () =
+  (* Never below the perfect-sharing compute bound. *)
+  let o = Multiround.best_rounds ~load:100.0 bus3 in
+  let rate = List.fold_left (fun acc (w : Worker.t) -> acc +. (1.0 /. w.Worker.w)) 0.0 bus3 in
+  Alcotest.(check bool) "above compute LB" true (o.Multiround.makespan >= (100.0 /. rate) -. 1e-9)
+
+(* --- star edges ------------------------------------------------------------------ *)
+
+let test_star_single_worker_formula () =
+  let w = Worker.make ~latency:2.0 ~id:0 ~w:1.5 ~z:0.5 () in
+  let r = Star.schedule ~load:10.0 [ w ] in
+  T_helpers.check_float "latency + load(z+w)" (2.0 +. (10.0 *. 2.0)) r.Star.makespan
+
+let test_star_rejects_bad_load () =
+  Alcotest.(check bool) "zero load" true
+    (match Star.schedule ~load:0.0 [ Worker.make ~id:0 ~w:1.0 ~z:0.0 () ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "no workers" true
+    (match Star.schedule ~load:1.0 [] with exception Invalid_argument _ -> true | _ -> false)
+
+(* --- steady state ------------------------------------------------------------------ *)
+
+let test_steady_free_links_saturate () =
+  let ws = [ Worker.make ~id:0 ~w:2.0 ~z:0.0 (); Worker.make ~id:1 ~w:4.0 ~z:0.0 () ] in
+  let a = Steady_state.optimal ws in
+  T_helpers.check_float "sum of saturations" 0.75 a.Steady_state.throughput;
+  T_helpers.check_float "port untouched" 0.0 a.Steady_state.port_utilisation
+
+let test_steady_monotone_in_workers () =
+  let base = [ Worker.make ~id:0 ~w:1.0 ~z:0.4 () ] in
+  let more = Worker.make ~id:1 ~w:1.0 ~z:0.4 () :: base in
+  Alcotest.(check bool) "adding a worker helps" true
+    ((Steady_state.optimal more).Steady_state.throughput
+    >= (Steady_state.optimal base).Steady_state.throughput -. 1e-9)
+
+(* --- best effort: horizon ------------------------------------------------------------ *)
+
+let test_best_effort_horizon_stops_dispatch () =
+  let config = { Psched_grid.Best_effort.m = 4; bag = 1000; unit_time = 1.0; horizon = 10.0 } in
+  let o = Psched_grid.Best_effort.simulate config ~local:[] in
+  (* 4 procs x ~10 s of dispatch window at 1 s/run. *)
+  Alcotest.(check bool) "dispatch stopped at horizon" true
+    (o.Psched_grid.Best_effort.grid_completed <= 44);
+  Alcotest.(check bool) "bag not exhausted" true
+    (o.Psched_grid.Best_effort.grid_done_at = None)
+
+(* --- multi-cluster: huge threshold = independent -------------------------------------- *)
+
+let test_exchange_high_threshold_stays_home () =
+  let rng = Psched_util.Rng.create 61 in
+  let jobs =
+    List.init 60 (fun id ->
+        Job.rigid ~community:(Psched_util.Rng.int rng 4) ~id ~procs:2
+          ~time:(Psched_util.Rng.uniform rng 10.0 100.0) ())
+  in
+  let o =
+    Psched_grid.Multi_cluster.simulate
+      (Psched_grid.Multi_cluster.Exchange { threshold = 1e9 })
+      ~grid:Psched_platform.Platform.ciment ~jobs
+  in
+  Alcotest.(check int) "no migrations" 0 o.Psched_grid.Multi_cluster.migrations
+
+(* --- hierarchical degenerate: single cluster = MRT ------------------------------------- *)
+
+let test_hierarchical_single_cluster_is_mrt () =
+  let grid = Psched_platform.Platform.single_cluster 32 in
+  let rng = Psched_util.Rng.create 71 in
+  let jobs = Workload_gen.moldable_uniform rng ~n:30 ~m:32 ~tmin:1.0 ~tmax:50.0 in
+  let o = Psched_grid.Hierarchical.schedule ~grid jobs in
+  let direct = Psched_core.Mrt.schedule ~m:32 jobs in
+  T_helpers.check_float "same makespan as direct MRT"
+    (Psched_sim.Schedule.makespan direct)
+    o.Psched_grid.Hierarchical.makespan
+
+(* --- queues edge cases -------------------------------------------------------------------- *)
+
+let test_queues_equal_priorities_round_robin () =
+  let q name ids =
+    Psched_grid.Queues.queue ~name ~priority:1
+      (List.map (fun id -> Job.rigid ~id ~procs:1 ~time:1.0 ()) ids)
+  in
+  let order =
+    Psched_grid.Queues.dispatch_order Psched_grid.Queues.Weighted_fair
+      [ q "a" [ 0; 1 ]; q "b" [ 10; 11 ] ]
+  in
+  Alcotest.(check (list int)) "1:1 interleave" [ 0; 10; 1; 11 ]
+    (List.map (fun (j : Job.t) -> j.Job.id) order)
+
+let test_queues_rejects_bad_priority () =
+  Alcotest.(check bool) "zero priority" true
+    (match Psched_grid.Queues.queue ~name:"x" ~priority:0 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- fairness edge ---------------------------------------------------------------------------- *)
+
+let test_fairness_single_community () =
+  let jobs = [ Job.rigid ~id:0 ~procs:1 ~time:1.0 () ] in
+  T_helpers.check_float "single community is fair" 1.0
+    (Psched_grid.Fairness.index ~jobs ~completion:(fun _ -> Some 5.0))
+
+let suite =
+  [
+    Alcotest.test_case "multiround chunk structure" `Quick test_multiround_chunk_structure;
+    Alcotest.test_case "multiround zero return" `Quick test_multiround_zero_return_matches;
+    Alcotest.test_case "multiround aggregate LB" `Quick test_multiround_aggregate_lb;
+    Alcotest.test_case "star single worker" `Quick test_star_single_worker_formula;
+    Alcotest.test_case "star rejects bad input" `Quick test_star_rejects_bad_load;
+    Alcotest.test_case "steady free links" `Quick test_steady_free_links_saturate;
+    Alcotest.test_case "steady monotone" `Quick test_steady_monotone_in_workers;
+    Alcotest.test_case "best-effort horizon" `Quick test_best_effort_horizon_stops_dispatch;
+    Alcotest.test_case "exchange high threshold" `Quick test_exchange_high_threshold_stays_home;
+    Alcotest.test_case "hierarchical single cluster" `Quick test_hierarchical_single_cluster_is_mrt;
+    Alcotest.test_case "queues equal priorities" `Quick test_queues_equal_priorities_round_robin;
+    Alcotest.test_case "queues bad priority" `Quick test_queues_rejects_bad_priority;
+    Alcotest.test_case "fairness single community" `Quick test_fairness_single_community;
+  ]

@@ -1,0 +1,55 @@
+open Psched_platform
+
+let test_ciment_inventory () =
+  Alcotest.(check int) "4 clusters" 4 (List.length Platform.ciment.Platform.clusters);
+  (* 104 + 48 + 40 + 24 bi-processor nodes = 216 nodes, 432 processors. *)
+  Alcotest.(check int) "processors" 432 (Platform.total_processors Platform.ciment)
+
+let test_fig2_platform () =
+  Alcotest.(check int) "100 machines" 100 (Platform.total_processors Platform.fig2_platform)
+
+let test_cluster_defaults () =
+  let c = Platform.cluster ~id:7 ~nodes:10 () in
+  Alcotest.(check int) "procs" 10 (Platform.processors c);
+  Alcotest.(check string) "name" "cluster-7" c.Platform.name
+
+let test_network_params () =
+  Alcotest.(check bool) "myrinet faster than ethernet" true
+    (Platform.network_bandwidth Platform.Myrinet > Platform.network_bandwidth Platform.Ethernet100);
+  Alcotest.(check bool) "myrinet lower latency" true
+    (Platform.network_latency Platform.Myrinet < Platform.network_latency Platform.Ethernet100)
+
+let test_reservation_basics () =
+  let r = Reservation.make ~id:0 ~start:10.0 ~duration:5.0 ~procs:4 in
+  T_helpers.check_float "finish" 15.0 (Reservation.finish r);
+  Alcotest.(check bool) "active inside" true (Reservation.active_at r 12.0);
+  Alcotest.(check bool) "inactive at end (half-open)" false (Reservation.active_at r 15.0);
+  Alcotest.(check bool) "active at start" true (Reservation.active_at r 10.0)
+
+let test_reservation_validation () =
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Reservation.make: duration must be positive") (fun () ->
+      ignore (Reservation.make ~id:0 ~start:0.0 ~duration:0.0 ~procs:1));
+  Alcotest.check_raises "bad procs" (Invalid_argument "Reservation.make: procs must be positive")
+    (fun () -> ignore (Reservation.make ~id:0 ~start:0.0 ~duration:1.0 ~procs:0))
+
+let test_reservation_overlap_feasible () =
+  let a = Reservation.make ~id:0 ~start:0.0 ~duration:10.0 ~procs:3 in
+  let b = Reservation.make ~id:1 ~start:5.0 ~duration:10.0 ~procs:3 in
+  let c = Reservation.make ~id:2 ~start:10.0 ~duration:1.0 ~procs:3 in
+  Alcotest.(check bool) "a overlaps b" true (Reservation.overlaps a b);
+  Alcotest.(check bool) "a does not overlap c (half-open)" false (Reservation.overlaps a c);
+  Alcotest.(check int) "reserved at 7" 6 (Reservation.procs_reserved_at [ a; b; c ] 7.0);
+  Alcotest.(check bool) "feasible on 6" true (Reservation.feasible ~m:6 [ a; b; c ]);
+  Alcotest.(check bool) "infeasible on 5" false (Reservation.feasible ~m:5 [ a; b; c ])
+
+let suite =
+  [
+    Alcotest.test_case "ciment inventory" `Quick test_ciment_inventory;
+    Alcotest.test_case "fig2 platform" `Quick test_fig2_platform;
+    Alcotest.test_case "cluster defaults" `Quick test_cluster_defaults;
+    Alcotest.test_case "network params" `Quick test_network_params;
+    Alcotest.test_case "reservation basics" `Quick test_reservation_basics;
+    Alcotest.test_case "reservation validation" `Quick test_reservation_validation;
+    Alcotest.test_case "reservation overlap/feasible" `Quick test_reservation_overlap_feasible;
+  ]

@@ -1,0 +1,148 @@
+(* Tests for reservation-aligned batches (§5.1) and the versatility /
+   failure-injection simulator (§1.1). *)
+
+open Psched_core
+open Psched_workload
+module R = Psched_platform.Reservation
+
+let allocate_all jobs = List.map Packing.allocate_rigid jobs
+
+(* --- reservation batches ---------------------------------------------------- *)
+
+let reservations =
+  [ R.make ~id:0 ~start:30.0 ~duration:20.0 ~procs:6; R.make ~id:1 ~start:80.0 ~duration:10.0 ~procs:4 ]
+
+let test_windows_structure () =
+  let ws = Reservation_batches.windows ~m:8 ~reservations in
+  (* Cuts at 0, 30, 50, 80, 90. *)
+  Alcotest.(check int) "five windows" 5 (List.length ws);
+  (match ws with
+  | [ (a0, b0, c0); (a1, b1, c1); (_, _, c2); (_, _, c3); (a4, b4, c4) ] ->
+    T_helpers.check_float "w0 start" 0.0 a0;
+    T_helpers.check_float "w0 stop" 30.0 b0;
+    Alcotest.(check int) "w0 free" 8 c0;
+    T_helpers.check_float "w1 start" 30.0 a1;
+    T_helpers.check_float "w1 stop" 50.0 b1;
+    Alcotest.(check int) "w1 free" 2 c1;
+    Alcotest.(check int) "w2 free" 8 c2;
+    Alcotest.(check int) "w3 free" 4 c3;
+    T_helpers.check_float "w4 start" 90.0 a4;
+    Alcotest.(check bool) "w4 unbounded" true (b4 = infinity);
+    Alcotest.(check int) "w4 free" 8 c4
+  | _ -> Alcotest.fail "unexpected window structure")
+
+let arb_moldable_rel = T_helpers.arb_instance ~releases:true `Moldable
+
+let qcheck_reservation_batches_valid =
+  T_helpers.qtest "reservation batches: valid around reservations" arb_moldable_rel
+    (fun (m, jobs) ->
+      let reservations =
+        [ R.make ~id:0 ~start:10.0 ~duration:15.0 ~procs:(max 1 (m / 2)) ]
+      in
+      let sched = Reservation_batches.schedule ~m ~reservations jobs in
+      T_helpers.assert_valid ~reservations ~jobs sched)
+
+let test_reservation_batches_vs_conservative () =
+  (* Both respect the reservations; the batch variant is typically
+     worse (the paper's suspicion) but must stay correct. *)
+  let rng = Psched_util.Rng.create 99 in
+  let jobs = Workload_gen.moldable_uniform rng ~n:40 ~m:8 ~tmin:1.0 ~tmax:20.0 in
+  let sched_b = Reservation_batches.schedule ~m:8 ~reservations jobs in
+  let sched_c =
+    Backfilling.conservative ~reservations ~m:8
+      (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m:8 ~delta:0.25) jobs)
+  in
+  Alcotest.(check bool) "batch valid" true
+    (Psched_sim.Validate.is_valid ~reservations ~jobs sched_b);
+  Alcotest.(check bool) "conservative valid" true
+    (Psched_sim.Validate.is_valid ~reservations ~jobs sched_c);
+  Alcotest.(check bool) "both finite" true
+    (Float.is_finite (Psched_sim.Schedule.makespan sched_b)
+    && Float.is_finite (Psched_sim.Schedule.makespan sched_c))
+
+(* --- resilience --------------------------------------------------------------- *)
+
+let test_resilience_no_outage_is_greedy () =
+  let rng = Psched_util.Rng.create 3 in
+  let jobs = Workload_gen.rigid_uniform rng ~n:25 ~m:8 ~tmin:1.0 ~tmax:10.0 in
+  let o = Psched_grid.Resilience.simulate ~m:8 ~outages:[] (allocate_all jobs) in
+  Alcotest.(check int) "no restarts" 0 o.Psched_grid.Resilience.restarts;
+  T_helpers.check_float "no waste" 0.0 o.Psched_grid.Resilience.wasted_work;
+  Alcotest.(check bool) "valid" true
+    (Psched_sim.Validate.is_valid ~jobs o.Psched_grid.Resilience.schedule)
+
+let test_resilience_outage_kills () =
+  (* One job fills the machine; the cluster loses every processor at
+     t=2: the job restarts after the outage. *)
+  let job = Job.rigid ~id:0 ~procs:4 ~time:5.0 () in
+  let outages = [ { Psched_grid.Resilience.start = 2.0; duration = 3.0; procs = 4 } ] in
+  let o = Psched_grid.Resilience.simulate ~m:4 ~outages [ (job, 4) ] in
+  Alcotest.(check int) "one restart" 1 o.Psched_grid.Resilience.restarts;
+  T_helpers.check_float "wasted 4 procs x 2s" 8.0 o.Psched_grid.Resilience.wasted_work;
+  (* Restarted at 5.0, runs 5s. *)
+  T_helpers.check_float "makespan" 10.0 o.Psched_grid.Resilience.makespan
+
+let qcheck_resilience_valid_against_outages =
+  T_helpers.qtest ~count:100 "resilience: final runs avoid the outage windows"
+    (T_helpers.arb_instance ~releases:true `Rigid)
+    (fun (m, jobs) ->
+      let rng = Psched_util.Rng.create (m * 31) in
+      let outages =
+        Psched_grid.Resilience.poisson_outages rng ~horizon:100.0 ~rate:0.05 ~mean_duration:10.0
+          ~max_procs:(max 1 (m / 2))
+      in
+      (* Keep outages pairwise disjoint so the reservation-based
+         validation below cannot be tripped by outage self-overlap. *)
+      let outages =
+        List.fold_left
+          (fun kept (o : Psched_grid.Resilience.outage) ->
+            let disjoint (a : Psched_grid.Resilience.outage) =
+              o.Psched_grid.Resilience.start
+              >= a.Psched_grid.Resilience.start +. a.Psched_grid.Resilience.duration
+              || a.Psched_grid.Resilience.start
+                 >= o.Psched_grid.Resilience.start +. o.Psched_grid.Resilience.duration
+            in
+            if List.for_all disjoint kept then o :: kept else kept)
+          [] outages
+      in
+      let o = Psched_grid.Resilience.simulate ~m ~outages (allocate_all jobs) in
+      (* Successful runs must fit alongside the outages' stolen
+         processors — the standard validator with outages as
+         reservations. *)
+      T_helpers.assert_valid
+        ~reservations:(Psched_grid.Resilience.outages_as_reservations outages)
+        ~jobs o.Psched_grid.Resilience.schedule)
+
+let qcheck_resilience_accounting =
+  (* Note: "outages never increase the makespan" would be FALSE — greedy
+     list scheduling exhibits Graham's timing anomalies, so losing
+     capacity can accidentally reorder jobs into a shorter schedule.
+     The sound invariants are the accounting ones. *)
+  T_helpers.qtest ~count:50 "resilience: accounting invariants"
+    (T_helpers.arb_instance `Rigid)
+    (fun (m, jobs) ->
+      let allocated = allocate_all jobs in
+      let clean = Psched_grid.Resilience.simulate ~m ~outages:[] allocated in
+      let rng = Psched_util.Rng.create (m * 77) in
+      let outages =
+        Psched_grid.Resilience.poisson_outages rng ~horizon:50.0 ~rate:0.1 ~mean_duration:5.0
+          ~max_procs:(max 1 (m / 2))
+      in
+      let faulty = Psched_grid.Resilience.simulate ~m ~outages allocated in
+      let lb = Lower_bounds.cmax ~m jobs in
+      clean.Psched_grid.Resilience.makespan >= lb -. 1e-6
+      && faulty.Psched_grid.Resilience.makespan >= lb -. 1e-6
+      && faulty.Psched_grid.Resilience.wasted_work >= 0.0
+      && (faulty.Psched_grid.Resilience.restarts > 0
+         || faulty.Psched_grid.Resilience.wasted_work = 0.0))
+
+let suite =
+  [
+    Alcotest.test_case "reservation windows" `Quick test_windows_structure;
+    qcheck_reservation_batches_valid;
+    Alcotest.test_case "batches vs conservative" `Quick test_reservation_batches_vs_conservative;
+    Alcotest.test_case "resilience clean run" `Quick test_resilience_no_outage_is_greedy;
+    Alcotest.test_case "resilience kill+restart" `Quick test_resilience_outage_kills;
+    qcheck_resilience_valid_against_outages;
+    qcheck_resilience_accounting;
+  ]

@@ -1,0 +1,114 @@
+open Psched_util
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  (* Advancing a further does not change b's future. *)
+  ignore (Rng.bits64 a);
+  let b' = Rng.copy b in
+  Alcotest.(check int64) "b unaffected" (Rng.bits64 b) (Rng.bits64 b')
+
+let test_rng_split_differs () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split stream differs" true (xa <> xb)
+
+let qcheck_rng_int_bounds =
+  T_helpers.qtest "rng: int within bounds" QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_rng_float_bounds =
+  T_helpers.qtest "rng: float within bounds" QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let qcheck_rng_exponential_positive =
+  T_helpers.qtest "rng: exponential positive" QCheck.(pair small_int (float_range 0.01 100.0))
+    (fun (seed, rate) ->
+      let rng = Rng.create seed in
+      Rng.exponential rng rate >= 0.0)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let qcheck_heap_sorts =
+  T_helpers.qtest "heap: pops in sorted order" QCheck.(list int) (fun xs ->
+      let h = Heap.of_list ~cmp:compare xs in
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
+let test_heap_basics () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "min empty" None (Heap.min h);
+  Heap.add h 5;
+  Heap.add h 3;
+  Heap.add h 8;
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 3) (Heap.min h);
+  Alcotest.(check int) "pop_exn" 3 (Heap.pop_exn h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_stats_known_values () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  T_helpers.check_float "mean" 2.5 (Stats.mean xs);
+  T_helpers.check_float "median" 2.5 (Stats.median xs);
+  T_helpers.check_float "sum" 10.0 (Stats.sum xs);
+  T_helpers.check_float "min" 1.0 (Stats.min_l xs);
+  T_helpers.check_float "max" 4.0 (Stats.max_l xs);
+  T_helpers.check_float "p0" 1.0 (Stats.percentile 0.0 xs);
+  T_helpers.check_float "p100" 4.0 (Stats.percentile 1.0 xs);
+  T_helpers.check_float "stddev" (sqrt 1.25) (Stats.stddev xs)
+
+let test_stats_empty () =
+  T_helpers.check_float "mean []" 0.0 (Stats.mean []);
+  T_helpers.check_float "median []" 0.0 (Stats.median []);
+  let s = Stats.summarize [] in
+  Alcotest.(check int) "n" 0 s.Stats.n
+
+let qcheck_percentile_monotone =
+  T_helpers.qtest "stats: percentile monotone in p"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_range 0.0 100.0))
+              (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy_independent;
+    Alcotest.test_case "rng split" `Quick test_rng_split_differs;
+    qcheck_rng_int_bounds;
+    qcheck_rng_float_bounds;
+    qcheck_rng_exponential_positive;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    qcheck_heap_sorts;
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "stats known values" `Quick test_stats_known_values;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    qcheck_percentile_monotone;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "psched"
+    [
+      ("util", T_util.suite);
+      ("platform", T_platform.suite);
+      ("workload", T_workload.suite);
+      ("sim", T_sim.suite);
+      ("core", T_core.suite);
+      ("core-more", T_more_core.suite);
+      ("dlt", T_dlt.suite);
+      ("grid", T_grid.suite);
+      ("extensions", T_extensions.suite);
+      ("delay", T_delay.suite);
+      ("hetero", T_hetero.suite);
+      ("robust", T_robust.suite);
+      ("systems-more", T_more_systems.suite);
+      ("experiments", T_experiments.suite);
+    ]

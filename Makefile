@@ -1,0 +1,24 @@
+.PHONY: all build test bench-smoke bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# One reduced benchmark pair, enough to catch a broken bench harness or
+# a grossly regressed profile engine without the full multi-minute run.
+bench-smoke:
+	dune exec bench/main.exe -- perf --json --quick
+
+# Full micro-benchmarks; rewrites BENCH_1.json with per-test estimates
+# and the profile-engine speedup table.
+bench:
+	dune exec bench/main.exe -- perf --json
+
+check: build test bench-smoke
+
+clean:
+	dune clean

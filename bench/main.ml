@@ -1,12 +1,19 @@
 (* Benchmark harness.
 
-   Two layers:
+   Three layers:
    - regeneration of every table and figure of the paper (the same
      rows/series the paper reports), via Psched_experiments;
    - bechamel micro-benchmarks: one Test.make per table/figure (timing
-     its regeneration) plus one per core algorithm.
+     its regeneration) plus one per core algorithm;
+   - profile-engine comparison: EASY and MRT instantiated over the
+     list-based Profile_reference engine run next to the default
+     indexed engine, so the speedup is measured in the same run.
 
-   Usage: main.exe [all|figures|tables|perf]  (default: all). *)
+   Usage: main.exe [all|figures|tables|ablations|perf] [--json] [--quick]
+   (default: all).  With --json, perf writes per-test OLS ns
+   estimates + engine speedups to BENCH_1.json for trend tracking
+   (BENCH_quick.json under --quick); --quick restricts perf to one
+   cheap paired test (CI smoke). *)
 
 open Bechamel
 open Toolkit
@@ -60,6 +67,46 @@ let table_tests =
       (Staged.stage (fun () -> ignore (Psched_experiments.Tables.tardiness ())));
   ]
 
+(* The seed implementations over the original assoc-list profile
+   engine: EASY is the library functor instantiated with
+   Profile_reference (the only change there was the engine); the seed
+   MRT is frozen in Mrt_seed (list profile + uncached allocation scans
+   + layered knapsack).  These are the baselines of the speedup figures
+   in BENCH_*.json. *)
+module Easy_ref = Backfilling.Make (Psched_sim.Profile_reference)
+
+let reference_tests =
+  let m = 64 in
+  let moldable = moldable_jobs ~n:100 ~m ~seed:7 in
+  let rigid = rigid_jobs ~n:200 ~m ~seed:8 in
+  let allocated = List.map Packing.allocate_rigid (released rigid) in
+  [
+    Test.make ~name:"MRT n=100 m=64 (list profile)"
+      (Staged.stage (fun () -> ignore (Mrt_seed.schedule ~m moldable)));
+    Test.make ~name:"EASY n=200 m=64 (list profile)"
+      (Staged.stage (fun () -> ignore (Easy_ref.easy ~m allocated)));
+  ]
+
+(* The new/old engine pairs the JSON report derives speedups from. *)
+let engine_pairs =
+  [
+    ("EASY n=200 m=64", "EASY n=200 m=64 (list profile)");
+    ("MRT n=100 m=64", "MRT n=100 m=64 (list profile)");
+  ]
+
+(* One cheap paired test for the CI smoke invocation. *)
+let quick_tests =
+  let m = 16 in
+  let allocated = List.map Packing.allocate_rigid (released (rigid_jobs ~n:50 ~m ~seed:8)) in
+  [
+    Test.make ~name:"EASY n=50 m=16"
+      (Staged.stage (fun () -> ignore (Backfilling.easy ~m allocated)));
+    Test.make ~name:"EASY n=50 m=16 (list profile)"
+      (Staged.stage (fun () -> ignore (Easy_ref.easy ~m allocated)));
+  ]
+
+let quick_pairs = [ ("EASY n=50 m=16", "EASY n=50 m=16 (list profile)") ]
+
 (* ... and one per core algorithm on a fixed instance. *)
 let algo_tests =
   let m = 64 in
@@ -89,10 +136,10 @@ let algo_tests =
            ignore (Psched_dlt.Work_stealing.simulate ~units:2000 ~chunk:10 workers)));
   ]
 
-let benchmark tests =
+let benchmark ?(quota = 0.25) tests =
   let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~stabilize:false ~kde:None () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"psched" tests) in
   Bechamel.Analyze.all ols Instance.monotonic_clock raw
 
@@ -102,20 +149,94 @@ let human_time ns =
   else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
-let print_perf () =
+(* Bechamel keys grouped tests as "group/name"; report the bare name. *)
+let strip_group name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+(* (name, ns-per-run OLS estimate) rows, sorted by name. *)
+let measure ?quota tests =
+  let results = benchmark ?quota tests in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Bechamel.Analyze.OLS.estimates ols with Some (e :: _) -> Some e | _ -> None
+      in
+      (strip_group name, est) :: acc)
+    results []
+  |> List.sort compare
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let speedups pairs rows =
+  List.filter_map
+    (fun (new_name, ref_name) ->
+      match (List.assoc_opt new_name rows, List.assoc_opt ref_name rows) with
+      | Some (Some ns_new), Some (Some ns_ref) when ns_new > 0.0 ->
+        Some (new_name, ns_ref /. ns_new)
+      | _ -> None)
+    pairs
+
+let write_json ~path ~quick pairs rows =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"psched-bench/1\",\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"unit\": \"ns/run\",\n";
+  out "  \"tests\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      let sep = if i = n - 1 then "" else "," in
+      match est with
+      | Some ns -> out "    \"%s\": %.1f%s\n" (json_escape name) ns sep
+      | None -> out "    \"%s\": null%s\n" (json_escape name) sep)
+    rows;
+  out "  },\n";
+  out "  \"profile_engine_speedup\": {\n";
+  let sp = speedups pairs rows in
+  let n = List.length sp in
+  List.iteri
+    (fun i (name, ratio) ->
+      out "    \"%s\": %.2f%s\n" (json_escape name) ratio (if i = n - 1 then "" else ","))
+    sp;
+  out "  }\n";
+  out "}\n";
+  close_out oc
+
+let print_perf ?(json = false) ?(quick = false) () =
   print_endline "== micro-benchmarks (bechamel, OLS estimate per run) ==";
-  let results = benchmark (table_tests @ algo_tests) in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let est =
-          match Bechamel.Analyze.OLS.estimates ols with Some (e :: _) -> human_time e | _ -> "n/a"
-        in
-        (name, est) :: acc)
-      results []
-    |> List.sort compare
+  let tests, pairs, quota =
+    if quick then (quick_tests, quick_pairs, 0.05)
+    else (table_tests @ algo_tests @ reference_tests, engine_pairs, 0.25)
   in
-  List.iter (fun (name, est) -> Printf.printf "%-42s %s\n" name est) rows
+  let rows = measure ~quota tests in
+  List.iter
+    (fun (name, est) ->
+      let est = match est with Some ns -> human_time ns | None -> "n/a" in
+      Printf.printf "%-42s %s\n" name est)
+    rows;
+  List.iter
+    (fun (name, ratio) -> Printf.printf "%-42s %.1fx vs list profile\n" name ratio)
+    (speedups pairs rows);
+  if json then begin
+    (* The smoke run must not clobber the committed full-run numbers. *)
+    let path = if quick then "BENCH_quick.json" else "BENCH_1.json" in
+    write_json ~path ~quick pairs rows;
+    Printf.printf "wrote %s\n" path
+  end
 
 let print_figures () =
   print_string (Psched_experiments.Fig2.to_string (Psched_experiments.Fig2.run ()))
@@ -131,18 +252,26 @@ let print_ablations () =
     (Psched_experiments.Ablations.all ())
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let quick = List.mem "--quick" args in
+  let mode =
+    match List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args with
+    | [] -> "all"
+    | m :: _ -> m
+  in
   match mode with
   | "figures" | "fig2" -> print_figures ()
   | "tables" -> print_tables ()
   | "ablations" -> print_ablations ()
-  | "perf" -> print_perf ()
+  | "perf" -> print_perf ~json ~quick ()
   | "all" ->
     print_figures ();
     print_newline ();
     print_tables ();
     print_ablations ();
-    print_perf ()
+    print_perf ~json ~quick ()
   | other ->
-    Printf.eprintf "unknown mode %S (all | figures | tables | ablations | perf)\n" other;
+    Printf.eprintf
+      "unknown mode %S (all | figures | tables | ablations | perf [--json] [--quick])\n" other;
     exit 1

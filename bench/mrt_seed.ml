@@ -1,0 +1,162 @@
+(* The seed MRT implementation, frozen as the benchmark baseline: the
+   assoc-list profile engine (Profile_reference), linear canonical-
+   allocation scans repeated at every lambda guess, and the knapsack DP
+   keeping all n+1 float layers.  [Mrt] in the library replaced each of
+   these (indexed profile, Alloc_cache tables, choice-bitvector DP);
+   measuring both in the same run yields the speedup figures in
+   BENCH_*.json. *)
+
+open Psched_workload
+open Psched_sim
+module Profile = Profile_reference
+
+let canonical_alloc ~m ~deadline (job : Job.t) =
+  let lo = Job.min_procs job and hi = min m (Job.max_procs job) in
+  let rec find k =
+    if k > hi then None else if Job.time_on job k <= deadline then Some k else find (k + 1)
+  in
+  find lo
+
+type verdict = Rejected | Accepted of Schedule.t
+
+let knapsack ~m tasks =
+  let n = Array.length tasks in
+  let neg = infinity in
+  let layers = Array.make (n + 1) [||] in
+  layers.(0) <- Array.make (m + 1) neg;
+  layers.(0).(0) <- 0.0;
+  for i = 0 to n - 1 do
+    let _, g1, w1, short = tasks.(i) in
+    let prev = layers.(i) in
+    let next = Array.make (m + 1) neg in
+    for q = 0 to m do
+      if Float.is_finite prev.(q) then begin
+        let q1 = q + g1 in
+        if q1 <= m && prev.(q) +. w1 < next.(q1) then next.(q1) <- prev.(q) +. w1;
+        match short with
+        | Some (_, w2) -> if prev.(q) +. w2 < next.(q) then next.(q) <- prev.(q) +. w2
+        | None -> ()
+      end
+    done;
+    layers.(i + 1) <- next
+  done;
+  let final = layers.(n) in
+  let best_q = ref (-1) and best_w = ref infinity in
+  for q = 0 to m do
+    if final.(q) < !best_w then begin
+      best_w := final.(q);
+      best_q := q
+    end
+  done;
+  if !best_q < 0 then None
+  else begin
+    let in_shelf1 = Array.make n false in
+    let q = ref !best_q in
+    for i = n - 1 downto 0 do
+      let _, g1, _, short = tasks.(i) in
+      let prev = layers.(i) in
+      let via_shelf2 =
+        match short with
+        | Some (_, w2) ->
+          Float.is_finite prev.(!q) && Float.abs (prev.(!q) +. w2 -. layers.(i + 1).(!q)) <= 1e-9
+        | None -> false
+      in
+      if via_shelf2 then in_shelf1.(i) <- false
+      else begin
+        in_shelf1.(i) <- true;
+        q := !q - g1;
+        assert (!q >= 0 && Float.is_finite prev.(!q))
+      end
+    done;
+    Some (!best_w, in_shelf1)
+  end
+
+let try_guess ~m ~lambda jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let exception Reject in
+  try
+    let tasks =
+      Array.map
+        (fun job ->
+          match canonical_alloc ~m ~deadline:lambda job with
+          | None -> raise Reject
+          | Some g1 ->
+            let w1 = Job.work_on job g1 in
+            let short =
+              match canonical_alloc ~m ~deadline:(lambda /. 2.0) job with
+              | Some g2 -> Some (g2, Job.work_on job g2)
+              | None -> None
+            in
+            (job, g1, w1, short))
+        jobs
+    in
+    match knapsack ~m tasks with
+    | None -> Rejected
+    | Some (work, in_shelf1) ->
+      if work > (lambda *. float_of_int m) +. 1e-9 then Rejected
+      else begin
+        let profile = Profile.create m in
+        let entries = ref [] in
+        let shelf2 = ref [] in
+        for i = 0 to n - 1 do
+          let job, g1, _, short = tasks.(i) in
+          if in_shelf1.(i) then begin
+            let duration = Job.time_on job g1 in
+            Profile.reserve profile ~start:0.0 ~duration ~procs:g1;
+            entries := Schedule.entry ~job ~start:0.0 ~procs:g1 () :: !entries
+          end
+          else begin
+            match short with
+            | Some (g2, _) -> shelf2 := (job, g2) :: !shelf2
+            | None -> assert false
+          end
+        done;
+        let by_longest (a, ka) (b, kb) =
+          compare (Job.time_on b kb, (a : Job.t).id) (Job.time_on a ka, (b : Job.t).id)
+        in
+        let sorted2 = List.sort by_longest !shelf2 in
+        List.iter
+          (fun (job, procs) ->
+            let duration = Job.time_on job procs in
+            let start = Profile.place profile ~earliest:0.0 ~duration ~procs in
+            entries := Schedule.entry ~job ~start ~procs () :: !entries)
+          sorted2;
+        Accepted (Schedule.make ~m !entries)
+      end
+  with Reject -> Rejected
+
+let schedule ?(epsilon = 0.01) ~m jobs =
+  match jobs with
+  | [] -> Schedule.make ~m []
+  | _ ->
+    List.iter
+      (fun (j : Job.t) ->
+        if Job.min_procs j > m then
+          invalid_arg (Printf.sprintf "Mrt.schedule: job %d needs more than %d processors" j.id m))
+      jobs;
+    let lb = Psched_core.Lower_bounds.cmax ~m jobs in
+    let lb = if lb > 0.0 then lb else 1e-9 in
+    let rec find_hi lambda =
+      match try_guess ~m ~lambda jobs with
+      | Accepted s -> (lambda, s)
+      | Rejected -> find_hi (2.0 *. lambda)
+    in
+    let hi, first = find_hi lb in
+    let best = ref first in
+    let keep s =
+      if Schedule.makespan s < Schedule.makespan !best then best := s
+    in
+    let rec search lo hi =
+      if hi -. lo <= epsilon *. lo then ()
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        match try_guess ~m ~lambda:mid jobs with
+        | Accepted s ->
+          keep s;
+          search lo mid
+        | Rejected -> search mid hi
+      end
+    in
+    search lb hi;
+    !best

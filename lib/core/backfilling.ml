@@ -1,98 +1,102 @@
 open Psched_workload
 open Psched_sim
 
-let seed_reservations ~m reservations =
-  let profile = Profile.create m in
-  List.iter
-    (fun (r : Psched_platform.Reservation.t) ->
-      Profile.reserve profile ~start:r.start ~duration:r.duration ~procs:r.procs)
-    reservations;
-  profile
-
 let conservative ?(reservations = []) ~m allocated =
   Packing.list_schedule ~reservations ~m allocated
 
-let easy ?(reservations = []) ~m allocated =
-  List.iter
-    (fun ((j : Job.t), k) ->
-      if k > m then
-        invalid_arg (Printf.sprintf "Backfilling.easy: job %d wider than %d" j.id m))
-    allocated;
-  let profile = seed_reservations ~m reservations in
-  let entries = ref [] in
-  (* Queue in FCFS (release, id) order; jobs enter at their release. *)
-  let by_fcfs ((a : Job.t), _) ((b : Job.t), _) = compare (a.release, a.id) (b.release, b.id) in
-  let pending = ref (List.sort by_fcfs allocated) in
-  let queue = ref [] (* arrived, not started, FCFS order *) in
-  let events = Psched_util.Heap.create ~cmp:compare in
-  List.iter (fun ((j : Job.t), _) -> Psched_util.Heap.add events j.release) !pending;
-  (* Reservation boundaries are wake-up points too: a job blocked by a
-     reservation becomes startable when it expires. *)
-  List.iter
-    (fun (r : Psched_platform.Reservation.t) ->
-      Psched_util.Heap.add events r.start;
-      Psched_util.Heap.add events (Psched_platform.Reservation.finish r))
-    reservations;
-  let eps = 1e-9 in
-  let start_job now ((job : Job.t), procs) =
-    let duration = Job.time_on job procs in
-    if duration > 0.0 then Profile.reserve profile ~start:now ~duration ~procs;
-    entries := Schedule.entry ~job ~start:now ~procs () :: !entries;
-    Psched_util.Heap.add events (now +. duration)
-  in
-  let starts_now now ((job : Job.t), procs) =
-    let duration = Job.time_on job procs in
-    match Profile.find_start profile ~earliest:now ~duration ~procs with
-    | s -> s <= now +. eps
-    | exception Not_found -> false
-  in
-  let rec drain_head now =
-    match !queue with
-    | head :: rest when starts_now now head ->
-      start_job now head;
-      queue := rest;
-      drain_head now
-    | _ -> ()
-  in
-  let backfill now =
-    match !queue with
-    | [] | [ _ ] -> ()
-    | ((hjob : Job.t), hprocs) :: rest ->
-      (* Hold the head's earliest reservation while backfilling. *)
-      let hdur = Job.time_on hjob hprocs in
-      let hstart = Profile.find_start profile ~earliest:now ~duration:hdur ~procs:hprocs in
-      if hdur > 0.0 then Profile.reserve profile ~start:hstart ~duration:hdur ~procs:hprocs;
-      let kept =
-        List.filter
-          (fun job ->
-            if starts_now now job then begin
-              start_job now job;
-              false
-            end
-            else true)
-          rest
-      in
-      if hdur > 0.0 then Profile.release profile ~start:hstart ~duration:hdur ~procs:hprocs;
-      queue := ((hjob, hprocs)) :: kept
-  in
-  let step now =
-    let arrived, still = List.partition (fun ((j : Job.t), _) -> j.release <= now +. eps) !pending in
-    pending := still;
-    queue := !queue @ arrived;
-    drain_head now;
-    backfill now
-  in
-  let last = ref neg_infinity in
-  let rec loop () =
-    match Psched_util.Heap.pop events with
-    | None -> ()
-    | Some t ->
-      if t > !last +. eps then begin
-        last := t;
-        step t
-      end;
-      loop ()
-  in
-  loop ();
-  assert (!queue = [] && !pending = []);
-  Schedule.make ~m !entries
+module Make (P : Profile_intf.S) = struct
+  let seed_reservations ~m reservations =
+    let profile = P.create m in
+    List.iter
+      (fun (r : Psched_platform.Reservation.t) ->
+        P.reserve profile ~start:r.start ~duration:r.duration ~procs:r.procs)
+      reservations;
+    profile
+
+  let easy ?(reservations = []) ~m allocated =
+    List.iter
+      (fun ((j : Job.t), k) ->
+        if k > m then
+          invalid_arg (Printf.sprintf "Backfilling.easy: job %d wider than %d" j.id m))
+      allocated;
+    let profile = seed_reservations ~m reservations in
+    let entries = ref [] in
+    (* Queue in FCFS (release, id) order; jobs enter at their release. *)
+    let by_fcfs ((a : Job.t), _) ((b : Job.t), _) = compare (a.release, a.id) (b.release, b.id) in
+    let pending = ref (List.sort by_fcfs allocated) in
+    let queue = ref [] (* arrived, not started, FCFS order *) in
+    let events = Psched_util.Heap.create ~cmp:compare in
+    List.iter (fun ((j : Job.t), _) -> Psched_util.Heap.add events j.release) !pending;
+    (* Reservation boundaries are wake-up points too: a job blocked by a
+       reservation becomes startable when it expires. *)
+    List.iter
+      (fun (r : Psched_platform.Reservation.t) ->
+        Psched_util.Heap.add events r.start;
+        Psched_util.Heap.add events (Psched_platform.Reservation.finish r))
+      reservations;
+    let eps = 1e-9 in
+    let start_job now ((job : Job.t), procs) =
+      let duration = Job.time_on job procs in
+      if duration > 0.0 then P.reserve profile ~start:now ~duration ~procs;
+      entries := Schedule.entry ~job ~start:now ~procs () :: !entries;
+      Psched_util.Heap.add events (now +. duration)
+    in
+    let starts_now now ((job : Job.t), procs) =
+      let duration = Job.time_on job procs in
+      match P.find_start profile ~earliest:now ~duration ~procs with
+      | s -> s <= now +. eps
+      | exception Not_found -> false
+    in
+    let rec drain_head now =
+      match !queue with
+      | head :: rest when starts_now now head ->
+        start_job now head;
+        queue := rest;
+        drain_head now
+      | _ -> ()
+    in
+    let backfill now =
+      match !queue with
+      | [] | [ _ ] -> ()
+      | ((hjob : Job.t), hprocs) :: rest ->
+        (* Hold the head's earliest reservation while backfilling. *)
+        let hdur = Job.time_on hjob hprocs in
+        let hstart = P.find_start profile ~earliest:now ~duration:hdur ~procs:hprocs in
+        if hdur > 0.0 then P.reserve profile ~start:hstart ~duration:hdur ~procs:hprocs;
+        let kept =
+          List.filter
+            (fun job ->
+              if starts_now now job then begin
+                start_job now job;
+                false
+              end
+              else true)
+            rest
+        in
+        if hdur > 0.0 then P.release profile ~start:hstart ~duration:hdur ~procs:hprocs;
+        queue := ((hjob, hprocs)) :: kept
+    in
+    let step now =
+      let arrived, still = List.partition (fun ((j : Job.t), _) -> j.release <= now +. eps) !pending in
+      pending := still;
+      queue := !queue @ arrived;
+      drain_head now;
+      backfill now
+    in
+    let last = ref neg_infinity in
+    let rec loop () =
+      match Psched_util.Heap.pop events with
+      | None -> ()
+      | Some t ->
+        if t > !last +. eps then begin
+          last := t;
+          step t
+        end;
+        loop ()
+    in
+    loop ();
+    assert (!queue = [] && !pending = []);
+    Schedule.make ~m !entries
+end
+
+include Make (Profile)

@@ -22,3 +22,13 @@ val easy :
   Packing.allocated list ->
   Psched_sim.Schedule.t
 (** @raise Invalid_argument if a job is wider than [m]. *)
+
+module Make (P : Psched_sim.Profile_intf.S) : sig
+  val easy :
+    ?reservations:Psched_platform.Reservation.t list ->
+    m:int ->
+    Packing.allocated list ->
+    Psched_sim.Schedule.t
+end
+(** EASY over an arbitrary profile engine, used to compare engines
+    under the same scheduler (see [bench/main.exe perf]). *)

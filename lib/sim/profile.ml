@@ -1,99 +1,190 @@
-type t = { capacity : int; mutable steps : (float * int) list }
-(* [steps] is sorted by strictly increasing date; the first date is 0;
-   each pair (s, f) means f processors are free on [s, next date). *)
+(* Availability profile as an indexed step timeline.
+
+   The step function is stored in two parallel growable arrays
+   [dates]/[free]: segment [i] spans [dates.(i), dates.(i+1)) (the last
+   segment extends to +infinity) with [free.(i)] processors free.
+   Invariants:
+   - dates are strictly increasing and dates.(0) = 0;
+   - 0 <= free.(i) <= capacity;
+   - adjacent segments have different levels (always merged).
+
+   Complexity, with k breakpoints: [free_at] is O(log k);
+   [reserve]/[release] binary-search the window and touch only the
+   overlapping segments (at most two insertions and two merges, each a
+   blit); [find_start] is a single sweep from [earliest] that anchors
+   candidate starts at the ends of insufficient segments, so every
+   breakpoint is visited at most once.  The previous implementation
+   (kept verbatim as {!Profile_reference}, the oracle of the property
+   tests) rebuilt the whole assoc list per update and re-scanned it per
+   candidate start: O(k) allocation per update, O(k^2) per search. *)
+
+type t = {
+  capacity : int;
+  mutable dates : float array;
+  mutable free : int array;
+  mutable len : int;
+  mutable peak : int;
+  mutable n_reserve : int;
+  mutable n_release : int;
+  mutable n_search : int;
+}
+
+type stats = {
+  segments : int;
+  peak_segments : int;
+  reserves : int;
+  releases : int;
+  searches : int;
+}
 
 let create m =
   if m < 1 then invalid_arg "Profile.create: capacity must be >= 1";
-  { capacity = m; steps = [ (0.0, m) ] }
+  {
+    capacity = m;
+    dates = Array.make 8 0.0;
+    free = Array.make 8 m;
+    len = 1;
+    peak = 1;
+    n_reserve = 0;
+    n_release = 0;
+    n_search = 0;
+  }
 
 let capacity t = t.capacity
-let copy t = { t with steps = t.steps }
 
-let free_at t date =
-  let rec loop last = function
-    | (s, f) :: rest when s <= date -> loop f rest
-    | _ -> last
-  in
-  match t.steps with
-  | (_, f0) :: rest -> loop f0 rest
-  | [] -> assert false
+let copy t = { t with dates = Array.copy t.dates; free = Array.copy t.free }
 
-let breakpoints t = t.steps
+let stats t =
+  {
+    segments = t.len;
+    peak_segments = t.peak;
+    reserves = t.n_reserve;
+    releases = t.n_release;
+    searches = t.n_search;
+  }
 
-(* Rewrite the step list applying [delta] on [start, stop). *)
+(* Index of the segment containing [date]: greatest i with
+   dates.(i) <= date (clamped to 0 for dates before the origin). *)
+let seg_index t date =
+  if date <= t.dates.(0) then 0
+  else begin
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.dates.(mid) <= date then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let free_at t date = t.free.(seg_index t date)
+
+let breakpoints t = List.init t.len (fun i -> (t.dates.(i), t.free.(i)))
+
+let events t =
+  List.init t.len (fun i ->
+      if i = 0 then (t.dates.(0), t.free.(0) - t.capacity)
+      else (t.dates.(i), t.free.(i) - t.free.(i - 1)))
+
+let grow t extra =
+  let need = t.len + extra in
+  let cap = Array.length t.dates in
+  if need > cap then begin
+    let cap' = max need (2 * cap) in
+    let dates = Array.make cap' 0.0 and free = Array.make cap' 0 in
+    Array.blit t.dates 0 dates 0 t.len;
+    Array.blit t.free 0 free 0 t.len;
+    t.dates <- dates;
+    t.free <- free
+  end
+
+let insert t i date level =
+  grow t 1;
+  Array.blit t.dates i t.dates (i + 1) (t.len - i);
+  Array.blit t.free i t.free (i + 1) (t.len - i);
+  t.dates.(i) <- date;
+  t.free.(i) <- level;
+  t.len <- t.len + 1
+
+(* Merge segment [i] into [i-1] when their levels became equal. *)
+let merge_at t i =
+  if i > 0 && i < t.len && t.free.(i) = t.free.(i - 1) then begin
+    Array.blit t.dates (i + 1) t.dates i (t.len - i - 1);
+    Array.blit t.free (i + 1) t.free i (t.len - i - 1);
+    t.len <- t.len - 1
+  end
+
+(* Apply [delta] on [start, stop), touching only overlapping segments.
+   Bounds are validated on the overlap before any mutation, so a failed
+   call leaves the profile unchanged. *)
 let update t ~start ~stop ~delta =
   assert (start < stop);
-  let out = ref [] in
-  let emit s f = out := (s, f) :: !out in
-  let rec loop = function
-    | [] -> ()
-    | (s, f) :: rest ->
-      let next = match rest with (s', _) :: _ -> s' | [] -> infinity in
-      (* Segment [s, next) at level f; intersect with [start, stop). *)
-      let a = Float.max s start and b = Float.min next stop in
-      if a < b then begin
-        if s < a then emit s f;
-        emit a (f + delta);
-        if b < next then emit b f
-      end
-      else emit s f;
-      loop rest
-  in
-  loop t.steps;
-  let steps = List.rev !out in
-  List.iter
-    (fun (_, f) ->
+  let start = Float.max start 0.0 in
+  if delta <> 0 && start < stop then begin
+    let i0 = seg_index t start in
+    let j = ref i0 in
+    while !j < t.len && t.dates.(!j) < stop do
+      let f = t.free.(!j) + delta in
       if f < 0 then invalid_arg "Profile: availability would become negative";
-      if f > t.capacity then invalid_arg "Profile: availability would exceed capacity")
-    steps;
-  (* Merge equal neighbours to keep the list small. *)
-  let rec merge = function
-    | (s1, f1) :: (_, f2) :: rest when f1 = f2 -> merge ((s1, f1) :: rest)
-    | p :: rest -> p :: merge rest
-    | [] -> []
-  in
-  t.steps <- merge steps
+      if f > t.capacity then invalid_arg "Profile: availability would exceed capacity";
+      incr j
+    done;
+    (* Split so breakpoints exist exactly at [start] and [stop]. *)
+    let i0 =
+      if t.dates.(i0) < start then begin
+        insert t (i0 + 1) start t.free.(i0);
+        i0 + 1
+      end
+      else i0
+    in
+    let jl = ref i0 in
+    while !jl + 1 < t.len && t.dates.(!jl + 1) < stop do incr jl done;
+    if Float.is_finite stop && (!jl = t.len - 1 || t.dates.(!jl + 1) > stop) then
+      insert t (!jl + 1) stop t.free.(!jl);
+    for k = i0 to !jl do
+      t.free.(k) <- t.free.(k) + delta
+    done;
+    (* Only the two seams can need re-merging: interior neighbours moved
+       by the same delta, so they still differ. *)
+    merge_at t (!jl + 1);
+    merge_at t i0;
+    t.peak <- max t.peak t.len
+  end
 
 let reserve t ~start ~duration ~procs =
   if duration <= 0.0 then invalid_arg "Profile.reserve: duration must be positive";
   if procs < 0 then invalid_arg "Profile.reserve: negative procs";
+  t.n_reserve <- t.n_reserve + 1;
   if procs > 0 then update t ~start ~stop:(start +. duration) ~delta:(-procs)
 
 let release t ~start ~duration ~procs =
   if duration <= 0.0 then invalid_arg "Profile.release: duration must be positive";
   if procs < 0 then invalid_arg "Profile.release: negative procs";
+  t.n_release <- t.n_release + 1;
   if procs > 0 then update t ~start ~stop:(start +. duration) ~delta:procs
 
 let release_window t ~start ~stop ~procs =
   if stop <= start then invalid_arg "Profile.release_window: empty window";
   if procs < 0 then invalid_arg "Profile.release_window: negative procs";
+  t.n_release <- t.n_release + 1;
   if procs > 0 then update t ~start ~stop ~delta:procs
 
-(* Does the window [s, s + duration) have >= procs free everywhere? *)
-let window_ok t ~s ~duration ~procs =
-  let stop = s +. duration in
-  let rec loop = function
-    | [] -> true
-    | (seg_s, f) :: rest ->
-      let next = match rest with (s', _) :: _ -> s' | [] -> infinity in
-      let overlaps =
-        if duration = 0.0 then seg_s <= s && s < next else seg_s < stop && next > s
-      in
-      if overlaps && f < procs then false else loop rest
-  in
-  loop t.steps
-
 let find_start t ~earliest ~duration ~procs =
+  t.n_search <- t.n_search + 1;
   if procs > t.capacity then raise Not_found;
   let earliest = Float.max earliest 0.0 in
-  (* The earliest feasible start is [earliest] itself or the end of an
-     insufficient segment, i.e. a breakpoint: checking those suffices. *)
-  let candidates =
-    earliest :: List.filter_map (fun (s, _) -> if s > earliest then Some s else None) t.steps
+  (* Sweep once: a candidate start is [earliest] or the end of an
+     insufficient segment; while a candidate holds, extend the covered
+     window segment by segment instead of re-testing from scratch. *)
+  let rec sweep j anchor =
+    if t.free.(j) >= procs then begin
+      let seg_end = if j + 1 < t.len then t.dates.(j + 1) else infinity in
+      if duration = 0.0 || seg_end >= anchor +. duration then anchor
+      else sweep (j + 1) anchor
+    end
+    else if j + 1 >= t.len then raise Not_found
+    else sweep (j + 1) t.dates.(j + 1)
   in
-  match List.find_opt (fun s -> window_ok t ~s ~duration ~procs) candidates with
-  | Some s -> s
-  | None -> raise Not_found
+  sweep (seg_index t earliest) earliest
 
 let place t ~earliest ~duration ~procs =
   let start = find_start t ~earliest ~duration ~procs in
@@ -101,17 +192,29 @@ let place t ~earliest ~duration ~procs =
   start
 
 let holes t ~until =
-  let rec loop acc = function
-    | [] -> List.rev acc
-    | (s, f) :: rest ->
-      let next = match rest with (s', _) :: _ -> s' | [] -> infinity in
-      let stop = Float.min next until in
-      let acc = if f > 0 && s < stop then (s, stop, f) :: acc else acc in
-      if next >= until then List.rev acc else loop acc rest
-  in
-  loop [] t.steps
+  let acc = ref [] in
+  let continue = ref true in
+  let i = ref 0 in
+  while !continue && !i < t.len do
+    let s = t.dates.(!i) in
+    let next = if !i + 1 < t.len then t.dates.(!i + 1) else infinity in
+    let stop = Float.min next until in
+    if t.free.(!i) > 0 && s < stop then acc := (s, stop, t.free.(!i)) :: !acc;
+    if next >= until then continue := false else incr i
+  done;
+  List.rev !acc
+
+let usage_timeline demands =
+  let total = List.fold_left (fun acc (_, _, p) -> acc + max p 0) 0 demands in
+  let t = create (max 1 total) in
+  List.iter
+    (fun (start, stop, procs) ->
+      if procs > 0 && stop > start && stop > 0.0 then update t ~start ~stop ~delta:(-procs))
+    demands;
+  List.init t.len (fun i -> (t.dates.(i), t.capacity - t.free.(i)))
 
 let pp ppf t =
   let pp_step ppf (s, f) = Format.fprintf ppf "%g->%d" s f in
-  Format.fprintf ppf "@[<h>[%a]@]" (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_step)
-    t.steps
+  Format.fprintf ppf "@[<h>[%a]@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_step)
+    (breakpoints t)

@@ -6,7 +6,12 @@
     which [k] processors are simultaneously free for [d] seconds?" and
     records placements.  The function is piecewise constant with
     finitely many breakpoints and extends with its last value to
-    +infinity. *)
+    +infinity.
+
+    Implementation: an indexed step timeline (growable sorted arrays
+    with binary-searched lookup, in-place window deltas, sweep-line
+    search).  {!Profile_reference} keeps the original assoc-list
+    implementation as the oracle of the property tests. *)
 
 type t
 
@@ -51,4 +56,29 @@ val holes : t -> until:float -> (float * float * int) list
     before [until] — the Gantt-chart holes the best-effort layer fills. *)
 
 val copy : t -> t
+(** Independent deep copy: mutating the copy never affects the
+    original (the backing arrays are duplicated, not shared). *)
+
+val events : t -> (float * int) list
+(** The step function as signed jumps: [(date, delta_free)] per
+    breakpoint, the first relative to the implicit full-capacity level
+    before time 0.  Summing prefixes of [events] recovers
+    {!breakpoints}; the encoding suits observability exports. *)
+
+type stats = {
+  segments : int;  (** current number of breakpoints *)
+  peak_segments : int;  (** high-water mark since creation *)
+  reserves : int;  (** {!reserve} calls *)
+  releases : int;  (** {!release} / {!release_window} calls *)
+  searches : int;  (** {!find_start} calls (incl. via {!place}) *)
+}
+
+val stats : t -> stats
+(** Observability counters for scheduler instrumentation. *)
+
+val usage_timeline : (float * float * int) list -> (float * int) list
+(** [usage_timeline demands]: the total demand of [(start, stop,
+    procs)] intervals as a step function [(date, used)] — one sweep of
+    the timeline engine.  Used by {!Validate} for capacity checking. *)
+
 val pp : Format.formatter -> t -> unit

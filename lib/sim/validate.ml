@@ -44,10 +44,12 @@ let check ?(speed = 1.0) ?(reservations = []) ~jobs sched =
   List.iter
     (fun (j : Job.t) -> if not (Hashtbl.mem seen j.id) then add (Missing_job j.id))
     jobs;
-  (* Capacity: sweep over start/finish events, counting reservations as
-     extra demand.  Demand only increases at a start event, so checking
-     there suffices.  A small epsilon avoids flagging back-to-back
-     placements where one job ends exactly when the next begins. *)
+  (* Capacity: build the exact usage step timeline with the profile
+     engine (one sweep over the demand intervals), counting
+     reservations as extra demand, and flag every maximal segment above
+     capacity.  Slivers no longer than [eps] are tolerated, as the
+     previous epsilon-shifted sampling did for back-to-back placements
+     where one job ends within rounding of the next one's start. *)
   let eps = 1e-9 in
   let demands =
     List.map (fun (e : entry) -> (e.start, completion e, e.procs)) sched.entries
@@ -56,13 +58,14 @@ let check ?(speed = 1.0) ?(reservations = []) ~jobs sched =
           (r.start, Psched_platform.Reservation.finish r, r.procs))
         reservations
   in
-  let usage_at date =
-    List.fold_left
-      (fun acc (s, f, p) -> if s <= date +. eps && date +. eps < f then acc + p else acc)
-      0 demands
+  let rec flag = function
+    | [] -> ()
+    | (date, used) :: rest ->
+      let next = match rest with (d, _) :: _ -> d | [] -> infinity in
+      if used > sched.m && next -. date > eps then add (Over_capacity date);
+      flag rest
   in
-  let starts = List.sort_uniq compare (List.map (fun (s, _, _) -> s) demands) in
-  List.iter (fun s -> if usage_at s > sched.m then add (Over_capacity s)) starts;
+  flag (Profile.usage_timeline demands);
   List.rev !violations
 
 let is_valid ?speed ?reservations ~jobs sched = check ?speed ?reservations ~jobs sched = []

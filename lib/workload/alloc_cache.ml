@@ -1,0 +1,73 @@
+(* Memoized allocation tables for one job on an m-processor cluster.
+
+   The MRT dual binary search evaluates gamma(j, lambda) — the smallest
+   feasible allocation meeting a deadline — at every guess of lambda,
+   and each evaluation used to re-scan Job.time_on from min_procs up.
+   Building the time/work tables once per (job, m) pair turns every
+   later query into an array lookup, and when the time profile is
+   non-increasing (every monotone speedup model) the canonical
+   allocation becomes a binary search. *)
+
+type t = {
+  job : Job.t;
+  lo : int;  (* min_procs *)
+  hi : int;  (* min m max_procs; hi < lo means infeasible on m procs *)
+  times : float array;  (* times.(k - lo) = Job.time_on job k *)
+  works : float array;
+  monotone : bool;  (* times non-increasing on lo..hi *)
+  min_work : float;  (* min over works, for area lower bounds *)
+}
+
+let of_job ~m (job : Job.t) =
+  let lo = Job.min_procs job in
+  let hi = min m (Job.max_procs job) in
+  if hi < lo then
+    { job; lo; hi; times = [||]; works = [||]; monotone = true; min_work = infinity }
+  else begin
+    let times =
+      (* For moldable jobs the table is a slice of the stored profile;
+         going through Job.time_on would re-check feasibility per k. *)
+      match job.Job.shape with
+      | Job.Moldable { times; _ } -> Array.sub times (lo - 1) (hi - lo + 1)
+      | _ -> Array.init (hi - lo + 1) (fun i -> Job.time_on job (lo + i))
+    in
+    let len = Array.length times in
+    let works = Array.make len 0.0 in
+    let monotone = ref true and min_work = ref infinity in
+    for i = 0 to len - 1 do
+      let w = float_of_int (lo + i) *. times.(i) in
+      works.(i) <- w;
+      if w < !min_work then min_work := w;
+      if i > 0 && times.(i) > times.(i - 1) then monotone := false
+    done;
+    { job; lo; hi; times; works; monotone = !monotone; min_work = !min_work }
+  end
+
+let job t = t.job
+let min_procs t = t.lo
+let max_procs t = t.hi
+let feasible t = t.lo <= t.hi
+let min_work t = t.min_work
+let time_on t k = if k < t.lo || k > t.hi then infinity else t.times.(k - t.lo)
+let work_on t k = if k < t.lo || k > t.hi then infinity else t.works.(k - t.lo)
+
+let canonical t ~deadline =
+  if t.hi < t.lo then None
+  else if t.monotone then
+    if t.times.(t.hi - t.lo) > deadline then None
+    else begin
+      (* Smallest k whose time meets the deadline; monotonicity makes
+         the predicate one-crossing, so binary search applies. *)
+      let lo = ref t.lo and hi = ref t.hi in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.times.(mid - t.lo) <= deadline then hi := mid else lo := mid + 1
+      done;
+      Some !lo
+    end
+  else begin
+    let rec find k =
+      if k > t.hi then None else if t.times.(k - t.lo) <= deadline then Some k else find (k + 1)
+    in
+    find t.lo
+  end

@@ -1,0 +1,36 @@
+(** Memoized allocation tables for one job on an [m]-processor
+    cluster: O(1) [time_on]/[work_on] lookups and a binary-searched
+    canonical allocation gamma(j, d) for monotone time profiles
+    (falling back to a linear scan when the profile is not
+    non-increasing, so the result is always the {e smallest} feasible
+    allocation meeting the deadline).
+
+    Build once per (job, machine) pair and query freely: the MRT dual
+    binary search evaluates gamma at every lambda guess, which made the
+    repeated scans the hot path. *)
+
+type t
+
+val of_job : m:int -> Job.t -> t
+val job : t -> Job.t
+
+val min_procs : t -> int
+val max_procs : t -> int
+(** Feasible allocation range on this machine ([max_procs] is already
+    capped by [m]); [max_procs < min_procs] when the job cannot run. *)
+
+val feasible : t -> bool
+
+val time_on : t -> int -> float
+(** Cached [Job.time_on]; [infinity] outside the feasible range. *)
+
+val work_on : t -> int -> float
+
+val min_work : t -> float
+(** Smallest work over the feasible range, precomputed while the
+    tables are built (area lower bounds query it per job); [infinity]
+    when the job cannot run on [m] processors. *)
+
+val canonical : t -> deadline:float -> int option
+(** gamma(j, d): smallest feasible allocation whose execution time is
+    at most [deadline]; [None] if even the fastest one is too slow. *)

@@ -1,0 +1,176 @@
+(* Equivalence of the indexed Profile engine and the assoc-list
+   Profile_reference oracle: random operation sequences must produce
+   identical observations (results, exceptions, breakpoints, holes,
+   point queries), plus regressions for zero-duration windows and
+   back-to-back segment merging. *)
+
+open Psched_sim
+
+type op =
+  | Reserve of float * float * int
+  | Release of float * float * int
+  | Release_window of float * float * int
+  | Find of float * float * int
+  | Place of float * float * int
+  | Free_at of float
+  | Holes of float
+
+let pp_op ppf = function
+  | Reserve (s, d, p) -> Format.fprintf ppf "reserve %g +%g x%d" s d p
+  | Release (s, d, p) -> Format.fprintf ppf "release %g +%g x%d" s d p
+  | Release_window (s, e, p) -> Format.fprintf ppf "release_window %g..%g x%d" s e p
+  | Find (e, d, p) -> Format.fprintf ppf "find %g +%g x%d" e d p
+  | Place (e, d, p) -> Format.fprintf ppf "place %g +%g x%d" e d p
+  | Free_at d -> Format.fprintf ppf "free_at %g" d
+  | Holes u -> Format.fprintf ppf "holes %g" u
+
+(* One observation per op, rich enough that divergence shows up
+   immediately: the op's own result plus the full breakpoint list. *)
+type obs =
+  | Start of float
+  | Count of int
+  | Segs of (float * float * int) list
+  | Unit
+  | Error of string
+
+let observe (module P : Profile_intf.S) m ops =
+  let p = P.create m in
+  let step op =
+    let r =
+      match op with
+      | Reserve (start, duration, procs) -> (
+        match P.reserve p ~start ~duration ~procs with
+        | () -> Unit
+        | exception Invalid_argument msg -> Error msg)
+      | Release (start, duration, procs) -> (
+        match P.release p ~start ~duration ~procs with
+        | () -> Unit
+        | exception Invalid_argument msg -> Error msg)
+      | Release_window (start, stop, procs) -> (
+        match P.release_window p ~start ~stop ~procs with
+        | () -> Unit
+        | exception Invalid_argument msg -> Error msg)
+      | Find (earliest, duration, procs) -> (
+        match P.find_start p ~earliest ~duration ~procs with
+        | s -> Start s
+        | exception Not_found -> Error "not found")
+      | Place (earliest, duration, procs) -> (
+        match P.place p ~earliest ~duration ~procs with
+        | s -> Start s
+        | exception Not_found -> Error "not found")
+      | Free_at date -> Count (P.free_at p date)
+      | Holes until -> Segs (P.holes p ~until)
+    in
+    (r, P.breakpoints p)
+  in
+  List.map step ops
+
+(* Dates on a half-integer grid provoke exact boundary collisions
+   (back-to-back reservations, find at segment ends); procs beyond the
+   capacity exercise the Not_found / Invalid_argument paths. *)
+let gen_ops =
+  let open QCheck.Gen in
+  let date = map (fun k -> 0.5 *. float_of_int k) (int_range 0 40) in
+  let duration = map (fun k -> 0.5 *. float_of_int k) (int_range 1 16) in
+  let gen_op m =
+    frequency
+      [
+        (4, map3 (fun s d p -> Reserve (s, d, p)) date duration (int_range 0 (m + 2)));
+        (2, map3 (fun s d p -> Release (s, d, p)) date duration (int_range 0 (m + 2)));
+        (1, map3 (fun s d p -> Release_window (s, s +. d, p)) date duration (int_range 0 (m + 2)));
+        (3, map3 (fun e d p -> Find (e, d, p)) date (map (fun d -> d -. 0.5) duration) (int_range 0 (m + 2)));
+        (3, map3 (fun e d p -> Place (e, d, p)) date duration (int_range 0 (m + 2)));
+        (1, map (fun d -> Free_at d) date);
+        (1, map (fun u -> Holes u) date);
+      ]
+  in
+  let* m = int_range 1 16 in
+  let* ops = list_size (int_range 1 30) (gen_op m) in
+  return (m, ops)
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun (m, ops) ->
+      Format.asprintf "m=%d@ %a" m (Format.pp_print_list pp_op) ops)
+    gen_ops
+
+let qcheck_engines_agree =
+  T_helpers.qtest ~count:1000 "profile engines: indexed = reference on random op sequences"
+    arb_ops
+    (fun (m, ops) ->
+      observe (module Profile) m ops = observe (module Profile_reference) m ops)
+
+(* --- regressions ------------------------------------------------------ *)
+
+let test_zero_duration_window () =
+  let p = Profile.create 4 and r = Profile_reference.create 4 in
+  Profile.reserve p ~start:0.0 ~duration:2.0 ~procs:4;
+  Profile_reference.reserve r ~start:0.0 ~duration:2.0 ~procs:4;
+  (* A zero-duration window needs only the instant itself: blocked while
+     the profile is saturated, available at the segment boundary. *)
+  T_helpers.check_float "zero-duration waits" 2.0
+    (Profile.find_start p ~earliest:0.0 ~duration:0.0 ~procs:1);
+  T_helpers.check_float "oracle agrees" 2.0
+    (Profile_reference.find_start r ~earliest:0.0 ~duration:0.0 ~procs:1);
+  T_helpers.check_float "zero-duration inside a feasible segment" 1.0
+    (Profile.find_start p ~earliest:1.0 ~duration:0.0 ~procs:0);
+  Alcotest.check_raises "zero-duration too wide" Not_found (fun () ->
+      ignore (Profile.find_start p ~earliest:0.0 ~duration:0.0 ~procs:5))
+
+let test_back_to_back_merge () =
+  let p = Profile.create 8 in
+  Profile.reserve p ~start:0.0 ~duration:5.0 ~procs:4;
+  Profile.reserve p ~start:5.0 ~duration:5.0 ~procs:4;
+  (* Adjacent equal-level segments must fuse: one plateau, no
+     breakpoint at the shared boundary. *)
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "merged plateau"
+    [ (0.0, 4); (10.0, 8) ]
+    (Profile.breakpoints p);
+  Profile.release p ~start:0.0 ~duration:10.0 ~procs:4;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "flat after release" [ (0.0, 8) ] (Profile.breakpoints p)
+
+let test_copy_deep () =
+  let p = Profile.create 8 in
+  Profile.reserve p ~start:1.0 ~duration:4.0 ~procs:3;
+  let q = Profile.copy p in
+  Profile.reserve q ~start:2.0 ~duration:1.0 ~procs:5;
+  Profile.release q ~start:1.0 ~duration:4.0 ~procs:3;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "original unchanged by copy mutations"
+    [ (0.0, 8); (1.0, 5); (5.0, 8) ]
+    (Profile.breakpoints p)
+
+let test_stats_and_events () =
+  let p = Profile.create 8 in
+  Profile.reserve p ~start:1.0 ~duration:4.0 ~procs:3;
+  ignore (Profile.find_start p ~earliest:0.0 ~duration:1.0 ~procs:8);
+  let s = Profile.stats p in
+  Alcotest.(check int) "segments" 3 s.Profile.segments;
+  Alcotest.(check int) "reserves" 1 s.Profile.reserves;
+  Alcotest.(check int) "searches" 1 s.Profile.searches;
+  Alcotest.(check bool) "peak >= segments" true (s.Profile.peak_segments >= s.Profile.segments);
+  (* events are the signed jumps; prefix sums recover the levels. *)
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "events"
+    [ (0.0, 0); (1.0, -3); (5.0, 3) ]
+    (Profile.events p)
+
+let test_usage_timeline () =
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "stacked demands"
+    [ (0.0, 2); (1.0, 5); (2.0, 3); (4.0, 0) ]
+    (Profile.usage_timeline [ (0.0, 2.0, 2); (1.0, 4.0, 3) ]);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "empty demand list" [ (0.0, 0) ] (Profile.usage_timeline [])
+
+let suite =
+  [
+    qcheck_engines_agree;
+    Alcotest.test_case "zero-duration windows" `Quick test_zero_duration_window;
+    Alcotest.test_case "back-to-back merge" `Quick test_back_to_back_merge;
+    Alcotest.test_case "copy is deep" `Quick test_copy_deep;
+    Alcotest.test_case "stats and events" `Quick test_stats_and_events;
+    Alcotest.test_case "usage timeline" `Quick test_usage_timeline;
+  ]

@@ -5,6 +5,7 @@ let () =
       ("platform", T_platform.suite);
       ("workload", T_workload.suite);
       ("sim", T_sim.suite);
+      ("profile", T_profile.suite);
       ("core", T_core.suite);
       ("core-more", T_more_core.suite);
       ("dlt", T_dlt.suite);

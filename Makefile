@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench check clean
+.PHONY: all build test bench-smoke bench bench-fault check clean
 
 all: build
 
@@ -18,7 +18,12 @@ bench-smoke:
 bench:
 	dune exec bench/main.exe -- perf --json
 
-check: build test bench-smoke
+# Robustness degradation grid (rate x recovery policy x backoff);
+# rewrites BENCH_2.json deterministically at seed 42.
+bench-fault:
+	dune exec bench/main.exe -- fault-table --json
+
+check: build test bench-smoke bench-fault
 
 clean:
 	dune clean

@@ -9,11 +9,12 @@
      list-based Profile_reference engine run next to the default
      indexed engine, so the speedup is measured in the same run.
 
-   Usage: main.exe [all|figures|tables|ablations|perf] [--json] [--quick]
-   (default: all).  With --json, perf writes per-test OLS ns
-   estimates + engine speedups to BENCH_1.json for trend tracking
-   (BENCH_quick.json under --quick); --quick restricts perf to one
-   cheap paired test (CI smoke). *)
+   Usage: main.exe [all|figures|tables|ablations|fault-table|perf]
+   [--json] [--quick] (default: all).  With --json, perf writes
+   per-test OLS ns estimates + engine speedups to BENCH_1.json for
+   trend tracking (BENCH_quick.json under --quick) and fault-table
+   writes the robustness degradation grid to BENCH_2.json; --quick
+   restricts perf to one cheap paired test (CI smoke). *)
 
 open Bechamel
 open Toolkit
@@ -238,6 +239,16 @@ let print_perf ?(json = false) ?(quick = false) () =
     Printf.printf "wrote %s\n" path
   end
 
+(* The robustness degradation table (fault library): plain simulation,
+   cheap enough to run in full even under --quick. *)
+let print_fault_table ?(json = false) () =
+  let table = Psched_fault.Robustness.degradation ~seed:42 () in
+  print_string (Psched_fault.Robustness.to_string table);
+  if json then begin
+    Psched_sim.Export.save "BENCH_2.json" (Psched_fault.Robustness.to_json table);
+    print_endline "wrote BENCH_2.json"
+  end
+
 let print_figures () =
   print_string (Psched_experiments.Fig2.to_string (Psched_experiments.Fig2.run ()))
 
@@ -265,13 +276,17 @@ let () =
   | "tables" -> print_tables ()
   | "ablations" -> print_ablations ()
   | "perf" -> print_perf ~json ~quick ()
+  | "fault-table" -> print_fault_table ~json ()
   | "all" ->
     print_figures ();
     print_newline ();
     print_tables ();
     print_ablations ();
+    print_fault_table ~json ();
     print_perf ~json ~quick ()
   | other ->
     Printf.eprintf
-      "unknown mode %S (all | figures | tables | ablations | perf [--json] [--quick])\n" other;
+      "unknown mode %S (all | figures | tables | ablations | fault-table | perf [--json] \
+       [--quick])\n"
+      other;
     exit 1

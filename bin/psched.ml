@@ -296,6 +296,42 @@ let resilience_cmd =
     (Cmd.info "resilience" ~doc:"Node-outage injection with kill and restart (S1.1 versatility).")
     Term.(const run $ n $ m $ seed $ rate)
 
+let fault_cmd =
+  let run n m seed rates cost out =
+    let rates =
+      match rates with
+      | [] -> Psched_fault.Robustness.default_rates
+      | l -> List.sort compare l
+    in
+    let table =
+      Psched_fault.Robustness.degradation ~rates ~n ~m ~checkpoint_cost:cost ~seed ()
+    in
+    print_string (Psched_fault.Robustness.to_string table);
+    match out with
+    | None -> ()
+    | Some path ->
+      Psched_sim.Export.save path (Psched_fault.Robustness.to_json table);
+      Format.printf "wrote %s@." path
+  in
+  let n = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Jobs.") in
+  let m = Arg.(value & opt int 32 & info [ "m" ] ~doc:"Processors.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let rates =
+    Arg.(value & opt (list float) [] & info [ "rates" ] ~doc:"Outage rates (per second).")
+  in
+  let cost =
+    Arg.(value & opt float 1.0 & info [ "checkpoint-cost" ] ~doc:"Checkpoint write cost (s).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Write the table as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Robustness degradation table: outage rates x recovery policies (none | restart | \
+          checkpoint at the Young/Daly period) x resubmission backoff.")
+    Term.(const run $ n $ m $ seed $ rates $ cost $ out)
+
 (* --------------------------------------------------------------- dlt *)
 
 let dlt_cmd =
@@ -325,6 +361,6 @@ let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,97 @@
+(* Fault injection and recovery policies (the robustness axis of the
+   paper's "versatility" discussion, section 1.1).
+
+   Demonstrates:
+   - seed-deterministic fault generators (Poisson node failures plus
+     correlated burst outages);
+   - recovery policies on one cluster: no fault tolerance vs
+     restart-from-scratch vs checkpoint/restart at the Young/Daly
+     period, with and without exponential-backoff resubmission;
+   - the best-effort layer under outages: local jobs stay undisturbed,
+     killed grid runs back off, the circuit breaker pauses submission;
+   - multi-cluster placement degrading gracefully around a site outage.
+
+   Run with: dune exec examples/fault_tolerance.exe *)
+
+open Psched_workload
+module F = Psched_fault
+module Pf = Psched_platform.Platform
+
+let () =
+  let m = 32 in
+  let rng = Psched_util.Rng.create 2718 in
+  let jobs =
+    Workload_gen.rigid_uniform rng ~n:30 ~m ~tmin:20.0 ~tmax:120.0
+    |> Workload_gen.with_poisson_arrivals rng ~rate:0.1
+    |> List.map Psched_core.Packing.allocate_rigid
+  in
+  (* 1. A mixed failure process: independent partial losses plus
+     correlated cascades sharing a failure domain. *)
+  let fault_rng = Psched_util.Rng.create 54321 in
+  let outages =
+    F.Outage.by_start
+      (F.Generator.poisson fault_rng ~horizon:2500.0 ~rate:0.02 ~mean_duration:40.0
+         ~width:(F.Generator.Uniform (m / 2)) ()
+      @ F.Generator.bursts fault_rng ~horizon:2500.0 ~burst_rate:0.004 ~mean_size:4.0
+          ~spread:3.0 ~mean_duration:20.0 ~width:F.Generator.Machine ())
+  in
+  Format.printf "%d outages over 2500 s on %d processors@.@." (List.length outages) m;
+  (* 2. The policy space on one cluster. *)
+  let mtbf = 1.0 /. 0.02 and cost = 1.0 in
+  Format.printf "Young/Daly period for mtbf=%.0fs cost=%.0fs: %.1f s@.@." mtbf cost
+    (F.Recovery.daly_period ~mtbf ~cost);
+  let cells =
+    [
+      ("none", F.Recovery.Drop, None);
+      ("restart", F.Recovery.Restart, None);
+      ("restart+backoff", F.Recovery.Restart, Some (F.Recovery.backoff ~base:5.0 ()));
+      ("checkpoint-daly", F.Recovery.daly ~mtbf ~cost, None);
+    ]
+  in
+  Format.printf "%-18s %8s %8s %10s %8s %6s@." "policy" "goodput" "kills" "wasted" "ck-ovh"
+    "lost";
+  List.iter
+    (fun (name, policy, backoff) ->
+      let o =
+        F.Injector.run
+          { F.Injector.m; outages; policy; backoff }
+          jobs
+      in
+      Format.printf "%-18s %8.4f %8d %10.1f %8.1f %6d@." name o.F.Injector.goodput
+        o.F.Injector.kills o.F.Injector.wasted_work o.F.Injector.checkpoint_overhead
+        o.F.Injector.lost)
+    cells;
+  (* 3. Best-effort under the same outages: the bag is shed first, the
+     breaker pauses submission after a kill burst. *)
+  let config = { Psched_grid.Best_effort.m; bag = 400; unit_time = 30.0; horizon = 4000.0 } in
+  let o =
+    Psched_grid.Best_effort.simulate ~outages
+      ~backoff:(F.Recovery.backoff ~base:5.0 ~max_delay:120.0 ())
+      ~breaker:(F.Recovery.breaker ~threshold:5 ~window:60.0 ~cooloff:180.0 ())
+      config ~local:jobs
+  in
+  Format.printf
+    "@.best-effort under outages: completed %d, killed %d (local kills %d), breaker trips %d@."
+    o.Psched_grid.Best_effort.grid_completed o.Psched_grid.Best_effort.grid_killed
+    o.Psched_grid.Best_effort.local_killed o.Psched_grid.Best_effort.breaker_trips;
+  (* 4. A site outage on the CIMENT grid: jobs re-route to survivors. *)
+  let grid_jobs =
+    List.init 120 (fun id ->
+        let community = Psched_util.Rng.int rng 4 in
+        let time = Psched_util.Rng.uniform rng 20.0 400.0 in
+        let procs = 1 + Psched_util.Rng.int rng 16 in
+        Job.rigid ~community ~id ~procs ~time ())
+    |> Workload_gen.with_poisson_arrivals rng ~rate:0.05
+  in
+  let site_down =
+    (* Cluster 1 loses every processor for its first hour. *)
+    let c = List.nth Pf.ciment.Pf.clusters 1 in
+    [ F.Outage.make ~cluster:c.Pf.id ~start:0.0 ~duration:3600.0 ~procs:(Pf.processors c) () ]
+  in
+  let g =
+    Psched_grid.Multi_cluster.simulate ~outages:site_down Psched_grid.Multi_cluster.Independent
+      ~grid:Pf.ciment ~jobs:grid_jobs
+  in
+  Format.printf
+    "@.site outage on CIMENT (independent placement): %d jobs re-routed, Cmax %.0f s@."
+    g.Psched_grid.Multi_cluster.rerouted g.Psched_grid.Multi_cluster.makespan

@@ -1,0 +1,91 @@
+open Psched_util
+
+type width = Machine | Cluster of int | Uniform of int
+
+let draw_width rng = function
+  | Machine -> 1
+  | Cluster m ->
+    if m < 1 then invalid_arg "Generator: Cluster width must be positive";
+    m
+  | Uniform max_procs ->
+    if max_procs < 1 then invalid_arg "Generator: Uniform width must be positive";
+    1 + Rng.int rng max_procs
+
+let draw_duration rng ~mean_duration = Float.max (Rng.exp_mean rng mean_duration) 1e-3
+
+let poisson rng ~horizon ~rate ~mean_duration ~width ?(cluster = 0) () =
+  if rate <= 0.0 then []
+  else begin
+    let clock = ref 0.0 in
+    let out = ref [] in
+    let continue = ref true in
+    while !continue do
+      (* Inter-arrivals are rate-parameterised, durations are
+         mean-parameterised: see the convention note in Rng. *)
+      clock := !clock +. Rng.exponential rng rate;
+      if !clock >= horizon then continue := false
+      else begin
+        let duration = draw_duration rng ~mean_duration in
+        let procs = draw_width rng width in
+        out := Outage.make ~cluster ~start:!clock ~duration ~procs () :: !out
+      end
+    done;
+    List.rev !out
+  end
+
+let weibull rng ~horizon ~shape ~scale ~mean_duration ~width ?(cluster = 0) () =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Generator.weibull: non-positive parameter";
+  let clock = ref 0.0 in
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    clock := !clock +. Rng.weibull rng ~shape ~scale;
+    if !clock >= horizon then continue := false
+    else begin
+      let duration = draw_duration rng ~mean_duration in
+      let procs = draw_width rng width in
+      out := Outage.make ~cluster ~start:!clock ~duration ~procs () :: !out
+    end
+  done;
+  List.rev !out
+
+let bursts rng ~horizon ~burst_rate ~mean_size ~spread ~mean_duration ~width ?(cluster = 0) () =
+  if mean_size < 1.0 then invalid_arg "Generator.bursts: mean_size must be >= 1";
+  if spread < 0.0 then invalid_arg "Generator.bursts: negative spread";
+  let clock = ref 0.0 in
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    clock := !clock +. Rng.exponential rng burst_rate;
+    if !clock >= horizon then continue := false
+    else begin
+      (* Burst size is 1 + Geometric(p) with mean [mean_size]: a
+         correlated cascade of near-simultaneous failures (shared
+         PDU/switch/cooling), the regime where immediate resubmission
+         keeps dying and backoff earns its keep. *)
+      let p = 1.0 /. mean_size in
+      let size =
+        let n = ref 1 in
+        while Rng.float rng 1.0 >= p do incr n done;
+        !n
+      in
+      for _ = 1 to size do
+        let start = !clock +. Rng.float rng (Float.max spread 1e-9) in
+        if start < horizon then begin
+          let duration = draw_duration rng ~mean_duration in
+          let procs = draw_width rng width in
+          out := Outage.make ~cluster ~start ~duration ~procs () :: !out
+        end
+      done
+    end
+  done;
+  Outage.by_start !out
+
+let per_cluster rng ~grid ~gen =
+  List.concat_map
+    (fun (c : Psched_platform.Platform.cluster) ->
+      let stream = Rng.split rng in
+      gen stream ~cluster:c.Psched_platform.Platform.id
+        ~capacity:(Psched_platform.Platform.processors c))
+    grid.Psched_platform.Platform.clusters
+  |> Outage.by_start

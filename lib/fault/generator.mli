@@ -1,0 +1,73 @@
+(** Fault generators: seed-deterministic outage processes.
+
+    Three failure regimes, all pure functions of the supplied
+    generator state:
+
+    - {!poisson}: memoryless node failures (constant hazard), the
+      classical MTBF model.
+    - {!weibull}: Weibull inter-failure times; [shape < 1] matches the
+      infant-mortality-heavy traces observed on production HPC
+      platforms.
+    - {!bursts}: correlated burst outages — failure epochs arrive as a
+      Poisson process, each bringing a geometric cascade of
+      near-simultaneous outages (a shared power/network/cooling domain
+      dying), spread over a short window.
+
+    Widths are scoped {!Machine} (one processor — per-machine faults),
+    {!Cluster} (the whole cluster at once — site outage) or
+    {!Uniform} (uniform in [\[1, max\]], partial blade/chassis loss). *)
+
+type width =
+  | Machine  (** single-processor outages *)
+  | Cluster of int  (** the whole cluster ([capacity] processors) at once *)
+  | Uniform of int  (** uniform width in [\[1, max\]] *)
+
+val draw_width : Psched_util.Rng.t -> width -> int
+
+val poisson :
+  Psched_util.Rng.t ->
+  horizon:float ->
+  rate:float ->
+  mean_duration:float ->
+  width:width ->
+  ?cluster:int ->
+  unit ->
+  Outage.t list
+(** Poisson arrivals at [rate] outages per second until [horizon];
+    exponential durations with the given mean (floored at 1e-3). *)
+
+val weibull :
+  Psched_util.Rng.t ->
+  horizon:float ->
+  shape:float ->
+  scale:float ->
+  mean_duration:float ->
+  width:width ->
+  ?cluster:int ->
+  unit ->
+  Outage.t list
+(** Weibull([shape], [scale]) inter-arrival times; mean inter-arrival
+    is [scale * Gamma(1 + 1/shape)]. *)
+
+val bursts :
+  Psched_util.Rng.t ->
+  horizon:float ->
+  burst_rate:float ->
+  mean_size:float ->
+  spread:float ->
+  mean_duration:float ->
+  width:width ->
+  ?cluster:int ->
+  unit ->
+  Outage.t list
+(** Burst epochs at [burst_rate] per second; each epoch spawns
+    [1 + Geometric] outages (mean [mean_size]) offset uniformly within
+    [spread] seconds.  Result sorted by start. *)
+
+val per_cluster :
+  Psched_util.Rng.t ->
+  grid:Psched_platform.Platform.t ->
+  gen:(Psched_util.Rng.t -> cluster:int -> capacity:int -> Outage.t list) ->
+  Outage.t list
+(** Run one generator per grid cluster on split (independent) streams
+    and merge the results sorted by start. *)

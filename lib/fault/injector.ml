@@ -1,0 +1,214 @@
+open Psched_workload
+open Psched_sim
+
+type config = {
+  m : int;
+  outages : Outage.t list;
+  policy : Recovery.policy;
+  backoff : Recovery.backoff option;
+}
+
+type outcome = {
+  schedule : Schedule.t;
+  completed : int;
+  lost : int;
+  kills : int;
+  restarts : int;
+  checkpoints : int;
+  useful_work : float;
+  wasted_work : float;
+  checkpoint_overhead : float;
+  goodput : float;
+  makespan : float;
+}
+
+(* One logical job, carried across kill/resubmit attempts. *)
+type rstate = {
+  job : Job.t;
+  procs : int;
+  total : float;  (* useful seconds on this allocation *)
+  mutable salvaged : float;  (* useful seconds secured by checkpoints *)
+  mutable attempts : int;  (* kills suffered so far *)
+  mutable started : float;  (* start of the current attempt *)
+  mutable runtime : float;  (* planned wall time of the current attempt *)
+  mutable ck_planned : int;  (* checkpoints the current attempt will write *)
+  mutable handle : Engine.handle option;  (* pending completion event *)
+}
+
+let eps = 1e-9
+
+let run config jobs =
+  Outage.validate config.outages;
+  List.iter
+    (fun ((j : Job.t), k) ->
+      if k > config.m then
+        invalid_arg (Printf.sprintf "Injector.run: job %d wider than %d" j.id config.m))
+    jobs;
+  let profile = Outage.free_profile ~m:config.m config.outages in
+  let e = Engine.create () in
+  let waiting = ref [] (* FCFS; killed jobs requeue at the back *) in
+  let running = ref [] in
+  let entries = ref [] in
+  let completed = ref 0 and lost = ref 0 in
+  let kills = ref 0 and restarts = ref 0 and checkpoints = ref 0 in
+  let useful = ref 0.0 and wasted = ref 0.0 and overhead = ref 0.0 in
+  let cap now = Profile.free_at profile now in
+  let used () = List.fold_left (fun acc r -> acc + r.procs) 0 !running in
+  (* Wall time and checkpoint count of an attempt that still owes
+     [remaining] useful seconds: a checkpoint after each full period of
+     compute, none after the final (possibly partial) segment. *)
+  let plan remaining =
+    match config.policy with
+    | Recovery.Checkpoint { period; _ } ->
+      max 0 (int_of_float (Float.ceil ((remaining -. eps) /. period)) - 1)
+    | Recovery.Drop | Recovery.Restart -> 0
+  in
+  let complete now r =
+    (match r.handle with Some h -> Engine.cancel e h | None -> ());
+    r.handle <- None;
+    running := List.filter (fun x -> x != r) !running;
+    entries :=
+      {
+        Schedule.job_id = r.job.Job.id;
+        start = r.started;
+        duration = now -. r.started;
+        procs = r.procs;
+        cluster = 0;
+      }
+      :: !entries;
+    incr completed;
+    useful := !useful +. (r.total *. float_of_int r.procs);
+    checkpoints := !checkpoints + r.ck_planned;
+    (match config.policy with
+    | Recovery.Checkpoint { cost; _ } ->
+      overhead := !overhead +. (float_of_int r.ck_planned *. cost *. float_of_int r.procs)
+    | _ -> ())
+  in
+  let rec drain now =
+    match !waiting with
+    | r :: rest when used () + r.procs <= cap now ->
+      waiting := rest;
+      start now r;
+      drain now
+    | _ -> ()
+  and start now r =
+    let remaining = Float.max (r.total -. r.salvaged) 0.0 in
+    r.started <- now;
+    if remaining <= eps then begin
+      (* Everything already checkpointed: the resumed run is a no-op. *)
+      r.ck_planned <- 0;
+      r.runtime <- 0.0;
+      running := r :: !running;
+      complete now r
+    end
+    else begin
+      let n_ck = plan remaining in
+      let ck_cost =
+        match config.policy with Recovery.Checkpoint { cost; _ } -> cost | _ -> 0.0
+      in
+      r.ck_planned <- n_ck;
+      r.runtime <- remaining +. (float_of_int n_ck *. ck_cost);
+      running := r :: !running;
+      r.handle <- Some (Engine.schedule e (now +. r.runtime) (fun () -> finish r))
+    end
+  and finish r =
+    let now = Engine.now e in
+    if List.memq r !running then begin
+      complete now r;
+      drain now
+    end
+  in
+  let kill now r =
+    (match r.handle with Some h -> Engine.cancel e h | None -> ());
+    r.handle <- None;
+    running := List.filter (fun x -> x != r) !running;
+    incr kills;
+    r.attempts <- r.attempts + 1;
+    let elapsed = now -. r.started in
+    let procs = float_of_int r.procs in
+    (match config.policy with
+    | Recovery.Checkpoint { period; cost } ->
+      let cycle = period +. cost in
+      let written = min r.ck_planned (int_of_float ((elapsed +. eps) /. cycle)) in
+      checkpoints := !checkpoints + written;
+      overhead := !overhead +. (float_of_int written *. cost *. procs);
+      wasted := !wasted +. (Float.max (elapsed -. (float_of_int written *. cycle)) 0.0 *. procs);
+      r.salvaged <- r.salvaged +. (float_of_int written *. period)
+    | Recovery.Drop | Recovery.Restart -> wasted := !wasted +. (elapsed *. procs));
+    match config.policy with
+    | Recovery.Drop -> incr lost
+    | Recovery.Restart | Recovery.Checkpoint _ ->
+      incr restarts;
+      let requeue () = waiting := !waiting @ [ r ] in
+      (match config.backoff with
+      | None -> requeue ()
+      | Some b ->
+        let delay = Recovery.delay b ~attempt:r.attempts in
+        if delay <= 0.0 then requeue ()
+        else
+          Engine.at e (now +. delay)
+            (fun () ->
+              requeue ();
+              drain (Engine.now e)))
+  in
+  (* Outage edges: complete runs due at this very instant first (they
+     no longer hold processors), then kill youngest-first until the
+     survivors fit, then refill. *)
+  let react () =
+    let now = Engine.now e in
+    List.iter (complete now)
+      (List.filter (fun r -> r.started +. r.runtime <= now +. eps) !running);
+    let c = cap now in
+    while used () > c do
+      match
+        List.sort (fun a b -> compare (b.started, b.job.Job.id) (a.started, a.job.Job.id))
+          !running
+      with
+      | [] -> assert false
+      | victim :: _ -> kill now victim
+    done;
+    drain now
+  in
+  List.iter
+    (fun (o : Outage.t) ->
+      Engine.at e o.Outage.start react;
+      Engine.at e (Outage.finish o) react)
+    config.outages;
+  List.iter
+    (fun ((j : Job.t), procs) ->
+      let r =
+        {
+          job = j;
+          procs;
+          total = Job.time_on j procs;
+          salvaged = 0.0;
+          attempts = 0;
+          started = 0.0;
+          runtime = 0.0;
+          ck_planned = 0;
+          handle = None;
+        }
+      in
+      Engine.at e j.Job.release
+        (fun () ->
+          waiting := !waiting @ [ r ];
+          drain (Engine.now e)))
+    (List.sort (fun ((a : Job.t), _) ((b : Job.t), _) -> compare (a.release, a.id) (b.release, b.id))
+       jobs);
+  Engine.run e;
+  assert (!waiting = [] && !running = []);
+  let schedule = Schedule.make ~m:config.m (List.rev !entries) in
+  let denom = !useful +. !wasted +. !overhead in
+  {
+    schedule;
+    completed = !completed;
+    lost = !lost;
+    kills = !kills;
+    restarts = !restarts;
+    checkpoints = !checkpoints;
+    useful_work = !useful;
+    wasted_work = !wasted;
+    checkpoint_overhead = !overhead;
+    goodput = (if denom <= 0.0 then 1.0 else !useful /. denom);
+    makespan = Schedule.makespan schedule;
+  }

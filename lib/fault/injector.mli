@@ -1,0 +1,51 @@
+(** The fault injector: one event loop where outages, checkpoints,
+    kills, backoff and restarts compose.
+
+    A single cluster of [m] processors runs an allocated rigid
+    workload under greedy FCFS dispatch (the {!Psched_grid.Resilience}
+    semantics).  Outages shrink the surviving capacity — overlapping
+    outages are clipped at [m], see {!Outage.free_profile} — and when
+    the running set no longer fits, the youngest runs are killed
+    first.  What happens next is the {!Recovery.policy}:
+
+    - [Drop]: the job is lost;
+    - [Restart]: resubmitted at the back of the queue, from scratch;
+    - [Checkpoint]: resubmitted, resuming after the last completed
+      checkpoint; every checkpoint write costs [cost] seconds on the
+      job's whole allocation, so a run owing [u] useful seconds takes
+      [u + (ceil(u/period) - 1) * cost] wall seconds.
+
+    With a {!Recovery.backoff}, a killed job only re-enters the queue
+    after an exponentially growing delay (per its kill count).
+
+    The simulation is driven by {!Psched_sim.Engine}: arrivals, outage
+    edges, completions (cancellable on kill) and delayed resubmissions
+    are all events of the same loop. *)
+
+type config = {
+  m : int;
+  outages : Outage.t list;
+  policy : Recovery.policy;
+  backoff : Recovery.backoff option;
+}
+
+type outcome = {
+  schedule : Psched_sim.Schedule.t;  (** successful (final) runs only *)
+  completed : int;
+  lost : int;  (** jobs abandoned (only under [Drop]) *)
+  kills : int;  (** kill events *)
+  restarts : int;  (** resubmissions performed *)
+  checkpoints : int;  (** checkpoint writes (completed ones) *)
+  useful_work : float;  (** proc-seconds of completed jobs' real work *)
+  wasted_work : float;  (** proc-seconds destroyed by kills *)
+  checkpoint_overhead : float;  (** proc-seconds spent writing checkpoints *)
+  goodput : float;
+      (** [useful / (useful + wasted + overhead)] — the fraction of
+          consumed cycles that produced final results; 1.0 for an
+          empty run *)
+  makespan : float;
+}
+
+val run : config -> (Psched_workload.Job.t * int) list -> outcome
+(** @raise Invalid_argument if a job is wider than [m] or an outage is
+    malformed.  Deterministic: a pure function of its arguments. *)

@@ -1,0 +1,50 @@
+type t = { start : float; duration : float; procs : int; cluster : int }
+
+let make ?(cluster = 0) ~start ~duration ~procs () =
+  if procs < 1 then invalid_arg "Outage.make: procs must be positive";
+  if duration <= 0.0 then invalid_arg "Outage.make: duration must be positive";
+  if start < 0.0 then invalid_arg "Outage.make: start must be non-negative";
+  { start; duration; procs; cluster }
+
+let finish o = o.start +. o.duration
+let active_at o t = o.start <= t && t < finish o
+let on_cluster c outages = List.filter (fun o -> o.cluster = c) outages
+
+let procs_down_at outages t =
+  List.fold_left (fun acc o -> if active_at o t then acc + o.procs else acc) 0 outages
+
+let fully_down ~capacity outages t = procs_down_at outages t >= capacity
+
+let by_start outages =
+  List.sort (fun a b -> compare (a.start, a.duration, a.procs) (b.start, b.duration, b.procs))
+    outages
+
+let as_reservations ?(id_base = 1_000_000) outages =
+  List.mapi
+    (fun i o ->
+      Psched_platform.Reservation.make ~id:(id_base + i) ~start:o.start ~duration:o.duration
+        ~procs:o.procs)
+    outages
+
+let clipped_reservations ?(id_base = 1_000_000) ~m outages =
+  Psched_platform.Reservation.clip ~id_base ~m (as_reservations ~id_base outages)
+
+let free_profile ~m outages =
+  let p = Psched_sim.Profile.create m in
+  List.iter
+    (fun (r : Psched_platform.Reservation.t) ->
+      if r.duration > 0.0 then
+        Psched_sim.Profile.reserve p ~start:r.start ~duration:r.duration ~procs:r.procs)
+    (clipped_reservations ~m outages);
+  p
+
+let validate outages =
+  List.iter
+    (fun o ->
+      if o.procs < 1 || o.duration <= 0.0 || o.start < 0.0 then
+        invalid_arg "Outage.validate: malformed outage")
+    outages
+
+let pp ppf o =
+  Format.fprintf ppf "outage [%g, %g) x%d procs (cluster %d)" o.start (finish o) o.procs
+    o.cluster

@@ -1,0 +1,52 @@
+(** Outages: the failure events every fault simulation injects.
+
+    An outage steals [procs] processors of one cluster during
+    [\[start, start + duration)] — the §1.1 "versatility" events (nodes
+    disappearing and reappearing).  Outages are deliberately shaped
+    like {!Psched_platform.Reservation}: a window stealing processors,
+    so the standard validator and availability profiles apply.
+
+    Outages may overlap (independent node failures do), and their
+    summed width may nominally exceed the cluster: {!free_profile} and
+    {!clipped_reservations} cap the loss at the cluster capacity, which
+    is the physical reality — at most [m] machines can be down. *)
+
+type t = { start : float; duration : float; procs : int; cluster : int }
+
+val make : ?cluster:int -> start:float -> duration:float -> procs:int -> unit -> t
+(** @raise Invalid_argument on non-positive duration/procs or negative
+    start.  [cluster] defaults to 0 (single-cluster settings). *)
+
+val finish : t -> float
+val active_at : t -> float -> bool
+
+val on_cluster : int -> t list -> t list
+(** Outages hitting one cluster. *)
+
+val procs_down_at : t list -> float -> int
+(** Nominal (un-clipped) processors down at instant [t]. *)
+
+val fully_down : capacity:int -> t list -> float -> bool
+(** The summed outage width covers the whole cluster at [t]. *)
+
+val by_start : t list -> t list
+(** Sorted by start date. *)
+
+val validate : t list -> unit
+(** @raise Invalid_argument on a malformed outage (defensive re-check
+    for records built without {!make}). *)
+
+val as_reservations : ?id_base:int -> t list -> Psched_platform.Reservation.t list
+(** Verbatim translation (ids from [id_base], default 1_000_000); may
+    oversubscribe the cluster when outages overlap. *)
+
+val clipped_reservations : ?id_base:int -> m:int -> t list -> Psched_platform.Reservation.t list
+(** Overlap-aware translation: total stolen width capped at [m] on
+    every segment (see {!Psched_platform.Reservation.clip}). *)
+
+val free_profile : m:int -> t list -> Psched_sim.Profile.t
+(** Surviving capacity as an availability profile: free processors at
+    [t] is [max 0 (m - procs_down_at t)].  Never underflows, whatever
+    the overlap structure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type checkpoint = { period : float; cost : float }
+
+type policy = Drop | Restart | Checkpoint of checkpoint
+
+let checkpoint ~period ~cost =
+  if period <= 0.0 then invalid_arg "Recovery.checkpoint: period must be positive";
+  if cost < 0.0 then invalid_arg "Recovery.checkpoint: negative cost";
+  Checkpoint { period; cost }
+
+let daly_period ~mtbf ~cost =
+  if mtbf <= 0.0 then invalid_arg "Recovery.daly_period: mtbf must be positive";
+  if cost <= 0.0 then invalid_arg "Recovery.daly_period: cost must be positive";
+  (* Young's first-order optimum; the higher-order Daly correction
+     only matters when cost approaches the MTBF, where checkpointing
+     is hopeless anyway.  Never checkpoint more often than the write
+     itself takes. *)
+  Float.max (sqrt (2.0 *. cost *. mtbf)) cost
+
+let daly ~mtbf ~cost = checkpoint ~period:(daly_period ~mtbf ~cost) ~cost
+
+let policy_name = function
+  | Drop -> "none"
+  | Restart -> "restart"
+  | Checkpoint _ -> "checkpoint"
+
+type backoff = { base : float; factor : float; max_delay : float }
+
+let backoff ?(base = 1.0) ?(factor = 2.0) ?(max_delay = 300.0) () =
+  if base < 0.0 || factor < 1.0 || max_delay < base then
+    invalid_arg "Recovery.backoff: need base >= 0, factor >= 1, max_delay >= base";
+  { base; factor; max_delay }
+
+let delay b ~attempt =
+  if attempt < 1 then invalid_arg "Recovery.delay: attempt must be >= 1";
+  (* Cap the exponent before exponentiating so huge attempt counts
+     cannot overflow to infinity. *)
+  let exponent = Float.min (float_of_int (attempt - 1)) 64.0 in
+  Float.min (b.base *. (b.factor ** exponent)) b.max_delay
+
+type breaker = { threshold : int; window : float; cooloff : float }
+
+let breaker ?(threshold = 5) ?(window = 60.0) ?(cooloff = 120.0) () =
+  if threshold < 1 || window <= 0.0 || cooloff <= 0.0 then
+    invalid_arg "Recovery.breaker: need threshold >= 1 and positive window/cooloff";
+  { threshold; window; cooloff }
+
+type breaker_state = {
+  config : breaker;
+  mutable recent : float list;  (** kill dates, newest first *)
+  mutable open_until : float;  (** submissions blocked before this date *)
+  mutable trips : int;
+}
+
+let breaker_state config = { config; recent = []; open_until = neg_infinity; trips = 0 }
+
+let record_kill st now =
+  let horizon = now -. st.config.window in
+  st.recent <- now :: List.filter (fun t -> t > horizon) st.recent;
+  if List.length st.recent >= st.config.threshold && now >= st.open_until then begin
+    st.open_until <- now +. st.config.cooloff;
+    st.trips <- st.trips + 1;
+    st.recent <- []
+  end
+
+let blocked st now = now < st.open_until
+let trips st = st.trips
+let blocked_until st = st.open_until

@@ -1,0 +1,63 @@
+(** Recovery policies: what happens to work a fault destroys.
+
+    - {!Drop}: killed work is abandoned — no fault tolerance, the
+      lower envelope of every degradation curve.
+    - {!Restart}: killed jobs are resubmitted and restart from scratch
+      (the library's historical behaviour, kept as baseline).
+    - {!Checkpoint}: periodic checkpoint/restart — a killed job
+      resumes from its last completed checkpoint; each checkpoint
+      write costs [cost] seconds on the job's whole allocation.
+
+    The {!daly} preset picks the Young/Daly first-order optimal period
+    [sqrt (2 * cost * mtbf)] from the platform MTBF.
+
+    Orthogonally, {!backoff} delays resubmission exponentially per
+    kill (riding out correlated failure bursts) and {!breaker} is a
+    per-cluster circuit breaker / blacklist for best-effort streams:
+    too many kills in a sliding window opens the breaker and pauses
+    submissions for a cool-off period. *)
+
+type checkpoint = { period : float; cost : float }
+type policy = Drop | Restart | Checkpoint of checkpoint
+
+val checkpoint : period:float -> cost:float -> policy
+(** @raise Invalid_argument on non-positive period or negative cost. *)
+
+val daly_period : mtbf:float -> cost:float -> float
+(** Young/Daly optimal checkpoint period, floored at [cost]. *)
+
+val daly : mtbf:float -> cost:float -> policy
+
+val policy_name : policy -> string
+(** ["none" | "restart" | "checkpoint"]. *)
+
+type backoff = { base : float; factor : float; max_delay : float }
+
+val backoff : ?base:float -> ?factor:float -> ?max_delay:float -> unit -> backoff
+(** Defaults: 1s base, doubling, capped at 300s. *)
+
+val delay : backoff -> attempt:int -> float
+(** Delay before resubmission number [attempt] (1-based):
+    [min max_delay (base * factor^(attempt-1))]. *)
+
+type breaker = { threshold : int; window : float; cooloff : float }
+
+val breaker : ?threshold:int -> ?window:float -> ?cooloff:float -> unit -> breaker
+(** Defaults: 5 kills within 60s open the breaker for 120s. *)
+
+(** Mutable sliding-window state threaded through a simulation. *)
+type breaker_state
+
+val breaker_state : breaker -> breaker_state
+
+val record_kill : breaker_state -> float -> unit
+(** Note a kill at the given date; may open the breaker. *)
+
+val blocked : breaker_state -> float -> bool
+(** Submissions are currently blocked. *)
+
+val blocked_until : breaker_state -> float
+(** Date the current cool-off ends ([neg_infinity] if never tripped). *)
+
+val trips : breaker_state -> int
+(** Times the breaker opened so far. *)

@@ -1,0 +1,183 @@
+open Psched_workload
+open Psched_sim
+
+type row = {
+  rate : float;
+  policy : string;
+  backoff : bool;
+  goodput : float;
+  useful_work : float;
+  wasted_work : float;
+  checkpoint_overhead : float;
+  kills : int;
+  restarts : int;
+  checkpoints : int;
+  completed : int;
+  lost : int;
+  makespan : float;
+}
+
+type table = {
+  seed : int;
+  m : int;
+  jobs : int;
+  horizon : float;
+  mean_duration : float;
+  checkpoint_cost : float;
+  rows : row list;
+}
+
+let row_of_outcome ~rate ~policy ~backoff (o : Injector.outcome) =
+  {
+    rate;
+    policy;
+    backoff;
+    goodput = o.Injector.goodput;
+    useful_work = o.Injector.useful_work;
+    wasted_work = o.Injector.wasted_work;
+    checkpoint_overhead = o.Injector.checkpoint_overhead;
+    kills = o.Injector.kills;
+    restarts = o.Injector.restarts;
+    checkpoints = o.Injector.checkpoints;
+    completed = o.Injector.completed;
+    lost = o.Injector.lost;
+    makespan = o.Injector.makespan;
+  }
+
+let default_rates = [ 0.002; 0.01; 0.05 ]
+
+let degradation ?(rates = default_rates) ?(n = 40) ?(m = 32) ?(horizon = 3000.0)
+    ?(mean_duration = 40.0) ?(checkpoint_cost = 1.0) ~seed () =
+  if rates = [] then invalid_arg "Robustness.degradation: empty rate list";
+  let rng = Psched_util.Rng.create seed in
+  let jobs =
+    Workload_gen.rigid_uniform rng ~n ~m ~tmin:20.0 ~tmax:120.0
+    |> Workload_gen.with_poisson_arrivals rng ~rate:0.1
+    |> List.map Psched_core.Packing.allocate_rigid
+  in
+  let rows =
+    List.concat_map
+      (fun (i, rate) ->
+        (* Every rate gets its own deterministic stream so adding or
+           reordering rates never perturbs the other columns. *)
+        let outage_rng = Psched_util.Rng.create ((seed * 1009) + i) in
+        (* A mixed failure process: independent node losses (Poisson,
+           partial width) plus correlated burst cascades — the regime
+           where immediate resubmission thrashes and backoff pays. *)
+        let independent =
+          Generator.poisson outage_rng ~horizon ~rate ~mean_duration
+            ~width:(Generator.Uniform (max 1 (m / 2)))
+            ()
+        in
+        let correlated =
+          Generator.bursts outage_rng ~horizon ~burst_rate:(rate /. 5.0) ~mean_size:4.0
+            ~spread:3.0 ~mean_duration:(mean_duration /. 2.0) ~width:Generator.Machine ()
+        in
+        let outages = Outage.by_start (independent @ correlated) in
+        let policies =
+          [
+            ("none", Recovery.Drop);
+            ("restart", Recovery.Restart);
+            ("checkpoint-daly", Recovery.daly ~mtbf:(1.0 /. rate) ~cost:checkpoint_cost);
+          ]
+        in
+        List.concat_map
+          (fun (name, policy) ->
+            List.map
+              (fun backoff ->
+                let config =
+                  {
+                    Injector.m;
+                    outages;
+                    policy;
+                    backoff =
+                      (if backoff then Some (Recovery.backoff ~base:5.0 ~max_delay:120.0 ())
+                       else None);
+                  }
+                in
+                row_of_outcome ~rate ~policy:name ~backoff (Injector.run config jobs))
+              [ false; true ])
+          policies)
+      (List.mapi (fun i r -> (i, r)) rates)
+  in
+  { seed; m; jobs = n; horizon; mean_duration; checkpoint_cost; rows }
+
+let find table ~rate ~policy ~backoff =
+  List.find_opt
+    (fun r -> r.rate = rate && r.policy = policy && r.backoff = backoff)
+    table.rows
+
+let header =
+  [
+    "rate"; "policy"; "backoff"; "goodput"; "useful_work"; "wasted_work"; "checkpoint_overhead";
+    "kills"; "restarts"; "checkpoints"; "completed"; "lost"; "makespan";
+  ]
+
+let to_csv table =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.rate;
+          (match r.policy with "none" -> 0.0 | "restart" -> 1.0 | _ -> 2.0);
+          (if r.backoff then 1.0 else 0.0);
+          r.goodput;
+          r.useful_work;
+          r.wasted_work;
+          r.checkpoint_overhead;
+          float_of_int r.kills;
+          float_of_int r.restarts;
+          float_of_int r.checkpoints;
+          float_of_int r.completed;
+          float_of_int r.lost;
+          r.makespan;
+        ])
+      table.rows
+  in
+  Export.series_csv ~header rows
+
+let to_json table =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"psched-fault/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" table.seed);
+  Buffer.add_string buf (Printf.sprintf "  \"m\": %d,\n" table.m);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" table.jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"horizon\": %g,\n" table.horizon);
+  Buffer.add_string buf (Printf.sprintf "  \"mean_outage_duration\": %g,\n" table.mean_duration);
+  Buffer.add_string buf (Printf.sprintf "  \"checkpoint_cost\": %g,\n" table.checkpoint_cost);
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length table.rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"rate\":%g,\"policy\":%s,\"backoff\":%b,\"goodput\":%.6f,\"useful_work\":%.3f,\
+            \"wasted_work\":%.3f,\"checkpoint_overhead\":%.3f,\"kills\":%d,\"restarts\":%d,\
+            \"checkpoints\":%d,\"completed\":%d,\"lost\":%d,\"makespan\":%.3f}%s\n"
+           r.rate
+           (Export.json_string r.policy)
+           r.backoff r.goodput r.useful_work r.wasted_work r.checkpoint_overhead r.kills
+           r.restarts r.checkpoints r.completed r.lost r.makespan
+           (if i = n - 1 then "" else ",")))
+    table.rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let to_string table =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Degradation table (seed %d, m=%d, %d jobs, outage mean %gs, checkpoint cost %gs)\n"
+       table.seed table.m table.jobs table.mean_duration table.checkpoint_cost);
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %-16s %-8s %9s %10s %10s %8s %6s %5s %9s\n" "rate" "policy" "backoff"
+       "goodput" "wasted" "ck-ovh" "kills" "compl" "lost" "makespan");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8g %-16s %-8b %9.4f %10.1f %10.1f %8d %6d %5d %9.1f\n" r.rate r.policy
+           r.backoff r.goodput r.wasted_work r.checkpoint_overhead r.kills r.completed r.lost
+           r.makespan))
+    table.rows;
+  Buffer.contents buf

@@ -1,5 +1,6 @@
 open Psched_workload
 open Psched_sim
+module F = Psched_fault
 
 type config = { m : int; bag : int; unit_time : float; horizon : float }
 
@@ -11,15 +12,31 @@ type outcome = {
   wasted_time : float;
   grid_done_at : float option;
   finished_at : float;
+  local_killed : int;
+  breaker_trips : int;
 }
 
 let grid_id_base = 1_000_000
 
-type be_task = { be_id : int; started_at : float; mutable alive : bool }
+type be_task = { be_id : int; started_at : float; attempts : int; mutable alive : bool }
 
-type event = Arrival of Job.t * int | Local_done of int | Be_done of be_task
+type local_run = {
+  job : Job.t;
+  procs : int;
+  started : float;
+  entry : Schedule.entry;
+  mutable alive : bool;
+}
 
-let simulate config ~local =
+type event =
+  | Arrival of Job.t * int
+  | Local_done of local_run
+  | Be_done of be_task
+  | Outage_edge
+  | Be_ready of int  (** a backed-off run returns, carrying its kill count *)
+  | Wake  (** breaker cool-off ends *)
+
+let simulate ?(outages = []) ?backoff ?breaker config ~local =
   if config.m < 1 then invalid_arg "Best_effort.simulate: m must be >= 1";
   if config.bag < 0 then invalid_arg "Best_effort.simulate: negative bag";
   if config.unit_time <= 0.0 then invalid_arg "Best_effort.simulate: unit_time must be positive";
@@ -28,6 +45,7 @@ let simulate config ~local =
       if k > config.m then
         invalid_arg (Printf.sprintf "Best_effort.simulate: job %d wider than %d" j.id config.m))
     local;
+  F.Outage.validate outages;
   let module H = Psched_util.Heap in
   let seq = ref 0 in
   let events =
@@ -38,79 +56,172 @@ let simulate config ~local =
     H.add events (t, !seq, ev)
   in
   List.iter (fun ((j : Job.t), k) -> push j.release (Arrival (j, k))) local;
-  let queue = ref [] (* FCFS local queue *) in
+  List.iter
+    (fun (o : F.Outage.t) ->
+      push o.F.Outage.start Outage_edge;
+      push (F.Outage.finish o) Outage_edge)
+    outages;
+  (* Surviving capacity: outages clipped at [m], never negative. *)
+  let free = F.Outage.free_profile ~m:config.m outages in
+  let avail now = Profile.free_at free now in
+  let queue = ref [] (* FCFS local queue; outage-killed jobs requeue at the front *) in
   let local_used = ref 0 and be_used = ref 0 in
-  let running_be = ref [] (* youngest first *) in
+  let running_local = ref [] and running_be = ref [] (* youngest first *) in
   let bag = ref config.bag in
+  let requeued = ref [] (* ready returned runs: kill counts, FIFO *) in
+  let delayed = ref 0 (* killed runs waiting out their backoff delay *) in
   let next_be_id = ref grid_id_base in
   let local_entries = ref [] and grid_entries = ref [] in
-  let grid_completed = ref 0 and grid_killed = ref 0 in
+  let grid_completed = ref 0 and grid_killed = ref 0 and local_killed = ref 0 in
   let wasted = ref 0.0 in
   let grid_done_at = ref None in
   let finished = ref 0.0 in
+  let eps = 1e-9 in
+  let brstate = Option.map F.Recovery.breaker_state breaker in
+  let blocked now =
+    match brstate with Some s -> F.Recovery.blocked s now | None -> false
+  in
+  let wake_scheduled = ref neg_infinity in
   let kill_one now =
     match !running_be with
     | [] -> assert false
-    | task :: rest ->
+    | (task : be_task) :: rest ->
       task.alive <- false;
       running_be := rest;
       decr be_used;
       incr grid_killed;
-      incr bag;
-      wasted := !wasted +. (now -. task.started_at)
+      wasted := !wasted +. (now -. task.started_at);
+      (match brstate with Some s -> F.Recovery.record_kill s now | None -> ());
+      (match backoff with
+      | None -> incr bag
+      | Some b ->
+        incr delayed;
+        push (now +. F.Recovery.delay b ~attempt:(task.attempts + 1)) (Be_ready (task.attempts + 1)))
   in
   let start_be now =
-    let task = { be_id = !next_be_id; started_at = now; alive = true } in
+    let attempts =
+      match !requeued with
+      | a :: rest ->
+        requeued := rest;
+        a
+      | [] ->
+        decr bag;
+        0
+    in
+    let task = { be_id = !next_be_id; started_at = now; attempts; alive = true } in
     incr next_be_id;
     running_be := task :: !running_be;
     incr be_used;
-    decr bag;
     push (now +. config.unit_time) (Be_done task)
   in
+  let be_complete now (task : be_task) =
+    task.alive <- false;
+    running_be := List.filter (fun t -> t.be_id <> task.be_id) !running_be;
+    decr be_used;
+    incr grid_completed;
+    finished := Float.max !finished now;
+    grid_entries :=
+      {
+        Schedule.job_id = task.be_id;
+        start = task.started_at;
+        duration = config.unit_time;
+        procs = 1;
+        cluster = 0;
+      }
+      :: !grid_entries;
+    if !bag = 0 && !requeued = [] && !delayed = 0 && !be_used = 0 && !grid_done_at = None then
+      grid_done_at := Some now
+  in
+  let local_complete now (run : local_run) =
+    run.alive <- false;
+    running_local := List.filter (fun r -> r != run) !running_local;
+    local_used := !local_used - run.procs;
+    finished := Float.max !finished now
+  in
   let scheduling_pass now =
+    let cap = avail now in
     (* 1. Local FCFS: start queue heads while they fit among local
-       jobs, killing best-effort runs as needed. *)
+       jobs on the surviving capacity, killing best-effort runs as
+       needed.  Local decisions never depend on the best-effort load:
+       the bag must not disturb local users. *)
     let rec drain () =
       match !queue with
-      | ((job : Job.t), procs) :: rest when procs <= config.m - !local_used ->
-        while procs > config.m - !local_used - !be_used do
+      | ((job : Job.t), procs) :: rest when procs <= cap - !local_used ->
+        while procs > cap - !local_used - !be_used do
           kill_one now
         done;
         local_used := !local_used + procs;
         let e = Schedule.entry ~job ~start:now ~procs () in
         local_entries := e :: !local_entries;
-        push (Schedule.completion e) (Local_done procs);
+        let run = { job; procs; started = now; entry = e; alive = true } in
+        running_local := run :: !running_local;
+        push (Schedule.completion e) (Local_done run);
         queue := rest;
         drain ()
       | _ -> ()
     in
     drain ();
-    (* 2. Fill idle processors with best-effort runs. *)
-    if now < config.horizon then
-      while config.m - !local_used - !be_used > 0 && !bag > 0 do
-        start_be now
-      done
+    (* 2. Fill idle processors with best-effort runs, unless the
+       circuit breaker is open. *)
+    if now < config.horizon then begin
+      if blocked now then begin
+        match brstate with
+        | Some s ->
+          let until = F.Recovery.blocked_until s in
+          if (!bag > 0 || !requeued <> []) && until > !wake_scheduled +. eps then begin
+            wake_scheduled := until;
+            push until Wake
+          end
+        | None -> ()
+      end
+      else
+        while cap - !local_used - !be_used > 0 && (!bag > 0 || !requeued <> []) do
+          start_be now
+        done
+    end
+  in
+  (* An outage edge first settles runs due at this very instant (they
+     no longer hold processors), then sheds load youngest-first:
+     best-effort runs go first; if the surviving capacity cannot even
+     hold the local jobs, the youngest local runs are killed and
+     requeued at the front of the local queue. *)
+  let outage_edge now =
+    List.iter (local_complete now)
+      (List.filter (fun r -> r.started +. Job.time_on r.job r.procs <= now +. eps) !running_local);
+    List.iter (be_complete now)
+      (List.filter (fun t -> t.started_at +. config.unit_time <= now +. eps) !running_be);
+    let cap = avail now in
+    while !local_used + !be_used > cap && !be_used > 0 do
+      kill_one now
+    done;
+    while !local_used > cap do
+      match
+        List.sort
+          (fun a b -> compare (b.started, b.job.Job.id) (a.started, a.job.Job.id))
+          !running_local
+      with
+      | [] -> assert false
+      | victim :: _ ->
+        victim.alive <- false;
+        running_local := List.filter (fun r -> r != victim) !running_local;
+        local_used := !local_used - victim.procs;
+        local_entries := List.filter (fun e -> e != victim.entry) !local_entries;
+        incr local_killed;
+        queue := (victim.job, victim.procs) :: !queue
+    done
   in
   let handle now = function
-    | Arrival (job, procs) -> queue := !queue @ [ (job, procs) ]
-    | Local_done procs -> local_used := !local_used - procs
-    | Be_done task ->
-      if task.alive then begin
-        task.alive <- false;
-        running_be := List.filter (fun t -> t.be_id <> task.be_id) !running_be;
-        decr be_used;
-        incr grid_completed;
-        grid_entries :=
-          {
-            Schedule.job_id = task.be_id;
-            start = task.started_at;
-            duration = config.unit_time;
-            procs = 1;
-            cluster = 0;
-          }
-          :: !grid_entries;
-        if !bag = 0 && !be_used = 0 && !grid_done_at = None then grid_done_at := Some now
-      end
+    | Arrival (job, procs) ->
+      finished := Float.max !finished now;
+      queue := !queue @ [ (job, procs) ]
+    | Local_done run -> if run.alive then local_complete now run
+    | Be_done task -> if task.alive then be_complete now task
+    | Outage_edge -> outage_edge now
+    | Be_ready attempts ->
+      finished := Float.max !finished now;
+      decr delayed;
+      requeued := !requeued @ [ attempts ]
+    | Wake -> ()
   in
   (* Kick off: an idle cluster starts draining the bag at time 0. *)
   scheduling_pass 0.0;
@@ -118,7 +229,6 @@ let simulate config ~local =
     match H.pop events with
     | None -> ()
     | Some (now, _, ev) ->
-      finished := Float.max !finished now;
       handle now ev;
       scheduling_pass now;
       loop ()
@@ -133,11 +243,13 @@ let simulate config ~local =
     wasted_time = !wasted;
     grid_done_at = !grid_done_at;
     finished_at = !finished;
+    local_killed = !local_killed;
+    breaker_trips = (match brstate with Some s -> F.Recovery.trips s | None -> 0);
   }
 
-let utilisation_gain config ~local =
-  let without = simulate { config with bag = 0 } ~local in
-  let with_grid = simulate config ~local in
+let utilisation_gain ?outages ?backoff ?breaker config ~local =
+  let without = simulate ?outages ?backoff ?breaker { config with bag = 0 } ~local in
+  let with_grid = simulate ?outages ?backoff ?breaker config ~local in
   let local_work = Schedule.total_work without.local_schedule in
   let span0 = Float.max (Schedule.makespan without.local_schedule) 1e-9 in
   let u0 = local_work /. (float_of_int config.m *. span0) in

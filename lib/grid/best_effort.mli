@@ -9,13 +9,24 @@
     users of the clusters will not be disturbed by grid jobs."
 
     The local policy here is FCFS (a local job starts as soon as the
-    head of the local queue fits in [m] minus the processors of
-    {e local} jobs); best-effort runs, one processor each, fill
-    whatever remains and are killed — youngest first — whenever the
-    next local job needs their processors.  Killed runs return to the
-    central server's bag and are resubmitted.  By construction local
-    start dates are exactly those of a grid-free cluster, which the
-    tests assert. *)
+    head of the local queue fits in the surviving capacity minus the
+    processors of {e local} jobs); best-effort runs, one processor
+    each, fill whatever remains and are killed — youngest first —
+    whenever the next local job needs their processors.  Killed runs
+    return to the central server's bag and are resubmitted.  By
+    construction local start dates are exactly those of a grid-free
+    cluster under the same outages, which the tests assert.
+
+    Failure-awareness (the [?outages]/[?backoff]/[?breaker] arguments):
+    outages shrink the surviving capacity — best-effort runs are shed
+    first, and only if the local jobs alone no longer fit are the
+    youngest local runs killed and requeued at the {e front} of the
+    local queue.  With a {!Psched_fault.Recovery.backoff}, a killed
+    best-effort run only returns to the bag after an exponentially
+    growing delay; with a {!Psched_fault.Recovery.breaker}, too many
+    kills in a sliding window open a circuit breaker that pauses
+    best-effort submission to the cluster for a cool-off period (the
+    per-cluster blacklist of a real grid server). *)
 
 open Psched_workload
 
@@ -34,17 +45,32 @@ type outcome = {
   grid_killed : int;  (** kill events (a run may be killed several times) *)
   wasted_time : float;  (** processor-seconds destroyed by kills *)
   grid_done_at : float option;  (** date the bag was exhausted, if it was *)
-  finished_at : float;  (** last event date of the simulation *)
+  finished_at : float;  (** last activity date of the simulation *)
+  local_killed : int;  (** local runs killed by outages (restarted from scratch) *)
+  breaker_trips : int;  (** times the circuit breaker opened *)
 }
 
 val grid_id_base : int
 (** Best-effort pseudo-entries are numbered from this id. *)
 
-val simulate : config -> local:(Job.t * int) list -> outcome
+val simulate :
+  ?outages:Psched_fault.Outage.t list ->
+  ?backoff:Psched_fault.Recovery.backoff ->
+  ?breaker:Psched_fault.Recovery.breaker ->
+  config ->
+  local:(Job.t * int) list ->
+  outcome
 (** [local] are the cluster's own (allocated, rigid) jobs with their
     release dates.
-    @raise Invalid_argument if a local job is wider than [m]. *)
+    @raise Invalid_argument if a local job is wider than [m] or an
+    outage is malformed. *)
 
-val utilisation_gain : config -> local:(Job.t * int) list -> float * float
+val utilisation_gain :
+  ?outages:Psched_fault.Outage.t list ->
+  ?backoff:Psched_fault.Recovery.backoff ->
+  ?breaker:Psched_fault.Recovery.breaker ->
+  config ->
+  local:(Job.t * int) list ->
+  float * float
 (** (without, with) processor utilisation over the local makespan
     horizon; the with-grid figure counts completed best-effort work. *)

@@ -10,6 +10,7 @@ type outcome = {
   placements : placement list;
   per_cluster : (P.cluster * Schedule.t) list;
   migrations : int;
+  rerouted : int;
   makespan : float;
   mean_flow : float;
   fairness : float;
@@ -32,9 +33,12 @@ type cluster_state = {
   cluster : P.cluster;
   capacity : int;
   profile : Profile.t;
+  down : Psched_fault.Outage.t list;  (** this cluster's outages *)
   mutable backlog : float;  (** latest planned completion *)
   mutable entries : Schedule.entry list;
 }
+
+let fully_down state t = Psched_fault.Outage.fully_down ~capacity:state.capacity state.down t
 
 let alloc_for ~capacity (job : Job.t) =
   match job.shape with
@@ -69,19 +73,31 @@ let commit state (job : Job.t) ~migrated ~release =
     state.backlog <- Float.max state.backlog (start +. duration);
     Some { job; cluster = state.cluster.P.id; migrated; entry }
 
-let simulate ?(data_mb = 100.0) policy ~grid ~jobs =
+let simulate ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
+  Psched_fault.Outage.validate outages;
   let states =
     List.map
       (fun (c : P.cluster) ->
-        { cluster = c; capacity = P.processors c; profile = Profile.create (P.processors c);
-          backlog = 0.0; entries = [] })
+        let capacity = P.processors c in
+        let profile = Profile.create capacity in
+        let down = Psched_fault.Outage.on_cluster c.P.id outages in
+        (* Outage windows are pre-reserved (clipped at the cluster
+           capacity), so placement backfills around them and degrades
+           gracefully to the surviving processors. *)
+        List.iter
+          (fun (r : Psched_platform.Reservation.t) ->
+            Profile.reserve profile ~start:r.Psched_platform.Reservation.start
+              ~duration:r.Psched_platform.Reservation.duration
+              ~procs:r.Psched_platform.Reservation.procs)
+          (Psched_fault.Outage.clipped_reservations ~m:capacity down);
+        { cluster = c; capacity; profile; down; backlog = 0.0; entries = [] })
       grid.P.clusters
   in
   let n_clusters = List.length states in
   let state_of idx = List.nth states idx in
   let home_of (job : Job.t) = job.community mod n_clusters in
   let by_release = List.sort (fun (a : Job.t) b -> compare (a.release, a.id) (b.release, b.id)) jobs in
-  let migrations = ref 0 in
+  let migrations = ref 0 and rerouted = ref 0 in
   let place (job : Job.t) =
     let home = home_of job in
     let try_commit state ~migrated ~release =
@@ -106,9 +122,31 @@ let simulate ?(data_mb = 100.0) policy ~grid ~jobs =
       | [] -> None
       | (_, state, migrated, release) :: _ -> try_commit state ~migrated ~release
     in
+    let reroute () =
+      (* The home cluster is fully down when the job shows up: steer it
+         to the surviving cluster giving the earliest completion (the
+         whole grid being down degenerates to the plain candidate set). *)
+      let home_id = (state_of home).cluster.P.id in
+      let up = List.filter (fun s -> not (fully_down s job.release)) states in
+      let pool = if up = [] then states else up in
+      let candidates =
+        List.map
+          (fun s ->
+            let delay = delay_for ~data_mb grid ~src:home_id ~dst:s.cluster.P.id in
+            (s, s.cluster.P.id <> home_id, job.release +. delay))
+          pool
+      in
+      match commit_best candidates with
+      | Some p ->
+        if p.cluster <> home_id then incr rerouted;
+        Some p
+      | None -> None
+    in
     let result =
       match policy with
-      | Independent -> try_commit (state_of home) ~migrated:false ~release:job.release
+      | Independent ->
+        if fully_down (state_of home) job.release then reroute ()
+        else try_commit (state_of home) ~migrated:false ~release:job.release
       | Centralized ->
         let candidates =
           List.map
@@ -120,6 +158,8 @@ let simulate ?(data_mb = 100.0) policy ~grid ~jobs =
         in
         commit_best candidates
       | Exchange { threshold } ->
+        if fully_down (state_of home) job.release then reroute ()
+        else begin
         let avg =
           List.fold_left (fun acc s -> acc +. s.backlog) 0.0 states /. float_of_int n_clusters
         in
@@ -142,6 +182,7 @@ let simulate ?(data_mb = 100.0) policy ~grid ~jobs =
             | Some p -> Some p
             | None -> try_commit home_state ~migrated:false ~release:job.release
           end
+        end
         end
     in
     match result with
@@ -173,6 +214,7 @@ let simulate ?(data_mb = 100.0) policy ~grid ~jobs =
     placements;
     per_cluster;
     migrations = !migrations;
+    rerouted = !rerouted;
     makespan;
     mean_flow = Psched_util.Stats.mean flows;
     fairness = Fairness.index ~jobs ~completion;

@@ -15,7 +15,16 @@
     Placement uses clairvoyant conservative backfilling per cluster
     (earliest-fit on an availability profile, durations scaled by
     cluster speed).  Communities are mapped to home clusters by index
-    modulo the cluster count. *)
+    modulo the cluster count.
+
+    With [?outages] ({!Psched_fault.Outage.t} values carrying cluster
+    ids), each cluster's availability profile pre-reserves its outage
+    windows (clipped at the cluster capacity), so every policy
+    backfills around failures and degrades gracefully to the surviving
+    processors; a job whose home cluster is {e fully} down at its
+    release is re-routed to the surviving cluster giving the earliest
+    completion (counted in [rerouted], paying the usual migration
+    delay). *)
 
 open Psched_workload
 
@@ -32,6 +41,7 @@ type outcome = {
   placements : placement list;
   per_cluster : (Psched_platform.Platform.cluster * Psched_sim.Schedule.t) list;
   migrations : int;
+  rerouted : int;  (** jobs steered away from a fully-down home cluster *)
   makespan : float;
   mean_flow : float;
   fairness : float;  (** Jain index over per-community service, see {!Fairness} *)
@@ -43,6 +53,13 @@ val migration_delay : Psched_platform.Platform.t -> Job.t -> src:int -> dst:int 
     grid links, plus latency.  Zero when [src = dst]. *)
 
 val simulate :
-  ?data_mb:float -> policy -> grid:Psched_platform.Platform.t -> jobs:Job.t list -> outcome
-(** [data_mb] (default 100) is the input volume migrated with a job.
-    @raise Invalid_argument if a job fits on no cluster. *)
+  ?data_mb:float ->
+  ?outages:Psched_fault.Outage.t list ->
+  policy ->
+  grid:Psched_platform.Platform.t ->
+  jobs:Job.t list ->
+  outcome
+(** [data_mb] (default 100) is the input volume migrated with a job;
+    [outages] (default none) are failure windows keyed by cluster id.
+    @raise Invalid_argument if a job fits no cluster or an outage is
+    malformed. *)

@@ -1,40 +1,29 @@
 open Psched_workload
-open Psched_sim
+module F = Psched_fault
 
 type outage = { start : float; duration : float; procs : int }
 
-let outages_as_reservations outages =
-  List.mapi
-    (fun i (o : outage) ->
-      Psched_platform.Reservation.make ~id:(1_000_000 + i) ~start:o.start ~duration:o.duration
-        ~procs:o.procs)
+let to_faults outages =
+  List.map
+    (fun (o : outage) -> F.Outage.make ~start:o.start ~duration:o.duration ~procs:o.procs ())
     outages
 
+let outages_as_reservations outages = F.Outage.as_reservations (to_faults outages)
+
 let poisson_outages rng ~horizon ~rate ~mean_duration ~max_procs =
-  let clock = ref 0.0 in
-  let out = ref [] in
-  let continue = ref true in
-  while !continue do
-    clock := !clock +. Psched_util.Rng.exponential rng rate;
-    if !clock >= horizon then continue := false
-    else begin
-      let duration = Psched_util.Rng.exponential rng (1.0 /. mean_duration) in
-      let procs = 1 + Psched_util.Rng.int rng max_procs in
-      out := { start = !clock; duration = Float.max duration 1e-3; procs } :: !out
-    end
-  done;
-  List.rev !out
+  F.Generator.poisson rng ~horizon ~rate ~mean_duration
+    ~width:(F.Generator.Uniform max_procs) ()
+  |> List.map (fun (o : F.Outage.t) ->
+         { start = o.F.Outage.start; duration = o.F.Outage.duration; procs = o.F.Outage.procs })
 
 type outcome = {
-  schedule : Schedule.t;
+  schedule : Psched_sim.Schedule.t;
   restarts : int;
   wasted_work : float;
   makespan : float;
 }
 
-type running = { job : Job.t; procs : int; started : float; mutable alive : bool }
-
-let simulate ~m ~outages allocated =
+let check ~m ~outages allocated =
   List.iter
     (fun ((j : Job.t), k) ->
       if k > m then invalid_arg (Printf.sprintf "Resilience.simulate: job %d wider than %d" j.id m))
@@ -44,92 +33,17 @@ let simulate ~m ~outages allocated =
       if o.procs > m then invalid_arg "Resilience.simulate: outage wider than the cluster";
       if o.procs < 1 || o.duration <= 0.0 || o.start < 0.0 then
         invalid_arg "Resilience.simulate: malformed outage")
-    outages;
-  let module H = Psched_util.Heap in
-  let events = H.create ~cmp:compare in
-  List.iter (fun ((j : Job.t), _) -> H.add events j.release) allocated;
-  List.iter
-    (fun (o : outage) ->
-      H.add events o.start;
-      H.add events (o.start +. o.duration))
-    outages;
-  let queue = ref (List.sort (fun ((a : Job.t), _) ((b : Job.t), _) -> compare (a.release, a.id) (b.release, b.id)) allocated) in
-  let waiting = ref [] (* arrived, not running; FCFS with requeues appended *) in
-  let running = ref [] in
-  let entries = ref [] in
-  let restarts = ref 0 and wasted = ref 0.0 in
-  let eps = 1e-9 in
-  let capacity_at t =
-    m
-    - List.fold_left
-        (fun acc (o : outage) ->
-          if o.start <= t +. eps && t +. eps < o.start +. o.duration then acc + o.procs else acc)
-        0 outages
-  in
-  let used () = List.fold_left (fun acc r -> acc + r.procs) 0 !running in
-  let step now =
-    (* Admit arrivals. *)
-    let arrived, still = List.partition (fun ((j : Job.t), _) -> j.release <= now +. eps) !queue in
-    queue := still;
-    waiting := !waiting @ arrived;
-    (* Record natural completions. *)
-    running :=
-      List.filter
-        (fun r ->
-          if r.alive && r.started +. Job.time_on r.job r.procs <= now +. eps then begin
-            entries := Schedule.entry ~job:r.job ~start:r.started ~procs:r.procs () :: !entries;
-            false
-          end
-          else r.alive)
-        !running;
-    (* Outage may have shrunk capacity: kill youngest jobs until fit.
-       Overlapping outages can drive the nominal capacity below zero;
-       nothing can run then, but there is nothing to kill beyond all
-       running jobs. *)
-    let cap = max (capacity_at now) 0 in
-    while used () > cap do
-      match
-        List.sort (fun a b -> compare (b.started, b.job.Job.id) (a.started, a.job.Job.id)) !running
-      with
-      | [] -> assert false
-      | victim :: _ ->
-        victim.alive <- false;
-        running := List.filter (fun r -> r != victim) !running;
-        incr restarts;
-        wasted := !wasted +. (float_of_int victim.procs *. (now -. victim.started));
-        (* Resubmit at the back of the queue. *)
-        waiting := !waiting @ [ (victim.job, victim.procs) ]
-    done;
-    (* Greedy FCFS start. *)
-    let rec drain () =
-      match !waiting with
-      | ((job : Job.t), procs) :: rest when used () + procs <= cap ->
-        let r = { job; procs; started = now; alive = true } in
-        running := r :: !running;
-        waiting := rest;
-        H.add events (now +. Job.time_on job procs);
-        drain ()
-      | _ -> ()
-    in
-    drain ()
-  in
-  let last = ref neg_infinity in
-  let rec loop () =
-    match H.pop events with
-    | None -> ()
-    | Some t ->
-      if t > !last +. eps then begin
-        last := t;
-        step t
-      end;
-      loop ()
-  in
-  loop ();
-  assert (!queue = [] && !waiting = [] && !running = []);
-  let schedule = Schedule.make ~m !entries in
+    outages
+
+let simulate_with ~policy ?backoff ~m ~outages allocated =
+  check ~m ~outages allocated;
+  F.Injector.run { F.Injector.m; outages = to_faults outages; policy; backoff } allocated
+
+let simulate ~m ~outages allocated =
+  let out = simulate_with ~policy:F.Recovery.Restart ~m ~outages allocated in
   {
-    schedule;
-    restarts = !restarts;
-    wasted_work = !wasted;
-    makespan = Schedule.makespan schedule;
+    schedule = out.F.Injector.schedule;
+    restarts = out.F.Injector.kills;
+    wasted_work = out.F.Injector.wasted_work;
+    makespan = out.F.Injector.makespan;
   }

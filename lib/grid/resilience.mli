@@ -2,15 +2,25 @@
     (some nodes can appear or disappear ...)").
 
     Nodes disappear during {e outages} and reappear afterwards; a
-    running job hit by a capacity drop is killed and resubmitted
-    (restarting from scratch — the checkpoint-free worst case).  The
+    running job hit by a capacity drop is killed and resubmitted.  The
     dispatcher is greedy FCFS over the surviving capacity.
+
+    The simulation is the {!Psched_fault.Injector} event loop:
+    {!simulate} keeps the historical restart-from-scratch behaviour
+    (and the historical outcome record), while {!simulate_with}
+    exposes the full policy space — drop, restart, periodic
+    checkpoint/restart (e.g. {!Psched_fault.Recovery.daly}) and
+    exponential-backoff resubmission.
 
     Outages are modelled exactly like reservations (a window stealing
     processors), so the produced schedule is checked with the standard
     validator against the outage windows. *)
 
 type outage = { start : float; duration : float; procs : int }
+
+val to_faults : outage list -> Psched_fault.Outage.t list
+(** Translation to the fault library's outage type (cluster 0).
+    @raise Invalid_argument on a malformed outage. *)
 
 val outages_as_reservations : outage list -> Psched_platform.Reservation.t list
 
@@ -21,8 +31,10 @@ val poisson_outages :
   mean_duration:float ->
   max_procs:int ->
   outage list
-(** Poisson outage arrivals; exponential durations; uniform widths in
-    [\[1, max_procs\]]. *)
+(** Poisson outage arrivals ([rate] per second); exponential durations
+    with mean [mean_duration]; uniform widths in [\[1, max_procs\]].
+    Delegates to {!Psched_fault.Generator.poisson} — see the
+    rate-vs-mean parameterisation note in {!Psched_util.Rng}. *)
 
 type outcome = {
   schedule : Psched_sim.Schedule.t;  (** successful (final) runs only *)
@@ -32,5 +44,18 @@ type outcome = {
 }
 
 val simulate : m:int -> outages:outage list -> Psched_core.Packing.allocated list -> outcome
-(** @raise Invalid_argument if a job is wider than [m], or an outage
+(** Restart-from-scratch, no backoff (the checkpoint-free worst case).
+    @raise Invalid_argument if a job is wider than [m], or an outage
     wider than [m] (the whole cluster may vanish: procs = m). *)
+
+val simulate_with :
+  policy:Psched_fault.Recovery.policy ->
+  ?backoff:Psched_fault.Recovery.backoff ->
+  m:int ->
+  outages:outage list ->
+  Psched_core.Packing.allocated list ->
+  Psched_fault.Injector.outcome
+(** Same cluster and dispatch model under an arbitrary recovery
+    policy, returning the full robustness outcome (goodput, checkpoint
+    overhead, ...).
+    @raise Invalid_argument as {!simulate}. *)

@@ -15,5 +15,44 @@ let procs_reserved_at rs t =
 
 let feasible ~m rs = List.for_all (fun r -> procs_reserved_at rs r.start <= m) rs
 
+let clip ?(id_base = 0) ~m rs =
+  (* Sweep the breakpoints; per segment, the clipped demand is
+     min(m, total demand).  Adjacent segments with equal clipped
+     demand merge back into one reservation. *)
+  let cuts =
+    List.sort_uniq compare
+      (List.concat_map (fun r -> [ r.start; finish r ]) rs)
+  in
+  let segments =
+    let rec pair = function
+      | a :: (b :: _ as rest) ->
+        let demand = procs_reserved_at rs a in
+        (a, b, min m demand) :: pair rest
+      | _ -> []
+    in
+    pair cuts
+  in
+  let merged =
+    List.fold_left
+      (fun acc (a, b, d) ->
+        match acc with
+        | (a0, b0, d0) :: rest when d0 = d && Float.abs (b0 -. a) < 1e-12 -> (a0, b, d0) :: rest
+        | _ -> (a, b, d) :: acc)
+      [] segments
+  in
+  (* [b -. a] can round so that [a +. (b -. a) > b], making adjacent
+     segments overlap by one ulp and stack their demands: shrink the
+     duration until the recomputed finish stays within the segment. *)
+  let duration_to a b =
+    let d = ref (b -. a) in
+    while a +. !d > b do
+      d := Float.pred !d
+    done;
+    !d
+  in
+  List.rev merged
+  |> List.filter (fun (_, _, d) -> d > 0)
+  |> List.mapi (fun i (a, b, d) -> make ~id:(id_base + i) ~start:a ~duration:(duration_to a b) ~procs:d)
+
 let pp ppf r =
   Format.fprintf ppf "resa#%d [%g, %g) x%d procs" r.id r.start (finish r) r.procs

@@ -24,4 +24,13 @@ val feasible : m:int -> t list -> bool
     breakpoints (reservation starts), which is sufficient for step
     functions. *)
 
+val clip : ?id_base:int -> m:int -> t list -> t list
+(** [clip ~m rs] rewrites a possibly-overlapping reservation set so
+    that the total demand never exceeds [m]: the sweep over all
+    breakpoints caps each constant segment at [m] and merges adjacent
+    equal segments.  This is the outage-as-reservation plumbing —
+    overlapping outages may nominally steal more processors than the
+    cluster has, but at most [m] can actually be down.  Fresh ids are
+    numbered from [id_base] (default 0). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,38 +1,70 @@
 open Psched_util
 
-type event = { date : float; seq : int; action : unit -> unit }
+type event = { date : float; seq : int; action : unit -> unit; mutable live : bool }
+type handle = event
 
-type t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live_count : int;
+  queue : event Heap.t;
+}
 
 let compare_event a b =
   let c = compare a.date b.date in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(now = 0.0) () = { clock = now; next_seq = 0; queue = Heap.create ~cmp:compare_event }
+let create ?(now = 0.0) () =
+  { clock = now; next_seq = 0; live_count = 0; queue = Heap.create ~cmp:compare_event }
+
 let now t = t.clock
 
-let at t date action =
+let schedule t date action =
   if date < t.clock then invalid_arg "Engine.at: date in the past";
-  Heap.add t.queue { date; seq = t.next_seq; action };
-  t.next_seq <- t.next_seq + 1
+  let ev = { date; seq = t.next_seq; action; live = true } in
+  Heap.add t.queue ev;
+  t.next_seq <- t.next_seq + 1;
+  t.live_count <- t.live_count + 1;
+  ev
+
+let at t date action = ignore (schedule t date action)
 
 let after t delay action =
   if delay < 0.0 then invalid_arg "Engine.after: negative delay";
   at t (t.clock +. delay) action
 
-let pending t = Heap.length t.queue
+let cancel t ev =
+  if ev.live then begin
+    ev.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let active ev = ev.live
+let pending t = t.live_count
+
+(* Smallest live event, discarding cancelled ones from the heap top. *)
+let rec peek_live t =
+  match Heap.min t.queue with
+  | None -> None
+  | Some ev when ev.live -> Some ev
+  | Some _ ->
+    ignore (Heap.pop t.queue);
+    peek_live t
 
 let step t =
-  match Heap.pop t.queue with
+  match peek_live t with
   | None -> false
-  | Some ev ->
+  | Some _ ->
+    let ev = Heap.pop_exn t.queue in
+    ev.live <- false;
+    t.live_count <- t.live_count - 1;
     t.clock <- ev.date;
     ev.action ();
     true
 
 let run ?until t =
   let continue () =
-    match Heap.min t.queue, until with
+    match (peek_live t, until) with
     | None, _ -> false
     | Some _, None -> true
     | Some ev, Some limit -> ev.date <= limit
@@ -40,4 +72,6 @@ let run ?until t =
   while continue () do
     ignore (step t)
   done;
-  match until with Some limit when limit > t.clock && Heap.is_empty t.queue -> () | _ -> ()
+  (* The queue may drain (or hold only later events) before [until]:
+     the clock still advances to the requested horizon. *)
+  match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ()

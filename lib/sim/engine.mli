@@ -7,6 +7,12 @@
 
 type t
 
+type handle
+(** A scheduled event that can be cancelled before it fires (e.g. the
+    completion of a job that an outage kills first).  Cancellation is
+    O(1): the event is marked dead and discarded lazily when it
+    reaches the head of the queue. *)
+
 val create : ?now:float -> unit -> t
 val now : t -> float
 
@@ -17,13 +23,25 @@ val at : t -> float -> (unit -> unit) -> unit
 val after : t -> float -> (unit -> unit) -> unit
 (** Schedule a callback [delay] seconds from now (delay >= 0). *)
 
+val schedule : t -> float -> (unit -> unit) -> handle
+(** Like {!at} but returns a handle for {!cancel}. *)
+
+val cancel : t -> handle -> unit
+(** Prevent a scheduled event from firing.  Idempotent; a no-op if the
+    event already fired. *)
+
+val active : handle -> bool
+(** The event has neither fired nor been cancelled. *)
+
 val pending : t -> int
-(** Number of events not yet executed. *)
+(** Number of live (non-cancelled) events not yet executed. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events in order until the queue is empty or the next event
     is strictly later than [until].  The clock ends at the date of the
-    last executed event (or [until] if given and reached). *)
+    last executed event, or exactly at [until] when given — including
+    when the queue drains early, so [run ~until] always advances the
+    clock to the horizon. *)
 
 val step : t -> bool
-(** Execute the single next event; [false] if the queue was empty. *)
+(** Execute the single next live event; [false] if none is pending. *)

@@ -49,6 +49,40 @@ let series_csv ~header rows =
     rows;
   Buffer.contents buf
 
+let json_string s =
+  let b = Buffer.create (String.length s + 8) in
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let table_json ?(meta = []) ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s: %s,\n" (json_string k) v))
+    meta;
+  Buffer.add_string buf
+    (Printf.sprintf "  \"header\": [%s],\n" (String.concat "," (List.map json_string header)));
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf "    [%s]%s\n"
+           (String.concat "," (List.map float_str row))
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
 let save path content =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

@@ -16,5 +16,13 @@ val metrics_csv : (string * Metrics.t) list -> string
 val series_csv : header:string list -> (float list) list -> string
 (** Generic numeric table (e.g. the Figure 2 points) as CSV. *)
 
+val json_string : string -> string
+(** JSON-escaped, quoted string literal. *)
+
+val table_json : ?meta:(string * string) list -> header:string list -> float list list -> string
+(** Numeric table as JSON [{..meta.., header: [...], rows: [[...]]}].
+    [meta] values are spliced verbatim (pre-encode strings with
+    {!json_string}); floats keep full round-trip precision. *)
+
 val save : string -> string -> unit
 (** [save path content]: write a file (for CLI export commands). *)

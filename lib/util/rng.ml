@@ -61,6 +61,12 @@ let exponential t rate =
   let u = float t 1.0 in
   -.log1p (-.u) /. rate
 
+let exp_mean t mean = exponential t (1.0 /. mean)
+
+let weibull t ~shape ~scale =
+  let u = float t 1.0 in
+  scale *. ((-.log1p (-.u)) ** (1.0 /. shape))
+
 let gaussian t =
   let rec nonzero () =
     let u = float t 1.0 in

@@ -35,7 +35,25 @@ val uniform : t -> float -> float -> float
 val bool : t -> bool
 
 val exponential : t -> float -> float
-(** [exponential t rate] samples Exp(rate); mean [1/rate]. *)
+(** [exponential t rate] samples Exp(rate); mean [1/rate].
+
+    Convention: this function is {e rate}-parameterised (events per
+    unit of time), matching the arrival-process literature.  Whenever
+    the quantity at hand is a mean (a duration, an MTBF), call
+    {!exp_mean} instead of hand-rolling [exponential t (1.0 /. mean)]
+    at the call site — both forms draw the same value, but mixing them
+    makes the parameterisation ambiguous for readers. *)
+
+val exp_mean : t -> float -> float
+(** [exp_mean t mean] samples an exponential with the given {e mean};
+    identical to [exponential t (1.0 /. mean)].  Use this for
+    durations, {!exponential} for rates. *)
+
+val weibull : t -> shape:float -> scale:float -> float
+(** Weibull sample [scale * (-ln U)^(1/shape)].  [shape < 1] gives a
+    decreasing hazard (infant-mortality failures, the empirical fit
+    for HPC node faults), [shape = 1] is exponential, [shape > 1] an
+    increasing hazard (wear-out).  Mean is [scale * Gamma(1 + 1/shape)]. *)
 
 val lognormal : t -> mu:float -> sigma:float -> float
 (** Lognormal with parameters of the underlying normal. *)

@@ -1,0 +1,434 @@
+(* Tests for the fault-injection subsystem: generators, recovery
+   policies, the injector event loop, and the failure-aware grid
+   layers. *)
+
+open Psched_workload
+module F = Psched_fault
+module R = F.Recovery
+
+let allocate_all jobs = List.map Psched_core.Packing.allocate_rigid jobs
+
+(* --- engine: run ?until advances the clock on early drain ------------- *)
+
+let test_engine_until_clock () =
+  let e = Psched_sim.Engine.create () in
+  let log = ref [] in
+  Psched_sim.Engine.at e 1.0 (fun () -> log := 1 :: !log);
+  Psched_sim.Engine.run ~until:5.0 e;
+  Alcotest.(check (list int)) "event ran" [ 1 ] (List.rev !log);
+  (* The queue drained at t=1 but the simulation was asked to cover
+     [0, 5]: the clock must stand at the limit, not at the last event. *)
+  T_helpers.check_float "clock at limit" 5.0 (Psched_sim.Engine.now e);
+  Psched_sim.Engine.at e 6.0 (fun () -> log := 6 :: !log);
+  Psched_sim.Engine.run e;
+  Alcotest.(check (list int)) "resumes past the limit" [ 1; 6 ] (List.rev !log)
+
+let test_engine_until_pending () =
+  let e = Psched_sim.Engine.create () in
+  Psched_sim.Engine.at e 10.0 (fun () -> ());
+  Psched_sim.Engine.run ~until:5.0 e;
+  T_helpers.check_float "clock at limit with work pending" 5.0 (Psched_sim.Engine.now e);
+  Alcotest.(check int) "event still pending" 1 (Psched_sim.Engine.pending e)
+
+let test_engine_cancel () =
+  let e = Psched_sim.Engine.create () in
+  let log = ref [] in
+  let h = Psched_sim.Engine.schedule e 2.0 (fun () -> log := 2 :: !log) in
+  Psched_sim.Engine.at e 3.0 (fun () -> log := 3 :: !log);
+  Psched_sim.Engine.cancel e h;
+  Alcotest.(check bool) "handle dead" false (Psched_sim.Engine.active h);
+  Psched_sim.Engine.run e;
+  Alcotest.(check (list int)) "cancelled event skipped" [ 3 ] (List.rev !log)
+
+(* --- rng: the rate-vs-mean convention, statistically ------------------ *)
+
+let sample_mean n draw =
+  let rec go i acc = if i >= n then acc /. float_of_int n else go (i + 1) (acc +. draw ()) in
+  go 0 0.0
+
+let test_rng_parameterisation () =
+  (* [exponential t rate] has mean 1/rate; [exp_mean t mean] has mean
+     [mean]; Weibull with shape 1 is exponential with mean [scale].
+     20k samples put the standard error of each mean below mean/140,
+     so a 4-sigma band is ~3% — loose enough to be deterministic with
+     these seeds, tight enough to catch a swapped parameterisation
+     (which would be off by a factor rate^2). *)
+  let n = 20_000 in
+  let rng = Psched_util.Rng.create 4242 in
+  let m1 = sample_mean n (fun () -> Psched_util.Rng.exponential rng 0.5) in
+  Alcotest.(check (float 0.06)) "exponential 0.5 has mean 2" 2.0 m1;
+  let m2 = sample_mean n (fun () -> Psched_util.Rng.exp_mean rng 7.0) in
+  Alcotest.(check (float 0.21)) "exp_mean 7 has mean 7" 7.0 m2;
+  let m3 = sample_mean n (fun () -> Psched_util.Rng.weibull rng ~shape:1.0 ~scale:3.0) in
+  Alcotest.(check (float 0.09)) "weibull(1, 3) has mean 3" 3.0 m3
+
+let test_generator_durations_use_mean () =
+  (* Generator durations are mean-parameterised: with mean 40 the
+     average outage must sit near 40 (a rate/mean mix-up would yield
+     1/40). *)
+  let rng = Psched_util.Rng.create 7 in
+  let outages =
+    F.Generator.poisson rng ~horizon:1e6 ~rate:0.01 ~mean_duration:40.0 ~width:F.Generator.Machine
+      ()
+  in
+  let n = List.length outages in
+  Alcotest.(check bool) "enough samples" true (n > 5000);
+  let mean =
+    List.fold_left (fun acc (o : F.Outage.t) -> acc +. o.F.Outage.duration) 0.0 outages
+    /. float_of_int n
+  in
+  Alcotest.(check bool) "mean duration near 40" true (Float.abs (mean -. 40.0) < 2.0)
+
+(* --- outages: overlap never underflows the free profile --------------- *)
+
+let gen_outage_set =
+  let module G = QCheck.Gen in
+  let open G in
+  int_range 2 16 >>= fun m ->
+  int_range 0 15 >>= fun n ->
+  list_repeat n
+    (float_range 0.0 50.0 >>= fun start ->
+     float_range 0.1 20.0 >>= fun duration ->
+     int_range 1 (2 * m) >>= fun procs ->
+     return (F.Outage.make ~start ~duration ~procs ()))
+  >>= fun outages -> return (m, outages)
+
+let print_outage_set (m, outages) =
+  Format.asprintf "m=%d@ %a" m (Format.pp_print_list F.Outage.pp) outages
+
+let qcheck_overlap_never_negative =
+  T_helpers.qtest ~count:300 "outages: clipped capacity stays within [0, m]"
+    (QCheck.make ~print:print_outage_set gen_outage_set)
+    (fun (m, outages) ->
+      let profile = F.Outage.free_profile ~m outages in
+      let probes =
+        0.0
+        :: List.concat_map
+             (fun (o : F.Outage.t) ->
+               [ o.F.Outage.start; F.Outage.finish o; o.F.Outage.start +. (o.F.Outage.duration /. 2.0) ])
+             outages
+      in
+      List.for_all
+        (fun t ->
+          let free = Psched_sim.Profile.free_at profile t in
+          free >= 0 && free <= m)
+        probes
+      && Psched_platform.Reservation.feasible ~m (F.Outage.clipped_reservations ~m outages))
+
+(* --- recovery policies ------------------------------------------------- *)
+
+let test_daly_period () =
+  T_helpers.check_float "sqrt(2 c M)" (sqrt 200.0) (R.daly_period ~mtbf:50.0 ~cost:2.0);
+  (* Floored at the write cost itself. *)
+  T_helpers.check_float "floor at cost" 10.0 (R.daly_period ~mtbf:1.0 ~cost:10.0)
+
+let test_backoff_delay () =
+  let b = R.backoff ~base:2.0 ~factor:3.0 ~max_delay:50.0 () in
+  T_helpers.check_float "attempt 1" 2.0 (R.delay b ~attempt:1);
+  T_helpers.check_float "attempt 2" 6.0 (R.delay b ~attempt:2);
+  T_helpers.check_float "attempt 3" 18.0 (R.delay b ~attempt:3);
+  T_helpers.check_float "capped" 50.0 (R.delay b ~attempt:4);
+  T_helpers.check_float "huge attempt stays capped" 50.0 (R.delay b ~attempt:10_000);
+  Alcotest.(check bool) "monotone" true
+    (List.for_all
+       (fun a -> R.delay b ~attempt:a <= R.delay b ~attempt:(a + 1))
+       [ 1; 2; 3; 4; 5; 6 ])
+
+let test_breaker () =
+  let st = R.breaker_state (R.breaker ~threshold:3 ~window:10.0 ~cooloff:20.0 ()) in
+  R.record_kill st 1.0;
+  R.record_kill st 2.0;
+  Alcotest.(check bool) "below threshold" false (R.blocked st 2.0);
+  R.record_kill st 3.0;
+  Alcotest.(check bool) "tripped" true (R.blocked st 3.0);
+  Alcotest.(check int) "one trip" 1 (R.trips st);
+  T_helpers.check_float "cooloff end" 23.0 (R.blocked_until st);
+  Alcotest.(check bool) "closed after cooloff" false (R.blocked st 23.0);
+  (* Old kills have aged out of the window: reopening needs a fresh burst. *)
+  R.record_kill st 24.0;
+  Alcotest.(check bool) "stays closed" false (R.blocked st 24.0);
+  R.record_kill st 24.5;
+  R.record_kill st 25.0;
+  Alcotest.(check int) "second trip" 2 (R.trips st)
+
+(* --- the injector ------------------------------------------------------ *)
+
+let full_outage = [ F.Outage.make ~start:2.0 ~duration:3.0 ~procs:4 () ]
+let one_job = [ (Job.rigid ~id:0 ~procs:4 ~time:5.0 (), 4) ]
+
+let run_policy ?backoff policy =
+  F.Injector.run { F.Injector.m = 4; outages = full_outage; policy; backoff } one_job
+
+let test_injector_restart_exact () =
+  (* The historical Resilience scenario: killed at 2 (wasting 2 s x 4
+     procs), restarted at 5, done at 10. *)
+  let o = run_policy R.Restart in
+  Alcotest.(check int) "kills" 1 o.F.Injector.kills;
+  Alcotest.(check int) "restarts" 1 o.F.Injector.restarts;
+  Alcotest.(check int) "completed" 1 o.F.Injector.completed;
+  T_helpers.check_float "wasted" 8.0 o.F.Injector.wasted_work;
+  T_helpers.check_float "useful" 20.0 o.F.Injector.useful_work;
+  T_helpers.check_float "makespan" 10.0 o.F.Injector.makespan;
+  T_helpers.check_float "goodput" (20.0 /. 28.0) o.F.Injector.goodput
+
+let test_injector_drop_exact () =
+  let o = run_policy R.Drop in
+  Alcotest.(check int) "kills" 1 o.F.Injector.kills;
+  Alcotest.(check int) "lost" 1 o.F.Injector.lost;
+  Alcotest.(check int) "completed" 0 o.F.Injector.completed;
+  T_helpers.check_float "no useful work" 0.0 o.F.Injector.useful_work;
+  T_helpers.check_float "goodput" 0.0 o.F.Injector.goodput
+
+let test_injector_checkpoint_exact () =
+  (* period 1, cost 0.5: the first attempt plans 4 checkpoints
+     (runtime 7); killed at 2 it has finished one 1.5 s cycle —
+     salvaging 1 s of work, wasting 0.5 s x 4 procs.  The resumed
+     attempt owes 4 s (+ 3 checkpoints), so it ends at 10.5. *)
+  let o = run_policy (R.checkpoint ~period:1.0 ~cost:0.5) in
+  Alcotest.(check int) "kills" 1 o.F.Injector.kills;
+  Alcotest.(check int) "checkpoints" 4 o.F.Injector.checkpoints;
+  T_helpers.check_float "wasted" 2.0 o.F.Injector.wasted_work;
+  T_helpers.check_float "overhead" 8.0 o.F.Injector.checkpoint_overhead;
+  T_helpers.check_float "useful" 20.0 o.F.Injector.useful_work;
+  T_helpers.check_float "makespan" 10.5 o.F.Injector.makespan;
+  T_helpers.check_float "goodput" (20.0 /. 30.0) o.F.Injector.goodput
+
+let test_injector_backoff_delays_restart () =
+  let b = R.backoff ~base:4.0 ~factor:2.0 ~max_delay:60.0 () in
+  let o = run_policy ~backoff:b R.Restart in
+  (* Killed at 2, ready again at 6 (after the outage ends at 5): done
+     at 11 instead of 10. *)
+  T_helpers.check_float "makespan" 11.0 o.F.Injector.makespan;
+  Alcotest.(check int) "still completes" 1 o.F.Injector.completed
+
+let test_injector_checkpoint_beats_restart () =
+  (* The acceptance criterion on the real degradation grid: at the
+     highest default outage rate, checkpoint/Daly strictly beats
+     restart-from-scratch on goodput. *)
+  let table = F.Robustness.degradation ~rates:[ 0.05 ] ~n:20 ~seed:42 () in
+  let goodput policy =
+    match F.Robustness.find table ~rate:0.05 ~policy ~backoff:false with
+    | Some r -> r.F.Robustness.goodput
+    | None -> Alcotest.fail ("missing row " ^ policy)
+  in
+  Alcotest.(check bool) "checkpoint > restart" true
+    (goodput "checkpoint-daly" > goodput "restart");
+  Alcotest.(check bool) "restart >= none" true (goodput "restart" >= goodput "none")
+
+let test_degradation_deterministic () =
+  let t1 = F.Robustness.degradation ~rates:[ 0.01 ] ~n:15 ~seed:7 () in
+  let t2 = F.Robustness.degradation ~rates:[ 0.01 ] ~n:15 ~seed:7 () in
+  Alcotest.(check string) "same JSON byte for byte" (F.Robustness.to_json t1)
+    (F.Robustness.to_json t2)
+
+let qcheck_injector_conservation =
+  T_helpers.qtest ~count:60 "injector: work conservation across policies"
+    (T_helpers.arb_instance ~releases:true `Rigid)
+    (fun (m, jobs) ->
+      let allocated = allocate_all jobs in
+      let rng = Psched_util.Rng.create (m * 131) in
+      let outages =
+        F.Generator.poisson rng ~horizon:150.0 ~rate:0.05 ~mean_duration:10.0
+          ~width:(F.Generator.Uniform (max 1 (m / 2)))
+          ()
+      in
+      List.for_all
+        (fun policy ->
+          let o = F.Injector.run { F.Injector.m; outages; policy; backoff = None } allocated in
+          (* Completed + lost covers every job; all metrics non-negative;
+             goodput is a proper fraction; under Drop nothing restarts. *)
+          o.F.Injector.completed + o.F.Injector.lost = List.length jobs
+          && o.F.Injector.wasted_work >= 0.0
+          && o.F.Injector.checkpoint_overhead >= 0.0
+          && o.F.Injector.goodput >= 0.0
+          && o.F.Injector.goodput <= 1.0 +. 1e-9
+          && (policy <> R.Drop || o.F.Injector.restarts = 0)
+          && (policy <> R.Restart || o.F.Injector.lost = 0))
+        [ R.Drop; R.Restart; R.daly ~mtbf:20.0 ~cost:0.5 ])
+
+let qcheck_injector_restart_valid =
+  T_helpers.qtest ~count:60 "injector: restart schedules respect disjoint outage windows"
+    (T_helpers.arb_instance ~releases:true `Rigid)
+    (fun (m, jobs) ->
+      let rng = Psched_util.Rng.create (m * 17) in
+      let outages =
+        F.Generator.poisson rng ~horizon:120.0 ~rate:0.04 ~mean_duration:8.0
+          ~width:(F.Generator.Uniform (max 1 (m / 2)))
+          ()
+      in
+      (* Disjoint windows so the plain validator applies (clipping is a
+         no-op then). *)
+      let outages =
+        List.fold_left
+          (fun kept (o : F.Outage.t) ->
+            if
+              List.for_all
+                (fun (a : F.Outage.t) ->
+                  o.F.Outage.start >= F.Outage.finish a || a.F.Outage.start >= F.Outage.finish o)
+                kept
+            then o :: kept
+            else kept)
+          [] outages
+      in
+      let o =
+        F.Injector.run
+          { F.Injector.m; outages; policy = R.Restart; backoff = None }
+          (allocate_all jobs)
+      in
+      T_helpers.assert_valid
+        ~reservations:(F.Outage.as_reservations outages)
+        ~jobs o.F.Injector.schedule)
+
+(* --- best-effort under outages: non-interference ----------------------- *)
+
+let arb_be_instance = T_helpers.arb_instance ~max_m:12 ~max_n:10 ~releases:true `Rigid
+
+let local_starts (o : Psched_grid.Best_effort.outcome) =
+  List.sort compare
+    (List.map
+       (fun (e : Psched_sim.Schedule.entry) -> (e.Psched_sim.Schedule.job_id, e.Psched_sim.Schedule.start))
+       o.Psched_grid.Best_effort.local_schedule.Psched_sim.Schedule.entries)
+
+let qcheck_best_effort_non_interference =
+  T_helpers.qtest ~count:60 "best-effort: outages never let the bag disturb local jobs"
+    arb_be_instance
+    (fun (m, jobs) ->
+      let local = allocate_all jobs in
+      let rng = Psched_util.Rng.create (m * 53) in
+      let outages =
+        F.Generator.poisson rng ~horizon:100.0 ~rate:0.05 ~mean_duration:10.0
+          ~width:(F.Generator.Uniform (max 1 (m / 2)))
+          ()
+      in
+      let config = { Psched_grid.Best_effort.m; bag = 0; unit_time = 3.0; horizon = 200.0 } in
+      let without = Psched_grid.Best_effort.simulate ~outages config ~local in
+      let with_bag =
+        Psched_grid.Best_effort.simulate ~outages
+          ~backoff:(R.backoff ~base:2.0 ())
+          ~breaker:(R.breaker ~threshold:3 ~window:20.0 ~cooloff:30.0 ())
+          { config with bag = 500 } ~local
+      in
+      (* Local start dates are exactly those of the grid-free cluster
+         under the same outages: the CiGri contract survives failures. *)
+      local_starts without = local_starts with_bag)
+
+let test_best_effort_outage_sheds_bag_first () =
+  (* m=4, one local 2-proc job for [0, 10); bag fills the rest.  An
+     outage takes 2 processors over [3, 6): only best-effort runs die,
+     the local job sails through. *)
+  let job = Job.rigid ~id:0 ~procs:2 ~time:10.0 () in
+  let outages = [ F.Outage.make ~start:3.0 ~duration:3.0 ~procs:2 () ] in
+  let config = { Psched_grid.Best_effort.m = 4; bag = 100; unit_time = 2.0; horizon = 50.0 } in
+  let o = Psched_grid.Best_effort.simulate ~outages config ~local:[ (job, 2) ] in
+  Alcotest.(check int) "local jobs untouched" 0 o.Psched_grid.Best_effort.local_killed;
+  Alcotest.(check bool) "some best-effort runs killed" true
+    (o.Psched_grid.Best_effort.grid_killed > 0);
+  Alcotest.(check (list (pair int (float 1e-6)))) "local start at 0"
+    [ (0, 0.0) ]
+    (local_starts o)
+
+let test_best_effort_outage_kills_local () =
+  (* The whole cluster dies at t=2: even the local job is killed and
+     restarts (from scratch) when the machine returns at t=5. *)
+  let job = Job.rigid ~id:0 ~procs:4 ~time:5.0 () in
+  let outages = [ F.Outage.make ~start:2.0 ~duration:3.0 ~procs:4 () ] in
+  let config = { Psched_grid.Best_effort.m = 4; bag = 0; unit_time = 1.0; horizon = 0.0 } in
+  let o = Psched_grid.Best_effort.simulate ~outages config ~local:[ (job, 4) ] in
+  Alcotest.(check int) "one local kill" 1 o.Psched_grid.Best_effort.local_killed;
+  Alcotest.(check (list (pair int (float 1e-6)))) "restarted at 5"
+    [ (0, 5.0) ]
+    (local_starts o);
+  T_helpers.check_float "finishes at 10" 10.0
+    (Psched_sim.Schedule.makespan o.Psched_grid.Best_effort.local_schedule)
+
+let test_best_effort_breaker_pauses () =
+  (* A burst of full-width outages keeps killing the bag: the breaker
+     must trip at least once and the simulation still terminates. *)
+  let outages =
+    List.init 6 (fun i ->
+        F.Outage.make ~start:(2.0 +. (4.0 *. float_of_int i)) ~duration:2.0 ~procs:4 ())
+  in
+  let config = { Psched_grid.Best_effort.m = 4; bag = 200; unit_time = 3.0; horizon = 100.0 } in
+  let o =
+    Psched_grid.Best_effort.simulate ~outages
+      ~breaker:(R.breaker ~threshold:4 ~window:10.0 ~cooloff:15.0 ())
+      config ~local:[]
+  in
+  Alcotest.(check bool) "breaker tripped" true (o.Psched_grid.Best_effort.breaker_trips > 0);
+  Alcotest.(check bool) "still made progress" true
+    (o.Psched_grid.Best_effort.grid_completed > 0)
+
+(* --- multi-cluster re-routing ------------------------------------------ *)
+
+let test_multi_cluster_reroutes () =
+  let grid = Psched_platform.Platform.ciment in
+  let cluster1 = List.nth grid.Psched_platform.Platform.clusters 1 in
+  let cap1 = Psched_platform.Platform.processors cluster1 in
+  (* Community 1's home (cluster 1) is fully down when its jobs land. *)
+  let outages =
+    [
+      F.Outage.make ~cluster:cluster1.Psched_platform.Platform.id ~start:0.0 ~duration:1000.0
+        ~procs:cap1 ();
+    ]
+  in
+  let jobs = List.init 8 (fun id -> Job.rigid ~community:1 ~id ~procs:4 ~time:50.0 ()) in
+  let o =
+    Psched_grid.Multi_cluster.simulate ~outages Psched_grid.Multi_cluster.Independent ~grid ~jobs
+  in
+  Alcotest.(check int) "all jobs rerouted" 8 o.Psched_grid.Multi_cluster.rerouted;
+  List.iter
+    (fun (p : Psched_grid.Multi_cluster.placement) ->
+      Alcotest.(check bool) "placed off the dead cluster" true
+        (p.Psched_grid.Multi_cluster.cluster <> cluster1.Psched_platform.Platform.id))
+    o.Psched_grid.Multi_cluster.placements;
+  (* Without outages nothing is rerouted and the field stays 0. *)
+  let clean = Psched_grid.Multi_cluster.simulate Psched_grid.Multi_cluster.Independent ~grid ~jobs in
+  Alcotest.(check int) "no reroutes on a healthy grid" 0 clean.Psched_grid.Multi_cluster.rerouted
+
+let test_multi_cluster_degrades () =
+  (* A partial outage on the home cluster delays its jobs (they
+     backfill around the window) but does not reroute them. *)
+  let grid = Psched_platform.Platform.ciment in
+  let cluster0 = List.hd grid.Psched_platform.Platform.clusters in
+  let cap0 = Psched_platform.Platform.processors cluster0 in
+  let outages =
+    [
+      F.Outage.make ~cluster:cluster0.Psched_platform.Platform.id ~start:0.0 ~duration:500.0
+        ~procs:(cap0 - 2) ();
+    ]
+  in
+  let jobs = List.init 4 (fun id -> Job.rigid ~community:0 ~id ~procs:2 ~time:100.0 ()) in
+  let run outages =
+    Psched_grid.Multi_cluster.simulate ~outages Psched_grid.Multi_cluster.Independent ~grid ~jobs
+  in
+  let degraded = run outages and clean = run [] in
+  Alcotest.(check int) "not rerouted" 0 degraded.Psched_grid.Multi_cluster.rerouted;
+  Alcotest.(check bool) "slower than the healthy cluster" true
+    (degraded.Psched_grid.Multi_cluster.makespan >= clean.Psched_grid.Multi_cluster.makespan)
+
+let suite =
+  [
+    Alcotest.test_case "engine until clock" `Quick test_engine_until_clock;
+    Alcotest.test_case "engine until pending" `Quick test_engine_until_pending;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "rng parameterisation" `Quick test_rng_parameterisation;
+    Alcotest.test_case "generator mean durations" `Quick test_generator_durations_use_mean;
+    qcheck_overlap_never_negative;
+    Alcotest.test_case "daly period" `Quick test_daly_period;
+    Alcotest.test_case "backoff delay" `Quick test_backoff_delay;
+    Alcotest.test_case "circuit breaker" `Quick test_breaker;
+    Alcotest.test_case "injector restart exact" `Quick test_injector_restart_exact;
+    Alcotest.test_case "injector drop exact" `Quick test_injector_drop_exact;
+    Alcotest.test_case "injector checkpoint exact" `Quick test_injector_checkpoint_exact;
+    Alcotest.test_case "injector backoff delay" `Quick test_injector_backoff_delays_restart;
+    Alcotest.test_case "checkpoint beats restart" `Quick test_injector_checkpoint_beats_restart;
+    Alcotest.test_case "degradation deterministic" `Quick test_degradation_deterministic;
+    qcheck_injector_conservation;
+    qcheck_injector_restart_valid;
+    qcheck_best_effort_non_interference;
+    Alcotest.test_case "best-effort sheds bag first" `Quick test_best_effort_outage_sheds_bag_first;
+    Alcotest.test_case "best-effort local kill+restart" `Quick test_best_effort_outage_kills_local;
+    Alcotest.test_case "best-effort breaker" `Quick test_best_effort_breaker_pauses;
+    Alcotest.test_case "multi-cluster reroutes" `Quick test_multi_cluster_reroutes;
+    Alcotest.test_case "multi-cluster degrades" `Quick test_multi_cluster_degrades;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("delay", T_delay.suite);
       ("hetero", T_hetero.suite);
       ("robust", T_robust.suite);
+      ("fault", T_fault.suite);
       ("systems-more", T_more_systems.suite);
       ("experiments", T_experiments.suite);
     ]

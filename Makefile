@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench bench-fault check clean
+.PHONY: all build test bench-smoke bench bench-fault trace-smoke check clean
 
 all: build
 
@@ -23,7 +23,16 @@ bench:
 bench-fault:
 	dune exec bench/main.exe -- fault-table --json
 
-check: build test bench-smoke bench-fault
+# Traced EASY and MRT runs through the registry, then validate the
+# JSONL traces against the closed event vocabulary (DESIGN.md section 10).
+trace-smoke:
+	dune exec bin/psched.exe -- trace simulate --policy easy -n 40 -m 32 \
+		--rate 0.5 --trace trace_easy.jsonl --summary
+	dune exec bin/psched.exe -- trace simulate --policy mrt -n 40 -m 32 \
+		--trace trace_mrt.jsonl
+	dune exec bin/psched.exe -- trace check trace_easy.jsonl trace_mrt.jsonl
+
+check: build test bench-smoke bench-fault trace-smoke
 
 clean:
 	dune clean

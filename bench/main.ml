@@ -10,11 +10,13 @@
      indexed engine, so the speedup is measured in the same run.
 
    Usage: main.exe [all|figures|tables|ablations|fault-table|perf]
-   [--json] [--quick] (default: all).  With --json, perf writes
-   per-test OLS ns estimates + engine speedups to BENCH_1.json for
-   trend tracking (BENCH_quick.json under --quick) and fault-table
+   [--json] [--quick] [--obs] (default: all).  With --json, perf
+   writes per-test OLS ns estimates + engine speedups to BENCH_1.json
+   for trend tracking (BENCH_quick.json under --quick) and fault-table
    writes the robustness degradation grid to BENCH_2.json; --quick
-   restricts perf to one cheap paired test (CI smoke). *)
+   restricts perf to one cheap paired test (CI smoke); --obs adds
+   traced-vs-untraced pairs measuring the observability overhead and
+   prints a trace digest. *)
 
 open Bechamel
 open Toolkit
@@ -107,6 +109,41 @@ let quick_tests =
   ]
 
 let quick_pairs = [ ("EASY n=50 m=16", "EASY n=50 m=16 (list profile)") ]
+
+(* Traced counterparts of the quick pair's workloads: same inputs run
+   with an enabled observability handle, so `perf --obs` reports the
+   tracing overhead (traced vs untraced on identical work) and a trace
+   digest of one instrumented run. *)
+let obs_tests =
+  let m = 16 in
+  let allocated = List.map Packing.allocate_rigid (released (rigid_jobs ~n:50 ~m ~seed:8)) in
+  let moldable = moldable_jobs ~n:50 ~m ~seed:7 in
+  [
+    Test.make ~name:"EASY n=50 m=16 (traced)"
+      (Staged.stage (fun () ->
+           let obs = Psched_obs.Obs.create ~ring_capacity:4096 () in
+           ignore (Backfilling.easy ~obs ~m allocated)));
+    Test.make ~name:"MRT n=50 m=16"
+      (Staged.stage (fun () -> ignore (Mrt.schedule ~m moldable)));
+    Test.make ~name:"MRT n=50 m=16 (traced)"
+      (Staged.stage (fun () ->
+           let obs = Psched_obs.Obs.create ~ring_capacity:4096 () in
+           ignore (Mrt.schedule ~obs ~m moldable)));
+  ]
+
+let obs_pairs =
+  [
+    ("EASY n=50 m=16", "EASY n=50 m=16 (traced)");
+    ("MRT n=50 m=16", "MRT n=50 m=16 (traced)");
+  ]
+
+let print_obs_digest () =
+  let m = 16 in
+  let allocated = List.map Packing.allocate_rigid (released (rigid_jobs ~n:50 ~m ~seed:8)) in
+  let obs = Psched_obs.Obs.create () in
+  ignore (Backfilling.easy ~obs ~m allocated);
+  print_endline "== trace digest (EASY n=50 m=16, one traced run) ==";
+  print_string (Psched_obs.Trace.to_string (Psched_obs.Trace.summarize obs))
 
 (* ... and one per core algorithm on a fixed instance. *)
 let algo_tests =
@@ -217,11 +254,16 @@ let write_json ~path ~quick pairs rows =
   out "}\n";
   close_out oc
 
-let print_perf ?(json = false) ?(quick = false) () =
+let print_perf ?(json = false) ?(quick = false) ?(obs = false) () =
   print_endline "== micro-benchmarks (bechamel, OLS estimate per run) ==";
   let tests, pairs, quota =
     if quick then (quick_tests, quick_pairs, 0.05)
     else (table_tests @ algo_tests @ reference_tests, engine_pairs, 0.25)
+  in
+  let tests =
+    (* the untraced EASY baseline of the obs pairs lives in quick_tests *)
+    if obs then (if quick then tests else tests @ [ List.hd quick_tests ]) @ obs_tests
+    else tests
   in
   let rows = measure ~quota tests in
   List.iter
@@ -232,6 +274,14 @@ let print_perf ?(json = false) ?(quick = false) () =
   List.iter
     (fun (name, ratio) -> Printf.printf "%-42s %.1fx vs list profile\n" name ratio)
     (speedups pairs rows);
+  if obs then begin
+    (* speedups computes ref/new; with (untraced, traced) pairs the
+       ratio is traced/untraced, i.e. the tracing overhead factor. *)
+    List.iter
+      (fun (name, ratio) -> Printf.printf "%-42s %.2fx traced vs untraced\n" name ratio)
+      (speedups obs_pairs rows);
+    print_obs_digest ()
+  end;
   if json then begin
     (* The smoke run must not clobber the committed full-run numbers. *)
     let path = if quick then "BENCH_quick.json" else "BENCH_1.json" in
@@ -266,6 +316,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
   let quick = List.mem "--quick" args in
+  let obs = List.mem "--obs" args in
   let mode =
     match List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args with
     | [] -> "all"
@@ -275,7 +326,7 @@ let () =
   | "figures" | "fig2" -> print_figures ()
   | "tables" -> print_tables ()
   | "ablations" -> print_ablations ()
-  | "perf" -> print_perf ~json ~quick ()
+  | "perf" -> print_perf ~json ~quick ~obs ()
   | "fault-table" -> print_fault_table ~json ()
   | "all" ->
     print_figures ();
@@ -283,10 +334,10 @@ let () =
     print_tables ();
     print_ablations ();
     print_fault_table ~json ();
-    print_perf ~json ~quick ()
+    print_perf ~json ~quick ~obs ()
   | other ->
     Printf.eprintf
       "unknown mode %S (all | figures | tables | ablations | fault-table | perf [--json] \
-       [--quick])\n"
+       [--quick] [--obs])\n"
       other;
     exit 1

@@ -84,75 +84,148 @@ let platform_cmd =
 
 (* ---------------------------------------------------------- simulate *)
 
-let policies =
-  [
-    ("mrt", `Mrt);
-    ("bicriteria", `Bicriteria);
-    ("batch-online", `Batch);
-    ("smart", `Smart);
-    ("easy", `Easy);
-    ("conservative", `Conservative);
-  ]
+let gen_jobs ~n ~m ~seed ~rate =
+  let rng = Psched_util.Rng.create seed in
+  let jobs = Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0 in
+  if rate > 0.0 then Workload_gen.with_poisson_arrivals rng ~rate jobs else jobs
 
-let simulate_cmd =
-  let run policy n m seed rate =
-    let rng = Psched_util.Rng.create seed in
-    let jobs = Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0 in
-    let jobs =
-      if rate > 0.0 then Workload_gen.with_poisson_arrivals rng ~rate jobs else jobs
+(* Run a registry policy; off-line-only policies silently fall back to
+   the zero-release view (the historic `psched simulate` behaviour),
+   reporting that the fallback happened. *)
+let run_registry ~obs ~policy ~m jobs =
+  let ctx releases = Scheduler_intf.ctx ~obs ~releases ~m () in
+  match Schedulers.run policy (ctx Scheduler_intf.Honour) jobs with
+  | Ok o -> Ok (o, false)
+  | Error (Scheduler_intf.Needs_zero_releases _) -> (
+    match Schedulers.run policy (ctx Scheduler_intf.Zero) jobs with
+    | Ok o -> Ok (o, true)
+    | Error e -> Error e)
+  | Error e -> Error e
+
+let simulate_with_obs ~obs ~policy ~n ~m ~seed ~rate =
+  let jobs = gen_jobs ~n ~m ~seed ~rate in
+  match run_registry ~obs ~policy ~m jobs with
+  | Error e ->
+    Printf.eprintf "%s\n(known policies: %s)\n"
+      (Scheduler_intf.error_to_string e)
+      (String.concat ", " Schedulers.names);
+    exit 1
+  | Ok (outcome, stripped) ->
+    let used_jobs =
+      if stripped then List.map (fun (j : Job.t) -> { j with release = 0.0 }) jobs else jobs
     in
-    let zeroed () = List.map (fun (j : Job.t) -> { j with release = 0.0 }) jobs in
-    let sched, used_jobs =
-      match List.assoc_opt policy policies with
-      | Some `Mrt -> (Mrt.schedule ~m (zeroed ()), zeroed ())
-      | Some `Bicriteria -> (Bicriteria.schedule ~m jobs, jobs)
-      | Some `Batch -> (Batch_online.with_mrt ~m jobs, jobs)
-      | Some `Smart ->
-        let rigid =
-          List.map
-            (fun (j : Job.t) ->
-              let k = Moldable_alloc.work_bounded ~m ~delta:0.25 j in
-              Job.rigid ~weight:j.weight ~id:j.id ~procs:k ~time:(Job.time_on j k) ())
-            (zeroed ())
-        in
-        (Smart.schedule_rigid_jobs ~m rigid, rigid)
-      | Some `Easy ->
-        ( Backfilling.easy ~m
-            (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs),
-          jobs )
-      | Some `Conservative ->
-        ( Backfilling.conservative ~m
-            (Moldable_alloc.allocate (Moldable_alloc.work_bounded ~m ~delta:0.25) jobs),
-          jobs )
-      | None ->
-        Printf.eprintf "unknown policy %S (try: %s)\n" policy
-          (String.concat ", " (List.map fst policies));
-        exit 1
-    in
+    let sched = outcome.Scheduler_intf.schedule in
     Validate.check_exn ~jobs:used_jobs sched;
     let metrics = Metrics.compute ~jobs:used_jobs sched in
     Format.printf "policy=%s n=%d m=%d seed=%d@." policy n m seed;
+    if stripped then
+      Format.printf "note: off-line policy, release dates stripped (releases=Zero)@.";
     Format.printf "%a@." Metrics.pp metrics;
     Format.printf "Cmax lower bound: %g (ratio %.3f)@."
       (Lower_bounds.cmax ~m used_jobs)
       (Schedule.makespan sched /. Lower_bounds.cmax ~m used_jobs);
     Format.printf "sum wC lower bound: %g (ratio %.3f)@."
       (Lower_bounds.sum_weighted_completion ~m used_jobs)
-      (metrics.Metrics.sum_weighted_completion /. Lower_bounds.sum_weighted_completion ~m used_jobs)
-  in
-  let policy =
-    Arg.(value & opt string "bicriteria"
-         & info [ "policy" ] ~doc:"mrt | bicriteria | batch-online | smart | easy | conservative")
-  in
-  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of jobs.") in
-  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Processors.") in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
-  let rate =
-    Arg.(value & opt float 0.0 & info [ "rate" ] ~doc:"Poisson arrival rate (0 = all at time 0).")
+      (metrics.Metrics.sum_weighted_completion /. Lower_bounds.sum_weighted_completion ~m used_jobs);
+    outcome
+
+let policy_arg =
+  Arg.(value & opt string "bicriteria"
+       & info [ "policy" ] ~doc:"Registry policy name (see $(b,psched policies)).")
+
+let n_arg = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of jobs.")
+let m_arg = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Processors.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let rate_arg =
+  Arg.(value & opt float 0.0 & info [ "rate" ] ~doc:"Poisson arrival rate (0 = all at time 0).")
+
+let simulate_cmd =
+  let run policy n m seed rate =
+    ignore (simulate_with_obs ~obs:Psched_obs.Obs.null ~policy ~n ~m ~seed ~rate)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one policy on a synthetic workload and print all criteria.")
-    Term.(const run $ policy $ n $ m $ seed $ rate)
+    Term.(const run $ policy_arg $ n_arg $ m_arg $ seed_arg $ rate_arg)
+
+(* ---------------------------------------------------------- policies *)
+
+let policies_cmd =
+  let run () =
+    let width =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 Schedulers.docs
+    in
+    List.iter
+      (fun (name, doc) -> Printf.printf "%-*s  %s\n" width name doc)
+      Schedulers.docs
+  in
+  Cmd.v
+    (Cmd.info "policies" ~doc:"List the scheduler registry (names usable with --policy).")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------- trace *)
+
+let trace_simulate_cmd =
+  let run policy n m seed rate out format summary =
+    let obs = Psched_obs.Obs.create () in
+    let oc = if out = "-" then stdout else open_out out in
+    let sink =
+      match format with
+      | "csv" -> Psched_obs.Obs.Csv oc
+      | _ -> Psched_obs.Obs.Jsonl oc
+    in
+    Psched_obs.Obs.add_sink obs sink;
+    let outcome = simulate_with_obs ~obs ~policy ~n ~m ~seed ~rate in
+    if out <> "-" then close_out oc;
+    if summary then begin
+      match outcome.Scheduler_intf.trace with
+      | Some s -> Format.printf "@.%a@." Psched_obs.Trace.pp s
+      | None -> ()
+    end;
+    if out <> "-" then
+      Format.printf "trace written to %s (%d events retained, %d dropped)@." out
+        (List.length (Psched_obs.Obs.events obs))
+        (Psched_obs.Obs.dropped obs)
+  in
+  let out =
+    Arg.(value & opt string "trace.jsonl"
+         & info [ "trace"; "o" ] ~docv:"FILE" ~doc:"Output file ('-' for stdout).")
+  in
+  let format =
+    Arg.(value & opt string "jsonl" & info [ "format" ] ~doc:"jsonl | csv")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Print the trace digest after the run.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a policy with tracing enabled, streaming events to a JSONL/CSV file.")
+    Term.(const run $ policy_arg $ n_arg $ m_arg $ seed_arg $ rate_arg $ out $ format $ summary)
+
+let trace_check_cmd =
+  let run files =
+    let failed = ref false in
+    List.iter
+      (fun file ->
+        match Psched_obs.Trace.validate_file file with
+        | Ok n -> Printf.printf "%s: ok (%d events)\n" file n
+        | Error { Psched_obs.Trace.line; reason } ->
+          failed := true;
+          Printf.printf "%s:%d: %s\n" file line reason)
+      files;
+    if !failed then exit 1
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"JSONL trace files.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate JSONL traces against the event vocabulary.")
+    Term.(const run $ files)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Traced runs and trace validation (the observability layer).")
+    [ trace_simulate_cmd; trace_check_cmd ]
 
 (* ------------------------------------------------------------ workload *)
 
@@ -361,6 +434,6 @@ let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd ]
 
 let () = exit (Cmd.eval main)

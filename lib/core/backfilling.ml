@@ -1,5 +1,6 @@
 open Psched_workload
 open Psched_sim
+module Obs = Psched_obs.Obs
 
 let conservative ?(reservations = []) ~m allocated =
   Packing.list_schedule ~reservations ~m allocated
@@ -13,7 +14,7 @@ module Make (P : Profile_intf.S) = struct
       reservations;
     profile
 
-  let easy ?(reservations = []) ~m allocated =
+  let easy ?(obs = Obs.null) ?(reservations = []) ~m allocated =
     List.iter
       (fun ((j : Job.t), k) ->
         if k > m then
@@ -35,10 +36,17 @@ module Make (P : Profile_intf.S) = struct
         Psched_util.Heap.add events (Psched_platform.Reservation.finish r))
       reservations;
     let eps = 1e-9 in
+    let sim_now = ref 0.0 in
+    if Obs.enabled obs then Obs.set_clock obs (fun () -> !sim_now);
     let start_job now ((job : Job.t), procs) =
       let duration = Job.time_on job procs in
       if duration > 0.0 then P.reserve profile ~start:now ~duration ~procs;
       entries := Schedule.entry ~job ~start:now ~procs () :: !entries;
+      if Obs.enabled obs then begin
+        Obs.job_start obs ~job:job.Job.id ~start:now ~procs;
+        Obs.queue_wait obs ~job:job.Job.id ~wait:(now -. job.Job.release);
+        Obs.Counter.incr obs "backfill/started"
+      end;
       Psched_util.Heap.add events (now +. duration)
     in
     let starts_now now ((job : Job.t), procs) =
@@ -65,12 +73,30 @@ module Make (P : Profile_intf.S) = struct
         if hdur > 0.0 then P.reserve profile ~start:hstart ~duration:hdur ~procs:hprocs;
         let kept =
           List.filter
-            (fun job ->
-              if starts_now now job then begin
-                start_job now job;
+            (fun ((job : Job.t), procs) ->
+              if starts_now now (job, procs) then begin
+                if Obs.enabled obs then begin
+                  Obs.backfill_fill obs ~job:job.Job.id ~start:now ~procs;
+                  Obs.Counter.incr obs "backfill/filled"
+                end;
+                start_job now (job, procs);
                 false
               end
-              else true)
+              else begin
+                (* The probe failed: record where the job could start
+                   instead (pure profile query, trace-only work). *)
+                if Obs.enabled obs then begin
+                  let duration = Job.time_on job procs in
+                  let at =
+                    match P.find_start profile ~earliest:now ~duration ~procs with
+                    | s -> s
+                    | exception Not_found -> infinity
+                  in
+                  Obs.backfill_hole obs ~job:job.Job.id ~start:at ~procs;
+                  Obs.Counter.incr obs "backfill/hole_probes"
+                end;
+                true
+              end)
             rest
         in
         if hdur > 0.0 then P.release profile ~start:hstart ~duration:hdur ~procs:hprocs;
@@ -90,6 +116,7 @@ module Make (P : Profile_intf.S) = struct
       | Some t ->
         if t > !last +. eps then begin
           last := t;
+          sim_now := t;
           step t
         end;
         loop ()

@@ -17,14 +17,21 @@ val conservative :
   Psched_sim.Schedule.t
 
 val easy :
+  ?obs:Psched_obs.Obs.t ->
   ?reservations:Psched_platform.Reservation.t list ->
   m:int ->
   Packing.allocated list ->
   Psched_sim.Schedule.t
-(** @raise Invalid_argument if a job is wider than [m]. *)
+(** With an enabled [obs], every start emits ["job.start"] (and feeds
+    the queue-wait histogram), backfilled starts emit
+    ["backfill.fill"], and failed backfill probes emit
+    ["backfill.hole"] with the earliest date the candidate could start
+    instead; tracing never changes the schedule.
+    @raise Invalid_argument if a job is wider than [m]. *)
 
 module Make (P : Psched_sim.Profile_intf.S) : sig
   val easy :
+    ?obs:Psched_obs.Obs.t ->
     ?reservations:Psched_platform.Reservation.t list ->
     m:int ->
     Packing.allocated list ->

@@ -1,5 +1,6 @@
 open Psched_workload
 open Psched_sim
+module Obs = Psched_obs.Obs
 
 type offline = m:int -> Job.t list -> Psched_sim.Schedule.t
 
@@ -9,11 +10,12 @@ let shift delta (s : Schedule.t) =
       List.map (fun (e : Schedule.entry) -> { e with Schedule.start = e.start +. delta })
         s.Schedule.entries }
 
-let run ~offline ~m jobs =
+let run ?(obs = Obs.null) ~offline ~m jobs =
   let remaining = ref (List.sort (fun (a : Job.t) b -> compare a.release b.release) jobs) in
   let batches = ref [] in
   let entries = ref [] in
   let clock = ref 0.0 in
+  if Obs.enabled obs then Obs.set_clock obs (fun () -> !clock);
   while !remaining <> [] do
     let ready, later = List.partition (fun (j : Job.t) -> j.release <= !clock) !remaining in
     match ready with
@@ -27,6 +29,11 @@ let run ~offline ~m jobs =
       (* The off-line algorithm sees the batch as released at 0. *)
       let zeroed = List.map (fun (j : Job.t) -> { j with release = 0.0 }) batch in
       let sched = shift !clock (offline ~m zeroed) in
+      if Obs.enabled obs then begin
+        Obs.batch_flush obs ~start:!clock ~jobs:(List.length batch) ~deadline:None;
+        Obs.Counter.incr obs "batch/flushes";
+        Obs.Counter.add obs "batch/jobs" (float_of_int (List.length batch))
+      end;
       batches := (!clock, batch) :: !batches;
       entries := sched.Schedule.entries @ !entries;
       let finish =
@@ -38,9 +45,9 @@ let run ~offline ~m jobs =
   done;
   (List.rev !batches, Schedule.make ~m !entries)
 
-let schedule ~offline ~m jobs = snd (run ~offline ~m jobs)
+let schedule ?obs ~offline ~m jobs = snd (run ?obs ~offline ~m jobs)
 
-let with_mrt ?epsilon ~m jobs =
-  schedule ~offline:(fun ~m js -> Mrt.schedule ?epsilon ~m js) ~m jobs
+let with_mrt ?obs ?epsilon ~m jobs =
+  schedule ?obs ~offline:(fun ~m js -> Mrt.schedule ?obs ?epsilon ~m js) ~m jobs
 
 let batches ~offline ~m jobs = fst (run ~offline ~m jobs)

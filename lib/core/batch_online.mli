@@ -17,12 +17,17 @@ type offline = m:int -> Job.t list -> Psched_sim.Schedule.t
 (** An off-line makespan algorithm for jobs available at time 0; the
     schedule it returns is shifted to the batch start date. *)
 
-val schedule : offline:offline -> m:int -> Job.t list -> Psched_sim.Schedule.t
+val schedule :
+  ?obs:Psched_obs.Obs.t -> offline:offline -> m:int -> Job.t list -> Psched_sim.Schedule.t
 (** Run the batch transformation over the full job stream.  Jobs must
-    have finite feasible allocations on [m] processors. *)
+    have finite feasible allocations on [m] processors.  With an
+    enabled [obs], every batch start emits a ["batch.flush"] event. *)
 
-val with_mrt : ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
-(** The paper's 3 + eps algorithm: batches solved by {!Mrt.schedule}. *)
+val with_mrt :
+  ?obs:Psched_obs.Obs.t -> ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+(** The paper's 3 + eps algorithm: batches solved by {!Mrt.schedule}
+    (which also receives [obs], so MRT guess events interleave with
+    the batch flushes). *)
 
 val batches : offline:offline -> m:int -> Job.t list -> (float * Job.t list) list
 (** The (start date, batch contents) decomposition, for inspection and

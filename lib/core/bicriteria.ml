@@ -1,5 +1,6 @@
 open Psched_workload
 open Psched_sim
+module Obs = Psched_obs.Obs
 
 type batch = { start : float; deadline : float; jobs : Job.t list }
 
@@ -28,7 +29,7 @@ let dual ~m ~rho ~d ~start jobs =
   in
   loop [] [] [] candidates
 
-let run ?(rho = 1.5) ?d0 ~m jobs =
+let run ?(obs = Obs.null) ?(rho = 1.5) ?d0 ~m jobs =
   List.iter
     (fun (j : Job.t) ->
       if Job.min_procs j > m then
@@ -46,6 +47,7 @@ let run ?(rho = 1.5) ?d0 ~m jobs =
     in
     let remaining = ref jobs in
     let clock = ref 0.0 in
+    if Obs.enabled obs then Obs.set_clock obs (fun () -> !clock);
     let d = ref (Float.max d0 1e-9) in
     let batches = ref [] in
     let entries = ref [] in
@@ -58,6 +60,12 @@ let run ?(rho = 1.5) ?d0 ~m jobs =
         (match later with (j : Job.t) :: _ -> clock := Float.max !clock j.release | [] -> ())
       | _ ->
         let batch_entries, scheduled, rejected = dual ~m ~rho ~d:!d ~start:!clock available in
+        if Obs.enabled obs then begin
+          Obs.batch_flush obs ~start:!clock ~jobs:(List.length scheduled) ~deadline:(Some !d);
+          Obs.Counter.incr obs "bicriteria/batches";
+          Obs.Counter.add obs "bicriteria/scheduled" (float_of_int (List.length scheduled));
+          Obs.Counter.add obs "bicriteria/rejected" (float_of_int (List.length rejected))
+        end;
         if scheduled <> [] then begin
           batches := { start = !clock; deadline = !d; jobs = scheduled } :: !batches;
           entries := batch_entries @ !entries;
@@ -74,5 +82,5 @@ let run ?(rho = 1.5) ?d0 ~m jobs =
     done;
     (List.rev !batches, Schedule.make ~m !entries)
 
-let schedule ?rho ?d0 ~m jobs = snd (run ?rho ?d0 ~m jobs)
+let schedule ?obs ?rho ?d0 ~m jobs = snd (run ?obs ?rho ?d0 ~m jobs)
 let batches ?rho ?d0 ~m jobs = fst (run ?rho ?d0 ~m jobs)

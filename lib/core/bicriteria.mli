@@ -20,10 +20,13 @@ open Psched_workload
 
 type batch = { start : float; deadline : float; jobs : Job.t list }
 
-val schedule : ?rho:float -> ?d0:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+val schedule :
+  ?obs:Psched_obs.Obs.t -> ?rho:float -> ?d0:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
 (** [rho] is the ratio budget of the dual procedure (default 1.5, the
     MRT guarantee); [d0] the initial deadline (default: the smallest
-    fastest-time among the jobs).
+    fastest-time among the jobs).  With an enabled [obs], every
+    doubling batch emits a ["batch.flush"] event carrying its deadline
+    and accepted/rejected counts accumulate under ["bicriteria/"].
     @raise Invalid_argument if a job cannot run on [m] processors. *)
 
 val batches : ?rho:float -> ?d0:float -> m:int -> Job.t list -> batch list

@@ -1,5 +1,6 @@
 open Psched_workload
 open Psched_sim
+module Obs = Psched_obs.Obs
 
 let canonical_alloc ~m ~deadline (job : Job.t) =
   Alloc_cache.canonical (Alloc_cache.of_job ~m job) ~deadline
@@ -138,7 +139,7 @@ module Make (P : Profile_intf.S) = struct
   (* Decide a guess without building its schedule; [Some entry] means
      accepted.  The packing is deferred to [pack_entry] so the binary
      search only ever packs the guess it finally settles on. *)
-  let eval_guess ~m ~lambda caches memo =
+  let eval_guess ?(obs = Obs.null) ~m ~lambda caches memo =
     let n = Array.length caches in
     let exception Reject in
     try
@@ -180,25 +181,54 @@ module Make (P : Profile_intf.S) = struct
       (* The floor already decides most rejections without touching the
          DP; the knapsack runs at most once per distinct vector, and
          only for guesses whose budget the floor cannot exclude. *)
-      if entry.floor_w > budget then None
+      if entry.floor_w > budget then begin
+        if Obs.enabled obs then begin
+          Obs.knapsack_prune obs ~lambda ~reason:"floor";
+          Obs.Counter.incr obs "mrt/knapsack/floor_pruned";
+          Obs.lambda_guess obs ~lambda ~accepted:false;
+          Obs.Counter.incr obs "mrt/guess/rejected"
+        end;
+        None
+      end
       else begin
         if not entry.solved then begin
+          if Obs.enabled obs then begin
+            Obs.knapsack_run obs ~items:n ~cap:m;
+            Obs.Counter.incr obs "mrt/knapsack/dp"
+          end;
           entry.solution <- knapsack ~m tasks;
           entry.solved <- true
+        end
+        else if Obs.enabled obs then Obs.Counter.incr obs "mrt/knapsack/memo_hit";
+        let verdict =
+          match entry.solution with
+          | None -> None
+          | Some (work, _) -> if work > budget then None else Some entry
+        in
+        if Obs.enabled obs then begin
+          let accepted = Option.is_some verdict in
+          Obs.lambda_guess obs ~lambda ~accepted;
+          Obs.Counter.incr obs (if accepted then "mrt/guess/accepted" else "mrt/guess/rejected")
         end;
-        match entry.solution with
-        | None -> None
-        | Some (work, _) -> if work > budget then None else Some entry
+        verdict
       end
-    with Reject -> None
+    with Reject ->
+      if Obs.enabled obs then begin
+        Obs.knapsack_prune obs ~lambda ~reason:"infeasible";
+        Obs.lambda_guess obs ~lambda ~accepted:false;
+        Obs.Counter.incr obs "mrt/guess/rejected"
+      end;
+      None
 
   (* Build the two-shelf schedule for an accepted entry: shelf-1 tasks
      start at 0; shelf-2 tasks are packed greedily (longest first) in
      the leftover capacity.  The allocations are read back from the
      entry's key, so no lambda is needed. *)
-  let pack_entry ~m caches entry =
+  let pack_entry ?(obs = Obs.null) ~m caches entry =
     match entry.packed with
-    | Some s -> s
+    | Some s ->
+      if Obs.enabled obs then Obs.Counter.incr obs "mrt/pack/memo_hit";
+      s
     | None ->
       let in_shelf1 =
         match entry.solution with
@@ -233,20 +263,24 @@ module Make (P : Profile_intf.S) = struct
           entries := Schedule.entry ~job:(Alloc_cache.job cache) ~start ~procs () :: !entries)
         sorted2;
       let s = Schedule.make ~m !entries in
+      if Obs.enabled obs then begin
+        let n1 = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in_shelf1 in
+        Obs.mrt_pack obs ~shelf1:n1 ~shelf2:(Array.length caches - n1)
+      end;
       entry.packed <- Some s;
       s
 
-  let try_guess_memo ~m ~lambda caches memo =
-    match eval_guess ~m ~lambda caches memo with
+  let try_guess_memo ?obs ~m ~lambda caches memo =
+    match eval_guess ?obs ~m ~lambda caches memo with
     | None -> Rejected
-    | Some entry -> Accepted (pack_entry ~m caches entry)
+    | Some entry -> Accepted (pack_entry ?obs ~m caches entry)
 
-  let try_guess_cached ~m ~lambda caches = try_guess_memo ~m ~lambda caches (ref [])
+  let try_guess_cached ?obs ~m ~lambda caches = try_guess_memo ?obs ~m ~lambda caches (ref [])
 
-  let try_guess ~m ~lambda jobs =
-    try_guess_cached ~m ~lambda (Array.of_list (List.map (Alloc_cache.of_job ~m) jobs))
+  let try_guess ?obs ~m ~lambda jobs =
+    try_guess_cached ?obs ~m ~lambda (Array.of_list (List.map (Alloc_cache.of_job ~m) jobs))
 
-  let schedule ?(epsilon = 0.01) ~m jobs =
+  let schedule ?(obs = Obs.null) ?(epsilon = 0.01) ~m jobs =
     match jobs with
     | [] -> Schedule.make ~m []
     | _ ->
@@ -263,10 +297,11 @@ module Make (P : Profile_intf.S) = struct
       let lb = if lb > 0.0 then lb else 1e-9 in
       (* Find an accepted upper guess by doubling. *)
       let rec find_hi lambda =
-        match eval_guess ~m ~lambda caches memo with
+        match eval_guess ~obs ~m ~lambda caches memo with
         | Some e -> (lambda, e)
         | None -> find_hi (2.0 *. lambda)
       in
+      Obs.span obs "mrt.search" @@ fun () ->
       let hi, first = find_hi lb in
       (* Bisect down to the smallest accepted guess; only that one is
          ever packed into a schedule. *)
@@ -275,7 +310,7 @@ module Make (P : Profile_intf.S) = struct
         if hi -. lo <= epsilon *. lo then ()
         else begin
           let mid = (lo +. hi) /. 2.0 in
-          match eval_guess ~m ~lambda:mid caches memo with
+          match eval_guess ~obs ~m ~lambda:mid caches memo with
           | Some e ->
             best := e;
             search lo mid
@@ -283,7 +318,7 @@ module Make (P : Profile_intf.S) = struct
         end
       in
       search lb hi;
-      pack_entry ~m caches !best
+      pack_entry ~obs ~m caches !best
 end
 
 include Make (Profile)

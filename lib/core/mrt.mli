@@ -38,20 +38,28 @@ type verdict =
   | Accepted of Psched_sim.Schedule.t
 
 module Make (P : Psched_sim.Profile_intf.S) : sig
-  val try_guess : m:int -> lambda:float -> Job.t list -> verdict
+  val try_guess : ?obs:Psched_obs.Obs.t -> m:int -> lambda:float -> Job.t list -> verdict
 
-  val schedule : ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+  val schedule :
+    ?obs:Psched_obs.Obs.t -> ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
 end
 (** The algorithm over an arbitrary profile engine, used to compare
     engines under the same scheduler (see [bench/main.exe perf]). *)
 
-val try_guess : m:int -> lambda:float -> Job.t list -> verdict
+val try_guess : ?obs:Psched_obs.Obs.t -> m:int -> lambda:float -> Job.t list -> verdict
 
-val schedule : ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+val schedule :
+  ?obs:Psched_obs.Obs.t -> ?epsilon:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
 (** Full dual-approximation binary search ([epsilon] defaults to 0.01),
     on the default {!Psched_sim.Profile} engine, with per-job
     allocation tables ({!Psched_workload.Alloc_cache}) built once and
     shared by every lambda guess.  Release dates are ignored (off-line
     problem: all tasks available).
+
+    With an enabled [obs], the dual search is bracketed in an
+    ["mrt.search"] span and every lambda guess emits an ["mrt.guess"]
+    event (accepted or rejected), with ["mrt.prune"]/["mrt.knapsack"]
+    recording whether the floor bound excluded the guess before the
+    knapsack DP ran; observability never changes the schedule.
     @raise Invalid_argument if a job cannot run on [m] processors at
     all. *)

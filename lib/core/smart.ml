@@ -1,4 +1,5 @@
 open Psched_workload
+module Obs = Psched_obs.Obs
 
 let shelf_class ~base p =
   if p <= base then 0
@@ -11,7 +12,7 @@ let shelf_class ~base p =
 
 type shelf = { height : float; mutable used : int; mutable tasks : (Job.t * int) list; mutable weight : float }
 
-let schedule ?base ~m tasks =
+let schedule ?(obs = Obs.null) ?base ~m tasks =
   List.iter
     (fun ((j : Job.t), k) ->
       if j.release <> 0.0 then invalid_arg "Smart.schedule: release dates must be 0";
@@ -57,6 +58,18 @@ let schedule ?base ~m tasks =
       fit !shelves
     in
     List.iter add sorted;
+    if Obs.enabled obs then
+      Hashtbl.iter
+        (fun c shelves ->
+          List.iter
+            (fun s ->
+              Obs.shelf_fill obs ~cls:c ~height:s.height ~used:s.used
+                ~tasks:(List.length s.tasks);
+              Obs.Counter.incr obs "smart/shelves";
+              Obs.Counter.add obs "smart/shelf_fill"
+                (float_of_int s.used /. float_of_int m))
+            !shelves)
+        classes;
     let all_shelves = Hashtbl.fold (fun _ r acc -> !r @ acc) classes [] in
     (* Sequence shelves by Smith's rule on (height / weight). *)
     let ordered =
@@ -76,5 +89,5 @@ let schedule ?base ~m tasks =
     in
     Psched_sim.Schedule.make ~m entries
 
-let schedule_rigid_jobs ?base ~m jobs =
-  schedule ?base ~m (List.map Packing.allocate_rigid jobs)
+let schedule_rigid_jobs ?obs ?base ~m jobs =
+  schedule ?obs ?base ~m (List.map Packing.allocate_rigid jobs)

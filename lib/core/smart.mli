@@ -12,11 +12,16 @@ open Psched_workload
 val shelf_class : base:float -> float -> int
 (** [shelf_class ~base p] is the smallest c with base·2^c >= p. *)
 
-val schedule : ?base:float -> m:int -> (Job.t * int) list -> Psched_sim.Schedule.t
+val schedule :
+  ?obs:Psched_obs.Obs.t -> ?base:float -> m:int -> (Job.t * int) list -> Psched_sim.Schedule.t
 (** Schedule rigid (job, procs) tasks.  [base] (default: the smallest
-    task time) anchors the power-of-two shelf heights.  All release
-    dates must be 0; @raise Invalid_argument otherwise, or if a task is
-    wider than [m]. *)
+    task time) anchors the power-of-two shelf heights.  With an
+    enabled [obs], every shelf emits a ["smart.shelf"] event (class,
+    height, used width, task count).  All release dates must be 0;
+    @raise Invalid_argument otherwise, or if a task is wider than [m].
+    The registry adapter ({!Schedulers}) turns the release-date case
+    into a typed [Error] instead of raising. *)
 
-val schedule_rigid_jobs : ?base:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
+val schedule_rigid_jobs :
+  ?obs:Psched_obs.Obs.t -> ?base:float -> m:int -> Job.t list -> Psched_sim.Schedule.t
 (** Convenience wrapper using each job's rigid allocation. *)

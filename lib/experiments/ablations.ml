@@ -245,6 +245,44 @@ let versatility () =
       ~header:[ "outage rate (/s)"; "Cmax"; "restarts"; "wasted proc.s" ]
       ~rows:(List.map row [ 0.0; 0.002; 0.01; 0.05 ])
 
+(* The whole registry on one mixed workload, selected by name through
+   the unified API — the policy sweep `psched policies` advertises. *)
+let policy_registry () =
+  let m = 32 and n = 60 in
+  let rng = Rng.create 9733 in
+  let jobs =
+    Workload_gen.moldable_uniform rng ~n ~m ~tmin:1.0 ~tmax:100.0
+    |> Workload_gen.with_poisson_arrivals rng ~rate:0.2
+  in
+  let row name =
+    let ctx releases = Scheduler_intf.ctx ~releases ~m () in
+    let outcome =
+      match Schedulers.run name (ctx Scheduler_intf.Honour) jobs with
+      | Ok o -> Some (o, "honoured")
+      | Error (Scheduler_intf.Needs_zero_releases _) -> (
+        match Schedulers.run name (ctx Scheduler_intf.Zero) jobs with
+        | Ok o -> Some (o, "zeroed")
+        | Error _ -> None)
+      | Error _ -> None
+    in
+    match outcome with
+    | None -> [ name; "-"; "-"; "-"; "unsupported" ]
+    | Some (o, releases) ->
+      let s = o.Scheduler_intf.stats in
+      [
+        name;
+        Render.float_cell s.Scheduler_intf.makespan;
+        Render.float_cell s.Scheduler_intf.utilisation;
+        string_of_int s.Scheduler_intf.scheduled;
+        releases;
+      ]
+  in
+  "A-registry: every registry policy on one moldable workload (n=60, m=32, Poisson releases),\n\
+   selected by name through the unified Scheduler_intf API\n"
+  ^ Render.table
+      ~header:[ "policy"; "Cmax"; "util"; "scheduled"; "releases" ]
+      ~rows:(List.map row Schedulers.names)
+
 let all () =
   [
     ("A-mrt-epsilon", mrt_epsilon ());
@@ -255,4 +293,5 @@ let all () =
     ("A-hierarchical", hierarchical ());
     ("A-reservations", reservations_cost ());
     ("A-versatility", versatility ());
+    ("A-registry", policy_registry ());
   ]

@@ -26,4 +26,8 @@ val versatility : unit -> string
 (** Outage (node-loss) injection: kill-and-restart cost vs outage
     rate (§1.1 versatility). *)
 
+val policy_registry : unit -> string
+(** Every {!Psched_core.Schedulers} registry policy on one moldable
+    workload, selected by name through the unified API. *)
+
 val all : unit -> (string * string) list

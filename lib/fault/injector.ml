@@ -37,7 +37,9 @@ type rstate = {
 
 let eps = 1e-9
 
-let run config jobs =
+module Obs = Psched_obs.Obs
+
+let run ?(obs = Obs.null) config jobs =
   Outage.validate config.outages;
   List.iter
     (fun ((j : Job.t), k) ->
@@ -45,7 +47,7 @@ let run config jobs =
         invalid_arg (Printf.sprintf "Injector.run: job %d wider than %d" j.id config.m))
     jobs;
   let profile = Outage.free_profile ~m:config.m config.outages in
-  let e = Engine.create () in
+  let e = Engine.create ~obs () in
   let waiting = ref [] (* FCFS; killed jobs requeue at the back *) in
   let running = ref [] in
   let entries = ref [] in
@@ -77,6 +79,10 @@ let run config jobs =
       }
       :: !entries;
     incr completed;
+    if Obs.enabled obs then begin
+      Obs.job_complete obs ~job:r.job.Job.id ~finish:now;
+      Obs.Counter.incr obs "fault/completed"
+    end;
     useful := !useful +. (r.total *. float_of_int r.procs);
     checkpoints := !checkpoints + r.ck_planned;
     (match config.policy with
@@ -109,6 +115,10 @@ let run config jobs =
       r.ck_planned <- n_ck;
       r.runtime <- remaining +. (float_of_int n_ck *. ck_cost);
       running := r :: !running;
+      if Obs.enabled obs then begin
+        Obs.job_start obs ~job:r.job.Job.id ~start:now ~procs:r.procs;
+        if r.attempts > 0 then Obs.Counter.incr obs "fault/attempt_restarts"
+      end;
       r.handle <- Some (Engine.schedule e (now +. r.runtime) (fun () -> finish r))
     end
   and finish r =
@@ -123,6 +133,10 @@ let run config jobs =
     r.handle <- None;
     running := List.filter (fun x -> x != r) !running;
     incr kills;
+    if Obs.enabled obs then begin
+      Obs.fault obs ~kind:"fault.kill" ~job:r.job.Job.id;
+      Obs.Counter.incr obs "fault/kills"
+    end;
     r.attempts <- r.attempts + 1;
     let elapsed = now -. r.started in
     let procs = float_of_int r.procs in
@@ -130,6 +144,10 @@ let run config jobs =
     | Recovery.Checkpoint { period; cost } ->
       let cycle = period +. cost in
       let written = min r.ck_planned (int_of_float ((elapsed +. eps) /. cycle)) in
+      if written > 0 && Obs.enabled obs then begin
+        Obs.fault obs ~kind:"fault.checkpoint" ~job:r.job.Job.id;
+        Obs.Counter.add obs "fault/checkpoints" (float_of_int written)
+      end;
       checkpoints := !checkpoints + written;
       overhead := !overhead +. (float_of_int written *. cost *. procs);
       wasted := !wasted +. (Float.max (elapsed -. (float_of_int written *. cycle)) 0.0 *. procs);
@@ -139,6 +157,10 @@ let run config jobs =
     | Recovery.Drop -> incr lost
     | Recovery.Restart | Recovery.Checkpoint _ ->
       incr restarts;
+      if Obs.enabled obs then begin
+        Obs.fault obs ~kind:"fault.restart" ~job:r.job.Job.id;
+        Obs.Counter.incr obs "fault/restarts"
+      end;
       let requeue () = waiting := !waiting @ [ r ] in
       (match config.backoff with
       | None -> requeue ()
@@ -171,8 +193,16 @@ let run config jobs =
   in
   List.iter
     (fun (o : Outage.t) ->
-      Engine.at e o.Outage.start react;
-      Engine.at e (Outage.finish o) react)
+      Engine.at e o.Outage.start
+        (fun () ->
+          if Obs.enabled obs then
+            Obs.outage obs ~up:false ~at:o.Outage.start ~procs:o.Outage.procs;
+          react ());
+      Engine.at e (Outage.finish o)
+        (fun () ->
+          if Obs.enabled obs then
+            Obs.outage obs ~up:true ~at:(Outage.finish o) ~procs:o.Outage.procs;
+          react ()))
     config.outages;
   List.iter
     (fun ((j : Job.t), procs) ->

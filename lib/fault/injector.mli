@@ -46,6 +46,12 @@ type outcome = {
   makespan : float;
 }
 
-val run : config -> (Psched_workload.Job.t * int) list -> outcome
-(** @raise Invalid_argument if a job is wider than [m] or an outage is
+val run : ?obs:Psched_obs.Obs.t -> config -> (Psched_workload.Job.t * int) list -> outcome
+(** With an enabled [obs], every outage edge emits
+    ["outage.down"]/["outage.up"], kills emit ["fault.kill"], restarts
+    ["fault.restart"], checkpoint salvages ["fault.checkpoint"], and
+    attempt starts/completions emit ["job.start"]/["job.complete"];
+    counters accumulate under ["fault/"].  Tracing never changes the
+    outcome.
+    @raise Invalid_argument if a job is wider than [m] or an outage is
     malformed.  Deterministic: a pure function of its arguments. *)

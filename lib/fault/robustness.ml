@@ -134,7 +134,7 @@ let to_csv table =
         ])
       table.rows
   in
-  Export.series_csv ~header rows
+  Export.to_csv (Export.Series { header; rows })
 
 let to_json table =
   let buf = Buffer.create 2048 in

@@ -1,6 +1,7 @@
 open Psched_workload
 open Psched_sim
 module F = Psched_fault
+module Obs = Psched_obs.Obs
 
 type config = { m : int; bag : int; unit_time : float; horizon : float }
 
@@ -32,11 +33,11 @@ type event =
   | Arrival of Job.t * int
   | Local_done of local_run
   | Be_done of be_task
-  | Outage_edge
+  | Outage_edge of { up : bool; procs : int }
   | Be_ready of int  (** a backed-off run returns, carrying its kill count *)
   | Wake  (** breaker cool-off ends *)
 
-let simulate ?(outages = []) ?backoff ?breaker config ~local =
+let simulate ?(obs = Obs.null) ?(outages = []) ?backoff ?breaker config ~local =
   if config.m < 1 then invalid_arg "Best_effort.simulate: m must be >= 1";
   if config.bag < 0 then invalid_arg "Best_effort.simulate: negative bag";
   if config.unit_time <= 0.0 then invalid_arg "Best_effort.simulate: unit_time must be positive";
@@ -58,9 +59,11 @@ let simulate ?(outages = []) ?backoff ?breaker config ~local =
   List.iter (fun ((j : Job.t), k) -> push j.release (Arrival (j, k))) local;
   List.iter
     (fun (o : F.Outage.t) ->
-      push o.F.Outage.start Outage_edge;
-      push (F.Outage.finish o) Outage_edge)
+      push o.F.Outage.start (Outage_edge { up = false; procs = o.F.Outage.procs });
+      push (F.Outage.finish o) (Outage_edge { up = true; procs = o.F.Outage.procs }))
     outages;
+  let sim_now = ref 0.0 in
+  if Obs.enabled obs then Obs.set_clock obs (fun () -> !sim_now);
   (* Surviving capacity: outages clipped at [m], never negative. *)
   let free = F.Outage.free_profile ~m:config.m outages in
   let avail now = Profile.free_at free now in
@@ -90,6 +93,10 @@ let simulate ?(outages = []) ?backoff ?breaker config ~local =
       running_be := rest;
       decr be_used;
       incr grid_killed;
+      if Obs.enabled obs then begin
+        Obs.grid obs ~kind:"grid.kill" ~job:task.be_id ();
+        Obs.Counter.incr obs "grid/killed"
+      end;
       wasted := !wasted +. (now -. task.started_at);
       (match brstate with Some s -> F.Recovery.record_kill s now | None -> ());
       (match backoff with
@@ -112,6 +119,11 @@ let simulate ?(outages = []) ?backoff ?breaker config ~local =
     incr next_be_id;
     running_be := task :: !running_be;
     incr be_used;
+    if Obs.enabled obs then begin
+      Obs.grid obs ~kind:"grid.submit" ~job:task.be_id
+        ~payload:[ ("attempts", Psched_obs.Event.Int attempts) ] ();
+      Obs.Counter.incr obs "grid/submitted"
+    end;
     push (now +. config.unit_time) (Be_done task)
   in
   let be_complete now (task : be_task) =
@@ -170,6 +182,11 @@ let simulate ?(outages = []) ?backoff ?breaker config ~local =
           let until = F.Recovery.blocked_until s in
           if (!bag > 0 || !requeued <> []) && until > !wake_scheduled +. eps then begin
             wake_scheduled := until;
+            if Obs.enabled obs then begin
+              Obs.grid obs ~kind:"grid.breaker"
+                ~payload:[ ("until", Psched_obs.Event.Float until) ] ();
+              Obs.Counter.incr obs "grid/breaker_blocks"
+            end;
             push until Wake
           end
         | None -> ()
@@ -216,7 +233,9 @@ let simulate ?(outages = []) ?backoff ?breaker config ~local =
       queue := !queue @ [ (job, procs) ]
     | Local_done run -> if run.alive then local_complete now run
     | Be_done task -> if task.alive then be_complete now task
-    | Outage_edge -> outage_edge now
+    | Outage_edge { up; procs } ->
+      if Obs.enabled obs then Obs.outage obs ~up ~at:now ~procs;
+      outage_edge now
     | Be_ready attempts ->
       finished := Float.max !finished now;
       decr delayed;
@@ -229,6 +248,7 @@ let simulate ?(outages = []) ?backoff ?breaker config ~local =
     match H.pop events with
     | None -> ()
     | Some (now, _, ev) ->
+      sim_now := now;
       handle now ev;
       scheduling_pass now;
       loop ()

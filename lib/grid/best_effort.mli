@@ -54,6 +54,7 @@ val grid_id_base : int
 (** Best-effort pseudo-entries are numbered from this id. *)
 
 val simulate :
+  ?obs:Psched_obs.Obs.t ->
   ?outages:Psched_fault.Outage.t list ->
   ?backoff:Psched_fault.Recovery.backoff ->
   ?breaker:Psched_fault.Recovery.breaker ->
@@ -61,7 +62,11 @@ val simulate :
   local:(Job.t * int) list ->
   outcome
 (** [local] are the cluster's own (allocated, rigid) jobs with their
-    release dates.
+    release dates.  With an enabled [obs], best-effort submissions
+    emit ["grid.submit"], kills ["grid.kill"], outage edges
+    ["outage.down"]/["outage.up"], and circuit-breaker cool-offs
+    ["grid.breaker"]; counters accumulate under ["grid/"].  Tracing
+    never changes the outcome.
     @raise Invalid_argument if a local job is wider than [m] or an
     outage is malformed. *)
 

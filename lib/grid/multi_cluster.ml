@@ -1,6 +1,7 @@
 open Psched_workload
 open Psched_sim
 module P = Psched_platform.Platform
+module Obs = Psched_obs.Obs
 
 type policy = Independent | Centralized | Exchange of { threshold : float }
 
@@ -73,8 +74,10 @@ let commit state (job : Job.t) ~migrated ~release =
     state.backlog <- Float.max state.backlog (start +. duration);
     Some { job; cluster = state.cluster.P.id; migrated; entry }
 
-let simulate ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
+let simulate ?(obs = Obs.null) ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
   Psched_fault.Outage.validate outages;
+  let sim_now = ref 0.0 in
+  if Obs.enabled obs then Obs.set_clock obs (fun () -> !sim_now);
   let states =
     List.map
       (fun (c : P.cluster) ->
@@ -100,10 +103,23 @@ let simulate ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
   let migrations = ref 0 and rerouted = ref 0 in
   let place (job : Job.t) =
     let home = home_of job in
+    sim_now := job.release;
     let try_commit state ~migrated ~release =
       match commit state job ~migrated ~release with
       | Some p ->
         if migrated then incr migrations;
+        if Obs.enabled obs then begin
+          Obs.grid obs
+            ~kind:(if migrated then "grid.migrate" else "grid.submit")
+            ~job:job.id
+            ~payload:
+              [
+                ("cluster", Psched_obs.Event.Int state.cluster.P.id);
+                ("start", Psched_obs.Event.Float p.entry.Schedule.start);
+              ]
+            ();
+          Obs.Counter.incr obs (if migrated then "grid/migrations" else "grid/placements")
+        end;
         Some p
       | None -> None
     in
@@ -138,7 +154,19 @@ let simulate ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
       in
       match commit_best candidates with
       | Some p ->
-        if p.cluster <> home_id then incr rerouted;
+        if p.cluster <> home_id then begin
+          incr rerouted;
+          if Obs.enabled obs then begin
+            Obs.grid obs ~kind:"grid.reroute" ~job:job.id
+              ~payload:
+                [
+                  ("from", Psched_obs.Event.Int home_id);
+                  ("to", Psched_obs.Event.Int p.cluster);
+                ]
+              ();
+            Obs.Counter.incr obs "grid/reroutes"
+          end
+        end;
         Some p
       | None -> None
     in

@@ -53,6 +53,7 @@ val migration_delay : Psched_platform.Platform.t -> Job.t -> src:int -> dst:int 
     grid links, plus latency.  Zero when [src = dst]. *)
 
 val simulate :
+  ?obs:Psched_obs.Obs.t ->
   ?data_mb:float ->
   ?outages:Psched_fault.Outage.t list ->
   policy ->
@@ -61,5 +62,9 @@ val simulate :
   outcome
 (** [data_mb] (default 100) is the input volume migrated with a job;
     [outages] (default none) are failure windows keyed by cluster id.
+    With an enabled [obs], placements emit ["grid.submit"], exchanges
+    ["grid.migrate"] and failure steerings ["grid.reroute"] (from/to
+    cluster ids in the payload); counters accumulate under ["grid/"].
+    Tracing never changes the placements.
     @raise Invalid_argument if a job fits no cluster or an outage is
     malformed. *)

@@ -35,9 +35,9 @@ let check ~m ~outages allocated =
         invalid_arg "Resilience.simulate: malformed outage")
     outages
 
-let simulate_with ~policy ?backoff ~m ~outages allocated =
+let simulate_with ?obs ~policy ?backoff ~m ~outages allocated =
   check ~m ~outages allocated;
-  F.Injector.run { F.Injector.m; outages = to_faults outages; policy; backoff } allocated
+  F.Injector.run ?obs { F.Injector.m; outages = to_faults outages; policy; backoff } allocated
 
 let simulate ~m ~outages allocated =
   let out = simulate_with ~policy:F.Recovery.Restart ~m ~outages allocated in

@@ -49,6 +49,7 @@ val simulate : m:int -> outages:outage list -> Psched_core.Packing.allocated lis
     wider than [m] (the whole cluster may vanish: procs = m). *)
 
 val simulate_with :
+  ?obs:Psched_obs.Obs.t ->
   policy:Psched_fault.Recovery.policy ->
   ?backoff:Psched_fault.Recovery.backoff ->
   m:int ->

@@ -1,0 +1,166 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type t = {
+  kind : string;
+  sim_time : float;
+  wall_time : float;
+  span : int;  (* enclosing span id, 0 at top level *)
+  payload : (string * value) list;
+}
+
+(* The closed event vocabulary.  [Trace.validate_jsonl] and the
+   [trace-smoke] CI target reject any kind outside this list, so a new
+   instrumentation point must be registered here first. *)
+let vocabulary =
+  [
+    (* generic *)
+    "span.begin";
+    "span.end";
+    "engine.step";
+    "job.start";
+    "job.complete";
+    "queue.wait";
+    (* MRT dual search *)
+    "mrt.guess";
+    "mrt.prune";
+    "mrt.knapsack";
+    "mrt.pack";
+    (* backfilling *)
+    "backfill.hole";
+    "backfill.fill";
+    (* SMART shelves *)
+    "smart.shelf";
+    (* batching (batch on-line, bi-criteria, reservation batches) *)
+    "batch.flush";
+    (* outages and recovery (fault injector, grid layers) *)
+    "outage.down";
+    "outage.up";
+    "fault.kill";
+    "fault.restart";
+    "fault.checkpoint";
+    (* grid *)
+    "grid.submit";
+    "grid.kill";
+    "grid.migrate";
+    "grid.reroute";
+    "grid.breaker";
+  ]
+
+let known kind = List.mem kind vocabulary
+
+let make ?(payload = []) ?(span = 0) ~sim_time ~wall_time kind =
+  { kind; sim_time; wall_time; span; payload }
+
+(* ------------------------------------------------------------ encoding *)
+
+let escape_into b s =
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let value_str = function
+  | Int i -> string_of_int i
+  | Float f -> float_str f
+  | Bool b -> string_of_bool b
+  | Str s ->
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    escape_into b s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+
+(* One JSON object per line; [t] is the simulation clock, [wall] the
+   process clock at emission. *)
+let to_jsonl e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"kind\":\"";
+  escape_into b e.kind;
+  Buffer.add_string b "\",\"t\":";
+  Buffer.add_string b (float_str e.sim_time);
+  Buffer.add_string b ",\"wall\":";
+  Buffer.add_string b (float_str e.wall_time);
+  if e.span <> 0 then begin
+    Buffer.add_string b ",\"span\":";
+    Buffer.add_string b (string_of_int e.span)
+  end;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      escape_into b k;
+      Buffer.add_string b "\":";
+      Buffer.add_string b (value_str v))
+    e.payload;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let csv_header = "kind,t,wall,span,payload"
+
+(* CSV keeps the payload as a single [k=v;...] cell so the column set
+   stays fixed across kinds. *)
+let to_csv e =
+  let payload =
+    String.concat ";"
+      (List.map
+         (fun (k, v) ->
+           let flat =
+             String.map (function ',' | ';' | '\n' -> ' ' | c -> c)
+               (match v with Str s -> s | v -> value_str v)
+           in
+           k ^ "=" ^ flat)
+         e.payload)
+  in
+  Printf.sprintf "%s,%s,%s,%d,%s" e.kind (float_str e.sim_time) (float_str e.wall_time) e.span
+    payload
+
+(* --------------------------------------------------- JSONL inspection *)
+
+(* Extract the "kind" field of an encoded line without a JSON parser:
+   the encoder always writes it first, but accept it anywhere to also
+   validate externally produced traces. *)
+let kind_of_jsonl line =
+  let needle = "\"kind\":\"" in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then
+      let start = i + nlen in
+      let b = Buffer.create 16 in
+      let rec scan j =
+        if j >= llen then None
+        else
+          match line.[j] with
+          | '"' -> Some (Buffer.contents b)
+          | '\\' when j + 1 < llen ->
+            Buffer.add_char b line.[j + 1];
+            scan (j + 2)
+          | c ->
+            Buffer.add_char b c;
+            scan (j + 1)
+      in
+      scan start
+    else find (i + 1)
+  in
+  find 0
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.fprintf ppf "%S" s
+
+let pp ppf e =
+  Format.fprintf ppf "@[<h>%s @@%g%a@]" e.kind e.sim_time
+    (fun ppf payload ->
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) payload)
+    e.payload

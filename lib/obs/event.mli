@@ -1,0 +1,47 @@
+(** Structured trace events.
+
+    An event is a (kind, sim-time, wall-time, span, payload) record;
+    the set of kinds is the closed {!vocabulary}, which the JSONL
+    validator ({!Trace.validate_jsonl}, [make trace-smoke]) enforces.
+    Payload values are typed; encoding to JSONL and CSV is hand-rolled
+    (no JSON dependency, like {!Psched_sim.Export}). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type t = {
+  kind : string;
+  sim_time : float;  (** simulation clock at emission *)
+  wall_time : float;  (** process clock ([Sys.time]) at emission *)
+  span : int;  (** enclosing span id, 0 at top level *)
+  payload : (string * value) list;
+}
+
+val vocabulary : string list
+(** Every kind the library can emit.  New instrumentation points must
+    extend this list (the trace validator rejects unknown kinds). *)
+
+val known : string -> bool
+(** Membership in {!vocabulary}. *)
+
+val make :
+  ?payload:(string * value) list -> ?span:int -> sim_time:float -> wall_time:float -> string -> t
+
+val to_jsonl : t -> string
+(** One JSON object, no trailing newline: [{"kind":...,"t":...,
+    "wall":...,...payload}].  Strings are JSON-escaped (quotes,
+    backslashes, control characters). *)
+
+val csv_header : string
+
+val to_csv : t -> string
+(** Fixed columns [kind,t,wall,span,payload]; the payload flattens to
+    [k=v;...] with separators blanked inside values. *)
+
+val kind_of_jsonl : string -> string option
+(** Extract the ["kind"] field of an encoded line (used by the trace
+    validator; no full JSON parser needed). *)
+
+val value_str : value -> string
+(** JSON encoding of one value (strings quoted and escaped). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,250 @@
+type sink =
+  | Jsonl of out_channel
+  | Csv of out_channel
+  | Custom of (Event.t -> unit)
+
+type t = {
+  enabled : bool;
+  mutable clock : unit -> float;
+  ring : Event.t Ring.t;
+  mutable sinks : sink list;
+  counters : (string, float ref) Hashtbl.t;
+  timers : (string, int ref * float ref) Hashtbl.t;
+  hists : (string, float array * int array) Hashtbl.t;
+  mutable next_span : int;
+  mutable span_stack : int list;
+}
+
+let make ~enabled ~ring_capacity =
+  {
+    enabled;
+    clock = (fun () -> 0.0);
+    ring = Ring.create ring_capacity;
+    sinks = [];
+    counters = Hashtbl.create 32;
+    timers = Hashtbl.create 16;
+    hists = Hashtbl.create 8;
+    next_span = 0;
+    span_stack = [];
+  }
+
+(* The shared disabled handle: every emitting function bails on its
+   [enabled] field in a single branch, so instrumented hot paths cost
+   one load + one conditional when observability is off. *)
+let null = make ~enabled:false ~ring_capacity:1
+
+let create ?(ring_capacity = 65_536) () = make ~enabled:true ~ring_capacity
+
+let enabled t = t.enabled
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+let add_sink t s =
+  (match s with Csv oc -> output_string oc (Event.csv_header ^ "\n") | _ -> ());
+  t.sinks <- t.sinks @ [ s ]
+
+let events t = Ring.to_list t.ring
+let dropped t = Ring.dropped t.ring
+
+let deliver t (e : Event.t) =
+  Ring.push t.ring e;
+  List.iter
+    (function
+      | Jsonl oc ->
+        output_string oc (Event.to_jsonl e);
+        output_char oc '\n'
+      | Csv oc ->
+        output_string oc (Event.to_csv e);
+        output_char oc '\n'
+      | Custom f -> f e)
+    t.sinks
+
+let current_span t = match t.span_stack with [] -> 0 | s :: _ -> s
+
+let record t ?payload kind =
+  deliver t
+    (Event.make ?payload ~span:(current_span t) ~sim_time:(t.clock ()) ~wall_time:(Sys.time ())
+       kind)
+
+let event t ?payload kind = if t.enabled then record t ?payload kind
+
+(* ------------------------------------------------------------- spans *)
+
+let span_begin t label =
+  if not t.enabled then 0
+  else begin
+    t.next_span <- t.next_span + 1;
+    let id = t.next_span in
+    record t ~payload:[ ("label", Event.Str label); ("id", Event.Int id) ] "span.begin";
+    t.span_stack <- id :: t.span_stack;
+    id
+  end
+
+let span_end t label id =
+  if t.enabled then begin
+    (match t.span_stack with s :: rest when s = id -> t.span_stack <- rest | _ -> ());
+    record t ~payload:[ ("label", Event.Str label); ("id", Event.Int id) ] "span.end"
+  end
+
+let span t label f =
+  if not t.enabled then f ()
+  else begin
+    let id = span_begin t label in
+    Fun.protect ~finally:(fun () -> span_end t label id) f
+  end
+
+(* ----------------------------------------------------------- metrics *)
+
+module Counter = struct
+  let cell t name =
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r
+    | None ->
+      let r = ref 0.0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+  let add t name v = if t.enabled then cell t name := !(cell t name) +. v
+  let incr t name = add t name 1.0
+  let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0.0
+
+  let all t =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters [] |> List.sort compare
+end
+
+module Timer = struct
+  let cell t name =
+    match Hashtbl.find_opt t.timers name with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0.0) in
+      Hashtbl.replace t.timers name c;
+      c
+
+  let time t name f =
+    if not t.enabled then f ()
+    else begin
+      let t0 = Sys.time () in
+      Fun.protect
+        ~finally:(fun () ->
+          let count, total = cell t name in
+          incr count;
+          total := !total +. (Sys.time () -. t0))
+        f
+    end
+
+  let all t =
+    Hashtbl.fold (fun name (c, s) acc -> (name, (!c, !s)) :: acc) t.timers []
+    |> List.sort compare
+end
+
+module Hist = struct
+  (* Decade buckets covering queue waits from milliseconds to weeks;
+     the last cell counts values beyond the top bound. *)
+  let default_bounds = [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 |]
+
+  let cell t name =
+    match Hashtbl.find_opt t.hists name with
+    | Some c -> c
+    | None ->
+      let c = (default_bounds, Array.make (Array.length default_bounds + 1) 0) in
+      Hashtbl.replace t.hists name c;
+      c
+
+  let observe t name v =
+    if t.enabled then begin
+      let bounds, counts = cell t name in
+      let rec slot i = if i >= Array.length bounds || v < bounds.(i) then i else slot (i + 1) in
+      let i = slot 0 in
+      counts.(i) <- counts.(i) + 1
+    end
+
+  let all t =
+    Hashtbl.fold (fun name (b, c) acc -> (name, (b, Array.copy c)) :: acc) t.hists []
+    |> List.sort compare
+end
+
+(* ------------------------------------------- typed emission helpers *)
+(* Each helper re-checks [enabled] before allocating its payload, so a
+   disabled handle pays exactly one branch per call site. *)
+
+let lambda_guess t ~lambda ~accepted =
+  if t.enabled then
+    record t ~payload:[ ("lambda", Event.Float lambda); ("accepted", Event.Bool accepted) ]
+      "mrt.guess"
+
+let knapsack_prune t ~lambda ~reason =
+  if t.enabled then
+    record t ~payload:[ ("lambda", Event.Float lambda); ("reason", Event.Str reason) ] "mrt.prune"
+
+let knapsack_run t ~items ~cap =
+  if t.enabled then
+    record t ~payload:[ ("items", Event.Int items); ("cap", Event.Int cap) ] "mrt.knapsack"
+
+let mrt_pack t ~shelf1 ~shelf2 =
+  if t.enabled then
+    record t ~payload:[ ("shelf1", Event.Int shelf1); ("shelf2", Event.Int shelf2) ] "mrt.pack"
+
+let backfill_hole t ~job ~start ~procs =
+  if t.enabled then
+    record t
+      ~payload:[ ("job", Event.Int job); ("start", Event.Float start); ("procs", Event.Int procs) ]
+      "backfill.hole"
+
+let backfill_fill t ~job ~start ~procs =
+  if t.enabled then
+    record t
+      ~payload:[ ("job", Event.Int job); ("start", Event.Float start); ("procs", Event.Int procs) ]
+      "backfill.fill"
+
+let shelf_fill t ~cls ~height ~used ~tasks =
+  if t.enabled then
+    record t
+      ~payload:
+        [
+          ("class", Event.Int cls);
+          ("height", Event.Float height);
+          ("used", Event.Int used);
+          ("tasks", Event.Int tasks);
+        ]
+      "smart.shelf"
+
+let batch_flush t ~start ~jobs ~deadline =
+  if t.enabled then
+    record t
+      ~payload:
+        (("start", Event.Float start) :: ("jobs", Event.Int jobs)
+        :: (match deadline with Some d -> [ ("deadline", Event.Float d) ] | None -> []))
+      "batch.flush"
+
+let outage t ~up ~at ~procs =
+  if t.enabled then
+    record t
+      ~payload:[ ("at", Event.Float at); ("procs", Event.Int procs) ]
+      (if up then "outage.up" else "outage.down")
+
+let job_start t ~job ~start ~procs =
+  if t.enabled then
+    record t
+      ~payload:[ ("job", Event.Int job); ("start", Event.Float start); ("procs", Event.Int procs) ]
+      "job.start"
+
+let job_complete t ~job ~finish =
+  if t.enabled then
+    record t ~payload:[ ("job", Event.Int job); ("finish", Event.Float finish) ] "job.complete"
+
+let queue_wait t ~job ~wait =
+  if t.enabled then begin
+    record t ~payload:[ ("job", Event.Int job); ("wait", Event.Float wait) ] "queue.wait";
+    Hist.observe t "queue/wait" wait
+  end
+
+let fault t ~kind ~job =
+  if t.enabled then record t ~payload:[ ("job", Event.Int job) ] kind
+
+let grid t ~kind ?job ?payload () =
+  if t.enabled then
+    record t
+      ~payload:
+        ((match job with Some j -> [ ("job", Event.Int j) ] | None -> [])
+        @ Option.value ~default:[] payload)
+      kind

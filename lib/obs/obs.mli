@@ -1,0 +1,117 @@
+(** The observability handle: structured tracing plus hierarchical
+    counters, timers and histograms behind one [enabled] flag.
+
+    Every scheduler, simulator and grid entry point takes an optional
+    [?obs] handle defaulting to {!null}.  The contract, enforced by
+    the trace-transparency property test, is that observability {e
+    never} changes behaviour: handles only record.  When disabled, each
+    instrumentation point costs a single branch (the emitting helpers
+    check [enabled] before allocating any payload), so benchmark
+    numbers are unaffected.
+
+    Events land in an internal {!Ring} (bounded memory; overwrites are
+    counted) and are simultaneously streamed to any attached
+    {!sink}s.  {!Trace.summarize} digests a handle after a run. *)
+
+type t
+
+type sink =
+  | Jsonl of out_channel  (** one JSON object per line *)
+  | Csv of out_channel  (** fixed columns, header written on attach *)
+  | Custom of (Event.t -> unit)
+
+val null : t
+(** The shared disabled handle (the default everywhere). *)
+
+val create : ?ring_capacity:int -> unit -> t
+(** An enabled handle.  [ring_capacity] bounds retained history
+    (default 65536 events); streaming sinks see everything. *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the simulation clock (e.g. [Engine.now]); events stamp
+    both this and the process wall clock.  Defaults to [fun () -> 0.]. *)
+
+val now : t -> float
+
+val add_sink : t -> sink -> unit
+
+val events : t -> Event.t list
+(** Ring contents, oldest first. *)
+
+val dropped : t -> int
+(** Events the ring overwrote. *)
+
+val event : t -> ?payload:(string * Event.value) list -> string -> unit
+(** Emit a raw event at the current clocks.  Prefer the typed helpers
+    below; raw kinds must still belong to {!Event.vocabulary} for the
+    trace to validate. *)
+
+(** {2 Spans} *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t label f] brackets [f] with [span.begin]/[span.end] events;
+    events emitted inside carry the span id.  Disabled: calls [f]. *)
+
+val span_begin : t -> string -> int
+val span_end : t -> string -> int -> unit
+
+(** {2 Hierarchical metrics}
+
+    Names are slash-separated paths (["mrt/guess/accepted"]); all
+    reads return them sorted, so prefixes group naturally. *)
+
+module Counter : sig
+  val incr : t -> string -> unit
+  val add : t -> string -> float -> unit
+  val get : t -> string -> float
+  val all : t -> (string * float) list
+end
+
+module Timer : sig
+  val time : t -> string -> (unit -> 'a) -> 'a
+  (** Accumulate wall time and call count under [name]. *)
+
+  val all : t -> (string * (int * float)) list
+  (** [(name, (calls, total_seconds))]. *)
+end
+
+module Hist : sig
+  val default_bounds : float array
+  (** Decade buckets 1ms..1e5s; the implicit last bucket is overflow. *)
+
+  val observe : t -> string -> float -> unit
+
+  val all : t -> (string * (float array * int array)) list
+  (** [(name, (bounds, counts))] with [counts] one longer than
+      [bounds]. *)
+end
+
+(** {2 Typed emission helpers}
+
+    One per vocabulary entry that carries a structured payload; each
+    checks [enabled] first so call sites need no guard. *)
+
+val lambda_guess : t -> lambda:float -> accepted:bool -> unit
+val knapsack_prune : t -> lambda:float -> reason:string -> unit
+val knapsack_run : t -> items:int -> cap:int -> unit
+val mrt_pack : t -> shelf1:int -> shelf2:int -> unit
+val backfill_hole : t -> job:int -> start:float -> procs:int -> unit
+val backfill_fill : t -> job:int -> start:float -> procs:int -> unit
+val shelf_fill : t -> cls:int -> height:float -> used:int -> tasks:int -> unit
+val batch_flush : t -> start:float -> jobs:int -> deadline:float option -> unit
+val outage : t -> up:bool -> at:float -> procs:int -> unit
+val job_start : t -> job:int -> start:float -> procs:int -> unit
+val job_complete : t -> job:int -> finish:float -> unit
+
+val queue_wait : t -> job:int -> wait:float -> unit
+(** Emits the event and feeds the ["queue/wait"] histogram. *)
+
+val fault : t -> kind:string -> job:int -> unit
+(** [kind] one of ["fault.kill"], ["fault.restart"],
+    ["fault.checkpoint"]. *)
+
+val grid :
+  t -> kind:string -> ?job:int -> ?payload:(string * Event.value) list -> unit -> unit
+(** [kind] one of the ["grid.*"] vocabulary entries. *)

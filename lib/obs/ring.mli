@@ -1,0 +1,25 @@
+(** Fixed-capacity ring buffer: the default trace sink.
+
+    Keeps the last [capacity] values pushed; older values are
+    overwritten and counted in {!dropped}, so a long run traces at
+    O(capacity) memory while the digest still reports how much history
+    was shed. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument if the capacity is < 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Values overwritten since creation (or the last {!clear}). *)
+
+val push : 'a t -> 'a -> unit
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained values, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,144 @@
+type summary = {
+  events : int;
+  dropped : int;
+  sim_span : float * float;  (* first/last sim time over retained events *)
+  kinds : (string * int) list;
+  counters : (string * float) list;
+  timers : (string * (int * float)) list;
+  hists : (string * (float array * int array)) list;
+  spans : (string * (int * float)) list;
+}
+
+let summarize obs =
+  let events = Obs.events obs in
+  let kinds = Hashtbl.create 16 in
+  let first = ref infinity and last = ref neg_infinity in
+  (* Wall-clock per span label: opens indexed by id, closed on span.end. *)
+  let open_spans : (int, string * float) Hashtbl.t = Hashtbl.create 16 in
+  let span_totals : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      first := Float.min !first e.Event.sim_time;
+      last := Float.max !last e.Event.sim_time;
+      (match Hashtbl.find_opt kinds e.Event.kind with
+      | Some r -> incr r
+      | None -> Hashtbl.replace kinds e.Event.kind (ref 1));
+      let field name =
+        List.assoc_opt name e.Event.payload
+      in
+      match e.Event.kind with
+      | "span.begin" -> (
+        match (field "label", field "id") with
+        | Some (Event.Str label), Some (Event.Int id) ->
+          Hashtbl.replace open_spans id (label, e.Event.wall_time)
+        | _ -> ())
+      | "span.end" -> (
+        match field "id" with
+        | Some (Event.Int id) -> (
+          match Hashtbl.find_opt open_spans id with
+          | Some (label, t0) ->
+            Hashtbl.remove open_spans id;
+            let count, total =
+              match Hashtbl.find_opt span_totals label with
+              | Some c -> c
+              | None ->
+                let c = (ref 0, ref 0.0) in
+                Hashtbl.replace span_totals label c;
+                c
+            in
+            incr count;
+            total := !total +. Float.max 0.0 (e.Event.wall_time -. t0)
+          | None -> ())
+        | _ -> ())
+      | _ -> ())
+    events;
+  let n = List.length events in
+  {
+    events = n;
+    dropped = Obs.dropped obs;
+    sim_span = (if n = 0 then (0.0, 0.0) else (!first, !last));
+    kinds = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) kinds [] |> List.sort compare;
+    counters = Obs.Counter.all obs;
+    timers = Obs.Timer.all obs;
+    hists = Obs.Hist.all obs;
+    spans =
+      Hashtbl.fold (fun label (c, s) acc -> (label, (!c, !s)) :: acc) span_totals []
+      |> List.sort compare;
+  }
+
+let pp ppf s =
+  let lo, hi = s.sim_span in
+  Format.fprintf ppf "@[<v>trace: %d events (%d dropped), sim time [%g, %g]@," s.events s.dropped
+    lo hi;
+  if s.kinds <> [] then begin
+    Format.fprintf ppf "events by kind:@,";
+    List.iter (fun (k, n) -> Format.fprintf ppf "  %-20s %d@," k n) s.kinds
+  end;
+  if s.spans <> [] then begin
+    Format.fprintf ppf "spans (wall time):@,";
+    List.iter
+      (fun (label, (n, total)) ->
+        Format.fprintf ppf "  %-20s %d x, %.3f ms total@," label n (1000.0 *. total))
+      s.spans
+  end;
+  if s.counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-28s %g@," k v) s.counters
+  end;
+  if s.timers <> [] then begin
+    Format.fprintf ppf "timers:@,";
+    List.iter
+      (fun (k, (n, total)) ->
+        Format.fprintf ppf "  %-28s %d x, %.3f ms total@," k n (1000.0 *. total))
+      s.timers
+  end;
+  List.iter
+    (fun (name, (bounds, counts)) ->
+      if Array.fold_left ( + ) 0 counts > 0 then begin
+        Format.fprintf ppf "histogram %s:@," name;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length bounds then
+                Format.fprintf ppf "  < %-10g %d@," bounds.(i) c
+              else Format.fprintf ppf "  >= %-9g %d@," bounds.(Array.length bounds - 1) c)
+          counts
+      end)
+    s.hists;
+  Format.fprintf ppf "@]"
+
+let to_string s = Format.asprintf "%a" pp s
+
+(* -------------------------------------------------------- validation *)
+
+type invalid = { line : int; reason : string }
+
+let validate_jsonl content =
+  let lines = String.split_on_char '\n' content in
+  let count = ref 0 in
+  let rec check lineno = function
+    | [] -> Ok !count
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" then check (lineno + 1) rest
+      else if String.length trimmed < 2 || trimmed.[0] <> '{'
+              || trimmed.[String.length trimmed - 1] <> '}' then
+        Error { line = lineno; reason = "not a JSON object" }
+      else begin
+        match Event.kind_of_jsonl trimmed with
+        | None -> Error { line = lineno; reason = "missing \"kind\" field" }
+        | Some kind when not (Event.known kind) ->
+          Error { line = lineno; reason = Printf.sprintf "unknown event kind %S" kind }
+        | Some _ ->
+          incr count;
+          check (lineno + 1) rest
+      end
+  in
+  check 1 lines
+
+let validate_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  validate_jsonl content

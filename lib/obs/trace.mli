@@ -1,0 +1,33 @@
+(** Trace digests and validation.
+
+    {!summarize} folds a handle's retained events plus its counters,
+    timers and histograms into one {!summary} record — the per-run
+    observability report that {!Psched_sim.Export.to_json} and
+    [psched trace] print.  {!validate_jsonl} is the [make trace-smoke]
+    check: every line must be a JSON object whose ["kind"] belongs to
+    {!Event.vocabulary}. *)
+
+type summary = {
+  events : int;  (** retained in the ring *)
+  dropped : int;  (** overwritten by the ring *)
+  sim_span : float * float;  (** first/last sim time over retained events *)
+  kinds : (string * int) list;  (** event count per kind, sorted *)
+  counters : (string * float) list;
+  timers : (string * (int * float)) list;  (** (calls, total seconds) *)
+  hists : (string * (float array * int array)) list;
+  spans : (string * (int * float)) list;
+      (** per span label: (completed count, total wall seconds) *)
+}
+
+val summarize : Obs.t -> summary
+
+val pp : Format.formatter -> summary -> unit
+val to_string : summary -> string
+
+type invalid = { line : int; reason : string }
+
+val validate_jsonl : string -> (int, invalid) result
+(** Validate JSONL content (blank lines skipped); [Ok n] is the number
+    of events. *)
+
+val validate_file : string -> (int, invalid) result

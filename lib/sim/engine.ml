@@ -8,16 +8,27 @@ type t = {
   mutable next_seq : int;
   mutable live_count : int;
   queue : event Heap.t;
+  mutable obs : Psched_obs.Obs.t;
 }
 
 let compare_event a b =
   let c = compare a.date b.date in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(now = 0.0) () =
-  { clock = now; next_seq = 0; live_count = 0; queue = Heap.create ~cmp:compare_event }
+let create ?(obs = Psched_obs.Obs.null) ?(now = 0.0) () =
+  let t =
+    { clock = now; next_seq = 0; live_count = 0; queue = Heap.create ~cmp:compare_event; obs }
+  in
+  if Psched_obs.Obs.enabled obs then Psched_obs.Obs.set_clock obs (fun () -> t.clock);
+  t
 
 let now t = t.clock
+
+let obs t = t.obs
+
+let set_obs t obs =
+  t.obs <- obs;
+  if Psched_obs.Obs.enabled obs then Psched_obs.Obs.set_clock obs (fun () -> t.clock)
 
 let schedule t date action =
   if date < t.clock then invalid_arg "Engine.at: date in the past";
@@ -59,6 +70,11 @@ let step t =
     ev.live <- false;
     t.live_count <- t.live_count - 1;
     t.clock <- ev.date;
+    (* Event-loop hook: one branch when observability is off. *)
+    if Psched_obs.Obs.enabled t.obs then
+      Psched_obs.Obs.event t.obs
+        ~payload:[ ("pending", Psched_obs.Event.Int t.live_count) ]
+        "engine.step";
     ev.action ();
     true
 

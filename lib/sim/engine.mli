@@ -13,8 +13,20 @@ type handle
     O(1): the event is marked dead and discarded lazily when it
     reaches the head of the queue. *)
 
-val create : ?now:float -> unit -> t
+val create : ?obs:Psched_obs.Obs.t -> ?now:float -> unit -> t
+(** With an enabled [obs], the engine installs its clock into the
+    handle (events stamp simulation time) and emits one
+    ["engine.step"] event per executed event — the event-loop hook of
+    the observability layer.  Default: {!Psched_obs.Obs.null}, costing
+    one branch per step. *)
+
 val now : t -> float
+
+val obs : t -> Psched_obs.Obs.t
+
+val set_obs : t -> Psched_obs.Obs.t -> unit
+(** Attach an observability handle after creation (also installs the
+    engine clock into it). *)
 
 val at : t -> float -> (unit -> unit) -> unit
 (** Schedule a callback at an absolute date.

@@ -1,54 +1,5 @@
 let float_str v = Printf.sprintf "%.17g" v
 
-let schedule_csv (s : Schedule.t) =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "job_id,start,duration,procs,cluster\n";
-  List.iter
-    (fun (e : Schedule.entry) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%s,%s,%d,%d\n" e.Schedule.job_id (float_str e.Schedule.start)
-           (float_str e.Schedule.duration) e.Schedule.procs e.Schedule.cluster))
-    (Schedule.sort_by_start s).Schedule.entries;
-  Buffer.contents buf
-
-let schedule_json (s : Schedule.t) =
-  let entry (e : Schedule.entry) =
-    Printf.sprintf {|{"job":%d,"start":%s,"duration":%s,"procs":%d,"cluster":%d}|}
-      e.Schedule.job_id (float_str e.Schedule.start) (float_str e.Schedule.duration)
-      e.Schedule.procs e.Schedule.cluster
-  in
-  Printf.sprintf {|{"m":%d,"entries":[%s]}|} s.Schedule.m
-    (String.concat "," (List.map entry (Schedule.sort_by_start s).Schedule.entries))
-
-let metrics_csv runs =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf
-    "name,makespan,sum_completion,sum_weighted_completion,mean_flow,max_flow,mean_stretch,\
-     max_stretch,tardy_count,sum_tardiness,max_tardiness,utilisation,throughput\n";
-  List.iter
-    (fun (name, (m : Metrics.t)) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%s,%d,%s,%s,%s,%s\n" name
-           (float_str m.Metrics.makespan) (float_str m.Metrics.sum_completion)
-           (float_str m.Metrics.sum_weighted_completion) (float_str m.Metrics.mean_flow)
-           (float_str m.Metrics.max_flow) (float_str m.Metrics.mean_stretch)
-           (float_str m.Metrics.max_stretch) m.Metrics.tardy_count
-           (float_str m.Metrics.sum_tardiness) (float_str m.Metrics.max_tardiness)
-           (float_str m.Metrics.utilisation) (float_str m.Metrics.throughput)))
-    runs;
-  Buffer.contents buf
-
-let series_csv ~header rows =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf (String.concat "," header);
-  Buffer.add_char buf '\n';
-  List.iter
-    (fun row ->
-      Buffer.add_string buf (String.concat "," (List.map float_str row));
-      Buffer.add_char buf '\n')
-    rows;
-  Buffer.contents buf
-
 let json_string s =
   let b = Buffer.create (String.length s + 8) in
   Buffer.add_char b '"';
@@ -63,7 +14,82 @@ let json_string s =
   Buffer.add_char b '"';
   Buffer.contents b
 
-let table_json ?(meta = []) ~header rows =
+(* ------------------------------------------------- per-shape encoders *)
+
+let schedule_to_csv (s : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "job_id,start,duration,procs,cluster\n";
+  List.iter
+    (fun (e : Schedule.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%d,%d\n" e.Schedule.job_id (float_str e.Schedule.start)
+           (float_str e.Schedule.duration) e.Schedule.procs e.Schedule.cluster))
+    (Schedule.sort_by_start s).Schedule.entries;
+  Buffer.contents buf
+
+let schedule_to_json (s : Schedule.t) =
+  let entry (e : Schedule.entry) =
+    Printf.sprintf {|{"job":%d,"start":%s,"duration":%s,"procs":%d,"cluster":%d}|}
+      e.Schedule.job_id (float_str e.Schedule.start) (float_str e.Schedule.duration)
+      e.Schedule.procs e.Schedule.cluster
+  in
+  Printf.sprintf {|{"m":%d,"entries":[%s]}|} s.Schedule.m
+    (String.concat "," (List.map entry (Schedule.sort_by_start s).Schedule.entries))
+
+let metrics_fields (m : Metrics.t) =
+  [
+    ("makespan", float_str m.Metrics.makespan);
+    ("sum_completion", float_str m.Metrics.sum_completion);
+    ("sum_weighted_completion", float_str m.Metrics.sum_weighted_completion);
+    ("mean_flow", float_str m.Metrics.mean_flow);
+    ("max_flow", float_str m.Metrics.max_flow);
+    ("mean_stretch", float_str m.Metrics.mean_stretch);
+    ("max_stretch", float_str m.Metrics.max_stretch);
+    ("tardy_count", string_of_int m.Metrics.tardy_count);
+    ("sum_tardiness", float_str m.Metrics.sum_tardiness);
+    ("max_tardiness", float_str m.Metrics.max_tardiness);
+    ("utilisation", float_str m.Metrics.utilisation);
+    ("throughput", float_str m.Metrics.throughput);
+  ]
+
+let metrics_to_csv runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "name";
+  (match runs with
+  | (_, m) :: _ -> List.iter (fun (k, _) -> Buffer.add_string buf ("," ^ k)) (metrics_fields m)
+  | [] ->
+    Buffer.add_string buf
+      ",makespan,sum_completion,sum_weighted_completion,mean_flow,max_flow,mean_stretch,\
+       max_stretch,tardy_count,sum_tardiness,max_tardiness,utilisation,throughput");
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, m) ->
+      Buffer.add_string buf name;
+      List.iter (fun (_, v) -> Buffer.add_string buf ("," ^ v)) (metrics_fields m);
+      Buffer.add_char buf '\n')
+    runs;
+  Buffer.contents buf
+
+let metrics_to_json runs =
+  let one (name, m) =
+    Printf.sprintf "%s:{%s}" (json_string name)
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v) (metrics_fields m)))
+  in
+  Printf.sprintf "{%s}" (String.concat "," (List.map one runs))
+
+let series_to_csv ~header rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map float_str row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let table_to_json ?(meta = []) ~header rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   List.iter
@@ -82,6 +108,99 @@ let table_json ?(meta = []) ~header rows =
     rows;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
+
+let table_to_csv ~meta ~header rows =
+  let buf = Buffer.create 512 in
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "# %s = %s\n" k v)) meta;
+  Buffer.add_string buf (series_to_csv ~header rows);
+  Buffer.contents buf
+
+let obs_to_json (s : Psched_obs.Trace.summary) =
+  let pairs kv enc = String.concat "," (List.map enc kv) in
+  let lo, hi = s.Psched_obs.Trace.sim_span in
+  let kinds =
+    pairs s.Psched_obs.Trace.kinds (fun (k, n) ->
+        Printf.sprintf "%s:%d" (json_string k) n)
+  in
+  let counters =
+    pairs s.Psched_obs.Trace.counters (fun (k, v) ->
+        Printf.sprintf "%s:%s" (json_string k) (float_str v))
+  in
+  let timers =
+    pairs s.Psched_obs.Trace.timers (fun (k, (n, total)) ->
+        Printf.sprintf "%s:{\"calls\":%d,\"seconds\":%s}" (json_string k) n (float_str total))
+  in
+  let spans =
+    pairs s.Psched_obs.Trace.spans (fun (k, (n, total)) ->
+        Printf.sprintf "%s:{\"count\":%d,\"seconds\":%s}" (json_string k) n (float_str total))
+  in
+  let hists =
+    pairs s.Psched_obs.Trace.hists (fun (k, (bounds, counts)) ->
+        Printf.sprintf "%s:{\"bounds\":[%s],\"counts\":[%s]}" (json_string k)
+          (String.concat "," (List.map float_str (Array.to_list bounds)))
+          (String.concat "," (List.map string_of_int (Array.to_list counts))))
+  in
+  Printf.sprintf
+    {|{"events":%d,"dropped":%d,"sim_span":[%s,%s],"kinds":{%s},"spans":{%s},"counters":{%s},"timers":{%s},"histograms":{%s}}|}
+    s.Psched_obs.Trace.events s.Psched_obs.Trace.dropped (float_str lo) (float_str hi) kinds
+    spans counters timers hists
+
+let obs_to_csv (s : Psched_obs.Trace.summary) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "section,name,value\n";
+  let lo, hi = s.Psched_obs.Trace.sim_span in
+  Buffer.add_string buf (Printf.sprintf "trace,events,%d\n" s.Psched_obs.Trace.events);
+  Buffer.add_string buf (Printf.sprintf "trace,dropped,%d\n" s.Psched_obs.Trace.dropped);
+  Buffer.add_string buf (Printf.sprintf "trace,sim_first,%s\n" (float_str lo));
+  Buffer.add_string buf (Printf.sprintf "trace,sim_last,%s\n" (float_str hi));
+  List.iter
+    (fun (k, n) -> Buffer.add_string buf (Printf.sprintf "kind,%s,%d\n" k n))
+    s.Psched_obs.Trace.kinds;
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "counter,%s,%s\n" k (float_str v)))
+    s.Psched_obs.Trace.counters;
+  List.iter
+    (fun (k, (n, total)) ->
+      Buffer.add_string buf (Printf.sprintf "timer,%s,%d\n" k n);
+      Buffer.add_string buf (Printf.sprintf "timer_seconds,%s,%s\n" k (float_str total)))
+    s.Psched_obs.Trace.timers;
+  List.iter
+    (fun (k, (n, total)) ->
+      Buffer.add_string buf (Printf.sprintf "span,%s,%d\n" k n);
+      Buffer.add_string buf (Printf.sprintf "span_seconds,%s,%s\n" k (float_str total)))
+    s.Psched_obs.Trace.spans;
+  Buffer.contents buf
+
+(* ------------------------------------------------------- unified API *)
+
+type doc =
+  | Schedule of Schedule.t
+  | Metrics of (string * Metrics.t) list
+  | Series of { header : string list; rows : float list list }
+  | Table of { meta : (string * string) list; header : string list; rows : float list list }
+  | Obs_summary of Psched_obs.Trace.summary
+
+let to_json = function
+  | Schedule s -> schedule_to_json s
+  | Metrics runs -> metrics_to_json runs
+  | Series { header; rows } -> table_to_json ~header rows
+  | Table { meta; header; rows } -> table_to_json ~meta ~header rows
+  | Obs_summary s -> obs_to_json s
+
+let to_csv = function
+  | Schedule s -> schedule_to_csv s
+  | Metrics runs -> metrics_to_csv runs
+  | Series { header; rows } -> series_to_csv ~header rows
+  | Table { meta; header; rows } -> table_to_csv ~meta ~header rows
+  | Obs_summary s -> obs_to_csv s
+
+(* -------------------------------------------------- legacy entry points *)
+
+let schedule_csv s = to_csv (Schedule s)
+let schedule_json s = to_json (Schedule s)
+let metrics_csv runs = to_csv (Metrics runs)
+let series_csv ~header rows = to_csv (Series { header; rows })
+let table_json ?(meta = []) ~header rows = to_json (Table { meta; header; rows })
 
 let save path content =
   let oc = open_out path in

@@ -1,28 +1,52 @@
-(** Schedule and metric export for external tooling (gnuplot,
-    spreadsheets, the paper's original plots were gnuplot). *)
+(** Schedule, metric and trace-summary export for external tooling
+    (gnuplot, spreadsheets, trend tracking).
 
-val schedule_csv : Schedule.t -> string
-(** One line per placement: [job_id,start,duration,procs,cluster],
-    with a header line. *)
+    One document type, one encoder pair: build a {!doc} and render it
+    with {!to_json} or {!to_csv}.  Everything is hand-rolled (no JSON
+    dependency); floats print with full round-trip precision. *)
 
-val schedule_json : Schedule.t -> string
-(** Compact JSON: {m, entries: [{job, start, duration, procs,
-    cluster}]}.  Hand-rolled (no JSON dependency); floats printed with
-    full round-trip precision. *)
+type doc =
+  | Schedule of Schedule.t
+      (** CSV: one line per placement with header; JSON:
+          [{m, entries: [{job, start, duration, procs, cluster}]}]. *)
+  | Metrics of (string * Metrics.t) list
+      (** Named runs; CSV has one line per run with all §3 criteria as
+          columns, JSON one object per run name. *)
+  | Series of { header : string list; rows : float list list }
+      (** Generic numeric table (e.g. the Figure 2 points). *)
+  | Table of { meta : (string * string) list; header : string list; rows : float list list }
+      (** Numeric table with metadata; [meta] values are spliced
+          verbatim into JSON (pre-encode strings with {!json_string})
+          and become [# k = v] comment lines in CSV. *)
+  | Obs_summary of Psched_obs.Trace.summary
+      (** An observability digest ({!Psched_obs.Trace.summarize}):
+          event-kind counts, spans, counters, timers, histograms. *)
 
-val metrics_csv : (string * Metrics.t) list -> string
-(** One line per named run, all §3 criteria as columns. *)
-
-val series_csv : header:string list -> (float list) list -> string
-(** Generic numeric table (e.g. the Figure 2 points) as CSV. *)
+val to_json : doc -> string
+val to_csv : doc -> string
 
 val json_string : string -> string
 (** JSON-escaped, quoted string literal. *)
 
-val table_json : ?meta:(string * string) list -> header:string list -> float list list -> string
-(** Numeric table as JSON [{..meta.., header: [...], rows: [[...]]}].
-    [meta] values are spliced verbatim (pre-encode strings with
-    {!json_string}); floats keep full round-trip precision. *)
-
 val save : string -> string -> unit
 (** [save path content]: write a file (for CLI export commands). *)
+
+(** {2 Legacy entry points}
+
+    Thin aliases over {!to_json}/{!to_csv}, kept for source
+    compatibility. *)
+
+val schedule_csv : Schedule.t -> string
+(** @deprecated Use [to_csv (Schedule s)]. *)
+
+val schedule_json : Schedule.t -> string
+(** @deprecated Use [to_json (Schedule s)]. *)
+
+val metrics_csv : (string * Metrics.t) list -> string
+(** @deprecated Use [to_csv (Metrics runs)]. *)
+
+val series_csv : header:string list -> float list list -> string
+(** @deprecated Use [to_csv (Series { header; rows })]. *)
+
+val table_json : ?meta:(string * string) list -> header:string list -> float list list -> string
+(** @deprecated Use [to_json (Table { meta; header; rows })]. *)

@@ -72,7 +72,7 @@ let test_tables_regenerate () =
 
 let test_ablations_regenerate () =
   let all = Ablations.all () in
-  Alcotest.(check int) "eight ablations" 8 (List.length all);
+  Alcotest.(check int) "nine ablations" 9 (List.length all);
   List.iter
     (fun (id, text) ->
       Alcotest.(check bool) (id ^ " non-empty") true (String.length text > 100))

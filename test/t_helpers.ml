@@ -7,6 +7,12 @@ let qtest ?(count = 200) name arb prop =
 
 let check_float = Alcotest.(check (float 1e-6))
 
+(* Naive substring search, for asserting on rendered output. *)
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec at i = i + k <= n && (String.sub s i k = sub || at (i + 1)) in
+  k = 0 || at 0
+
 (* --- generators ------------------------------------------------------ *)
 
 module G = QCheck.Gen

@@ -7,6 +7,7 @@ let () =
       ("sim", T_sim.suite);
       ("profile", T_profile.suite);
       ("core", T_core.suite);
+      ("obs", T_obs.suite);
       ("core-more", T_more_core.suite);
       ("dlt", T_dlt.suite);
       ("grid", T_grid.suite);

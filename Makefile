@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench bench-fault trace-smoke check clean
+.PHONY: all build test bench-smoke bench bench-fault trace-smoke lint analyze check clean
 
 all: build
 
@@ -32,7 +32,20 @@ trace-smoke:
 		--trace trace_mrt.jsonl
 	dune exec bin/psched.exe -- trace check trace_easy.jsonl trace_mrt.jsonl
 
-check: build test bench-smoke bench-fault trace-smoke
+# Grep gates (deprecated Export aliases, float equality on times,
+# invalid_arg ratchet in lib/core, raise-free lib/check) plus a strict
+# -warn-error +a build of the whole tree (DESIGN.md section 11).
+lint:
+	sh tools/lint.sh
+	dune build --profile strict @all
+
+# Rule-based analyzer sweep: every registry policy x the check corpus,
+# approximation-ratio certificates + structural + trace rules; writes
+# the findings report and exits 1 on any Error finding.
+analyze:
+	dune exec bin/psched.exe -- check --all --json check_report.json
+
+check: build test bench-smoke bench-fault trace-smoke lint analyze
 
 clean:
 	dune clean

@@ -9,7 +9,7 @@
      list-based Profile_reference engine run next to the default
      indexed engine, so the speedup is measured in the same run.
 
-   Usage: main.exe [all|figures|tables|ablations|fault-table|perf]
+   Usage: main.exe [all|figures|tables|ablations|fault-table|audit|perf]
    [--json] [--quick] [--obs] (default: all).  With --json, perf
    writes per-test OLS ns estimates + engine speedups to BENCH_1.json
    for trend tracking (BENCH_quick.json under --quick) and fault-table
@@ -299,6 +299,30 @@ let print_fault_table ?(json = false) () =
     print_endline "wrote BENCH_2.json"
   end
 
+(* Time the full analyzer sweep (registry x corpus, every rule).  The
+   sweep is the CI gate, so its own cost is worth tracking. *)
+let print_audit ?(json = false) () =
+  let t0 = Sys.time () in
+  let runs = Psched_check.Analyzer.analyze_all () in
+  let seconds = Sys.time () -. t0 in
+  let findings =
+    List.fold_left (fun acc (r : Psched_check.Analyzer.run) -> acc + List.length r.findings) 0 runs
+  in
+  let errors = Psched_check.Report.errors runs in
+  let warnings = Psched_check.Report.warnings runs in
+  Printf.printf "== analyzer sweep ==\n";
+  Printf.printf "runs %d  findings %d  errors %d  warnings %d  %.3fs\n" (List.length runs)
+    findings errors warnings seconds;
+  if json then begin
+    let oc = open_out "BENCH_3.json" in
+    Printf.fprintf oc
+      "{\n  \"mode\": \"audit\",\n  \"runs\": %d,\n  \"findings\": %d,\n  \"errors\": %d,\n\
+      \  \"warnings\": %d,\n  \"seconds\": %.6f\n}\n"
+      (List.length runs) findings errors warnings seconds;
+    close_out oc;
+    print_endline "wrote BENCH_3.json"
+  end
+
 let print_figures () =
   print_string (Psched_experiments.Fig2.to_string (Psched_experiments.Fig2.run ()))
 
@@ -327,6 +351,7 @@ let () =
   | "tables" -> print_tables ()
   | "ablations" -> print_ablations ()
   | "perf" -> print_perf ~json ~quick ~obs ()
+  | "audit" -> print_audit ~json ()
   | "fault-table" -> print_fault_table ~json ()
   | "all" ->
     print_figures ();
@@ -334,10 +359,11 @@ let () =
     print_tables ();
     print_ablations ();
     print_fault_table ~json ();
+    print_audit ~json ();
     print_perf ~json ~quick ~obs ()
   | other ->
     Printf.eprintf
-      "unknown mode %S (all | figures | tables | ablations | fault-table | perf [--json] \
+      "unknown mode %S (all | figures | tables | ablations | fault-table | audit | perf [--json] \
        [--quick] [--obs])\n"
       other;
     exit 1

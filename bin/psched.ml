@@ -430,10 +430,86 @@ let dlt_cmd =
     (Cmd.info "dlt" ~doc:"Divisible-load distribution on a bus platform.")
     Term.(const run $ load $ workers $ z $ rounds)
 
+(* -------------------------------------------------------------- check *)
+
+let check_cmd =
+  let module Check = Psched_check in
+  let run all policy workload n m seed rate trace json verbose list_rules =
+    if list_rules then begin
+      let docs = Check.Analyzer.rule_docs () in
+      let width = List.fold_left (fun acc (id, _) -> max acc (String.length id)) 0 docs in
+      List.iter (fun (id, doc) -> Printf.printf "%-*s  %s\n" width id doc) docs
+    end
+    else begin
+      let runs =
+        match trace with
+        | Some file -> (
+          match Psched_obs.Trace.events_of_file file with
+          | Error { Psched_obs.Trace.line; reason } ->
+            Printf.eprintf "%s:%d: %s\n" file line reason;
+            exit 1
+          | Ok events -> [ Check.Analyzer.analyze_events ~name:file events ])
+        | None ->
+          if all then Check.Analyzer.analyze_all ()
+          else
+            let entry =
+              match workload with
+              | Some name -> (
+                match Check.Corpus.find name with
+                | Some e -> e
+                | None ->
+                  Printf.eprintf "unknown corpus workload %s (known: %s)\n" name
+                    (String.concat ", " (Check.Corpus.names ()));
+                  exit 1)
+              | None -> { Check.Corpus.name = "generated"; m; jobs = gen_jobs ~n ~m ~seed ~rate }
+            in
+            [ Check.Analyzer.analyze_run ~policy entry ]
+      in
+      (match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Check.Report.to_json runs);
+        output_char oc '\n';
+        close_out oc
+      | None -> ());
+      Format.printf "%a" (Check.Report.pp ~verbose) runs;
+      exit (Check.Report.exit_code runs)
+    end
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Sweep: every registry policy on the whole corpus.")
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Run against a named corpus workload instead of a generated one.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc:"Audit a saved JSONL trace with the trace rules.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the findings as a JSON report.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"List passing certificates and skipped runs too.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Rule-based schedule analyzer: structural invariants, approximation-ratio \
+             certificates, trace cross-checks.  Exits 1 on any error finding.")
+    Term.(const run $ all $ policy_arg $ workload $ n_arg $ m_arg $ seed_arg $ rate_arg $ trace
+          $ json $ verbose $ list_rules)
+
 let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

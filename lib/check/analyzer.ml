@@ -1,0 +1,81 @@
+open Psched_workload
+module SI = Psched_core.Scheduler_intf
+module Schedulers = Psched_core.Schedulers
+module Obs = Psched_obs.Obs
+
+type run = {
+  policy : string;
+  workload : string;
+  m : int;
+  stripped : bool;
+  skipped : string option;
+  findings : Finding.t list;
+}
+
+let rules () = Certificates.rules @ Structural.rules @ Trace_rules.rules
+
+let rule_docs () = List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.doc)) (rules ())
+
+let default_reservations ~m =
+  let quarter = max 1 (m / 4) in
+  [
+    Psched_platform.Reservation.make ~id:0 ~start:10.0 ~duration:20.0 ~procs:quarter;
+    Psched_platform.Reservation.make ~id:1 ~start:50.0 ~duration:30.0 ~procs:(max 1 (m / 2));
+  ]
+
+let strip_releases jobs = List.map (fun (j : Job.t) -> { j with Job.release = 0.0 }) jobs
+
+let analyze_run ?(epsilon = 0.01) ~policy (c : Corpus.entry) =
+  let reservations =
+    if policy = "reservation-batches" then default_reservations ~m:c.m else []
+  in
+  let attempt ~stripped jobs =
+    let obs = Obs.create ~ring_capacity:65536 () in
+    let ctx = SI.ctx ~obs ~reservations ~releases:SI.Honour ~epsilon ~m:c.m () in
+    match Schedulers.run policy ctx jobs with
+    | Ok (outcome : SI.outcome) ->
+      let input =
+        Rule.input ~policy ~epsilon ~reservations ~events:(Obs.events obs)
+          ~complete_trace:(Obs.dropped obs = 0) ~jobs ~m:c.m outcome.SI.schedule
+      in
+      Ok { policy; workload = c.name; m = c.m; stripped; skipped = None;
+           findings = Rule.apply_all (rules ()) input }
+    | Error e -> Error e
+  in
+  match attempt ~stripped:false c.jobs with
+  | Ok run -> run
+  | Error (SI.Needs_zero_releases _) -> (
+    (* The psched simulate fallback: off-line policies see the
+       zero-release view of the same instance. *)
+    match attempt ~stripped:true (strip_releases c.jobs) with
+    | Ok run -> run
+    | Error e ->
+      { policy; workload = c.name; m = c.m; stripped = true;
+        skipped = Some (SI.error_to_string e); findings = [] })
+  | Error (SI.Failure { reason; _ }) ->
+    (* An Invalid_argument escape is a bug, not a precondition. *)
+    { policy; workload = c.name; m = c.m; stripped = false; skipped = None;
+      findings =
+        [ Finding.error ~policy ~rule:"policy.crash"
+            (Printf.sprintf "policy raised instead of returning a typed error: %s" reason) ] }
+  | Error e ->
+    { policy; workload = c.name; m = c.m; stripped = false;
+      skipped = Some (SI.error_to_string e); findings = [] }
+
+let analyze_events ?(complete = true) ~name events =
+  { policy = "-"; workload = name; m = 0; stripped = false; skipped = None;
+    findings = Trace_rules.check_events ~complete events }
+
+let grid_run () =
+  { policy = "grid-best-effort"; workload = "rigid-online-grid"; m = 16; stripped = false;
+    skipped = None; findings = Grid_rules.run ~m:16 ~seed:21 () }
+
+let analyze_all ?epsilon ?policies ?corpus () =
+  let policies = match policies with Some p -> p | None -> Schedulers.names in
+  let corpus = match corpus with Some c -> c | None -> Corpus.default () in
+  let runs =
+    List.concat_map
+      (fun policy -> List.map (fun entry -> analyze_run ?epsilon ~policy entry) corpus)
+      policies
+  in
+  runs @ [ grid_run () ]

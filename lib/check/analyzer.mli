@@ -1,0 +1,41 @@
+(** The analyzer: run policies, collect their schedules and traces,
+    apply every registered rule.
+
+    One {!run} record per (policy, workload) pair; [psched check]
+    renders them through {!Report} and exits non-zero iff any [Error]
+    finding (or unexpected policy failure) is present. *)
+
+type run = {
+  policy : string;
+  workload : string;  (** corpus entry name, or a trace path *)
+  m : int;
+  stripped : bool;  (** release dates zeroed for an off-line-only policy *)
+  skipped : string option;
+      (** the policy declined the workload (typed precondition error);
+          not a finding — e.g. a divisible-load policy on rigid jobs *)
+  findings : Finding.t list;
+}
+
+val rules : unit -> Rule.t list
+(** The full registry: certificate, structural and trace families. *)
+
+val rule_docs : unit -> (string * string) list
+(** [(id, doc)] for [psched check --list-rules]. *)
+
+val default_reservations : m:int -> Psched_platform.Reservation.t list
+(** The deterministic reservations handed to policies that require
+    them (reservation-batches). *)
+
+val analyze_run : ?epsilon:float -> policy:string -> Corpus.entry -> run
+(** Run one policy on one workload with tracing enabled, then apply
+    every rule.  Off-line-only policies are retried with release dates
+    stripped (the [psched simulate] fallback), recorded in
+    [stripped]. *)
+
+val analyze_events : ?complete:bool -> name:string -> Psched_obs.Event.t list -> run
+(** Audit a bare event stream (saved JSONL trace) with the trace
+    rules. *)
+
+val analyze_all : ?epsilon:float -> ?policies:string list -> ?corpus:Corpus.entry list -> unit -> run list
+(** The sweep: every registry policy on every corpus entry, plus the
+    grid non-interference check ({!Grid_rules.run}). *)

@@ -1,0 +1,182 @@
+open Psched_workload
+module S = Psched_sim.Schedule
+module Metrics = Psched_sim.Metrics
+module LB = Psched_core.Lower_bounds
+module E = Psched_obs.Event
+
+let slack = 1e-6
+
+let ratio ~value ~lb =
+  if lb > 0.0 then value /. lb else if value <= 0.0 then 1.0 else infinity
+
+let certificate ~criterion ~value ~lb ?bound () =
+  let r = ratio ~value ~lb in
+  let data =
+    [
+      ("criterion", E.Str criterion);
+      ("value", E.Float value);
+      ("lower_bound", E.Float lb);
+      ("ratio", E.Float r);
+    ]
+    @ match bound with Some b -> [ ("bound", E.Float b) ] | None -> []
+  in
+  match bound with
+  | Some b when r > b *. (1.0 +. slack) ->
+    [
+      Finding.error ~data ~rule:""
+        (Printf.sprintf "%s ratio %.4f exceeds theorem bound %.4f (value %g, LB %g)" criterion r b
+           value lb);
+    ]
+  | Some b ->
+    [ Finding.info ~data ~rule:"" (Printf.sprintf "%s ratio %.4f within theorem bound %.4f" criterion r b) ]
+  | None ->
+    [ Finding.info ~data ~rule:"" (Printf.sprintf "%s ratio %.4f (observed; no theorem bound)" criterion r) ]
+
+(* The as-allocated rigid instance: each entry frozen at procs x
+   duration.  Rigid policies do not pick allocations, so their theorems
+   are stated against the optimum for this instance, not the moldable
+   one. *)
+let job_tbl jobs =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (j : Job.t) -> Hashtbl.replace tbl j.id j) jobs;
+  tbl
+
+let release_of tbl id =
+  match Hashtbl.find_opt tbl id with Some (j : Job.t) -> j.release | None -> 0.0
+
+let weight_of tbl id =
+  match Hashtbl.find_opt tbl id with Some (j : Job.t) -> j.weight | None -> 1.0
+
+let rigid_lb_cmax ~jobs ~m entries =
+  let tbl = job_tbl jobs in
+  let area =
+    List.fold_left
+      (fun acc (e : S.entry) -> acc +. (float_of_int e.procs *. e.duration))
+      0.0 entries
+  in
+  List.fold_left
+    (fun acc (e : S.entry) -> Float.max acc (release_of tbl e.job_id +. e.duration))
+    (area /. float_of_int m)
+    entries
+
+let rigid_lb_sumwc ~jobs ~m entries =
+  let tbl = job_tbl jobs in
+  let items =
+    List.map
+      (fun (e : S.entry) ->
+        let w = weight_of tbl e.job_id and r = release_of tbl e.job_id in
+        (w, r, float_of_int e.procs *. e.duration /. float_of_int m, e.duration))
+      entries
+  in
+  let by_smith =
+    List.sort (fun (wa, _, pa, _) (wb, _, pb, _) -> compare (pa /. wa) (pb /. wb)) items
+  in
+  let _, squashed =
+    List.fold_left
+      (fun (clock, acc) (w, _, p, _) ->
+        let clock = clock +. p in
+        (clock, acc +. (w *. clock)))
+      (0.0, 0.0) by_smith
+  in
+  let trivial = List.fold_left (fun acc (w, r, _, d) -> acc +. (w *. (r +. d))) 0.0 items in
+  Float.max squashed trivial
+
+let sumwc i = (Metrics.compute ~jobs:i.Rule.jobs i.Rule.schedule).Metrics.sum_weighted_completion
+
+let all_weights_equal jobs =
+  match jobs with
+  | [] -> true
+  | (j : Job.t) :: rest -> List.for_all (fun (k : Job.t) -> k.Job.weight = j.weight) rest
+
+let mrt =
+  Rule.make ~id:"cert.cmax.mrt"
+    ~doc:"MRT dual approximation: Cmax <= (3/2 + eps) x moldable lower bound (paper S4.1)"
+    ~applies:(Rule.applies_to [ "mrt" ])
+    (fun i ->
+      certificate ~criterion:"cmax" ~value:(S.makespan i.schedule)
+        ~lb:(LB.cmax ~m:i.m i.jobs) ~bound:(1.5 +. i.epsilon) ())
+
+let batch_online =
+  Rule.make ~id:"cert.cmax.batch-online"
+    ~doc:"Shmoys-Wein-Williamson batches: Cmax <= 2 x (3/2 + eps) x lower bound (paper S4.2)"
+    ~applies:(Rule.applies_to [ "batch-online" ])
+    (fun i ->
+      certificate ~criterion:"cmax" ~value:(S.makespan i.schedule)
+        ~lb:(LB.cmax ~m:i.m i.jobs)
+        ~bound:(2.0 *. (1.5 +. i.epsilon))
+        ())
+
+let bicriteria =
+  Rule.make ~id:"cert.bicriteria"
+    ~doc:"Hall et al. doubling batches: Cmax and sum wC both <= 4 x rho x lower bound (rho = 3/2)"
+    ~applies:(Rule.applies_to [ "bicriteria" ])
+    (fun i ->
+      let bound = 4.0 *. 1.5 in
+      certificate ~criterion:"cmax" ~value:(S.makespan i.schedule)
+        ~lb:(LB.cmax ~m:i.m i.jobs) ~bound ()
+      @ certificate ~criterion:"sum_wc" ~value:(sumwc i)
+          ~lb:(LB.sum_weighted_completion ~m:i.m i.jobs)
+          ~bound ())
+
+let smart =
+  Rule.make ~id:"cert.sumwc.smart"
+    ~doc:"SMART shelves: sum wC <= 8 x LB (uniform weights) or 8.53 x LB (paper S5)"
+    ~applies:(Rule.applies_to [ "smart" ])
+    (fun i ->
+      let bound = if all_weights_equal i.jobs then 8.0 else 8.53 in
+      certificate ~criterion:"sum_wc" ~value:(sumwc i)
+        ~lb:(rigid_lb_sumwc ~jobs:i.jobs ~m:i.m i.schedule.S.entries)
+        ~bound ())
+
+let list_names = [ "fcfs"; "sjf"; "wsjf"; "max-stretch-first"; "easy"; "conservative" ]
+
+let list_family =
+  Rule.make ~id:"cert.cmax.list"
+    ~doc:"List/backfilling schedulers: Cmax <= 2 x rigid lower bound (Naroska-Schwiegelshohn)"
+    ~applies:(fun i -> Rule.applies_to list_names i && i.reservations = [])
+    (fun i ->
+      certificate ~criterion:"cmax" ~value:(S.makespan i.schedule)
+        ~lb:(rigid_lb_cmax ~jobs:i.jobs ~m:i.m i.schedule.S.entries)
+        ~bound:2.0 ())
+
+let strip =
+  Rule.make ~id:"cert.cmax.strip"
+    ~doc:"Shelf packing: NFDH <= 3 x LB, FFDH <= 2.7 x LB (Coffman et al.)"
+    ~applies:(fun i -> Rule.applies_to [ "nfdh"; "ffdh" ] i && i.reservations = [])
+    (fun i ->
+      let bound = if i.policy = "nfdh" then 3.0 else 2.7 in
+      certificate ~criterion:"cmax" ~value:(S.makespan i.schedule)
+        ~lb:(rigid_lb_cmax ~jobs:i.jobs ~m:i.m i.schedule.S.entries)
+        ~bound ())
+
+let wspt =
+  Rule.make ~id:"cert.sumwc.wspt"
+    ~doc:"Smith's rule on one machine: optimal for sum wC when all release dates are zero"
+    ~applies:(Rule.applies_to [ "wspt" ])
+    (fun i ->
+      let lb = LB.sum_weighted_completion ~m:i.schedule.S.m i.jobs in
+      let bound =
+        if List.for_all (fun (j : Job.t) -> j.release <= 0.0) i.jobs then Some 1.0 else None
+      in
+      certificate ~criterion:"sum_wc" ~value:(sumwc i) ~lb ?bound ())
+
+let observed_names =
+  [ "rigid-separate"; "rigid-apriori"; "rigid-firstfit"; "reservation-batches"; "edd"; "edd-admission" ]
+
+let observed =
+  Rule.make ~id:"cert.observed"
+    ~doc:"Observed Cmax and sum wC ratios for policies without a crisp theorem bound"
+    ~applies:(fun i ->
+      Rule.applies_to observed_names i
+      || (Rule.applies_to (list_names @ [ "nfdh"; "ffdh" ]) i && i.reservations <> []))
+    (fun i ->
+      let entries = i.schedule.S.entries in
+      certificate ~criterion:"cmax" ~value:(S.makespan i.schedule)
+        ~lb:(rigid_lb_cmax ~jobs:i.jobs ~m:i.m entries)
+        ()
+      @ certificate ~criterion:"sum_wc" ~value:(sumwc i)
+          ~lb:(rigid_lb_sumwc ~jobs:i.jobs ~m:i.m entries)
+          ())
+
+let rules =
+  [ mrt; batch_online; bicriteria; smart; list_family; strip; wspt; observed ]

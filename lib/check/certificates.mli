@@ -1,0 +1,45 @@
+(** Approximation-ratio certificates.
+
+    Each rule compares an achieved criterion value against a lower
+    bound on the optimum and the approximation guarantee proved in the
+    paper (or in the cited follow-up work) for the policy that built
+    the schedule.  A run within the guarantee yields an [Info] finding
+    carrying the certificate (value, lower bound, ratio, bound); a run
+    exceeding it yields an [Error] — the theorem is violated, so either
+    the implementation or the bound accounting is wrong.
+
+    Soundness note: ratios are measured against a computable lower
+    bound LB <= OPT, so value/LB >= value/OPT.  A certificate failure
+    is therefore a genuine red flag, while the converse does not hold:
+    the theorem could be satisfied with a slack swallowed by LB's gap.
+    All bounds below leave the theorem constant intact and add only a
+    tiny numerical slack. *)
+
+val slack : float
+(** Relative numerical slack applied on top of every theorem bound. *)
+
+val certificate :
+  criterion:string ->
+  value:float ->
+  lb:float ->
+  ?bound:float ->
+  unit ->
+  Finding.t list
+(** Build the certificate finding for one criterion: [Info] when
+    [value /. lb <= bound * (1 + slack)] (or when no bound is known),
+    [Error] otherwise.  [lb <= 0] with [value <= 0] counts as ratio 1.
+    The rule id is stamped by {!Rule.apply}. *)
+
+val rigid_lb_cmax :
+  jobs:Psched_workload.Job.t list -> m:int -> Psched_sim.Schedule.entry list -> float
+(** Makespan lower bound for the {e as-allocated} rigid instance: each
+    entry is a rigid job of [procs x duration] released at its job's
+    release date.  max(area/m, max release+duration). *)
+
+val rigid_lb_sumwc :
+  jobs:Psched_workload.Job.t list -> m:int -> Psched_sim.Schedule.entry list -> float
+(** Squashed-area lower bound on sum w.C for the as-allocated rigid
+    instance (preemptive WSPT on an m-times-faster single machine),
+    combined with the trivial per-job bound w.(r + duration). *)
+
+val rules : Rule.t list

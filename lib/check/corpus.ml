@@ -1,0 +1,49 @@
+open Psched_workload
+open Psched_util
+
+type entry = { name : string; m : int; jobs : Job.t list }
+
+let default () =
+  [
+    {
+      name = "moldable-offline";
+      m = 32;
+      jobs = Workload_gen.moldable_uniform (Rng.create 11) ~n:40 ~m:32 ~tmin:1.0 ~tmax:50.0;
+    };
+    {
+      name = "moldable-online";
+      m = 32;
+      jobs =
+        (let rng = Rng.create 12 in
+         Workload_gen.moldable_uniform rng ~n:40 ~m:32 ~tmin:1.0 ~tmax:50.0
+         |> Workload_gen.with_poisson_arrivals rng ~rate:0.3);
+    };
+    {
+      name = "moldable-weighted";
+      m = 32;
+      jobs =
+        Workload_gen.moldable_uniform ~weighted:true (Rng.create 16) ~n:40 ~m:32 ~tmin:1.0
+          ~tmax:50.0;
+    };
+    {
+      name = "rigid-online";
+      m = 16;
+      jobs =
+        (let rng = Rng.create 13 in
+         Workload_gen.rigid_uniform rng ~n:30 ~m:16 ~tmin:1.0 ~tmax:20.0
+         |> Workload_gen.with_poisson_arrivals rng ~rate:0.5);
+    };
+    {
+      name = "fig2-parallel";
+      m = 100;
+      jobs = Workload_gen.fig2_parallel (Rng.create 14) ~n:60 ~m:100;
+    };
+    {
+      name = "fig2-sequential";
+      m = 16;
+      jobs = Workload_gen.fig2_nonparallel (Rng.create 15) ~n:60;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) (default ())
+let names () = List.map (fun e -> e.name) (default ())

@@ -1,0 +1,17 @@
+(** The check corpus: small, seeded, deterministic workloads the
+    [psched check --all] sweep runs every registry policy against.
+
+    Entries mirror the paper's experimental families (uniform moldable
+    and rigid sets, the Figure 2 "Parallel"/"Non Parallel" series) at
+    sizes small enough that the full registry x corpus sweep stays
+    interactive.  Determinism matters: certificates are compared
+    against theorem bounds, so a red sweep must be reproducible. *)
+
+type entry = { name : string; m : int; jobs : Psched_workload.Job.t list }
+
+val default : unit -> entry list
+
+val find : string -> entry option
+(** Look an entry up by name in {!default}. *)
+
+val names : unit -> string list

@@ -1,0 +1,60 @@
+module Event = Psched_obs.Event
+
+type severity = Error | Warn | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  policy : string;
+  message : string;
+  data : (string * Event.value) list;
+}
+
+let make ?(policy = "-") ?(data = []) ~rule severity message =
+  { rule; severity; policy; message; data }
+
+let error ?policy ?data ~rule message = make ?policy ?data ~rule Error message
+let warn ?policy ?data ~rule message = make ?policy ?data ~rule Warn message
+let info ?policy ?data ~rule message = make ?policy ?data ~rule Info message
+
+let severity_to_string = function Error -> "error" | Warn -> "warn" | Info -> "info"
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+let count sev findings = List.length (List.filter (fun f -> f.severity = sev) findings)
+
+(* Reuses the observability JSON escaping so both encoders agree. *)
+let json_str s = Event.value_str (Event.Str s)
+
+let to_json f =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"rule\":";
+  Buffer.add_string b (json_str f.rule);
+  Buffer.add_string b ",\"severity\":";
+  Buffer.add_string b (json_str (severity_to_string f.severity));
+  Buffer.add_string b ",\"policy\":";
+  Buffer.add_string b (json_str f.policy);
+  Buffer.add_string b ",\"message\":";
+  Buffer.add_string b (json_str f.message);
+  if f.data <> [] then begin
+    Buffer.add_string b ",\"data\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (json_str k);
+        Buffer.add_char b ':';
+        Buffer.add_string b (Event.value_str v))
+      f.data;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let pp ppf f =
+  Format.fprintf ppf "@[<h>[%s] %s%s: %s%a@]"
+    (String.uppercase_ascii (severity_to_string f.severity))
+    (if f.policy = "-" then "" else f.policy ^ " ")
+    f.rule f.message
+    (fun ppf data ->
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf " %s=%s" k (Event.value_str v))
+        data)
+    f.data

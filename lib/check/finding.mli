@@ -1,0 +1,49 @@
+(** Findings: the output unit of every analyzer rule.
+
+    A finding pins a rule id, a severity and a one-line message, plus
+    a structured payload reusing the observability value type so the
+    JSON report needs no extra encoder.  [Error] findings fail a
+    [psched check] run (exit 1); [Warn] findings are reported but do
+    not fail; [Info] findings carry positive evidence (the ratio
+    certificates). *)
+
+type severity = Error | Warn | Info
+
+type t = {
+  rule : string;  (** rule id, e.g. ["cert.cmax.mrt"] *)
+  severity : severity;
+  policy : string;  (** registry policy under audit; ["-"] for raw traces *)
+  message : string;
+  data : (string * Psched_obs.Event.value) list;  (** structured payload *)
+}
+
+val make :
+  ?policy:string ->
+  ?data:(string * Psched_obs.Event.value) list ->
+  rule:string ->
+  severity ->
+  string ->
+  t
+
+val error :
+  ?policy:string -> ?data:(string * Psched_obs.Event.value) list -> rule:string -> string -> t
+
+val warn :
+  ?policy:string -> ?data:(string * Psched_obs.Event.value) list -> rule:string -> string -> t
+
+val info :
+  ?policy:string -> ?data:(string * Psched_obs.Event.value) list -> rule:string -> string -> t
+
+val severity_to_string : severity -> string
+
+val severity_rank : severity -> int
+(** 0 for [Error], 1 for [Warn], 2 for [Info] (sorting key: most
+    severe first). *)
+
+val count : severity -> t list -> int
+
+val to_json : t -> string
+(** One JSON object: [{"rule":...,"severity":...,"policy":...,
+    "message":...,"data":{...}}]. *)
+
+val pp : Format.formatter -> t -> unit

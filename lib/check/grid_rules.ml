@@ -1,0 +1,71 @@
+open Psched_workload
+module S = Psched_sim.Schedule
+module Best_effort = Psched_grid.Best_effort
+module E = Psched_obs.Event
+
+let rule_id = "grid.noninterference"
+let eps = 1e-9
+
+let non_interference ?outages config ~local (outcome : Best_effort.outcome) =
+  let baseline =
+    Best_effort.simulate ?outages { config with Best_effort.bag = 0 } ~local
+  in
+  let key (e : S.entry) = (e.job_id, e.start, e.procs) in
+  let sort s =
+    List.sort (fun a b -> compare (key a) (key b)) s.S.entries
+  in
+  let rec compare_entries acc loaded free =
+    match (loaded, free) with
+    | [], [] -> acc
+    | (l : S.entry) :: lr, (f : S.entry) :: fr when l.job_id = f.job_id ->
+      let acc =
+        if Float.abs (l.start -. f.start) > eps || l.procs <> f.procs then
+          Finding.error ~rule:rule_id
+            ~data:
+              [
+                ("job", E.Int l.job_id);
+                ("loaded_start", E.Float l.start);
+                ("free_start", E.Float f.start);
+              ]
+            (Printf.sprintf
+               "grid load moves local job %d: starts at %g (vs %g grid-free) on %d procs (vs %d)"
+               l.job_id l.start f.start l.procs f.procs)
+          :: acc
+        else acc
+      in
+      compare_entries acc lr fr
+    | (l : S.entry) :: lr, _ ->
+      compare_entries
+        (Finding.error ~rule:rule_id
+           (Printf.sprintf "local job %d appears only under grid load" l.job_id)
+        :: acc)
+        lr free
+    | [], (f : S.entry) :: fr ->
+      compare_entries
+        (Finding.error ~rule:rule_id
+           (Printf.sprintf "local job %d disappears under grid load" f.job_id)
+        :: acc)
+        [] fr
+  in
+  match compare_entries [] (sort outcome.local_schedule) (sort baseline.local_schedule) with
+  | [] ->
+    [
+      Finding.info ~rule:rule_id
+        ~data:
+          [
+            ("local_jobs", E.Int (List.length local));
+            ("grid_completed", E.Int outcome.Best_effort.grid_completed);
+            ("grid_killed", E.Int outcome.Best_effort.grid_killed);
+          ]
+        "local schedule identical with and without grid load";
+    ]
+  | findings -> List.rev findings
+
+let run ?outages ~m ~seed () =
+  let rng = Psched_util.Rng.create seed in
+  let jobs = Workload_gen.rigid_uniform rng ~n:30 ~m ~tmin:1.0 ~tmax:20.0 in
+  let jobs = Workload_gen.with_poisson_arrivals rng ~rate:0.2 jobs in
+  let local = List.map Psched_core.Packing.allocate_rigid jobs in
+  let config = { Best_effort.m; bag = 300; unit_time = 2.0; horizon = 1e6 } in
+  let outcome = Best_effort.simulate ?outages config ~local in
+  non_interference ?outages config ~local outcome

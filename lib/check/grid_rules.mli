@@ -1,0 +1,25 @@
+(** Grid non-interference check (§5.2 of the paper).
+
+    "Local users of the clusters will not be disturbed by grid jobs":
+    the local placements of a best-effort simulation must be exactly
+    those of a grid-free run of the same cluster under the same
+    outages.  This is a property of a whole simulation, not of a bare
+    schedule, so it is exposed as a function over the grid outcome
+    (used by [psched check] and the tests) rather than as a registry
+    rule. *)
+
+val non_interference :
+  ?outages:Psched_fault.Outage.t list ->
+  Psched_grid.Best_effort.config ->
+  local:(Psched_workload.Job.t * int) list ->
+  Psched_grid.Best_effort.outcome ->
+  Finding.t list
+(** Re-simulate with an empty bag and compare the local schedules
+    entry by entry.  Findings carry rule id ["grid.noninterference"].
+    An empty list certifies the property (an [Info] certificate is
+    included when it holds). *)
+
+val run : ?outages:Psched_fault.Outage.t list -> m:int -> seed:int -> unit -> Finding.t list
+(** Deterministic end-to-end instance of the check used by
+    [psched check --all]: build a seeded local workload, simulate a
+    loaded grid on it, and assert non-interference. *)

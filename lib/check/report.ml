@@ -1,0 +1,63 @@
+let all_findings runs = List.concat_map (fun (r : Analyzer.run) -> r.Analyzer.findings) runs
+let errors runs = Finding.count Finding.Error (all_findings runs)
+let warnings runs = Finding.count Finding.Warn (all_findings runs)
+let exit_code runs = if errors runs > 0 then 1 else 0
+
+let json_str s = Psched_obs.Event.value_str (Psched_obs.Event.Str s)
+
+let run_to_json (r : Analyzer.run) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"policy\":";
+  Buffer.add_string b (json_str r.policy);
+  Buffer.add_string b ",\"workload\":";
+  Buffer.add_string b (json_str r.workload);
+  Buffer.add_string b (Printf.sprintf ",\"m\":%d" r.m);
+  Buffer.add_string b (Printf.sprintf ",\"stripped\":%b" r.stripped);
+  (match r.skipped with
+  | Some reason ->
+    Buffer.add_string b ",\"skipped\":";
+    Buffer.add_string b (json_str reason)
+  | None -> ());
+  Buffer.add_string b ",\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Finding.to_json f))
+    r.findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let to_json runs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"tool\":\"psched check\",\"runs\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (run_to_json r))
+    runs;
+  Buffer.add_string b
+    (Printf.sprintf "],\"errors\":%d,\"warnings\":%d}" (errors runs) (warnings runs));
+  Buffer.contents b
+
+let pp ?(verbose = false) ppf runs =
+  let visible (f : Finding.t) = verbose || f.Finding.severity <> Finding.Info in
+  List.iter
+    (fun (r : Analyzer.run) ->
+      let shown = List.filter visible r.Analyzer.findings in
+      match (r.skipped, shown) with
+      | Some reason, _ ->
+        if verbose then
+          Format.fprintf ppf "@[<h>-- %s / %s: skipped (%s)@]@." r.policy r.workload reason
+      | None, [] ->
+        if verbose then
+          Format.fprintf ppf "@[<h>ok %s / %s (%d finding(s))@]@." r.policy r.workload
+            (List.length r.findings)
+      | None, shown ->
+        Format.fprintf ppf "@[<h>** %s / %s%s@]@." r.policy r.workload
+          (if r.stripped then " (releases stripped)" else "");
+        List.iter (fun f -> Format.fprintf ppf "   %a@." Finding.pp f) shown)
+    runs;
+  let skipped = List.length (List.filter (fun r -> r.Analyzer.skipped <> None) runs) in
+  Format.fprintf ppf "%d run(s), %d skipped, %d error(s), %d warning(s), %d certificate(s)@."
+    (List.length runs) skipped (errors runs) (warnings runs)
+    (Finding.count Finding.Info (all_findings runs))

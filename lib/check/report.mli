@@ -1,0 +1,19 @@
+(** Report sinks for analyzer runs: a human summary and a JSON
+    artifact (consumed by the CI [check] job). *)
+
+val errors : Analyzer.run list -> int
+(** Total [Error] findings across the runs. *)
+
+val warnings : Analyzer.run list -> int
+
+val to_json : Analyzer.run list -> string
+(** The whole sweep as one JSON document:
+    [{"tool":"psched check","runs":[...],"errors":N,"warnings":N}]. *)
+
+val pp : ?verbose:bool -> Format.formatter -> Analyzer.run list -> unit
+(** Human report.  By default [Info] findings (the passing
+    certificates) and skipped runs are summarised, not listed;
+    [verbose] prints everything. *)
+
+val exit_code : Analyzer.run list -> int
+(** 1 iff any [Error] finding is present, 0 otherwise. *)

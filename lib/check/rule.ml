@@ -1,0 +1,47 @@
+open Psched_workload
+
+type input = {
+  policy : string;
+  m : int;
+  epsilon : float;
+  jobs : Job.t list;
+  schedule : Psched_sim.Schedule.t;
+  reservations : Psched_platform.Reservation.t list;
+  events : Psched_obs.Event.t list;
+  complete_trace : bool;
+}
+
+let input ?(policy = "-") ?(epsilon = 0.01) ?(reservations = []) ?(events = [])
+    ?(complete_trace = true) ?(jobs = []) ~m schedule =
+  { policy; m; epsilon; jobs; schedule; reservations; events; complete_trace }
+
+type t = {
+  id : string;
+  doc : string;
+  applies : input -> bool;
+  check : input -> Finding.t list;
+}
+
+let make ~id ~doc ?(applies = fun _ -> true) check = { id; doc; applies; check }
+
+let applies_to names input = List.mem input.policy names
+
+let apply rule input =
+  if rule.applies input then (
+    let findings =
+      (* A corrupted input must yield findings, not a crash: rules lean
+         on library code (Profile, Schedule.entry) that raises on
+         malformed schedules. *)
+      try rule.check input
+      with exn ->
+        [
+          Finding.error ~rule:rule.id
+            (Printf.sprintf "rule could not complete: %s" (Printexc.to_string exn));
+        ]
+    in
+    List.map
+      (fun (f : Finding.t) -> { f with Finding.rule = rule.id; policy = input.policy })
+      findings)
+  else []
+
+let apply_all rules input = List.concat_map (fun r -> apply r input) rules

@@ -1,0 +1,56 @@
+(** The rule vocabulary of the schedule analyzer.
+
+    A rule audits one {!input} — a finished run (policy, jobs,
+    schedule, trace) — and returns findings.  Rules are pure and
+    independent; the {!Analyzer} applies every registered rule whose
+    [applies] predicate accepts the input.  Three families are
+    registered: certificate rules ({!Certificates}), structural rules
+    ({!Structural}) and trace cross-checks ({!Trace_rules}). *)
+
+open Psched_workload
+
+type input = {
+  policy : string;  (** registry name; ["-"] when no policy ran *)
+  m : int;
+  epsilon : float;  (** MRT dual-search precision used by the run *)
+  jobs : Job.t list;  (** the job set the schedule was built from *)
+  schedule : Psched_sim.Schedule.t;
+  reservations : Psched_platform.Reservation.t list;
+  events : Psched_obs.Event.t list;  (** retained trace; [] when untraced *)
+  complete_trace : bool;  (** the ring dropped nothing: events are the whole run *)
+}
+
+val input :
+  ?policy:string ->
+  ?epsilon:float ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  ?events:Psched_obs.Event.t list ->
+  ?complete_trace:bool ->
+  ?jobs:Job.t list ->
+  m:int ->
+  Psched_sim.Schedule.t ->
+  input
+(** [epsilon] defaults to 0.01 (the registry default); [complete_trace]
+    to true. *)
+
+type t = {
+  id : string;  (** e.g. ["struct.shelves"] *)
+  doc : string;  (** one line, shown by [psched check --list-rules] *)
+  applies : input -> bool;
+  check : input -> Finding.t list;
+}
+
+val make : id:string -> doc:string -> ?applies:(input -> bool) -> (input -> Finding.t list) -> t
+(** [applies] defaults to every input.  [check] results are re-stamped
+    with the rule id and the input's policy, so rule bodies may build
+    findings with {!Finding.error}[ ~rule:""] shorthand if convenient. *)
+
+val applies_to : string list -> input -> bool
+(** Predicate: the input's policy is one of the names. *)
+
+val apply : t -> input -> Finding.t list
+(** [] when the rule does not apply.  A rule body that raises (e.g. on
+    a schedule corrupted enough to break Profile replay) is converted
+    into a single [Error] finding rather than aborting the sweep. *)
+
+val apply_all : t list -> input -> Finding.t list

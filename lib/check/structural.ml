@@ -1,0 +1,266 @@
+open Psched_workload
+module S = Psched_sim.Schedule
+module Validate = Psched_sim.Validate
+module Profile = Psched_sim.Profile
+module E = Psched_obs.Event
+
+let eps = 1e-6
+
+let err ?data fmt = Printf.ksprintf (fun msg -> Finding.error ?data ~rule:"" msg) fmt
+
+let feasible =
+  Rule.make ~id:"struct.feasible"
+    ~doc:"The schedule passes the Validate oracle (placement, release, capacity)"
+    (fun i ->
+      Validate.check ~reservations:i.reservations ~jobs:i.jobs i.schedule
+      |> List.map (fun v ->
+             let data =
+               match v with
+               | Validate.Over_capacity { date; used; capacity; job_ids } ->
+                 [
+                   ("date", E.Float date);
+                   ("used", E.Int used);
+                   ("capacity", E.Int capacity);
+                   ("jobs", E.Int (List.length job_ids));
+                 ]
+               | _ -> []
+             in
+             err ~data "%s" (Format.asprintf "%a" Validate.pp_violation v)))
+
+let shelves_of entries =
+  let sorted =
+    List.sort (fun (a : S.entry) (b : S.entry) -> compare (a.start, a.job_id) (b.start, b.job_id))
+      entries
+  in
+  List.fold_left
+    (fun shelves (e : S.entry) ->
+      match shelves with
+      | ((f : S.entry) :: _ as shelf) :: rest when Float.abs (f.start -. e.start) <= 1e-9 ->
+        (e :: shelf) :: rest
+      | _ -> [ e ] :: shelves)
+    [] sorted
+  |> List.rev_map List.rev
+
+let shelf_rule =
+  Rule.make ~id:"struct.shelves"
+    ~doc:"Shelf builders (smart, nfdh, ffdh): shelves fit in m and are stacked without overlap"
+    ~applies:(Rule.applies_to [ "smart"; "nfdh"; "ffdh" ])
+    (fun i ->
+      let shelves = shelves_of i.schedule.S.entries in
+      let width shelf = List.fold_left (fun acc (e : S.entry) -> acc + e.procs) 0 shelf in
+      let top shelf = List.fold_left (fun acc e -> Float.max acc (S.completion e)) 0.0 shelf in
+      let wide =
+        List.filter_map
+          (fun shelf ->
+            let w = width shelf in
+            if w > i.m then
+              Some
+                (err
+                   ~data:[ ("start", E.Float (List.hd shelf).S.start); ("width", E.Int w) ]
+                   "shelf at t=%g is %d procs wide on an m=%d cluster" (List.hd shelf).S.start w
+                   i.m)
+            else None)
+          shelves
+      in
+      let rec overlaps = function
+        | a :: (b :: _ as rest) ->
+          let t = top a and s = (List.hd b).S.start in
+          (if t > s +. eps then
+             [
+               err
+                 ~data:[ ("top", E.Float t); ("next_start", E.Float s) ]
+                 "shelf at t=%g runs until %g, past the next shelf start %g" (List.hd a).S.start t
+                 s;
+             ]
+           else [])
+          @ overlaps rest
+        | _ -> []
+      in
+      wide @ overlaps shelves)
+
+let entry_tbl entries =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (e : S.entry) -> if not (Hashtbl.mem tbl e.job_id) then Hashtbl.add tbl e.job_id e) entries;
+  tbl
+
+let batch_monotone =
+  Rule.make ~id:"struct.batch.monotone"
+    ~doc:"Batch-online: batches partition the jobs, start after the previous batch completes"
+    ~applies:(Rule.applies_to [ "batch-online" ])
+    (fun i ->
+      let offline ~m jobs = Psched_core.Mrt.schedule ~epsilon:i.epsilon ~m jobs in
+      let batches = Psched_core.Batch_online.batches ~offline ~m:i.m i.jobs in
+      let tbl = entry_tbl i.schedule.S.entries in
+      let batched = List.concat_map snd batches in
+      let partition =
+        if List.length batched <> List.length i.jobs then
+          [ err "batches hold %d jobs, input has %d" (List.length batched) (List.length i.jobs) ]
+        else []
+      in
+      let late_starts =
+        List.concat_map
+          (fun (start, jobs) ->
+            List.filter_map
+              (fun (j : Job.t) ->
+                match Hashtbl.find_opt tbl j.id with
+                | None -> Some (err "job %d of the batch at t=%g is not scheduled" j.id start)
+                | Some e when e.S.start < start -. eps ->
+                  Some
+                    (err
+                       ~data:[ ("job", E.Int j.id); ("batch", E.Float start) ]
+                       "job %d starts at %g, before its batch opens at %g" j.id e.S.start start)
+                | Some _ -> None)
+              jobs)
+          batches
+      in
+      let rec monotone = function
+        | (s0, jobs0) :: ((s1, _) :: _ as rest) ->
+          let finish =
+            List.fold_left
+              (fun acc (j : Job.t) ->
+                match Hashtbl.find_opt tbl j.id with
+                | Some e -> Float.max acc (S.completion e)
+                | None -> acc)
+              0.0 jobs0
+          in
+          (if s1 < finish -. eps then
+             [
+               err
+                 ~data:[ ("batch", E.Float s1); ("previous_finish", E.Float finish) ]
+                 "batch at t=%g opens before the batch at t=%g completes (t=%g)" s1 s0 finish;
+             ]
+           else [])
+          @ monotone rest
+        | _ -> []
+      in
+      partition @ late_starts @ monotone batches)
+
+let batch_doubling =
+  Rule.make ~id:"struct.batch.doubling"
+    ~doc:"Bicriteria: doubling batches are ordered and every job meets rho x deadline"
+    ~applies:(Rule.applies_to [ "bicriteria" ])
+    (fun i ->
+      let rho = 1.5 in
+      let batches = Psched_core.Bicriteria.batches ~rho ~m:i.m i.jobs in
+      let tbl = entry_tbl i.schedule.S.entries in
+      let deadline_findings =
+        List.concat_map
+          (fun (b : Psched_core.Bicriteria.batch) ->
+            List.filter_map
+              (fun (j : Job.t) ->
+                match Hashtbl.find_opt tbl j.id with
+                | None -> Some (err "job %d of the batch at t=%g is not scheduled" j.id b.start)
+                | Some e ->
+                  let limit = b.start +. (rho *. b.deadline) in
+                  if e.S.start < b.start -. eps then
+                    Some
+                      (err
+                         ~data:[ ("job", E.Int j.id); ("batch", E.Float b.start) ]
+                         "job %d starts at %g, before its batch opens at %g" j.id e.S.start
+                         b.start)
+                  else if S.completion e > limit +. (eps *. Float.max 1.0 limit) then
+                    Some
+                      (err
+                         ~data:
+                           [
+                             ("job", E.Int j.id);
+                             ("completion", E.Float (S.completion e));
+                             ("limit", E.Float limit);
+                           ]
+                         "job %d completes at %g, past its batch budget %g (= %g + rho x %g)"
+                         j.id (S.completion e) limit b.start b.deadline)
+                  else None)
+              b.jobs)
+          batches
+      in
+      let rec ordered = function
+        | (a : Psched_core.Bicriteria.batch) :: (b :: _ as rest) ->
+          (if b.start < a.start -. eps then
+             [ err "batch starts decrease: t=%g after t=%g" b.start a.start ]
+           else if b.deadline < a.deadline -. eps then
+             [ err "batch deadlines decrease: %g after %g" b.deadline a.deadline ]
+           else [])
+          @ ordered rest
+        | _ -> []
+      in
+      let scheduled_not_batched =
+        let batched = Hashtbl.create 64 in
+        List.iter
+          (fun (b : Psched_core.Bicriteria.batch) ->
+            List.iter (fun (j : Job.t) -> Hashtbl.replace batched j.id ()) b.jobs)
+          batches;
+        List.filter_map
+          (fun (e : S.entry) ->
+            if Hashtbl.mem batched e.job_id then None
+            else Some (err "job %d is scheduled but belongs to no doubling batch" e.job_id))
+          i.schedule.S.entries
+      in
+      deadline_findings @ ordered batches @ scheduled_not_batched)
+
+let nodelay =
+  Rule.make ~id:"struct.nodelay"
+    ~doc:"Conservative list scheduling: FCFS replay finds no earlier feasible hole for any job"
+    ~applies:(Rule.applies_to [ "conservative" ])
+    (fun i ->
+      let profile = Profile.create i.m in
+      List.iter
+        (fun (r : Psched_platform.Reservation.t) ->
+          Profile.reserve profile ~start:r.start ~duration:r.duration ~procs:r.procs)
+        i.reservations;
+      let release_tbl = Hashtbl.create 64 in
+      List.iter (fun (j : Job.t) -> Hashtbl.replace release_tbl j.id j.release) i.jobs;
+      let release id = Option.value ~default:0.0 (Hashtbl.find_opt release_tbl id) in
+      let order =
+        List.sort
+          (fun (a : S.entry) (b : S.entry) ->
+            compare (release a.job_id, a.job_id) (release b.job_id, b.job_id))
+          i.schedule.S.entries
+      in
+      List.filter_map
+        (fun (e : S.entry) ->
+          let expected =
+            Profile.find_start profile ~earliest:(release e.job_id) ~duration:e.duration
+              ~procs:e.procs
+          in
+          (* Keep the replay profile in sync with the actual schedule
+             even when a divergence was just reported. *)
+          Profile.reserve profile ~start:e.start ~duration:e.duration ~procs:e.procs;
+          if Float.abs (expected -. e.start) > eps then
+            Some
+              (err
+                 ~data:[ ("job", E.Int e.job_id); ("start", E.Float e.start); ("expected", E.Float expected) ]
+                 "job %d starts at %g, but FCFS replay places it at %g" e.job_id e.start expected)
+          else None)
+        order)
+
+let reservations_rule =
+  Rule.make ~id:"struct.reservations"
+    ~doc:"Reservations are well-formed and fit within capacity on their own"
+    ~applies:(fun i -> i.reservations <> [])
+    (fun i ->
+      let shape =
+        List.filter_map
+          (fun (r : Psched_platform.Reservation.t) ->
+            if r.procs <= 0 || r.procs > i.m || r.duration <= 0.0 || r.start < 0.0 then
+              Some
+                (err "reservation %d is malformed (start %g, duration %g, %d procs on m=%d)" r.id
+                   r.start r.duration r.procs i.m)
+            else None)
+          i.reservations
+      in
+      let demands =
+        List.map
+          (fun (r : Psched_platform.Reservation.t) -> (r.start, r.start +. r.duration, r.procs))
+          i.reservations
+      in
+      let over =
+        List.filter_map
+          (fun (t, used) ->
+            if used > i.m then
+              Some (err "reservations alone use %d > %d processors from t=%g" used i.m t)
+            else None)
+          (Profile.usage_timeline demands)
+      in
+      shape @ over)
+
+let rules = [ feasible; shelf_rule; batch_monotone; batch_doubling; nodelay; reservations_rule ]

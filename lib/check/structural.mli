@@ -1,0 +1,14 @@
+(** Structural rules: shape invariants of the schedules themselves.
+
+    These generalise {!Psched_sim.Validate} (which is itself wrapped as
+    the [struct.feasible] rule): beyond feasibility, each policy family
+    promises a recognisable structure — SMART and the strip packers
+    build shelves, the on-line transformations build non-overlapping
+    batches, conservative list scheduling never delays a job past its
+    earliest feasible hole.  Violations are [Error] findings. *)
+
+val shelves_of : Psched_sim.Schedule.entry list -> Psched_sim.Schedule.entry list list
+(** Group entries into shelves (same start date up to 1e-9), sorted by
+    start date.  Exposed for tests. *)
+
+val rules : Rule.t list

@@ -1,0 +1,240 @@
+module E = Psched_obs.Event
+module S = Psched_sim.Schedule
+
+let eps = 1e-6
+
+let err ?data fmt = Printf.ksprintf (fun msg -> Finding.error ?data ~rule:"" msg) fmt
+let warn ?data fmt = Printf.ksprintf (fun msg -> Finding.warn ?data ~rule:"" msg) fmt
+
+let find_int payload k =
+  match List.assoc_opt k payload with
+  | Some (E.Int i) -> Some i
+  | Some (E.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let find_float payload k =
+  match List.assoc_opt k payload with
+  | Some (E.Float f) -> Some f
+  | Some (E.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let count_kind kind events = List.length (List.filter (fun (e : E.t) -> e.kind = kind) events)
+let has_kind kind events = List.exists (fun (e : E.t) -> e.kind = kind) events
+
+let vocab =
+  Rule.make ~id:"trace.vocab" ~doc:"Every trace event uses a kind from the closed vocabulary"
+    ~applies:(fun i -> i.events <> [])
+    (fun i ->
+      List.filter_map
+        (fun (e : E.t) ->
+          if E.known e.kind then None
+          else Some (err "event kind %S is outside the vocabulary" e.kind))
+        i.events)
+
+let clock =
+  Rule.make ~id:"trace.clock" ~doc:"Simulation timestamps never decrease along the trace"
+    ~applies:(fun i -> i.events <> [])
+    (fun i ->
+      let regressions = ref 0 and first = ref None in
+      let _ =
+        List.fold_left
+          (fun prev (e : E.t) ->
+            if e.sim_time < prev -. eps then begin
+              incr regressions;
+              if !first = None then first := Some (prev, e.sim_time)
+            end;
+            Float.max prev e.sim_time)
+          neg_infinity i.events
+      in
+      match !first with
+      | None -> []
+      | Some (from, to_) ->
+        [
+          warn
+            ~data:[ ("regressions", E.Int !regressions) ]
+            "simulation clock goes backwards %d time(s), first from %g to %g" !regressions from
+            to_;
+        ])
+
+let spans =
+  Rule.make ~id:"trace.spans" ~doc:"span.begin / span.end events nest and balance"
+    ~applies:(fun i -> i.events <> [] && has_kind "span.begin" i.events)
+    (fun i ->
+      let open_spans = Hashtbl.create 16 in
+      let findings =
+        List.concat_map
+          (fun (e : E.t) ->
+            match e.kind with
+            | "span.begin" -> (
+              match find_int e.payload "id" with
+              | None -> [ err "span.begin without an id field" ]
+              | Some id when Hashtbl.mem open_spans id ->
+                [ err "span id %d opened twice" id ]
+              | Some id ->
+                Hashtbl.add open_spans id ();
+                [])
+            | "span.end" -> (
+              match find_int e.payload "id" with
+              | None -> [ err "span.end without an id field" ]
+              | Some id when not (Hashtbl.mem open_spans id) ->
+                if i.complete_trace then [ err "span id %d ended but never began" id ] else []
+              | Some id ->
+                Hashtbl.remove open_spans id;
+                [])
+            | _ -> [])
+          i.events
+      in
+      let leftover = Hashtbl.length open_spans in
+      findings
+      @
+      if leftover > 0 && i.complete_trace then
+        [ warn ~data:[ ("open", E.Int leftover) ] "%d span(s) never ended" leftover ]
+      else [])
+
+let job_machine =
+  Rule.make ~id:"trace.jobs"
+    ~doc:"Per-job lifecycle: start before complete, no double start, finish after start"
+    ~applies:(fun i -> i.events <> [] && has_kind "job.start" i.events)
+    (fun i ->
+      (* job id -> last start date while running *)
+      let running = Hashtbl.create 64 in
+      List.concat_map
+        (fun (e : E.t) ->
+          let job = find_int e.payload "job" in
+          match (e.kind, job) with
+          | ("job.start" | "job.complete" | "fault.kill" | "fault.restart"), None ->
+            [ err "%s event without a job field" e.kind ]
+          | "job.start", Some j -> (
+            let start = Option.value ~default:e.sim_time (find_float e.payload "start") in
+            match Hashtbl.find_opt running j with
+            | Some _ -> [ err "job %d starts twice without completing or being killed" j ]
+            | None ->
+              Hashtbl.add running j start;
+              [])
+          | "job.complete", Some j -> (
+            match Hashtbl.find_opt running j with
+            | None ->
+              if i.complete_trace then [ err "job %d completes without a recorded start" j ]
+              else []
+            | Some start ->
+              Hashtbl.remove running j;
+              let finish = Option.value ~default:e.sim_time (find_float e.payload "finish") in
+              if finish < start -. eps then
+                [
+                  err
+                    ~data:[ ("job", E.Int j); ("start", E.Float start); ("finish", E.Float finish) ]
+                    "job %d finishes at %g, before its start at %g" j finish start;
+                ]
+              else [])
+          | "fault.kill", Some j ->
+            Hashtbl.remove running j;
+            []
+          | _ -> [])
+        i.events)
+
+let counters =
+  Rule.make ~id:"trace.counters"
+    ~doc:"Start/stop balance: #job.start = #job.complete + #fault.kill on a complete trace"
+    ~applies:(fun i ->
+      count_kind "job.complete" i.events + count_kind "fault.kill" i.events > 0)
+    (fun i ->
+      let starts = count_kind "job.start" i.events
+      and completes = count_kind "job.complete" i.events
+      and kills = count_kind "fault.kill" i.events in
+      if starts = completes + kills then []
+      else
+        let data =
+          [ ("starts", E.Int starts); ("completes", E.Int completes); ("kills", E.Int kills) ]
+        in
+        let msg =
+          Printf.sprintf "%d job.start events vs %d job.complete + %d fault.kill" starts
+            completes kills
+        in
+        if i.complete_trace then [ err ~data "%s" msg ] else [ warn ~data "%s" msg ])
+
+let bisim =
+  Rule.make ~id:"trace.bisim"
+    ~doc:"Trace replay reconstructs the schedule: job.start events match entries and back"
+    ~applies:(fun i ->
+      has_kind "job.start" i.events && i.schedule.S.entries <> [])
+    (fun i ->
+      let entry_of = Hashtbl.create 64 in
+      List.iter
+        (fun (e : S.entry) ->
+          if not (Hashtbl.mem entry_of e.job_id) then Hashtbl.add entry_of e.job_id e)
+        i.schedule.S.entries;
+      (* With faults in play a job can start several times; only its
+         last start corresponds to the surviving entry. *)
+      let last_start = Hashtbl.create 64 in
+      List.iter
+        (fun (e : E.t) ->
+          if e.kind = "job.start" then
+            match find_int e.payload "job" with
+            | Some j -> Hashtbl.replace last_start j e
+            | None -> ())
+        i.events;
+      let forward =
+        Hashtbl.fold
+          (fun j (ev : E.t) acc ->
+            match Hashtbl.find_opt entry_of j with
+            | None -> err "trace starts job %d, absent from the schedule" j :: acc
+            | Some entry ->
+              let start = find_float ev.payload "start"
+              and procs = find_int ev.payload "procs" in
+              let bad_start =
+                match start with Some s -> Float.abs (s -. entry.S.start) > eps | None -> false
+              in
+              let bad_procs = match procs with Some p -> p <> entry.S.procs | None -> false in
+              if bad_start || bad_procs then
+                err
+                  ~data:
+                    [
+                      ("job", E.Int j);
+                      ("trace_start", E.Float (Option.value ~default:nan start));
+                      ("entry_start", E.Float entry.S.start);
+                    ]
+                  "trace and schedule disagree on job %d (trace %g on %d procs, entry %g on %d)"
+                  j
+                  (Option.value ~default:nan start)
+                  (Option.value ~default:(-1) procs)
+                  entry.S.start entry.S.procs
+                :: acc
+              else acc)
+          last_start []
+      in
+      let backward =
+        if not i.complete_trace then []
+        else
+          List.filter_map
+            (fun (e : S.entry) ->
+              if Hashtbl.mem last_start e.job_id then None
+              else Some (err "schedule places job %d but the trace never starts it" e.job_id))
+            i.schedule.S.entries
+      in
+      let completions =
+        List.filter_map
+          (fun (ev : E.t) ->
+            if ev.kind <> "job.complete" then None
+            else
+              match (find_int ev.payload "job", find_float ev.payload "finish") with
+              | Some j, Some finish -> (
+                match Hashtbl.find_opt entry_of j with
+                | Some entry when Float.abs (finish -. S.completion entry) > eps ->
+                  Some
+                    (err
+                       ~data:[ ("job", E.Int j); ("finish", E.Float finish) ]
+                       "trace completes job %d at %g, schedule at %g" j finish
+                       (S.completion entry))
+                | _ -> None)
+              | _ -> None)
+          i.events
+      in
+      forward @ backward @ completions)
+
+let rules = [ vocab; clock; spans; job_machine; counters; bisim ]
+
+let check_events ?(complete = true) events =
+  let input =
+    Rule.input ~complete_trace:complete ~events ~m:1 (Psched_sim.Schedule.make ~m:1 [])
+  in
+  Rule.apply_all rules input

@@ -1,0 +1,17 @@
+(** Trace cross-check rules.
+
+    These audit the retained observability events of a run — on their
+    own (vocabulary, clock monotonicity, span nesting, per-job state
+    machine, start/finish counter balance) and against the schedule
+    the run produced (bisimulation: every [job.start] event must match
+    a schedule entry and, when the trace is complete, vice versa).
+
+    Rules that require the trace to be exhaustive downgrade to [Warn]
+    or skip checks when [input.complete_trace] is false (the ring
+    buffer dropped events, so absence proves nothing). *)
+
+val check_events : ?complete:bool -> Psched_obs.Event.t list -> Finding.t list
+(** Audit a bare event stream (e.g. a saved JSONL trace) with every
+    trace rule that needs no schedule.  [complete] defaults to true. *)
+
+val rules : Rule.t list

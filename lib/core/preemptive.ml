@@ -12,7 +12,7 @@ let schedule ~m jobs =
   if m < 1 then invalid_arg "Preemptive.schedule: m must be >= 1";
   List.iter
     (fun (j : Job.t) ->
-      if j.release <> 0.0 then invalid_arg "Preemptive.schedule: release dates not supported")
+      if j.release > 0.0 then invalid_arg "Preemptive.schedule: release dates not supported")
     jobs;
   let times = List.map Job.seq_time jobs in
   let horizon = optimum ~m times in

@@ -144,8 +144,13 @@ let registry : (module I.S) list =
       (rigid_offline ~policy:"ffdh" (fun ctx tasks -> Strip_packing.ffdh ~m:ctx.m tasks));
     make "wspt" "weighted shortest processing time on a single machine (ctx.m ignored)"
       (fun ctx jobs ->
-        guard ~policy:"wspt" @@ fun () ->
-        outcome ctx jobs (Single_machine.schedule (online_view ctx jobs)));
+        let policy = "wspt" in
+        guard ~policy @@ fun () ->
+        (* The single machine has one processor: a job that cannot
+           shrink to 1 is too wide for it, whatever ctx.m says. *)
+        match List.find_opt (fun (j : Job.t) -> Job.min_procs j > 1) jobs with
+        | Some j -> Error (I.Too_wide { policy; job = j.Job.id; procs = Job.min_procs j; m = 1 })
+        | None -> outcome ctx jobs (Single_machine.schedule (online_view ctx jobs)));
     make "rigid-separate" "rigid/moldable mix: pack each class separately, rigid first (sec. 4.5)"
       (moldable_offline ~policy:"rigid-separate" (fun ctx jobs ->
            Rigid_mix.schedule (Rigid_mix.Separate { rigid_first = true }) ~m:ctx.m jobs));

@@ -15,7 +15,7 @@ type shelf = { height : float; mutable used : int; mutable tasks : (Job.t * int)
 let schedule ?(obs = Obs.null) ?base ~m tasks =
   List.iter
     (fun ((j : Job.t), k) ->
-      if j.release <> 0.0 then invalid_arg "Smart.schedule: release dates must be 0";
+      if j.release > 0.0 then invalid_arg "Smart.schedule: release dates must be 0";
       if k > m then invalid_arg (Printf.sprintf "Smart.schedule: job %d wider than %d" j.id m))
     tasks;
   match tasks with

@@ -153,6 +153,149 @@ let kind_of_jsonl line =
   in
   find 0
 
+(* Decode one encoded line back into an event.  The encoder only ever
+   writes one flat object of scalar fields per line, so a full JSON
+   parser is not needed: nested arrays/objects are rejected. *)
+exception Bad of string
+
+let of_jsonl line =
+  let n = String.length line in
+  let i = ref 0 in
+  let fail msg = raise (Bad msg) in
+  let skip_ws () =
+    while
+      !i < n && (match line.[!i] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+    do
+      incr i
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !i >= n || line.[!i] <> c then fail (Printf.sprintf "expected '%c'" c);
+    incr i
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string"
+      else
+        match line.[!i] with
+        | '"' ->
+          incr i;
+          Buffer.contents b
+        | '\\' ->
+          if !i + 1 >= n then fail "bad escape";
+          (match line.[!i + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !i + 6 > n then fail "bad \\u escape";
+            let code =
+              match int_of_string_opt ("0x" ^ String.sub line (!i + 2) 4) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            if code > 0x7f then fail "non-ascii \\u escape";
+            Buffer.add_char b (Char.chr code);
+            i := !i + 4
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          i := !i + 2;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr i;
+          go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    if !i >= n then fail "truncated value"
+    else
+      match line.[!i] with
+      | '"' -> Str (parse_string ())
+      | 't' when !i + 4 <= n && String.sub line !i 4 = "true" ->
+        i := !i + 4;
+        Bool true
+      | 'f' when !i + 5 <= n && String.sub line !i 5 = "false" ->
+        i := !i + 5;
+        Bool false
+      | '-' | '0' .. '9' ->
+        let s = !i in
+        let is_float = ref false in
+        while
+          !i < n
+          && (match line.[!i] with
+             | '0' .. '9' | '-' | '+' -> true
+             | '.' | 'e' | 'E' ->
+               is_float := true;
+               true
+             | _ -> false)
+        do
+          incr i
+        done;
+        let tok = String.sub line s (!i - s) in
+        if !is_float then
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "malformed number"
+        else (
+          match int_of_string_opt tok with
+          | Some k -> Int k
+          | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail "malformed number"))
+      | c -> fail (Printf.sprintf "unsupported value start '%c'" c)
+  in
+  try
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if !i < n && line.[!i] = '}' then incr i
+    else begin
+      let rec members () =
+        let k = parse_string () in
+        expect ':';
+        let v = parse_scalar () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        if !i < n && line.[!i] = ',' then begin
+          incr i;
+          members ()
+        end
+        else expect '}'
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !i <> n then fail "trailing characters after object";
+    let fields = List.rev !fields in
+    let take key = List.assoc_opt key fields in
+    let num = function
+      | Some (Int k) -> Some (float_of_int k)
+      | Some (Float f) -> Some f
+      | _ -> None
+    in
+    match (take "kind", num (take "t"), num (take "wall")) with
+    | Some (Str kind), Some sim_time, Some wall_time ->
+      let span = match take "span" with Some (Int s) -> s | _ -> 0 in
+      let payload =
+        List.filter
+          (fun (k, _) -> k <> "kind" && k <> "t" && k <> "wall" && k <> "span")
+          fields
+      in
+      Ok { kind; sim_time; wall_time; span; payload }
+    | _ -> Error "missing kind/t/wall field"
+  with Bad msg -> Error msg
+
 let pp_value ppf = function
   | Int i -> Format.pp_print_int ppf i
   | Float f -> Format.fprintf ppf "%g" f

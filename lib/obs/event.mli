@@ -41,6 +41,13 @@ val kind_of_jsonl : string -> string option
 (** Extract the ["kind"] field of an encoded line (used by the trace
     validator; no full JSON parser needed). *)
 
+val of_jsonl : string -> (t, string) result
+(** Decode one line produced by {!to_jsonl} (a flat object of scalar
+    fields) back into an event.  ["kind"]/["t"]/["wall"] are required,
+    ["span"] defaults to 0, every other field becomes payload in
+    order; round-trips {!to_jsonl}.  Nested arrays/objects are
+    rejected — the encoder never emits them. *)
+
 val value_str : value -> string
 (** JSON encoding of one value (strings quoted and escaped). *)
 

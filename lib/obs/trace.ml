@@ -136,9 +136,32 @@ let validate_jsonl content =
   in
   check 1 lines
 
-let validate_file path =
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let content = really_input_string ic len in
   close_in ic;
-  validate_jsonl content
+  content
+
+let validate_file path = validate_jsonl (read_file path)
+
+(* Full decoding, for the replay/bisimulation rules in [Psched_check]:
+   unlike [validate_jsonl] this parses every field, not just the
+   kind. *)
+let events_of_string content =
+  let lines = String.split_on_char '\n' content in
+  let rec decode lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" then decode (lineno + 1) acc rest
+      else (
+        match Event.of_jsonl trimmed with
+        | Error reason -> Error { line = lineno; reason }
+        | Ok e when not (Event.known e.Event.kind) ->
+          Error { line = lineno; reason = Printf.sprintf "unknown event kind %S" e.Event.kind }
+        | Ok e -> decode (lineno + 1) (e :: acc) rest)
+  in
+  decode 1 [] lines
+
+let events_of_file path = events_of_string (read_file path)

@@ -31,3 +31,10 @@ val validate_jsonl : string -> (int, invalid) result
     of events. *)
 
 val validate_file : string -> (int, invalid) result
+
+val events_of_string : string -> (Event.t list, invalid) result
+(** Decode JSONL content back into events (blank lines skipped); every
+    kind must belong to {!Event.vocabulary}.  The trace cross-check
+    rules of [Psched_check] replay these against a schedule. *)
+
+val events_of_file : string -> (Event.t list, invalid) result

@@ -58,7 +58,7 @@ let compute ~jobs sched =
 
 let makespan_ratio ~lower_bound sched =
   let c = Schedule.makespan sched in
-  if lower_bound > 0.0 then c /. lower_bound else if c = 0.0 then 1.0 else infinity
+  if lower_bound > 0.0 then c /. lower_bound else if c <= 0.0 then 1.0 else infinity
 
 let pp ppf t =
   Format.fprintf ppf

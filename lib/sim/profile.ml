@@ -178,7 +178,7 @@ let find_start t ~earliest ~duration ~procs =
   let rec sweep j anchor =
     if t.free.(j) >= procs then begin
       let seg_end = if j + 1 < t.len then t.dates.(j + 1) else infinity in
-      if duration = 0.0 || seg_end >= anchor +. duration then anchor
+      if duration <= 0.0 || seg_end >= anchor +. duration then anchor
       else sweep (j + 1) anchor
     end
     else if j + 1 >= t.len then raise Not_found

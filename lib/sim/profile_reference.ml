@@ -85,7 +85,7 @@ let window_ok t ~s ~duration ~procs =
     | (seg_s, f) :: rest ->
       let next = match rest with (s', _) :: _ -> s' | [] -> infinity in
       let overlaps =
-        if duration = 0.0 then seg_s <= s && s < next else seg_s < stop && next > s
+        if duration <= 0.0 then seg_s <= s && s < next else seg_s < stop && next > s
       in
       if overlaps && f < procs then false else loop rest
   in

@@ -7,7 +7,7 @@ type violation =
   | Bad_allocation of int
   | Bad_duration of int
   | Before_release of int
-  | Over_capacity of float
+  | Over_capacity of { date : float; used : int; capacity : int; job_ids : int list }
 
 let pp_violation ppf = function
   | Missing_job id -> Format.fprintf ppf "job %d is not scheduled" id
@@ -16,7 +16,11 @@ let pp_violation ppf = function
   | Bad_allocation id -> Format.fprintf ppf "job %d has an infeasible allocation" id
   | Bad_duration id -> Format.fprintf ppf "job %d has a wrong duration" id
   | Before_release id -> Format.fprintf ppf "job %d starts before its release date" id
-  | Over_capacity date -> Format.fprintf ppf "capacity exceeded at t=%g" date
+  | Over_capacity { date; used; capacity; job_ids } ->
+    Format.fprintf ppf "capacity exceeded at t=%g: %d > %d (overshoot %d; jobs%a)" date used
+      capacity (used - capacity)
+      (fun ppf ids -> List.iter (fun id -> Format.fprintf ppf " %d" id) ids)
+      job_ids
 
 let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
@@ -58,11 +62,21 @@ let check ?(speed = 1.0) ?(reservations = []) ~jobs sched =
           (r.start, Psched_platform.Reservation.finish r, r.procs))
         reservations
   in
+  let jobs_active date stop =
+    List.filter_map
+      (fun (e : entry) ->
+        if e.start < stop -. eps && completion e > date +. eps then Some e.job_id else None)
+      sched.entries
+    |> List.sort_uniq compare
+  in
   let rec flag = function
     | [] -> ()
     | (date, used) :: rest ->
       let next = match rest with (d, _) :: _ -> d | [] -> infinity in
-      if used > sched.m && next -. date > eps then add (Over_capacity date);
+      if used > sched.m && next -. date > eps then
+        add
+          (Over_capacity
+             { date; used; capacity = sched.m; job_ids = jobs_active date next });
       flag rest
   in
   flag (Profile.usage_timeline demands);

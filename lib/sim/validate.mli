@@ -16,7 +16,11 @@ type violation =
   | Bad_allocation of int  (** infeasible processor count *)
   | Bad_duration of int  (** duration does not match the allocation *)
   | Before_release of int
-  | Over_capacity of float  (** date at which capacity is exceeded *)
+  | Over_capacity of { date : float; used : int; capacity : int; job_ids : int list }
+      (** capacity exceeded from [date]: [used] > [capacity], with the
+          ids of the jobs running there ([used - capacity] is the
+          overshoot; reservations add to [used] but not to
+          [job_ids]) *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -1,0 +1,320 @@
+open Psched_workload
+open Psched_check
+module Event = Psched_obs.Event
+module Schedule = Psched_sim.Schedule
+module Validate = Psched_sim.Validate
+
+let allocate_all jobs = List.map Psched_core.Packing.allocate_rigid jobs
+
+let errors findings =
+  List.filter (fun (f : Finding.t) -> f.Finding.severity = Finding.Error) findings
+
+let rule_ids findings =
+  List.sort_uniq compare (List.map (fun (f : Finding.t) -> f.Finding.rule) findings)
+
+let has_rule id findings = List.mem id (rule_ids findings)
+
+let find_ratio (f : Finding.t) =
+  match List.assoc_opt "ratio" f.Finding.data with
+  | Some (Event.Float r) -> r
+  | _ -> Alcotest.fail "certificate without a ratio payload"
+
+(* --- certificates ------------------------------------------------------ *)
+
+let test_mrt_cert_tight () =
+  (* Three unit tasks on two processors: LB = 3/2 (area), MRT packs two
+     levels, Cmax = 2 -> ratio 4/3, close to the 3/2 + eps guarantee. *)
+  let jobs = List.init 3 (fun id -> Job.rigid ~id ~procs:1 ~time:1.0 ()) in
+  let run = Analyzer.analyze_run ~policy:"mrt" { Corpus.name = "tight-mrt"; m = 2; jobs } in
+  Alcotest.(check (list string)) "no errors" [] (List.map (fun f -> f.Finding.message) (errors run.Analyzer.findings));
+  match List.filter (fun f -> f.Finding.rule = "cert.cmax.mrt") run.Analyzer.findings with
+  | [ cert ] ->
+    Alcotest.(check bool) "certificate is info" true (cert.Finding.severity = Finding.Info);
+    let ratio = find_ratio cert in
+    Alcotest.(check bool) "ratio in [1.3, 1.51]" true (ratio >= 1.3 && ratio <= 1.51)
+  | certs -> Alcotest.failf "expected one MRT certificate, got %d" (List.length certs)
+
+let test_smart_cert () =
+  let jobs =
+    [
+      Job.rigid ~weight:4.0 ~id:0 ~procs:3 ~time:8.0 ();
+      Job.rigid ~weight:1.0 ~id:1 ~procs:2 ~time:4.0 ();
+      Job.rigid ~weight:2.0 ~id:2 ~procs:2 ~time:2.0 ();
+      Job.rigid ~weight:1.0 ~id:3 ~procs:1 ~time:1.0 ();
+      Job.rigid ~weight:3.0 ~id:4 ~procs:4 ~time:0.5 ();
+    ]
+  in
+  let run = Analyzer.analyze_run ~policy:"smart" { Corpus.name = "smart-hand"; m = 4; jobs } in
+  Alcotest.(check int) "no errors" 0 (List.length (errors run.Analyzer.findings));
+  match List.filter (fun f -> f.Finding.rule = "cert.sumwc.smart") run.Analyzer.findings with
+  | [ cert ] ->
+    let ratio = find_ratio cert in
+    Alcotest.(check bool) "ratio within weighted bound" true (ratio >= 1.0 && ratio <= 8.53)
+  | certs -> Alcotest.failf "expected one SMART certificate, got %d" (List.length certs)
+
+let test_cert_error_path () =
+  (* A value above bound x LB must come back as an Error finding. *)
+  match Certificates.certificate ~criterion:"cmax" ~value:16.0 ~lb:10.0 ~bound:1.5 () with
+  | [ f ] ->
+    Alcotest.(check bool) "is error" true (f.Finding.severity = Finding.Error);
+    Alcotest.(check bool) "ratio recorded" true (Float.abs (find_ratio f -. 1.6) < 1e-9)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_cert_degenerate_lb () =
+  (match Certificates.certificate ~criterion:"cmax" ~value:0.0 ~lb:0.0 ~bound:2.0 () with
+  | [ f ] -> Alcotest.(check bool) "empty instance passes" true (f.Finding.severity = Finding.Info)
+  | _ -> Alcotest.fail "expected one finding");
+  match Certificates.certificate ~criterion:"cmax" ~value:1.0 ~lb:0.0 ~bound:2.0 () with
+  | [ f ] -> Alcotest.(check bool) "zero LB, positive value fails" true (f.Finding.severity = Finding.Error)
+  | _ -> Alcotest.fail "expected one finding"
+
+(* --- satellite: Over_capacity payload ----------------------------------- *)
+
+let test_over_capacity_payload () =
+  let jobs =
+    [ Job.rigid ~id:0 ~procs:2 ~time:2.0 (); Job.rigid ~id:1 ~procs:2 ~time:2.0 () ]
+  in
+  let entries = List.map (fun j -> Schedule.entry ~job:j ~start:0.0 ~procs:2 ()) jobs in
+  let sched = Schedule.make ~m:3 entries in
+  match Validate.check ~jobs sched with
+  | [ Validate.Over_capacity { date; used; capacity; job_ids } ] ->
+    T_helpers.check_float "at time zero" 0.0 date;
+    Alcotest.(check int) "used" 4 used;
+    Alcotest.(check int) "capacity" 3 capacity;
+    Alcotest.(check (list int)) "offending jobs" [ 0; 1 ] job_ids;
+    let rendered =
+      Format.asprintf "%a" Validate.pp_violation
+        (Validate.Over_capacity { date; used; capacity; job_ids })
+    in
+    Alcotest.(check bool) "overshoot rendered" true (T_helpers.contains rendered "overshoot 1")
+  | vs ->
+    Alcotest.failf "expected exactly one Over_capacity, got %d violation(s)" (List.length vs)
+
+(* --- structural rules --------------------------------------------------- *)
+
+let qcheck_valid_never_trips =
+  T_helpers.qtest ~count:60 "structural rules: valid conservative schedules are clean"
+    (T_helpers.arb_instance ~releases:true `Rigid)
+    (fun (m, jobs) ->
+      let sched = Psched_core.Packing.list_schedule ~m (allocate_all jobs) in
+      let input = Rule.input ~policy:"conservative" ~jobs ~m sched in
+      match errors (Rule.apply_all Structural.rules input) with
+      | [] -> true
+      | f :: _ -> QCheck.Test.fail_reportf "unexpected finding: %a" Finding.pp f)
+
+let qcheck_mutations_always_trip =
+  T_helpers.qtest ~count:60 "structural rules: every mutation trips at least one rule"
+    QCheck.(
+      pair (T_helpers.arb_instance ~releases:true `Rigid) (make ~print:string_of_int (Gen.int_range 0 3)))
+    (fun ((m, jobs), mutation) ->
+      let sched = Psched_core.Packing.list_schedule ~m (allocate_all jobs) in
+      let mutated =
+        match sched.Schedule.entries with
+        | [] -> sched
+        | (e : Schedule.entry) :: rest ->
+          let release =
+            match List.find_opt (fun (j : Job.t) -> j.Job.id = e.job_id) jobs with
+            | Some j -> j.Job.release
+            | None -> 0.0
+          in
+          let entries =
+            match mutation with
+            | 0 -> { e with Schedule.start = release -. 1.0 } :: rest (* before release *)
+            | 1 -> rest (* dropped job *)
+            | 2 -> { e with Schedule.procs = e.procs + 1 } :: rest (* inflated allocation *)
+            | _ -> { e with Schedule.duration = e.duration *. 0.5 } :: rest (* wrong duration *)
+          in
+          Schedule.make ~m:sched.Schedule.m entries
+      in
+      let input = Rule.input ~policy:"conservative" ~jobs ~m mutated in
+      errors (Rule.apply_all Structural.rules input) <> [])
+
+let test_shelf_rule_flags_overlap () =
+  let j0 = Job.rigid ~id:0 ~procs:2 ~time:5.0 () in
+  let j1 = Job.rigid ~id:1 ~procs:2 ~time:5.0 () in
+  let entries =
+    [
+      Schedule.entry ~job:j0 ~start:0.0 ~procs:2 ();
+      Schedule.entry ~job:j1 ~start:3.0 ~procs:2 () (* second shelf opens inside the first *)
+    ]
+  in
+  let input =
+    Rule.input ~policy:"nfdh" ~jobs:[ j0; j1 ] ~m:4 (Schedule.make ~m:4 entries)
+  in
+  Alcotest.(check bool) "struct.shelves trips" true
+    (has_rule "struct.shelves" (errors (Rule.apply_all Structural.rules input)))
+
+(* --- trace rules -------------------------------------------------------- *)
+
+let ev ?(payload = []) ?(t = 0.0) kind = Event.make ~payload ~sim_time:t ~wall_time:0.0 kind
+
+let job_start ~t ~job ~start ~procs =
+  ev ~t
+    ~payload:
+      [ ("job", Event.Int job); ("start", Event.Float start); ("procs", Event.Int procs) ]
+    "job.start"
+
+let job_complete ~t ~job ~finish =
+  ev ~t ~payload:[ ("job", Event.Int job); ("finish", Event.Float finish) ] "job.complete"
+
+let test_trace_counters () =
+  let events =
+    [
+      job_start ~t:0.0 ~job:0 ~start:0.0 ~procs:1;
+      job_start ~t:0.0 ~job:1 ~start:0.0 ~procs:1;
+      job_complete ~t:1.0 ~job:0 ~finish:1.0;
+    ]
+  in
+  let findings = Trace_rules.check_events events in
+  Alcotest.(check bool) "imbalance is an error" true (has_rule "trace.counters" (errors findings));
+  let findings = Trace_rules.check_events ~complete:false events in
+  Alcotest.(check bool) "incomplete trace downgrades" false
+    (has_rule "trace.counters" (errors findings))
+
+let test_trace_job_machine () =
+  let double_start =
+    [ job_start ~t:0.0 ~job:3 ~start:0.0 ~procs:1; job_start ~t:1.0 ~job:3 ~start:1.0 ~procs:1 ]
+  in
+  Alcotest.(check bool) "double start" true
+    (has_rule "trace.jobs" (errors (Trace_rules.check_events double_start)));
+  let backwards =
+    [ job_start ~t:2.0 ~job:4 ~start:2.0 ~procs:1; job_complete ~t:2.5 ~job:4 ~finish:1.0 ]
+  in
+  Alcotest.(check bool) "finish before start" true
+    (has_rule "trace.jobs" (errors (Trace_rules.check_events backwards)))
+
+let test_trace_vocab () =
+  let events = [ ev "nonsuch.kind" ] in
+  Alcotest.(check bool) "unknown kind" true
+    (has_rule "trace.vocab" (errors (Trace_rules.check_events events)))
+
+let test_bisim () =
+  let job = Job.rigid ~id:0 ~procs:2 ~time:3.0 () in
+  let sched = Schedule.make ~m:4 [ Schedule.entry ~job ~start:1.0 ~procs:2 () ] in
+  let agree = [ job_start ~t:1.0 ~job:0 ~start:1.0 ~procs:2 ] in
+  let input = Rule.input ~policy:"easy" ~jobs:[ job ] ~events:agree ~m:4 sched in
+  Alcotest.(check int) "matching trace is clean" 0
+    (List.length (errors (Rule.apply_all Trace_rules.rules input)));
+  let disagree = [ job_start ~t:0.0 ~job:0 ~start:0.0 ~procs:2 ] in
+  let input = Rule.input ~policy:"easy" ~jobs:[ job ] ~events:disagree ~m:4 sched in
+  Alcotest.(check bool) "shifted start trips bisim" true
+    (has_rule "trace.bisim" (errors (Rule.apply_all Trace_rules.rules input)));
+  let phantom =
+    [ job_start ~t:1.0 ~job:0 ~start:1.0 ~procs:2; job_start ~t:2.0 ~job:9 ~start:2.0 ~procs:1 ]
+  in
+  let input = Rule.input ~policy:"easy" ~jobs:[ job ] ~events:phantom ~m:4 sched in
+  Alcotest.(check bool) "phantom job trips bisim" true
+    (has_rule "trace.bisim" (errors (Rule.apply_all Trace_rules.rules input)))
+
+(* --- JSONL decoding and the corrupted fixture --------------------------- *)
+
+let test_event_jsonl_roundtrip () =
+  let e =
+    Event.make ~span:3
+      ~payload:[ ("job", Event.Int 7); ("start", Event.Float 1.5); ("note", Event.Str "a\"b") ]
+      ~sim_time:2.5 ~wall_time:0.125 "job.start"
+  in
+  match Event.of_jsonl (Event.to_jsonl e) with
+  | Error reason -> Alcotest.failf "decode failed: %s" reason
+  | Ok d ->
+    Alcotest.(check string) "kind" e.Event.kind d.Event.kind;
+    T_helpers.check_float "sim time" e.Event.sim_time d.Event.sim_time;
+    Alcotest.(check int) "span" e.Event.span d.Event.span;
+    Alcotest.(check int) "payload arity" (List.length e.Event.payload)
+      (List.length d.Event.payload);
+    Alcotest.(check bool) "string survives escaping" true
+      (List.assoc "note" d.Event.payload = Event.Str "a\"b")
+
+let test_corrupt_fixture () =
+  match Psched_obs.Trace.events_of_file "fixtures/corrupt_trace.jsonl" with
+  | Error { Psched_obs.Trace.line; reason } ->
+    Alcotest.failf "fixture should decode (line %d: %s)" line reason
+  | Ok events ->
+    let run = Analyzer.analyze_events ~name:"corrupt_trace" events in
+    let ids = rule_ids (errors run.Analyzer.findings) in
+    Alcotest.(check bool) "trace.jobs fires" true (List.mem "trace.jobs" ids);
+    Alcotest.(check bool) "trace.counters fires" true (List.mem "trace.counters" ids);
+    Alcotest.(check bool) "trace.spans fires" true (List.mem "trace.spans" ids);
+    Alcotest.(check int) "non-zero exit" 1 (Report.exit_code [ run ])
+
+let test_jsonl_decode_errors () =
+  (match Psched_obs.Trace.events_of_string "{\"kind\":\"job.start\"}" with
+  | Error { Psched_obs.Trace.line = 1; _ } -> ()
+  | _ -> Alcotest.fail "missing t/wall must be a decode error");
+  match Psched_obs.Trace.events_of_string "{\"kind\":\"bogus\",\"t\":0,\"wall\":0}" with
+  | Error { Psched_obs.Trace.reason; _ } ->
+    Alcotest.(check bool) "unknown kind named" true (T_helpers.contains reason "bogus")
+  | Ok _ -> Alcotest.fail "unknown kind must be a decode error"
+
+(* --- analyzer / report -------------------------------------------------- *)
+
+let test_analyzer_sweep_smoke () =
+  let entry =
+    {
+      Corpus.name = "smoke";
+      m = 8;
+      jobs = Workload_gen.moldable_uniform (Psched_util.Rng.create 3) ~n:10 ~m:8 ~tmin:1.0 ~tmax:10.0;
+    }
+  in
+  let runs = Analyzer.analyze_all ~policies:[ "mrt"; "conservative" ] ~corpus:[ entry ] () in
+  Alcotest.(check int) "two policies + grid" 3 (List.length runs);
+  Alcotest.(check int) "clean sweep" 0 (Report.exit_code runs);
+  let json = Report.to_json runs in
+  Alcotest.(check bool) "json carries the certificate" true
+    (T_helpers.contains json "cert.cmax.mrt");
+  Alcotest.(check bool) "json counts errors" true (T_helpers.contains json "\"errors\":0")
+
+let test_report_exit_code () =
+  let bad =
+    {
+      Analyzer.policy = "fcfs";
+      workload = "w";
+      m = 4;
+      stripped = false;
+      skipped = None;
+      findings = [ Finding.error ~rule:"struct.feasible" "boom" ];
+    }
+  in
+  Alcotest.(check int) "error means exit 1" 1 (Report.exit_code [ bad ]);
+  Alcotest.(check int) "skip alone is fine" 0
+    (Report.exit_code [ { bad with Analyzer.skipped = Some "n/a"; findings = [] } ])
+
+let test_grid_noninterference () =
+  let findings = Grid_rules.run ~m:8 ~seed:5 () in
+  Alcotest.(check int) "no interference" 0 (List.length (errors findings));
+  Alcotest.(check bool) "positive certificate" true
+    (List.exists (fun f -> f.Finding.severity = Finding.Info) findings)
+
+let test_rule_crash_is_finding () =
+  let rule =
+    Rule.make ~id:"test.crash" ~doc:"always raises" (fun _ -> failwith "kaboom")
+  in
+  let input = Rule.input ~m:1 (Schedule.make ~m:1 []) in
+  match Rule.apply rule input with
+  | [ f ] ->
+    Alcotest.(check bool) "crash surfaces as error" true (f.Finding.severity = Finding.Error);
+    Alcotest.(check bool) "reason kept" true (T_helpers.contains f.Finding.message "kaboom")
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let suite =
+  [
+    Alcotest.test_case "MRT certificate on a tight instance" `Quick test_mrt_cert_tight;
+    Alcotest.test_case "SMART certificate on a hand instance" `Quick test_smart_cert;
+    Alcotest.test_case "certificate error path" `Quick test_cert_error_path;
+    Alcotest.test_case "certificate degenerate LB" `Quick test_cert_degenerate_lb;
+    Alcotest.test_case "Over_capacity payload" `Quick test_over_capacity_payload;
+    qcheck_valid_never_trips;
+    qcheck_mutations_always_trip;
+    Alcotest.test_case "shelf overlap flagged" `Quick test_shelf_rule_flags_overlap;
+    Alcotest.test_case "trace counters balance" `Quick test_trace_counters;
+    Alcotest.test_case "trace job state machine" `Quick test_trace_job_machine;
+    Alcotest.test_case "trace vocabulary" `Quick test_trace_vocab;
+    Alcotest.test_case "trace bisimulation" `Quick test_bisim;
+    Alcotest.test_case "event JSONL roundtrip" `Quick test_event_jsonl_roundtrip;
+    Alcotest.test_case "corrupted fixture trips rules" `Quick test_corrupt_fixture;
+    Alcotest.test_case "JSONL decode errors" `Quick test_jsonl_decode_errors;
+    Alcotest.test_case "analyzer sweep smoke" `Quick test_analyzer_sweep_smoke;
+    Alcotest.test_case "report exit code" `Quick test_report_exit_code;
+    Alcotest.test_case "grid non-interference" `Quick test_grid_noninterference;
+    Alcotest.test_case "crashing rule becomes finding" `Quick test_rule_crash_is_finding;
+  ]

@@ -156,6 +156,18 @@ let test_registry_all_policies_ok () =
           (name ^ " schedules everything")
           4
           o.Scheduler_intf.stats.Scheduler_intf.scheduled
+      | Error (Scheduler_intf.Too_wide { m = 1; _ }) when name = "wspt" ->
+        (* The single-machine policy rejects jobs it cannot shrink to
+           one processor (it used to emit an infeasible m=1 schedule);
+           it must still accept the sequential subset. *)
+        let narrow =
+          List.filter (fun (j : Job.t) -> Job.min_procs j = 1) feasible_jobs
+        in
+        (match Schedulers.run name ctx narrow with
+        | Ok o ->
+          Alcotest.(check int) "wspt schedules the narrow subset" (List.length narrow)
+            o.Scheduler_intf.stats.Scheduler_intf.scheduled
+        | Error e -> Alcotest.failf "wspt on narrow jobs: %s" (Scheduler_intf.error_to_string e))
       | Error e -> Alcotest.failf "%s: %s" name (Scheduler_intf.error_to_string e))
     Schedulers.names
 

@@ -248,14 +248,14 @@ let export_sched () =
 
 let test_export_csv () =
   let _, s = export_sched () in
-  let csv = Export.schedule_csv s in
+  let csv = Export.to_csv (Export.Schedule s) in
   let lines = String.split_on_char '\n' (String.trim csv) in
   Alcotest.(check int) "header + 3 rows" 4 (List.length lines);
   Alcotest.(check string) "header" "job_id,start,duration,procs,cluster" (List.hd lines)
 
 let test_export_json_roundtrippable () =
   let _, s = export_sched () in
-  let json = Export.schedule_json s in
+  let json = Export.to_json (Export.Schedule s) in
   Alcotest.(check bool) "mentions m" true
     (String.length json > 10 && String.sub json 0 6 = {|{"m":4|});
   (* Exactly one object per entry. *)
@@ -272,11 +272,11 @@ let test_export_json_roundtrippable () =
 let test_export_metrics_csv () =
   let jobs, s = export_sched () in
   let metrics = Metrics.compute ~jobs s in
-  let csv = Export.metrics_csv [ ("run1", metrics); ("run2", metrics) ] in
+  let csv = Export.to_csv (Export.Metrics [ ("run1", metrics); ("run2", metrics) ]) in
   Alcotest.(check int) "header + 2 rows" 3 (List.length (String.split_on_char '\n' (String.trim csv)))
 
 let test_export_series_csv () =
-  let csv = Export.series_csv ~header:[ "x"; "y" ] [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let csv = Export.to_csv (Export.Series { header = [ "x"; "y" ]; rows = [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] }) in
   Alcotest.(check string) "content" "x,y\n1,2\n3,4\n" csv
 
 let export_suite =

@@ -18,4 +18,5 @@ let () =
       ("fault", T_fault.suite);
       ("systems-more", T_more_systems.suite);
       ("experiments", T_experiments.suite);
+      ("check", T_check.suite);
     ]

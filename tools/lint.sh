@@ -1,0 +1,61 @@
+#!/bin/sh
+# Static lint gates for the psched tree (run via `make lint`).
+#
+# Grep-based bans on re-introduced anti-patterns, plus a ratchet on the
+# number of Invalid_argument escapes in lib/core (the registry turns
+# preconditions into typed errors; new policies must not regress to
+# raising).  Exit 1 on any violation.
+
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+err() {
+  echo "lint: $1" >&2
+  fail=1
+}
+
+# 1. Deprecated Export aliases must not come back outside their
+#    definition (lib/sim/export.*) and the one deliberate legacy-alias
+#    test in test/t_obs.ml.
+hits=$(grep -rEn 'Export\.(schedule_csv|schedule_json|metrics_csv|series_csv|table_json)' \
+  lib bin bench examples 2>/dev/null | grep -v 'lib/sim/export\.')
+if [ -n "$hits" ]; then
+  echo "$hits" >&2
+  err "deprecated Export aliases used (migrate to Export.to_csv / Export.to_json)"
+fi
+
+# 2. Float equality/inequality against date-like literals in lib/: use
+#    epsilon comparisons or <=/>= on times (see DESIGN.md section 11).
+hits=$(grep -rEn '<> *[0-9]+\.' lib --include='*.ml' 2>/dev/null)
+if [ -n "$hits" ]; then
+  echo "$hits" >&2
+  err "float <> against a literal in lib/ (use an epsilon or a sign test)"
+fi
+hits=$(grep -rEn 'if [^{]*[a-z_)] = [0-9]+\.[0-9]' lib --include='*.ml' 2>/dev/null)
+if [ -n "$hits" ]; then
+  echo "$hits" >&2
+  err "float = against a literal in lib/ (use an epsilon comparison)"
+fi
+
+# 3. Ratchet: Invalid_argument escapes in lib/core must not grow past
+#    the audited baseline (currently 31).  Lower the baseline when you
+#    remove some; never raise it.
+baseline=31
+count=$(grep -rn 'invalid_arg\|Invalid_argument' lib/core --include='*.ml' | wc -l | tr -d ' ')
+if [ "$count" -gt "$baseline" ]; then
+  err "lib/core raises invalid_arg in $count places (baseline $baseline): return a typed Scheduler_intf.error instead"
+fi
+
+# 4. The analyzer itself must never raise on bad input: findings, not
+#    exceptions.
+hits=$(grep -rn 'invalid_arg\|failwith\|raise ' lib/check --include='*.ml' 2>/dev/null)
+if [ -n "$hits" ]; then
+  echo "$hits" >&2
+  err "lib/check raises (analyzer rules must return findings, not exceptions)"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: ok"
+fi
+exit "$fail"

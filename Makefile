@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench bench-fault trace-smoke lint analyze check clean
+.PHONY: all build test bench-smoke bench bench-fault bench-diff profile trace-smoke lint analyze check clean
 
 all: build
 
@@ -22,6 +22,22 @@ bench:
 # rewrites BENCH_2.json deterministically at seed 42.
 bench-fault:
 	dune exec bench/main.exe -- fault-table --json
+
+# Noise-aware regression gate: re-measure the quick pair and diff it
+# against the committed baseline (exit 1 past the threshold when the
+# confidence intervals are disjoint).  CI runs the same recipe.
+bench-diff:
+	dune exec bench/main.exe -- perf --json --quick
+	dune exec bin/psched.exe -- bench diff bench/baseline.json BENCH_quick.json \
+		--threshold 0.5
+
+# Per-phase cost tables (spans: calls, total/self wall time, GC bytes)
+# for the two most instrumented policies, plus flamegraph/Prometheus
+# artifacts for the MRT run.
+profile:
+	dune exec bin/psched.exe -- profile --policy mrt -n 100 -m 64 --repeats 10 \
+		--folded profile_mrt.folded --prometheus profile_mrt.prom
+	dune exec bin/psched.exe -- profile --policy easy -n 200 -m 64 --rate 0.2 --repeats 10
 
 # Traced EASY and MRT runs through the registry, then validate the
 # JSONL traces against the closed event vocabulary (DESIGN.md section 10).

@@ -205,6 +205,30 @@ let measure ?quota tests =
     results []
   |> List.sort compare
 
+(* One measurement per repeat; the spread across repeats is the
+   confidence interval the regression gate compares (bechamel with
+   bootstrap:0 reports a bare OLS point estimate, so repetition is
+   where the noise bound comes from). *)
+type agg = { est : float; lo : float; hi : float; samples : int }
+
+let measure_repeated ~repeats ?quota tests =
+  let runs = List.init repeats (fun _ -> measure ?quota tests) in
+  let names = List.sort_uniq compare (List.concat_map (List.map fst) runs) in
+  List.map
+    (fun name ->
+      let samples =
+        List.filter_map (fun rows -> Option.join (List.assoc_opt name rows)) runs
+      in
+      match samples with
+      | [] -> (name, None)
+      | s ->
+        let n = List.length s in
+        let est = List.fold_left ( +. ) 0.0 s /. float_of_int n in
+        let lo = List.fold_left Float.min infinity s in
+        let hi = List.fold_left Float.max neg_infinity s in
+        (name, Some { est; lo; hi; samples = n }))
+    names
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -221,8 +245,7 @@ let speedups pairs rows =
   List.filter_map
     (fun (new_name, ref_name) ->
       match (List.assoc_opt new_name rows, List.assoc_opt ref_name rows) with
-      | Some (Some ns_new), Some (Some ns_ref) when ns_new > 0.0 ->
-        Some (new_name, ns_ref /. ns_new)
+      | Some (Some a), Some (Some r) when a.est > 0.0 -> Some (new_name, r.est /. a.est)
       | _ -> None)
     pairs
 
@@ -230,16 +253,22 @@ let write_json ~path ~quick pairs rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"psched-bench/1\",\n";
+  out "  \"schema\": \"psched-bench/2\",\n";
   out "  \"quick\": %b,\n" quick;
   out "  \"unit\": \"ns/run\",\n";
+  out "  \"machine\": { \"os\": \"%s\", \"arch_bits\": %d, \"ocaml\": \"%s\" },\n"
+    (json_escape Sys.os_type) Sys.word_size (json_escape Sys.ocaml_version);
   out "  \"tests\": {\n";
   let n = List.length rows in
   List.iteri
     (fun i (name, est) ->
       let sep = if i = n - 1 then "" else "," in
       match est with
-      | Some ns -> out "    \"%s\": %.1f%s\n" (json_escape name) ns sep
+      | Some a ->
+        out
+          "    \"%s\": { \"estimate\": %.1f, \"ci_lower\": %.1f, \"ci_upper\": %.1f, \
+           \"samples\": %d }%s\n"
+          (json_escape name) a.est a.lo a.hi a.samples sep
       | None -> out "    \"%s\": null%s\n" (json_escape name) sep)
     rows;
   out "  },\n";
@@ -265,10 +294,15 @@ let print_perf ?(json = false) ?(quick = false) ?(obs = false) () =
     if obs then (if quick then tests else tests @ [ List.hd quick_tests ]) @ obs_tests
     else tests
   in
-  let rows = measure ~quota tests in
+  let repeats = 3 in
+  let rows = measure_repeated ~repeats ~quota tests in
   List.iter
     (fun (name, est) ->
-      let est = match est with Some ns -> human_time ns | None -> "n/a" in
+      let est =
+        match est with
+        | Some a -> Printf.sprintf "%s  [%s, %s]" (human_time a.est) (human_time a.lo) (human_time a.hi)
+        | None -> "n/a"
+      in
       Printf.printf "%-42s %s\n" name est)
     rows;
   List.iter

@@ -148,6 +148,119 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one policy on a synthetic workload and print all criteria.")
     Term.(const run $ policy_arg $ n_arg $ m_arg $ seed_arg $ rate_arg)
 
+(* ----------------------------------------------------------- profile *)
+
+let profile_cmd =
+  let run policy n m seed rate repeats min_calls folded prom =
+    let obs = Psched_obs.Obs.create ~ring_capacity:1024 () in
+    (* Sys.time ticks at ~1ms on some hosts; profiling wants the
+       microsecond wall clock. *)
+    Psched_obs.Obs.set_wall_clock obs Unix.gettimeofday;
+    let jobs = gen_jobs ~n ~m ~seed ~rate in
+    for _ = 1 to repeats do
+      match run_registry ~obs ~policy ~m jobs with
+      | Error e ->
+        Printf.eprintf "%s\n(known policies: %s)\n"
+          (Scheduler_intf.error_to_string e)
+          (String.concat ", " Schedulers.names);
+        exit 1
+      | Ok _ -> ()
+    done;
+    Printf.printf "policy=%s n=%d m=%d seed=%d runs=%d\n\n" policy n m seed repeats;
+    print_string (Psched_obs.Profiler.table ~min_calls obs);
+    let write path content what =
+      match path with
+      | None -> ()
+      | Some p ->
+        let oc = open_out p in
+        output_string oc content;
+        close_out oc;
+        Printf.printf "wrote %s (%s)\n" p what
+    in
+    write folded (Psched_obs.Profiler.folded obs) "folded stacks";
+    write prom (Psched_obs.Profiler.prometheus obs) "prometheus exposition"
+  in
+  let repeats =
+    Arg.(value & opt int 10 & info [ "repeats" ] ~doc:"Scheduler runs accumulated into the table.")
+  in
+  let min_calls =
+    Arg.(value & opt int 1 & info [ "min-calls" ] ~doc:"Hide phases with fewer completed spans.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (flamegraph.pl input, self-time in microseconds).")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "prometheus" ] ~docv:"FILE"
+             ~doc:"Write every counter/timer/histogram/span as a Prometheus text exposition.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-phase cost table for one policy: hierarchical spans with call counts, \
+             total/self wall time and GC allocation attribution.")
+    Term.(const run $ policy_arg $ n_arg $ m_arg $ seed_arg $ rate_arg $ repeats $ min_calls
+          $ folded $ prom)
+
+(* ------------------------------------------------------------- bench *)
+
+let bench_diff_cmd =
+  let module B = Psched_obs.Bench_report in
+  let run old_path new_path threshold =
+    match (B.load old_path, B.load new_path) with
+    | Error msg, _ | Ok _, Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    | Ok old_doc, Ok new_doc ->
+      let d = B.diff ~threshold old_doc new_doc in
+      print_string (B.render d);
+      if d.B.regressions > 0 then exit 1
+  in
+  let old_path = Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD") in
+  let new_path = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW") in
+  let threshold =
+    Arg.(value & opt float 0.30
+         & info [ "threshold" ]
+             ~doc:"Relative worsening past which a non-noise change is a regression.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Noise-aware comparison of two benchmark reports (any schema vintage); exits 1 \
+             when a metric regresses beyond the threshold with disjoint confidence intervals.")
+    Term.(const run $ old_path $ new_path $ threshold)
+
+let bench_show_cmd =
+  let module B = Psched_obs.Bench_report in
+  let run path =
+    match B.load path with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    | Ok doc ->
+      Printf.printf "schema=%s quick=%b metrics=%d\n" doc.B.schema doc.B.quick
+        (List.length doc.B.metrics);
+      List.iter
+        (fun (mt : B.metric) ->
+          let ci =
+            match mt.B.ci with
+            | Some (lo, hi) -> Printf.sprintf "  [%.1f, %.1f]" lo hi
+            | None -> ""
+          in
+          Printf.printf "%-48s %14.1f%s%s\n" mt.B.name mt.B.value ci
+            (if mt.B.higher_better then "  (higher better)" else ""))
+        doc.B.metrics
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a benchmark report normalised to its flat metric list.")
+    Term.(const run $ path)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark report tooling (versioned schemas, regression diffs).")
+    [ bench_diff_cmd; bench_show_cmd ]
+
 (* ---------------------------------------------------------- policies *)
 
 let policies_cmd =
@@ -222,10 +335,114 @@ let trace_check_cmd =
     (Cmd.info "check" ~doc:"Validate JSONL traces against the event vocabulary.")
     Term.(const run $ files)
 
+let trace_gantt_cmd =
+  let run file m_override svg width =
+    match Psched_obs.Trace.events_of_file file with
+    | Error { Psched_obs.Trace.line; reason } ->
+      Printf.eprintf "%s:%d: %s\n" file line reason;
+      exit 1
+    | Ok events ->
+      let num payload k =
+        match List.assoc_opt k payload with
+        | Some (Psched_obs.Event.Float f) -> Some f
+        | Some (Psched_obs.Event.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let int payload k =
+        match List.assoc_opt k payload with
+        | Some (Psched_obs.Event.Int i) -> Some i
+        | _ -> None
+      in
+      let starts = Hashtbl.create 64 and finishes = Hashtbl.create 64 in
+      let horizon = ref 0.0 in
+      List.iter
+        (fun (e : Psched_obs.Event.t) ->
+          horizon := Float.max !horizon e.Psched_obs.Event.sim_time;
+          let p = e.Psched_obs.Event.payload in
+          match e.Psched_obs.Event.kind with
+          | "job.start" -> (
+            match (int p "job", num p "start", int p "procs") with
+            | Some j, Some s, Some k ->
+              Hashtbl.replace starts j (s, k);
+              horizon := Float.max !horizon s
+            | _ -> ())
+          | "job.complete" -> (
+            match (int p "job", num p "finish") with
+            | Some j, Some f ->
+              Hashtbl.replace finishes j f;
+              horizon := Float.max !horizon f
+            | _ -> ())
+          | _ -> ())
+        events;
+      if Hashtbl.length starts = 0 then begin
+        Printf.eprintf "%s: no job.start events, nothing to draw\n" file;
+        exit 1
+      end;
+      (* Jobs without a completion event (policies that only emit
+         starts) run to the trace horizon. *)
+      let entries =
+        Hashtbl.fold
+          (fun j (s, procs) acc ->
+            let finish =
+              match Hashtbl.find_opt finishes j with Some f -> f | None -> !horizon
+            in
+            { Schedule.job_id = j; start = s; duration = Float.max 0.0 (finish -. s); procs;
+              cluster = 0 }
+            :: acc)
+          starts []
+      in
+      let m =
+        match m_override with
+        | Some m -> m
+        | None ->
+          (* Peak concurrency: ends sort before coincident starts, so
+             back-to-back jobs don't double-count. *)
+          let edges =
+            List.concat_map
+              (fun (e : Schedule.entry) ->
+                [ (e.Schedule.start, e.Schedule.procs);
+                  (Schedule.completion e, -e.Schedule.procs) ])
+              entries
+          in
+          let _, peak =
+            List.fold_left
+              (fun (cur, peak) (_, d) -> (cur + d, max peak (cur + d)))
+              (0, 1)
+              (List.sort compare edges)
+          in
+          peak
+      in
+      let sched = Schedule.make ~m entries in
+      match svg with
+      | Some out ->
+        let oc = open_out out in
+        output_string oc (Gantt.render_svg ~width sched);
+        close_out oc;
+        Printf.printf "wrote %s (%d jobs, %d lanes)\n" out (List.length entries) m
+      | None -> print_string (Gantt.render ~max_rows:(min m 32) sched)
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Saved JSONL trace.")
+  in
+  let m_override =
+    Arg.(value & opt (some int) None
+         & info [ "m" ] ~doc:"Lane count (default: the trace's peak concurrency).")
+  in
+  let svg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG timeline instead of ASCII output.")
+  in
+  let width = Arg.(value & opt int 960 & info [ "width" ] ~doc:"SVG width in pixels.") in
+  Cmd.v
+    (Cmd.info "gantt"
+       ~doc:"Rebuild a timeline from a saved trace's job.start/job.complete events and render \
+             it as ASCII or SVG.")
+    Term.(const run $ file $ m_override $ svg $ width)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Traced runs and trace validation (the observability layer).")
-    [ trace_simulate_cmd; trace_check_cmd ]
+    [ trace_simulate_cmd; trace_check_cmd; trace_gantt_cmd ]
 
 (* ------------------------------------------------------------ workload *)
 
@@ -510,6 +727,6 @@ let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; check_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

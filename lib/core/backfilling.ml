@@ -67,6 +67,7 @@ module Make (P : Profile_intf.S) = struct
       match !queue with
       | [] | [ _ ] -> ()
       | ((hjob : Job.t), hprocs) :: rest ->
+        Obs.span obs "easy.backfill" @@ fun () ->
         (* Hold the head's earliest reservation while backfilling. *)
         let hdur = Job.time_on hjob hprocs in
         let hstart = P.find_start profile ~earliest:now ~duration:hdur ~procs:hprocs in
@@ -88,6 +89,7 @@ module Make (P : Profile_intf.S) = struct
                 if Obs.enabled obs then begin
                   let duration = Job.time_on job procs in
                   let at =
+                    Obs.span obs "easy.query" @@ fun () ->
                     match P.find_start profile ~earliest:now ~duration ~procs with
                     | s -> s
                     | exception Not_found -> infinity
@@ -121,7 +123,7 @@ module Make (P : Profile_intf.S) = struct
         end;
         loop ()
     in
-    loop ();
+    Obs.span obs "easy" loop;
     assert (!queue = [] && !pending = []);
     Schedule.make ~m !entries
 end

@@ -16,6 +16,7 @@ let run ?(obs = Obs.null) ~offline ~m jobs =
   let entries = ref [] in
   let clock = ref 0.0 in
   if Obs.enabled obs then Obs.set_clock obs (fun () -> !clock);
+  Obs.span obs "batch" @@ fun () ->
   while !remaining <> [] do
     let ready, later = List.partition (fun (j : Job.t) -> j.release <= !clock) !remaining in
     match ready with
@@ -28,7 +29,9 @@ let run ?(obs = Obs.null) ~offline ~m jobs =
       remaining := later;
       (* The off-line algorithm sees the batch as released at 0. *)
       let zeroed = List.map (fun (j : Job.t) -> { j with release = 0.0 }) batch in
-      let sched = shift !clock (offline ~m zeroed) in
+      let sched =
+        Obs.span obs "batch.round" @@ fun () -> shift !clock (offline ~m zeroed)
+      in
       if Obs.enabled obs then begin
         Obs.batch_flush obs ~start:!clock ~jobs:(List.length batch) ~deadline:None;
         Obs.Counter.incr obs "batch/flushes";

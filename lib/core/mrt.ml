@@ -196,7 +196,7 @@ module Make (P : Profile_intf.S) = struct
             Obs.knapsack_run obs ~items:n ~cap:m;
             Obs.Counter.incr obs "mrt/knapsack/dp"
           end;
-          entry.solution <- knapsack ~m tasks;
+          entry.solution <- Obs.span obs "mrt.knapsack" (fun () -> knapsack ~m tasks);
           entry.solved <- true
         end
         else if Obs.enabled obs then Obs.Counter.incr obs "mrt/knapsack/memo_hit";
@@ -230,6 +230,7 @@ module Make (P : Profile_intf.S) = struct
       if Obs.enabled obs then Obs.Counter.incr obs "mrt/pack/memo_hit";
       s
     | None ->
+      Obs.span obs "mrt.pack" @@ fun () ->
       let in_shelf1 =
         match entry.solution with
         | Some (_, a) -> a
@@ -289,9 +290,13 @@ module Make (P : Profile_intf.S) = struct
           if Job.min_procs j > m then
             invalid_arg (Printf.sprintf "Mrt.schedule: job %d needs more than %d processors" j.id m))
         jobs;
+      Obs.span obs "mrt" @@ fun () ->
       (* The allocation tables survive the whole dual search: every
          lambda guess re-queries them instead of re-scanning time_on. *)
-      let caches = Array.of_list (List.map (Alloc_cache.of_job ~m) jobs) in
+      let caches =
+        Obs.span obs "mrt.alloc" @@ fun () ->
+        Array.of_list (List.map (Alloc_cache.of_job ~m) jobs)
+      in
       let memo = ref [] in
       let lb = cmax_cached ~m caches in
       let lb = if lb > 0.0 then lb else 1e-9 in
@@ -301,24 +306,27 @@ module Make (P : Profile_intf.S) = struct
         | Some e -> (lambda, e)
         | None -> find_hi (2.0 *. lambda)
       in
-      Obs.span obs "mrt.search" @@ fun () ->
-      let hi, first = find_hi lb in
-      (* Bisect down to the smallest accepted guess; only that one is
-         ever packed into a schedule. *)
-      let best = ref first in
-      let rec search lo hi =
-        if hi -. lo <= epsilon *. lo then ()
-        else begin
-          let mid = (lo +. hi) /. 2.0 in
-          match eval_guess ~obs ~m ~lambda:mid caches memo with
-          | Some e ->
-            best := e;
-            search lo mid
-          | None -> search mid hi
-        end
+      let best =
+        Obs.span obs "mrt.search" @@ fun () ->
+        let hi, first = find_hi lb in
+        (* Bisect down to the smallest accepted guess; only that one is
+           ever packed into a schedule. *)
+        let best = ref first in
+        let rec search lo hi =
+          if hi -. lo <= epsilon *. lo then ()
+          else begin
+            let mid = (lo +. hi) /. 2.0 in
+            match eval_guess ~obs ~m ~lambda:mid caches memo with
+            | Some e ->
+              best := e;
+              search lo mid
+            | None -> search mid hi
+          end
+        in
+        search lb hi;
+        !best
       in
-      search lb hi;
-      pack_entry ~obs ~m caches !best
+      pack_entry ~obs ~m caches best
 end
 
 include Make (Profile)

@@ -21,6 +21,7 @@ let schedule ?(obs = Obs.null) ?base ~m tasks =
   match tasks with
   | [] -> Psched_sim.Schedule.make ~m []
   | _ ->
+    Obs.span obs "smart" @@ fun () ->
     let time (j, k) = Job.time_on j k in
     let base =
       match base with
@@ -57,7 +58,7 @@ let schedule ?(obs = Obs.null) ?base ~m tasks =
       in
       fit !shelves
     in
-    List.iter add sorted;
+    Obs.span obs "smart.shelves" (fun () -> List.iter add sorted);
     if Obs.enabled obs then
       Hashtbl.iter
         (fun c shelves ->
@@ -71,21 +72,25 @@ let schedule ?(obs = Obs.null) ?base ~m tasks =
             !shelves)
         classes;
     let all_shelves = Hashtbl.fold (fun _ r acc -> !r @ acc) classes [] in
-    (* Sequence shelves by Smith's rule on (height / weight). *)
-    let ordered =
-      List.sort (fun a b -> compare (a.height /. a.weight) (b.height /. b.weight)) all_shelves
-    in
-    let _, entries =
-      List.fold_left
-        (fun (clock, acc) s ->
-          let acc =
-            List.fold_left
-              (fun acc (job, procs) ->
-                Psched_sim.Schedule.entry ~job ~start:clock ~procs () :: acc)
-              acc s.tasks
-          in
-          (clock +. s.height, acc))
-        (0.0, []) ordered
+    let entries =
+      Obs.span obs "smart.sequence" @@ fun () ->
+      (* Sequence shelves by Smith's rule on (height / weight). *)
+      let ordered =
+        List.sort (fun a b -> compare (a.height /. a.weight) (b.height /. b.weight)) all_shelves
+      in
+      let _, entries =
+        List.fold_left
+          (fun (clock, acc) s ->
+            let acc =
+              List.fold_left
+                (fun acc (job, procs) ->
+                  Psched_sim.Schedule.entry ~job ~start:clock ~procs () :: acc)
+                acc s.tasks
+            in
+            (clock +. s.height, acc))
+          (0.0, []) ordered
+      in
+      entries
     in
     Psched_sim.Schedule.make ~m entries
 

@@ -225,7 +225,7 @@ let run ?(obs = Obs.null) config jobs =
           drain (Engine.now e)))
     (List.sort (fun ((a : Job.t), _) ((b : Job.t), _) -> compare (a.release, a.id) (b.release, b.id))
        jobs);
-  Engine.run e;
+  Obs.span obs "fault.replay" (fun () -> Engine.run e);
   assert (!waiting = [] && !running = []);
   let schedule = Schedule.make ~m:config.m (List.rev !entries) in
   let denom = !useful +. !wasted +. !overhead in

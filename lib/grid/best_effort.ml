@@ -243,7 +243,6 @@ let simulate ?(obs = Obs.null) ?(outages = []) ?backoff ?breaker config ~local =
     | Wake -> ()
   in
   (* Kick off: an idle cluster starts draining the bag at time 0. *)
-  scheduling_pass 0.0;
   let rec loop () =
     match H.pop events with
     | None -> ()
@@ -253,7 +252,10 @@ let simulate ?(obs = Obs.null) ?(outages = []) ?backoff ?breaker config ~local =
       scheduling_pass now;
       loop ()
   in
-  loop ();
+  Obs.span obs "best_effort"
+    (fun () ->
+      scheduling_pass 0.0;
+      loop ());
   assert (!queue = [] && !local_used = 0);
   {
     local_schedule = Schedule.make ~m:config.m !local_entries;

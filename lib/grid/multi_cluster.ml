@@ -223,7 +223,10 @@ let simulate ?(obs = Obs.null) ?(data_mb = 100.0) ?(outages = []) policy ~grid ~
       | None ->
         invalid_arg (Printf.sprintf "Multi_cluster.simulate: job %d fits no cluster" job.id))
   in
-  let placements = List.map place by_release in
+  let place job = Obs.span obs "grid.place" (fun () -> place job) in
+  let placements =
+    Obs.span obs "grid.dispatch" (fun () -> List.map place by_release)
+  in
   let per_cluster =
     List.map (fun s -> (s.cluster, Schedule.make ~m:s.capacity (List.rev s.entries))) states
   in

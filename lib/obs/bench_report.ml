@@ -1,0 +1,386 @@
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------- JSON parsing *)
+
+exception Bad of string
+
+let json_of_string s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad msg) in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !i >= n || s.[!i] <> c then fail (Printf.sprintf "expected '%c' at offset %d" c !i);
+    incr i
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string"
+      else
+        match s.[!i] with
+        | '"' ->
+          incr i;
+          Buffer.contents b
+        | '\\' ->
+          if !i + 1 >= n then fail "bad escape";
+          (match s.[!i + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !i + 6 > n then fail "bad \\u escape";
+            let code =
+              match int_of_string_opt ("0x" ^ String.sub s (!i + 2) 4) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            (* The repo's encoders only escape ASCII control chars. *)
+            Buffer.add_char b (Char.chr (code land 0x7f));
+            i := !i + 4
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          i := !i + 2;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr i;
+          go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !i >= n then fail "truncated value"
+    else
+      match s.[!i] with
+      | '{' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = '}' then begin
+          incr i;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            if !i < n && s.[!i] = ',' then begin
+              incr i;
+              skip_ws ();
+              members ((k, v) :: acc)
+            end
+            else begin
+              expect '}';
+              List.rev ((k, v) :: acc)
+            end
+          in
+          Obj (members [])
+        end
+      | '[' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = ']' then begin
+          incr i;
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            if !i < n && s.[!i] = ',' then begin
+              incr i;
+              elems (v :: acc)
+            end
+            else begin
+              expect ']';
+              List.rev (v :: acc)
+            end
+          in
+          Arr (elems [])
+        end
+      | '"' -> Str (parse_string ())
+      | 't' when !i + 4 <= n && String.sub s !i 4 = "true" ->
+        i := !i + 4;
+        Bool true
+      | 'f' when !i + 5 <= n && String.sub s !i 5 = "false" ->
+        i := !i + 5;
+        Bool false
+      | 'n' when !i + 4 <= n && String.sub s !i 4 = "null" ->
+        i := !i + 4;
+        Null
+      | '-' | '0' .. '9' ->
+        let start = !i in
+        while
+          !i < n
+          && (match s.[!i] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr i
+        done;
+        (match float_of_string_opt (String.sub s start (!i - start)) with
+        | Some f -> Num f
+        | None -> fail "malformed number")
+      | c -> fail (Printf.sprintf "unsupported value start '%c'" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !i <> n then fail "trailing content after document";
+    Ok v
+  with Bad msg -> Error msg
+
+(* --------------------------------------------------- normalised docs *)
+
+type metric = {
+  name : string;
+  value : float;
+  ci : (float * float) option;
+  higher_better : bool;
+}
+
+type doc = {
+  schema : string;
+  quick : bool;
+  metrics : metric list;
+}
+
+let field key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let num_field key obj = match field key obj with Some (Num f) -> Some f | _ -> None
+
+let bool_field ?(default = false) key obj =
+  match field key obj with Some (Bool b) -> b | _ -> default
+
+let metric ?ci ?(higher_better = false) name value = { name; value; ci; higher_better }
+
+(* psched-bench/1: {"tests": {name: ns|null}, "profile_engine_speedup": {..}} *)
+let of_v1 j =
+  let tests =
+    match field "tests" j with
+    | Some (Obj fields) ->
+      List.filter_map
+        (fun (name, v) -> match v with Num ns -> Some (metric name ns) | _ -> None)
+        fields
+    | _ -> []
+  in
+  let speedups =
+    match field "profile_engine_speedup" j with
+    | Some (Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Num r -> Some (metric ~higher_better:true ("speedup:" ^ name) r)
+          | _ -> None)
+        fields
+    | _ -> []
+  in
+  { schema = "psched-bench/1"; quick = bool_field "quick" j; metrics = tests @ speedups }
+
+(* psched-bench/2: tests carry {estimate, ci_lower, ci_upper, samples}. *)
+let of_v2 j =
+  let tests =
+    match field "tests" j with
+    | Some (Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match num_field "estimate" v with
+          | None -> None
+          | Some est ->
+            let ci =
+              match (num_field "ci_lower" v, num_field "ci_upper" v) with
+              | Some lo, Some hi -> Some (lo, hi)
+              | _ -> None
+            in
+            Some (metric ?ci name est))
+        fields
+    | _ -> []
+  in
+  let speedups =
+    match field "profile_engine_speedup" j with
+    | Some (Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Num r -> Some (metric ~higher_better:true ("speedup:" ^ name) r)
+          | _ -> None)
+        fields
+    | _ -> []
+  in
+  { schema = "psched-bench/2"; quick = bool_field "quick" j; metrics = tests @ speedups }
+
+(* psched-fault/1: the degradation grid; each (rate, policy, backoff)
+   row contributes its makespan (lower better) and goodput (higher
+   better), so bench diff covers fault tables too. *)
+let of_fault j =
+  let rows = match field "rows" j with Some (Arr rows) -> rows | _ -> [] in
+  let metrics =
+    List.concat_map
+      (fun row ->
+        match (num_field "rate" row, field "policy" row) with
+        | Some rate, Some (Str policy) ->
+          let backoff = bool_field "backoff" row in
+          let key = Printf.sprintf "fault rate=%g policy=%s backoff=%b" rate policy backoff in
+          let one ?higher_better fieldname =
+            match num_field fieldname row with
+            | Some v -> [ metric ?higher_better (key ^ " " ^ fieldname) v ]
+            | None -> []
+          in
+          one "makespan" @ one ~higher_better:true "goodput"
+        | _ -> [])
+      rows
+  in
+  { schema = "psched-fault/1"; quick = false; metrics }
+
+(* The audit blob (BENCH_3.json): findings counts and sweep seconds. *)
+let of_audit j =
+  let one ?higher_better name =
+    match num_field name j with Some v -> [ metric ?higher_better ("audit " ^ name) v ] | None -> []
+  in
+  {
+    schema = "audit";
+    quick = false;
+    metrics = one ~higher_better:true "runs" @ one "findings" @ one "errors" @ one "seconds";
+  }
+
+let of_json j =
+  let by_name = List.sort (fun a b -> compare a.name b.name) in
+  let finish d = Ok { d with metrics = by_name d.metrics } in
+  match field "schema" j with
+  | Some (Str "psched-bench/1") -> finish (of_v1 j)
+  | Some (Str "psched-bench/2") -> finish (of_v2 j)
+  | Some (Str "psched-fault/1") -> finish (of_fault j)
+  | Some (Str other) -> Error (Printf.sprintf "unknown schema %S" other)
+  | _ -> (
+    match field "mode" j with
+    | Some (Str "audit") -> finish (of_audit j)
+    | _ -> Error "no \"schema\" field (and not an audit blob)")
+
+let load path =
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    content
+  with
+  | exception Sys_error msg -> Error msg
+  | content -> (
+    match json_of_string content with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok j -> (
+      match of_json j with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok doc -> Ok doc))
+
+(* --------------------------------------------------------------- diff *)
+
+type change = {
+  c_name : string;
+  old_value : float;
+  new_value : float;
+  delta_frac : float;
+  within_noise : bool;
+  regression : bool;
+  improvement : bool;
+}
+
+type diff = {
+  changes : change list;
+  only_old : string list;
+  only_new : string list;
+  regressions : int;
+  improvements : int;
+}
+
+let overlap (alo, ahi) (blo, bhi) = alo <= bhi && blo <= ahi
+
+let diff ?(threshold = 0.30) old_doc new_doc =
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace new_tbl m.name m) new_doc.metrics;
+  let changes = ref [] and only_old = ref [] in
+  List.iter
+    (fun om ->
+      match Hashtbl.find_opt new_tbl om.name with
+      | None -> only_old := om.name :: !only_old
+      | Some nm ->
+        Hashtbl.remove new_tbl om.name;
+        (* Positive delta always means "worse": flip the sign for
+           higher-is-better metrics. *)
+        let raw =
+          if Float.abs om.value > 0.0 then (nm.value -. om.value) /. Float.abs om.value
+          else if nm.value = om.value then 0.0
+          else infinity
+        in
+        let delta_frac = if om.higher_better then -.raw else raw in
+        let within_noise =
+          match (om.ci, nm.ci) with Some a, Some b -> overlap a b | _ -> false
+        in
+        changes :=
+          {
+            c_name = om.name;
+            old_value = om.value;
+            new_value = nm.value;
+            delta_frac;
+            within_noise;
+            regression = (delta_frac > threshold) && not within_noise;
+            improvement = (delta_frac < -.threshold) && not within_noise;
+          }
+          :: !changes)
+    old_doc.metrics;
+  let only_new = Hashtbl.fold (fun name _ acc -> name :: acc) new_tbl [] in
+  let changes = List.sort (fun a b -> compare a.c_name b.c_name) !changes in
+  {
+    changes;
+    only_old = List.sort compare !only_old;
+    only_new = List.sort compare only_new;
+    regressions = List.length (List.filter (fun c -> c.regression) changes);
+    improvements = List.length (List.filter (fun c -> c.improvement) changes);
+  }
+
+let render d =
+  let b = Buffer.create 1024 in
+  let width =
+    List.fold_left (fun acc c -> max acc (String.length c.c_name)) String.(length "metric")
+      d.changes
+  in
+  Buffer.add_string b (Printf.sprintf "%-*s %14s %14s %9s\n" width "metric" "old" "new" "delta");
+  List.iter
+    (fun c ->
+      let flag =
+        if c.regression then "  REGRESSION"
+        else if c.improvement then "  improved"
+        else if c.within_noise then "  ~noise"
+        else ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-*s %14.1f %14.1f %+8.1f%%%s\n" width c.c_name c.old_value c.new_value
+           (100.0 *. c.delta_frac) flag))
+    d.changes;
+  List.iter
+    (fun name -> Buffer.add_string b (Printf.sprintf "removed: %s\n" name))
+    d.only_old;
+  List.iter (fun name -> Buffer.add_string b (Printf.sprintf "added: %s\n" name)) d.only_new;
+  Buffer.add_string b
+    (Printf.sprintf "%d metric(s) compared, %d regression(s), %d improvement(s)\n"
+       (List.length d.changes) d.regressions d.improvements);
+  Buffer.contents b

@@ -1,0 +1,79 @@
+(** Versioned benchmark reports and noise-aware regression diffs.
+
+    The bench harness historically wrote three ad-hoc schemas
+    ([psched-bench/1] micro-benchmarks, [psched-fault/1] degradation
+    grids, the audit blob).  This module reads all of them plus the
+    unified [psched-bench/2] schema (machine metadata, per-test
+    samples and confidence intervals) and normalises every file to a
+    flat list of named {!metric}s, so [psched bench diff OLD NEW]
+    compares any two reports regardless of vintage.
+
+    A metric regresses when it worsens beyond the relative threshold
+    {e and} the two confidence intervals do not overlap (no intervals
+    => the threshold alone decides); overlapping intervals are treated
+    as within-noise jitter. *)
+
+(** {2 Minimal JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_of_string : string -> (json, string) result
+(** Strict-enough recursive parser for the JSON this repo writes (no
+    dependency added; mirrors the hand-rolled encoders). *)
+
+(** {2 Normalised reports} *)
+
+type metric = {
+  name : string;
+  value : float;
+  ci : (float * float) option;  (** (lower, upper) when the schema carries one *)
+  higher_better : bool;  (** speedups, goodput: up is good *)
+}
+
+type doc = {
+  schema : string;
+  quick : bool;
+  metrics : metric list;  (** sorted by name *)
+}
+
+val of_json : json -> (doc, string) result
+(** Recognises [psched-bench/1], [psched-bench/2], [psched-fault/1]
+    and the audit blob; anything else is an [Error]. *)
+
+val load : string -> (doc, string) result
+(** Read and normalise a report file. *)
+
+(** {2 Diff} *)
+
+type change = {
+  c_name : string;
+  old_value : float;
+  new_value : float;
+  delta_frac : float;  (** relative change, sign-normalised: positive = worse *)
+  within_noise : bool;  (** confidence intervals overlap *)
+  regression : bool;
+  improvement : bool;
+}
+
+type diff = {
+  changes : change list;
+  only_old : string list;
+  only_new : string list;
+  regressions : int;
+  improvements : int;
+}
+
+val diff : ?threshold:float -> doc -> doc -> diff
+(** Compare metrics by name; [threshold] is the relative worsening
+    (default 0.30, i.e. 30%) past which a non-noise change counts as a
+    regression. *)
+
+val render : diff -> string
+(** Human-readable table: one line per common metric, flagged
+    [REGRESSION] / [improved], plus added/removed metric notes. *)

@@ -3,9 +3,38 @@ type sink =
   | Csv of out_channel
   | Custom of (Event.t -> unit)
 
+type span_stat = {
+  calls : int;
+  total : float;
+  self : float;
+  alloc_total : float;
+  alloc_self : float;
+}
+
+(* Mutable accumulator behind [span_stat], one per distinct stack path. *)
+type span_cell = {
+  mutable c_calls : int;
+  mutable c_total : float;
+  mutable c_self : float;
+  mutable c_alloc_total : float;
+  mutable c_alloc_self : float;
+}
+
+(* One open span on the profiling stack; mirrors [span_stack] but also
+   carries the measurements the closing side needs. *)
+type frame = {
+  f_id : int;
+  f_path : string;  (* semicolon-joined labels, root first *)
+  f_t0 : float;  (* wall clock at begin *)
+  f_a0 : float;  (* Gc.allocated_bytes at begin *)
+  mutable f_child_t : float;  (* wall seconds spent in closed children *)
+  mutable f_child_a : float;  (* bytes allocated in closed children *)
+}
+
 type t = {
   enabled : bool;
   mutable clock : unit -> float;
+  mutable wall : unit -> float;
   ring : Event.t Ring.t;
   mutable sinks : sink list;
   counters : (string, float ref) Hashtbl.t;
@@ -13,12 +42,15 @@ type t = {
   hists : (string, float array * int array) Hashtbl.t;
   mutable next_span : int;
   mutable span_stack : int list;
+  mutable frames : frame list;
+  span_cells : (string, span_cell) Hashtbl.t;
 }
 
 let make ~enabled ~ring_capacity =
   {
     enabled;
     clock = (fun () -> 0.0);
+    wall = Sys.time;
     ring = Ring.create ring_capacity;
     sinks = [];
     counters = Hashtbl.create 32;
@@ -26,6 +58,8 @@ let make ~enabled ~ring_capacity =
     hists = Hashtbl.create 8;
     next_span = 0;
     span_stack = [];
+    frames = [];
+    span_cells = Hashtbl.create 16;
   }
 
 (* The shared disabled handle: every emitting function bails on its
@@ -37,6 +71,7 @@ let create ?(ring_capacity = 65_536) () = make ~enabled:true ~ring_capacity
 
 let enabled t = t.enabled
 let set_clock t f = t.clock <- f
+let set_wall_clock t f = t.wall <- f
 let now t = t.clock ()
 let add_sink t s =
   (match s with Csv oc -> output_string oc (Event.csv_header ^ "\n") | _ -> ());
@@ -62,7 +97,7 @@ let current_span t = match t.span_stack with [] -> 0 | s :: _ -> s
 
 let record t ?payload kind =
   deliver t
-    (Event.make ?payload ~span:(current_span t) ~sim_time:(t.clock ()) ~wall_time:(Sys.time ())
+    (Event.make ?payload ~span:(current_span t) ~sim_time:(t.clock ()) ~wall_time:(t.wall ())
        kind)
 
 let event t ?payload kind = if t.enabled then record t ?payload kind
@@ -76,14 +111,73 @@ let span_begin t label =
     let id = t.next_span in
     record t ~payload:[ ("label", Event.Str label); ("id", Event.Int id) ] "span.begin";
     t.span_stack <- id :: t.span_stack;
+    let path =
+      match t.frames with [] -> label | parent :: _ -> parent.f_path ^ ";" ^ label
+    in
+    (* The clocks are read after the event is delivered so sink I/O is
+       not billed to the span being opened. *)
+    t.frames <-
+      {
+        f_id = id;
+        f_path = path;
+        f_t0 = t.wall ();
+        f_a0 = Gc.allocated_bytes ();
+        f_child_t = 0.0;
+        f_child_a = 0.0;
+      }
+      :: t.frames;
     id
   end
+
+let span_cell t path =
+  match Hashtbl.find_opt t.span_cells path with
+  | Some c -> c
+  | None ->
+    let c = { c_calls = 0; c_total = 0.0; c_self = 0.0; c_alloc_total = 0.0; c_alloc_self = 0.0 } in
+    Hashtbl.replace t.span_cells path c;
+    c
 
 let span_end t label id =
   if t.enabled then begin
     (match t.span_stack with s :: rest when s = id -> t.span_stack <- rest | _ -> ());
+    (* Close the profiling frame before stamping the event, so the end
+       event's encoding cost lands outside the measured window.  A
+       mismatched id (manual begin/end misuse) only skips attribution;
+       the event stream still records the end. *)
+    (match t.frames with
+    | f :: rest when f.f_id = id ->
+      t.frames <- rest;
+      let total = Float.max 0.0 (t.wall () -. f.f_t0) in
+      let alloc = Float.max 0.0 (Gc.allocated_bytes () -. f.f_a0) in
+      let cell = span_cell t f.f_path in
+      cell.c_calls <- cell.c_calls + 1;
+      cell.c_total <- cell.c_total +. total;
+      cell.c_self <- cell.c_self +. Float.max 0.0 (total -. f.f_child_t);
+      cell.c_alloc_total <- cell.c_alloc_total +. alloc;
+      cell.c_alloc_self <- cell.c_alloc_self +. Float.max 0.0 (alloc -. f.f_child_a);
+      (match rest with
+      | parent :: _ ->
+        parent.f_child_t <- parent.f_child_t +. total;
+        parent.f_child_a <- parent.f_child_a +. alloc
+      | [] -> ())
+    | _ -> ());
     record t ~payload:[ ("label", Event.Str label); ("id", Event.Int id) ] "span.end"
   end
+
+let span_stats t =
+  Hashtbl.fold
+    (fun path c acc ->
+      ( path,
+        {
+          calls = c.c_calls;
+          total = c.c_total;
+          self = c.c_self;
+          alloc_total = c.c_alloc_total;
+          alloc_self = c.c_alloc_self;
+        } )
+      :: acc)
+    t.span_cells []
+  |> List.sort compare
 
 let span t label f =
   if not t.enabled then f ()
@@ -123,12 +217,12 @@ module Timer = struct
   let time t name f =
     if not t.enabled then f ()
     else begin
-      let t0 = Sys.time () in
+      let t0 = t.wall () in
       Fun.protect
         ~finally:(fun () ->
           let count, total = cell t name in
           incr count;
-          total := !total +. (Sys.time () -. t0))
+          total := !total +. (t.wall () -. t0))
         f
     end
 
@@ -161,6 +255,31 @@ module Hist = struct
   let all t =
     Hashtbl.fold (fun name (b, c) acc -> (name, (b, Array.copy c)) :: acc) t.hists []
     |> List.sort compare
+
+  (* Percentile over a recorded histogram: the value reported for a
+     bucket is its upper bound (the histogram only knows bounds, not the
+     raw samples), and the overflow bucket reports [infinity].  [p] is
+     clamped to [0, 100]: p0 is the first non-empty bucket, p100 the
+     last. *)
+  let percentile ~bounds ~counts p =
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then None
+    else begin
+      let p = Float.max 0.0 (Float.min 100.0 p) in
+      let rank = Float.max 1.0 (Float.ceil (p /. 100.0 *. float_of_int total)) in
+      let rank = int_of_float rank in
+      let n = Array.length counts in
+      let rec walk i cum =
+        if i >= n then Some infinity
+        else begin
+          let cum = cum + counts.(i) in
+          if cum >= rank then
+            Some (if i < Array.length bounds then bounds.(i) else infinity)
+          else walk (i + 1) cum
+        end
+      in
+      walk 0 0
+    end
 end
 
 (* ------------------------------------------- typed emission helpers *)

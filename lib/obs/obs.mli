@@ -33,6 +33,11 @@ val set_clock : t -> (unit -> float) -> unit
 (** Install the simulation clock (e.g. [Engine.now]); events stamp
     both this and the process wall clock.  Defaults to [fun () -> 0.]. *)
 
+val set_wall_clock : t -> (unit -> float) -> unit
+(** Replace the wall clock used for event stamps, {!Timer} and span
+    accounting.  Defaults to [Sys.time]; [psched profile] installs
+    [Unix.gettimeofday] for better resolution. *)
+
 val now : t -> float
 
 val add_sink : t -> sink -> unit
@@ -56,6 +61,28 @@ val span : t -> string -> (unit -> 'a) -> 'a
 
 val span_begin : t -> string -> int
 val span_end : t -> string -> int -> unit
+
+(** {2 Span profiling}
+
+    Every completed span is also attributed to its {e stack path} — the
+    semicolon-joined chain of enclosing span labels, root first (the
+    key format flamegraph folded stacks use).  Per path the handle
+    accumulates call counts, total/self wall time and total/self GC
+    allocation ([Gc.allocated_bytes] deltas); self excludes closed
+    child spans.  {!Profiler} renders these as a cost table, folded
+    stacks and a Prometheus exposition. *)
+
+type span_stat = {
+  calls : int;  (** completed spans on this path *)
+  total : float;  (** wall seconds, children included *)
+  self : float;  (** wall seconds, children excluded *)
+  alloc_total : float;  (** bytes allocated, children included *)
+  alloc_self : float;  (** bytes allocated, children excluded *)
+}
+
+val span_stats : t -> (string * span_stat) list
+(** Per stack path (["mrt;mrt.search;mrt.knapsack"]), sorted; parents
+    sort before their children. *)
 
 (** {2 Hierarchical metrics}
 
@@ -86,6 +113,12 @@ module Hist : sig
   val all : t -> (string * (float array * int array)) list
   (** [(name, (bounds, counts))] with [counts] one longer than
       [bounds]. *)
+
+  val percentile : bounds:float array -> counts:int array -> float -> float option
+  (** [percentile ~bounds ~counts p] is the upper bound of the bucket
+      holding the [p]-th percentile sample ([infinity] for the overflow
+      bucket), or [None] when the histogram is empty.  [p] is clamped
+      to [0, 100]: p0 is the first non-empty bucket, p100 the last. *)
 end
 
 (** {2 Typed emission helpers}

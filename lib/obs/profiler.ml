@@ -1,0 +1,150 @@
+type row = {
+  path : string list;
+  depth : int;
+  stat : Obs.span_stat;
+}
+
+(* span_stats sorts folded paths lexicographically, which puts every
+   parent right before its children ("mrt" < "mrt;mrt.search"): already
+   tree order. *)
+let rows obs =
+  List.map
+    (fun (path, stat) ->
+      let segments = String.split_on_char ';' path in
+      { path = segments; depth = List.length segments - 1; stat })
+    (Obs.span_stats obs)
+
+let leaf row = match List.rev row.path with leaf :: _ -> leaf | [] -> "?"
+
+let human_seconds s =
+  if s >= 1.0 then Printf.sprintf "%8.3f s " s
+  else if s >= 1e-3 then Printf.sprintf "%8.3f ms" (1e3 *. s)
+  else Printf.sprintf "%8.1f us" (1e6 *. s)
+
+let human_bytes b =
+  if b >= 1e9 then Printf.sprintf "%8.2f GB" (b /. 1e9)
+  else if b >= 1e6 then Printf.sprintf "%8.2f MB" (b /. 1e6)
+  else if b >= 1e3 then Printf.sprintf "%8.2f kB" (b /. 1e3)
+  else Printf.sprintf "%8.0f B " b
+
+let table ?(min_calls = 1) obs =
+  let rows = List.filter (fun r -> r.stat.Obs.calls >= min_calls) (rows obs) in
+  if rows = [] then "(no completed spans; run with an enabled Obs handle)\n"
+  else begin
+    let label_width =
+      List.fold_left
+        (fun acc r -> max acc ((2 * r.depth) + String.length (leaf r)))
+        String.(length "phase")
+        rows
+    in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-*s %9s  %10s  %10s  %10s  %10s\n" label_width "phase" "calls" "total"
+         "self" "alloc" "alloc-self");
+    List.iter
+      (fun r ->
+        let s = r.stat in
+        Buffer.add_string b
+          (Printf.sprintf "%-*s %9d  %s  %s  %s  %s\n" label_width
+             (String.make (2 * r.depth) ' ' ^ leaf r)
+             s.Obs.calls (human_seconds s.Obs.total) (human_seconds s.Obs.self)
+             (human_bytes s.Obs.alloc_total) (human_bytes s.Obs.alloc_self)))
+      rows;
+    Buffer.contents b
+  end
+
+let folded obs =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (path, (stat : Obs.span_stat)) ->
+      Buffer.add_string b path;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int (int_of_float (Float.round (1e6 *. stat.Obs.self))));
+      Buffer.add_char b '\n')
+    (Obs.span_stats obs);
+  Buffer.contents b
+
+(* ---------------------------------------------------- prometheus text *)
+
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus obs =
+  let b = Buffer.create 2048 in
+  let family ~name ~typ ~help rows render =
+    if rows <> [] then begin
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name help name typ);
+      List.iter (fun r -> Buffer.add_string b (render r)) rows
+    end
+  in
+  family ~name:"psched_counter_total" ~typ:"counter" ~help:"Obs counters"
+    (Obs.Counter.all obs)
+    (fun (name, v) ->
+      Printf.sprintf "psched_counter_total{name=\"%s\"} %s\n" (escape_label name) (num v));
+  let timers = Obs.Timer.all obs in
+  family ~name:"psched_timer_calls_total" ~typ:"counter" ~help:"Obs timer call counts" timers
+    (fun (name, (calls, _)) ->
+      Printf.sprintf "psched_timer_calls_total{name=\"%s\"} %d\n" (escape_label name) calls);
+  family ~name:"psched_timer_seconds_total" ~typ:"counter" ~help:"Obs timer accumulated seconds"
+    timers
+    (fun (name, (_, secs)) ->
+      Printf.sprintf "psched_timer_seconds_total{name=\"%s\"} %s\n" (escape_label name) (num secs));
+  let spans = Obs.span_stats obs in
+  family ~name:"psched_span_calls_total" ~typ:"counter" ~help:"completed spans per stack path"
+    spans
+    (fun (path, (s : Obs.span_stat)) ->
+      Printf.sprintf "psched_span_calls_total{path=\"%s\"} %d\n" (escape_label path) s.Obs.calls);
+  family ~name:"psched_span_seconds_total" ~typ:"counter" ~help:"span wall seconds (children included)"
+    spans
+    (fun (path, (s : Obs.span_stat)) ->
+      Printf.sprintf "psched_span_seconds_total{path=\"%s\"} %s\n" (escape_label path)
+        (num s.Obs.total));
+  family ~name:"psched_span_self_seconds_total" ~typ:"counter"
+    ~help:"span wall seconds (children excluded)" spans
+    (fun (path, (s : Obs.span_stat)) ->
+      Printf.sprintf "psched_span_self_seconds_total{path=\"%s\"} %s\n" (escape_label path)
+        (num s.Obs.self));
+  family ~name:"psched_span_alloc_bytes_total" ~typ:"counter"
+    ~help:"bytes allocated inside spans (children included)" spans
+    (fun (path, (s : Obs.span_stat)) ->
+      Printf.sprintf "psched_span_alloc_bytes_total{path=\"%s\"} %s\n" (escape_label path)
+        (num s.Obs.alloc_total));
+  family ~name:"psched_span_self_alloc_bytes_total" ~typ:"counter"
+    ~help:"bytes allocated inside spans (children excluded)" spans
+    (fun (path, (s : Obs.span_stat)) ->
+      Printf.sprintf "psched_span_self_alloc_bytes_total{path=\"%s\"} %s\n" (escape_label path)
+        (num s.Obs.alloc_self));
+  let hists = Obs.Hist.all obs in
+  if hists <> [] then begin
+    Buffer.add_string b
+      "# HELP psched_histogram Obs histograms\n# TYPE psched_histogram histogram\n";
+    List.iter
+      (fun (name, (bounds, counts)) ->
+        let name_l = escape_label name in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i < Array.length bounds then num bounds.(i) else "+Inf"
+            in
+            Buffer.add_string b
+              (Printf.sprintf "psched_histogram_bucket{name=\"%s\",le=\"%s\"} %d\n" name_l le !cum))
+          counts;
+        Buffer.add_string b
+          (Printf.sprintf "psched_histogram_count{name=\"%s\"} %d\n" name_l !cum))
+      hists
+  end;
+  Buffer.contents b

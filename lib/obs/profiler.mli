@@ -1,0 +1,43 @@
+(** Rendering of span profiles and metric expositions.
+
+    The raw data lives in the {!Obs} handle ({!Obs.span_stats},
+    counters, timers, histograms); this module turns it into the three
+    consumable forms of the profiling subsystem:
+
+    - {!table}: the per-phase cost table ([psched profile]) with
+      self/total wall time, call counts and allocated bytes;
+    - {!folded}: flamegraph folded stacks
+      (["mrt;mrt.search;mrt.knapsack 1234"], one line per stack path,
+      weight in self-microseconds) consumable by [flamegraph.pl] or
+      [inferno-flamegraph];
+    - {!prometheus}: a Prometheus text exposition of every counter,
+      timer, histogram and span aggregate the handle holds. *)
+
+type row = {
+  path : string list;  (** span labels, root first *)
+  depth : int;  (** [List.length path - 1] *)
+  stat : Obs.span_stat;
+}
+
+val rows : Obs.t -> row list
+(** Completed-span aggregates in tree order (a parent immediately
+    precedes its children). *)
+
+val table : ?min_calls:int -> Obs.t -> string
+(** The per-phase cost table: one indented line per stack path with
+    calls, total/self wall time and total/self allocated bytes.
+    [min_calls] filters noise paths (default 1).  Empty profile =>
+    a one-line note. *)
+
+val folded : Obs.t -> string
+(** Folded stacks, one ["path;to;span <weight>"] line per path; the
+    weight is self wall time in integer microseconds (the sample unit
+    flamegraph tools expect).  Paths whose self time rounds to 0 are
+    kept with weight 0 so the stack structure stays visible. *)
+
+val prometheus : Obs.t -> string
+(** Prometheus/OpenMetrics text exposition: [psched_counter_total],
+    [psched_timer_calls_total]/[psched_timer_seconds_total],
+    [psched_span_*] families (calls, seconds, self seconds, allocated
+    bytes, self allocated bytes) and one classic cumulative
+    [psched_histogram_bucket] family per histogram. *)

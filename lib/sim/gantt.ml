@@ -1,3 +1,122 @@
+(* Greedy exact-time row assignment shared by the SVG renderer: rows
+   are processor lanes; each entry takes the first [procs] lanes free
+   at its start (a valid schedule always has enough by capacity). *)
+let assign_rows ~m entries =
+  let busy_until = Array.make (max 1 m) neg_infinity in
+  let eps = 1e-9 in
+  let sorted =
+    List.sort
+      (fun (a : Schedule.entry) (b : Schedule.entry) -> compare (a.start, a.job_id) (b.start, b.job_id))
+      entries
+  in
+  List.map
+    (fun (e : Schedule.entry) ->
+      let lanes = ref [] and found = ref 0 in
+      for r = 0 to Array.length busy_until - 1 do
+        if !found < e.procs && busy_until.(r) <= e.start +. eps then begin
+          lanes := r :: !lanes;
+          incr found
+        end
+      done;
+      (* Oversubscribed input (or an m override below the true peak):
+         double up on the lanes that free up soonest rather than fail. *)
+      if !found < e.procs then begin
+        let by_free =
+          List.sort
+            (fun a b -> compare (busy_until.(a), a) (busy_until.(b), b))
+            (List.filter (fun r -> not (List.mem r !lanes))
+               (List.init (Array.length busy_until) Fun.id))
+        in
+        List.iteri (fun i r -> if i < e.procs - !found then lanes := r :: !lanes) by_free
+      end;
+      List.iter (fun r -> busy_until.(r) <- Float.max busy_until.(r) (Schedule.completion e)) !lanes;
+      (e, List.sort compare !lanes))
+    sorted
+
+let svg_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_svg ?(width = 960) ?(row_height = 14) sched =
+  let open Schedule in
+  let span = makespan sched in
+  if span <= 0.0 || sched.entries = [] then
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"200\" height=\"40\">\
+     <text x=\"8\" y=\"24\" font-family=\"sans-serif\" font-size=\"12\">(empty schedule)</text></svg>\n"
+  else begin
+    let m = sched.m in
+    let left = 46 and top = 8 and axis = 26 in
+    let chart_w = width - left - 8 in
+    let height = top + (m * row_height) + axis in
+    let x_of t = float_of_int left +. (t /. span *. float_of_int chart_w) in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+          font-family=\"sans-serif\">\n"
+         width height);
+    Buffer.add_string b
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>\n"
+         left top chart_w (m * row_height));
+    List.iter
+      (fun ((e : entry), lanes) ->
+        let x = x_of e.start in
+        let w = Float.max 1.0 (x_of (completion e) -. x) in
+        let hue = e.job_id * 47 mod 360 in
+        let title =
+          Printf.sprintf "job %d: start %g, duration %g, procs %d" e.job_id e.start e.duration
+            e.procs
+        in
+        List.iter
+          (fun lane ->
+            let y = top + (lane * row_height) in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" \
+                  fill=\"hsl(%d,65%%,55%%)\" stroke=\"#333\" stroke-width=\"0.4\">\
+                  <title>%s</title></rect>\n"
+                 x (y + 1) w (row_height - 2) hue (svg_escape title)))
+          lanes;
+        (* One label on the entry's top lane when the bar is wide enough. *)
+        match lanes with
+        | lane :: _ when w >= 24.0 ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "<text x=\"%.1f\" y=\"%d\" font-size=\"%d\" fill=\"#fff\">%d</text>\n"
+               (x +. 3.0)
+               (top + (lane * row_height) + row_height - 4)
+               (min 10 (row_height - 4))
+               e.job_id)
+        | _ -> ())
+      (assign_rows ~m sched.entries);
+    (* Processor and time axes. *)
+    Buffer.add_string b
+      (Printf.sprintf
+         "<text x=\"4\" y=\"%d\" font-size=\"10\" fill=\"#555\">p0</text>\n\
+          <text x=\"4\" y=\"%d\" font-size=\"10\" fill=\"#555\">p%d</text>\n"
+         (top + row_height - 3)
+         (top + (m * row_height) - 3)
+         (m - 1));
+    let y_axis = top + (m * row_height) + 14 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#555\">0</text>\n\
+          <text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#555\" text-anchor=\"end\">%s</text>\n"
+         left y_axis (left + chart_w) y_axis
+         (svg_escape (Printf.sprintf "%.4g" span)));
+    Buffer.add_string b "</svg>\n";
+    Buffer.contents b
+  end
+
 let label_of_job id =
   let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
   alphabet.[id mod String.length alphabet]

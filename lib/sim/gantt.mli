@@ -13,3 +13,12 @@ val render : ?width:int -> ?max_rows:int -> Schedule.t -> string
     Jobs are labelled with the last character of their id (digits
     cycle); idle space is ['.'].  Returns a printable multi-line
     string ending in a time axis. *)
+
+val render_svg : ?width:int -> ?row_height:int -> Schedule.t -> string
+(** [render_svg sched] is a standalone SVG document of the same
+    timeline: one lane per processor ([sched.m] rows of [row_height]
+    pixels), one rectangle per (entry, lane) with a hover tooltip
+    giving the job id, start, duration and width.  Lane assignment is
+    greedy over exact times; if the entries oversubscribe [sched.m]
+    (e.g. a trace replayed with a too-small [--m]) bars double up
+    instead of failing. *)

@@ -1,0 +1,279 @@
+(* Span profiler, histogram percentiles, ring edge cases, and the
+   versioned bench-report reader/diff. *)
+
+open Psched_core
+open Psched_workload
+module Obs = Psched_obs.Obs
+module Ring = Psched_obs.Ring
+module Profiler = Psched_obs.Profiler
+module B = Psched_obs.Bench_report
+
+(* --- ring at exact capacity -------------------------------------------- *)
+
+let test_ring_exact_capacity () =
+  let r = Ring.create 4 in
+  List.iter (fun i -> Ring.push r i) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "exactly full, nothing lost" [ 1; 2; 3; 4 ] (Ring.to_list r);
+  Alcotest.(check int) "no drops at capacity" 0 (Ring.dropped r);
+  Alcotest.(check int) "length is capacity" 4 (Ring.length r);
+  Ring.push r 5;
+  Alcotest.(check (list int)) "one past capacity evicts oldest" [ 2; 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check int) "one drop" 1 (Ring.dropped r);
+  let r1 = Ring.create 1 in
+  Ring.push r1 7;
+  Alcotest.(check (list int)) "capacity-1 full" [ 7 ] (Ring.to_list r1);
+  Ring.push r1 8;
+  Alcotest.(check (list int)) "capacity-1 wraps" [ 8 ] (Ring.to_list r1);
+  Alcotest.(check int) "capacity-1 drop" 1 (Ring.dropped r1)
+
+(* --- histogram percentile edges ---------------------------------------- *)
+
+let test_hist_percentile_edges () =
+  let bounds = [| 1.0; 10.0; 100.0 |] in
+  let pct counts p = Obs.Hist.percentile ~bounds ~counts p in
+  (* Empty histogram: no percentile exists. *)
+  Alcotest.(check (option (float 0.0))) "empty" None (pct [| 0; 0; 0; 0 |] 50.0);
+  (* A single sample answers every percentile. *)
+  let single = [| 0; 1; 0; 0 |] in
+  Alcotest.(check (option (float 0.0))) "single p0" (Some 10.0) (pct single 0.0);
+  Alcotest.(check (option (float 0.0))) "single p50" (Some 10.0) (pct single 50.0);
+  Alcotest.(check (option (float 0.0))) "single p100" (Some 10.0) (pct single 100.0);
+  (* Spread samples: p0 is the first non-empty bucket, p100 the last,
+     out-of-range p clamps rather than failing. *)
+  let spread = [| 2; 0; 3; 1 |] in
+  Alcotest.(check (option (float 0.0))) "p0 first bucket" (Some 1.0) (pct spread 0.0);
+  Alcotest.(check (option (float 0.0))) "p100 overflow" (Some infinity) (pct spread 100.0);
+  Alcotest.(check (option (float 0.0))) "p50 middle" (Some 100.0) (pct spread 50.0);
+  Alcotest.(check (option (float 0.0))) "p<0 clamps" (Some 1.0) (pct spread (-10.0));
+  Alcotest.(check (option (float 0.0))) "p>100 clamps" (Some infinity) (pct spread 200.0);
+  (* Boundary between buckets: 2 of 5 samples in bucket 0 => p40 still
+     bucket 0, anything above crosses. *)
+  let five = [| 2; 3; 0; 0 |] in
+  Alcotest.(check (option (float 0.0))) "p40 on the boundary" (Some 1.0) (pct five 40.0);
+  Alcotest.(check (option (float 0.0))) "p41 crosses" (Some 10.0) (pct five 41.0)
+
+(* --- span attribution --------------------------------------------------- *)
+
+let test_span_stats_nesting () =
+  let obs = Obs.create () in
+  (* Two calls of parent > child; child time must be excluded from the
+     parent's self column. *)
+  for _ = 1 to 2 do
+    Obs.span obs "outer" (fun () ->
+        Obs.span obs "inner" (fun () -> Sys.opaque_identity (ignore (List.init 100 Fun.id))))
+  done;
+  let stats = Obs.span_stats obs in
+  let find path = List.assoc_opt path stats in
+  (match find "outer" with
+  | None -> Alcotest.fail "outer path missing"
+  | Some s ->
+    Alcotest.(check int) "outer calls" 2 s.Obs.calls;
+    Alcotest.(check bool) "self <= total" true (s.Obs.self <= s.Obs.total +. 1e-12);
+    Alcotest.(check bool) "alloc self <= total" true
+      (s.Obs.alloc_self <= s.Obs.alloc_total +. 1e-6));
+  (match find "outer;inner" with
+  | None -> Alcotest.fail "nested path missing"
+  | Some s ->
+    Alcotest.(check int) "inner calls" 2 s.Obs.calls;
+    Alcotest.(check bool) "inner allocates" true (s.Obs.alloc_total > 0.0));
+  (* Paths sort parents before children. *)
+  let paths = List.map fst stats in
+  Alcotest.(check (list string)) "tree order" [ "outer"; "outer;inner" ] paths
+
+let test_mrt_profile_phases () =
+  let rng = Psched_util.Rng.create 11 in
+  let jobs = Workload_gen.moldable_uniform rng ~n:40 ~m:24 ~tmin:1.0 ~tmax:50.0 in
+  let obs = Obs.create ~ring_capacity:256 () in
+  ignore (Mrt.schedule ~obs ~m:24 jobs);
+  let stats = Obs.span_stats obs in
+  let mrt_paths =
+    List.filter (fun (p, _) -> String.length p >= 3 && String.sub p 0 3 = "mrt") stats
+  in
+  (* The acceptance bar: at least three distinct MRT phases, each with
+     calls, total/self wall time and allocation attribution. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 3 mrt phases (got %d)" (List.length mrt_paths))
+    true
+    (List.length mrt_paths >= 3);
+  List.iter
+    (fun (path, (s : Obs.span_stat)) ->
+      Alcotest.(check bool) (path ^ " called") true (s.Obs.calls >= 1);
+      Alcotest.(check bool) (path ^ " self within total") true (s.Obs.self <= s.Obs.total +. 1e-12);
+      Alcotest.(check bool) (path ^ " timings non-negative") true
+        (s.Obs.total >= 0.0 && s.Obs.self >= 0.0))
+    mrt_paths;
+  (* The search phase allocates (caches, knapsack tables). *)
+  (match List.assoc_opt "mrt;mrt.search" stats with
+  | None -> Alcotest.fail "mrt;mrt.search missing"
+  | Some s -> Alcotest.(check bool) "search allocates" true (s.Obs.alloc_total > 0.0));
+  (* Rendered forms agree with the stats. *)
+  let table = Profiler.table obs in
+  Alcotest.(check bool) "table mentions knapsack" true (T_helpers.contains table "mrt.knapsack");
+  let folded = Profiler.folded obs in
+  Alcotest.(check bool) "folded has the nested path" true
+    (T_helpers.contains folded "mrt;mrt.search;mrt.knapsack ");
+  let prom = Profiler.prometheus obs in
+  Alcotest.(check bool) "prometheus span family" true
+    (T_helpers.contains prom "psched_span_self_seconds_total{path=\"mrt\"}");
+  Alcotest.(check bool) "prometheus counter family" true
+    (T_helpers.contains prom "psched_counter_total{name=\"mrt/knapsack/dp\"}")
+
+let test_profiler_empty () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "empty table is a note" true
+    (T_helpers.contains (Profiler.table obs) "no completed spans");
+  Alcotest.(check string) "empty folded" "" (Profiler.folded obs)
+
+let test_span_accounting_survives_ring () =
+  (* Span stats live outside the event ring: a tiny ring drops events
+     but never loses attribution. *)
+  let obs = Obs.create ~ring_capacity:1 () in
+  for _ = 1 to 50 do
+    Obs.span obs "work" (fun () -> ())
+  done;
+  Alcotest.(check bool) "events dropped" true (Obs.dropped obs > 0);
+  match List.assoc_opt "work" (Obs.span_stats obs) with
+  | None -> Alcotest.fail "path lost"
+  | Some s -> Alcotest.(check int) "all calls attributed" 50 s.Obs.calls
+
+(* --- bench reports ------------------------------------------------------ *)
+
+let v2 name_vals =
+  let tests =
+    String.concat ",\n"
+      (List.map
+         (fun (name, est, lo, hi) ->
+           Printf.sprintf
+             "    \"%s\": { \"estimate\": %f, \"ci_lower\": %f, \"ci_upper\": %f, \"samples\": 3 }"
+             name est lo hi)
+         name_vals)
+  in
+  Printf.sprintf
+    "{\n  \"schema\": \"psched-bench/2\",\n  \"quick\": true,\n  \"unit\": \"ns/run\",\n\
+    \  \"machine\": { \"os\": \"Unix\", \"arch_bits\": 64, \"ocaml\": \"5.1.1\" },\n\
+    \  \"tests\": {\n%s\n  },\n  \"profile_engine_speedup\": {}\n}\n"
+    tests
+
+let parse_doc s =
+  match B.json_of_string s with
+  | Error msg -> Alcotest.failf "json: %s" msg
+  | Ok j -> (
+    match B.of_json j with Error msg -> Alcotest.failf "doc: %s" msg | Ok d -> d)
+
+let test_bench_diff_regression_and_noise () =
+  let old_doc = parse_doc (v2 [ ("EASY", 100000.0, 95000.0, 105000.0) ]) in
+  (* A 2x slowdown with disjoint intervals must regress... *)
+  let slow = parse_doc (v2 [ ("EASY", 200000.0, 195000.0, 205000.0) ]) in
+  let d = B.diff old_doc slow in
+  Alcotest.(check int) "2x slowdown regresses" 1 d.B.regressions;
+  Alcotest.(check bool) "flagged on the change" true
+    (List.exists (fun c -> c.B.regression) d.B.changes);
+  (* ... while overlapping intervals are jitter even past the threshold. *)
+  let jitter = parse_doc (v2 [ ("EASY", 140000.0, 100000.0, 180000.0) ]) in
+  let d = B.diff old_doc jitter in
+  Alcotest.(check int) "overlapping CIs are noise" 0 d.B.regressions;
+  Alcotest.(check bool) "marked within noise" true
+    (List.for_all (fun c -> c.B.within_noise) d.B.changes);
+  (* Small changes under the threshold never regress, interval or not. *)
+  let small = parse_doc (v2 [ ("EASY", 110000.0, 109000.0, 111000.0) ]) in
+  let d = B.diff old_doc small in
+  Alcotest.(check int) "10% under a 30% threshold" 0 d.B.regressions;
+  (* A big improvement is counted on the other side. *)
+  let fast = parse_doc (v2 [ ("EASY", 40000.0, 39000.0, 41000.0) ]) in
+  let d = B.diff old_doc fast in
+  Alcotest.(check int) "improvement counted" 1 d.B.improvements;
+  Alcotest.(check int) "not a regression" 0 d.B.regressions;
+  let rendered = B.render (B.diff old_doc slow) in
+  Alcotest.(check bool) "render flags REGRESSION" true (T_helpers.contains rendered "REGRESSION")
+
+let test_bench_higher_better_flips () =
+  (* Speedups regress when they go DOWN. *)
+  let doc ratio =
+    parse_doc
+      (Printf.sprintf
+         "{\"schema\": \"psched-bench/1\", \"quick\": false, \"tests\": {},\n\
+         \ \"profile_engine_speedup\": {\"EASY\": %f}}"
+         ratio)
+  in
+  let d = B.diff (doc 6.0) (doc 2.0) in
+  Alcotest.(check int) "speedup collapse regresses" 1 d.B.regressions;
+  let d = B.diff (doc 2.0) (doc 6.0) in
+  Alcotest.(check int) "speedup gain improves" 1 d.B.improvements;
+  Alcotest.(check int) "no false regression" 0 d.B.regressions
+
+let test_bench_cross_schema () =
+  (* v1 (bare numbers) diffs against v2 (intervals): names line up, the
+     v1 side has no CI so the threshold alone decides. *)
+  let old_doc =
+    parse_doc
+      "{\"schema\": \"psched-bench/1\", \"quick\": true,\n\
+      \ \"tests\": {\"EASY\": 100000.0}, \"profile_engine_speedup\": {}}"
+  in
+  let new_doc = parse_doc (v2 [ ("EASY", 250000.0, 240000.0, 260000.0) ]) in
+  let d = B.diff old_doc new_doc in
+  Alcotest.(check int) "cross-schema compare" 1 (List.length d.B.changes);
+  Alcotest.(check int) "regression without old CI" 1 d.B.regressions;
+  (* Unknown schemas are a typed error, not a crash. *)
+  match B.of_json (B.Obj [ ("schema", B.Str "psched-bench/99") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown schema accepted"
+
+let test_bench_added_removed () =
+  let old_doc = parse_doc (v2 [ ("A", 1.0, 1.0, 1.0); ("B", 2.0, 2.0, 2.0) ]) in
+  let new_doc = parse_doc (v2 [ ("B", 2.0, 2.0, 2.0); ("C", 3.0, 3.0, 3.0) ]) in
+  let d = B.diff old_doc new_doc in
+  Alcotest.(check (list string)) "removed" [ "A" ] d.B.only_old;
+  Alcotest.(check (list string)) "added" [ "C" ] d.B.only_new;
+  Alcotest.(check int) "only common compared" 1 (List.length d.B.changes)
+
+(* --- SVG gantt ---------------------------------------------------------- *)
+
+let test_gantt_svg () =
+  let jobs =
+    [
+      Job.rigid ~id:0 ~procs:2 ~time:4.0 ();
+      Job.rigid ~id:1 ~procs:1 ~time:3.0 ();
+      Job.rigid ~id:2 ~procs:3 ~time:2.0 ();
+    ]
+  in
+  let sched = Packing.list_schedule ~m:4 (List.map Packing.allocate_rigid jobs) in
+  let svg = Psched_sim.Gantt.render_svg sched in
+  Alcotest.(check bool) "is svg" true (T_helpers.contains svg "<svg");
+  Alcotest.(check bool) "closes" true (T_helpers.contains svg "</svg>");
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d drawn" id)
+        true
+        (T_helpers.contains svg (Printf.sprintf "job %d:" id)))
+    [ 0; 1; 2 ];
+  (* A 2-proc job paints 2 lanes: rect count >= sum of procs. *)
+  let rects =
+    List.length (String.split_on_char '\n' svg)
+    |> fun _ ->
+    let count = ref 0 in
+    let re = "<rect" in
+    let n = String.length svg and k = String.length re in
+    for i = 0 to n - k do
+      if String.sub svg i k = re then incr count
+    done;
+    !count
+  in
+  Alcotest.(check bool) "one rect per lane plus frame" true (rects >= 7);
+  let empty = Psched_sim.Gantt.render_svg (Psched_sim.Schedule.make ~m:4 []) in
+  Alcotest.(check bool) "empty schedule still svg" true (T_helpers.contains empty "<svg")
+
+let suite =
+  [
+    Alcotest.test_case "ring exact capacity" `Quick test_ring_exact_capacity;
+    Alcotest.test_case "hist percentile edges" `Quick test_hist_percentile_edges;
+    Alcotest.test_case "span stats nesting" `Quick test_span_stats_nesting;
+    Alcotest.test_case "mrt profile phases" `Quick test_mrt_profile_phases;
+    Alcotest.test_case "profiler empty" `Quick test_profiler_empty;
+    Alcotest.test_case "span accounting survives ring" `Quick test_span_accounting_survives_ring;
+    Alcotest.test_case "bench diff regression vs noise" `Quick test_bench_diff_regression_and_noise;
+    Alcotest.test_case "bench higher-better flips" `Quick test_bench_higher_better_flips;
+    Alcotest.test_case "bench cross-schema" `Quick test_bench_cross_schema;
+    Alcotest.test_case "bench added/removed" `Quick test_bench_added_removed;
+    Alcotest.test_case "gantt svg" `Quick test_gantt_svg;
+  ]

@@ -8,6 +8,7 @@ let () =
       ("profile", T_profile.suite);
       ("core", T_core.suite);
       ("obs", T_obs.suite);
+      ("profiler", T_profiler.suite);
       ("core-more", T_more_core.suite);
       ("dlt", T_dlt.suite);
       ("grid", T_grid.suite);

@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench bench-fault bench-diff profile trace-smoke lint analyze check clean
+.PHONY: all build test bench-smoke bench bench-fault bench-scale bench-scale-full bench-diff profile trace-smoke lint analyze check clean
 
 all: build
 
@@ -23,12 +23,27 @@ bench:
 bench-fault:
 	dune exec bench/main.exe -- fault-table --json
 
-# Noise-aware regression gate: re-measure the quick pair and diff it
-# against the committed baseline (exit 1 past the threshold when the
-# confidence intervals are disjoint).  CI runs the same recipe.
+# Streaming-engine scaling smoke: first grid point of the scaling
+# curve (time, peak live segments, memory high-water) plus the
+# sequential-vs-sharded analyzer sweep; exits 1 if the sharded report
+# is not byte-identical.  Rewrites BENCH_scale_quick.json.
+bench-scale:
+	dune exec bin/psched.exe -- bench scale --quick --json BENCH_scale_quick.json
+
+# Full scaling curve up to a million jobs; rewrites BENCH_scale.json.
+bench-scale-full:
+	dune exec bin/psched.exe -- bench scale --json BENCH_scale.json
+
+# Noise-aware regression gate: re-measure the quick pair and the quick
+# scaling point, diff both against their committed baselines (exit 1
+# past the threshold when the confidence intervals are disjoint).  CI
+# runs the same recipe.
 bench-diff:
 	dune exec bench/main.exe -- perf --json --quick
 	dune exec bin/psched.exe -- bench diff bench/baseline.json BENCH_quick.json \
+		--threshold 0.5
+	dune exec bin/psched.exe -- bench scale --quick --json BENCH_scale_quick.json
+	dune exec bin/psched.exe -- bench diff bench/baseline_scale.json BENCH_scale_quick.json \
 		--threshold 0.5
 
 # Per-phase cost tables (spans: calls, total/self wall time, GC bytes)
@@ -61,7 +76,7 @@ lint:
 analyze:
 	dune exec bin/psched.exe -- check --all --json check_report.json
 
-check: build test bench-smoke bench-fault trace-smoke lint analyze
+check: build test bench-smoke bench-fault bench-scale trace-smoke lint analyze
 
 clean:
 	dune clean

@@ -256,10 +256,185 @@ let bench_show_cmd =
     (Cmd.info "show" ~doc:"Print a benchmark report normalised to its flat metric list.")
     Term.(const run $ path)
 
+(* Scaling curve: stream n jobs through the compacting engine at m
+   machines, per point reporting wall time, peak live profile segments
+   (the O(live horizon) memory witness) and heap/RSS high-water marks;
+   then time the sequential vs sharded check --all sweep and verify
+   byte-identical reports.  Output conforms to psched-bench/2 so the
+   existing `psched bench diff` regression gate covers it. *)
+let bench_scale_cmd =
+  let module Check = Psched_check in
+  let scale_stream ~seed ~n ~m =
+    let rng = Psched_util.Rng.create seed in
+    let width = max 1 (min 16 m) in
+    (* Poisson arrivals pitched at ~90% offered load: the machine stays
+       busy, the live horizon stays bounded. *)
+    let mean_procs = float_of_int (1 + width) /. 2.0 in
+    let mean_time = (10.0 +. 1000.0) /. 2.0 in
+    let gap = mean_procs *. mean_time /. (0.9 *. float_of_int m) in
+    let next_id = ref 0 in
+    let release = ref 0.0 in
+    fun () ->
+      if !next_id >= n then None
+      else begin
+        let id = !next_id in
+        incr next_id;
+        let procs = 1 + Psched_util.Rng.int rng width in
+        let time = Psched_util.Rng.uniform rng 10.0 1000.0 in
+        release := !release +. Psched_util.Rng.exp_mean rng gap;
+        Some (Job.rigid ~release:!release ~id ~procs ~time ())
+      end
+  in
+  let vm_hwm_mb () =
+    (* Max resident set from the kernel where available; None elsewhere. *)
+    match open_in "/proc/self/status" with
+    | exception _ -> None
+    | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" -> (
+          match
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          with
+          | _ :: v :: _ -> Option.map (fun kb -> float_of_int kb /. 1024.0) (int_of_string_opt v)
+          | _ -> None)
+        | _ -> scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) scan
+  in
+  let run quick points repeats jobs seed out =
+    let points = if quick then [ List.hd points ] else points in
+    let repeats = max 1 repeats in
+    let rows = ref [] in
+    let add_row name ~est ~lo ~hi ~samples =
+      rows := (name, est, lo, hi, samples) :: !rows
+    in
+    List.iter
+      (fun (n, m) ->
+        let tag = Printf.sprintf "scale n=%d m=%d" n m in
+        let runs =
+          List.init repeats (fun rep ->
+              Gc.compact ();
+              let t0 = Unix.gettimeofday () in
+              let r = Psched_sim.Stream.run ~m (scale_stream ~seed:(seed + rep) ~n ~m) in
+              (Unix.gettimeofday () -. t0, r))
+        in
+        let walls = List.sort compare (List.map fst runs) in
+        let med = List.nth walls (List.length walls / 2) in
+        let lo = List.hd walls and hi = List.nth walls (List.length walls - 1) in
+        let r = snd (List.hd runs) in
+        let s = r.Psched_sim.Stream.profile in
+        let heap_mb =
+          float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. float_of_int (Sys.word_size / 8)
+          /. 1048576.0
+        in
+        add_row (tag ^ " wall") ~est:(med *. 1e9) ~lo:(lo *. 1e9) ~hi:(hi *. 1e9)
+          ~samples:repeats;
+        add_row (tag ^ " peak-live-segments")
+          ~est:(float_of_int s.Psched_sim.Profile.peak_segments)
+          ~lo:(float_of_int s.Psched_sim.Profile.peak_segments)
+          ~hi:(float_of_int s.Psched_sim.Profile.peak_segments)
+          ~samples:1;
+        Printf.printf
+          "%-24s wall %.3fs [%.3f, %.3f]  %.0f jobs/s  peak live segments %d (folded %d, \
+           compactions %d)  heap %.1f MB%s\n%!"
+          tag med lo hi
+          (float_of_int r.Psched_sim.Stream.jobs /. med)
+          s.Psched_sim.Profile.peak_segments s.Psched_sim.Profile.folded_segments
+          s.Psched_sim.Profile.compactions heap_mb
+          (match vm_hwm_mb () with
+          | Some mb -> Printf.sprintf "  maxrss %.1f MB" mb
+          | None -> ""))
+      points;
+    (* Sequential vs sharded analyzer sweep: the speedup ships in the
+       report's speedup map and the outputs must match byte for byte. *)
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    let t_seq, seq_json =
+      time (fun () -> Check.Report.to_json (Check.Analyzer.analyze_all ()))
+    in
+    let sweep_obs = Psched_obs.Obs.create () in
+    Psched_obs.Obs.set_wall_clock sweep_obs Unix.gettimeofday;
+    let t_par, par_json =
+      time (fun () ->
+          Check.Report.to_json
+            (Check.Analyzer.analyze_all ~domains:jobs ~obs:sweep_obs ()))
+    in
+    let identical = String.equal seq_json par_json in
+    let speedup = if t_par > 0.0 then t_seq /. t_par else 0.0 in
+    Printf.printf "check --all sweep: %.3fs sequential, %.3fs with --jobs %d (%.2fx), reports %s\n"
+      t_seq t_par jobs speedup
+      (if identical then "byte-identical" else "DIVERGENT");
+    print_string (Psched_obs.Profiler.table sweep_obs);
+    let sweep_name = Printf.sprintf "check-sweep jobs=%d vs 1" jobs in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      let outf fmt = Printf.fprintf oc fmt in
+      outf "{\n";
+      outf "  \"schema\": \"psched-bench/2\",\n";
+      outf "  \"quick\": %b,\n" quick;
+      outf "  \"unit\": \"ns/run\",\n";
+      outf "  \"machine\": { \"os\": \"%s\", \"arch_bits\": %d, \"ocaml\": \"%s\" },\n"
+        Sys.os_type Sys.word_size Sys.ocaml_version;
+      outf "  \"tests\": {\n";
+      let all = List.rev !rows in
+      let nrows = List.length all in
+      List.iteri
+        (fun i (name, est, lo, hi, samples) ->
+          outf
+            "    \"%s\": { \"estimate\": %.1f, \"ci_lower\": %.1f, \"ci_upper\": %.1f, \
+             \"samples\": %d }%s\n"
+            name est lo hi samples
+            (if i = nrows - 1 then "" else ","))
+        all;
+      outf "  },\n";
+      outf "  \"profile_engine_speedup\": {\n";
+      outf "    \"%s\": %.2f\n" sweep_name speedup;
+      outf "  }\n";
+      outf "}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    if not identical then exit 1
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"First grid point only (CI smoke).")
+  in
+  let points =
+    Arg.(value
+         & opt (list (pair ~sep:'x' int int)) [ (10_000, 1_000); (100_000, 10_000); (1_000_000, 100_000) ]
+         & info [ "points" ] ~docv:"NxM,..."
+             ~doc:"Scaling grid as jobsxmachines pairs, e.g. 100000x10000.")
+  in
+  let repeats =
+    Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timed repetitions per point.")
+  in
+  let jobs =
+    Arg.(value & opt int 4
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Domains for the sharded sweep comparison.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write a psched-bench/2 report.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Streaming-engine scaling curve (time, peak live segments, memory high-water per \
+          point) plus the sequential-vs-parallel analyzer sweep; exits 1 if the sharded \
+          sweep is not byte-identical to the sequential one.")
+    Term.(const run $ quick $ points $ repeats $ jobs $ seed $ out)
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench" ~doc:"Benchmark report tooling (versioned schemas, regression diffs).")
-    [ bench_diff_cmd; bench_show_cmd ]
+    [ bench_diff_cmd; bench_show_cmd; bench_scale_cmd ]
 
 (* ---------------------------------------------------------- policies *)
 
@@ -520,8 +695,16 @@ let gantt_cmd =
 
 (* ------------------------------------------------------------ grid ops *)
 
+(* Shared --jobs flag: worker domains for the Pool-sharded sections.
+   Results are identical whatever the value (1 = fully sequential). *)
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel sections (1 = sequential; the output is \
+                 identical for every value).")
+
 let grid_cmd =
-  let run n seed policy =
+  let run n seed policy domains =
     let rng = Psched_util.Rng.create seed in
     let jobs =
       List.init n (fun id ->
@@ -540,7 +723,9 @@ let grid_cmd =
         Printf.eprintf "unknown policy %S (independent | centralized | exchange)\n" other;
         exit 1
     in
-    let o = Psched_grid.Multi_cluster.simulate p ~grid:Psched_platform.Platform.ciment ~jobs in
+    let o =
+      Psched_grid.Multi_cluster.simulate ~domains p ~grid:Psched_platform.Platform.ciment ~jobs
+    in
     Format.printf "policy=%s Cmax=%.0f mean-flow=%.0f fairness=%.3f migrations=%d@." policy
       o.Psched_grid.Multi_cluster.makespan o.Psched_grid.Multi_cluster.mean_flow
       o.Psched_grid.Multi_cluster.fairness o.Psched_grid.Multi_cluster.migrations;
@@ -559,7 +744,7 @@ let grid_cmd =
   in
   Cmd.v
     (Cmd.info "grid" ~doc:"Simulate multi-cluster placement on the CIMENT platform (S5.2).")
-    Term.(const run $ n $ seed $ policy)
+    Term.(const run $ n $ seed $ policy $ jobs_arg)
 
 let resilience_cmd =
   let run n m seed rate =
@@ -587,14 +772,14 @@ let resilience_cmd =
     Term.(const run $ n $ m $ seed $ rate)
 
 let fault_cmd =
-  let run n m seed rates cost out =
+  let run n m seed rates cost domains out =
     let rates =
       match rates with
       | [] -> Psched_fault.Robustness.default_rates
       | l -> List.sort compare l
     in
     let table =
-      Psched_fault.Robustness.degradation ~rates ~n ~m ~checkpoint_cost:cost ~seed ()
+      Psched_fault.Robustness.degradation ~rates ~n ~m ~checkpoint_cost:cost ~domains ~seed ()
     in
     print_string (Psched_fault.Robustness.to_string table);
     match out with
@@ -620,7 +805,7 @@ let fault_cmd =
        ~doc:
          "Robustness degradation table: outage rates x recovery policies (none | restart | \
           checkpoint at the Young/Daly period) x resubmission backoff.")
-    Term.(const run $ n $ m $ seed $ rates $ cost $ out)
+    Term.(const run $ n $ m $ seed $ rates $ cost $ jobs_arg $ out)
 
 (* --------------------------------------------------------------- dlt *)
 
@@ -651,7 +836,7 @@ let dlt_cmd =
 
 let check_cmd =
   let module Check = Psched_check in
-  let run all policy workload n m seed rate trace json verbose list_rules =
+  let run all policy workload n m seed rate trace json verbose list_rules domains =
     if list_rules then begin
       let docs = Check.Analyzer.rule_docs () in
       let width = List.fold_left (fun acc (id, _) -> max acc (String.length id)) 0 docs in
@@ -667,7 +852,7 @@ let check_cmd =
             exit 1
           | Ok events -> [ Check.Analyzer.analyze_events ~name:file events ])
         | None ->
-          if all then Check.Analyzer.analyze_all ()
+          if all then Check.Analyzer.analyze_all ~domains ()
           else
             let entry =
               match workload with
@@ -721,7 +906,7 @@ let check_cmd =
        ~doc:"Rule-based schedule analyzer: structural invariants, approximation-ratio \
              certificates, trace cross-checks.  Exits 1 on any error finding.")
     Term.(const run $ all $ policy_arg $ workload $ n_arg $ m_arg $ seed_arg $ rate_arg $ trace
-          $ json $ verbose $ list_rules)
+          $ json $ verbose $ list_rules $ jobs_arg)
 
 let main =
   Cmd.group

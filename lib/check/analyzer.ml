@@ -70,12 +70,29 @@ let grid_run () =
   { policy = "grid-best-effort"; workload = "rigid-online-grid"; m = 16; stripped = false;
     skipped = None; findings = Grid_rules.run ~m:16 ~seed:21 () }
 
-let analyze_all ?epsilon ?policies ?corpus () =
+let analyze_all ?epsilon ?policies ?corpus ?(domains = 1) ?(obs = Obs.null) () =
   let policies = match policies with Some p -> p | None -> Schedulers.names in
   let corpus = match corpus with Some c -> c | None -> Corpus.default () in
-  let runs =
-    List.concat_map
-      (fun policy -> List.map (fun entry -> analyze_run ?epsilon ~policy entry) corpus)
-      policies
+  (* Each (policy, workload) cell is pure — analyze_run builds its own
+     Obs and context — so the sweep shards over domains with results
+     merged back in input order: the report is byte-identical for every
+     [domains], which the test suite asserts. *)
+  let cells =
+    List.concat_map (fun policy -> List.map (fun entry -> (policy, entry)) corpus) policies
   in
+  let runs, stats =
+    Psched_util.Pool.map_stats ~domains
+      ~clock:(Obs.wall_clock obs)
+      (fun (policy, entry) -> analyze_run ?epsilon ~policy entry)
+      cells
+  in
+  if Obs.enabled obs then
+    List.iter
+      (fun (s : Psched_util.Pool.stat) ->
+        Obs.record_span obs
+          ~path:(Printf.sprintf "check.sweep;domain%d" s.Psched_util.Pool.domain)
+          ~calls:s.Psched_util.Pool.tasks ~total:s.Psched_util.Pool.busy
+          ~self:s.Psched_util.Pool.busy ~alloc_total:s.Psched_util.Pool.alloc_bytes
+          ~alloc_self:s.Psched_util.Pool.alloc_bytes ())
+      stats;
   runs @ [ grid_run () ]

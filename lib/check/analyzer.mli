@@ -36,6 +36,20 @@ val analyze_events : ?complete:bool -> name:string -> Psched_obs.Event.t list ->
 (** Audit a bare event stream (saved JSONL trace) with the trace
     rules. *)
 
-val analyze_all : ?epsilon:float -> ?policies:string list -> ?corpus:Corpus.entry list -> unit -> run list
-(** The sweep: every registry policy on every corpus entry, plus the
+val analyze_all :
+  ?epsilon:float ->
+  ?policies:string list ->
+  ?corpus:Corpus.entry list ->
+  ?domains:int ->
+  ?obs:Psched_obs.Obs.t ->
+  unit ->
+  run list
+(** [?domains] (default 1) shards the (policy, workload) cells over a
+    [Pool] of that many domains; every cell is self-contained, results
+    merge in input order, and the returned runs — hence the rendered
+    report — are byte-identical for every value, 1 included.  With an
+    enabled [?obs], per-domain chunk cost is recorded as synthetic
+    spans under ["check.sweep;domain<i>"] for the profiler table.
+
+    The sweep: every registry policy on every corpus entry, plus the
     grid non-interference check ({!Grid_rules.run}). *)

@@ -33,6 +33,7 @@ type rstate = {
   mutable runtime : float;  (* planned wall time of the current attempt *)
   mutable ck_planned : int;  (* checkpoints the current attempt will write *)
   mutable handle : Engine.handle option;  (* pending completion event *)
+  mutable active : bool;  (* currently holds processors *)
 }
 
 let eps = 1e-9
@@ -49,13 +50,42 @@ let run ?(obs = Obs.null) config jobs =
   let profile = Outage.free_profile ~m:config.m config.outages in
   let e = Engine.create ~obs () in
   let waiting = ref [] (* FCFS; killed jobs requeue at the back *) in
-  let running = ref [] in
   let entries = ref [] in
   let completed = ref 0 and lost = ref 0 in
   let kills = ref 0 and restarts = ref 0 and checkpoints = ref 0 in
   let useful = ref 0.0 and wasted = ref 0.0 and overhead = ref 0.0 in
   let cap now = Profile.free_at profile now in
-  let used () = List.fold_left (fun acc r -> acc + r.procs) 0 !running in
+  (* Running-set bookkeeping is incremental: [used]/[n_running] are
+     plain counters, and the two react-time scans (complete whatever is
+     due, kill youngest-first) pop lazy-deletion heaps keyed by the
+     attempt's start date — an entry is stale once the rstate is no
+     longer active or has been restarted with a new start.  This
+     replaces the per-step O(|running|) folds and filters. *)
+  let used = ref 0 and n_running = ref 0 in
+  let by_due =
+    (* due ascending; among equal dues, the most recent start first,
+       matching the former prepend-ordered running list. *)
+    Psched_util.Heap.create ~cmp:(fun (d0, s0, i0, _) (d1, s1, i1, _) ->
+        match Float.compare d0 d1 with
+        | 0 -> compare (s1, i1) (s0, i0)
+        | c -> c)
+  in
+  let by_start =
+    (* youngest (latest start) first; job id breaks start-date ties. *)
+    Psched_util.Heap.create ~cmp:(fun (s0, i0, _) (s1, i1, _) ->
+        compare (s1, i1) (s0, i0))
+  in
+  let fresh ~started r = r.active && Float.compare r.started started = 0 in
+  let set_running r =
+    r.active <- true;
+    used := !used + r.procs;
+    incr n_running
+  in
+  let unset_running r =
+    r.active <- false;
+    used := !used - r.procs;
+    decr n_running
+  in
   (* Wall time and checkpoint count of an attempt that still owes
      [remaining] useful seconds: a checkpoint after each full period of
      compute, none after the final (possibly partial) segment. *)
@@ -68,7 +98,7 @@ let run ?(obs = Obs.null) config jobs =
   let complete now r =
     (match r.handle with Some h -> Engine.cancel e h | None -> ());
     r.handle <- None;
-    running := List.filter (fun x -> x != r) !running;
+    unset_running r;
     entries :=
       {
         Schedule.job_id = r.job.Job.id;
@@ -92,7 +122,7 @@ let run ?(obs = Obs.null) config jobs =
   in
   let rec drain now =
     match !waiting with
-    | r :: rest when used () + r.procs <= cap now ->
+    | r :: rest when !used + r.procs <= cap now ->
       waiting := rest;
       start now r;
       drain now
@@ -104,7 +134,7 @@ let run ?(obs = Obs.null) config jobs =
       (* Everything already checkpointed: the resumed run is a no-op. *)
       r.ck_planned <- 0;
       r.runtime <- 0.0;
-      running := r :: !running;
+      set_running r;
       complete now r
     end
     else begin
@@ -114,7 +144,9 @@ let run ?(obs = Obs.null) config jobs =
       in
       r.ck_planned <- n_ck;
       r.runtime <- remaining +. (float_of_int n_ck *. ck_cost);
-      running := r :: !running;
+      set_running r;
+      Psched_util.Heap.add by_due (now +. r.runtime, now, r.job.Job.id, r);
+      Psched_util.Heap.add by_start (now, r.job.Job.id, r);
       if Obs.enabled obs then begin
         Obs.job_start obs ~job:r.job.Job.id ~start:now ~procs:r.procs;
         if r.attempts > 0 then Obs.Counter.incr obs "fault/attempt_restarts"
@@ -123,7 +155,7 @@ let run ?(obs = Obs.null) config jobs =
     end
   and finish r =
     let now = Engine.now e in
-    if List.memq r !running then begin
+    if r.active then begin
       complete now r;
       drain now
     end
@@ -131,7 +163,7 @@ let run ?(obs = Obs.null) config jobs =
   let kill now r =
     (match r.handle with Some h -> Engine.cancel e h | None -> ());
     r.handle <- None;
-    running := List.filter (fun x -> x != r) !running;
+    unset_running r;
     incr kills;
     if Obs.enabled obs then begin
       Obs.fault obs ~kind:"fault.kill" ~job:r.job.Job.id;
@@ -178,16 +210,26 @@ let run ?(obs = Obs.null) config jobs =
      survivors fit, then refill. *)
   let react () =
     let now = Engine.now e in
-    List.iter (complete now)
-      (List.filter (fun r -> r.started +. r.runtime <= now +. eps) !running);
+    let rec complete_due () =
+      match Psched_util.Heap.min by_due with
+      | None -> ()
+      | Some (due, started, _, r) ->
+        if not (fresh ~started r) then begin
+          ignore (Psched_util.Heap.pop by_due);
+          complete_due ()
+        end
+        else if due <= now +. eps then begin
+          ignore (Psched_util.Heap.pop by_due);
+          complete now r;
+          complete_due ()
+        end
+    in
+    complete_due ();
     let c = cap now in
-    while used () > c do
-      match
-        List.sort (fun a b -> compare (b.started, b.job.Job.id) (a.started, a.job.Job.id))
-          !running
-      with
-      | [] -> assert false
-      | victim :: _ -> kill now victim
+    while !used > c do
+      match Psched_util.Heap.pop by_start with
+      | None -> assert false
+      | Some (started, _, victim) -> if fresh ~started victim then kill now victim
     done;
     drain now
   in
@@ -217,6 +259,7 @@ let run ?(obs = Obs.null) config jobs =
           runtime = 0.0;
           ck_planned = 0;
           handle = None;
+          active = false;
         }
       in
       Engine.at e j.Job.release
@@ -226,7 +269,7 @@ let run ?(obs = Obs.null) config jobs =
     (List.sort (fun ((a : Job.t), _) ((b : Job.t), _) -> compare (a.release, a.id) (b.release, b.id))
        jobs);
   Obs.span obs "fault.replay" (fun () -> Engine.run e);
-  assert (!waiting = [] && !running = []);
+  assert (!waiting = [] && !n_running = 0 && !used = 0);
   let schedule = Schedule.make ~m:config.m (List.rev !entries) in
   let denom = !useful +. !wasted +. !overhead in
   {

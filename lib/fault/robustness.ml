@@ -47,7 +47,7 @@ let row_of_outcome ~rate ~policy ~backoff (o : Injector.outcome) =
 let default_rates = [ 0.002; 0.01; 0.05 ]
 
 let degradation ?(rates = default_rates) ?(n = 40) ?(m = 32) ?(horizon = 3000.0)
-    ?(mean_duration = 40.0) ?(checkpoint_cost = 1.0) ~seed () =
+    ?(mean_duration = 40.0) ?(checkpoint_cost = 1.0) ?(domains = 1) ~seed () =
   if rates = [] then invalid_arg "Robustness.degradation: empty rate list";
   let rng = Psched_util.Rng.create seed in
   let jobs =
@@ -55,11 +55,14 @@ let degradation ?(rates = default_rates) ?(n = 40) ?(m = 32) ?(horizon = 3000.0)
     |> Workload_gen.with_poisson_arrivals rng ~rate:0.1
     |> List.map Psched_core.Packing.allocate_rigid
   in
-  let rows =
+  (* All randomness is drawn up front, sequentially — every rate gets
+     its own deterministic stream so adding or reordering rates never
+     perturbs the other columns.  The grid cells that remain are pure
+     Injector.run replays, shardable over domains with no effect on the
+     rows (merged in input order). *)
+  let cells =
     List.concat_map
       (fun (i, rate) ->
-        (* Every rate gets its own deterministic stream so adding or
-           reordering rates never perturbs the other columns. *)
         let outage_rng = Psched_util.Rng.create ((seed * 1009) + i) in
         (* A mixed failure process: independent node losses (Poisson,
            partial width) plus correlated burst cascades — the regime
@@ -83,22 +86,25 @@ let degradation ?(rates = default_rates) ?(n = 40) ?(m = 32) ?(horizon = 3000.0)
         in
         List.concat_map
           (fun (name, policy) ->
-            List.map
-              (fun backoff ->
-                let config =
-                  {
-                    Injector.m;
-                    outages;
-                    policy;
-                    backoff =
-                      (if backoff then Some (Recovery.backoff ~base:5.0 ~max_delay:120.0 ())
-                       else None);
-                  }
-                in
-                row_of_outcome ~rate ~policy:name ~backoff (Injector.run config jobs))
-              [ false; true ])
+            List.map (fun backoff -> (rate, outages, name, policy, backoff)) [ false; true ])
           policies)
       (List.mapi (fun i r -> (i, r)) rates)
+  in
+  let rows =
+    Psched_util.Pool.map ~domains
+      (fun (rate, outages, name, policy, backoff) ->
+        let config =
+          {
+            Injector.m;
+            outages;
+            policy;
+            backoff =
+              (if backoff then Some (Recovery.backoff ~base:5.0 ~max_delay:120.0 ())
+               else None);
+          }
+        in
+        row_of_outcome ~rate ~policy:name ~backoff (Injector.run config jobs))
+      cells
   in
   { seed; m; jobs = n; horizon; mean_duration; checkpoint_cost; rows }
 

@@ -44,13 +44,16 @@ val degradation :
   ?horizon:float ->
   ?mean_duration:float ->
   ?checkpoint_cost:float ->
+  ?domains:int ->
   seed:int ->
   unit ->
   table
 (** Build the full degradation grid: [rates] x {none, restart,
     checkpoint-daly} x {backoff, no-backoff}.  Deterministic in
     [seed]; each rate draws its outages from an independent stream so
-    columns are comparable across runs. *)
+    columns are comparable across runs.  All randomness is drawn before
+    the grid replays, so [?domains] (default 1) shards the cells over a
+    [Pool] without changing a single row. *)
 
 val find : table -> rate:float -> policy:string -> backoff:bool -> row option
 

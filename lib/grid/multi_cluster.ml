@@ -74,7 +74,35 @@ let commit state (job : Job.t) ~migrated ~release =
     state.backlog <- Float.max state.backlog (start +. duration);
     Some { job; cluster = state.cluster.P.id; migrated; entry }
 
-let simulate ?(obs = Obs.null) ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
+(* Shared outcome assembly; [placements] must be in (release, id)
+   order — the dispatch order of the sequential loop — so that derived
+   statistics are identical whichever path produced them. *)
+let assemble ~states ~placements ~migrations ~rerouted ~jobs =
+  let per_cluster =
+    List.map (fun s -> (s.cluster, Schedule.make ~m:s.capacity (List.rev s.entries))) states
+  in
+  let completions = Hashtbl.create 64 in
+  List.iter
+    (fun p -> Hashtbl.replace completions p.entry.Schedule.job_id (Schedule.completion p.entry))
+    placements;
+  let completion id = Hashtbl.find_opt completions id in
+  let makespan =
+    List.fold_left (fun acc p -> Float.max acc (Schedule.completion p.entry)) 0.0 placements
+  in
+  let flows =
+    List.map (fun p -> Schedule.completion p.entry -. p.job.Job.release) placements
+  in
+  {
+    placements;
+    per_cluster;
+    migrations;
+    rerouted;
+    makespan;
+    mean_flow = Psched_util.Stats.mean flows;
+    fairness = Fairness.index ~jobs ~completion;
+  }
+
+let simulate_seq ?(obs = Obs.null) ?(data_mb = 100.0) ?(outages = []) policy ~grid ~jobs =
   Psched_fault.Outage.validate outages;
   let sim_now = ref 0.0 in
   if Obs.enabled obs then Obs.set_clock obs (fun () -> !sim_now);
@@ -227,26 +255,72 @@ let simulate ?(obs = Obs.null) ?(data_mb = 100.0) ?(outages = []) policy ~grid ~
   let placements =
     Obs.span obs "grid.dispatch" (fun () -> List.map place by_release)
   in
-  let per_cluster =
-    List.map (fun s -> (s.cluster, Schedule.make ~m:s.capacity (List.rev s.entries))) states
-  in
-  let completions = Hashtbl.create 64 in
-  List.iter
-    (fun p -> Hashtbl.replace completions p.entry.Schedule.job_id (Schedule.completion p.entry))
-    placements;
-  let completion id = Hashtbl.find_opt completions id in
-  let makespan =
-    List.fold_left (fun acc p -> Float.max acc (Schedule.completion p.entry)) 0.0 placements
-  in
-  let flows =
-    List.map (fun p -> Schedule.completion p.entry -. p.job.Job.release) placements
-  in
-  {
-    placements;
-    per_cluster;
-    migrations = !migrations;
-    rerouted = !rerouted;
-    makespan;
-    mean_flow = Psched_util.Stats.mean flows;
-    fairness = Fairness.index ~jobs ~completion;
-  }
+  assemble ~states ~placements ~migrations:!migrations ~rerouted:!rerouted ~jobs
+
+(* Independent dispatch with no outages and no tracing is per-cluster
+   sequential already — each job lands on its home cluster's profile,
+   never reading another cluster's state — unless some job misfits its
+   home cluster (the cross-cluster fallback).  So: shard the clusters
+   over a Pool, each domain replaying its own cluster's sub-sequence,
+   and bail out to the sequential path on the first misfit.  The merged
+   outcome is identical to the sequential one (asserted in tests). *)
+let simulate_independent_par ~domains ~grid ~jobs =
+  let clusters = grid.P.clusters in
+  let n_clusters = List.length clusters in
+  if n_clusters = 0 then None
+  else begin
+    let by_release =
+      List.sort (fun (a : Job.t) b -> compare (a.release, a.id) (b.release, b.id)) jobs
+    in
+    let buckets = Array.make n_clusters [] in
+    List.iter
+      (fun (j : Job.t) ->
+        let h = j.community mod n_clusters in
+        buckets.(h) <- j :: buckets.(h))
+      by_release;
+    let shards =
+      Psched_util.Pool.map ~domains
+        (fun (i, (c : P.cluster)) ->
+          let capacity = P.processors c in
+          let state =
+            {
+              cluster = c;
+              capacity;
+              profile = Profile.create capacity;
+              down = [];
+              backlog = 0.0;
+              entries = [];
+            }
+          in
+          let rec go acc = function
+            | [] -> Some (state, List.rev acc)
+            | job :: rest -> (
+              match commit state job ~migrated:false ~release:job.Job.release with
+              | Some p -> go (p :: acc) rest
+              | None -> None)
+          in
+          go [] (List.rev buckets.(i)))
+        (List.mapi (fun i c -> (i, c)) clusters)
+    in
+    if List.exists Option.is_none shards then None
+    else begin
+      let shards = List.filter_map Fun.id shards in
+      let states = List.map fst shards in
+      let placements =
+        List.concat_map snd shards
+        |> List.sort (fun a b ->
+               compare (a.job.Job.release, a.job.Job.id) (b.job.Job.release, b.job.Job.id))
+      in
+      Some (assemble ~states ~placements ~migrations:0 ~rerouted:0 ~jobs)
+    end
+  end
+
+let simulate ?obs ?data_mb ?(outages = []) ?(domains = 1) policy ~grid ~jobs =
+  let tracing = match obs with Some o -> Obs.enabled o | None -> false in
+  let par_ok = domains > 1 && policy = Independent && outages = [] && not tracing in
+  let fallback () = simulate_seq ?obs ?data_mb ~outages policy ~grid ~jobs in
+  if par_ok then
+    match simulate_independent_par ~domains ~grid ~jobs with
+    | Some outcome -> outcome
+    | None -> fallback ()
+  else fallback ()

@@ -56,6 +56,7 @@ val simulate :
   ?obs:Psched_obs.Obs.t ->
   ?data_mb:float ->
   ?outages:Psched_fault.Outage.t list ->
+  ?domains:int ->
   policy ->
   grid:Psched_platform.Platform.t ->
   jobs:Job.t list ->
@@ -66,5 +67,12 @@ val simulate :
     ["grid.migrate"] and failure steerings ["grid.reroute"] (from/to
     cluster ids in the payload); counters accumulate under ["grid/"].
     Tracing never changes the placements.
+
+    [?domains] (default 1) parallelises {!Independent} dispatch over a
+    [Pool], one shard per home cluster — valid because independent
+    placement never reads another cluster's state.  It applies only
+    when no outages are given and tracing is off, and falls back to the
+    sequential path (identical outcome, asserted in tests) whenever a
+    job misfits its home cluster; other policies ignore it.
     @raise Invalid_argument if a job fits no cluster or an outage is
     malformed. *)

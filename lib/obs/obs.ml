@@ -72,6 +72,7 @@ let create ?(ring_capacity = 65_536) () = make ~enabled:true ~ring_capacity
 let enabled t = t.enabled
 let set_clock t f = t.clock <- f
 let set_wall_clock t f = t.wall <- f
+let wall_clock t = t.wall
 let now t = t.clock ()
 let add_sink t s =
   (match s with Csv oc -> output_string oc (Event.csv_header ^ "\n") | _ -> ());
@@ -184,6 +185,21 @@ let span t label f =
   else begin
     let id = span_begin t label in
     Fun.protect ~finally:(fun () -> span_end t label id) f
+  end
+
+(* Externally measured work merged into the span table.  Obs handles
+   are domain-local (nothing here is thread-safe); parallel workers
+   therefore measure their own cost (see Pool.stat) and the calling
+   domain folds it in under an explicit path, so per-domain chunks show
+   up in the profiler table next to ordinary spans. *)
+let record_span t ~path ?(calls = 1) ~total ~self ?(alloc_total = 0.0) ?(alloc_self = 0.0) () =
+  if t.enabled then begin
+    let cell = span_cell t path in
+    cell.c_calls <- cell.c_calls + calls;
+    cell.c_total <- cell.c_total +. total;
+    cell.c_self <- cell.c_self +. self;
+    cell.c_alloc_total <- cell.c_alloc_total +. alloc_total;
+    cell.c_alloc_self <- cell.c_alloc_self +. alloc_self
   end
 
 (* ----------------------------------------------------------- metrics *)

@@ -38,6 +38,12 @@ val set_wall_clock : t -> (unit -> float) -> unit
     accounting.  Defaults to [Sys.time]; [psched profile] installs
     [Unix.gettimeofday] for better resolution. *)
 
+val wall_clock : t -> unit -> float
+(** The installed wall clock, for measuring work attributed back via
+    {!record_span} with the same time base as ordinary spans (e.g. as
+    the [Pool.map_stats] clock — [Sys.time] is process-wide CPU, which
+    would bill concurrent domains to each other). *)
+
 val now : t -> float
 
 val add_sink : t -> sink -> unit
@@ -83,6 +89,24 @@ type span_stat = {
 val span_stats : t -> (string * span_stat) list
 (** Per stack path (["mrt;mrt.search;mrt.knapsack"]), sorted; parents
     sort before their children. *)
+
+val record_span :
+  t ->
+  path:string ->
+  ?calls:int ->
+  total:float ->
+  self:float ->
+  ?alloc_total:float ->
+  ?alloc_self:float ->
+  unit ->
+  unit
+(** Merge externally measured work into the span table under [path]
+    (semicolon-joined, as in {!span_stats}).  Obs handles are
+    domain-local, so parallel workers cannot open spans on a shared
+    handle; instead they measure their chunk (see [Pool.map_stats]) and
+    the calling domain records one synthetic span per worker, e.g.
+    ["check.sweep;domain3"].  [calls] defaults to 1, allocation deltas
+    to 0.  No event is emitted.  Disabled handles ignore the call. *)
 
 (** {2 Hierarchical metrics}
 

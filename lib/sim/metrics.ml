@@ -16,12 +16,16 @@ type t = {
 }
 
 let compute ~jobs sched =
+  (* One hash lookup per job instead of one schedule scan per job: the
+     former [completion_of] loop was the O(n^2) hot spot of every
+     sweep. *)
+  let tbl = Schedule.completions sched in
   let completions =
     List.filter_map
       (fun (j : Job.t) ->
-        match Schedule.completion_of sched j.id with
-        | c -> Some (j, c)
-        | exception Not_found -> None)
+        match Hashtbl.find_opt tbl j.id with
+        | Some c -> Some (j, c)
+        | None -> None)
       jobs
   in
   let n = List.length completions in
@@ -55,6 +59,86 @@ let compute ~jobs sched =
     utilisation = Schedule.utilisation sched;
     throughput = (if makespan <= 0.0 then 0.0 else nf /. makespan);
   }
+
+module Acc = struct
+  type metrics = t
+
+  type t = {
+    m : int;
+    mutable n : int;
+    mutable makespan : float;
+    mutable sum_completion : float;
+    mutable sum_weighted_completion : float;
+    mutable sum_flow : float;
+    mutable max_flow : float;
+    mutable sum_stretch : float;
+    mutable max_stretch : float;
+    mutable tardy_count : int;
+    mutable sum_tardiness : float;
+    mutable max_tardiness : float;
+    mutable work : float;
+  }
+
+  let create ~m =
+    if m < 1 then invalid_arg "Metrics.Acc.create: capacity must be >= 1";
+    {
+      m;
+      n = 0;
+      makespan = 0.0;
+      sum_completion = 0.0;
+      sum_weighted_completion = 0.0;
+      sum_flow = 0.0;
+      max_flow = 0.0;
+      sum_stretch = 0.0;
+      max_stretch = 0.0;
+      tardy_count = 0;
+      sum_tardiness = 0.0;
+      max_tardiness = 0.0;
+      work = 0.0;
+    }
+
+  let add acc ~(job : Job.t) ~start ~procs ~duration =
+    let c = start +. duration in
+    let flow = c -. job.release in
+    let stretch = flow /. Float.max (Job.min_time job) 1e-12 in
+    acc.n <- acc.n + 1;
+    acc.makespan <- Float.max acc.makespan c;
+    acc.sum_completion <- acc.sum_completion +. c;
+    acc.sum_weighted_completion <- acc.sum_weighted_completion +. (job.weight *. c);
+    acc.sum_flow <- acc.sum_flow +. flow;
+    acc.max_flow <- Float.max acc.max_flow flow;
+    acc.sum_stretch <- acc.sum_stretch +. stretch;
+    acc.max_stretch <- Float.max acc.max_stretch stretch;
+    (match job.due with
+    | Some d ->
+      let tard = Float.max 0.0 (c -. d) in
+      if tard > 0.0 then acc.tardy_count <- acc.tardy_count + 1;
+      acc.sum_tardiness <- acc.sum_tardiness +. tard;
+      acc.max_tardiness <- Float.max acc.max_tardiness tard
+    | None -> ());
+    acc.work <- acc.work +. (float_of_int procs *. duration)
+
+  let jobs_seen acc = acc.n
+
+  let result acc : metrics =
+    let nf = float_of_int acc.n in
+    {
+      makespan = acc.makespan;
+      sum_completion = acc.sum_completion;
+      sum_weighted_completion = acc.sum_weighted_completion;
+      mean_flow = (if acc.n = 0 then 0.0 else acc.sum_flow /. nf);
+      max_flow = acc.max_flow;
+      mean_stretch = (if acc.n = 0 then 0.0 else acc.sum_stretch /. nf);
+      max_stretch = acc.max_stretch;
+      tardy_count = acc.tardy_count;
+      sum_tardiness = acc.sum_tardiness;
+      max_tardiness = acc.max_tardiness;
+      utilisation =
+        (if acc.makespan <= 0.0 then 0.0
+         else acc.work /. (float_of_int acc.m *. acc.makespan));
+      throughput = (if acc.makespan <= 0.0 then 0.0 else nf /. acc.makespan);
+    }
+end
 
 let makespan_ratio ~lower_bound sched =
   let c = Schedule.makespan sched in

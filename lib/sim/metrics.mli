@@ -20,6 +20,36 @@ type t = {
 }
 
 val compute : jobs:Psched_workload.Job.t list -> Schedule.t -> t
+(** One pass over the schedule (hashed completions) plus one pass over
+    the jobs: O(n) where it used to re-scan the schedule per job. *)
+
+(** Incremental accumulation of the same criteria, one placement at a
+    time, without ever materialising a {!Schedule.t}.  This is how the
+    streaming engine reports metrics for runs whose schedule would not
+    fit in memory: every field of {!t} is either a running sum, a
+    running max or derived from one at {!Acc.result} time, so folding a
+    placement into the accumulator and dropping it cannot change the
+    final report.  Feeding the same placements in the same order as
+    [compute ~jobs] observes them yields bit-identical results (the
+    test suite asserts equality). *)
+module Acc : sig
+  type metrics := t
+  type t
+
+  val create : m:int -> t
+  (** Fresh accumulator for a cluster of [m] processors.
+      @raise Invalid_argument if [m < 1]. *)
+
+  val add :
+    t -> job:Psched_workload.Job.t -> start:float -> procs:int -> duration:float -> unit
+  (** Fold one placement: completion is [start +. duration], work is
+      [procs *. duration]. *)
+
+  val jobs_seen : t -> int
+
+  val result : t -> metrics
+  (** Current criteria; the accumulator stays usable afterwards. *)
+end
 
 val makespan_ratio : lower_bound:float -> Schedule.t -> float
 (** Cmax / LB; infinity when LB = 0 and Cmax > 0, 1 when both are 0. *)

@@ -4,9 +4,18 @@
    [dates]/[free]: segment [i] spans [dates.(i), dates.(i+1)) (the last
    segment extends to +infinity) with [free.(i)] processors free.
    Invariants:
-   - dates are strictly increasing and dates.(0) = 0;
+   - dates are strictly increasing and dates.(0) = the origin (0 at
+     creation, advanced monotonically by {!compact});
    - 0 <= free.(i) <= capacity;
    - adjacent segments have different levels (always merged).
+
+   Compaction: once a simulation clock has passed a date, the history
+   before it can never influence a future query (all windows are
+   clamped to the origin), so [compact t ~before] folds the segments
+   left of [before] into three scalars — folded proc-seconds of busy
+   time, folded span, folded segment count — and drops them.  Live
+   memory is then O(live horizon) rather than O(total jobs placed);
+   the scalars keep utilisation computable over the whole run.
 
    Complexity, with k breakpoints: [free_at] is O(log k);
    [reserve]/[release] binary-search the window and touch only the
@@ -27,6 +36,10 @@ type t = {
   mutable n_reserve : int;
   mutable n_release : int;
   mutable n_search : int;
+  mutable n_compact : int;
+  mutable folded_segments : int;
+  mutable folded_busy : float;
+  mutable folded_span : float;
 }
 
 type stats = {
@@ -35,6 +48,10 @@ type stats = {
   reserves : int;
   releases : int;
   searches : int;
+  compactions : int;
+  folded_segments : int;
+  folded_busy : float;
+  folded_span : float;
 }
 
 let create m =
@@ -48,9 +65,14 @@ let create m =
     n_reserve = 0;
     n_release = 0;
     n_search = 0;
+    n_compact = 0;
+    folded_segments = 0;
+    folded_busy = 0.0;
+    folded_span = 0.0;
   }
 
 let capacity t = t.capacity
+let origin t = t.dates.(0)
 
 let copy t = { t with dates = Array.copy t.dates; free = Array.copy t.free }
 
@@ -61,6 +83,10 @@ let stats t =
     reserves = t.n_reserve;
     releases = t.n_release;
     searches = t.n_search;
+    compactions = t.n_compact;
+    folded_segments = t.folded_segments;
+    folded_busy = t.folded_busy;
+    folded_span = t.folded_span;
   }
 
 (* Index of the segment containing [date]: greatest i with
@@ -118,7 +144,7 @@ let merge_at t i =
    call leaves the profile unchanged. *)
 let update t ~start ~stop ~delta =
   assert (start < stop);
-  let start = Float.max start 0.0 in
+  let start = Float.max start t.dates.(0) in
   if delta <> 0 && start < stop then begin
     let i0 = seg_index t start in
     let j = ref i0 in
@@ -171,7 +197,7 @@ let release_window t ~start ~stop ~procs =
 let find_start t ~earliest ~duration ~procs =
   t.n_search <- t.n_search + 1;
   if procs > t.capacity then raise Not_found;
-  let earliest = Float.max earliest 0.0 in
+  let earliest = Float.max earliest t.dates.(0) in
   (* Sweep once: a candidate start is [earliest] or the end of an
      insufficient segment; while a candidate holds, extend the covered
      window segment by segment instead of re-testing from scratch. *)
@@ -190,6 +216,35 @@ let place t ~earliest ~duration ~procs =
   let start = find_start t ~earliest ~duration ~procs in
   if duration > 0.0 then reserve t ~start ~duration ~procs;
   start
+
+(* Fold everything strictly before [before] into the scalar aggregates
+   and drop it.  The first remaining segment keeps its level but now
+   starts at [before]; queries before the origin clamp to it, exactly
+   as pre-compaction queries before 0 clamped to 0. *)
+let compact t ~before =
+  if not (Float.is_finite before) then
+    invalid_arg "Profile.compact: non-finite date";
+  if before <= t.dates.(0) then 0
+  else begin
+    let i = seg_index t before in
+    let busy = ref 0.0 in
+    for k = 0 to i - 1 do
+      busy :=
+        !busy +. (float_of_int (t.capacity - t.free.(k)) *. (t.dates.(k + 1) -. t.dates.(k)))
+    done;
+    busy := !busy +. (float_of_int (t.capacity - t.free.(i)) *. (before -. t.dates.(i)));
+    t.folded_busy <- t.folded_busy +. !busy;
+    t.folded_span <- t.folded_span +. (before -. t.dates.(0));
+    t.folded_segments <- t.folded_segments + i;
+    t.n_compact <- t.n_compact + 1;
+    if i > 0 then begin
+      Array.blit t.dates i t.dates 0 (t.len - i);
+      Array.blit t.free i t.free 0 (t.len - i);
+      t.len <- t.len - i
+    end;
+    t.dates.(0) <- before;
+    i
+  end
 
 let holes t ~until =
   let acc = ref [] in

@@ -20,6 +20,10 @@ val create : int -> t
 
 val capacity : t -> int
 
+val origin : t -> float
+(** Left edge of the live timeline: 0 at creation, advanced by
+    {!compact}.  Queries and windows before the origin clamp to it. *)
+
 val free_at : t -> float -> int
 (** Free processors at instant [t] (intervals are half-open [\[s, e)]). *)
 
@@ -49,7 +53,21 @@ val place : t -> earliest:float -> duration:float -> procs:int -> float
 
 val breakpoints : t -> (float * int) list
 (** The step function as (date, free-from-that-date) pairs, strictly
-    increasing dates, first at 0. *)
+    increasing dates, first at the {!origin}. *)
+
+val compact : t -> before:float -> int
+(** [compact t ~before] folds the timeline left of [before] into the
+    aggregate {!stats} scalars ([folded_busy] proc-seconds,
+    [folded_span], [folded_segments]) and drops those segments,
+    advancing the {!origin} to [before].  Returns the number of
+    segments dropped; a no-op returning 0 when [before <= origin t].
+
+    Sound once a simulation clock has passed [before]: every later
+    window and query clamps to the origin, so all observable behaviour
+    at dates [>= before] is identical to the uncompacted profile (the
+    property tests assert this against {!Profile_reference}).  Live
+    memory becomes O(live horizon) instead of O(total jobs placed).
+    @raise Invalid_argument if [before] is not finite. *)
 
 val holes : t -> until:float -> (float * float * int) list
 (** Maximal constant segments [(start, stop, free)] with [free > 0]
@@ -71,6 +89,10 @@ type stats = {
   reserves : int;  (** {!reserve} calls *)
   releases : int;  (** {!release} / {!release_window} calls *)
   searches : int;  (** {!find_start} calls (incl. via {!place}) *)
+  compactions : int;  (** effective {!compact} calls *)
+  folded_segments : int;  (** segments dropped by compaction *)
+  folded_busy : float;  (** proc-seconds folded away (busy time) *)
+  folded_span : float;  (** seconds of timeline folded away *)
 }
 
 val stats : t -> stats

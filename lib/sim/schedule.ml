@@ -20,6 +20,15 @@ let completion_of t id =
   | Some e -> completion e
   | None -> raise Not_found
 
+let completions t =
+  (* First entry per job id wins, matching [completion_of]'s scan order
+     on schedules with repeated ids (fault-injected restart chains). *)
+  let tbl = Hashtbl.create (max 16 (List.length t.entries)) in
+  List.iter
+    (fun e -> if not (Hashtbl.mem tbl e.job_id) then Hashtbl.add tbl e.job_id (completion e))
+    t.entries;
+  tbl
+
 let sort_by_start t =
   { t with entries = List.sort (fun a b -> compare (a.start, a.job_id) (b.start, b.job_id)) t.entries }
 
@@ -29,8 +38,22 @@ let usage_at t date =
     0 t.entries
 
 let peak_usage t =
-  (* Usage only changes at entry starts; peak is attained at one of them. *)
-  List.fold_left (fun acc e -> max acc (usage_at t e.start)) 0 t.entries
+  (* Edge sweep: +procs at each start, -procs at each completion,
+     sorted by (date, delta) so that with half-open intervals a job
+     ending at [d] frees its processors before one starting at [d]
+     claims them.  O(n log n) against the former O(n^2) usage_at scan. *)
+  let edges =
+    List.concat_map (fun e -> [ (e.start, e.procs); (completion e, -e.procs) ]) t.entries
+    |> List.sort (fun (d0, p0) (d1, p1) ->
+           match Float.compare d0 d1 with 0 -> compare p0 p1 | c -> c)
+  in
+  let peak = ref 0 and running = ref 0 in
+  List.iter
+    (fun (_, delta) ->
+      running := !running + delta;
+      if !running > !peak then peak := !running)
+    edges;
+  !peak
 
 let total_work t =
   List.fold_left (fun acc e -> acc +. (float_of_int e.procs *. e.duration)) 0.0 t.entries

@@ -39,6 +39,12 @@ val makespan : t -> float
 val completion_of : t -> int -> float
 (** Completion date of a job id. @raise Not_found if absent. *)
 
+val completions : t -> (int, float) Hashtbl.t
+(** All completion dates keyed by job id, built in one pass.  On
+    repeated ids (restart chains) the first entry wins, matching
+    {!completion_of}.  Use this instead of calling {!completion_of} per
+    job when touching the whole schedule. *)
+
 val sort_by_start : t -> t
 
 val peak_usage : t -> int

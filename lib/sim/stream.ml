@@ -1,0 +1,77 @@
+(* Streaming bounded-memory scheduler.
+
+   Consumes jobs one at a time from a generator (releases must be
+   non-decreasing, as in any online arrival process), places each with
+   the greedy earliest-start rule against a single Profile, folds the
+   placement into a Metrics.Acc, and compacts the profile up to the
+   current release: nothing before the arrival front can influence a
+   later placement, so the live timeline only ever spans the occupied
+   horizon.  No Schedule.t is built unless explicitly requested, so
+   peak memory is O(live horizon), not O(total jobs). *)
+
+open Psched_workload
+
+type result = {
+  jobs : int;
+  metrics : Metrics.t;
+  profile : Profile.stats;
+  schedule : Schedule.t option;
+}
+
+let default_alloc ~m job = min m (Job.max_procs job)
+
+let run ?(compact = true) ?(lag = 0.0) ?alloc ?(keep_schedule = false) ~m next =
+  if m < 1 then invalid_arg "Stream.run: capacity must be >= 1";
+  if lag < 0.0 then invalid_arg "Stream.run: negative lag";
+  let alloc = match alloc with Some f -> f | None -> default_alloc ~m in
+  let profile = Profile.create m in
+  let acc = Metrics.Acc.create ~m in
+  let entries = ref [] in
+  let last_release = ref neg_infinity in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some (job : Job.t) ->
+      if job.release < !last_release then
+        invalid_arg "Stream.run: releases must be non-decreasing";
+      last_release := job.release;
+      (* The arrival front is the compaction watermark: every later job
+         is released at or after it, and find_start never looks left of
+         [earliest], so dropping the history is unobservable.  Per-job
+         compaction also leaves the origin exactly at the next job's
+         release, so reservations starting there reuse the origin
+         breakpoint instead of splitting a segment — the live window
+         stays both short and coarse. *)
+      if compact then
+        ignore (Profile.compact profile ~before:(Float.max 0.0 (job.release -. lag)));
+      let procs = alloc job in
+      if procs < 1 || procs > m then
+        invalid_arg
+          (Printf.sprintf "Stream.run: allocation %d for job %d out of [1, %d]" procs job.id m);
+      let duration = Job.time_on job procs in
+      if not (Float.is_finite duration) then
+        invalid_arg
+          (Printf.sprintf "Stream.run: job %d cannot run on %d processors" job.id procs);
+      let start = Profile.find_start profile ~earliest:job.release ~duration ~procs in
+      if duration > 0.0 then Profile.reserve profile ~start ~duration ~procs;
+      Metrics.Acc.add acc ~job ~start ~procs ~duration;
+      if keep_schedule then
+        entries := { Schedule.job_id = job.id; start; duration; procs; cluster = 0 } :: !entries;
+      loop ()
+  in
+  loop ();
+  {
+    jobs = Metrics.Acc.jobs_seen acc;
+    metrics = Metrics.Acc.result acc;
+    profile = Profile.stats profile;
+    schedule = (if keep_schedule then Some (Schedule.make ~m (List.rev !entries)) else None);
+  }
+
+let of_list jobs =
+  let rest = ref jobs in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | j :: tl ->
+      rest := tl;
+      Some j

@@ -1,0 +1,80 @@
+(* Deterministic Domain pool.
+
+   All Domain.spawn calls in the tree live here (enforced by
+   tools/lint.sh): consumers express parallel work as a map over a list
+   and get back results in input order, independent of how many domains
+   executed them.  Work is split into contiguous chunks, chunk 0 runs
+   on the calling domain, and results land in disjoint slots of a
+   shared array — no locks, no racy counters, no nondeterministic
+   scheduling influence on the output. *)
+
+type stat = {
+  domain : int;
+  tasks : int;
+  busy : float;
+  alloc_bytes : float;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Chunk d of n items over k workers: [d*n/k, (d+1)*n/k). Balanced to
+   within one item and deterministic in d alone. *)
+let chunk_bounds ~n ~workers d = (d * n / workers, (d + 1) * n / workers)
+
+let run_chunk ~clock ~f ~input ~output ~lo ~hi ~domain =
+  let t0 = clock () in
+  let a0 = Gc.allocated_bytes () in
+  for j = lo to hi - 1 do
+    output.(j) <- Some (f input.(j))
+  done;
+  {
+    domain;
+    tasks = hi - lo;
+    busy = clock () -. t0;
+    alloc_bytes = Gc.allocated_bytes () -. a0;
+  }
+
+let map_stats ?(domains = default_domains ()) ?(clock = Sys.time) f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let workers = max 1 (min domains n) in
+  let output = Array.make n None in
+  let stats =
+    if workers = 1 then
+      [ run_chunk ~clock ~f ~input ~output ~lo:0 ~hi:n ~domain:0 ]
+    else begin
+      let spawned =
+        Array.init (workers - 1) (fun i ->
+            let d = i + 1 in
+            let lo, hi = chunk_bounds ~n ~workers d in
+            Domain.spawn (fun () ->
+                run_chunk ~clock ~f ~input ~output ~lo ~hi ~domain:d))
+      in
+      (* Chunk 0 runs here; join even if it raises so no domain leaks. *)
+      let join () = Array.map Domain.join spawned in
+      let s0, rest =
+        match run_chunk ~clock ~f ~input ~output ~lo:0 ~hi:(n / workers) ~domain:0 with
+        | s0 -> (s0, join ())
+        | exception e ->
+          ignore (try join () with _ -> [||]);
+          raise e
+      in
+      s0 :: Array.to_list rest
+    end
+  in
+  let results =
+    Array.to_list output
+    |> List.map (function
+         | Some y -> y
+         | None -> invalid_arg "Pool.map_stats: worker left a hole")
+  in
+  (results, stats)
+
+let map ?domains ?clock f xs = fst (map_stats ?domains ?clock f xs)
+
+let map_seeded ?domains ?clock ~rng f xs =
+  (* One child stream per item (not per domain), so the value computed
+     for item i is the same whatever [domains] is. *)
+  let streams = Rng.split_n rng (List.length xs) in
+  let indexed = List.mapi (fun i x -> (i, x)) xs in
+  map ?domains ?clock (fun (i, x) -> f streams.(i) x) indexed

@@ -1,0 +1,57 @@
+(** Deterministic Domain pool for embarrassingly parallel work.
+
+    This module owns every [Domain.spawn] in the tree (a lint gate in
+    [tools/lint.sh] enforces it).  The contract is strict determinism:
+    [map f xs] returns exactly [List.map f xs] — same values, same
+    order — for every choice of [?domains], including 1, where no
+    domain is spawned at all.  Parallelism only changes wall-clock
+    time, never results.
+
+    Work splitting is contiguous chunking ([d*n/k .. (d+1)*n/k)), chunk
+    0 runs on the calling domain, and each worker writes to disjoint
+    slots of a shared result array, so no synchronisation beyond
+    [Domain.join] is needed.
+
+    [f] must not touch shared mutable state.  For stochastic tasks use
+    {!map_seeded}, which derives one {!Rng} stream per {e item} (via
+    {!Rng.split_n}) so draws cannot leak between tasks or depend on the
+    shard layout. *)
+
+type stat = {
+  domain : int;  (** worker index; 0 is the calling domain *)
+  tasks : int;  (** items executed by this worker *)
+  busy : float;  (** clock spent inside this worker's chunk *)
+  alloc_bytes : float;  (** bytes allocated by this worker's chunk *)
+}
+(** Per-worker cost, for span-profiler attribution. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val map : ?domains:int -> ?clock:(unit -> float) -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?domains f xs] is [List.map f xs], computed on up to [domains]
+    domains (default {!default_domains}).  [domains <= 1] runs inline
+    on the calling domain with no spawn.  Exceptions raised by [f]
+    propagate after all spawned domains have been joined. *)
+
+val map_stats :
+  ?domains:int ->
+  ?clock:(unit -> float) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list * stat list
+(** Like {!map} but also returns one {!stat} per worker (ordered by
+    worker index).  [clock] defaults to [Sys.time] (process CPU time);
+    pass a wall clock, e.g. [Unix.gettimeofday], for elapsed-time
+    attribution. *)
+
+val map_seeded :
+  ?domains:int ->
+  ?clock:(unit -> float) ->
+  rng:Rng.t ->
+  (Rng.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [map_seeded ~rng f xs] gives each item its own generator derived
+    with {!Rng.split_n} (advancing [rng] once), then maps in parallel.
+    Results are identical for every [?domains]. *)

@@ -8,13 +8,15 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let state = ref (Int64.of_int seed) in
+let of_seed64 seed =
+  let state = ref seed in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
@@ -35,6 +37,17 @@ let bits64 t =
 let split t =
   let seed = Int64.to_int (bits64 t) in
   create seed
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  (* One draw from the parent fixes the whole family; child i re-keys
+     splitmix64 at golden-ratio offsets from that base, so streams are
+     reproducible regardless of how many siblings are derived and do
+     not depend on each other's consumption. *)
+  let base = bits64 t in
+  Array.init n (fun i ->
+      of_seed64
+        (Int64.add base (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (i + 1)))))
 
 let int t bound =
   assert (bound > 0);

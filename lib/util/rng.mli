@@ -20,6 +20,15 @@ val split : t -> t
     independent of the future of [t]; used to give each simulation
     component its own stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] advances [t] once and derives [n] child generators,
+    each statistically independent of the others and of the future of
+    [t].  Child [i] is a pure function of the parent's single draw and
+    of [i] (splitmix64 re-keyed at golden-ratio offsets), so the family
+    is reproducible regardless of the order the children are consumed
+    in — the foundation for deterministic per-domain and per-task
+    streams in {!Pool}.  Raises [Invalid_argument] on negative [n]. *)
+
 val bits64 : t -> int64
 (** Next raw 64 random bits. *)
 

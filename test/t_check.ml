@@ -264,6 +264,52 @@ let test_analyzer_sweep_smoke () =
     (T_helpers.contains json "cert.cmax.mrt");
   Alcotest.(check bool) "json counts errors" true (T_helpers.contains json "\"errors\":0")
 
+let test_analyzer_sharded_byte_identical () =
+  (* Sharding the sweep over domains must not change one byte of the
+     report: cells are pure and merged back in input order. *)
+  let corpus =
+    [
+      {
+        Corpus.name = "shard";
+        m = 8;
+        jobs =
+          Workload_gen.moldable_uniform (Psched_util.Rng.create 7) ~n:12 ~m:8 ~tmin:1.0
+            ~tmax:10.0;
+      };
+    ]
+  in
+  let policies = [ "mrt"; "conservative"; "fcfs"; "easy" ] in
+  let sequential = Report.to_json (Analyzer.analyze_all ~policies ~corpus ()) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical with %d domains" domains)
+        sequential
+        (Report.to_json (Analyzer.analyze_all ~policies ~corpus ~domains ())))
+    [ 2; 4 ]
+
+let test_analyzer_sweep_spans () =
+  (* With an enabled obs handle the sweep attributes per-domain cost
+     into the span table under check.sweep;domainN. *)
+  let obs = Psched_obs.Obs.create () in
+  let corpus =
+    [
+      {
+        Corpus.name = "span";
+        m = 4;
+        jobs =
+          Workload_gen.moldable_uniform (Psched_util.Rng.create 5) ~n:6 ~m:4 ~tmin:1.0
+            ~tmax:5.0;
+      };
+    ]
+  in
+  ignore (Analyzer.analyze_all ~policies:[ "mrt"; "fcfs" ] ~corpus ~domains:2 ~obs ());
+  let paths = List.map fst (Psched_obs.Obs.span_stats obs) in
+  Alcotest.(check bool) "domain0 span recorded" true
+    (List.mem "check.sweep;domain0" paths);
+  Alcotest.(check bool) "domain1 span recorded" true
+    (List.mem "check.sweep;domain1" paths)
+
 let test_report_exit_code () =
   let bad =
     {
@@ -314,6 +360,9 @@ let suite =
     Alcotest.test_case "corrupted fixture trips rules" `Quick test_corrupt_fixture;
     Alcotest.test_case "JSONL decode errors" `Quick test_jsonl_decode_errors;
     Alcotest.test_case "analyzer sweep smoke" `Quick test_analyzer_sweep_smoke;
+    Alcotest.test_case "analyzer sharded sweep byte-identical" `Quick
+      test_analyzer_sharded_byte_identical;
+    Alcotest.test_case "analyzer sweep spans" `Quick test_analyzer_sweep_spans;
     Alcotest.test_case "report exit code" `Quick test_report_exit_code;
     Alcotest.test_case "grid non-interference" `Quick test_grid_noninterference;
     Alcotest.test_case "crashing rule becomes finding" `Quick test_rule_crash_is_finding;

@@ -221,6 +221,17 @@ let test_degradation_deterministic () =
   Alcotest.(check string) "same JSON byte for byte" (F.Robustness.to_json t1)
     (F.Robustness.to_json t2)
 
+let test_degradation_sharded_identical () =
+  (* All randomness is drawn before the grid replays, so sharding the
+     replay over domains cannot move a single row. *)
+  let run domains =
+    F.Robustness.to_json
+      (F.Robustness.degradation ~rates:[ 0.01; 0.05 ] ~n:12 ~domains ~seed:19 ())
+  in
+  let sequential = run 1 in
+  Alcotest.(check string) "2 domains byte-identical" sequential (run 2);
+  Alcotest.(check string) "4 domains byte-identical" sequential (run 4)
+
 let qcheck_injector_conservation =
   T_helpers.qtest ~count:60 "injector: work conservation across policies"
     (T_helpers.arb_instance ~releases:true `Rigid)
@@ -423,6 +434,8 @@ let suite =
     Alcotest.test_case "injector backoff delay" `Quick test_injector_backoff_delays_restart;
     Alcotest.test_case "checkpoint beats restart" `Quick test_injector_checkpoint_beats_restart;
     Alcotest.test_case "degradation deterministic" `Quick test_degradation_deterministic;
+    Alcotest.test_case "degradation sharded identical" `Quick
+      test_degradation_sharded_identical;
     qcheck_injector_conservation;
     qcheck_injector_restart_valid;
     qcheck_best_effort_non_interference;

@@ -212,6 +212,35 @@ let test_migration_delay () =
   let d = Multi_cluster.migration_delay grid (Job.rigid ~id:0 ~procs:1 ~time:1.0 ()) ~src:0 ~dst:2 in
   Alcotest.(check bool) "cross-cluster costs" true (d > 0.0)
 
+let test_mc_parallel_identical () =
+  (* Independent dispatch shards one cluster per domain; the merged
+     outcome must match the sequential one exactly.  Policies with
+     cross-cluster state fall back to the sequential path, so they too
+     must be invariant in [?domains]. *)
+  let rng = Rng.create 91 in
+  let jobs = grid_jobs rng ~n:150 in
+  let project (o : Multi_cluster.outcome) =
+    ( List.map
+        (fun (p : Multi_cluster.placement) ->
+          ( p.Multi_cluster.job.Job.id,
+            p.Multi_cluster.cluster,
+            p.Multi_cluster.migrated,
+            p.Multi_cluster.entry.Psched_sim.Schedule.start,
+            p.Multi_cluster.entry.Psched_sim.Schedule.procs ))
+        o.Multi_cluster.placements,
+      (o.Multi_cluster.migrations, o.Multi_cluster.rerouted),
+      (o.Multi_cluster.makespan, o.Multi_cluster.mean_flow, o.Multi_cluster.fairness) )
+  in
+  List.iter
+    (fun (name, policy) ->
+      let seq = Multi_cluster.simulate policy ~grid ~jobs in
+      let par = Multi_cluster.simulate ~domains:4 policy ~grid ~jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: domains=4 = sequential" name)
+        true
+        (project seq = project par))
+    policies
+
 let suite =
   [
     Alcotest.test_case "best-effort: locals undisturbed" `Quick test_be_local_jobs_undisturbed;
@@ -228,4 +257,6 @@ let suite =
     Alcotest.test_case "multi-cluster: sharing helps" `Quick test_mc_sharing_helps_imbalanced_load;
     Alcotest.test_case "multi-cluster: fairness range" `Quick test_mc_fairness_in_range;
     Alcotest.test_case "multi-cluster: migration delay" `Quick test_migration_delay;
+    Alcotest.test_case "multi-cluster: parallel dispatch identical" `Quick
+      test_mc_parallel_identical;
   ]

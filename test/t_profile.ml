@@ -100,6 +100,163 @@ let qcheck_engines_agree =
     (fun (m, ops) ->
       observe (module Profile) m ops = observe (module Profile_reference) m ops)
 
+(* --- compaction ------------------------------------------------------- *)
+
+(* Compaction soundness: a Profile compacted at a monotone watermark
+   must answer every query over windows at or beyond the watermark
+   exactly like the uncompacted Profile_reference oracle.  Steps either
+   advance the watermark (triggering a compact) or run an op whose
+   dates are offsets from the current watermark, so no op ever looks
+   into folded history — the regime Stream.run guarantees. *)
+type cstep =
+  | Advance of float
+  | Op of op
+
+let pp_cstep ppf = function
+  | Advance w -> Format.fprintf ppf "advance +%g" w
+  | Op o -> pp_op ppf o
+
+(* Like [observe] but without the breakpoint list: compaction is
+   allowed to change segmentation, never answers.  The closure keeps
+   the engine's own state so the first-class module type never
+   escapes. *)
+let stepper (module P : Profile_intf.S) m =
+  let q = P.create m in
+  fun op ->
+    match op with
+    | Reserve (start, duration, procs) -> (
+      match P.reserve q ~start ~duration ~procs with
+      | () -> Unit
+      | exception Invalid_argument msg -> Error msg)
+    | Release (start, duration, procs) -> (
+      match P.release q ~start ~duration ~procs with
+      | () -> Unit
+      | exception Invalid_argument msg -> Error msg)
+    | Release_window (start, stop, procs) -> (
+      match P.release_window q ~start ~stop ~procs with
+      | () -> Unit
+      | exception Invalid_argument msg -> Error msg)
+    | Find (earliest, duration, procs) -> (
+      match P.find_start q ~earliest ~duration ~procs with
+      | s -> Start s
+      | exception Not_found -> Error "not found")
+    | Place (earliest, duration, procs) -> (
+      match P.place q ~earliest ~duration ~procs with
+      | s -> Start s
+      | exception Not_found -> Error "not found")
+    | Free_at date -> Count (P.free_at q date)
+    | Holes _ -> Unit
+
+let run_compacted m steps =
+  let p = Profile.create m in
+  (* The subject must be the same instance we compact, so drive it
+     directly; the oracle goes through the shared stepper. *)
+  let subject op =
+    match op with
+    | Reserve (start, duration, procs) -> (
+      match Profile.reserve p ~start ~duration ~procs with
+      | () -> Unit
+      | exception Invalid_argument msg -> Error msg)
+    | Release (start, duration, procs) -> (
+      match Profile.release p ~start ~duration ~procs with
+      | () -> Unit
+      | exception Invalid_argument msg -> Error msg)
+    | Release_window (start, stop, procs) -> (
+      match Profile.release_window p ~start ~stop ~procs with
+      | () -> Unit
+      | exception Invalid_argument msg -> Error msg)
+    | Find (earliest, duration, procs) -> (
+      match Profile.find_start p ~earliest ~duration ~procs with
+      | s -> Start s
+      | exception Not_found -> Error "not found")
+    | Place (earliest, duration, procs) -> (
+      match Profile.place p ~earliest ~duration ~procs with
+      | s -> Start s
+      | exception Not_found -> Error "not found")
+    | Free_at date -> Count (Profile.free_at p date)
+    | Holes _ -> Unit
+  in
+  let oracle = stepper (module Profile_reference) m in
+  let watermark = ref 0.0 in
+  let shift = function
+    | Reserve (s, d, pr) -> Reserve (!watermark +. s, d, pr)
+    | Release (s, d, pr) -> Release (!watermark +. s, d, pr)
+    | Release_window (s, e, pr) -> Release_window (!watermark +. s, !watermark +. e, pr)
+    | Find (e, d, pr) -> Find (!watermark +. e, d, pr)
+    | Place (e, d, pr) -> Place (!watermark +. e, d, pr)
+    | Free_at d -> Free_at (!watermark +. d)
+    | Holes u -> Holes (!watermark +. u)
+  in
+  let observations =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Advance w ->
+          watermark := !watermark +. w;
+          ignore (Profile.compact p ~before:!watermark);
+          None
+        | Op op ->
+          let op = shift op in
+          Some (subject op, oracle op))
+      steps
+  in
+  (observations, Profile.stats p, !watermark)
+
+let gen_csteps =
+  let open QCheck.Gen in
+  let date = map (fun k -> 0.5 *. float_of_int k) (int_range 0 20) in
+  let duration = map (fun k -> 0.5 *. float_of_int k) (int_range 1 12) in
+  let gen_step m =
+    frequency
+      [
+        (2, map (fun w -> Advance (0.5 *. float_of_int w)) (int_range 0 8));
+        (4, map3 (fun s d p -> Op (Reserve (s, d, p))) date duration (int_range 0 (m + 2)));
+        (1, map3 (fun s d p -> Op (Release (s, d, p))) date duration (int_range 0 (m + 2)));
+        (3, map3 (fun e d p -> Op (Find (e, d, p))) date duration (int_range 0 (m + 2)));
+        (3, map3 (fun e d p -> Op (Place (e, d, p))) date duration (int_range 0 (m + 2)));
+        (1, map (fun d -> Op (Free_at d)) date);
+      ]
+  in
+  let* m = int_range 1 16 in
+  let* steps = list_size (int_range 1 40) (gen_step m) in
+  return (m, steps)
+
+let arb_csteps =
+  QCheck.make
+    ~print:(fun (m, steps) ->
+      Format.asprintf "m=%d@ %a" m (Format.pp_print_list pp_cstep) steps)
+    gen_csteps
+
+let qcheck_compaction_transparent =
+  T_helpers.qtest ~count:1000
+    "profile compaction: compacted = reference beyond the watermark" arb_csteps
+    (fun (m, steps) ->
+      let observations, stats, watermark = run_compacted m steps in
+      List.for_all (fun (a, b) -> a = b) observations
+      (* Conservation: folded spans add up to the origin shift. *)
+      && Float.abs (stats.Profile.folded_span -. watermark) <= 1e-9 *. (1.0 +. watermark))
+
+let test_compact_basics () =
+  let p = Profile.create 4 in
+  Profile.reserve p ~start:0.0 ~duration:2.0 ~procs:3;
+  Profile.reserve p ~start:2.0 ~duration:2.0 ~procs:1;
+  (* Folding half of the busy history: 3 procs over [0,2) and 1 proc
+     over [2,3) were in use before the watermark. *)
+  let dropped = Profile.compact p ~before:3.0 in
+  Alcotest.(check int) "segments dropped" 1 dropped;
+  Alcotest.(check (float 1e-9)) "origin advanced" 3.0 (Profile.origin p);
+  let s = Profile.stats p in
+  Alcotest.(check int) "compactions" 1 s.Profile.compactions;
+  Alcotest.(check int) "folded segments" 1 s.Profile.folded_segments;
+  Alcotest.(check (float 1e-9)) "folded busy" 7.0 s.Profile.folded_busy;
+  Alcotest.(check (float 1e-9)) "folded span" 3.0 s.Profile.folded_span;
+  (* Queries at or beyond the watermark still see the live tail. *)
+  Alcotest.(check int) "free in live tail" 3 (Profile.free_at p 3.5);
+  Alcotest.(check (float 1e-9)) "find clamps to origin" 4.0
+    (Profile.find_start p ~earliest:0.0 ~duration:1.0 ~procs:4);
+  (* Compacting behind the origin is a no-op. *)
+  Alcotest.(check int) "no-op compact" 0 (Profile.compact p ~before:1.0)
+
 (* --- regressions ------------------------------------------------------ *)
 
 let test_zero_duration_window () =
@@ -168,6 +325,8 @@ let test_usage_timeline () =
 let suite =
   [
     qcheck_engines_agree;
+    qcheck_compaction_transparent;
+    Alcotest.test_case "compaction basics" `Quick test_compact_basics;
     Alcotest.test_case "zero-duration windows" `Quick test_zero_duration_window;
     Alcotest.test_case "back-to-back merge" `Quick test_back_to_back_merge;
     Alcotest.test_case "copy is deep" `Quick test_copy_deep;

@@ -342,4 +342,67 @@ let executor_suite =
     Alcotest.test_case "executor until" `Quick test_executor_until;
   ]
 
-let suite = base_suite @ export_suite @ executor_suite
+(* --- streaming engine -------------------------------------------------- *)
+
+let stream_jobs ~seed ~n =
+  let rng = Psched_util.Rng.create seed in
+  let release = ref 0.0 in
+  List.init n (fun id ->
+      (* Mean work per job is E[procs] * E[time] ~ 4.5 * 25.5; spacing
+         arrivals at ~90% of a 16-proc cluster's capacity keeps the
+         backlog (and so the live horizon) bounded. *)
+      release := !release +. Psched_util.Rng.exp_mean rng 8.0;
+      let procs = 1 + Psched_util.Rng.int rng 8 in
+      let time = Psched_util.Rng.uniform rng 1.0 50.0 in
+      Job.rigid ~release:!release ~id ~procs ~time ())
+
+let test_stream_compaction_bit_identical () =
+  (* The tentpole invariant: folding passed history into aggregates
+     must not change a single reported bit. *)
+  let jobs = stream_jobs ~seed:5 ~n:400 in
+  let a = Stream.run ~compact:true ~m:16 (Stream.of_list jobs) in
+  let b = Stream.run ~compact:false ~m:16 (Stream.of_list jobs) in
+  Alcotest.(check int) "jobs" a.Stream.jobs b.Stream.jobs;
+  Alcotest.(check bool) "metrics bit-identical" true (a.Stream.metrics = b.Stream.metrics);
+  let sa = a.Stream.profile and sb = b.Stream.profile in
+  Alcotest.(check bool) "history was folded" true (sa.Profile.compactions > 0);
+  Alcotest.(check bool) "live window stays small" true
+    (sa.Profile.peak_segments < sb.Profile.peak_segments / 4)
+
+let test_stream_acc_matches_compute () =
+  (* Acc feeds placements in the order compute observes them, so the
+     incremental report equals the schedule-based one bit for bit. *)
+  let jobs = stream_jobs ~seed:9 ~n:300 in
+  let r = Stream.run ~keep_schedule:true ~m:12 (Stream.of_list jobs) in
+  let sched = Option.get r.Stream.schedule in
+  Alcotest.(check bool) "Acc = compute" true
+    (r.Stream.metrics = Metrics.compute ~jobs sched);
+  Alcotest.(check int) "every job placed" (List.length jobs)
+    (List.length sched.Schedule.entries)
+
+let test_stream_rejects_regression () =
+  let j0 = Job.rigid ~release:1.0 ~id:0 ~procs:1 ~time:1.0 () in
+  let j1 = Job.rigid ~release:0.5 ~id:1 ~procs:1 ~time:1.0 () in
+  Alcotest.check_raises "releases must be non-decreasing"
+    (Invalid_argument "Stream.run: releases must be non-decreasing") (fun () ->
+      ignore (Stream.run ~m:4 (Stream.of_list [ j0; j1 ])))
+
+let test_stream_lag_keeps_recent_past () =
+  (* With a lag, the origin trails the arrival front by that much. *)
+  let jobs = stream_jobs ~seed:13 ~n:200 in
+  let a = Stream.run ~lag:25.0 ~m:8 (Stream.of_list jobs) in
+  let b = Stream.run ~m:8 (Stream.of_list jobs) in
+  Alcotest.(check bool) "metrics unchanged by lag" true (a.Stream.metrics = b.Stream.metrics);
+  Alcotest.(check bool) "lag folds less" true
+    (a.Stream.profile.Profile.folded_span <= b.Stream.profile.Profile.folded_span)
+
+let stream_suite =
+  [
+    Alcotest.test_case "stream: compaction bit-identical" `Quick
+      test_stream_compaction_bit_identical;
+    Alcotest.test_case "stream: Acc = compute" `Quick test_stream_acc_matches_compute;
+    Alcotest.test_case "stream: release regression" `Quick test_stream_rejects_regression;
+    Alcotest.test_case "stream: lag" `Quick test_stream_lag_keeps_recent_past;
+  ]
+
+let suite = base_suite @ export_suite @ executor_suite @ stream_suite

@@ -23,6 +23,62 @@ let test_rng_split_differs () =
   let xa = Rng.bits64 a and xb = Rng.bits64 b in
   Alcotest.(check bool) "split stream differs" true (xa <> xb)
 
+let test_rng_split_n () =
+  let a = Rng.create 11 and b = Rng.create 11 in
+  let xs = Rng.split_n a 6 and ys = Rng.split_n b 6 in
+  Alcotest.(check int) "count" 6 (Array.length xs);
+  (* Deterministic: same parent state gives the same children. *)
+  Array.iter2
+    (fun x y -> Alcotest.(check int64) "same child stream" (Rng.bits64 x) (Rng.bits64 y))
+    xs ys;
+  (* Children and the advanced parent are pairwise distinct streams. *)
+  let heads = Array.to_list (Array.map Rng.bits64 xs) @ [ Rng.bits64 a ] in
+  let sorted = List.sort_uniq Int64.compare heads in
+  Alcotest.(check int) "distinct streams" (List.length heads) (List.length sorted);
+  Alcotest.(check int) "zero children" 0 (Array.length (Rng.split_n (Rng.create 1) 0));
+  Alcotest.check_raises "negative count" (Invalid_argument "Rng.split_n: negative count")
+    (fun () -> ignore (Rng.split_n (Rng.create 1) (-1)))
+
+let test_rng_split_n_independent () =
+  (* Statistical independence of sibling streams: each child's uniform
+     draws have mean ~1/2, and pairwise Pearson correlation between
+     siblings stays near zero.  Bounds are loose (5 sigma-ish) so the
+     test is deterministic-stable, but would catch overlapping or
+     lock-stepped streams outright. *)
+  let n = 4096 in
+  let children = Rng.split_n (Rng.create 2024) 5 in
+  let draws =
+    Array.map (fun c -> Array.init n (fun _ -> Rng.float c 1.0)) children
+  in
+  let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  Array.iteri
+    (fun i xs ->
+      let mu = mean xs in
+      Alcotest.(check bool)
+        (Printf.sprintf "child %d mean near 1/2" i)
+        true
+        (Float.abs (mu -. 0.5) < 0.025))
+    draws;
+  let correlation xs ys =
+    let mx = mean xs and my = mean ys in
+    let num = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+    for k = 0 to n - 1 do
+      let dx = xs.(k) -. mx and dy = ys.(k) -. my in
+      num := !num +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy)
+    done;
+    !num /. sqrt (!vx *. !vy)
+  in
+  for i = 0 to Array.length draws - 1 do
+    for j = i + 1 to Array.length draws - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "children %d,%d uncorrelated" i j)
+        true
+        (Float.abs (correlation draws.(i) draws.(j)) < 0.08)
+    done
+  done
+
 let qcheck_rng_int_bounds =
   T_helpers.qtest "rng: int within bounds" QCheck.(pair small_int (int_range 1 1000))
     (fun (seed, bound) ->
@@ -97,11 +153,66 @@ let qcheck_percentile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
 
+(* --- pool --------------------------------------------------------------- *)
+
+let test_pool_map_is_list_map () =
+  let xs = List.init 57 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expect = List.map f xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map with %d domains" domains)
+        expect
+        (Pool.map ~domains f xs))
+    [ 1; 2; 3; 8; 100 ];
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~domains:4 f []);
+  Alcotest.(check (list int)) "single item" [ 10 ] (Pool.map ~domains:4 f [ 3 ])
+
+let test_pool_map_stats () =
+  let xs = List.init 20 (fun i -> i) in
+  let results, stats = Pool.map_stats ~domains:4 (fun x -> x + 1) xs in
+  Alcotest.(check (list int)) "results" (List.map (fun x -> x + 1) xs) results;
+  Alcotest.(check int) "one stat per worker" 4 (List.length stats);
+  List.iteri
+    (fun i (s : Pool.stat) -> Alcotest.(check int) "worker index" i s.Pool.domain)
+    stats;
+  Alcotest.(check int) "tasks cover the input" 20
+    (List.fold_left (fun acc (s : Pool.stat) -> acc + s.Pool.tasks) 0 stats)
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "exception from a worker chunk" (Failure "boom") (fun () ->
+      ignore (Pool.map ~domains:3 (fun x -> if x = 7 then failwith "boom" else x)
+                (List.init 9 (fun i -> i))))
+
+let test_pool_map_seeded_shard_independent () =
+  (* The per-item seeding contract: draws depend only on the item's
+     index, never on how items are sharded over domains. *)
+  let xs = List.init 31 (fun i -> i) in
+  let run domains =
+    Pool.map_seeded ~domains ~rng:(Rng.create 77)
+      (fun rng x -> (x, Rng.float rng 1.0, Rng.int rng 1000))
+      xs
+  in
+  let expect = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list (triple int (float 0.0) int)))
+        (Printf.sprintf "seeded map with %d domains" domains)
+        expect (run domains))
+    [ 2; 4; 31 ]
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng copy" `Quick test_rng_copy_independent;
     Alcotest.test_case "rng split" `Quick test_rng_split_differs;
+    Alcotest.test_case "rng split_n" `Quick test_rng_split_n;
+    Alcotest.test_case "rng split_n independence" `Quick test_rng_split_n_independent;
+    Alcotest.test_case "pool map = List.map" `Quick test_pool_map_is_list_map;
+    Alcotest.test_case "pool map_stats" `Quick test_pool_map_stats;
+    Alcotest.test_case "pool exceptions propagate" `Quick test_pool_exception_propagates;
+    Alcotest.test_case "pool map_seeded shard-independent" `Quick test_pool_map_seeded_shard_independent;
     qcheck_rng_int_bounds;
     qcheck_rng_float_bounds;
     qcheck_rng_exponential_positive;

@@ -47,7 +47,17 @@ if [ "$count" -gt "$baseline" ]; then
   err "lib/core raises invalid_arg in $count places (baseline $baseline): return a typed Scheduler_intf.error instead"
 fi
 
-# 4. The analyzer itself must never raise on bad input: findings, not
+# 4. Domain.spawn belongs to the Pool only: every parallel consumer
+#    goes through Pool.map / map_stats / map_seeded so determinism
+#    (results independent of ?domains) is enforced in one place.
+hits=$(grep -rn 'Domain\.spawn' lib bin bench examples test --include='*.ml' 2>/dev/null \
+  | grep -v '^lib/util/pool\.ml:')
+if [ -n "$hits" ]; then
+  echo "$hits" >&2
+  err "Domain.spawn outside lib/util/pool.ml (route parallel work through Pool.map)"
+fi
+
+# 5. The analyzer itself must never raise on bad input: findings, not
 #    exceptions.
 hits=$(grep -rn 'invalid_arg\|failwith\|raise ' lib/check --include='*.ml' 2>/dev/null)
 if [ -n "$hits" ]; then

@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench bench-fault bench-scale bench-scale-full bench-diff profile trace-smoke lint analyze check clean
+.PHONY: all build test bench-smoke bench bench-fault bench-scale bench-scale-full bench-serve bench-diff profile trace-smoke soak lint analyze check clean
 
 all: build
 
@@ -34,6 +34,12 @@ bench-scale:
 bench-scale-full:
 	dune exec bin/psched.exe -- bench scale --json BENCH_scale.json
 
+# Serve-daemon throughput and decision latency: steady Poisson load and
+# a 2x storm against a bounded admission queue; exits 1 if the storm
+# fails to engage shedding.  Rewrites BENCH_serve_quick.json.
+bench-serve:
+	dune exec bin/psched.exe -- bench serve --quick --json BENCH_serve_quick.json
+
 # Noise-aware regression gate: re-measure the quick pair and the quick
 # scaling point, diff both against their committed baselines (exit 1
 # past the threshold when the confidence intervals are disjoint).  CI
@@ -63,6 +69,13 @@ trace-smoke:
 		--trace trace_mrt.jsonl
 	dune exec bin/psched.exe -- trace check trace_easy.jsonl trace_mrt.jsonl
 
+# Crash-safety soak (DESIGN.md section 14): a throttled serve run under
+# fault injection with live /metrics, SIGKILLed mid-run, recovered from
+# the WAL + snapshot, and audited for job conservation across the crash.
+soak:
+	dune build @all
+	sh tools/soak.sh
+
 # Grep gates (deprecated Export aliases, float equality on times,
 # invalid_arg ratchet in lib/core, raise-free lib/check) plus a strict
 # -warn-error +a build of the whole tree (DESIGN.md section 11).
@@ -76,7 +89,7 @@ lint:
 analyze:
 	dune exec bin/psched.exe -- check --all --json check_report.json
 
-check: build test bench-smoke bench-fault bench-scale trace-smoke lint analyze
+check: build test bench-smoke bench-fault bench-scale bench-serve trace-smoke soak lint analyze
 
 clean:
 	dune clean

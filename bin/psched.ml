@@ -11,9 +11,9 @@ open Psched_sim
 (* ------------------------------------------------------------- fig2 *)
 
 let fig2_cmd =
-  let run quick m seeds =
+  let run quick m seeds domains =
     let ns = if quick then Some [ 50; 100; 200; 400; 700; 1000 ] else None in
-    let result = Psched_experiments.Fig2.run ~m ~seeds ?ns () in
+    let result = Psched_experiments.Fig2.run ~domains ~m ~seeds ?ns () in
     print_string (Psched_experiments.Fig2.to_string result)
   in
   let quick =
@@ -21,9 +21,15 @@ let fig2_cmd =
   in
   let m = Arg.(value & opt int 100 & info [ "m" ] ~doc:"Cluster size (the paper uses 100).") in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Seeds averaged per point.") in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains sharding the replications (1 = sequential; the output is \
+                   identical for every value).")
+  in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Regenerate Figure 2 (bi-criteria ratios vs number of tasks).")
-    Term.(const run $ quick $ m $ seeds)
+    Term.(const run $ quick $ m $ seeds $ jobs)
 
 (* ------------------------------------------------------------ tables *)
 
@@ -262,6 +268,27 @@ let bench_show_cmd =
    then time the sequential vs sharded check --all sweep and verify
    byte-identical reports.  Output conforms to psched-bench/2 so the
    existing `psched bench diff` regression gate covers it. *)
+let vm_hwm_mb () =
+  (* Max resident set from the kernel where available; None elsewhere. *)
+  match open_in "/proc/self/status" with
+  | exception _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" -> (
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | _ :: v :: _ -> Option.map (fun kb -> float_of_int kb /. 1024.0) (int_of_string_opt v)
+        | _ -> None)
+      | _ -> scan ()
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) scan
+
+let top_heap_mb () =
+  float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+  *. float_of_int (Sys.word_size / 8)
+  /. 1048576.0
+
 let bench_scale_cmd =
   let module Check = Psched_check in
   let scale_stream ~seed ~n ~m =
@@ -285,24 +312,6 @@ let bench_scale_cmd =
         Some (Job.rigid ~release:!release ~id ~procs ~time ())
       end
   in
-  let vm_hwm_mb () =
-    (* Max resident set from the kernel where available; None elsewhere. *)
-    match open_in "/proc/self/status" with
-    | exception _ -> None
-    | ic ->
-      let rec scan () =
-        match input_line ic with
-        | exception End_of_file -> None
-        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" -> (
-          match
-            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-          with
-          | _ :: v :: _ -> Option.map (fun kb -> float_of_int kb /. 1024.0) (int_of_string_opt v)
-          | _ -> None)
-        | _ -> scan ()
-      in
-      Fun.protect ~finally:(fun () -> close_in ic) scan
-  in
   let run quick points repeats jobs seed out =
     let points = if quick then [ List.hd points ] else points in
     let repeats = max 1 repeats in
@@ -325,10 +334,7 @@ let bench_scale_cmd =
         let lo = List.hd walls and hi = List.nth walls (List.length walls - 1) in
         let r = snd (List.hd runs) in
         let s = r.Psched_sim.Stream.profile in
-        let heap_mb =
-          float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. float_of_int (Sys.word_size / 8)
-          /. 1048576.0
-        in
+        let heap_mb = top_heap_mb () in
         add_row (tag ^ " wall") ~est:(med *. 1e9) ~lo:(lo *. 1e9) ~hi:(hi *. 1e9)
           ~samples:repeats;
         add_row (tag ^ " peak-live-segments")
@@ -431,10 +437,169 @@ let bench_scale_cmd =
           sweep is not byte-identical to the sequential one.")
     Term.(const run $ quick $ points $ repeats $ jobs $ seed $ out)
 
+let bench_serve_cmd =
+  let module Serve = Psched_serve in
+  let run quick m count every cap rate factor seed repeats out =
+    let count = if quick then min count 2_000 else count in
+    let repeats = max 1 repeats in
+    let procs_max = max 1 (m / 4) in
+    let tmin = 10.0 and tmax = 1000.0 in
+    let mean_procs = float_of_int (1 + procs_max) /. 2.0 in
+    let mean_time = (tmin +. tmax) /. 2.0 in
+    let mean_work = mean_procs *. mean_time in
+    let rate =
+      if rate > 0.0 then rate
+      else
+        (* Steady rate pitched at ~90% offered load, as in bench scale. *)
+        0.9 *. float_of_int m /. mean_work
+    in
+    (* Cap the per-cycle backlog just under one cycle of machine
+       capacity: the steady run clears it, the storm overflows it and
+       must shed, keeping admitted load — and live profile memory —
+       bounded regardless of how many jobs the storm throws. *)
+    let cap =
+      if cap > 0 then cap
+      else max 4 (int_of_float (0.94 *. float_of_int m *. every /. mean_work))
+    in
+    let rows = ref [] in
+    let add_row name ~est ~lo ~hi ~samples =
+      rows := (name, est, lo, hi, samples) :: !rows
+    in
+    let bench tag ~repeats ~count arrival_rate =
+      let runs =
+        List.init repeats (fun rep ->
+            Gc.compact ();
+            let cfg =
+              Serve.Daemon.config ~m ~round_every:every ~queue_cap:cap
+                ~shed:Serve.Admission.Reject ()
+            in
+            let arr =
+              Serve.Arrivals.poisson ~procs_max ~tmin ~tmax ~m ~rate:arrival_rate
+                ~seed:(seed + rep) ~count ()
+            in
+            let t0 = Unix.gettimeofday () in
+            let o = Serve.Daemon.run cfg arr in
+            (Unix.gettimeofday () -. t0, o))
+      in
+      let walls = List.sort compare (List.map fst runs) in
+      let med = List.nth walls (List.length walls / 2) in
+      let lo = List.hd walls and hi = List.nth walls (List.length walls - 1) in
+      let o = snd (List.hd runs) in
+      let lats = Array.to_list o.Serve.Daemon.decision_latencies in
+      let p50 = Psched_util.Stats.percentile 0.50 lats in
+      let p99 = Psched_util.Stats.percentile 0.99 lats in
+      let c = o.Serve.Daemon.state.Serve.Snapshot.counters in
+      let peak = o.Serve.Daemon.profile.Psched_sim.Profile.peak_segments in
+      add_row (tag ^ " wall") ~est:(med *. 1e9) ~lo:(lo *. 1e9) ~hi:(hi *. 1e9)
+        ~samples:repeats;
+      add_row (tag ^ " p50-decision-latency") ~est:(p50 *. 1e9) ~lo:(p50 *. 1e9)
+        ~hi:(p50 *. 1e9) ~samples:(List.length lats);
+      add_row (tag ^ " p99-decision-latency") ~est:(p99 *. 1e9) ~lo:(p99 *. 1e9)
+        ~hi:(p99 *. 1e9) ~samples:(List.length lats);
+      add_row (tag ^ " peak-live-segments") ~est:(float_of_int peak)
+        ~lo:(float_of_int peak) ~hi:(float_of_int peak) ~samples:1;
+      Printf.printf
+        "%-18s rate %.4f/s  wall %.3fs [%.3f, %.3f]  %.0f jobs/s admitted  decide p50 %.1fus \
+         p99 %.1fus  shed %d  max queue %d  peak live segments %d  heap %.1f MB%s\n%!"
+        tag arrival_rate med lo hi
+        (float_of_int c.Serve.Snapshot.admitted /. med)
+        (p50 *. 1e6) (p99 *. 1e6) c.Serve.Snapshot.shed o.Serve.Daemon.max_queue_depth peak
+        (top_heap_mb ())
+        (match vm_hwm_mb () with
+        | Some mb -> Printf.sprintf "  maxrss %.1f MB" mb
+        | None -> "");
+      (med, c.Serve.Snapshot.shed, o.Serve.Daemon.max_queue_depth, peak)
+    in
+    let steady_wall, _, _, _ = bench "serve steady" ~repeats ~count rate in
+    (* Quarter-size storm first: its peak live state must match the full
+       storm's, showing memory scales with m and the cap, not with the
+       total job count. *)
+    let _, _, _, peak_small =
+      bench "serve storm-small" ~repeats:1 ~count:(max 1 (count / 4)) (rate *. factor)
+    in
+    let storm_wall, shed_storm, depth_storm, peak_storm =
+      bench "serve storm" ~repeats ~count (rate *. factor)
+    in
+    let shedding = shed_storm > 0 in
+    Printf.printf
+      "storm at %.1fx steady: shedding %s (%d shed, queue capped at %d/%d); peak live \
+       segments %d vs %d at quarter load (%s)\n"
+      factor
+      (if shedding then "engaged" else "NOT ENGAGED")
+      shed_storm depth_storm cap peak_storm peak_small
+      (if peak_storm <= 2 * peak_small then "bounded" else "GROWING");
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      let outf fmt = Printf.fprintf oc fmt in
+      outf "{\n";
+      outf "  \"schema\": \"psched-bench/2\",\n";
+      outf "  \"quick\": %b,\n" quick;
+      outf "  \"unit\": \"ns/run\",\n";
+      outf "  \"machine\": { \"os\": \"%s\", \"arch_bits\": %d, \"ocaml\": \"%s\" },\n"
+        Sys.os_type Sys.word_size Sys.ocaml_version;
+      outf "  \"tests\": {\n";
+      let all = List.rev !rows in
+      let nrows = List.length all in
+      List.iteri
+        (fun i (name, est, lo, hi, samples) ->
+          outf
+            "    \"%s\": { \"estimate\": %.1f, \"ci_lower\": %.1f, \"ci_upper\": %.1f, \
+             \"samples\": %d }%s\n"
+            name est lo hi samples
+            (if i = nrows - 1 then "" else ","))
+        all;
+      outf "  },\n";
+      outf "  \"profile_engine_speedup\": {\n";
+      outf "    \"serve storm vs steady wall\": %.2f\n"
+        (if steady_wall > 0.0 then storm_wall /. steady_wall else 0.0);
+      outf "  }\n";
+      outf "}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    if not shedding then exit 1
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Cap the workload at 2000 jobs (CI smoke).")
+  in
+  let m = Arg.(value & opt int 128 & info [ "m" ] ~doc:"Processors.") in
+  let count = Arg.(value & opt int 20_000 & info [ "n" ] ~doc:"Jobs per run.") in
+  let every =
+    Arg.(value & opt float 3600.0
+         & info [ "round-every" ] ~doc:"Scheduling cycle (virtual seconds).")
+  in
+  let cap =
+    Arg.(value & opt int 0
+         & info [ "queue-cap" ] ~doc:"Admission queue bound; 0 = one cycle of capacity.")
+  in
+  let rate =
+    Arg.(value & opt float 0.0
+         & info [ "rate" ] ~doc:"Steady arrival rate (jobs/s); 0 picks ~90% offered load.")
+  in
+  let factor =
+    Arg.(value & opt float 2.0 & info [ "storm" ] ~doc:"Storm rate multiplier (>= 2).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let repeats =
+    Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Timed repetitions per point.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write a psched-bench/2 report.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve-daemon throughput and decision latency: a steady Poisson run and a storm at \
+          2x the steady rate against a bounded queue; exits 1 if the storm fails to engage \
+          shedding.")
+    Term.(const run $ quick $ m $ count $ every $ cap $ rate $ factor $ seed $ repeats $ out)
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench" ~doc:"Benchmark report tooling (versioned schemas, regression diffs).")
-    [ bench_diff_cmd; bench_show_cmd; bench_scale_cmd ]
+    [ bench_diff_cmd; bench_show_cmd; bench_scale_cmd; bench_serve_cmd ]
 
 (* ---------------------------------------------------------- policies *)
 
@@ -832,6 +997,326 @@ let dlt_cmd =
     (Cmd.info "dlt" ~doc:"Divisible-load distribution on a bus platform.")
     Term.(const run $ load $ workers $ z $ rounds)
 
+(* -------------------------------------------------------------- serve *)
+
+let serve_run_cmd =
+  let module Serve = Psched_serve in
+  let shed_conv =
+    let parse s =
+      match String.split_on_char ':' (String.lowercase_ascii s) with
+      | [ "reject" ] -> Ok Serve.Admission.Reject
+      | [ "degrade" ] -> Ok Serve.Admission.Degrade
+      | [ "defer" ] -> Ok (Serve.Admission.Defer { delay = 5.0 })
+      | [ "defer"; d ] -> (
+        match float_of_string_opt d with
+        | Some delay when delay > 0.0 -> Ok (Serve.Admission.Defer { delay })
+        | _ -> Error (`Msg "defer delay must be a positive number"))
+      | _ -> Error (`Msg "expected reject, degrade or defer[:SECS]")
+    in
+    let print ppf = function
+      | Serve.Admission.Reject -> Format.pp_print_string ppf "reject"
+      | Serve.Admission.Degrade -> Format.pp_print_string ppf "degrade"
+      | Serve.Admission.Defer { delay } -> Format.fprintf ppf "defer:%g" delay
+    in
+    Arg.conv (parse, print)
+  in
+  let run policy m rate count seed swf burst batch round_every cap shed deadline latency_high
+      latency_low wal sync snapshot snapshot_every fault_rate fault_mean fault_horizon port
+      throttle duration recover =
+    let mode =
+      if policy = "greedy" then Serve.Daemon.Greedy else Serve.Daemon.Registry policy
+    in
+    (match mode with
+    | Serve.Daemon.Registry name when not (List.mem_assoc name Schedulers.docs) ->
+      Printf.eprintf "unknown policy %s (see psched policies; greedy is the default rule)\n"
+        name;
+      exit 1
+    | _ -> ());
+    let arrivals =
+      match swf with
+      | Some file -> (
+        match Serve.Arrivals.of_swf file with
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1
+        | Ok (t, warnings) ->
+          List.iter
+            (fun w -> Printf.eprintf "%s: %s\n" file (Swf.warning_to_string w))
+            warnings;
+          t)
+      | None -> (
+        match burst with
+        | Some (period, width, factor) ->
+          Serve.Arrivals.burst ~m ~rate ~period ~width ~factor ~seed ~count ()
+        | None -> Serve.Arrivals.poisson ~m ~rate ~seed ~count ())
+    in
+    let outages =
+      if fault_rate <= 0.0 then []
+      else
+        let horizon =
+          if fault_horizon > 0.0 then fault_horizon
+          else if swf = None && count > 0 then
+            (float_of_int count /. rate *. 1.5) +. 100.0
+          else 10_000.0
+        in
+        Psched_fault.Generator.poisson
+          (Psched_util.Rng.create (seed + 1))
+          ~horizon ~rate:fault_rate ~mean_duration:fault_mean
+          ~width:(Psched_fault.Generator.Uniform (max 1 (m / 4)))
+          ()
+    in
+    let obs = Psched_obs.Obs.create () in
+    Psched_obs.Obs.set_wall_clock obs Unix.gettimeofday;
+    let cfg =
+      Serve.Daemon.config ~m ~mode ~batch ~round_every ~queue_cap:cap ~shed
+        ~deadline:(if deadline > 0.0 then deadline else infinity)
+        ~latency_high ~latency_low ?wal ~wal_sync:sync ?snapshot ~snapshot_every ~obs ()
+    in
+    let state =
+      if not recover then None
+      else
+        match wal with
+        | None ->
+          Printf.eprintf "--recover needs --wal\n";
+          exit 1
+        | Some w when not (Sys.file_exists w) ->
+          Printf.printf "no WAL at %s yet; starting fresh\n" w;
+          None
+        | Some w ->
+          let st, info = Serve.Daemon.recover ?snapshot ~wal:w ~m () in
+          Printf.printf
+            "recovered seq %d at clock %.2f: %d records replayed%s%s%s%s\n" st.Serve.Snapshot.seq
+            st.Serve.Snapshot.clock info.Serve.Daemon.replayed
+            (if info.Serve.Daemon.used_snapshot then " on snapshot" else "")
+            (match info.Serve.Daemon.torn with
+            | Some t -> Printf.sprintf "; torn tail truncated at byte %d (%s)" t.Serve.Wal.offset t.Serve.Wal.reason
+            | None -> "")
+            (if info.Serve.Daemon.snapshot_ahead then "; snapshot was ahead of the WAL tail" else "")
+            (match info.Serve.Daemon.snapshot_error with
+            | Some e -> Printf.sprintf "; snapshot unusable (%s), pure WAL replay" e
+            | None -> "");
+          Some st
+    in
+    let http =
+      match port with
+      | None -> None
+      | Some p -> (
+        match Serve.Http.start ~port:p obs with
+        | Ok h ->
+          Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!" (Serve.Http.port h);
+          Some h
+        | Error e ->
+          Printf.eprintf "http: %s\n" e;
+          exit 1)
+    in
+    let stop = ref false in
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true)))
+      [ Sys.sigterm; Sys.sigint ];
+    let wall_deadline =
+      if duration > 0.0 then Unix.gettimeofday () +. duration else infinity
+    in
+    let tick _ =
+      (match http with Some h -> Serve.Http.poll h | None -> ());
+      if throttle > 0.0 then Unix.sleepf throttle;
+      if !stop || Unix.gettimeofday () > wall_deadline then raise Exit
+    in
+    match Serve.Daemon.run ?state ~outages ~tick cfg arrivals with
+    | exception Exit ->
+      (match http with Some h -> Serve.Http.stop h | None -> ());
+      Printf.printf
+        "stopped (%s); every decision is in the WAL — rerun with --recover to resume\n"
+        (if !stop then "signal" else "--duration elapsed")
+    | o ->
+      let c = o.Serve.Daemon.state.Serve.Snapshot.counters in
+      let mt = o.Serve.Daemon.metrics in
+      Printf.printf "policy %s  m %d  %d arrivals consumed\n"
+        (Serve.Daemon.mode_name cfg.Serve.Daemon.mode)
+        m o.Serve.Daemon.state.Serve.Snapshot.arrivals;
+      Printf.printf
+        "admitted %d  decided %d  completed %d  shed %d  killed %d  deferrals %d  timeouts %d\n"
+        c.Serve.Snapshot.admitted c.Serve.Snapshot.decided c.Serve.Snapshot.completed
+        c.Serve.Snapshot.shed c.Serve.Snapshot.killed c.Serve.Snapshot.deferred_jobs
+        c.Serve.Snapshot.timeouts;
+      Printf.printf "makespan %.2f  mean flow %.2f  utilisation %.3f  goodput %.3f\n"
+        mt.Psched_sim.Metrics.makespan mt.Psched_sim.Metrics.mean_flow
+        mt.Psched_sim.Metrics.utilisation o.Serve.Daemon.goodput;
+      let lats = Array.to_list o.Serve.Daemon.decision_latencies in
+      if lats <> [] then
+        Printf.printf "decision latency p50 %.1f us  p99 %.1f us  over %d rounds\n"
+          (Psched_util.Stats.percentile 0.50 lats *. 1e6)
+          (Psched_util.Stats.percentile 0.99 lats *. 1e6)
+          (List.length lats);
+      Printf.printf "max queue depth %d  degraded rounds %d  breaker trips %d\n"
+        o.Serve.Daemon.max_queue_depth o.Serve.Daemon.degraded_rounds
+        o.Serve.Daemon.breaker_trips;
+      (match wal with
+      | Some w -> Printf.printf "wal %s  last seq %d\n" w o.Serve.Daemon.state.Serve.Snapshot.seq
+      | None -> ());
+      (match http with
+      | Some h ->
+        Serve.Http.poll h;
+        Printf.printf "http requests served %d\n" (Serve.Http.served h);
+        Serve.Http.stop h
+      | None -> ())
+  in
+  let policy =
+    Arg.(value & opt string "greedy"
+         & info [ "policy" ] ~docv:"NAME"
+             ~doc:"greedy (earliest-fit per job) or a registry policy (see psched policies).")
+  in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Processors.") in
+  let rate = Arg.(value & opt float 0.5 & info [ "rate" ] ~doc:"Poisson arrival rate (jobs/s).") in
+  let count =
+    Arg.(value & opt int 200 & info [ "n" ] ~doc:"Arrivals to serve; negative = unbounded.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let swf =
+    Arg.(value & opt (some string) None
+         & info [ "swf" ] ~docv:"FILE" ~doc:"Replay an SWF trace instead of Poisson arrivals.")
+  in
+  let burst =
+    Arg.(value & opt (some (t3 ~sep:':' float float float)) None
+         & info [ "burst" ] ~docv:"PERIOD:WIDTH:FACTOR"
+             ~doc:"Periodic arrival storms: every PERIOD, multiply the rate by FACTOR for WIDTH.")
+  in
+  let batch = Arg.(value & opt int 4 & info [ "batch" ] ~doc:"Decision batch size.") in
+  let round_every =
+    Arg.(value & opt float 0.0
+         & info [ "round-every" ]
+             ~doc:"Scheduling cycle (virtual s): decide only on this grid; 0 = decide at \
+                   batch-full.")
+  in
+  let cap =
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~doc:"Admission queue bound; 0 = unbounded.")
+  in
+  let shed =
+    Arg.(value & opt shed_conv (Serve.Admission.Defer { delay = 5.0 })
+         & info [ "shed" ] ~docv:"POLICY" ~doc:"Overload policy: reject, defer[:SECS] or degrade.")
+  in
+  let deadline =
+    Arg.(value & opt float 0.0
+         & info [ "deadline" ]
+             ~doc:"Per-round wall deadline (s) feeding the circuit breaker; 0 = off.")
+  in
+  let latency_high =
+    Arg.(value & opt float infinity
+         & info [ "latency-high" ] ~doc:"p99 decision-latency watermark engaging degraded mode (s).")
+  in
+  let latency_low =
+    Arg.(value & opt float infinity
+         & info [ "latency-low" ] ~doc:"Watermark releasing degraded mode (s).")
+  in
+  let wal =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE" ~doc:"Write-ahead log; required for crash recovery.")
+  in
+  let sync =
+    Arg.(value & flag & info [ "sync" ] ~doc:"fsync the WAL after every record (power-loss durable).")
+  in
+  let snapshot =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE" ~doc:"Periodic state snapshot (bounds replay time).")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 64 & info [ "snapshot-every" ] ~doc:"Snapshot period in WAL records.")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~doc:"Poisson outage rate (per second); 0 = off.")
+  in
+  let fault_mean =
+    Arg.(value & opt float 30.0 & info [ "fault-duration" ] ~doc:"Mean outage duration (s).")
+  in
+  let fault_horizon =
+    Arg.(value & opt float 0.0
+         & info [ "fault-horizon" ] ~doc:"Outage generation horizon (s); 0 = derive from the workload.")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"Serve Prometheus /metrics on this port; 0 = ephemeral.")
+  in
+  let throttle =
+    Arg.(value & opt float 0.0
+         & info [ "throttle" ] ~doc:"Sleep this many wall seconds per event (soak pacing).")
+  in
+  let duration =
+    Arg.(value & opt float 0.0
+         & info [ "duration" ] ~doc:"Stop gracefully after this many wall seconds; 0 = run to drain.")
+  in
+  let recover =
+    Arg.(value & flag
+         & info [ "recover" ] ~doc:"Recover state from --wal (and --snapshot) before serving.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the crash-safe scheduling daemon: continuous arrivals, rolling decisions, \
+          write-ahead logging, bounded admission with shedding, live fault injection and a \
+          polled /metrics endpoint.")
+    Term.(const run $ policy $ m $ rate $ count $ seed $ swf $ burst $ batch $ round_every
+          $ cap $ shed $ deadline $ latency_high $ latency_low $ wal $ sync $ snapshot
+          $ snapshot_every $ fault_rate $ fault_mean $ fault_horizon $ port $ throttle
+          $ duration $ recover)
+
+let serve_verify_cmd =
+  let module Serve = Psched_serve in
+  let module Check = Psched_check in
+  let run wal m complete verbose =
+    match Serve.Wal.replay wal with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" wal e;
+      exit 1
+    | Ok (entries, torn) ->
+      (match torn with
+      | Some t ->
+        Printf.printf "torn tail at line %d (byte %d): %s — dropped\n" t.Serve.Wal.line
+          t.Serve.Wal.offset t.Serve.Wal.reason
+      | None -> ());
+      let findings = Check.Serve_rules.check ~complete entries in
+      let errors = Check.Finding.count Check.Finding.Error findings in
+      let warns = Check.Finding.count Check.Finding.Warn findings in
+      List.iter
+        (fun (f : Check.Finding.t) ->
+          if verbose || f.Check.Finding.severity <> Check.Finding.Info then
+            Format.printf "%a@." Check.Finding.pp f)
+        findings;
+      let sched = Serve.Daemon.schedule_of_wal ~m entries in
+      Printf.printf
+        "%d records, %d surviving placements, makespan %.2f; %d errors, %d warnings\n"
+        (List.length entries)
+        (List.length sched.Psched_sim.Schedule.entries)
+        (Psched_sim.Schedule.makespan sched)
+        errors warns;
+      if errors > 0 then exit 1
+  in
+  let wal =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WAL" ~doc:"The log to audit.")
+  in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Processors (for the rebuilt schedule).") in
+  let complete =
+    Arg.(value & flag
+         & info [ "complete" ]
+             ~doc:"Assert the run finished: jobs still queued or deferred at the tail are errors.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print Info findings too.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Audit a serve WAL: monotone sequencing, job conservation (no admitted job lost or \
+          decided twice), and the schedule rebuilt straight from the log.  Exits 1 on any \
+          error.")
+    Term.(const run $ wal $ m $ complete $ verbose)
+
+let serve_cmd =
+  Cmd.group
+    (Cmd.info "serve"
+       ~doc:
+         "The long-running scheduling daemon: WAL-recoverable, admission-controlled, \
+          fault-injected serving with live Prometheus metrics.")
+    [ serve_run_cmd; serve_verify_cmd ]
+
 (* -------------------------------------------------------------- check *)
 
 let check_cmd =
@@ -912,6 +1397,6 @@ let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; check_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; serve_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

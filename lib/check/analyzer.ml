@@ -14,7 +14,8 @@ type run = {
 
 let rules () = Certificates.rules @ Structural.rules @ Trace_rules.rules
 
-let rule_docs () = List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.doc)) (rules ())
+let rule_docs () =
+  List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.doc)) (rules ()) @ Serve_rules.rule_docs
 
 let default_reservations ~m =
   let quarter = max 1 (m / 4) in
@@ -70,6 +71,10 @@ let grid_run () =
   { policy = "grid-best-effort"; workload = "rigid-online-grid"; m = 16; stripped = false;
     skipped = None; findings = Grid_rules.run ~m:16 ~seed:21 () }
 
+let serve_run () =
+  { policy = "serve"; workload = "wal-recovery-selfcheck"; m = 8; stripped = false;
+    skipped = None; findings = Serve_rules.selfcheck () }
+
 let analyze_all ?epsilon ?policies ?corpus ?(domains = 1) ?(obs = Obs.null) () =
   let policies = match policies with Some p -> p | None -> Schedulers.names in
   let corpus = match corpus with Some c -> c | None -> Corpus.default () in
@@ -95,4 +100,4 @@ let analyze_all ?epsilon ?policies ?corpus ?(domains = 1) ?(obs = Obs.null) () =
           ~self:s.Psched_util.Pool.busy ~alloc_total:s.Psched_util.Pool.alloc_bytes
           ~alloc_self:s.Psched_util.Pool.alloc_bytes ())
       stats;
-  runs @ [ grid_run () ]
+  runs @ [ grid_run (); serve_run () ]

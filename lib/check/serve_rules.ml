@@ -1,0 +1,213 @@
+open Psched_serve
+module E = Psched_obs.Event
+
+(* Rules over a replayed WAL.  Raise-free like every other rule family:
+   a corrupt log yields findings, never exceptions. *)
+
+let rule_docs =
+  [
+    ("serve.wal.monotone", "WAL sequence numbers are dense and increasing, clocks never go back");
+    ( "serve.wal.conservation",
+      "No admitted job is lost or decided twice without an intervening kill" );
+    ( "serve.selfcheck",
+      "A deterministic serve run under faults recovers bit-identically and its WAL passes the \
+       serve rules" );
+  ]
+
+let err rule ?data fmt = Printf.ksprintf (fun msg -> Finding.error ?data ~rule msg) fmt
+let warn rule ?data fmt = Printf.ksprintf (fun msg -> Finding.warn ?data ~rule msg) fmt
+
+let monotone entries =
+  let rule = "serve.wal.monotone" in
+  let _, _, findings =
+    List.fold_left
+      (fun (prev_seq, prev_clock, acc) (e : Wal.entry) ->
+        let acc =
+          if e.Wal.seq <= prev_seq then
+            err rule
+              ~data:[ ("seq", E.Int e.Wal.seq); ("prev", E.Int prev_seq) ]
+              "sequence number %d does not increase past %d" e.Wal.seq prev_seq
+            :: acc
+          else if e.Wal.seq <> prev_seq + 1 then
+            warn rule
+              ~data:[ ("seq", E.Int e.Wal.seq); ("prev", E.Int prev_seq) ]
+              "sequence gap: %d follows %d" e.Wal.seq prev_seq
+            :: acc
+          else acc
+        in
+        let acc =
+          if e.Wal.clock < prev_clock then
+            err rule
+              ~data:[ ("seq", E.Int e.Wal.seq); ("clock", E.Float e.Wal.clock) ]
+              "clock goes back to %g at seq %d (was %g)" e.Wal.clock e.Wal.seq prev_clock
+            :: acc
+          else acc
+        in
+        (e.Wal.seq, Float.max prev_clock e.Wal.clock, acc))
+      (0, neg_infinity, []) entries
+  in
+  List.rev findings
+
+(* Job lifecycle over the log.  States: [`Queued] (admitted, decision
+   pending), [`Live] (decided), [`Deferred] (shed-deferred or killed,
+   re-admission pending).  Absent means never seen or terminally
+   rejected. *)
+let conservation ?(complete = false) entries =
+  let rule = "serve.wal.conservation" in
+  let state : (int, [ `Queued | `Live | `Deferred ]) Hashtbl.t = Hashtbl.create 64 in
+  let findings = ref [] in
+  let bad seq id fmt =
+    Printf.ksprintf
+      (fun msg ->
+        findings :=
+          Finding.error ~rule ~data:[ ("seq", E.Int seq); ("job", E.Int id) ] msg :: !findings)
+      fmt
+  in
+  List.iter
+    (fun (e : Wal.entry) ->
+      let seq = e.Wal.seq in
+      match e.Wal.record with
+      | Wal.Admit { job; arrival } -> (
+        let id = job.Psched_workload.Job.id in
+        match Hashtbl.find_opt state id with
+        | Some `Queued -> bad seq id "job %d admitted while already queued (duplicate admit)" id
+        | Some `Live -> bad seq id "job %d admitted while already placed (duplicate admit)" id
+        | Some `Deferred ->
+          if arrival then
+            bad seq id "job %d re-admitted as a fresh arrival while deferred" id;
+          Hashtbl.replace state id `Queued
+        | None ->
+          if not arrival then
+            bad seq id "job %d re-admitted from deferral without a deferring record" id;
+          Hashtbl.replace state id `Queued)
+      | Wal.Shed { job; reason; _ } -> (
+        let id = job.Psched_workload.Job.id in
+        (match Hashtbl.find_opt state id with
+        | Some `Queued | Some `Live ->
+          bad seq id "job %d shed (%s) while already admitted" id reason
+        | Some `Deferred | None -> ());
+        if reason = "defer" then Hashtbl.replace state id `Deferred
+        else Hashtbl.remove state id)
+      | Wal.Decide { job_id; _ } -> (
+        match Hashtbl.find_opt state job_id with
+        | Some `Queued -> Hashtbl.replace state job_id `Live
+        | Some `Live ->
+          bad seq job_id "job %d decided twice without an intervening kill (duplicate)" job_id
+        | Some `Deferred -> bad seq job_id "job %d decided while deferred, not queued" job_id
+        | None -> bad seq job_id "job %d decided without an admit (lost provenance)" job_id)
+      | Wal.Kill { job_id; _ } -> (
+        match Hashtbl.find_opt state job_id with
+        | Some `Live -> Hashtbl.replace state job_id `Deferred
+        | Some (`Queued | `Deferred) | None ->
+          bad seq job_id "job %d killed while not placed" job_id)
+      | Wal.Outage _ -> ())
+    entries;
+  if complete then
+    Hashtbl.iter
+      (fun id st ->
+        match st with
+        | `Queued ->
+          findings :=
+            Finding.error ~rule
+              ~data:[ ("job", E.Int id) ]
+              (Printf.sprintf "job %d admitted but never decided (lost)" id)
+            :: !findings
+        | `Deferred ->
+          findings :=
+            Finding.error ~rule
+              ~data:[ ("job", E.Int id) ]
+              (Printf.sprintf "job %d deferred but never re-admitted (lost)" id)
+            :: !findings
+        | `Live -> ())
+      state;
+  List.rev !findings
+
+let check ?complete entries = monotone entries @ conservation ?complete entries
+
+(* --------------------------------------------------------- selfcheck *)
+
+let selfcheck () =
+  let rule = "serve.selfcheck" in
+  let m = 8 in
+  let wal = Filename.temp_file "psched-selfcheck" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists wal then Sys.remove wal)
+    (fun () ->
+      let arrivals () = Arrivals.poisson ~m ~rate:0.4 ~seed:11 ~count:20 () in
+      let outages =
+        [
+          Psched_fault.Outage.make ~start:6.0 ~procs:3 ~duration:3.0 ();
+          Psched_fault.Outage.make ~start:18.0 ~procs:5 ~duration:4.0 ();
+        ]
+      in
+      let config wal =
+        Daemon.config ~m ~batch:2 ~queue_cap:5
+          ~shed:(Admission.Defer { delay = 4.0 })
+          ~backoff:(Psched_fault.Recovery.backoff ~base:1.0 ~factor:2.0 ~max_delay:16.0 ())
+          ~keep_schedule:true ~wal ()
+      in
+      let full = Daemon.run ~outages (config wal) (arrivals ()) in
+      let entries, torn =
+        match Wal.replay wal with Ok r -> r | Error e -> ([], Some { Wal.line = 0; offset = 0; reason = e })
+      in
+      let findings = ref [] in
+      let fail fmt =
+        Printf.ksprintf (fun msg -> findings := Finding.error ~rule msg :: !findings) fmt
+      in
+      (match torn with
+      | Some t -> fail "uninterrupted run produced a torn WAL: %s" t.Wal.reason
+      | None -> ());
+      findings := !findings @ check ~complete:true entries;
+      (* Mid-run crash: keep half the records, recover, re-run, compare. *)
+      let keep = List.length entries / 2 in
+      let prefix = List.filteri (fun i _ -> i < keep) entries in
+      let part = Filename.temp_file "psched-selfcheck" ".part.wal" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists part then Sys.remove part)
+        (fun () ->
+          let w = Wal.create part in
+          List.iter
+            (fun (e : Wal.entry) -> ignore (Wal.append w ~clock:e.Wal.clock e.Wal.record))
+            prefix;
+          Wal.close w;
+          let state, _info = Daemon.recover ~wal:part ~m () in
+          let resumed = Daemon.run ~state ~outages (config part) (arrivals ()) in
+          if compare resumed.Daemon.metrics full.Daemon.metrics <> 0 then
+            fail "recovery at record %d does not reproduce the metrics" keep;
+          if
+            compare resumed.Daemon.state.Snapshot.counters full.Daemon.state.Snapshot.counters
+            <> 0
+          then fail "recovery at record %d does not reproduce the counters" keep);
+      (* Streaming accumulator vs batch compute on the kept schedule. *)
+      (match full.Daemon.schedule with
+      | None -> fail "keep_schedule produced no schedule"
+      | Some sched ->
+        let jobs =
+          let src = arrivals () in
+          let rec drain acc =
+            match Arrivals.next src with Some j -> drain (j :: acc) | None -> List.rev acc
+          in
+          drain []
+        in
+        let batch = Psched_sim.Metrics.compute ~jobs sched in
+        let close a b =
+          let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+          Float.abs (a -. b) <= 1e-9 *. scale
+        in
+        if not (close full.Daemon.metrics.Psched_sim.Metrics.makespan batch.Psched_sim.Metrics.makespan)
+        then fail "streaming makespan %g disagrees with batch %g"
+               full.Daemon.metrics.Psched_sim.Metrics.makespan batch.Psched_sim.Metrics.makespan;
+        if
+          not
+            (close full.Daemon.metrics.Psched_sim.Metrics.sum_completion
+               batch.Psched_sim.Metrics.sum_completion)
+        then fail "streaming sum-completion disagrees with batch compute");
+      if !findings = [] then
+        [
+          Finding.info ~rule
+            (Printf.sprintf
+               "serve selfcheck: %d WAL records, mid-run recovery bit-identical, no lost or \
+                duplicated jobs"
+               (List.length entries));
+        ]
+      else List.rev !findings)

@@ -1,0 +1,28 @@
+(** Invariant rules over serve daemon write-ahead logs.
+
+    The WAL is the ground truth of a daemon run: these rules audit a
+    replayed entry list for monotone sequencing and job conservation —
+    no admitted job lost, none decided twice without an intervening
+    kill.  [psched serve verify] applies them to a log on disk;
+    [psched check --all] runs {!selfcheck}, a deterministic
+    serve-under-faults run with a mid-run recovery, through the same
+    rules. *)
+
+val rule_docs : (string * string) list
+(** [(id, doc)] pairs, for [psched check --list-rules]. *)
+
+val check : ?complete:bool -> Psched_serve.Wal.entry list -> Finding.t list
+(** Audit a WAL.  [complete] (default false) asserts the run finished:
+    every admitted job must have been decided and every deferral
+    re-admitted — a job still queued or deferred at the tail is an
+    [Error].  With [complete:false] tail occupancy is normal (the log
+    may end at a crash point). *)
+
+val selfcheck : unit -> Finding.t list
+(** The serve sweep entry for [psched check --all]: run a small
+    deterministic daemon under outages with defer shedding and a WAL in
+    a temp file, recover from a truncated prefix mid-run, and assert
+    (a) the WAL passes {!check}, (b) the recovered continuation
+    reproduces bit-identical metrics and counters, (c) the streaming
+    accumulator agrees with {!Psched_sim.Metrics.compute} on the kept
+    schedule. *)

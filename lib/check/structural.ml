@@ -263,4 +263,65 @@ let reservations_rule =
       in
       shape @ over)
 
-let rules = [ feasible; shelf_rule; batch_monotone; batch_doubling; nodelay; reservations_rule ]
+(* The streaming accumulator (Metrics.Acc, the lib/serve and Stream
+   fold) must agree with the batch Metrics.compute on any schedule it
+   could have folded.  Applies when each job has at most one entry —
+   with restart chains (repeated ids) the two aggregate different
+   placement sets by design. *)
+let acc_metrics =
+  Rule.make ~id:"struct.acc-metrics"
+    ~doc:"Streaming Metrics.Acc over the schedule equals the batch Metrics.compute"
+    ~applies:(fun i ->
+      i.Rule.jobs <> []
+      &&
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun (e : S.entry) ->
+          if Hashtbl.mem seen e.S.job_id then false
+          else begin
+            Hashtbl.add seen e.S.job_id ();
+            true
+          end)
+        i.Rule.schedule.S.entries)
+    (fun i ->
+      let module M = Psched_sim.Metrics in
+      let entries = entry_tbl i.Rule.schedule.S.entries in
+      let acc = M.Acc.create ~m:(max 1 i.Rule.m) in
+      List.iter
+        (fun (j : Job.t) ->
+          match Hashtbl.find_opt entries j.Job.id with
+          | Some (e : S.entry) ->
+            M.Acc.add acc ~job:j ~start:e.S.start ~procs:e.S.procs ~duration:e.S.duration
+          | None -> ())
+        i.Rule.jobs;
+      let streamed = M.Acc.result acc in
+      let batch = M.compute ~jobs:i.Rule.jobs i.Rule.schedule in
+      let close a b =
+        let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+        Float.abs (a -. b) <= 1e-9 *. scale
+      in
+      let pair name a b =
+        if close a b then None
+        else
+          Some
+            (err
+               ~data:[ ("streamed", E.Float a); ("batch", E.Float b) ]
+               "%s: streaming accumulator gives %g, batch compute gives %g" name a b)
+      in
+      List.filter_map Fun.id
+        [
+          pair "makespan" streamed.M.makespan batch.M.makespan;
+          pair "sum-completion" streamed.M.sum_completion batch.M.sum_completion;
+          pair "sum-weighted-completion" streamed.M.sum_weighted_completion
+            batch.M.sum_weighted_completion;
+          pair "mean-flow" streamed.M.mean_flow batch.M.mean_flow;
+          pair "max-flow" streamed.M.max_flow batch.M.max_flow;
+          pair "mean-stretch" streamed.M.mean_stretch batch.M.mean_stretch;
+          pair "max-stretch" streamed.M.max_stretch batch.M.max_stretch;
+          pair "tardy-count" (float_of_int streamed.M.tardy_count)
+            (float_of_int batch.M.tardy_count);
+          pair "sum-tardiness" streamed.M.sum_tardiness batch.M.sum_tardiness;
+        ])
+
+let rules =
+  [ feasible; shelf_rule; batch_monotone; batch_doubling; nodelay; reservations_rule; acc_metrics ]

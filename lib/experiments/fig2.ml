@@ -15,29 +15,38 @@ let measure ~m jobs =
   ( metrics.Metrics.sum_weighted_completion /. Float.max lb_wc 1e-12,
     Schedule.makespan sched /. Float.max lb_cmax 1e-12 )
 
-let run ?(m = 100) ?(seeds = 3) ?(ns = default_ns) () =
-  let point ~parallel n =
-    let samples =
-      List.init seeds (fun seed ->
-          let rng = Rng.create ((1000 * seed) + n + if parallel then 7 else 0) in
-          let jobs =
-            if parallel then Psched_workload.Workload_gen.fig2_parallel rng ~n ~m
-            else Psched_workload.Workload_gen.fig2_nonparallel rng ~n
-          in
-          measure ~m jobs)
-    in
-    {
-      n;
-      wici_ratio = Stats.mean (List.map fst samples);
-      cmax_ratio = Stats.mean (List.map snd samples);
-    }
+let run ?domains ?(m = 100) ?(seeds = 3) ?(ns = default_ns) () =
+  (* The (series, n) cells times [seeds] replications form the
+     Monte-Carlo grid; Replicate shards it over worker domains with a
+     split-off generator per replication, so results are identical for
+     every [?domains]. *)
+  let cells =
+    List.map (fun n -> (false, n)) ns @ List.map (fun n -> (true, n)) ns
   in
-  {
-    m;
-    seeds;
-    nonparallel = List.map (point ~parallel:false) ns;
-    parallel = List.map (point ~parallel:true) ns;
-  }
+  let sampled =
+    Replicate.sweep ?domains ~rng:(Rng.create 42) ~seeds
+      (fun (parallel, n) rng ->
+        let jobs =
+          if parallel then Psched_workload.Workload_gen.fig2_parallel rng ~n ~m
+          else Psched_workload.Workload_gen.fig2_nonparallel rng ~n
+        in
+        measure ~m jobs)
+      cells
+  in
+  let points want =
+    List.filter_map
+      (fun ((parallel, n), samples) ->
+        if parallel <> want then None
+        else
+          Some
+            {
+              n;
+              wici_ratio = Stats.mean (List.map fst samples);
+              cmax_ratio = Stats.mean (List.map snd samples);
+            })
+      sampled
+  in
+  { m; seeds; nonparallel = points false; parallel = points true }
 
 let series select result =
   [

@@ -18,8 +18,11 @@ type result = {
   parallel : point list;
 }
 
-val run : ?m:int -> ?seeds:int -> ?ns:int list -> unit -> result
-(** Defaults: m = 100, 3 seeds averaged, n in 50, 100, ..., 1000. *)
+val run : ?domains:int -> ?m:int -> ?seeds:int -> ?ns:int list -> unit -> result
+(** Defaults: m = 100, 3 seeds averaged, n in 50, 100, ..., 1000.
+    [?domains] shards the (series, n, replication) grid over a
+    {!Psched_util.Pool} of that many worker domains; the result is
+    byte-identical for every value, 1 included. *)
 
 val wici_series : result -> (string * (float * float) list) list
 val cmax_series : result -> (string * (float * float) list) list

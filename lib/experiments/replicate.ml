@@ -1,0 +1,22 @@
+open Psched_util
+
+let sweep ?domains ~rng ~seeds f cells =
+  if seeds < 1 then invalid_arg "Replicate.sweep: seeds must be >= 1";
+  let units = List.concat_map (fun c -> List.init seeds (fun _ -> c)) cells in
+  let samples = Pool.map_seeded ?domains ~rng (fun r c -> f c r) units in
+  (* Units were laid out cell-major, [seeds] consecutive samples each. *)
+  let rec regroup cells samples =
+    match cells with
+    | [] -> []
+    | c :: rest ->
+      let rec take n acc samples =
+        if n = 0 then (List.rev acc, samples)
+        else
+          match samples with
+          | s :: tl -> take (n - 1) (s :: acc) tl
+          | [] -> (List.rev acc, [])
+      in
+      let mine, others = take seeds [] samples in
+      (c, mine) :: regroup rest others
+  in
+  regroup cells samples

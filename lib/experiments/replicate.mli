@@ -1,0 +1,20 @@
+(** Sharded Monte-Carlo replication.
+
+    The experiment modules average several seeded replications per
+    measurement cell.  [sweep] runs the full (cell × replication) grid
+    through {!Psched_util.Pool.map_seeded}, so the work spreads over
+    [?domains] worker domains while every replication draws from its
+    own split-off generator — results are identical for every domain
+    count, 1 included. *)
+
+val sweep :
+  ?domains:int ->
+  rng:Psched_util.Rng.t ->
+  seeds:int ->
+  ('a -> Psched_util.Rng.t -> 'b) ->
+  'a list ->
+  ('a * 'b list) list
+(** [sweep ~rng ~seeds f cells] evaluates [f cell rng_i] for each of
+    the [seeds] replications of each cell and regroups the samples per
+    cell, preserving cell order and replication order.
+    @raise Invalid_argument if [seeds < 1]. *)

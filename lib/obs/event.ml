@@ -44,6 +44,12 @@ let vocabulary =
     "grid.migrate";
     "grid.reroute";
     "grid.breaker";
+    (* serve daemon (admission, shedding, overload degradation, recovery) *)
+    "serve.admit";
+    "serve.decide";
+    "serve.shed";
+    "serve.degrade";
+    "serve.recover";
   ]
 
 let known kind = List.mem kind vocabulary

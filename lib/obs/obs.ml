@@ -38,6 +38,7 @@ type t = {
   ring : Event.t Ring.t;
   mutable sinks : sink list;
   counters : (string, float ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
   timers : (string, int ref * float ref) Hashtbl.t;
   hists : (string, float array * int array) Hashtbl.t;
   mutable next_span : int;
@@ -54,6 +55,7 @@ let make ~enabled ~ring_capacity =
     ring = Ring.create ring_capacity;
     sinks = [];
     counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
     timers = Hashtbl.create 16;
     hists = Hashtbl.create 8;
     next_span = 0;
@@ -219,6 +221,26 @@ module Counter = struct
 
   let all t =
     Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters [] |> List.sort compare
+end
+
+(* Gauges are last-write-wins levels (queue depth, live placements,
+   breaker state) where a counter's monotone accumulation would be
+   wrong.  Same naming scheme as counters. *)
+module Gauge = struct
+  let cell t name =
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r
+    | None ->
+      let r = ref 0.0 in
+      Hashtbl.replace t.gauges name r;
+      r
+
+  let set t name v = if t.enabled then cell t name := v
+  let add t name v = if t.enabled then cell t name := !(cell t name) +. v
+  let get t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0.0
+
+  let all t =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauges [] |> List.sort compare
 end
 
 module Timer = struct

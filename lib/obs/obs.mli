@@ -120,6 +120,16 @@ module Counter : sig
   val all : t -> (string * float) list
 end
 
+module Gauge : sig
+  val set : t -> string -> float -> unit
+  (** Last-write-wins level (queue depth, live placements, ...); use a
+      {!Counter} for monotone totals. *)
+
+  val add : t -> string -> float -> unit
+  val get : t -> string -> float
+  val all : t -> (string * float) list
+end
+
 module Timer : sig
   val time : t -> string -> (unit -> 'a) -> 'a
   (** Accumulate wall time and call count under [name]. *)

@@ -93,6 +93,10 @@ let prometheus obs =
     (Obs.Counter.all obs)
     (fun (name, v) ->
       Printf.sprintf "psched_counter_total{name=\"%s\"} %s\n" (escape_label name) (num v));
+  family ~name:"psched_gauge" ~typ:"gauge" ~help:"Obs gauges (last-write-wins levels)"
+    (Obs.Gauge.all obs)
+    (fun (name, v) ->
+      Printf.sprintf "psched_gauge{name=\"%s\"} %s\n" (escape_label name) (num v));
   let timers = Obs.Timer.all obs in
   family ~name:"psched_timer_calls_total" ~typ:"counter" ~help:"Obs timer call counts" timers
     (fun (name, (calls, _)) ->

@@ -37,6 +37,7 @@ val folded : Obs.t -> string
 
 val prometheus : Obs.t -> string
 (** Prometheus/OpenMetrics text exposition: [psched_counter_total],
+    [psched_gauge] (queue depths and other levels),
     [psched_timer_calls_total]/[psched_timer_seconds_total],
     [psched_span_*] families (calls, seconds, self seconds, allocated
     bytes, self allocated bytes) and one classic cumulative

@@ -1,0 +1,88 @@
+(* Admission control: a bounded queue with an explicit overload policy,
+   and a rolling decision-latency watermark with hysteresis.
+
+   The daemon never blocks on overload and never grows its queue
+   without bound — when the queue is at capacity the configured policy
+   says what gives: the new job (Reject), its timeliness (Defer), or
+   decision quality (Degrade to the greedy policy). *)
+
+type policy =
+  | Reject  (** drop the job, log it as shed *)
+  | Defer of { delay : float }  (** bump its release and retry later *)
+  | Degrade  (** admit anyway but decide greedily until pressure clears *)
+
+let policy_name = function
+  | Reject -> "reject"
+  | Defer _ -> "defer"
+  | Degrade -> "degrade"
+
+type verdict =
+  | Accept
+  | Shed_reject
+  | Shed_defer of float  (** the bumped release date *)
+  | Shed_degrade  (** admit, but flag degraded mode *)
+
+(* [cap = 0] disables the bound (useful for the bit-identity property
+   tests where shedding is not under test). *)
+let decide policy ~queue_len ~cap ~clock =
+  if cap <= 0 || queue_len < cap then Accept
+  else
+    match policy with
+    | Reject -> Shed_reject
+    | Defer { delay } -> Shed_defer (clock +. delay)
+    | Degrade -> Shed_degrade
+
+(* ----------------------------------------------------- latency watermark *)
+
+(* Rolling window of per-round decision latencies (wall seconds).  The
+   watermark latches degraded mode on when the tracked percentile
+   crosses [high] and releases it only below [low] — hysteresis, so a
+   latency hovering at the threshold does not flap the mode. *)
+module Watermark = struct
+  type t = {
+    ring : float array;
+    mutable len : int;  (* filled entries, <= Array.length ring *)
+    mutable pos : int;  (* next write position *)
+    quantile : float;
+    high : float;
+    low : float;
+    mutable engaged : bool;
+  }
+
+  let create ?(quantile = 0.99) ~window ~high ~low () =
+    if window < 1 then invalid_arg "Watermark.create: window must be >= 1";
+    if not (low <= high) then invalid_arg "Watermark.create: need low <= high";
+    {
+      ring = Array.make window 0.0;
+      len = 0;
+      pos = 0;
+      quantile;
+      high;
+      low;
+      engaged = false;
+    }
+
+  let percentile t =
+    if t.len = 0 then 0.0
+    else begin
+      let window = Array.sub t.ring 0 t.len in
+      Array.sort compare window;
+      let idx =
+        min (t.len - 1) (int_of_float (Float.of_int t.len *. t.quantile))
+      in
+      window.(idx)
+    end
+
+  let observe t lat =
+    t.ring.(t.pos) <- lat;
+    t.pos <- (t.pos + 1) mod Array.length t.ring;
+    if t.len < Array.length t.ring then t.len <- t.len + 1;
+    let p = percentile t in
+    if t.engaged then begin
+      if p < t.low then t.engaged <- false
+    end
+    else if p > t.high then t.engaged <- true;
+    t.engaged
+
+  let engaged t = t.engaged
+end

@@ -1,0 +1,41 @@
+(** Admission control for the serve daemon.
+
+    A bounded queue with an explicit overload policy — on a full queue
+    something must give, and the policy names what: the new job
+    ({!Reject}), its timeliness ({!Defer}), or decision quality
+    ({!Degrade}).  The {!Watermark} tracks a rolling percentile of
+    decision latency with hysteresis to latch degraded mode. *)
+
+type policy =
+  | Reject  (** drop the job, log it as shed *)
+  | Defer of { delay : float }  (** bump its release and retry later *)
+  | Degrade  (** admit anyway but decide greedily until pressure clears *)
+
+val policy_name : policy -> string
+
+type verdict =
+  | Accept
+  | Shed_reject
+  | Shed_defer of float  (** the bumped release date *)
+  | Shed_degrade  (** admit, but latch degraded mode *)
+
+val decide : policy -> queue_len:int -> cap:int -> clock:float -> verdict
+(** [cap <= 0] disables the bound (always {!Accept}). *)
+
+module Watermark : sig
+  type t
+
+  val create : ?quantile:float -> window:int -> high:float -> low:float -> unit -> t
+  (** Rolling window of [window] latency samples; degraded mode engages
+      when the [quantile] (default p99) exceeds [high] and releases
+      below [low].  Requires [low <= high]. *)
+
+  val observe : t -> float -> bool
+  (** Record one decision latency (seconds); returns whether degraded
+      mode is engaged after the update. *)
+
+  val percentile : t -> float
+  (** Current value of the tracked quantile (0 while empty). *)
+
+  val engaged : t -> bool
+end

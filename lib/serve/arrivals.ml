@@ -1,0 +1,107 @@
+open Psched_util
+open Psched_workload
+
+(* Arrival sources for the daemon: a pull-based stream of jobs with
+   nondecreasing release dates.  Every source is a pure function of its
+   construction arguments, so [skip n] on a fresh source reproduces the
+   stream position of a source that already produced [n] jobs — the
+   mechanism resume-after-crash uses to fast-forward past consumed
+   arrivals without logging them twice. *)
+
+type t = { mutable consumed : int; next_fn : unit -> Job.t option }
+
+let next t =
+  match t.next_fn () with
+  | Some job ->
+    t.consumed <- t.consumed + 1;
+    Some job
+  | None -> None
+
+let consumed t = t.consumed
+
+let skip t n =
+  for _ = 1 to n do
+    ignore (next t)
+  done
+
+(* ------------------------------------------------------------ sources *)
+
+let of_list jobs =
+  let jobs = List.stable_sort (fun a b -> compare a.Job.release b.Job.release) jobs in
+  let rest = ref jobs in
+  {
+    consumed = 0;
+    next_fn =
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | j :: tl ->
+          rest := tl;
+          Some j);
+  }
+
+let of_swf path =
+  match Swf.parse_file path with
+  | Error msg -> Error msg
+  | Ok (jobs, warnings) -> Ok (of_list jobs, warnings)
+
+(* Synthetic Poisson process: exponential inter-arrivals at [rate],
+   rigid bodies uniform in procs and runtime.  [count < 0] means an
+   unbounded stream (the daemon's [--duration] bounds it instead). *)
+let poisson ?(procs_max = 0) ?(tmin = 1.0) ?(tmax = 100.0) ~m ~rate ~seed ~count () =
+  if m < 1 then invalid_arg "Arrivals.poisson: m must be >= 1";
+  if not (rate > 0.0) then invalid_arg "Arrivals.poisson: rate must be > 0";
+  let procs_max = if procs_max >= 1 then min procs_max m else max 1 (m / 4) in
+  let rng = Rng.create seed in
+  let clock = ref 0.0 in
+  let produced = ref 0 in
+  {
+    consumed = 0;
+    next_fn =
+      (fun () ->
+        if count >= 0 && !produced >= count then None
+        else begin
+          incr produced;
+          clock := !clock +. Rng.exponential rng rate;
+          let procs = 1 + Rng.int rng procs_max in
+          let time = Rng.uniform rng tmin tmax in
+          let weight = Rng.uniform rng 1.0 10.0 in
+          Some
+            (Job.rigid ~weight ~release:!clock ~community:0 ~id:!produced ~procs ~time ())
+        end);
+  }
+
+(* Poisson baseline with periodic storms: every [period] of virtual
+   time, the arrival rate is multiplied by [factor] for [width] — the
+   overload shape the admission-control watermark is sized against. *)
+let burst ?(procs_max = 0) ?(tmin = 1.0) ?(tmax = 100.0) ~m ~rate ~period ~width ~factor
+    ~seed ~count () =
+  if m < 1 then invalid_arg "Arrivals.burst: m must be >= 1";
+  if not (rate > 0.0) then invalid_arg "Arrivals.burst: rate must be > 0";
+  if not (period > 0.0 && width > 0.0 && width < period) then
+    invalid_arg "Arrivals.burst: need 0 < width < period";
+  if not (factor >= 1.0) then invalid_arg "Arrivals.burst: factor must be >= 1";
+  let procs_max = if procs_max >= 1 then min procs_max m else max 1 (m / 4) in
+  let rng = Rng.create seed in
+  let clock = ref 0.0 in
+  let produced = ref 0 in
+  let in_burst t =
+    let phase = Float.rem t period in
+    phase >= 0.0 && phase < width
+  in
+  {
+    consumed = 0;
+    next_fn =
+      (fun () ->
+        if count >= 0 && !produced >= count then None
+        else begin
+          incr produced;
+          let r = if in_burst !clock then rate *. factor else rate in
+          clock := !clock +. Rng.exponential rng r;
+          let procs = 1 + Rng.int rng procs_max in
+          let time = Rng.uniform rng tmin tmax in
+          let weight = Rng.uniform rng 1.0 10.0 in
+          Some
+            (Job.rigid ~weight ~release:!clock ~community:0 ~id:!produced ~procs ~time ())
+        end);
+  }

@@ -1,0 +1,57 @@
+(** Arrival sources for the serve daemon.
+
+    A pull-based stream of jobs with nondecreasing release dates.
+    Every source is a pure function of its construction arguments:
+    [skip n] on a fresh source reproduces the position of one that
+    already yielded [n] jobs, which is how resume-after-crash
+    fast-forwards past arrivals the WAL already accounts for. *)
+
+open Psched_workload
+
+type t
+
+val next : t -> Job.t option
+(** Pull the next arrival; [None] when the source is exhausted. *)
+
+val consumed : t -> int
+(** Number of jobs yielded so far. *)
+
+val skip : t -> int -> unit
+(** Discard the next [n] arrivals (deterministic fast-forward). *)
+
+val of_list : Job.t list -> t
+(** Replay a fixed job list (sorted by release, stable). *)
+
+val of_swf : string -> (t * Swf.warning list, string) result
+(** Replay an SWF trace file; damaged lines surface as warnings. *)
+
+val poisson :
+  ?procs_max:int ->
+  ?tmin:float ->
+  ?tmax:float ->
+  m:int ->
+  rate:float ->
+  seed:int ->
+  count:int ->
+  unit ->
+  t
+(** Poisson arrivals at [rate] events per unit time with rigid bodies
+    (procs uniform in [1..procs_max], default [m/4]; runtime uniform in
+    [tmin, tmax]).  [count < 0] is an unbounded stream. *)
+
+val burst :
+  ?procs_max:int ->
+  ?tmin:float ->
+  ?tmax:float ->
+  m:int ->
+  rate:float ->
+  period:float ->
+  width:float ->
+  factor:float ->
+  seed:int ->
+  count:int ->
+  unit ->
+  t
+(** {!poisson} with periodic storms: every [period] of virtual time the
+    rate is multiplied by [factor] for a window of [width] — the
+    overload shape admission control is exercised against. *)

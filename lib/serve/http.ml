@@ -1,0 +1,101 @@
+open Psched_obs
+
+(* Minimal non-blocking HTTP 1.0 endpoint serving the Prometheus
+   exposition of an Obs handle.  Polled from the daemon's event loop
+   (no threads, no domains): each [poll] accepts whatever connections
+   are ready, answers them and closes.  Good enough for a scrape every
+   few seconds; not a general web server and not trying to be. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  obs : Obs.t;
+  mutable served : int;
+  mutable closed : bool;
+}
+
+let start ?(port = 0) obs =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | sock -> (
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen sock 16;
+      Unix.set_nonblock sock;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> port
+      in
+      Ok { sock; port; obs; served = 0; closed = false }
+    with Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e))
+
+let port t = t.port
+let served t = t.served
+
+let respond client status body content_type =
+  let payload =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+      status content_type (String.length body) body
+  in
+  let len = String.length payload in
+  let rec write off =
+    if off < len then begin
+      match Unix.write_substring client payload off (len - off) with
+      | n -> write (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* Tiny payloads; give the kernel a moment rather than dropping. *)
+        ignore (Unix.select [] [ client ] [] 0.2);
+        write off
+    end
+  in
+  write 0
+
+let handle t client =
+  (* Read one request head (bounded); anything unparseable gets a 400. *)
+  let buf = Bytes.create 2048 in
+  let n =
+    match Unix.select [ client ] [] [] 0.2 with
+    | [ _ ], _, _ -> (
+      try Unix.read client buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0)
+    | _ -> 0
+  in
+  let request = Bytes.sub_string buf 0 (max 0 n) in
+  let path =
+    match String.split_on_char ' ' request with
+    | meth :: path :: _ when meth = "GET" -> Some path
+    | _ -> None
+  in
+  (match path with
+  | Some p when p = "/metrics" || String.length p >= 9 && String.sub p 0 9 = "/metrics?" ->
+    respond client "200 OK" (Profiler.prometheus t.obs) "text/plain; version=0.0.4"
+  | Some "/healthz" -> respond client "200 OK" "ok\n" "text/plain"
+  | Some _ -> respond client "404 Not Found" "not found\n" "text/plain"
+  | None -> respond client "400 Bad Request" "bad request\n" "text/plain");
+  t.served <- t.served + 1
+
+let poll t =
+  if not t.closed then begin
+    let rec accept_ready () =
+      match Unix.accept t.sock with
+      | client, _ ->
+        Unix.clear_nonblock client;
+        Fun.protect
+          ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () -> try handle t client with Unix.Unix_error _ -> ());
+        accept_ready ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    accept_ready ()
+  end
+
+let stop t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

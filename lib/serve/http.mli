@@ -1,0 +1,28 @@
+(** Non-blocking [/metrics] endpoint for the serve daemon.
+
+    A minimal polled HTTP 1.0 responder (no threads, no domains): the
+    daemon calls {!poll} from its event loop, which accepts whatever
+    connections are ready and answers them immediately.  Serves the
+    Prometheus exposition of the daemon's {!Psched_obs.Obs} handle at
+    [/metrics] and a liveness probe at [/healthz]. *)
+
+open Psched_obs
+
+type t
+
+val start : ?port:int -> Obs.t -> (t, string) result
+(** Bind the loopback interface; [port = 0] (default) picks an
+    ephemeral port, readable back with {!port}. *)
+
+val port : t -> int
+
+val served : t -> int
+(** Requests answered so far. *)
+
+val poll : t -> unit
+(** Accept and answer all currently ready connections; returns
+    immediately when none are pending.  Safe to call at high
+    frequency. *)
+
+val stop : t -> unit
+(** Close the listening socket (idempotent). *)

@@ -1,0 +1,282 @@
+open Psched_workload
+
+(* Write-ahead log of the serve daemon.
+
+   Every state transition of the daemon is one appended line; replaying
+   the line sequence rebuilds the exact pre-crash state (see Daemon).
+   The format is deliberately line-oriented text, not binary: a torn
+   final record (the normal result of `kill -9` between write and
+   flush) is detectable per line, and a human can read the log.
+
+   Line format:   <seq> <clock> <payload tokens...> #<checksum>
+
+   - seq is a strictly increasing integer (the analyzer's
+     serve.wal.monotone rule checks it);
+   - clock is the daemon's virtual time at the transition, encoded as a
+     hex float (%h) so replay is bit-identical;
+   - the checksum is FNV-1a/64 over everything before " #", so a torn
+     or bit-flipped tail is rejected, never silently replayed. *)
+
+type record =
+  | Admit of { job : Job.t; arrival : bool }
+  | Decide of { job_id : int; start : float; procs : int; duration : float }
+  | Shed of { job : Job.t; reason : string; arrival : bool; requeue : float }
+  | Outage of { start : float; duration : float; procs : int }
+  | Kill of { job_id : int; wasted : float; requeue : float }
+
+let record_name = function
+  | Admit _ -> "admit"
+  | Decide _ -> "decide"
+  | Shed _ -> "shed"
+  | Outage _ -> "outage"
+  | Kill _ -> "kill"
+
+(* ------------------------------------------------------------ checksum *)
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* ---------------------------------------------------------- job codec *)
+
+(* Hex floats (%h / float_of_string "0x1.8p3") round-trip every finite
+   float exactly, which the bit-identical-replay property requires. *)
+let hex f = Printf.sprintf "%h" f
+
+let float_tok tok =
+  match float_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad float %S" tok)
+
+let int_tok tok =
+  match int_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad int %S" tok)
+
+let job_tokens (j : Job.t) =
+  let due = match j.due with Some d -> hex d | None -> "-" in
+  let base =
+    [ "J"; string_of_int j.id; hex j.weight; hex j.release; due; string_of_int j.community ]
+  in
+  let shape =
+    match j.shape with
+    | Job.Rigid { procs; time } -> [ "R"; string_of_int procs; hex time ]
+    | Job.Moldable { min_procs; times } ->
+      "M" :: string_of_int min_procs
+      :: string_of_int (Array.length times)
+      :: List.map hex (Array.to_list times)
+    | Job.Divisible { work } -> [ "D"; hex work ]
+    | Job.Multiparam { count; unit_time } -> [ "P"; string_of_int count; hex unit_time ]
+  in
+  base @ shape
+
+let ( let* ) = Result.bind
+
+(* Parse a job from the token list; returns the job and the unconsumed
+   tail (records may carry tokens after the job). *)
+let job_of_tokens tokens =
+  match tokens with
+  | "J" :: id :: weight :: release :: due :: community :: shape ->
+    let* id = int_tok id in
+    let* weight = float_tok weight in
+    let* release = float_tok release in
+    let* due = if due = "-" then Ok None else Result.map Option.some (float_tok due) in
+    let* community = int_tok community in
+    let* shape, rest =
+      match shape with
+      | "R" :: procs :: time :: rest ->
+        let* procs = int_tok procs in
+        let* time = float_tok time in
+        Ok (Job.Rigid { procs; time }, rest)
+      | "M" :: min_procs :: k :: rest ->
+        let* min_procs = int_tok min_procs in
+        let* k = int_tok k in
+        if List.length rest < k then Error "truncated moldable times"
+        else
+          let* times =
+            List.fold_left
+              (fun acc tok ->
+                let* acc = acc in
+                let* v = float_tok tok in
+                Ok (v :: acc))
+              (Ok [])
+              (List.filteri (fun i _ -> i < k) rest)
+          in
+          let times = Array.of_list (List.rev times) in
+          Ok (Job.Moldable { min_procs; times }, List.filteri (fun i _ -> i >= k) rest)
+      | "D" :: work :: rest ->
+        let* work = float_tok work in
+        Ok (Job.Divisible { work }, rest)
+      | "P" :: count :: unit_time :: rest ->
+        let* count = int_tok count in
+        let* unit_time = float_tok unit_time in
+        Ok (Job.Multiparam { count; unit_time }, rest)
+      | _ -> Error "bad job shape"
+    in
+    (match Job.make ~weight ~release ?due ~community ~id shape with
+    | job -> Ok (job, rest)
+    | exception Invalid_argument msg -> Error msg)
+  | _ -> Error "bad job encoding"
+
+(* --------------------------------------------------------- record codec *)
+
+let origin_tok arrival = if arrival then "a" else "r"
+
+let origin_of_tok = function
+  | "a" -> Ok true
+  | "r" -> Ok false
+  | tok -> Error (Printf.sprintf "bad origin tag %S" tok)
+
+let payload_tokens = function
+  | Admit { job; arrival } -> "admit" :: origin_tok arrival :: job_tokens job
+  | Decide { job_id; start; procs; duration } ->
+    [ "decide"; string_of_int job_id; hex start; string_of_int procs; hex duration ]
+  | Shed { job; reason; arrival; requeue } ->
+    "shed" :: reason :: origin_tok arrival :: hex requeue :: job_tokens job
+  | Outage { start; duration; procs } ->
+    [ "outage"; hex start; hex duration; string_of_int procs ]
+  | Kill { job_id; wasted; requeue } ->
+    [ "kill"; string_of_int job_id; hex wasted; hex requeue ]
+
+let payload_of_tokens tokens =
+  match tokens with
+  | "admit" :: origin :: rest ->
+    let* arrival = origin_of_tok origin in
+    let* job, tail = job_of_tokens rest in
+    if tail <> [] then Error "trailing tokens after admit"
+    else Ok (Admit { job; arrival })
+  | [ "decide"; job_id; start; procs; duration ] ->
+    let* job_id = int_tok job_id in
+    let* start = float_tok start in
+    let* procs = int_tok procs in
+    let* duration = float_tok duration in
+    Ok (Decide { job_id; start; procs; duration })
+  | "shed" :: reason :: origin :: requeue :: rest ->
+    let* arrival = origin_of_tok origin in
+    let* requeue = float_tok requeue in
+    let* job, tail = job_of_tokens rest in
+    if tail <> [] then Error "trailing tokens after shed"
+    else Ok (Shed { job; reason; arrival; requeue })
+  | [ "outage"; start; duration; procs ] ->
+    let* start = float_tok start in
+    let* duration = float_tok duration in
+    let* procs = int_tok procs in
+    Ok (Outage { start; duration; procs })
+  | [ "kill"; job_id; wasted; requeue ] ->
+    let* job_id = int_tok job_id in
+    let* wasted = float_tok wasted in
+    let* requeue = float_tok requeue in
+    Ok (Kill { job_id; wasted; requeue })
+  | kind :: _ -> Error (Printf.sprintf "unknown record kind %S" kind)
+  | [] -> Error "empty record"
+
+let encode ~seq ~clock record =
+  let body =
+    String.concat " " (string_of_int seq :: hex clock :: payload_tokens record)
+  in
+  body ^ " #" ^ fnv1a64 body
+
+type entry = { seq : int; clock : float; record : record }
+
+let decode line =
+  match String.rindex_opt line '#' with
+  | None -> Error "no checksum"
+  | Some i when i < 1 || line.[i - 1] <> ' ' -> Error "no checksum separator"
+  | Some i ->
+    let body = String.sub line 0 (i - 1) in
+    let sum = String.sub line (i + 1) (String.length line - i - 1) in
+    if String.trim sum <> fnv1a64 body then Error "checksum mismatch"
+    else begin
+      match String.split_on_char ' ' body |> List.filter (fun s -> s <> "") with
+      | seq :: clock :: payload ->
+        let* seq = int_tok seq in
+        let* clock = float_tok clock in
+        let* record = payload_of_tokens payload in
+        Ok { seq; clock; record }
+      | _ -> Error "truncated header"
+    end
+
+(* -------------------------------------------------------------- writer *)
+
+type writer = { oc : out_channel; fd : Unix.file_descr; sync : bool; mutable seq : int }
+
+let magic = "psched-wal/1"
+
+let create ?(sync = false) path =
+  let oc = open_out path in
+  output_string oc magic;
+  output_char oc '\n';
+  flush oc;
+  { oc; fd = Unix.descr_of_out_channel oc; sync; seq = 0 }
+
+let open_append ?(sync = false) path ~last_seq =
+  let existed =
+    Sys.file_exists path && (try (Unix.stat path).Unix.st_size > 0 with Unix.Unix_error _ -> false)
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if not existed then begin
+    output_string oc magic;
+    output_char oc '\n';
+    flush oc
+  end;
+  { oc; fd = Unix.descr_of_out_channel oc; sync; seq = last_seq }
+
+let append w ~clock record =
+  w.seq <- w.seq + 1;
+  output_string w.oc (encode ~seq:w.seq ~clock record);
+  output_char w.oc '\n';
+  (* Flush every record: a kill -9 can then tear at most the final
+     line, which replay detects and drops.  fsync is opt-in — it makes
+     the record durable against power loss, at ~1ms per append. *)
+  flush w.oc;
+  if w.sync then Unix.fsync w.fd;
+  w.seq
+
+let seq w = w.seq
+let close w = close_out w.oc
+
+(* -------------------------------------------------------------- replay *)
+
+type torn = { line : int; offset : int; reason : string }
+
+let replay_string text =
+  let lines = String.split_on_char '\n' text in
+  (* Valid prefix semantics: the first undecodable line ends the log
+     (everything after a torn record is unreachable — the daemon never
+     wrote past a failed append), so later lines are not scavenged.
+     [offset] is the byte position of the torn line: recovery truncates
+     the file there so the continuation appends after the last valid
+     record, leaving no garbage in the middle. *)
+  let rec go lineno offset acc = function
+    | [] -> (List.rev acc, None)
+    | line :: rest ->
+      let next_offset = offset + String.length line + 1 in
+      let trimmed = String.trim line in
+      if trimmed = "" then
+        (* A trailing blank line is normal (final newline); blank lines
+           between records mean truncation. *)
+        if List.for_all (fun l -> String.trim l = "") rest then (List.rev acc, None)
+        else (List.rev acc, Some { line = lineno; offset; reason = "blank line inside the log" })
+      else if lineno = 1 && trimmed = magic then go (lineno + 1) next_offset acc rest
+      else begin
+        match decode trimmed with
+        | Ok entry -> go (lineno + 1) next_offset (entry :: acc) rest
+        | Error reason -> (List.rev acc, Some { line = lineno; offset; reason })
+      end
+  in
+  go 1 0 [] lines
+
+let replay path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Ok (replay_string (really_input_string ic n)))

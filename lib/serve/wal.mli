@@ -1,0 +1,90 @@
+(** Write-ahead log for the serve daemon.
+
+    Every externally visible state transition of the daemon — a job
+    admitted, a placement decided, a job shed, an outage applied, a
+    placement killed — is one appended, checksum-protected line.
+    Replaying the log (optionally on top of a {!Snapshot}) rebuilds the
+    exact pre-crash state; {!Daemon.recover} proves this bit-identical.
+
+    Line format: [<seq> <clock> <payload...> #<fnv1a64>].  Floats are
+    encoded as hex floats ([%h]) so round-trips are exact.  A torn
+    final line (the normal result of [kill -9] racing a write) fails
+    its checksum and is dropped; replay reports it as {!torn}. *)
+
+open Psched_workload
+
+type record =
+  | Admit of { job : Job.t; arrival : bool }
+      (** the job entered the admission queue; [arrival] distinguishes
+          a fresh arrival (counts against the source fast-forward
+          position) from a requeue after a kill or deferral *)
+  | Decide of { job_id : int; start : float; procs : int; duration : float }
+      (** a placement was reserved on the profile *)
+  | Shed of { job : Job.t; reason : string; arrival : bool; requeue : float }
+      (** the job was rejected ([reason = "reject"], [requeue] unused)
+          or deferred ([reason = "defer"], re-enters at [requeue]) *)
+  | Outage of { start : float; duration : float; procs : int }
+      (** a fault-injector outage was applied to the profile *)
+  | Kill of { job_id : int; wasted : float; requeue : float }
+      (** the job's placement was cancelled by an outage; [wasted] is
+          the processor-seconds already burned, [requeue] the release
+          date it re-enters the queue with (includes backoff) *)
+
+val record_name : record -> string
+(** Lower-case tag: ["admit"], ["decide"], ["shed"], ["outage"],
+    ["kill"]. *)
+
+(** {1 Codec} *)
+
+type entry = { seq : int; clock : float; record : record }
+
+val encode : seq:int -> clock:float -> record -> string
+(** One log line, without the trailing newline. *)
+
+val decode : string -> (entry, string) result
+(** Inverse of {!encode}; [Error] explains why the line is unusable
+    (bad checksum, truncation, unknown record kind). *)
+
+val fnv1a64 : string -> string
+(** The checksum used by the line format (16 lowercase hex digits). *)
+
+val job_tokens : Job.t -> string list
+(** The flat token encoding of a job, shared with {!Snapshot}. *)
+
+val job_of_tokens : string list -> (Job.t * string list, string) result
+(** Parse a job from a token list; returns the unconsumed tail. *)
+
+(** {1 Writer} *)
+
+type writer
+
+val create : ?sync:bool -> string -> writer
+(** Truncate/create the log and write the [psched-wal/1] header.
+    [sync] additionally fsyncs after every append (durable against
+    power loss, ~1ms/record); the default only flushes, which is
+    durable against process death. *)
+
+val open_append : ?sync:bool -> string -> last_seq:int -> writer
+(** Reopen an existing log for appending after recovery; [last_seq] is
+    the sequence number of the last valid replayed record. *)
+
+val append : writer -> clock:float -> record -> int
+(** Append one record and flush; returns the record's sequence
+    number.  Sequence numbers increase by exactly 1. *)
+
+val seq : writer -> int
+val close : writer -> unit
+
+(** {1 Replay} *)
+
+type torn = { line : int; offset : int; reason : string }
+(** [offset] is the byte position where the torn line starts; recovery
+    truncates the file there before appending. *)
+
+val replay_string : string -> entry list * torn option
+(** Decode the longest valid prefix.  The second component reports the
+    first undecodable line, if any; entries after it are intentionally
+    not scavenged (the daemon never wrote past a failed append). *)
+
+val replay : string -> (entry list * torn option, string) result
+(** {!replay_string} on a file; [Error] is an I/O failure. *)

@@ -120,6 +120,62 @@ module Acc = struct
 
   let jobs_seen acc = acc.n
 
+  (* The accumulator's whole state is twelve scalars; exposing them as
+     a record lets a long-running daemon snapshot its metrics and
+     rebuild the exact accumulator after a crash (see lib/serve).
+     [import (export acc)] is bit-identical to [acc]: every field is
+     copied verbatim, no recomputation happens. *)
+  type state = {
+    s_m : int;
+    s_n : int;
+    s_makespan : float;
+    s_sum_completion : float;
+    s_sum_weighted_completion : float;
+    s_sum_flow : float;
+    s_max_flow : float;
+    s_sum_stretch : float;
+    s_max_stretch : float;
+    s_tardy_count : int;
+    s_sum_tardiness : float;
+    s_max_tardiness : float;
+    s_work : float;
+  }
+
+  let export acc =
+    {
+      s_m = acc.m;
+      s_n = acc.n;
+      s_makespan = acc.makespan;
+      s_sum_completion = acc.sum_completion;
+      s_sum_weighted_completion = acc.sum_weighted_completion;
+      s_sum_flow = acc.sum_flow;
+      s_max_flow = acc.max_flow;
+      s_sum_stretch = acc.sum_stretch;
+      s_max_stretch = acc.max_stretch;
+      s_tardy_count = acc.tardy_count;
+      s_sum_tardiness = acc.sum_tardiness;
+      s_max_tardiness = acc.max_tardiness;
+      s_work = acc.work;
+    }
+
+  let import s =
+    if s.s_m < 1 then invalid_arg "Metrics.Acc.import: capacity must be >= 1";
+    {
+      m = s.s_m;
+      n = s.s_n;
+      makespan = s.s_makespan;
+      sum_completion = s.s_sum_completion;
+      sum_weighted_completion = s.s_sum_weighted_completion;
+      sum_flow = s.s_sum_flow;
+      max_flow = s.s_max_flow;
+      sum_stretch = s.s_sum_stretch;
+      max_stretch = s.s_max_stretch;
+      tardy_count = s.s_tardy_count;
+      sum_tardiness = s.s_sum_tardiness;
+      max_tardiness = s.s_max_tardiness;
+      work = s.s_work;
+    }
+
   let result acc : metrics =
     let nf = float_of_int acc.n in
     {

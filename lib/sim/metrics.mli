@@ -47,6 +47,31 @@ module Acc : sig
 
   val jobs_seen : t -> int
 
+  (** The accumulator's complete state as plain scalars, for crash
+      snapshots (lib/serve).  [import (export acc)] rebuilds a
+      bit-identical accumulator: fields are copied verbatim, so
+      resuming after a crash cannot perturb the final report. *)
+  type state = {
+    s_m : int;
+    s_n : int;
+    s_makespan : float;
+    s_sum_completion : float;
+    s_sum_weighted_completion : float;
+    s_sum_flow : float;
+    s_max_flow : float;
+    s_sum_stretch : float;
+    s_max_stretch : float;
+    s_tardy_count : int;
+    s_sum_tardiness : float;
+    s_max_tardiness : float;
+    s_work : float;
+  }
+
+  val export : t -> state
+
+  val import : state -> t
+  (** @raise Invalid_argument if the state's capacity is < 1. *)
+
   val result : t -> metrics
   (** Current criteria; the accumulator stays usable afterwards. *)
 end

@@ -14,8 +14,41 @@ let to_string jobs =
   in
   header ^ String.concat "\n" (List.map line jobs) ^ "\n"
 
-let parse_line ~lineno line =
-  let fail fmt = Printf.ksprintf (fun s -> failwith (Printf.sprintf "Swf line %d: %s" lineno s)) fmt in
+(* ------------------------------------------------------- lenient parse *)
+
+(* Real traces from the Parallel Workloads Archive carry damaged lines:
+   truncated records from log rotation, "NaN" and garbage in numeric
+   columns, negative runtimes for crashed jobs.  A daemon replaying a
+   trace must not die on line 814211 of a 2 GB file, so every way a
+   line can be unusable is a typed, per-line warning and the parse
+   continues.  [-1] remains the SWF convention for "missing" and stays
+   silent (cancelled records are normal, not corruption). *)
+
+type problem =
+  | Missing_fields of { got : int }  (** fewer than the 18 SWF columns *)
+  | Bad_number of { field : int; text : string }
+      (** a numeric column holds something that is not a number *)
+  | Negative_field of { field : int; value : float }
+      (** an explicit negative value where only [-1] (missing) or a
+          non-negative value is meaningful, e.g. a runtime of [-7200] *)
+  | Unusable of { reason : string }
+      (** structurally valid but no job can be built (e.g. no positive
+          runtime in either the run or requested-time column) *)
+
+type warning = { line : int; problem : problem }
+
+let problem_to_string = function
+  | Missing_fields { got } -> Printf.sprintf "expected 18 fields, got %d" got
+  | Bad_number { field; text } -> Printf.sprintf "field %d is not a number: %S" field text
+  | Negative_field { field; value } ->
+    Printf.sprintf "field %d is negative (%g); only -1 marks a missing value" field value
+  | Unusable { reason } -> reason
+
+let warning_to_string w = Printf.sprintf "line %d: %s" w.line (problem_to_string w.problem)
+
+(* Parse one non-comment line: [Ok (Some job)], [Ok None] for records
+   that are legitimately skippable (cancelled jobs), or [Error problem]. *)
+let parse_line line =
   (* Strip the comment suffix but remember a weight annotation. *)
   let weight = ref 1.0 in
   let body =
@@ -33,54 +66,97 @@ let parse_line ~lineno line =
     |> List.filter (fun s -> s <> "")
   in
   match fields with
-  | [] -> None
-  | _ when List.length fields < 18 -> fail "expected 18 fields, got %d" (List.length fields)
-  | _ ->
+  | [] -> Ok None
+  | _ when List.length fields < 18 -> Error (Missing_fields { got = List.length fields })
+  | _ -> (
     let nth i = List.nth fields (i - 1) in
     let float_field i =
       match float_of_string_opt (nth i) with
-      | Some v -> v
-      | None -> fail "field %d is not a number: %S" i (nth i)
+      | Some v when Float.is_finite v -> Ok v
+      | Some _ | None -> Error (Bad_number { field = i; text = nth i })
     in
     let int_field i =
       match int_of_string_opt (nth i) with
-      | Some v -> v
-      | None ->
+      | Some v -> Ok v
+      | None -> (
         (* SWF allows floats in integer columns of some traces. *)
-        int_of_float (float_field i)
+        match float_field i with Ok v -> Ok (int_of_float v) | Error e -> Error e)
     in
-    let id = int_field 1 in
-    let submit = Float.max 0.0 (float_field 2) in
-    let run = float_field 4 in
-    let run = if run <= 0.0 then float_field 9 else run in
-    let procs =
-      let req = int_field 8 in
-      if req > 0 then req else int_field 5
+    (* A value is "missing" when it is exactly -1; any other negative is
+       corruption worth surfacing. *)
+    let non_negative ~field v =
+      if v >= 0.0 || v = -1.0 then Ok v else Error (Negative_field { field; value = v })
     in
-    if run <= 0.0 || procs <= 0 then None (* cancelled / unusable record *)
+    let ( let* ) = Result.bind in
+    let* id = int_field 1 in
+    let* submit = float_field 2 in
+    let* submit = non_negative ~field:2 submit in
+    let submit = Float.max 0.0 submit in
+    let* run = float_field 4 in
+    let* run = non_negative ~field:4 run in
+    let* req_time = float_field 9 in
+    let* req_time = non_negative ~field:9 req_time in
+    let run = if run <= 0.0 then req_time else run in
+    let* req = int_field 8 in
+    let* req = Result.map int_of_float (non_negative ~field:8 (float_of_int req)) in
+    let* alloc = int_field 5 in
+    let* alloc = Result.map int_of_float (non_negative ~field:5 (float_of_int alloc)) in
+    let procs = if req > 0 then req else alloc in
+    let* queue = int_field 15 in
+    if run <= 0.0 || procs <= 0 then
+      if run < 0.0 || procs < 0 then
+        (* Only reachable through the -1 fallbacks; keep the cancelled
+           convention silent. *)
+        Ok None
+      else
+        (* run >= 0 and procs >= 0 here, so one of them is exactly zero. *)
+        Error
+          (Unusable
+             {
+               reason =
+                 (if run <= 0.0 then "runtime is 0 in both the run and requested-time columns"
+                  else "processor count is 0 in both the requested and allocated columns");
+             })
     else begin
-      let queue = int_field 15 in
       let community = if queue >= 0 then queue else 0 in
-      Some
-        (Job.rigid ~weight:!weight ~release:submit ~community ~id ~procs ~time:run ())
-    end
+      if !weight <= 0.0 then Error (Unusable { reason = "non-positive weight annotation" })
+      else
+        Ok
+          (Some
+             (Job.rigid ~weight:!weight ~release:submit ~community ~id ~procs ~time:run ()))
+    end)
 
-let of_string text =
+let parse text =
   let lines = String.split_on_char '\n' text in
-  List.filteri (fun _ line -> String.trim line <> "") lines
-  |> List.mapi (fun i line -> (i + 1, line))
-  |> List.filter_map (fun (lineno, line) ->
-         let trimmed = String.trim line in
-         if trimmed = "" || trimmed.[0] = ';' then None else parse_line ~lineno trimmed)
+  let jobs = ref [] and warnings = ref [] in
+  List.iteri
+    (fun i line ->
+      let trimmed = String.trim line in
+      if trimmed <> "" && trimmed.[0] <> ';' then
+        match parse_line trimmed with
+        | Ok (Some job) -> jobs := job :: !jobs
+        | Ok None -> ()
+        | Error problem -> warnings := { line = i + 1; problem } :: !warnings)
+    lines;
+  (List.rev !jobs, List.rev !warnings)
+
+let of_string text = fst (parse text)
 
 let save path jobs =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string jobs))
 
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Ok (parse (really_input_string ic n)))
+
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+  match parse_file path with
+  | Ok (jobs, _) -> jobs
+  | Error msg -> failwith (Printf.sprintf "Swf.load: %s" msg)

@@ -22,10 +22,41 @@ val to_string : Job.t list -> string
     SWF field and are written as a [; weight=...] comment suffix that
     {!of_string} understands. *)
 
-val of_string : string -> Job.t list
+(** Everything that can make a trace line unusable, as data.  Parsing
+    {e never} raises on trace content: real archive traces carry
+    truncated records, garbage in numeric columns and negative
+    runtimes, and a replay daemon must survive all of them. *)
+type problem =
+  | Missing_fields of { got : int }  (** fewer than the 18 SWF columns *)
+  | Bad_number of { field : int; text : string }
+      (** a numeric column holds something that is not a number *)
+  | Negative_field of { field : int; value : float }
+      (** an explicit negative value (not the [-1] missing marker) in a
+          column where negatives are meaningless, e.g. run time -7200 *)
+  | Unusable of { reason : string }
+      (** well-formed but no job can be built (zero runtime and no
+          requested time, zero processors, non-positive weight) *)
+
+type warning = { line : int; problem : problem }
+
+val problem_to_string : problem -> string
+val warning_to_string : warning -> string
+
+val parse : string -> Job.t list * warning list
 (** Parse an SWF trace into rigid jobs (requested processors and run
-    time; submit time as release; queue as community).
-    @raise Failure on malformed lines (with the line number). *)
+    time; submit time as release; queue as community).  Malformed lines
+    become per-line {!warning}s and are skipped; cancelled records
+    ([-1] markers, the SWF convention) are skipped silently.  Never
+    raises on trace content. *)
+
+val of_string : string -> Job.t list
+(** [fst (parse text)]: the jobs, warnings discarded. *)
+
+val parse_file : string -> (Job.t list * warning list, string) result
+(** Like {!parse} from a file; [Error] carries the I/O failure. *)
 
 val save : string -> Job.t list -> unit
+
 val load : string -> Job.t list
+(** @raise Failure only on I/O errors (missing file), never on trace
+    content. *)

@@ -257,7 +257,7 @@ let test_analyzer_sweep_smoke () =
     }
   in
   let runs = Analyzer.analyze_all ~policies:[ "mrt"; "conservative" ] ~corpus:[ entry ] () in
-  Alcotest.(check int) "two policies + grid" 3 (List.length runs);
+  Alcotest.(check int) "two policies + grid + serve" 4 (List.length runs);
   Alcotest.(check int) "clean sweep" 0 (Report.exit_code runs);
   let json = Report.to_json runs in
   Alcotest.(check bool) "json carries the certificate" true
@@ -342,6 +342,117 @@ let test_rule_crash_is_finding () =
     Alcotest.(check bool) "reason kept" true (T_helpers.contains f.Finding.message "kaboom")
   | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
 
+(* --- serve rules ------------------------------------------------------- *)
+
+module Wal = Psched_serve.Wal
+
+let wal_entry seq clock record = { Wal.seq; clock; record }
+
+let sjob id = Job.rigid ~id ~procs:1 ~time:1.0 ()
+
+let test_serve_wal_rules_clean () =
+  let j1 = sjob 1 and j2 = sjob 2 in
+  let entries =
+    [
+      wal_entry 1 0.0 (Wal.Admit { job = j1; arrival = true });
+      wal_entry 2 0.0 (Wal.Decide { job_id = 1; start = 0.0; procs = 1; duration = 1.0 });
+      wal_entry 3 2.0 (Wal.Admit { job = j2; arrival = true });
+      wal_entry 4 2.0 (Wal.Decide { job_id = 2; start = 2.0; procs = 1; duration = 1.0 });
+    ]
+  in
+  Alcotest.(check int) "clean log, no findings" 0
+    (List.length (Serve_rules.check ~complete:true entries))
+
+let test_serve_wal_rules_violations () =
+  let j1 = sjob 1 in
+  (* Non-monotone seq, clock going back, duplicate decide, decide
+     without admit, job lost at tail. *)
+  let entries =
+    [
+      wal_entry 1 5.0 (Wal.Admit { job = j1; arrival = true });
+      wal_entry 1 4.0 (Wal.Decide { job_id = 1; start = 5.0; procs = 1; duration = 1.0 });
+      wal_entry 2 4.0 (Wal.Decide { job_id = 1; start = 5.0; procs = 1; duration = 1.0 });
+      wal_entry 3 4.0 (Wal.Decide { job_id = 9; start = 5.0; procs = 1; duration = 1.0 });
+      wal_entry 4 6.0 (Wal.Admit { job = sjob 7; arrival = true });
+    ]
+  in
+  let findings = Serve_rules.check ~complete:true entries in
+  Alcotest.(check bool) "monotone rule trips" true (has_rule "serve.wal.monotone" findings);
+  Alcotest.(check bool) "conservation rule trips" true
+    (has_rule "serve.wal.conservation" findings);
+  let messages = String.concat "\n" (List.map (fun f -> f.Finding.message) findings) in
+  Alcotest.(check bool) "duplicate decide flagged" true
+    (T_helpers.contains messages "decided twice");
+  Alcotest.(check bool) "orphan decide flagged" true
+    (T_helpers.contains messages "without an admit");
+  Alcotest.(check bool) "lost job flagged" true (T_helpers.contains messages "never decided")
+
+let test_serve_wal_kill_requeue_cycle () =
+  let j1 = sjob 1 in
+  let entries =
+    [
+      wal_entry 1 0.0 (Wal.Admit { job = j1; arrival = true });
+      wal_entry 2 0.0 (Wal.Decide { job_id = 1; start = 0.0; procs = 1; duration = 10.0 });
+      wal_entry 3 5.0 (Wal.Kill { job_id = 1; wasted = 5.0; requeue = 6.0 });
+      wal_entry 4 6.0 (Wal.Admit { job = j1; arrival = false });
+      wal_entry 5 6.0 (Wal.Decide { job_id = 1; start = 6.0; procs = 1; duration = 10.0 });
+    ]
+  in
+  Alcotest.(check int) "kill/requeue cycle is conserving" 0
+    (List.length (Serve_rules.check ~complete:true entries));
+  (* Requeue admit without a kill or deferral is a provenance error. *)
+  let bad = [ wal_entry 1 0.0 (Wal.Admit { job = j1; arrival = false }) ] in
+  Alcotest.(check bool) "unprovenanced requeue trips" true
+    (errors (Serve_rules.check bad) <> [])
+
+let test_serve_selfcheck () =
+  let findings = Serve_rules.selfcheck () in
+  Alcotest.(check (list string)) "selfcheck passes" []
+    (List.map (fun f -> f.Finding.message) (errors findings));
+  Alcotest.(check bool) "selfcheck reports an info summary" true
+    (List.exists (fun f -> f.Finding.severity = Finding.Info) findings)
+
+let test_acc_metrics_rule () =
+  (* A healthy schedule satisfies the rule; shifting one completion
+     breaks the streamed-vs-batch agreement only if we corrupt the Acc
+     side — instead corrupt the schedule seen by compute by feeding the
+     rule mismatched jobs.  Simplest true-negative: rule passes on a
+     policy run (exercised via the analyzer); true-positive: a schedule
+     entry for a job not in [jobs] makes utilisation-bearing fields
+     diverge is NOT flagged (both ignore it), so instead check the rule
+     applies and stays silent here. *)
+  let jobs = List.init 6 (fun id -> Job.rigid ~id ~procs:2 ~time:(float_of_int (id + 1)) ()) in
+  let run = Analyzer.analyze_run ~policy:"easy" { Corpus.name = "acc-check"; m = 4; jobs } in
+  Alcotest.(check int) "no errors" 0 (List.length (errors run.Analyzer.findings));
+  (* The rule is registered and listed. *)
+  Alcotest.(check bool) "rule registered" true
+    (List.mem_assoc "struct.acc-metrics" (Analyzer.rule_docs ()));
+  Alcotest.(check bool) "serve rules listed" true
+    (List.mem_assoc "serve.wal.conservation" (Analyzer.rule_docs ()))
+
+let test_acc_metrics_rule_trips () =
+  (* Hand-build an input whose schedule disagrees with itself: two
+     entries for different jobs where one start is NaN-free but the
+     completion fed to compute differs from the fold — achieved by
+     duplicating nothing and instead corrupting via a job list whose
+     releases shift the flow only on the compute side is impossible;
+     the honest negative test is a direct call with a doctored Acc
+     comparison: corrupt the schedule by giving a job two entries ->
+     rule must not apply (restart chains are exempt). *)
+  let j = Job.rigid ~id:1 ~procs:1 ~time:1.0 () in
+  let sched =
+    Schedule.make ~m:2
+      [
+        { Schedule.job_id = 1; start = 0.0; duration = 1.0; procs = 1; cluster = 0 };
+        { Schedule.job_id = 1; start = 2.0; duration = 1.0; procs = 1; cluster = 0 };
+      ]
+  in
+  let input = Rule.input ~jobs:[ j ] ~m:2 sched in
+  let acc_rule =
+    List.find (fun (r : Rule.t) -> r.Rule.id = "struct.acc-metrics") Structural.rules
+  in
+  Alcotest.(check int) "restart chains exempt" 0 (List.length (Rule.apply acc_rule input))
+
 let suite =
   [
     Alcotest.test_case "MRT certificate on a tight instance" `Quick test_mrt_cert_tight;
@@ -366,4 +477,12 @@ let suite =
     Alcotest.test_case "report exit code" `Quick test_report_exit_code;
     Alcotest.test_case "grid non-interference" `Quick test_grid_noninterference;
     Alcotest.test_case "crashing rule becomes finding" `Quick test_rule_crash_is_finding;
+    Alcotest.test_case "serve WAL rules: clean log" `Quick test_serve_wal_rules_clean;
+    Alcotest.test_case "serve WAL rules: violations" `Quick test_serve_wal_rules_violations;
+    Alcotest.test_case "serve WAL rules: kill/requeue cycle" `Quick
+      test_serve_wal_kill_requeue_cycle;
+    Alcotest.test_case "serve selfcheck passes" `Quick test_serve_selfcheck;
+    Alcotest.test_case "acc-metrics rule registered and clean" `Quick test_acc_metrics_rule;
+    Alcotest.test_case "acc-metrics rule exempts restart chains" `Quick
+      test_acc_metrics_rule_trips;
   ]

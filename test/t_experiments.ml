@@ -93,6 +93,29 @@ let test_gantt_renders () =
   Alcotest.(check bool) "job 1 drawn" true (String.contains s '1');
   Alcotest.(check bool) "axis" true (String.contains s '+')
 
+let test_fig2_sharding_identical () =
+  (* Replications go through Pool.map_seeded: the rendered output must
+     be byte-identical whatever the domain count. *)
+  let sequential = Fig2.run ~domains:1 ~m:40 ~seeds:3 ~ns:[ 20; 50 ] () in
+  let sharded = Fig2.run ~domains:3 ~m:40 ~seeds:3 ~ns:[ 20; 50 ] () in
+  Alcotest.(check string) "byte-identical render" (Fig2.to_string sequential)
+    (Fig2.to_string sharded);
+  Alcotest.(check bool) "identical points" true (compare sequential sharded = 0)
+
+let test_replicate_grouping () =
+  let rng = Psched_util.Rng.create 5 in
+  let out =
+    Psched_experiments.Replicate.sweep ~domains:2 ~rng ~seeds:3
+      (fun cell rng -> (cell, Psched_util.Rng.int rng 1000))
+      [ "a"; "b" ]
+  in
+  Alcotest.(check int) "two cells" 2 (List.length out);
+  List.iter
+    (fun (cell, samples) ->
+      Alcotest.(check int) "three replications" 3 (List.length samples);
+      List.iter (fun (c, _) -> Alcotest.(check string) "sample belongs to its cell" cell c) samples)
+    out
+
 let test_gantt_empty () =
   let s = Psched_sim.Gantt.render (Psched_sim.Schedule.make ~m:4 []) in
   Alcotest.(check string) "empty" "(empty schedule)\n" s
@@ -105,6 +128,8 @@ let suite =
     Alcotest.test_case "fig2 structure" `Quick test_fig2_structure;
     Alcotest.test_case "fig2 decreasing shape" `Slow test_fig2_shape_decreasing;
     Alcotest.test_case "fig2 render" `Quick test_fig2_render;
+    Alcotest.test_case "fig2 sharded replications identical" `Quick test_fig2_sharding_identical;
+    Alcotest.test_case "replicate grouping" `Quick test_replicate_grouping;
     Alcotest.test_case "tables regenerate" `Slow test_tables_regenerate;
     Alcotest.test_case "ablations regenerate" `Slow test_ablations_regenerate;
     Alcotest.test_case "gantt renders" `Quick test_gantt_renders;

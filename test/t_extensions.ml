@@ -174,8 +174,44 @@ let test_swf_parses_standard_lines () =
   Alcotest.(check int) "j2 queue -> community" 1 j2.Job.community
 
 let test_swf_rejects_malformed () =
-  Alcotest.(check bool) "short line fails" true
-    (match Swf.of_string "1 2 3\n" with exception Failure _ -> true | _ -> false)
+  (* The hardened parser never raises on trace content: a short line
+     becomes a typed per-line warning and is skipped. *)
+  let jobs, warnings = Swf.parse "1 2 3\n" in
+  Alcotest.(check int) "short line yields no job" 0 (List.length jobs);
+  match warnings with
+  | [ { Swf.line = 1; problem = Swf.Missing_fields { got = 3 } } ] -> ()
+  | _ -> Alcotest.fail "expected one Missing_fields warning for line 1"
+
+let test_swf_damaged_fixture () =
+  match Swf.parse_file "fixtures/damaged.swf" with
+  | Error e -> Alcotest.fail e
+  | Ok (jobs, warnings) ->
+    (* Jobs 1, 5 and 7 are intact; 2 is truncated, 3 has garbage in the
+       run-time column, 4 a negative run time, 6 no processors. *)
+    Alcotest.(check (list int)) "usable jobs survive" [ 1; 5; 7 ]
+      (List.map (fun (j : Job.t) -> j.Job.id) jobs);
+    let problem line =
+      match List.find_opt (fun w -> w.Swf.line = line) warnings with
+      | Some w -> w.Swf.problem
+      | None -> Alcotest.failf "no warning for line %d" line
+    in
+    (match problem 4 with
+    | Swf.Missing_fields { got = 4 } -> ()
+    | p -> Alcotest.failf "line 4: expected Missing_fields, got %s" (Swf.problem_to_string p));
+    (match problem 5 with
+    | Swf.Bad_number { field = 4; text = "abc" } -> ()
+    | p -> Alcotest.failf "line 5: expected Bad_number, got %s" (Swf.problem_to_string p));
+    (match problem 6 with
+    | Swf.Negative_field { field = 4; _ } -> ()
+    | p -> Alcotest.failf "line 6: expected Negative_field, got %s" (Swf.problem_to_string p));
+    (match problem 8 with
+    | Swf.Unusable _ -> ()
+    | p -> Alcotest.failf "line 8: expected Unusable, got %s" (Swf.problem_to_string p));
+    List.iter
+      (fun w ->
+        Alcotest.(check bool) "warning renders" true
+          (String.length (Swf.warning_to_string w) > 0))
+      warnings
 
 let test_swf_file_io () =
   let rng = Psched_util.Rng.create 9 in
@@ -233,6 +269,7 @@ let suite =
     Alcotest.test_case "swf roundtrip" `Quick test_swf_roundtrip;
     Alcotest.test_case "swf standard lines" `Quick test_swf_parses_standard_lines;
     Alcotest.test_case "swf malformed" `Quick test_swf_rejects_malformed;
+    Alcotest.test_case "swf damaged fixture" `Quick test_swf_damaged_fixture;
     Alcotest.test_case "swf file io" `Quick test_swf_file_io;
     Alcotest.test_case "queues strict" `Quick test_queues_strict;
     Alcotest.test_case "queues weighted fair" `Quick test_queues_weighted_fair;

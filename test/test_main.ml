@@ -20,4 +20,5 @@ let () =
       ("systems-more", T_more_systems.suite);
       ("experiments", T_experiments.suite);
       ("check", T_check.suite);
+      ("serve", T_serve.suite);
     ]

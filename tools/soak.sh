@@ -1,0 +1,66 @@
+#!/bin/sh
+# Soak smoke for the serve daemon (DESIGN.md section 14): run it for a
+# while under fault injection with a live /metrics endpoint, SIGKILL it
+# mid-run, recover from the WAL, finish the workload, and prove that no
+# admitted job was lost or decided twice across the crash.
+#
+# Environment knobs:
+#   PSCHED     command prefix (default: dune exec bin/psched.exe --)
+#   SOAK_DIR   scratch directory (default: mktemp -d)
+#   SOAK_PORT  /metrics port (default: 39443)
+#   THROTTLE   wall seconds slept per daemon event (default: 0.05)
+set -eu
+
+PSCHED="${PSCHED:-dune exec bin/psched.exe --}"
+DIR="${SOAK_DIR:-$(mktemp -d)}"
+PORT="${SOAK_PORT:-39443}"
+THROTTLE="${THROTTLE:-0.05}"
+WAL="$DIR/soak.wal"
+SNAP="$DIR/soak.snapshot"
+M=64
+
+SERVE_ARGS="-m $M --rate 0.8 -n 400 --seed 11 \
+  --wal $WAL --snapshot $SNAP --snapshot-every 64 \
+  --queue-cap 32 --batch 4 --shed defer:5 \
+  --fault-rate 0.02 --fault-duration 20"
+
+echo "== soak: serve under faults with WAL + snapshot + /metrics (dir $DIR)"
+# shellcheck disable=SC2086  # SERVE_ARGS is a flat flag list by construction
+$PSCHED serve run $SERVE_ARGS --port "$PORT" --throttle "$THROTTLE" &
+PID=$!
+
+sleep 8
+echo "== soak: scraping /metrics mid-run"
+if command -v curl >/dev/null 2>&1; then
+  METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
+  echo "$METRICS" | grep -q 'serve.queue_depth' || {
+    echo "soak: /metrics is missing serve gauges" >&2
+    kill -9 "$PID" 2>/dev/null || true
+    exit 1
+  }
+  echo "$METRICS" | grep 'serve\.' | head -5
+else
+  echo "soak: curl not available, skipping the scrape"
+fi
+
+sleep 4
+kill -0 "$PID" 2>/dev/null || {
+  echo "soak: daemon finished before the kill — raise THROTTLE" >&2
+  exit 1
+}
+echo "== soak: SIGKILL mid-run"
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+echo "== soak: auditing the torn WAL"
+$PSCHED serve verify "$WAL" -m $M
+
+echo "== soak: recovering and finishing the workload"
+# shellcheck disable=SC2086
+$PSCHED serve run $SERVE_ARGS --recover
+
+echo "== soak: final audit — every admitted job decided exactly once"
+$PSCHED serve verify "$WAL" -m $M --complete
+
+echo "== soak: clean recovery, zero lost or duplicated jobs"
+rm -rf "$DIR"

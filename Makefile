@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench bench-fault bench-scale bench-scale-full bench-serve bench-diff profile trace-smoke soak lint analyze check clean
+.PHONY: all build test bench-smoke bench bench-fault bench-scale bench-scale-full bench-serve bench-multires bench-diff profile trace-smoke soak lint analyze check clean
 
 all: build
 
@@ -39,6 +39,12 @@ bench-scale-full:
 # fails to engage shedding.  Rewrites BENCH_serve_quick.json.
 bench-serve:
 	dune exec bin/psched.exe -- bench serve --quick --json BENCH_serve_quick.json
+
+# App-class communities (CPU-, memory- and I/O-bound) under the
+# cores-only EASY baseline vs the multi-resource list/EASY policies;
+# rewrites BENCH_4.json deterministically at seed 42.
+bench-multires:
+	dune exec bin/psched.exe -- bench multires --json BENCH_4.json
 
 # Noise-aware regression gate: re-measure the quick pair and the quick
 # scaling point, diff both against their committed baselines (exit 1
@@ -89,7 +95,7 @@ lint:
 analyze:
 	dune exec bin/psched.exe -- check --all --json check_report.json
 
-check: build test bench-smoke bench-fault bench-scale bench-serve trace-smoke soak lint analyze
+check: build test bench-smoke bench-fault bench-scale bench-serve bench-multires trace-smoke soak lint analyze
 
 clean:
 	dune clean

@@ -437,6 +437,157 @@ let bench_scale_cmd =
           sweep is not byte-identical to the sequential one.")
     Term.(const run $ quick $ points $ repeats $ jobs $ seed $ out)
 
+(* App-class communities against the vector capacity: the cores-only
+   EASY baseline vs the multi-resource policies, per community.  The
+   table shows where the scalar engine oversubscribes a non-core
+   resource (violations > 0) and what the honest vector policies pay
+   for respecting it. *)
+let bench_multires_cmd =
+  let module R = Psched_platform.Resource in
+  let run quick m mem_per_core sys_bw corehours seed out =
+    let corehours = if quick then corehours /. 20.0 else corehours in
+    let cap = R.cap ~cores:m ~memory:(m * mem_per_core) ~bandwidth:sys_bw () in
+    let policies = [ "easy"; "list-mr"; "easy-mr" ] in
+    let rows = ref [] in
+    Printf.printf "platform: %s\n" (R.to_string cap);
+    Printf.printf "%-12s %-10s %12s %8s %8s %8s %12s\n" "community" "policy" "makespan"
+      "u-cores" "u-mem" "u-bw" "violations";
+    List.iter
+      (fun (community, classes) ->
+        let rng = Psched_util.Rng.create seed in
+        let jobs = App_class.generate rng ~classes ~cap ~corehours in
+        (* Poisson arrivals pitched at ~90% offered load on the
+           community's bottleneck resource (memory-bound jobs saturate
+           memory long before cores), so contention is real and the
+           policies actually differ. *)
+        let resource_seconds pick capacity =
+          if R.is_unbounded capacity then 0.0
+          else
+            List.fold_left
+              (fun acc (j : Job.t) ->
+                acc +. (Job.seq_time j *. float_of_int (pick (Job.min_request j))))
+              0.0 jobs
+            /. float_of_int capacity
+        in
+        let core_seconds = corehours *. 3600.0 /. float_of_int m in
+        let busy =
+          Float.max core_seconds
+            (Float.max
+               (resource_seconds (fun r -> r.R.memory) cap.R.memory)
+               (resource_seconds (fun r -> r.R.bandwidth) cap.R.bandwidth))
+        in
+        let horizon = busy /. 0.9 in
+        let rate = float_of_int (List.length jobs) /. horizon in
+        let jobs = Workload_gen.with_poisson_arrivals rng ~rate jobs in
+        List.iter
+          (fun policy ->
+            let ctx = Scheduler_intf.ctx ~cap ~m () in
+            match Schedulers.run policy ctx jobs with
+            | Error e ->
+              Printf.eprintf "%s/%s: %s\n" community policy (Scheduler_intf.error_to_string e);
+              exit 1
+            | Ok outcome ->
+              let sched = outcome.Scheduler_intf.schedule in
+              let makespan = Schedule.makespan sched in
+              (* Integral utilisation of each component over the
+                 makespan, from the entries' request vectors. *)
+              let util pick capacity =
+                if R.is_unbounded capacity || makespan <= 0.0 then 0.0
+                else
+                  let demand =
+                    List.fold_left
+                      (fun acc (e : Schedule.entry) ->
+                        match List.find_opt (fun (j : Job.t) -> j.id = e.job_id) jobs with
+                        | Some job ->
+                          acc +. (e.duration *. float_of_int (pick (Job.request job ~procs:e.procs)))
+                        | None -> acc)
+                      0.0 sched.Schedule.entries
+                  in
+                  demand /. (makespan *. float_of_int capacity)
+              in
+              let u_cores =
+                let demand =
+                  List.fold_left
+                    (fun acc (e : Schedule.entry) ->
+                      acc +. (e.duration *. float_of_int e.procs))
+                    0.0 sched.Schedule.entries
+                in
+                if makespan > 0.0 then demand /. (makespan *. float_of_int m) else 0.0
+              in
+              let u_mem = util (fun r -> r.R.memory) cap.R.memory in
+              let u_bw = util (fun r -> r.R.bandwidth) cap.R.bandwidth in
+              let violations =
+                Psched_sim.Validate.check ~cap ~jobs sched
+                |> List.filter (function
+                     | Psched_sim.Validate.Over_resource _ | Psched_sim.Validate.Over_capacity _
+                       -> true
+                     | _ -> false)
+                |> List.length
+              in
+              Printf.printf "%-12s %-10s %12.0f %8.2f %8.2f %8.2f %12d\n" community policy
+                makespan u_cores u_mem u_bw violations;
+              let tag metric = Printf.sprintf "multires %s %s %s" community policy metric in
+              rows :=
+                !rows
+                @ [
+                    (tag "makespan", makespan);
+                    (tag "util-cores", u_cores);
+                    (tag "util-mem", u_mem);
+                    (tag "util-bw", u_bw);
+                    (tag "violations", float_of_int violations);
+                  ])
+          policies)
+      (App_class.communities cap);
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      let outf fmt = Printf.fprintf oc fmt in
+      outf "{\n";
+      outf "  \"schema\": \"psched-bench/2\",\n";
+      outf "  \"quick\": %b,\n" quick;
+      outf "  \"unit\": \"mixed\",\n";
+      outf "  \"machine\": { \"os\": \"%s\", \"arch_bits\": %d, \"ocaml\": \"%s\" },\n"
+        Sys.os_type Sys.word_size Sys.ocaml_version;
+      outf "  \"tests\": {\n";
+      let n = List.length !rows in
+      List.iteri
+        (fun i (name, v) ->
+          outf
+            "    \"%s\": { \"estimate\": %.4f, \"ci_lower\": %.4f, \"ci_upper\": %.4f, \
+             \"samples\": 1 }%s\n"
+            name v v v
+            (if i = n - 1 then "" else ","))
+        !rows;
+      outf "  }\n";
+      outf "}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"1/20th of the core-hour budget (CI smoke).") in
+  let m = Arg.(value & opt int 512 & info [ "m" ] ~doc:"Core capacity.") in
+  let mem_per_core =
+    Arg.(value & opt int 2048 & info [ "mem-per-core" ] ~docv:"MB" ~doc:"Memory per core, MB.")
+  in
+  let sys_bw =
+    Arg.(value & opt int 1024 & info [ "sys-bw" ] ~docv:"MB/s" ~doc:"System I/O bandwidth.")
+  in
+  let corehours =
+    Arg.(value & opt float 20000.0 & info [ "corehours" ] ~doc:"Workload size per community.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write a psched-bench/2 report.")
+  in
+  Cmd.v
+    (Cmd.info "multires"
+       ~doc:
+         "App-class communities (CPU-, memory- and I/O-bound) under the cores-only EASY \
+          baseline vs the multi-resource list and EASY policies: makespan, per-resource \
+          utilisation and capacity violations per run.")
+    Term.(const run $ quick $ m $ mem_per_core $ sys_bw $ corehours $ seed $ out)
+
 let bench_serve_cmd =
   let module Serve = Psched_serve in
   let run quick m count every cap rate factor seed repeats out =
@@ -599,7 +750,7 @@ let bench_serve_cmd =
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench" ~doc:"Benchmark report tooling (versioned schemas, regression diffs).")
-    [ bench_diff_cmd; bench_show_cmd; bench_scale_cmd; bench_serve_cmd ]
+    [ bench_diff_cmd; bench_show_cmd; bench_scale_cmd; bench_serve_cmd; bench_multires_cmd ]
 
 (* ---------------------------------------------------------- policies *)
 
@@ -1040,9 +1191,14 @@ let serve_run_cmd =
           Printf.eprintf "%s\n" e;
           exit 1
         | Ok (t, warnings) ->
-          List.iter
-            (fun w -> Printf.eprintf "%s: %s\n" file (Swf.warning_to_string w))
-            warnings;
+          (* Hard warnings (skipped lines) print individually; soft
+             ones (jobs kept without a memory column) are routine on
+             archive traces and collapse into one summary line. *)
+          let soft, hard = List.partition (fun w -> Swf.is_soft w.Swf.problem) warnings in
+          List.iter (fun w -> Printf.eprintf "%s: %s\n" file (Swf.warning_to_string w)) hard;
+          if soft <> [] then
+            Printf.eprintf "%s: %d job(s) without requested memory; kept with zero demand\n"
+              file (List.length soft);
           t)
       | None -> (
         match burst with

@@ -161,7 +161,16 @@ let wspt =
       certificate ~criterion:"sum_wc" ~value:(sumwc i) ~lb ?bound ())
 
 let observed_names =
-  [ "rigid-separate"; "rigid-apriori"; "rigid-firstfit"; "reservation-batches"; "edd"; "edd-admission" ]
+  [
+    "rigid-separate";
+    "rigid-apriori";
+    "rigid-firstfit";
+    "reservation-batches";
+    "edd";
+    "edd-admission";
+    "list-mr";
+    "easy-mr";
+  ]
 
 let observed =
   Rule.make ~id:"cert.observed"

@@ -14,12 +14,12 @@ module Make (P : Profile_intf.S) = struct
       reservations;
     profile
 
+  (* Precondition: every allocation is at most [m] processors wide.
+     The {!Schedulers} adapters — the only sanctioned entry point —
+     reject wider jobs with a typed [Too_wide] error before calling;
+     an unchecked wide job would simply never fit and loop on the
+     event heap, so callers bypassing the registry must filter. *)
   let easy ?(obs = Obs.null) ?(reservations = []) ~m allocated =
-    List.iter
-      (fun ((j : Job.t), k) ->
-        if k > m then
-          invalid_arg (Printf.sprintf "Backfilling.easy: job %d wider than %d" j.id m))
-      allocated;
     let profile = seed_reservations ~m reservations in
     let entries = ref [] in
     (* Queue in FCFS (release, id) order; jobs enter at their release. *)

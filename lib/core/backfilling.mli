@@ -27,7 +27,10 @@ val easy :
     ["backfill.fill"], and failed backfill probes emit
     ["backfill.hole"] with the earliest date the candidate could start
     instead; tracing never changes the schedule.
-    @raise Invalid_argument if a job is wider than [m]. *)
+
+    Precondition: every allocation is at most [m] processors wide.
+    The {!Schedulers} adapters enforce this with a typed [Too_wide]
+    error; direct callers must filter wider jobs themselves. *)
 
 module Make (P : Psched_sim.Profile_intf.S) : sig
   val easy :

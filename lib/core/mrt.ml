@@ -285,11 +285,9 @@ module Make (P : Profile_intf.S) = struct
     match jobs with
     | [] -> Schedule.make ~m []
     | _ ->
-      List.iter
-        (fun (j : Job.t) ->
-          if Job.min_procs j > m then
-            invalid_arg (Printf.sprintf "Mrt.schedule: job %d needs more than %d processors" j.id m))
-        jobs;
+      (* Precondition: [Job.min_procs j <= m] for all jobs; the
+         {!Schedulers} adapter rejects wider ones with a typed
+         [Too_wide] error before calling. *)
       Obs.span obs "mrt" @@ fun () ->
       (* The allocation tables survive the whole dual search: every
          lambda guess re-queries them instead of re-scanning time_on. *)

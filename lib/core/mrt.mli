@@ -61,5 +61,7 @@ val schedule :
     event (accepted or rejected), with ["mrt.prune"]/["mrt.knapsack"]
     recording whether the floor bound excluded the guess before the
     knapsack DP ran; observability never changes the schedule.
-    @raise Invalid_argument if a job cannot run on [m] processors at
-    all. *)
+
+    Precondition: [Job.min_procs j <= m] for every job.  The
+    {!Schedulers} adapter enforces this with a typed [Too_wide]
+    error; direct callers must filter wider jobs themselves. *)

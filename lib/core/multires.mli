@@ -1,0 +1,42 @@
+(** Multi-resource list scheduling and EASY backfilling.
+
+    Ports of {!Packing.list_schedule} and {!Backfilling.easy} onto the
+    vector availability profile ({!Psched_sim.Rprofile}): a job starts
+    only when every component of its request vector
+    ({!Psched_workload.Job.request} — cores at the chosen allocation,
+    plus the job's stored memory and bandwidth demands) fits every
+    overlapping segment of the timeline.
+
+    Degenerate compatibility contract (DESIGN.md section 15): with an
+    unbounded capacity ({!Psched_platform.Resource.cap} [~cores:m ()])
+    and jobs with zero non-core demands, both functions produce
+    schedules bit-identical to their scalar counterparts — exercised on
+    1000 random instances in the QCheck suite.
+
+    Precondition: every job's minimal request fits [cap].  The
+    {!Schedulers} adapters ("list-mr", "easy-mr") enforce this with
+    typed [Too_wide]/[Over_resource] errors; direct callers must
+    filter infeasible jobs themselves. *)
+
+val list_schedule :
+  ?order:(Packing.allocated -> Packing.allocated -> int) ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  cap:Psched_platform.Resource.t ->
+  Packing.allocated list ->
+  Psched_sim.Schedule.t
+(** Greedy list placement at the earliest date where the full request
+    vector fits, in [order] (FCFS by release then id, by default).
+    Reservations hold cores only. *)
+
+val easy :
+  ?obs:Psched_obs.Obs.t ->
+  ?reservations:Psched_platform.Reservation.t list ->
+  cap:Psched_platform.Resource.t ->
+  Packing.allocated list ->
+  Psched_sim.Schedule.t
+(** EASY aggressive backfilling: FCFS queue, the head holds its
+    earliest reservation on the {e full} vector while shorter jobs
+    backfill — so a backfilled job can steal neither the head's cores
+    nor its memory or bandwidth.  Emits the same observability events
+    as the scalar engine ("job.start", "backfill.fill",
+    "backfill.hole", counters). *)

@@ -21,12 +21,10 @@ let priority policy ~now ((job : Job.t), procs) =
     (* Highest (wait + run) / run first: negate for the sort. *)
     (-.((now -. job.release +. p) /. p), float_of_int job.id)
 
+(* Precondition: every allocation is at most [m] processors wide; the
+   {!Schedulers} adapter rejects wider jobs with a typed [Too_wide]
+   error before calling. *)
 let schedule policy ~m allocated =
-  List.iter
-    (fun ((j : Job.t), k) ->
-      if k > m then
-        invalid_arg (Printf.sprintf "Queue_policies.schedule: job %d wider than %d" j.id m))
-    allocated;
   let module H = Psched_util.Heap in
   let events = H.create ~cmp:compare in
   List.iter (fun ((j : Job.t), _) -> H.add events j.release) allocated;

@@ -25,4 +25,7 @@ val all : (string * policy) list
 
 val schedule : policy -> m:int -> Packing.allocated list -> Psched_sim.Schedule.t
 (** Event-driven greedy run; terminates once every job is placed.
-    @raise Invalid_argument if a job is wider than [m]. *)
+
+    Precondition: every allocation is at most [m] processors wide.
+    The {!Schedulers} adapter enforces this with a typed [Too_wide]
+    error; direct callers must filter wider jobs themselves. *)

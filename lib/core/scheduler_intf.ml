@@ -31,7 +31,12 @@ type alloc_policy =
   | Alloc_min  (** each job's minimal feasible allocation *)
 
 type ctx = {
-  m : int;  (** processors *)
+  m : int;  (** processors (the cores component of [cap]) *)
+  cap : Psched_platform.Resource.t;
+      (** full capacity vector; non-core components default to
+          unbounded, which is the degenerate processors-only platform:
+          every scalar policy ignores them and the multi-resource
+          policies reduce to their scalar counterparts bit-identically *)
   obs : Psched_obs.Obs.t;  (** observability handle; {!Psched_obs.Obs.null} = off *)
   reservations : Psched_platform.Reservation.t list;
       (** advance reservations, honoured by the policies that support
@@ -42,9 +47,16 @@ type ctx = {
 }
 
 let ctx ?(obs = Psched_obs.Obs.null) ?(reservations = []) ?(releases = Honour)
-    ?(alloc = Alloc_work_bounded 0.25) ?(epsilon = 0.01) ~m () =
+    ?(alloc = Alloc_work_bounded 0.25) ?(epsilon = 0.01) ?cap ~m () =
   if m < 1 then invalid_arg "Scheduler_intf.ctx: m must be >= 1";
-  { m; obs; reservations; releases; alloc; epsilon }
+  (* [m] stays the source of truth for the cores component so every
+     historic [ctx ~m ()] call site keeps its exact meaning. *)
+  let cap =
+    match cap with
+    | None -> Psched_platform.Resource.cap ~cores:m ()
+    | Some c -> Psched_platform.Resource.with_cores c m
+  in
+  { m; cap; obs; reservations; releases; alloc; epsilon }
 
 type error =
   | Needs_zero_releases of { policy : string; job : int; release : float }
@@ -56,6 +68,10 @@ type error =
       (** e.g. a divisible load handed to a parallel-task policy *)
   | Needs_reservations of { policy : string }
       (** the policy is only meaningful with reservations *)
+  | Over_resource of { policy : string; job : int; resource : string; need : int; capacity : int }
+      (** a non-core component of a job's request vector exceeds the
+          ctx capacity vector — the multi-resource analogue of
+          [Too_wide] *)
   | Failure of { policy : string; reason : string }
       (** caught [Invalid_argument]/[Failure] escape from a policy
           body: kept as data so callers never need exception handlers *)
@@ -69,6 +85,9 @@ let error_to_string = function
   | Unsupported_shape { policy; job; reason } ->
     Printf.sprintf "%s: job %d has an unsupported shape (%s)" policy job reason
   | Needs_reservations { policy } -> Printf.sprintf "%s: requires reservations in the ctx" policy
+  | Over_resource { policy; job; resource; need; capacity } ->
+    Printf.sprintf "%s: job %d requests %d %s but the platform has %d" policy job need resource
+      capacity
   | Failure { policy; reason } -> Printf.sprintf "%s: %s" policy reason
 
 (** Per-run digest, computed once by the adapter. *)

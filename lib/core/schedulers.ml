@@ -18,6 +18,23 @@ let width_ok ~policy ~m jobs =
   | Some e -> Error e
   | None -> Ok ()
 
+(* Multi-resource policies additionally require every job's minimal
+   request vector to fit the platform capacity; the first overflowing
+   component becomes a typed [Over_resource].  Cores are already
+   covered by [width_ok], so only non-core components can trip here. *)
+let resource_ok ~policy ~cap jobs =
+  match
+    List.find_map
+      (fun (j : Job.t) ->
+        match Psched_platform.Resource.first_overflow (Job.min_request j) ~within:cap with
+        | Some (resource, need, capacity) ->
+          Some (I.Over_resource { policy; job = j.Job.id; resource; need; capacity })
+        | None -> None)
+      jobs
+  with
+  | Some e -> Error e
+  | None -> Ok ()
+
 (* Off-line-only policies: positive release dates are a typed error
    under [Honour], stripped under [Zero]. *)
 let offline_view ~policy (ctx : I.ctx) jobs =
@@ -91,6 +108,16 @@ let rigid_online ~policy sched : I.run =
   let* tasks = rigid_view ~policy ctx (online_view ctx jobs) in
   outcome ctx jobs (sched ctx tasks)
 
+(* [rigid_online] plus the vector capacity precheck, for policies that
+   schedule against [ctx.cap] instead of the scalar [ctx.m]. *)
+let rigid_online_mr ~policy sched : I.run =
+ fun ctx jobs ->
+  guard ~policy @@ fun () ->
+  let* () = width_ok ~policy ~m:ctx.m jobs in
+  let* () = resource_ok ~policy ~cap:ctx.cap jobs in
+  let* tasks = rigid_view ~policy ctx (online_view ctx jobs) in
+  outcome ctx jobs (sched ctx tasks)
+
 let make name doc run : (module I.S) =
   (module struct
     let name = name
@@ -118,6 +145,12 @@ let registry : (module I.S) list =
     make "easy" "EASY aggressive backfilling around the queue head's reservation"
       (rigid_online ~policy:"easy" (fun ctx tasks ->
            Backfilling.easy ~obs:ctx.obs ~reservations:ctx.reservations ~m:ctx.m tasks));
+    make "list-mr" "multi-resource list scheduling: start only when cores, memory and bandwidth fit"
+      (rigid_online_mr ~policy:"list-mr" (fun ctx tasks ->
+           Multires.list_schedule ~reservations:ctx.reservations ~cap:ctx.cap tasks));
+    make "easy-mr" "multi-resource EASY backfilling: the head reserves its full resource vector"
+      (rigid_online_mr ~policy:"easy-mr" (fun ctx tasks ->
+           Multires.easy ~obs:ctx.obs ~reservations:ctx.reservations ~cap:ctx.cap tasks));
     make "conservative" "conservative backfilling: every queued job holds a reservation"
       (rigid_online ~policy:"conservative" (fun ctx tasks ->
            Backfilling.conservative ~reservations:ctx.reservations ~m:ctx.m tasks));

@@ -18,6 +18,14 @@ let daly_period ~mtbf ~cost =
 
 let daly ~mtbf ~cost = checkpoint ~period:(daly_period ~mtbf ~cost) ~cost
 
+let write_cost ~size_mb ~bandwidth =
+  if size_mb < 0 then invalid_arg "Recovery.write_cost: negative size";
+  if bandwidth < 1 then invalid_arg "Recovery.write_cost: bandwidth must be >= 1 MB/s";
+  float_of_int size_mb /. float_of_int bandwidth
+
+let daly_of_footprint ~mtbf ~size_mb ~bandwidth =
+  daly ~mtbf ~cost:(Float.max 1e-9 (write_cost ~size_mb ~bandwidth))
+
 let policy_name = function
   | Drop -> "none"
   | Restart -> "restart"

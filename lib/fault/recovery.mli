@@ -28,6 +28,17 @@ val daly_period : mtbf:float -> cost:float -> float
 
 val daly : mtbf:float -> cost:float -> policy
 
+val write_cost : size_mb:int -> bandwidth:int -> float
+(** Seconds to write a checkpoint of [size_mb] megabytes at [bandwidth]
+    MB/s — the physically grounded cost for a job whose memory
+    footprint is known (e.g. from its resource vector).
+    @raise Invalid_argument on a negative size or bandwidth < 1. *)
+
+val daly_of_footprint : mtbf:float -> size_mb:int -> bandwidth:int -> policy
+(** {!daly} with [cost = ]{!write_cost}: the optimal period for a job
+    checkpointing its whole memory footprint over the given I/O
+    bandwidth. *)
+
 val policy_name : policy -> string
 (** ["none" | "restart" | "checkpoint"]. *)
 

@@ -8,17 +8,33 @@ type cluster = {
   speed : float;
   network : network;
   link_bandwidth : float;
+  mem_per_node : int;
+  node_bw : int;
+  sys_bw : int;
 }
 
 type t = { name : string; clusters : cluster list }
 
 let cluster ?(name = "") ?(cores_per_node = 1) ?(speed = 1.0) ?(network = Ethernet100)
-    ?(link_bandwidth = 12.5) ~id ~nodes () =
+    ?(link_bandwidth = 12.5) ?(mem_per_node = Resource.unbounded_amount)
+    ?(node_bw = Resource.unbounded_amount) ?(sys_bw = Resource.unbounded_amount) ~id ~nodes () =
+  if nodes < 1 then invalid_arg "Platform.cluster: nodes must be >= 1";
+  if cores_per_node < 1 then invalid_arg "Platform.cluster: cores_per_node must be >= 1";
+  if mem_per_node < 0 || node_bw < 0 || sys_bw < 0 then
+    invalid_arg "Platform.cluster: resource capacities must be non-negative";
   let name = if name = "" then Printf.sprintf "cluster-%d" id else name in
-  { id; name; nodes; cores_per_node; speed; network; link_bandwidth }
+  { id; name; nodes; cores_per_node; speed; network; link_bandwidth; mem_per_node; node_bw; sys_bw }
 
 let processors c = c.nodes * c.cores_per_node
 let total_processors t = List.fold_left (fun acc c -> acc + processors c) 0 t.clusters
+
+let capacity c =
+  Resource.cap ~cores:(processors c)
+    ~memory:(Resource.scale c.nodes c.mem_per_node)
+    ~bandwidth:c.sys_bw ()
+
+let total_capacity t =
+  List.fold_left (fun acc c -> Resource.add acc (capacity c)) Resource.zero t.clusters
 
 let network_latency = function
   | Ethernet100 -> 1e-4
@@ -32,10 +48,12 @@ let network_bandwidth = function
   | Myrinet -> 250.0
   | CustomNet _ -> 12.5
 
-let single_cluster ?(speed = 1.0) m =
-  { name = "single"; clusters = [ cluster ~id:0 ~nodes:m ~speed () ] }
+let single ?(speed = 1.0) ?mem_per_node ?node_bw ?sys_bw ~m () =
+  { name = "single"; clusters = [ cluster ?mem_per_node ?node_bw ?sys_bw ~id:0 ~nodes:m ~speed () ] }
 
-let fig2_platform = single_cluster 100
+let single_cluster ?speed m = single ?speed ~m ()
+
+let fig2_platform = single ~m:100 ()
 
 let ciment =
   {
@@ -65,6 +83,17 @@ let light_grid_example =
       ];
   }
 
+let apex_example =
+  {
+    name = "apex";
+    clusters =
+      [
+        cluster ~id:0 ~name:"apex-trinity" ~nodes:1024 ~cores_per_node:32 ~speed:1.0
+          ~network:(CustomNet "Aries") ~link_bandwidth:1000.0 ~mem_per_node:(128 * 1024)
+          ~node_bw:2048 ~sys_bw:(500 * 1024) ();
+      ];
+  }
+
 let pp_network ppf = function
   | Ethernet100 -> Format.pp_print_string ppf "Eth 100"
   | GigaEthernet -> Format.pp_print_string ppf "Giga Eth"
@@ -73,7 +102,9 @@ let pp_network ppf = function
 
 let pp_cluster ppf (c : cluster) =
   Format.fprintf ppf "%s: %d x %d procs, speed %.2f, %a" c.name c.nodes c.cores_per_node c.speed
-    pp_network c.network
+    pp_network c.network;
+  if not (Resource.is_unbounded c.mem_per_node && Resource.is_unbounded c.sys_bw) then
+    Format.fprintf ppf ", %a" Resource.pp (capacity c)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>grid %s (%d processors)@,%a@]" t.name (total_processors t)

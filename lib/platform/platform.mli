@@ -1,10 +1,19 @@
-(** Execution platform model (§1.2 of the paper).
+(** Execution platform model (§1.2 of the paper), extended with typed
+    per-cluster resource capacities.
 
     A {e light grid} is a small collection of clusters in one
     geographical area.  Clusters are weakly heterogeneous inside
     (same OS, slightly different clock speeds) and strongly
     heterogeneous between each other (different processor families,
-    counts and interconnects).  *)
+    counts and interconnects).
+
+    Beyond the paper's processors-only model, every cluster carries a
+    {!Resource.t} capacity vector (cores, memory, system I/O
+    bandwidth) derived from per-node figures.  The resource fields
+    default to {!Resource.unbounded_amount}, so a platform built by
+    the historic constructors is the exact degenerate processors-only
+    model: every policy that ignores resources runs bit-identically on
+    it (see DESIGN.md section 15 for the compatibility contract). *)
 
 type network = Ethernet100 | GigaEthernet | Myrinet | CustomNet of string
 (** Interconnect family of a cluster; used by the DLT layer to derive
@@ -18,6 +27,14 @@ type cluster = {
   speed : float;  (** relative computing speed of one processor, 1.0 = reference *)
   network : network;
   link_bandwidth : float;  (** MB/s towards the grid backbone, for DLT *)
+  mem_per_node : int;
+      (** MB of RAM per node; {!Resource.unbounded_amount} = not modelled *)
+  node_bw : int;
+      (** MB/s of I/O bandwidth one node can sustain;
+          {!Resource.unbounded_amount} = not modelled *)
+  sys_bw : int;
+      (** MB/s of aggregate system I/O bandwidth (shared filesystem /
+          burst buffer); {!Resource.unbounded_amount} = not modelled *)
 }
 
 type t = { name : string; clusters : cluster list }
@@ -29,27 +46,49 @@ val cluster :
   ?speed:float ->
   ?network:network ->
   ?link_bandwidth:float ->
+  ?mem_per_node:int ->
+  ?node_bw:int ->
+  ?sys_bw:int ->
   id:int ->
   nodes:int ->
   unit ->
   cluster
 (** Cluster constructor with sensible defaults (1 core/node, speed 1.0,
-    100 Mb Ethernet, 12.5 MB/s). *)
+    100 Mb Ethernet, 12.5 MB/s links) and {e unbounded} resource
+    capacities — the labelled-optional record-update style shared by
+    the whole constructor family.
+    @raise Invalid_argument on non-positive [nodes]/[cores_per_node]
+    or negative resource capacities. *)
+
+val single : ?speed:float -> ?mem_per_node:int -> ?node_bw:int -> ?sys_bw:int -> m:int -> unit -> t
+(** [single ~m ()] is a degenerate grid with one [m]-processor cluster
+    — the single-cluster setting of §4 and of Figure 2.  Resource
+    fields default to unbounded, matching {!cluster}. *)
+
+val single_cluster : ?speed:float -> int -> t
+(** @deprecated Use [single ~m ()].  Positional-argument alias kept for
+    source compatibility with the processors-only API. *)
 
 val processors : cluster -> int
 (** Total processors of a cluster ([nodes * cores_per_node]). *)
 
 val total_processors : t -> int
 
+val capacity : cluster -> Resource.t
+(** The cluster's capacity vector: [nodes * cores_per_node] cores,
+    [nodes * mem_per_node] MB of memory (clamped to unbounded when the
+    per-node figure is unbounded) and [sys_bw] MB/s of bandwidth.
+    All scalar capacity checks outside [lib/platform] go through this
+    vector and {!Resource.fits} — enforced by a lint gate. *)
+
+val total_capacity : t -> Resource.t
+(** Componentwise sum of the clusters' capacity vectors. *)
+
 val network_latency : network -> float
 (** One-way latency in seconds, representative per family. *)
 
 val network_bandwidth : network -> float
 (** Intra-cluster bandwidth in MB/s, representative per family. *)
-
-val single_cluster : ?speed:float -> int -> t
-(** [single_cluster m] is a degenerate grid with one [m]-processor
-    cluster — the single-cluster setting of §4 and of Figure 2. *)
 
 val fig2_platform : t
 (** The 100-machine cluster used for the Figure 2 simulation. *)
@@ -61,6 +100,11 @@ val ciment : t
 
 val light_grid_example : t
 (** A generic 4-cluster light grid matching the sketch of Figure 1. *)
+
+val apex_example : t
+(** A capacity-modelled cluster in the style of the APEX workflow
+    studies: 1024 nodes x 32 cores, 128 GB RAM per node, 2 GB/s node
+    I/O, 500 GB/s aggregate system bandwidth. *)
 
 val pp_cluster : Format.formatter -> cluster -> unit
 val pp : Format.formatter -> t -> unit

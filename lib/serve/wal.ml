@@ -63,6 +63,21 @@ let job_tokens (j : Job.t) =
   let base =
     [ "J"; string_of_int j.id; hex j.weight; hex j.release; due; string_of_int j.community ]
   in
+  (* Optional resource-vector group, emitted only when non-zero so WALs
+     written before the multi-resource redesign (and by scalar-only
+     clients) keep parsing: an absent "V" group reads back as
+     [Resource.zero]. *)
+  let base =
+    let res = j.res in
+    if Psched_platform.Resource.equal res Psched_platform.Resource.zero then base
+    else
+      base
+      @ [
+          "V";
+          string_of_int res.Psched_platform.Resource.memory;
+          string_of_int res.Psched_platform.Resource.bandwidth;
+        ]
+  in
   let shape =
     match j.shape with
     | Job.Rigid { procs; time } -> [ "R"; string_of_int procs; hex time ]
@@ -87,6 +102,14 @@ let job_of_tokens tokens =
     let* release = float_tok release in
     let* due = if due = "-" then Ok None else Result.map Option.some (float_tok due) in
     let* community = int_tok community in
+    let* res, shape =
+      match shape with
+      | "V" :: memory :: bandwidth :: rest ->
+        let* memory = int_tok memory in
+        let* bandwidth = int_tok bandwidth in
+        Ok (Psched_platform.Resource.make ~memory ~bandwidth (), rest)
+      | _ -> Ok (Psched_platform.Resource.zero, shape)
+    in
     let* shape, rest =
       match shape with
       | "R" :: procs :: time :: rest ->
@@ -118,7 +141,7 @@ let job_of_tokens tokens =
         Ok (Job.Multiparam { count; unit_time }, rest)
       | _ -> Error "bad job shape"
     in
-    (match Job.make ~weight ~release ?due ~community ~id shape with
+    (match Job.make ~weight ~release ?due ~community ~res ~id shape with
     | job -> Ok (job, rest)
     | exception Invalid_argument msg -> Error msg)
   | _ -> Error "bad job encoding"

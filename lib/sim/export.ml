@@ -196,11 +196,6 @@ let to_csv = function
 
 (* -------------------------------------------------- legacy entry points *)
 
-let schedule_csv s = to_csv (Schedule s)
-let schedule_json s = to_json (Schedule s)
-let metrics_csv runs = to_csv (Metrics runs)
-let series_csv ~header rows = to_csv (Series { header; rows })
-let table_json ?(meta = []) ~header rows = to_json (Table { meta; header; rows })
 
 let save path content =
   let oc = open_out path in

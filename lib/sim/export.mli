@@ -30,23 +30,3 @@ val json_string : string -> string
 
 val save : string -> string -> unit
 (** [save path content]: write a file (for CLI export commands). *)
-
-(** {2 Legacy entry points}
-
-    Thin aliases over {!to_json}/{!to_csv}, kept for source
-    compatibility. *)
-
-val schedule_csv : Schedule.t -> string
-(** @deprecated Use [to_csv (Schedule s)]. *)
-
-val schedule_json : Schedule.t -> string
-(** @deprecated Use [to_json (Schedule s)]. *)
-
-val metrics_csv : (string * Metrics.t) list -> string
-(** @deprecated Use [to_csv (Metrics runs)]. *)
-
-val series_csv : header:string list -> float list list -> string
-(** @deprecated Use [to_csv (Series { header; rows })]. *)
-
-val table_json : ?meta:(string * string) list -> header:string list -> float list list -> string
-(** @deprecated Use [to_json (Table { meta; header; rows })]. *)

@@ -1,0 +1,44 @@
+(** Multi-resource availability profile.
+
+    The indexed step-timeline engine of {!Profile}, generalised to
+    track a fixed {!Psched_platform.Resource.t} vector (free cores,
+    memory, bandwidth) per segment instead of a scalar free-processor
+    count.  A window fits only when {e every} requested component fits
+    in every overlapping segment.
+
+    With an unbounded capacity ({!Psched_platform.Resource.cap}
+    [~cores:m ()]) and zero non-core requests, every operation returns
+    bit-identical dates to the scalar {!Profile} — the degenerate
+    compatibility contract of DESIGN.md section 15, property-tested in
+    the QCheck suite. *)
+
+type t
+
+type stats = { segments : int; peak_segments : int; reserves : int; releases : int; searches : int }
+
+val create : Psched_platform.Resource.t -> t
+(** @raise Invalid_argument when the capacity has no cores. *)
+
+val capacity : t -> Psched_platform.Resource.t
+val free_at : t -> float -> Psched_platform.Resource.t
+
+val find_start :
+  t -> earliest:float -> duration:float -> req:Psched_platform.Resource.t -> float
+(** Earliest date [>= earliest] at which [req] fits for [duration].
+    @raise Not_found when [req] never fits (exceeds capacity). *)
+
+val reserve : t -> start:float -> duration:float -> req:Psched_platform.Resource.t -> unit
+(** @raise Invalid_argument on non-positive durations or when any
+    component would go negative. *)
+
+val release : t -> start:float -> duration:float -> req:Psched_platform.Resource.t -> unit
+(** Inverse of {!reserve}; @raise Invalid_argument when any component
+    would exceed capacity. *)
+
+val place : t -> earliest:float -> duration:float -> req:Psched_platform.Resource.t -> float
+(** [find_start] then [reserve]; returns the chosen start. *)
+
+val breakpoints : t -> (float * Psched_platform.Resource.t) list
+val stats : t -> stats
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

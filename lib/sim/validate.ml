@@ -8,6 +8,7 @@ type violation =
   | Bad_duration of int
   | Before_release of int
   | Over_capacity of { date : float; used : int; capacity : int; job_ids : int list }
+  | Over_resource of { resource : string; date : float; used : int; capacity : int }
 
 let pp_violation ppf = function
   | Missing_job id -> Format.fprintf ppf "job %d is not scheduled" id
@@ -21,10 +22,13 @@ let pp_violation ppf = function
       capacity (used - capacity)
       (fun ppf ids -> List.iter (fun id -> Format.fprintf ppf " %d" id) ids)
       job_ids
+  | Over_resource { resource; date; used; capacity } ->
+    Format.fprintf ppf "%s capacity exceeded at t=%g: %d > %d (overshoot %d)" resource date used
+      capacity (used - capacity)
 
 let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
-let check ?(speed = 1.0) ?(reservations = []) ~jobs sched =
+let check ?(speed = 1.0) ?(reservations = []) ?cap ~jobs sched =
   let open Schedule in
   let violations = ref [] in
   let add v = violations := v :: !violations in
@@ -80,12 +84,49 @@ let check ?(speed = 1.0) ?(reservations = []) ~jobs sched =
       flag rest
   in
   flag (Profile.usage_timeline demands);
+  (* Multi-resource capacity: each bounded non-core component gets its
+     own usage timeline, built from the entries' request vectors (the
+     job's stored demand at the entry's allocation).  Unbounded
+     components are not modelled and skipped. *)
+  (match cap with
+  | None -> ()
+  | Some (cap : Psched_platform.Resource.t) ->
+    let amount_of (e : entry) pick =
+      match Hashtbl.find_opt job_tbl e.job_id with
+      | Some job -> pick (Job.request job ~procs:e.procs)
+      | None -> 0
+    in
+    let sweep ~resource ~capacity pick =
+      if not (Psched_platform.Resource.is_unbounded capacity) then begin
+        let demands =
+          List.filter_map
+            (fun (e : entry) ->
+              let a = amount_of e pick in
+              if a > 0 then Some (e.start, completion e, a) else None)
+            sched.entries
+        in
+        let rec flag = function
+          | [] -> ()
+          | (date, used) :: rest ->
+            let next = match rest with (d, _) :: _ -> d | [] -> infinity in
+            if used > capacity && next -. date > eps then
+              add (Over_resource { resource; date; used; capacity });
+            flag rest
+        in
+        flag (Profile.usage_timeline demands)
+      end
+    in
+    sweep ~resource:"memory" ~capacity:cap.Psched_platform.Resource.memory (fun r ->
+        r.Psched_platform.Resource.memory);
+    sweep ~resource:"bandwidth" ~capacity:cap.Psched_platform.Resource.bandwidth (fun r ->
+        r.Psched_platform.Resource.bandwidth));
   List.rev !violations
 
-let is_valid ?speed ?reservations ~jobs sched = check ?speed ?reservations ~jobs sched = []
+let is_valid ?speed ?reservations ?cap ~jobs sched =
+  check ?speed ?reservations ?cap ~jobs sched = []
 
-let check_exn ?speed ?reservations ~jobs sched =
-  match check ?speed ?reservations ~jobs sched with
+let check_exn ?speed ?reservations ?cap ~jobs sched =
+  match check ?speed ?reservations ?cap ~jobs sched with
   | [] -> ()
   | vs ->
     let msg =

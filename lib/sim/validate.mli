@@ -7,7 +7,10 @@
       the duration implied by that allocation;
     - no job starts before its release date;
     - at every instant the allocated processors (plus active
-      reservations) fit within cluster capacity. *)
+      reservations) fit within cluster capacity;
+    - when a capacity vector is supplied, at every instant the summed
+      request vectors fit within every bounded resource component
+      (multi-resource validity). *)
 
 type violation =
   | Missing_job of int
@@ -21,22 +24,31 @@ type violation =
           ids of the jobs running there ([used - capacity] is the
           overshoot; reservations add to [used] but not to
           [job_ids]) *)
+  | Over_resource of { resource : string; date : float; used : int; capacity : int }
+      (** a non-core component ("memory" or "bandwidth") of the
+          capacity vector exceeded from [date] *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
 val check :
   ?speed:float ->
   ?reservations:Psched_platform.Reservation.t list ->
+  ?cap:Psched_platform.Resource.t ->
   jobs:Psched_workload.Job.t list ->
   Schedule.t ->
   violation list
 (** All violations found ([] iff the schedule is valid).  [speed]
     (default 1.0) is the cluster speed: durations are expected to be
-    the job execution time divided by it. *)
+    the job execution time divided by it.  [cap] (default absent)
+    additionally checks every bounded non-core component of the
+    capacity vector against the entries' request vectors; its cores
+    component is ignored — scalar processor capacity is already
+    checked against the schedule's [m]. *)
 
 val is_valid :
   ?speed:float ->
   ?reservations:Psched_platform.Reservation.t list ->
+  ?cap:Psched_platform.Resource.t ->
   jobs:Psched_workload.Job.t list ->
   Schedule.t ->
   bool
@@ -44,6 +56,7 @@ val is_valid :
 val check_exn :
   ?speed:float ->
   ?reservations:Psched_platform.Reservation.t list ->
+  ?cap:Psched_platform.Resource.t ->
   jobs:Psched_workload.Job.t list ->
   Schedule.t ->
   unit

@@ -1,0 +1,82 @@
+(** Application-class stochastic workload generator.
+
+    An APEX-style community model: a workload is a mix of named
+    classes, each contributing a target share ([corehour_ratio]) of
+    the total core-hours, with a nominal geometry (cores, walltime,
+    memory per core), I/O behaviour (input/output volumes relative to
+    the memory footprint, periodic checkpoint writes) and an ensemble
+    factor (instances submitted together).
+
+    Sampling perturbs the nominal cores and walltime with gaussian
+    noise (stdev 10% of the value) pushed through a high-pass filter
+    rejecting draws below 95% of the nominal, and derives the job's
+    resource vector: memory is [cores * mem_per_core] MB, bandwidth is
+    the amortised I/O volume per second plus the checkpoint stream
+    [ckpt_ratio * memory / ckpt_period].  Jobs therefore exercise the
+    multi-resource policies ("list-mr", "easy-mr") out of the box. *)
+
+type t = private {
+  name : string;
+  corehour_ratio : float;  (** share of the workload's core-hours *)
+  walltime : float;  (** nominal duration, seconds *)
+  cores : int;  (** nominal width *)
+  mem_per_core : int;  (** MB per core *)
+  input_ratio : float;  (** input volume / memory footprint, per iteration *)
+  output_ratio : float;  (** output volume / memory footprint, per iteration *)
+  ckpt_ratio : float;  (** checkpoint volume / memory footprint *)
+  iterations : int;
+  ensemble : int;  (** instances submitted together *)
+  ckpt_period : float;  (** seconds between checkpoint writes *)
+}
+
+val make :
+  ?mem_per_core:int ->
+  ?input_ratio:float ->
+  ?output_ratio:float ->
+  ?ckpt_ratio:float ->
+  ?iterations:int ->
+  ?ensemble:int ->
+  ?ckpt_period:float ->
+  name:string ->
+  corehour_ratio:float ->
+  walltime:float ->
+  cores:int ->
+  unit ->
+  t
+(** Defaults: no memory, no I/O, one iteration, no ensemble, hourly
+    checkpoint period (irrelevant while [ckpt_ratio = 0]).
+    @raise Invalid_argument on non-positive ratios/geometry. *)
+
+val footprint : t -> cores:int -> int
+(** Memory footprint in MB at the given width. *)
+
+val bandwidth_demand : t -> cores:int -> walltime:float -> int
+(** Sustained I/O bandwidth in MB/s: per-iteration input+output volume
+    amortised over the walltime, plus the periodic checkpoint stream. *)
+
+val sample : Psched_util.Rng.t -> t -> max_cores:int -> id:int -> Job.t
+(** One noisy rigid instance, width clamped to [max_cores], resource
+    vector filled in. *)
+
+val generate :
+  Psched_util.Rng.t ->
+  classes:t list ->
+  cap:Psched_platform.Resource.t ->
+  corehours:float ->
+  Job.t list
+(** Draw classes weighted by [corehour_ratio], expanding ensembles,
+    until the accumulated work reaches [corehours].  All releases are
+    0; restamp with {!Workload_gen.with_poisson_arrivals} for an
+    arrival process.  @raise Invalid_argument on an empty class list
+    or non-positive budget. *)
+
+val cpu_bound : Psched_platform.Resource.t -> t list
+val mem_bound : Psched_platform.Resource.t -> t list
+val io_bound : Psched_platform.Resource.t -> t list
+(** Predefined communities scaled to a platform capacity: compute-heavy
+    with token I/O, footprint-dominated, and checkpoint/I/O-heavy. *)
+
+val communities : Psched_platform.Resource.t -> (string * t list) list
+(** [("cpu-bound", ...); ("mem-bound", ...); ("io-bound", ...)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -11,6 +11,7 @@ type t = {
   release : float;
   due : float option;
   community : int;
+  res : Psched_platform.Resource.t;
 }
 
 let validate_shape = function
@@ -26,20 +27,26 @@ let validate_shape = function
     if count < 1 then invalid_arg "Job: multiparam count must be >= 1";
     if unit_time <= 0.0 then invalid_arg "Job: unit_time must be positive"
 
-let make ?(weight = 1.0) ?(release = 0.0) ?due ?(community = 0) ~id shape =
+let make ?(weight = 1.0) ?(release = 0.0) ?due ?(community = 0)
+    ?(res = Psched_platform.Resource.zero) ~id shape =
   validate_shape shape;
   if weight <= 0.0 then invalid_arg "Job: weight must be positive";
   if release < 0.0 then invalid_arg "Job: release must be non-negative";
-  { id; shape; weight; release; due; community }
+  (* The cores component is owned by the shape/allocation, never by the
+     stored vector: normalising it to 0 keeps equality and serialisation
+     canonical. *)
+  let res = Psched_platform.Resource.with_cores res 0 in
+  { id; shape; weight; release; due; community; res }
 
-let rigid ?weight ?release ?due ?community ~id ~procs ~time () =
-  make ?weight ?release ?due ?community ~id (Rigid { procs; time })
+let rigid ?weight ?release ?due ?community ?res ~id ~procs ~time () =
+  make ?weight ?release ?due ?community ?res ~id (Rigid { procs; time })
 
-let moldable ?weight ?release ?due ?community ?(min_procs = 1) ~id ~times () =
-  make ?weight ?release ?due ?community ~id (Moldable { min_procs; times })
+let moldable ?weight ?release ?due ?community ?res ?(min_procs = 1) ~id ~times () =
+  make ?weight ?release ?due ?community ?res ~id (Moldable { min_procs; times })
 
-let of_model ?weight ?release ?due ?community ~id ~model ~t1 ~max_procs () =
-  moldable ?weight ?release ?due ?community ~id ~times:(Speedup.profile model ~t1 ~max_procs) ()
+let of_model ?weight ?release ?due ?community ?res ~id ~model ~t1 ~max_procs () =
+  moldable ?weight ?release ?due ?community ?res ~id ~times:(Speedup.profile model ~t1 ~max_procs)
+    ()
 
 let min_procs t =
   match t.shape with
@@ -91,6 +98,9 @@ let min_work t =
   | Multiparam { count; unit_time } -> float_of_int count *. unit_time
 
 let completion t ~start ~procs = start +. time_on t procs
+
+let request t ~procs = Psched_platform.Resource.with_cores t.res procs
+let min_request t = request t ~procs:(min_procs t)
 
 let pp_shape ppf = function
   | Rigid { procs; time } -> Format.fprintf ppf "rigid(%d procs, %g s)" procs time

@@ -30,9 +30,22 @@ type t = {
   release : float;  (** release (submission) date *)
   due : float option;  (** due date for tardiness criteria *)
   community : int;  (** owning community / submitting cluster (§5.2); 0 by default *)
+  res : Psched_platform.Resource.t;
+      (** non-core resource demand (memory MB, bandwidth MB/s); the
+          cores component is always 0 — it belongs to the shape and the
+          chosen allocation, see {!request}.  {!Psched_platform.Resource.zero}
+          (the default) is the paper's processors-only job. *)
 }
 
-val make : ?weight:float -> ?release:float -> ?due:float -> ?community:int -> id:int -> shape -> t
+val make :
+  ?weight:float ->
+  ?release:float ->
+  ?due:float ->
+  ?community:int ->
+  ?res:Psched_platform.Resource.t ->
+  id:int ->
+  shape ->
+  t
 (** @raise Invalid_argument on malformed shapes (non-positive times or
     processor counts, non-monotone validity range, negative release,
     non-positive weight). *)
@@ -42,6 +55,7 @@ val rigid :
   ?release:float ->
   ?due:float ->
   ?community:int ->
+  ?res:Psched_platform.Resource.t ->
   id:int ->
   procs:int ->
   time:float ->
@@ -53,6 +67,7 @@ val moldable :
   ?release:float ->
   ?due:float ->
   ?community:int ->
+  ?res:Psched_platform.Resource.t ->
   ?min_procs:int ->
   id:int ->
   times:float array ->
@@ -64,6 +79,7 @@ val of_model :
   ?release:float ->
   ?due:float ->
   ?community:int ->
+  ?res:Psched_platform.Resource.t ->
   id:int ->
   model:Speedup.model ->
   t1:float ->
@@ -102,5 +118,13 @@ val min_work : t -> float
     the work of the smallest allocation. *)
 
 val completion : t -> start:float -> procs:int -> float
+
+val request : t -> procs:int -> Psched_platform.Resource.t
+(** The full request vector once an allocation of [procs] cores is
+    chosen: the stored non-core demand with its cores component set. *)
+
+val min_request : t -> Psched_platform.Resource.t
+(** [request] at the smallest feasible allocation — what admission
+    tests against a capacity vector. *)
 
 val pp : Format.formatter -> t -> unit

@@ -8,8 +8,14 @@ let to_string jobs =
   let line (j : Job.t) =
     let procs = Job.min_procs j in
     let time = Job.seq_time j in
-    Printf.sprintf "%d %.2f -1 %.2f %d -1 -1 %d %.2f -1 1 %d %d -1 %d -1 -1 -1 ; weight=%g"
-      j.Job.id j.Job.release time procs procs time j.Job.community j.Job.community
+    (* Field 10 is requested memory in KB per processor (SWF v2); a job
+       with no stored memory demand writes the -1 "missing" marker. *)
+    let req_mem =
+      let mb = j.Job.res.Psched_platform.Resource.memory in
+      if mb <= 0 then "-1" else Printf.sprintf "%g" (float_of_int mb *. 1024.0 /. float_of_int procs)
+    in
+    Printf.sprintf "%d %.2f -1 %.2f %d -1 -1 %d %.2f %s 1 %d %d -1 %d -1 -1 -1 ; weight=%g"
+      j.Job.id j.Job.release time procs procs time req_mem j.Job.community j.Job.community
       j.Job.community j.Job.weight
   in
   header ^ String.concat "\n" (List.map line jobs) ^ "\n"
@@ -34,6 +40,12 @@ type problem =
   | Unusable of { reason : string }
       (** structurally valid but no job can be built (e.g. no positive
           runtime in either the run or requested-time column) *)
+  | Missing_memory of { job : int }
+      (** the requested-memory column (field 10) holds the [-1]
+          "missing" marker: the job is {e kept} with a zero memory
+          demand, so multi-resource policies treat it as
+          memory-unconstrained — worth knowing when scheduling against
+          a bounded memory capacity *)
 
 type warning = { line : int; problem : problem }
 
@@ -43,11 +55,20 @@ let problem_to_string = function
   | Negative_field { field; value } ->
     Printf.sprintf "field %d is negative (%g); only -1 marks a missing value" field value
   | Unusable { reason } -> reason
+  | Missing_memory { job } ->
+    Printf.sprintf "job %d has no requested memory (field 10 is -1); kept with zero demand" job
 
 let warning_to_string w = Printf.sprintf "line %d: %s" w.line (problem_to_string w.problem)
 
-(* Parse one non-comment line: [Ok (Some job)], [Ok None] for records
-   that are legitimately skippable (cancelled jobs), or [Error problem]. *)
+(* [Missing_memory] is the one soft problem: the line still yields a
+   job.  Everything else skips the line. *)
+let is_soft = function
+  | Missing_memory _ -> true
+  | Missing_fields _ | Bad_number _ | Negative_field _ | Unusable _ -> false
+
+(* Parse one non-comment line: [Ok (Some (job, soft_problems))],
+   [Ok None] for records that are legitimately skippable (cancelled
+   jobs), or [Error problem]. *)
 let parse_line line =
   (* Strip the comment suffix but remember a weight annotation. *)
   let weight = ref 1.0 in
@@ -102,6 +123,12 @@ let parse_line line =
     let* alloc = int_field 5 in
     let* alloc = Result.map int_of_float (non_negative ~field:5 (float_of_int alloc)) in
     let procs = if req > 0 then req else alloc in
+    (* Field 10: requested memory, KB per processor (SWF v2).  Total
+       demand in MB, rounded to the nearest megabyte (at least one when
+       any memory was requested); -1 keeps the job with a zero demand
+       and a soft [Missing_memory] note. *)
+    let* req_mem = float_field 10 in
+    let* req_mem = non_negative ~field:10 req_mem in
     let* queue = int_field 15 in
     if run <= 0.0 || procs <= 0 then
       if run < 0.0 || procs < 0 then
@@ -120,10 +147,20 @@ let parse_line line =
     else begin
       let community = if queue >= 0 then queue else 0 in
       if !weight <= 0.0 then Error (Unusable { reason = "non-positive weight annotation" })
-      else
+      else begin
+        let res, soft =
+          if req_mem > 0.0 then
+            let mb =
+              max 1 (int_of_float (Float.round (req_mem *. float_of_int procs /. 1024.0)))
+            in
+            (Psched_platform.Resource.make ~memory:mb (), [])
+          else (Psched_platform.Resource.zero, [ Missing_memory { job = id } ])
+        in
         Ok
           (Some
-             (Job.rigid ~weight:!weight ~release:submit ~community ~id ~procs ~time:run ()))
+             ( Job.rigid ~weight:!weight ~release:submit ~community ~res ~id ~procs ~time:run (),
+               soft ))
+      end
     end)
 
 let parse text =
@@ -134,7 +171,9 @@ let parse text =
       let trimmed = String.trim line in
       if trimmed <> "" && trimmed.[0] <> ';' then
         match parse_line trimmed with
-        | Ok (Some job) -> jobs := job :: !jobs
+        | Ok (Some (job, soft)) ->
+          jobs := job :: !jobs;
+          List.iter (fun problem -> warnings := { line = i + 1; problem } :: !warnings) soft
         | Ok None -> ()
         | Error problem -> warnings := { line = i + 1; problem } :: !warnings)
     lines;

@@ -20,7 +20,9 @@ val to_string : Job.t list -> string
     are written with their minimal allocation; divisible and
     multi-parametric jobs with their sequential view.  Weights have no
     SWF field and are written as a [; weight=...] comment suffix that
-    {!of_string} understands. *)
+    {!of_string} understands.  A job with a stored memory demand
+    ({!Job.t.res}) writes it to field 10 as KB per processor; a zero
+    demand writes the [-1] missing marker. *)
 
 (** Everything that can make a trace line unusable, as data.  Parsing
     {e never} raises on trace content: real archive traces carry
@@ -36,18 +38,32 @@ type problem =
   | Unusable of { reason : string }
       (** well-formed but no job can be built (zero runtime and no
           requested time, zero processors, non-positive weight) *)
+  | Missing_memory of { job : int }
+      (** {e soft}: field 10 (requested memory) holds the [-1] missing
+          marker.  The job is kept with a zero memory demand — relevant
+          when replaying against a bounded memory capacity, harmless
+          otherwise. *)
 
 type warning = { line : int; problem : problem }
 
 val problem_to_string : problem -> string
 val warning_to_string : warning -> string
 
+val is_soft : problem -> bool
+(** Soft problems annotate a line that still produced a job
+    ({!Missing_memory}); hard problems mark a skipped line.  CLI
+    consumers typically summarise soft warnings and print hard ones
+    individually. *)
+
 val parse : string -> Job.t list * warning list
 (** Parse an SWF trace into rigid jobs (requested processors and run
-    time; submit time as release; queue as community).  Malformed lines
-    become per-line {!warning}s and are skipped; cancelled records
-    ([-1] markers, the SWF convention) are skipped silently.  Never
-    raises on trace content. *)
+    time; submit time as release; queue as community; requested memory,
+    KB per processor, as a total-MB demand in the job's resource
+    vector).  Malformed lines become per-line {!warning}s and are
+    skipped; a line whose only defect is a missing memory column is
+    kept and flagged with the soft {!Missing_memory} warning; cancelled
+    records ([-1] markers, the SWF convention) are skipped silently.
+    Never raises on trace content. *)
 
 val of_string : string -> Job.t list
 (** [fst (parse text)]: the jobs, warnings discarded. *)

@@ -213,6 +213,39 @@ let test_swf_damaged_fixture () =
           (String.length (Swf.warning_to_string w) > 0))
       warnings
 
+let test_swf_memory_fixture () =
+  match Swf.parse_file "fixtures/memory.swf" with
+  | Error e -> Alcotest.fail e
+  | Ok (jobs, warnings) ->
+    (* Job 3's negative memory is corruption (skipped); 1, 2 and 4
+       survive. *)
+    Alcotest.(check (list int)) "surviving jobs" [ 1; 2; 4 ]
+      (List.map (fun (j : Job.t) -> j.Job.id) jobs);
+    let mem id =
+      let j = List.find (fun (j : Job.t) -> j.Job.id = id) jobs in
+      j.Job.res.Psched_platform.Resource.memory
+    in
+    Alcotest.(check int) "job 1: 4 x 2048 KB = 8 MB" 8 (mem 1);
+    Alcotest.(check int) "job 2: missing -> zero demand" 0 (mem 2);
+    Alcotest.(check int) "job 4: 3 x 1000 KB rounds to 3 MB" 3 (mem 4);
+    (* Exactly one soft Missing_memory for job 2, one hard
+       Negative_field for job 3's line. *)
+    (match List.filter (fun w -> Swf.is_soft w.Swf.problem) warnings with
+    | [ { Swf.problem = Swf.Missing_memory { job = 2 }; _ } ] -> ()
+    | ws -> Alcotest.failf "expected one Missing_memory for job 2, got %d soft" (List.length ws));
+    (match List.filter (fun w -> not (Swf.is_soft w.Swf.problem)) warnings with
+    | [ { Swf.problem = Swf.Negative_field { field = 10; _ }; _ } ] -> ()
+    | _ -> Alcotest.fail "expected one Negative_field for job 3's memory column")
+
+let test_swf_memory_roundtrip () =
+  let res = Psched_platform.Resource.make ~memory:512 () in
+  let jobs = [ Job.rigid ~res ~id:1 ~procs:4 ~time:100.0 () ] in
+  match Swf.of_string (Swf.to_string jobs) with
+  | [ j ] ->
+    Alcotest.(check int) "memory survives the roundtrip" 512
+      j.Job.res.Psched_platform.Resource.memory
+  | l -> Alcotest.failf "expected 1 job, got %d" (List.length l)
+
 let test_swf_file_io () =
   let rng = Psched_util.Rng.create 9 in
   let jobs = Workload_gen.rigid_uniform rng ~n:10 ~m:8 ~tmin:1.0 ~tmax:10.0 in
@@ -271,6 +304,8 @@ let suite =
     Alcotest.test_case "swf malformed" `Quick test_swf_rejects_malformed;
     Alcotest.test_case "swf damaged fixture" `Quick test_swf_damaged_fixture;
     Alcotest.test_case "swf file io" `Quick test_swf_file_io;
+    Alcotest.test_case "swf memory fixture" `Quick test_swf_memory_fixture;
+    Alcotest.test_case "swf memory roundtrip" `Quick test_swf_memory_roundtrip;
     Alcotest.test_case "queues strict" `Quick test_queues_strict;
     Alcotest.test_case "queues weighted fair" `Quick test_queues_weighted_fair;
     Alcotest.test_case "queues no starvation" `Quick test_queues_no_starvation;

@@ -1,0 +1,198 @@
+(* The multi-resource redesign's two load-bearing properties:
+
+   1. Degenerate bit-identity (DESIGN.md section 15): with an unbounded
+      capacity vector and zero non-core demands, the vector policies
+      (Multires.list_schedule / Multires.easy, and Rprofile underneath)
+      produce entry-for-entry identical schedules to their scalar
+      counterparts — 1000 random instances each.
+
+   2. Capacity soundness: whatever the demands, a schedule produced by
+      "list-mr"/"easy-mr" through the registry never exceeds any
+      component of the cluster capacity (multi-resource Validate). *)
+
+open Psched_workload
+open Psched_sim
+open Psched_core
+module R = Psched_platform.Resource
+
+(* --- generators ------------------------------------------------------ *)
+
+module G = QCheck.Gen
+
+let ( let* ) = G.( >>= )
+
+(* Rigid jobs with releases on a half-integer grid (boundary
+   collisions) and durations that collide with each other. *)
+let gen_scalar_instance =
+  let* m = G.int_range 1 16 in
+  let* n = G.int_range 1 25 in
+  let* jobs =
+    G.list_repeat n
+      (let* procs = G.int_range 1 m in
+       let* time = G.map (fun k -> 0.5 *. float_of_int k) (G.int_range 1 40) in
+       let* release = G.map (fun k -> 0.5 *. float_of_int k) (G.int_range 0 30) in
+       G.return (procs, time, release))
+  in
+  let jobs =
+    List.mapi (fun id (procs, time, release) -> Job.rigid ~release ~id ~procs ~time ()) jobs
+  in
+  G.return (m, jobs)
+
+let pp_instance (m, jobs) =
+  Format.asprintf "m=%d@ %a" m (Format.pp_print_list Job.pp) jobs
+
+let arb_scalar = QCheck.make ~print:pp_instance gen_scalar_instance
+
+(* Jobs with full demand vectors, each fitting the (bounded) capacity. *)
+let gen_vector_instance =
+  let* m = G.int_range 2 16 in
+  let* mem_cap = G.int_range 4 64 in
+  let* bw_cap = G.int_range 4 64 in
+  let* n = G.int_range 1 20 in
+  let* jobs =
+    G.list_repeat n
+      (let* procs = G.int_range 1 m in
+       let* time = G.map (fun k -> 0.5 *. float_of_int k) (G.int_range 1 30) in
+       let* release = G.map (fun k -> 0.5 *. float_of_int k) (G.int_range 0 20) in
+       let* memory = G.int_range 0 mem_cap in
+       let* bandwidth = G.int_range 0 bw_cap in
+       G.return (procs, time, release, memory, bandwidth))
+  in
+  let jobs =
+    List.mapi
+      (fun id (procs, time, release, memory, bandwidth) ->
+        Job.rigid ~release ~res:(R.make ~memory ~bandwidth ()) ~id ~procs ~time ())
+      jobs
+  in
+  G.return (R.cap ~cores:m ~memory:mem_cap ~bandwidth:bw_cap (), jobs)
+
+let arb_vector =
+  QCheck.make
+    ~print:(fun (cap, jobs) ->
+      Format.asprintf "cap=%a@ %a" R.pp cap (Format.pp_print_list Job.pp) jobs)
+    gen_vector_instance
+
+(* --- 1. degenerate bit-identity -------------------------------------- *)
+
+let entries (s : Schedule.t) =
+  List.map (fun (e : Schedule.entry) -> (e.job_id, e.start, e.procs, e.duration)) s.entries
+  |> List.sort compare
+
+let allocated jobs = List.map (fun (j : Job.t) -> (j, Job.min_procs j)) jobs
+
+let qcheck_easy_bit_identity =
+  T_helpers.qtest ~count:1000 "easy-mr = easy with unbounded capacity (bit-identical)"
+    arb_scalar
+    (fun (m, jobs) ->
+      let scalar = Backfilling.easy ~m (allocated jobs) in
+      let vector = Multires.easy ~cap:(R.cap ~cores:m ()) (allocated jobs) in
+      entries scalar = entries vector)
+
+let qcheck_list_bit_identity =
+  T_helpers.qtest ~count:1000 "list-mr = list with unbounded capacity (bit-identical)"
+    arb_scalar
+    (fun (m, jobs) ->
+      let scalar = Packing.list_schedule ~m (allocated jobs) in
+      let vector = Multires.list_schedule ~cap:(R.cap ~cores:m ()) (allocated jobs) in
+      entries scalar = entries vector)
+
+(* Rprofile itself degenerates to Profile: same find/place dates under
+   random core-only traffic. *)
+let qcheck_rprofile_degenerate =
+  T_helpers.qtest ~count:500 "Rprofile = Profile on core-only traffic" arb_scalar
+    (fun (m, jobs) ->
+      let p = Profile.create m in
+      let rp = Rprofile.create (R.cap ~cores:m ()) in
+      List.for_all
+        (fun (j : Job.t) ->
+          let procs = Job.min_procs j in
+          let duration = Job.seq_time j in
+          let s = Profile.place p ~earliest:j.release ~duration ~procs in
+          let s' = Rprofile.place rp ~earliest:j.release ~duration ~req:(R.of_cores procs) in
+          Float.equal s s')
+        jobs)
+
+(* --- 2. capacity soundness ------------------------------------------- *)
+
+let no_capacity_violation policy (cap, jobs) =
+  let ctx = Scheduler_intf.ctx ~cap ~m:cap.R.cores () in
+  match Schedulers.run policy ctx jobs with
+  | Error e -> QCheck.Test.fail_reportf "%s" (Scheduler_intf.error_to_string e)
+  | Ok outcome ->
+    let violations = Validate.check ~cap ~jobs outcome.Scheduler_intf.schedule in
+    List.for_all
+      (function
+        | Validate.Over_capacity _ | Validate.Over_resource _ -> false
+        | _ -> true)
+      violations
+
+let qcheck_list_mr_sound =
+  T_helpers.qtest ~count:500 "list-mr never exceeds any resource capacity" arb_vector
+    (no_capacity_violation "list-mr")
+
+let qcheck_easy_mr_sound =
+  T_helpers.qtest ~count:500 "easy-mr never exceeds any resource capacity" arb_vector
+    (no_capacity_violation "easy-mr")
+
+(* --- registry plumbing ------------------------------------------------ *)
+
+let test_registry_exposes_mr () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " registered") true
+        (List.mem name Schedulers.names))
+    [ "list-mr"; "easy-mr" ]
+
+let test_over_resource_error () =
+  let cap = R.cap ~cores:8 ~memory:100 () in
+  let jobs = [ Job.rigid ~res:(R.make ~memory:200 ()) ~id:0 ~procs:2 ~time:10.0 () ] in
+  let ctx = Scheduler_intf.ctx ~cap ~m:8 () in
+  match Schedulers.run "easy-mr" ctx jobs with
+  | Error (Scheduler_intf.Over_resource { job = 0; resource = "memory"; need = 200; capacity = 100; _ })
+    -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Scheduler_intf.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Over_resource"
+
+let test_easy_mr_respects_memory () =
+  (* Two jobs that fit together on cores but not in memory: the vector
+     engine must serialise them where the scalar engine would overlap. *)
+  let cap = R.cap ~cores:8 ~memory:100 () in
+  let job id = Job.rigid ~res:(R.make ~memory:60 ()) ~id ~procs:2 ~time:10.0 () in
+  let jobs = [ job 0; job 1 ] in
+  let ctx = Scheduler_intf.ctx ~cap ~m:8 () in
+  match Schedulers.run "easy-mr" ctx jobs with
+  | Error e -> Alcotest.failf "%s" (Scheduler_intf.error_to_string e)
+  | Ok outcome ->
+    let sched = outcome.Scheduler_intf.schedule in
+    Alcotest.(check int) "both scheduled" 2 (List.length sched.Schedule.entries);
+    T_helpers.check_float "serialised" 20.0 (Schedule.makespan sched);
+    Alcotest.(check (list Alcotest.reject)) "no violations" []
+      (Validate.check ~cap ~jobs sched)
+
+let test_validate_flags_scalar_oversubscription () =
+  (* The scalar engine ignores memory; multi-resource Validate must
+     flag the overlap it produces. *)
+  let cap = R.cap ~cores:8 ~memory:100 () in
+  let job id = Job.rigid ~res:(R.make ~memory:60 ()) ~id ~procs:2 ~time:10.0 () in
+  let jobs = [ job 0; job 1 ] in
+  let sched = Backfilling.easy ~m:8 (allocated jobs) in
+  let over =
+    Validate.check ~cap ~jobs sched
+    |> List.filter (function Validate.Over_resource _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "memory oversubscription flagged" true (over <> [])
+
+let suite =
+  [
+    qcheck_easy_bit_identity;
+    qcheck_list_bit_identity;
+    qcheck_rprofile_degenerate;
+    qcheck_list_mr_sound;
+    qcheck_easy_mr_sound;
+    Alcotest.test_case "registry exposes list-mr and easy-mr" `Quick test_registry_exposes_mr;
+    Alcotest.test_case "over-resource jobs get a typed error" `Quick test_over_resource_error;
+    Alcotest.test_case "easy-mr serialises on memory" `Quick test_easy_mr_respects_memory;
+    Alcotest.test_case "validate flags scalar oversubscription" `Quick
+      test_validate_flags_scalar_oversubscription;
+  ]

@@ -261,29 +261,6 @@ let test_fault_injector_transparent () =
   Alcotest.(check bool) "kills traced" true
     (List.exists (fun (ev : Event.t) -> ev.Event.kind = "fault.kill") (Obs.events obs))
 
-(* --- Export unification ------------------------------------------------ *)
-
-let test_export_aliases () =
-  let header = [ "a"; "b" ] in
-  let rows = [ [ 1.0; 2.0 ]; [ 3.0; 4.5 ] ] in
-  Alcotest.(check string) "series_csv alias"
-    (Psched_sim.Export.to_csv (Psched_sim.Export.Series { header; rows }))
-    (Psched_sim.Export.series_csv ~header rows);
-  Alcotest.(check string) "table_json alias"
-    (Psched_sim.Export.to_json
-       (Psched_sim.Export.Table { meta = [ ("k", "v") ]; header; rows }))
-    (Psched_sim.Export.table_json ~meta:[ ("k", "v") ] ~header rows);
-  let sched =
-    Psched_sim.Schedule.make ~m:2
-      [ Psched_sim.Schedule.entry ~job:(List.hd feasible_jobs) ~start:0.0 ~procs:2 () ]
-  in
-  Alcotest.(check string) "schedule_csv alias"
-    (Psched_sim.Export.to_csv (Psched_sim.Export.Schedule sched))
-    (Psched_sim.Export.schedule_csv sched);
-  Alcotest.(check string) "schedule_json alias"
-    (Psched_sim.Export.to_json (Psched_sim.Export.Schedule sched))
-    (Psched_sim.Export.schedule_json sched)
-
 let test_export_obs_summary () =
   let obs = Obs.create () in
   Obs.lambda_guess obs ~lambda:2.0 ~accepted:true;
@@ -312,6 +289,5 @@ let suite =
     qcheck_trace_transparency;
     qcheck_registry_valid_schedules;
     Alcotest.test_case "fault injector transparent" `Quick test_fault_injector_transparent;
-    Alcotest.test_case "export aliases" `Quick test_export_aliases;
     Alcotest.test_case "export obs summary" `Quick test_export_obs_summary;
   ]

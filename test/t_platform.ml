@@ -19,6 +19,47 @@ let test_network_params () =
   Alcotest.(check bool) "myrinet lower latency" true
     (Platform.network_latency Platform.Myrinet < Platform.network_latency Platform.Ethernet100)
 
+let test_resource_vectors () =
+  let open Resource in
+  let cap3 = cap ~cores:8 ~memory:100 ~bandwidth:50 () in
+  Alcotest.(check bool) "fits componentwise" true
+    (fits (make ~cores:8 ~memory:100 ~bandwidth:50 ()) ~within:cap3);
+  Alcotest.(check bool) "memory overflow rejected" false
+    (fits (make ~cores:1 ~memory:101 ()) ~within:cap3);
+  (match first_overflow (make ~cores:1 ~memory:101 ()) ~within:cap3 with
+  | Some ("memory", 101, 100) -> ()
+  | _ -> Alcotest.fail "expected the memory overflow first");
+  (* Unbounded components absorb any real demand. *)
+  let unbounded = cap ~cores:4 () in
+  Alcotest.(check bool) "unbounded memory fits" true
+    (fits (make ~cores:4 ~memory:1_000_000_000 ()) ~within:unbounded);
+  Alcotest.(check bool) "is_unbounded" true (is_unbounded unbounded.memory);
+  (* Arithmetic clamps at the sentinel instead of wrapping. *)
+  Alcotest.(check bool) "add clamps" true
+    (is_unbounded (add unbounded (of_cores 1)).memory)
+
+let test_single_constructor_family () =
+  (* [single ~m ()] is the new spelling of the deprecated
+     [single_cluster m]; both build the degenerate unbounded platform. *)
+  let a = Platform.single ~m:100 () in
+  let b = Platform.single_cluster 100 in
+  Alcotest.(check int) "same processors" (Platform.total_processors a)
+    (Platform.total_processors b);
+  Alcotest.(check bool) "unbounded by default" true
+    (Resource.is_unbounded (Platform.total_capacity a).Resource.memory);
+  (* Resource fields flow into the capacity vector. *)
+  let c = Platform.single ~mem_per_node:2048 ~sys_bw:500 ~m:10 () in
+  let capv = Platform.total_capacity c in
+  Alcotest.(check int) "cores" 10 capv.Resource.cores;
+  Alcotest.(check int) "memory = nodes x mem_per_node" 20480 capv.Resource.memory;
+  Alcotest.(check int) "bandwidth = sys_bw" 500 capv.Resource.bandwidth
+
+let test_apex_example () =
+  let capv = Platform.total_capacity Platform.apex_example in
+  Alcotest.(check int) "cores" (1024 * 32) capv.Resource.cores;
+  Alcotest.(check bool) "memory bounded" false (Resource.is_unbounded capv.Resource.memory);
+  Alcotest.(check bool) "bandwidth bounded" false (Resource.is_unbounded capv.Resource.bandwidth)
+
 let test_reservation_basics () =
   let r = Reservation.make ~id:0 ~start:10.0 ~duration:5.0 ~procs:4 in
   T_helpers.check_float "finish" 15.0 (Reservation.finish r);
@@ -49,6 +90,9 @@ let suite =
     Alcotest.test_case "fig2 platform" `Quick test_fig2_platform;
     Alcotest.test_case "cluster defaults" `Quick test_cluster_defaults;
     Alcotest.test_case "network params" `Quick test_network_params;
+    Alcotest.test_case "resource vectors" `Quick test_resource_vectors;
+    Alcotest.test_case "single constructor family" `Quick test_single_constructor_family;
+    Alcotest.test_case "apex example platform" `Quick test_apex_example;
     Alcotest.test_case "reservation basics" `Quick test_reservation_basics;
     Alcotest.test_case "reservation validation" `Quick test_reservation_validation;
     Alcotest.test_case "reservation overlap/feasible" `Quick test_reservation_overlap_feasible;

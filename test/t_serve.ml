@@ -79,6 +79,26 @@ let test_wal_job_roundtrip_qcheck =
           | Error e -> QCheck.Test.fail_reportf "codec error: %s" e)
         jobs)
 
+let test_wal_resource_vector_roundtrip () =
+  let module R = Psched_platform.Resource in
+  (* A job carrying a non-zero demand vector survives the codec... *)
+  let res = R.make ~memory:4096 ~bandwidth:250 () in
+  let job = Job.rigid ~res ~release:2.5 ~id:9 ~procs:8 ~time:100.0 () in
+  (match Wal.job_of_tokens (Wal.job_tokens job) with
+  | Ok (job', []) ->
+    Alcotest.(check bool) "vector survives" true (compare job job' = 0);
+    Alcotest.(check int) "memory" 4096 job'.Job.res.R.memory
+  | Ok (_, _ :: _) -> Alcotest.fail "unconsumed tokens"
+  | Error e -> Alcotest.failf "codec error: %s" e);
+  (* ...and a processors-only job emits no V group at all, so lines
+     written by older daemons parse unchanged. *)
+  let plain = Job.rigid ~id:1 ~procs:2 ~time:5.0 () in
+  Alcotest.(check bool) "no V group for zero vectors" false
+    (List.mem "V" (Wal.job_tokens plain));
+  match Wal.job_of_tokens (Wal.job_tokens plain) with
+  | Ok (job', []) -> Alcotest.(check bool) "zero vector" true (R.equal job'.Job.res R.zero)
+  | _ -> Alcotest.fail "plain job must round-trip"
+
 let test_wal_checksum_rejects_flip () =
   let line = Wal.encode ~seq:1 ~clock:2.0 (List.hd sample_records) in
   let flipped = Bytes.of_string line in
@@ -561,6 +581,8 @@ let suite =
   [
     Alcotest.test_case "wal: record round-trip" `Quick test_wal_roundtrip;
     test_wal_job_roundtrip_qcheck;
+    Alcotest.test_case "wal: resource vector round-trip" `Quick
+      test_wal_resource_vector_roundtrip;
     Alcotest.test_case "wal: checksum rejects damage" `Quick test_wal_checksum_rejects_flip;
     Alcotest.test_case "wal: writer/replay" `Quick test_wal_writer_replay;
     Alcotest.test_case "wal: torn tail detection" `Quick test_wal_torn_tail;

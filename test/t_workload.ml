@@ -182,4 +182,61 @@ let analyze_suite =
     Alcotest.test_case "analyze empty" `Quick test_analyze_empty;
   ]
 
-let suite = base_suite @ analyze_suite
+(* --- app-class generator --------------------------------------------- *)
+
+module R = Psched_platform.Resource
+
+let test_app_class_sampling () =
+  let rng = Psched_util.Rng.create 11 in
+  let c =
+    App_class.make ~name:"t" ~corehour_ratio:1.0 ~walltime:1000.0 ~cores:16 ~mem_per_core:100
+      ~input_ratio:0.5 ~output_ratio:0.5 ~ckpt_ratio:0.5 ~ckpt_period:100.0 ()
+  in
+  for id = 0 to 49 do
+    let j = App_class.sample rng c ~max_cores:32 ~id in
+    let procs = Job.min_procs j in
+    Alcotest.(check bool) "width in range" true (procs >= 1 && procs <= 32);
+    (* High-pass filter: never below 95% of the nominal. *)
+    Alcotest.(check bool) "walltime filtered" true (Job.seq_time j >= 0.95 *. 1000.0);
+    Alcotest.(check int) "memory = cores x mem_per_core" (procs * 100)
+      j.Job.res.R.memory;
+    Alcotest.(check bool) "bandwidth derived" true (j.Job.res.R.bandwidth > 0)
+  done
+
+let test_app_class_generate () =
+  let rng = Psched_util.Rng.create 7 in
+  let cap = R.cap ~cores:64 ~memory:65536 ~bandwidth:1024 () in
+  List.iter
+    (fun (name, classes) ->
+      let jobs = App_class.generate rng ~classes ~cap ~corehours:50.0 in
+      Alcotest.(check bool) (name ^ " non-empty") true (jobs <> []);
+      let work =
+        List.fold_left (fun acc j -> acc +. (Job.min_work j /. 3600.0)) 0.0 jobs
+      in
+      Alcotest.(check bool) (name ^ " hits the budget") true (work >= 50.0);
+      (* Every job individually fits the platform (the registry
+         precondition for the multi-resource policies). *)
+      List.iter
+        (fun j ->
+          Alcotest.(check bool) (name ^ " job fits") true
+            (R.fits (Job.min_request j) ~within:cap))
+        jobs)
+    (App_class.communities cap)
+
+let test_ckpt_write_cost () =
+  T_helpers.check_float "64 GB at 1 GB/s" 64.0
+    (Psched_fault.Recovery.write_cost ~size_mb:65536 ~bandwidth:1024);
+  match Psched_fault.Recovery.daly_of_footprint ~mtbf:86400.0 ~size_mb:65536 ~bandwidth:1024 with
+  | Psched_fault.Recovery.Checkpoint { period; cost } ->
+    T_helpers.check_float "cost" 64.0 cost;
+    T_helpers.check_float "young period" (sqrt (2.0 *. 64.0 *. 86400.0)) period
+  | _ -> Alcotest.fail "expected a checkpoint policy"
+
+let app_class_suite =
+  [
+    Alcotest.test_case "app-class sampling" `Quick test_app_class_sampling;
+    Alcotest.test_case "app-class generate" `Quick test_app_class_generate;
+    Alcotest.test_case "checkpoint write cost" `Quick test_ckpt_write_cost;
+  ]
+
+let suite = base_suite @ analyze_suite @ app_class_suite

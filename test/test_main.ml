@@ -7,6 +7,7 @@ let () =
       ("sim", T_sim.suite);
       ("profile", T_profile.suite);
       ("core", T_core.suite);
+      ("multires", T_multires.suite);
       ("obs", T_obs.suite);
       ("profiler", T_profiler.suite);
       ("core-more", T_more_core.suite);

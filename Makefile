@@ -82,9 +82,13 @@ soak:
 	dune build @all
 	sh tools/soak.sh
 
-# Grep gates (deprecated Export aliases, float equality on times,
-# invalid_arg ratchet in lib/core, raise-free lib/check) plus a strict
-# -warn-error +a build of the whole tree (DESIGN.md section 11).
+# AST analyzer over the project's own sources (`psched lint`, lib/lint:
+# parsetree ports of every legacy grep gate, determinism audit,
+# Domain-race heuristic, per-file invalid_arg ratchet against
+# tools/lint_baseline.json) plus a strict -warn-error +a build of the
+# whole tree (DESIGN.md sections 11 and 16).  tools/lint.sh builds and
+# execs the binary, degrading to the legacy grep gates only when dune
+# itself is unavailable.
 lint:
 	sh tools/lint.sh
 	dune build --profile strict @all

@@ -620,9 +620,14 @@ let bench_serve_cmd =
       let runs =
         List.init repeats (fun rep ->
             Gc.compact ();
+            (* The daemon reads decision latencies off its obs wall
+               clock; install the microsecond one (the Obs.null default
+               is Sys.time). *)
+            let obs = Psched_obs.Obs.create ~ring_capacity:16 () in
+            Psched_obs.Obs.set_wall_clock obs Unix.gettimeofday;
             let cfg =
               Serve.Daemon.config ~m ~round_every:every ~queue_cap:cap
-                ~shed:Serve.Admission.Reject ()
+                ~shed:Serve.Admission.Reject ~obs ()
             in
             let arr =
               Serve.Arrivals.poisson ~procs_max ~tmin ~tmax ~m ~rate:arrival_rate
@@ -1473,6 +1478,93 @@ let serve_cmd =
           fault-injected serving with live Prometheus metrics.")
     [ serve_run_cmd; serve_verify_cmd ]
 
+(* --------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let module L = Psched_lint in
+  let run paths root json baseline_path update list_rules verbose =
+    if list_rules then begin
+      let docs = L.Rules.docs () in
+      let width = List.fold_left (fun acc (id, _, _) -> max acc (String.length id)) 0 docs in
+      List.iter
+        (fun (id, sev, doc) -> Printf.printf "%-*s  [%s] %s\n" width id sev doc)
+        docs
+    end
+    else begin
+      let paths =
+        if paths = [] then [ "lib"; "bin"; "bench"; "examples"; "test" ] else paths
+      in
+      if update then begin
+        (* Recount lib/core and rewrite the committed ratchet state, then
+           lint against the fresh baseline (which passes by construction
+           unless other rules fire). *)
+        let scope =
+          (* ratchet_scope is a "lib/core/" prefix; walk wants the bare
+             directory path. *)
+          String.sub L.Rules.ratchet_scope 0 (String.length L.Rules.ratchet_scope - 1)
+        in
+        let counting = L.Driver.run (L.Driver.config ~root ~paths:[ scope ] ~rules:[] ()) in
+        L.Baseline.save (Filename.concat root baseline_path) counting.L.Driver.counts;
+        Printf.printf "lint: rewrote %s (%d files, %d occurrences)\n" baseline_path
+          (List.length counting.L.Driver.counts)
+          (List.fold_left (fun acc (_, c) -> acc + c) 0 counting.L.Driver.counts)
+      end;
+      let baseline =
+        match L.Baseline.load (Filename.concat root baseline_path) with
+        | Ok b -> Some b
+        | Error e ->
+          Printf.eprintf "lint: %s: %s (ratchet disabled)\n" baseline_path e;
+          None
+      in
+      let report = L.Driver.run (L.Driver.config ~root ~paths ?baseline ()) in
+      (match json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (L.Driver.to_json report);
+        close_out oc
+      | None -> ());
+      Format.printf "%a" (L.Driver.pp ~verbose) report;
+      exit (L.Driver.exit_code report)
+    end
+  in
+  let paths =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"PATH"
+             ~doc:"Files or directories to analyze (default: lib bin bench examples test).")
+  in
+  let root =
+    Arg.(value & opt string "."
+         & info [ "root" ] ~docv:"DIR" ~doc:"Repository root paths are resolved against.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the findings as a JSON report.")
+  in
+  let baseline_path =
+    Arg.(value & opt string "tools/lint_baseline.json"
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Per-file invalid_arg ratchet state (root-relative).")
+  in
+  let update =
+    Arg.(value & flag
+         & info [ "update-baseline" ]
+             ~doc:"Recount lib/core and rewrite the baseline before linting (use in the \
+                   same change that lowers a count).")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print Info findings too.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "AST-grounded static analysis of the project's own sources: the legacy grep gates \
+          as parsetree rules, a determinism audit, a Domain-race heuristic and the per-file \
+          invalid_arg ratchet.  Exits 1 on any Error finding.")
+    Term.(const run $ paths $ root $ json $ baseline_path $ update $ list_rules $ verbose)
+
 (* -------------------------------------------------------------- check *)
 
 let check_cmd =
@@ -1553,6 +1645,6 @@ let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; serve_cmd; check_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; serve_cmd; check_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

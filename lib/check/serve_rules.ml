@@ -103,23 +103,25 @@ let conservation ?(complete = false) entries =
       | Wal.Outage _ -> ())
     entries;
   if complete then
-    Hashtbl.iter
-      (fun id st ->
-        match st with
-        | `Queued ->
-          findings :=
-            Finding.error ~rule
-              ~data:[ ("job", E.Int id) ]
-              (Printf.sprintf "job %d admitted but never decided (lost)" id)
-            :: !findings
-        | `Deferred ->
-          findings :=
-            Finding.error ~rule
-              ~data:[ ("job", E.Int id) ]
-              (Printf.sprintf "job %d deferred but never re-admitted (lost)" id)
-            :: !findings
-        | `Live -> ())
-      state;
+    (* Sort the surviving states so the report order is the job id, not
+       the hash table's insertion history (det-hashtbl-order). *)
+    Hashtbl.fold (fun id st acc -> (id, st) :: acc) state []
+    |> List.sort compare
+    |> List.iter (fun (id, st) ->
+           match st with
+           | `Queued ->
+             findings :=
+               Finding.error ~rule
+                 ~data:[ ("job", E.Int id) ]
+                 (Printf.sprintf "job %d admitted but never decided (lost)" id)
+               :: !findings
+           | `Deferred ->
+             findings :=
+               Finding.error ~rule
+                 ~data:[ ("job", E.Int id) ]
+                 (Printf.sprintf "job %d deferred but never re-admitted (lost)" id)
+               :: !findings
+           | `Live -> ());
   List.rev !findings
 
 let check ?complete entries = monotone entries @ conservation ?complete entries

@@ -174,8 +174,12 @@ let bisim =
             | None -> ())
         i.events;
       let forward =
-        Hashtbl.fold
-          (fun j (ev : E.t) acc ->
+        (* Walk the starts in job order so finding order is stable
+           whatever the insertion history (det-hashtbl-order). *)
+        Hashtbl.fold (fun j ev acc -> (j, ev) :: acc) last_start []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.fold_left
+             (fun acc (j, (ev : E.t)) ->
             match Hashtbl.find_opt entry_of j with
             | None -> err "trace starts job %d, absent from the schedule" j :: acc
             | Some entry ->
@@ -200,7 +204,7 @@ let bisim =
                   entry.S.start entry.S.procs
                 :: acc
               else acc)
-          last_start []
+             []
       in
       let backward =
         if not i.complete_trace then []

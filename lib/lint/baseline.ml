@@ -1,0 +1,179 @@
+(* The committed ratchet state: per-file invalid_arg counts for
+   lib/core, stored as tools/lint_baseline.json.  The format is a flat
+   JSON object so diffs in review show exactly which file moved:
+
+     { "schema": "psched-lint-baseline/1",
+       "rule": "invalid-arg-ratchet",
+       "scope": "lib/core",
+       "files": { "lib/core/malleable.ml": 6, ... } }
+
+   lib/lint depends only on compiler-libs, so this carries its own
+   minimal reader for that shape (strings, ints and nested objects —
+   nothing else appears in a baseline). *)
+
+type t = (string * int) list
+
+let schema = "psched-lint-baseline/1"
+
+exception Malformed of string
+
+(* ------------------------------------------------------------ reading *)
+
+type token = Tstr of string | Tint of int | Lbrace | Rbrace | Colon | Comma
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '{' -> toks := Lbrace :: !toks; incr i
+    | '}' -> toks := Rbrace :: !toks; incr i
+    | ':' -> toks := Colon :: !toks; incr i
+    | ',' -> toks := Comma :: !toks; incr i
+    | '"' ->
+      let b = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match s.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+          incr i;
+          Buffer.add_char b
+            (match s.[!i] with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c)
+        | c -> Buffer.add_char b c);
+        incr i
+      done;
+      if not !closed then raise (Malformed "unterminated string");
+      toks := Tstr (Buffer.contents b) :: !toks
+    | '-' | '0' .. '9' ->
+      let start = !i in
+      incr i;
+      while !i < n && (match s.[!i] with '0' .. '9' -> true | _ -> false) do
+        incr i
+      done;
+      let lit = String.sub s start (!i - start) in
+      (match int_of_string_opt lit with
+      | Some v -> toks := Tint v :: !toks
+      | None -> raise (Malformed (Printf.sprintf "bad number %S" lit)))
+    | c -> raise (Malformed (Printf.sprintf "unexpected character %C" c)));
+  done;
+  List.rev !toks
+
+(* Parse one object; values are strings, ints or objects. *)
+type value = Str of string | Int of int | Obj of (string * value) list
+
+let rec parse_obj = function
+  | Lbrace :: Rbrace :: rest -> ([], rest)
+  | Lbrace :: rest ->
+    let rec members acc toks =
+      match toks with
+      | Tstr key :: Colon :: rest -> (
+        let v, rest =
+          match rest with
+          | Tstr s :: r -> (Str s, r)
+          | Tint n :: r -> (Int n, r)
+          | Lbrace :: _ ->
+            let fields, r = parse_obj rest in
+            (Obj fields, r)
+          | _ -> raise (Malformed (Printf.sprintf "bad value for key %S" key))
+        in
+        match rest with
+        | Comma :: r -> members ((key, v) :: acc) r
+        | Rbrace :: r -> (List.rev ((key, v) :: acc), r)
+        | _ -> raise (Malformed (Printf.sprintf "missing , or } after key %S" key)))
+      | _ -> raise (Malformed "expected a string key")
+    in
+    members [] rest
+  | _ -> raise (Malformed "expected an object")
+
+let of_string s =
+  match parse_obj (tokenize s) with
+  | exception Malformed m -> Error (Printf.sprintf "malformed baseline: %s" m)
+  | fields, _ -> (
+    match List.assoc_opt "schema" fields with
+    | Some (Str s) when s <> schema ->
+      Error (Printf.sprintf "unsupported baseline schema %S (want %S)" s schema)
+    | _ -> (
+    match List.assoc_opt "files" fields with
+    | Some (Obj files) ->
+      let entries =
+        List.map
+          (function
+            | file, Int count -> (file, count)
+            | file, _ -> raise (Malformed (Printf.sprintf "non-integer count for %S" file)))
+          files
+      in
+      Ok (List.sort compare entries)
+    | Some _ -> Error "malformed baseline: \"files\" is not an object"
+    | None -> Error "malformed baseline: no \"files\" object"))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    of_string content
+
+(* ------------------------------------------------------------ writing *)
+
+let to_string (t : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string b "  \"rule\": \"invalid-arg-ratchet\",\n";
+  Buffer.add_string b "  \"scope\": \"lib/core\",\n";
+  Buffer.add_string b "  \"files\": {";
+  let entries = List.sort compare t in
+  List.iteri
+    (fun i (file, count) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    \"%s\": %d" (Finding.json_escape file) count))
+    entries;
+  if entries <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+(* ------------------------------------------------------------ the diff *)
+
+(* Exact-match ratchet: any drift fails, in both directions, so the
+   committed baseline can never go stale.  Raising a count is the real
+   regression (a new raise escaped into lib/core); lowering one is
+   progress that must be recorded in the same change. *)
+let diff ~baseline ~counts =
+  let counts = List.sort compare counts in
+  let find file l = Option.value ~default:0 (List.assoc_opt file l) in
+  let files =
+    List.sort_uniq compare (List.map fst baseline @ List.map fst counts)
+  in
+  List.filter_map
+    (fun file ->
+      let base = find file baseline and now = find file counts in
+      if now > base then
+        Some
+          (Finding.make ~rule:"invalid-arg-ratchet" ~severity:Finding.Error ~file ~line:1
+             ~col:0
+             (Printf.sprintf
+                "raises invalid_arg in %d places (baseline %d): return a typed \
+                 Scheduler_intf.error instead"
+                now base))
+      else if now < base then
+        Some
+          (Finding.make ~rule:"invalid-arg-ratchet" ~severity:Finding.Error ~file ~line:1
+             ~col:0
+             (Printf.sprintf
+                "invalid_arg count dropped to %d (baseline %d): lower the baseline in this \
+                 change (psched lint --update-baseline)"
+                now base))
+      else None)
+    files

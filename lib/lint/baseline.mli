@@ -1,0 +1,17 @@
+(** The committed per-file invalid_arg ratchet (tools/lint_baseline.json). *)
+
+type t = (string * int) list
+(** Root-relative file path, audited occurrence count. *)
+
+val schema : string
+
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+val to_string : t -> string
+val save : string -> t -> unit
+
+val diff : baseline:t -> counts:t -> Finding.t list
+(** Exact-match ratchet: a count above its baseline is an Error naming
+    the file; a count below its baseline is an Error demanding the
+    baseline be lowered in the same change.  Files absent from one
+    side count as 0. *)

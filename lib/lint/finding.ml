@@ -1,0 +1,65 @@
+(* A source-level lint finding: the analyzer's unit of output.
+
+   Mirrors lib/check's Finding severity vocabulary (Error fails the
+   build, Warn is advisory, Info is narration) but anchors every
+   finding to a file:line:col instead of a policy/run, because the
+   subject here is the project's own source text. *)
+
+type severity = Error | Warn | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let severity_to_string = function Error -> "error" | Warn -> "warn" | Info -> "info"
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let count sev findings = List.length (List.filter (fun f -> f.severity = sev) findings)
+
+(* Stable report order: by file, then position, then rule id. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+(* Self-contained JSON string escaping: lib/lint depends only on
+   compiler-libs, so it cannot reuse the lib/obs encoder. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.message)
+
+let pp ppf f =
+  Format.fprintf ppf "@[<h>%s:%d:%d: [%s] %s: %s@]" f.file f.line f.col
+    (String.uppercase_ascii (severity_to_string f.severity))
+    f.rule f.message

@@ -1,0 +1,27 @@
+(** Source-level lint findings (file:line:col), mirroring lib/check's
+    severity vocabulary: Error fails the run, Warn is advisory. *)
+
+type severity = Error | Warn | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;  (** root-relative path with ['/'] separators *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column, as in compiler diagnostics *)
+  message : string;
+}
+
+val make :
+  rule:string -> severity:severity -> file:string -> line:int -> col:int -> string -> t
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+val count : severity -> t list -> int
+
+val compare : t -> t -> int
+(** Report order: file, then position, then rule id. *)
+
+val json_escape : string -> string
+val to_json : t -> string
+val pp : Format.formatter -> t -> unit

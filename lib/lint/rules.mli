@@ -1,0 +1,36 @@
+(** The AST rule registry: parsetree-grounded ports of the legacy grep
+    gates plus the determinism-audit and Domain-race rules.  Rules are
+    purely syntactic; semantic hazards are explicit Warn-severity
+    heuristics (see DESIGN.md section 16). *)
+
+type ctx = { file : string }
+(** Root-relative path ('/'-separated) of the file under analysis;
+    rules scope themselves on it. *)
+
+type t = {
+  id : string;
+  doc : string;
+  severity : Finding.severity;  (** severity of the findings the rule emits *)
+  in_scope : string -> bool;
+  check : ctx -> Parsetree.structure -> Finding.t list;
+}
+
+val all : t list
+val find : string -> t option
+
+val docs : unit -> (string * string * string) list
+(** (id, severity, doc) for every rule, including the driver-level
+    ratchet pseudo-rule. *)
+
+val apply : t -> ctx -> Parsetree.structure -> Finding.t list
+(** Empty when [ctx.file] is out of the rule's scope. *)
+
+val apply_all : ?rules:t list -> ctx -> Parsetree.structure -> Finding.t list
+
+val ratchet_rule_id : string
+val ratchet_scope : string
+(** Directory prefix ("lib/core/") whose files the ratchet counts. *)
+
+val count_invalid_arg : Parsetree.structure -> int
+(** invalid_arg call sites plus Invalid_argument constructor uses
+    (expressions and patterns) — the per-file ratchet quantity. *)

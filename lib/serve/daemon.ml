@@ -573,12 +573,17 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
       let forced_greedy =
         rt.degraded || Recovery.blocked breaker_st rt.clock
       in
-      let t0 = Unix.gettimeofday () in
+      (* Decision latency on the observability wall clock: callers that
+         care about microsecond percentiles install Unix.gettimeofday
+         (bin does); the default Sys.time keeps the library itself free
+         of direct wall-clock reads (DESIGN.md section 16). *)
+      let wall = Obs.wall_clock obs in
+      let t0 = wall () in
       Obs.span obs "serve.decide" (fun () ->
           match cfg.mode with
           | Greedy -> greedy_round jobs
           | Registry name -> if forced_greedy then greedy_round jobs else registry_round name jobs);
-      let lat = Unix.gettimeofday () -. t0 in
+      let lat = wall () -. t0 in
       latencies := lat :: !latencies;
       Obs.Hist.observe obs "serve.decision_latency" lat;
       if forced_greedy && cfg.mode <> Greedy then begin

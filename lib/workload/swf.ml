@@ -103,10 +103,13 @@ let parse_line line =
         (* SWF allows floats in integer columns of some traces. *)
         match float_field i with Ok v -> Ok (int_of_float v) | Error e -> Error e)
     in
-    (* A value is "missing" when it is exactly -1; any other negative is
-       corruption worth surfacing. *)
+    (* A value is "missing" when it is the -1 sentinel; any other
+       negative is corruption worth surfacing.  The sentinel test is an
+       epsilon window, not float equality: traces write "-1" or "-1.0"
+       but a permissive parser upstream may have rounded through text. *)
     let non_negative ~field v =
-      if v >= 0.0 || v = -1.0 then Ok v else Error (Negative_field { field; value = v })
+      if v >= 0.0 || Float.abs (v +. 1.0) <= 1e-9 then Ok v
+      else Error (Negative_field { field; value = v })
     in
     let ( let* ) = Result.bind in
     let* id = int_field 1 in

@@ -1,0 +1,10 @@
+(* clean for check-raise: findings instead of exceptions, exception
+   *handling* (which is allowed — the barrier catches library raises),
+   and the banned names in comment/string positions only: a rule must
+   never invalid_arg or failwith. *)
+let _doc = "rules return findings, they never raise"
+
+let check input =
+  match List.hd input with
+  | exception Failure _ -> [ "finding: empty input" ]
+  | _ -> []

@@ -1,0 +1,6 @@
+(* clean for det-hashtbl-order: the fold's result is sorted inside the
+   same binding before anything ordered consumes it. *)
+let dump tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+  |> List.iter (fun (k, v) -> Printf.printf "%s=%d\n" k v)

@@ -1,0 +1,7 @@
+(* clean for det-random: seeded Rng streams, and the banned module only
+   in comment/string positions (Random.self_init belongs nowhere). *)
+let _doc = "Random.int is banned outside Rng"
+
+let draw seed n =
+  let rng = Rng.create seed in
+  Rng.int rng n

@@ -1,0 +1,9 @@
+(* clean for det-wallclock: the installable-clock idiom — wall clocks
+   appear only as optional-argument defaults; all reads go through the
+   injected clock. *)
+let elapsed ?(clock = Sys.time) t0 = clock () -. t0
+
+let timed ?(clock = Unix.gettimeofday) f =
+  let t0 = clock () in
+  let r = f () in
+  (r, clock () -. t0)

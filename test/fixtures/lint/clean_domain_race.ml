@@ -1,0 +1,9 @@
+(* clean for domain-race: workers stay pure; mutable accumulation
+   happens after the barrier, on the coordinating domain. The
+   top-level ref exists but the Pool closure never touches it. *)
+let total = ref 0
+
+let run jobs =
+  let out = Pool.map ~domains:4 (fun j -> j * 2) jobs in
+  List.iter (fun r -> total := !total + r) out;
+  out

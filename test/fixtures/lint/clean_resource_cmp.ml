@@ -1,0 +1,7 @@
+(* clean for resource-cmp: the vector API is the only comparison
+   surface; component *reads* without comparison are fine, as is
+   comparing unrelated fields. *)
+let fits job cap = Resource.fits job.request cap
+let diagnose job cap = Resource.first_overflow job.request cap
+let footprint job = job.Resource.memory + job.Resource.bandwidth
+let wider a b = a.width < b.width

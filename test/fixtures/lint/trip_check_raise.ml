@@ -1,0 +1,5 @@
+(* must trip check-raise (when placed under lib/check/): every escape
+   hatch the analyzer bans — rules return findings, not exceptions. *)
+let check input = if input = [] then invalid_arg "empty input" else input
+let audit x = if x < 0 then failwith "negative" else x
+let explode () = raise Exit

@@ -1,0 +1,3 @@
+(* must trip det-hashtbl-order: iteration order feeds output and the
+   binding never sorts. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl

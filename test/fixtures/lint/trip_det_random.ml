@@ -1,0 +1,5 @@
+(* must trip det-random three times: ambient-state draws that make a
+   run unreplayable, including the State submodule. *)
+let () = Random.self_init ()
+let draw n = Random.int n
+let jitter st = Random.State.float st 1.0

@@ -1,0 +1,13 @@
+(* must trip domain-race: top-level mutable state captured by the
+   closure handed to the Pool — every domain mutates [hits] and
+   [samples] concurrently. *)
+let hits = ref 0
+let samples = Hashtbl.create 16
+
+let run jobs =
+  Pool.map ~domains:4
+    (fun j ->
+      incr hits;
+      Hashtbl.replace samples j (j * 2);
+      j)
+    jobs

@@ -1,0 +1,4 @@
+(* must trip domain-spawn: raw Domain.spawn outside lib/util/pool.ml. *)
+let run f =
+  let d = Domain.spawn f in
+  Domain.join d

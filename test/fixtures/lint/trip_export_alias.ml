@@ -1,0 +1,5 @@
+(* must trip export-alias: a deleted Export alias referenced as code.
+   The string and the comment mention Export.schedule_csv too — only
+   the real ident below may fire. *)
+let _doc = "Export.schedule_csv is gone"
+let save sched = Export.schedule_csv sched

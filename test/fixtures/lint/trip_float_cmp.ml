@@ -1,0 +1,5 @@
+(* must trip float-cmp three times: the `= 0.` and `= -1.0` shapes the
+   legacy regex was blind to, and a `<>` with the literal on the left. *)
+let finished t = t = 0.
+let missing v = v = -1.0
+let busy t = 0.0 <> t

@@ -1,0 +1,4 @@
+(* must trip resource-cmp twice: raw component comparisons on both
+   sides of the operator. *)
+let fits job cap = job.Resource.memory <= cap.memory
+let overflows cap used = cap.bandwidth < used.Resource.bandwidth

@@ -1,0 +1,297 @@
+(* Fixture-driven coverage of the lib/lint analyzer: every rule has a
+   must-trip and a clean source under test/fixtures/lint/, asserted by
+   rule id; plus scope negatives, the installable-clock exemption, the
+   invalid_arg ratchet, and a self-lint run over lib/. *)
+
+module Finding = Psched_lint.Finding
+module Rules = Psched_lint.Rules
+module Baseline = Psched_lint.Baseline
+module Driver = Psched_lint.Driver
+
+let read_fixture name =
+  let path = Filename.concat (Filename.concat "fixtures" "lint") name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_fixture ~file name = Driver.lint_string ~file (read_fixture name)
+
+let by_rule id findings =
+  List.filter (fun (f : Finding.t) -> f.Finding.rule = id) findings
+
+let trips ?count id ~file name =
+  let hits = by_rule id (lint_fixture ~file name) in
+  (match count with
+  | Some n -> Alcotest.(check int) (name ^ " hit count") n (List.length hits)
+  | None ->
+    Alcotest.(check bool) (name ^ " trips " ^ id) true (List.length hits > 0));
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check string) "finding carries the lint path" file f.Finding.file;
+      Alcotest.(check bool) "line is 1-based" true (f.Finding.line >= 1))
+    hits
+
+let clean id ~file name =
+  let hits = by_rule id (lint_fixture ~file name) in
+  Alcotest.(check int) (name ^ " stays clean for " ^ id) 0 (List.length hits)
+
+(* --- legacy grep gates as AST rules ------------------------------------ *)
+
+let test_export_alias () =
+  trips "export-alias" ~file:"lib/experiments/fixture.ml" "trip_export_alias.ml"
+    ~count:1;
+  clean "export-alias" ~file:"lib/experiments/fixture.ml" "clean_export_alias.ml"
+
+let test_float_cmp () =
+  (* = 0., = -1.0 and a left-literal <> — the shapes the old regex missed. *)
+  trips "float-cmp" ~file:"lib/sim/fixture.ml" "trip_float_cmp.ml" ~count:3;
+  clean "float-cmp" ~file:"lib/sim/fixture.ml" "clean_float_cmp.ml";
+  (* scoped to lib/: the same source in a test file is not flagged. *)
+  clean "float-cmp" ~file:"test/fixture.ml" "trip_float_cmp.ml"
+
+let test_domain_spawn () =
+  trips "domain-spawn" ~file:"lib/core/fixture.ml" "trip_domain_spawn.ml" ~count:1;
+  clean "domain-spawn" ~file:"lib/core/fixture.ml" "clean_domain_spawn.ml";
+  (* the Pool implementation is the one sanctioned spawn site. *)
+  clean "domain-spawn" ~file:"lib/util/pool.ml" "trip_domain_spawn.ml"
+
+let test_check_raise () =
+  trips "check-raise" ~file:"lib/check/fixture.ml" "trip_check_raise.ml" ~count:3;
+  clean "check-raise" ~file:"lib/check/fixture.ml" "clean_check_raise.ml";
+  (* only lib/check is exception-free by contract. *)
+  clean "check-raise" ~file:"lib/core/fixture.ml" "trip_check_raise.ml"
+
+let test_resource_cmp () =
+  trips "resource-cmp" ~file:"lib/core/fixture.ml" "trip_resource_cmp.ml" ~count:2;
+  clean "resource-cmp" ~file:"lib/core/fixture.ml" "clean_resource_cmp.ml";
+  (* the vector module itself and tests may compare components. *)
+  clean "resource-cmp" ~file:"lib/platform/resource.ml" "trip_resource_cmp.ml";
+  clean "resource-cmp" ~file:"test/t_fixture.ml" "trip_resource_cmp.ml"
+
+(* --- determinism audit -------------------------------------------------- *)
+
+let test_det_random () =
+  trips "det-random" ~file:"lib/workload/fixture.ml" "trip_det_random.ml" ~count:3;
+  clean "det-random" ~file:"lib/workload/fixture.ml" "clean_det_random.ml";
+  clean "det-random" ~file:"lib/util/rng.ml" "trip_det_random.ml"
+
+let test_det_wallclock () =
+  (* two trips: a bare Unix.gettimeofday and a Sys.time in a function
+     body; the optional-argument default in the same function is exempt. *)
+  trips "det-wallclock" ~file:"lib/sim/fixture.ml" "trip_det_wallclock.ml" ~count:2;
+  clean "det-wallclock" ~file:"lib/sim/fixture.ml" "clean_det_wallclock.ml";
+  (* entry points and the observability layer own the real clock. *)
+  clean "det-wallclock" ~file:"bin/fixture.ml" "trip_det_wallclock.ml";
+  clean "det-wallclock" ~file:"lib/obs/fixture.ml" "trip_det_wallclock.ml"
+
+let test_clock_default_exemption () =
+  let src = "let elapsed ?(clock = Sys.time) t0 = clock () -. t0\n" in
+  let hits = by_rule "det-wallclock" (Driver.lint_string ~file:"lib/sim/x.ml" src) in
+  Alcotest.(check int) "installable-clock default is exempt" 0 (List.length hits)
+
+let test_det_hashtbl_order () =
+  trips "det-hashtbl-order" ~file:"lib/export/fixture.ml"
+    "trip_det_hashtbl_order.ml" ~count:1;
+  clean "det-hashtbl-order" ~file:"lib/export/fixture.ml"
+    "clean_det_hashtbl_order.ml"
+
+let test_domain_race () =
+  let hits =
+    by_rule "domain-race"
+      (lint_fixture ~file:"lib/experiments/fixture.ml" "trip_domain_race.ml")
+  in
+  Alcotest.(check bool) "races on captured toplevel state" true
+    (List.length hits > 0);
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool) "heuristics warn, never error" true
+        (f.Finding.severity = Finding.Warn))
+    hits;
+  clean "domain-race" ~file:"lib/experiments/fixture.ml" "clean_domain_race.ml"
+
+(* --- parse failures ----------------------------------------------------- *)
+
+let test_parse_error () =
+  match Driver.lint_string ~file:"lib/sim/broken.ml" "let = in\n" with
+  | [ f ] ->
+    Alcotest.(check string) "parse rule id" Driver.parse_rule_id f.Finding.rule;
+    Alcotest.(check bool) "parse failures are errors" true
+      (f.Finding.severity = Finding.Error)
+  | fs -> Alcotest.failf "expected one parse finding, got %d" (List.length fs)
+
+(* --- the invalid_arg ratchet -------------------------------------------- *)
+
+let test_count_invalid_arg () =
+  let src =
+    String.concat "\n"
+      [
+        "let f x = if x < 0 then invalid_arg \"x\" else x";
+        "let g h = match h () with";
+        "  | exception Invalid_argument _ -> 0";
+        "  | n -> n";
+        "let h () = raise (Invalid_argument \"h\")";
+      ]
+  in
+  Alcotest.(check (option int)) "counts calls and constructor uses" (Some 3)
+    (Driver.count_string ~file:"lib/core/x.ml" src);
+  Alcotest.(check (option int)) "unparseable counts as None" None
+    (Driver.count_string ~file:"lib/core/x.ml" "let = in")
+
+let ratchet_errors ~baseline ~counts =
+  let fs = Baseline.diff ~baseline ~counts in
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check string) "ratchet rule id" Rules.ratchet_rule_id f.Finding.rule;
+      Alcotest.(check bool) "ratchet findings are errors" true
+        (f.Finding.severity = Finding.Error))
+    fs;
+  fs
+
+let test_ratchet_exact () =
+  let b = [ ("lib/core/a.ml", 2); ("lib/core/b.ml", 0) ] in
+  Alcotest.(check int) "exact match is silent" 0
+    (List.length (ratchet_errors ~baseline:b ~counts:b))
+
+let test_ratchet_raise () =
+  match
+    ratchet_errors
+      ~baseline:[ ("lib/core/a.ml", 2) ]
+      ~counts:[ ("lib/core/a.ml", 3) ]
+  with
+  | [ f ] ->
+    Alcotest.(check string) "names the regressing file" "lib/core/a.ml"
+      f.Finding.file
+  | fs -> Alcotest.failf "expected one regression, got %d" (List.length fs)
+
+let test_ratchet_lower () =
+  match
+    ratchet_errors
+      ~baseline:[ ("lib/core/a.ml", 2) ]
+      ~counts:[ ("lib/core/a.ml", 1) ]
+  with
+  | [ f ] ->
+    Alcotest.(check bool) "demands a baseline update" true
+      (let msg = f.Finding.message in
+       let has sub =
+         let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0
+       in
+       has "baseline")
+  | fs -> Alcotest.failf "expected one stale-baseline error, got %d" (List.length fs)
+
+let test_ratchet_absent_is_zero () =
+  (* new file with occurrences: regression; file gone from counts: stale. *)
+  Alcotest.(check int) "new offender" 1
+    (List.length
+       (ratchet_errors ~baseline:[] ~counts:[ ("lib/core/new.ml", 1) ]));
+  Alcotest.(check int) "deleted offender" 1
+    (List.length
+       (ratchet_errors ~baseline:[ ("lib/core/gone.ml", 1) ] ~counts:[]))
+
+let test_baseline_roundtrip () =
+  let b = [ ("lib/core/z.ml", 4); ("lib/core/a.ml", 1) ] in
+  match Baseline.of_string (Baseline.to_string b) with
+  | Ok b' ->
+    Alcotest.(check (list (pair string int))) "sorted roundtrip"
+      (List.sort compare b) b'
+  | Error e -> Alcotest.failf "baseline failed to reparse: %s" e
+
+let test_baseline_reject () =
+  (match Baseline.of_string "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted as a baseline");
+  match Baseline.of_string "{\"schema\":\"other/1\",\"files\":{}}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+
+(* --- report plumbing and self-lint -------------------------------------- *)
+
+let test_exit_code_severity () =
+  let warn_only =
+    lint_fixture ~file:"lib/export/fixture.ml" "trip_det_hashtbl_order.ml"
+  in
+  let report =
+    { Driver.findings = warn_only; files_scanned = 1; counts = [] }
+  in
+  Alcotest.(check int) "warnings alone exit 0" 0 (Driver.exit_code report);
+  let err =
+    { Driver.findings =
+        [ Finding.make ~rule:"x" ~severity:Finding.Error ~file:"a.ml" ~line:1
+            ~col:0 "boom" ];
+      files_scanned = 1;
+      counts = [];
+    }
+  in
+  Alcotest.(check int) "errors exit 1" 1 (Driver.exit_code err)
+
+let test_report_json () =
+  let findings =
+    lint_fixture ~file:"lib/sim/fixture.ml" "trip_float_cmp.ml"
+  in
+  let report = { Driver.findings; files_scanned = 1; counts = [] } in
+  let json = Driver.to_json report in
+  let has sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report schema tagged" true (has "psched-lint/1");
+  Alcotest.(check bool) "rule ids serialized" true (has "\"float-cmp\"")
+
+let test_self_lint_lib () =
+  (* The analyzer over the project's own library sources: zero Errors.
+     dune materializes ../lib in the build tree via the source_tree dep. *)
+  let report = Driver.run (Driver.config ~root:".." ~paths:[ "lib" ] ()) in
+  Alcotest.(check bool) "scanned the library" true (report.Driver.files_scanned > 50);
+  let errs =
+    List.filter
+      (fun (f : Finding.t) -> f.Finding.severity = Finding.Error)
+      report.Driver.findings
+  in
+  (match errs with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "lib/ self-lint found %d error(s), first: %s:%d %s"
+      (List.length errs) f.Finding.file f.Finding.line f.Finding.message);
+  Alcotest.(check int) "error-free lib exits 0" 0 (Driver.exit_code report)
+
+let test_rule_docs_complete () =
+  let docs = Rules.docs () in
+  let ids = List.map (fun (id, _, _) -> id) docs in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " documented") true (List.mem id ids))
+    [
+      "export-alias"; "float-cmp"; "domain-spawn"; "check-raise";
+      "resource-cmp"; "det-random"; "det-wallclock"; "det-hashtbl-order";
+      "domain-race"; Rules.ratchet_rule_id;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "gate: export-alias" `Quick test_export_alias;
+    Alcotest.test_case "gate: float-cmp" `Quick test_float_cmp;
+    Alcotest.test_case "gate: domain-spawn" `Quick test_domain_spawn;
+    Alcotest.test_case "gate: check-raise" `Quick test_check_raise;
+    Alcotest.test_case "gate: resource-cmp" `Quick test_resource_cmp;
+    Alcotest.test_case "det: random" `Quick test_det_random;
+    Alcotest.test_case "det: wallclock" `Quick test_det_wallclock;
+    Alcotest.test_case "det: clock-default exemption" `Quick
+      test_clock_default_exemption;
+    Alcotest.test_case "det: hashtbl-order" `Quick test_det_hashtbl_order;
+    Alcotest.test_case "race: domain-race" `Quick test_domain_race;
+    Alcotest.test_case "parse error finding" `Quick test_parse_error;
+    Alcotest.test_case "ratchet: counting" `Quick test_count_invalid_arg;
+    Alcotest.test_case "ratchet: exact match" `Quick test_ratchet_exact;
+    Alcotest.test_case "ratchet: regression" `Quick test_ratchet_raise;
+    Alcotest.test_case "ratchet: stale baseline" `Quick test_ratchet_lower;
+    Alcotest.test_case "ratchet: absent is zero" `Quick test_ratchet_absent_is_zero;
+    Alcotest.test_case "baseline: roundtrip" `Quick test_baseline_roundtrip;
+    Alcotest.test_case "baseline: rejects garbage" `Quick test_baseline_reject;
+    Alcotest.test_case "report: exit codes" `Quick test_exit_code_severity;
+    Alcotest.test_case "report: json" `Quick test_report_json;
+    Alcotest.test_case "self-lint: lib has zero errors" `Quick test_self_lint_lib;
+    Alcotest.test_case "rule docs complete" `Quick test_rule_docs_complete;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("experiments", T_experiments.suite);
       ("check", T_check.suite);
       ("serve", T_serve.suite);
+      ("lint", T_lint.suite);
     ]

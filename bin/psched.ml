@@ -625,9 +625,10 @@ let bench_serve_cmd =
                is Sys.time). *)
             let obs = Psched_obs.Obs.create ~ring_capacity:16 () in
             Psched_obs.Obs.set_wall_clock obs Unix.gettimeofday;
+            let series = Psched_obs.Series.create ~interval:every () in
             let cfg =
               Serve.Daemon.config ~m ~round_every:every ~queue_cap:cap
-                ~shed:Serve.Admission.Reject ~obs ()
+                ~shed:Serve.Admission.Reject ~series ~obs ()
             in
             let arr =
               Serve.Arrivals.poisson ~procs_max ~tmin ~tmax ~m ~rate:arrival_rate
@@ -635,12 +636,12 @@ let bench_serve_cmd =
             in
             let t0 = Unix.gettimeofday () in
             let o = Serve.Daemon.run cfg arr in
-            (Unix.gettimeofday () -. t0, o))
+            (Unix.gettimeofday () -. t0, o, series))
       in
-      let walls = List.sort compare (List.map fst runs) in
+      let walls = List.sort compare (List.map (fun (w, _, _) -> w) runs) in
       let med = List.nth walls (List.length walls / 2) in
       let lo = List.hd walls and hi = List.nth walls (List.length walls - 1) in
-      let o = snd (List.hd runs) in
+      let o, series = match List.hd runs with _, o, s -> (o, s) in
       let lats = Array.to_list o.Serve.Daemon.decision_latencies in
       let p50 = Psched_util.Stats.percentile 0.50 lats in
       let p99 = Psched_util.Stats.percentile 0.99 lats in
@@ -664,6 +665,24 @@ let bench_serve_cmd =
         (match vm_hwm_mb () with
         | Some mb -> Printf.sprintf "  maxrss %.1f MB" mb
         | None -> "");
+      (* SLO verdict over the recorded series: an informational line per
+         tag — bench exit semantics stay about shedding, not SLOs. *)
+      let slo = Psched_check.Slo_rules.check ~interval:every (Psched_obs.Series.samples series) in
+      let burns =
+        List.filter
+          (fun (f : Psched_check.Finding.t) ->
+            f.Psched_check.Finding.severity = Psched_check.Finding.Error)
+          slo
+      in
+      if burns = [] then
+        Printf.printf "%-18s SLO: ok over %d sample(s)\n" tag
+          (Psched_obs.Series.taken series)
+      else
+        List.iter
+          (fun (f : Psched_check.Finding.t) ->
+            Printf.printf "%-18s SLO BURN [%s] %s\n" tag f.Psched_check.Finding.rule
+              f.Psched_check.Finding.message)
+          burns;
       (med, c.Serve.Snapshot.shed, o.Serve.Daemon.max_queue_depth, peak)
     in
     let steady_wall, _, _, _ = bench "serve steady" ~repeats ~count rate in
@@ -851,23 +870,37 @@ let trace_gantt_cmd =
       in
       let starts = Hashtbl.create 64 and finishes = Hashtbl.create 64 in
       let horizon = ref 0.0 in
+      (* Disrupted fates: killed and shed jobs straight from their
+         events, outage windows collected to mark clipped survivors. *)
+      let killed = ref [] and shed = ref [] and outages = ref [] in
       List.iter
         (fun (e : Psched_obs.Event.t) ->
           horizon := Float.max !horizon e.Psched_obs.Event.sim_time;
           let p = e.Psched_obs.Event.payload in
           match e.Psched_obs.Event.kind with
-          | "job.start" -> (
+          | "job.start" | "serve.decide" -> (
             match (int p "job", num p "start", int p "procs") with
             | Some j, Some s, Some k ->
               Hashtbl.replace starts j (s, k);
               horizon := Float.max !horizon s
             | _ -> ())
-          | "job.complete" -> (
+          | "job.complete" | "serve.complete" -> (
             match (int p "job", num p "finish") with
             | Some j, Some f ->
               Hashtbl.replace finishes j f;
               horizon := Float.max !horizon f
             | _ -> ())
+          | "fault.kill" -> (
+            match int p "job" with Some j -> killed := j :: !killed | None -> ())
+          | "serve.shed" -> (
+            match int p "job" with Some j -> shed := j :: !shed | None -> ())
+          | "outage.down" -> (
+            let start =
+              Option.value ~default:e.Psched_obs.Event.sim_time (num p "start")
+            in
+            match num p "duration" with
+            | Some d -> outages := (start, start +. d) :: !outages
+            | None -> ())
           | _ -> ())
         events;
       if Hashtbl.length starts = 0 then begin
@@ -909,13 +942,33 @@ let trace_gantt_cmd =
           peak
       in
       let sched = Schedule.make ~m entries in
+      let killed = List.sort_uniq compare !killed in
+      let clipped =
+        (* Survivors overlapping an outage window; a kill outranks. *)
+        List.filter_map
+          (fun (e : Schedule.entry) ->
+            if List.mem e.Schedule.job_id killed then None
+            else if
+              List.exists
+                (fun (o0, o1) -> e.Schedule.start < o1 && Schedule.completion e > o0)
+                !outages
+            then Some e.Schedule.job_id
+            else None)
+          entries
+        |> List.sort_uniq compare
+      in
+      let marks =
+        List.map (fun j -> (j, Gantt.Killed)) killed
+        @ List.map (fun j -> (j, Gantt.Clipped)) clipped
+        @ List.map (fun j -> (j, Gantt.Shed)) (List.sort_uniq compare !shed)
+      in
       match svg with
       | Some out ->
         let oc = open_out out in
-        output_string oc (Gantt.render_svg ~width sched);
+        output_string oc (Gantt.render_svg ~width ~marks sched);
         close_out oc;
         Printf.printf "wrote %s (%d jobs, %d lanes)\n" out (List.length entries) m
-      | None -> print_string (Gantt.render ~max_rows:(min m 32) sched)
+      | None -> print_string (Gantt.render ~max_rows:(min m 32) ~marks sched)
   in
   let file =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Saved JSONL trace.")
@@ -1178,7 +1231,7 @@ let serve_run_cmd =
   in
   let run policy m rate count seed swf burst batch round_every cap shed deadline latency_high
       latency_low wal sync snapshot snapshot_every fault_rate fault_mean fault_horizon port
-      throttle duration recover =
+      throttle duration recover series_every series_out =
     let mode =
       if policy = "greedy" then Serve.Daemon.Greedy else Serve.Daemon.Registry policy
     in
@@ -1228,10 +1281,22 @@ let serve_run_cmd =
     in
     let obs = Psched_obs.Obs.create () in
     Psched_obs.Obs.set_wall_clock obs Unix.gettimeofday;
+    let series =
+      if series_every <= 0.0 then None
+      else Some (Psched_obs.Series.create ~interval:series_every ())
+    in
+    let series_sink =
+      match (series, series_out) with
+      | Some s, Some f ->
+        let oc = open_out f in
+        Psched_obs.Series.attach_sink s oc;
+        Some (f, oc)
+      | _ -> None
+    in
     let cfg =
       Serve.Daemon.config ~m ~mode ~batch ~round_every ~queue_cap:cap ~shed
         ~deadline:(if deadline > 0.0 then deadline else infinity)
-        ~latency_high ~latency_low ?wal ~wal_sync:sync ?snapshot ~snapshot_every ~obs ()
+        ~latency_high ~latency_low ?wal ~wal_sync:sync ?snapshot ~snapshot_every ?series ~obs ()
     in
     let state =
       if not recover then None
@@ -1262,9 +1327,11 @@ let serve_run_cmd =
       match port with
       | None -> None
       | Some p -> (
-        match Serve.Http.start ~port:p obs with
+        let provider = Option.map (fun s () -> Psched_obs.Series.to_jsonl s) series in
+        match Serve.Http.start ~port:p ?series:provider obs with
         | Ok h ->
-          Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!" (Serve.Http.port h);
+          Printf.printf "metrics on http://127.0.0.1:%d/metrics%s\n%!" (Serve.Http.port h)
+            (if provider = None then "" else " (+ /series)");
           Some h
         | Error e ->
           Printf.eprintf "http: %s\n" e;
@@ -1282,9 +1349,19 @@ let serve_run_cmd =
       if throttle > 0.0 then Unix.sleepf throttle;
       if !stop || Unix.gettimeofday () > wall_deadline then raise Exit
     in
+    let finish_series () =
+      (match series with
+      | Some s ->
+        Printf.printf "series: %d sample(s) every %gs%s\n" (Psched_obs.Series.taken s)
+          (Psched_obs.Series.interval s)
+          (match series_sink with Some (f, _) -> "  -> " ^ f | None -> "")
+      | None -> ());
+      match series_sink with Some (_, oc) -> close_out oc | None -> ()
+    in
     match Serve.Daemon.run ?state ~outages ~tick cfg arrivals with
     | exception Exit ->
       (match http with Some h -> Serve.Http.stop h | None -> ());
+      finish_series ();
       Printf.printf
         "stopped (%s); every decision is in the WAL — rerun with --recover to resume\n"
         (if !stop then "signal" else "--duration elapsed")
@@ -1319,7 +1396,8 @@ let serve_run_cmd =
         Serve.Http.poll h;
         Printf.printf "http requests served %d\n" (Serve.Http.served h);
         Serve.Http.stop h
-      | None -> ())
+      | None -> ());
+      finish_series ()
   in
   let policy =
     Arg.(value & opt string "greedy"
@@ -1408,6 +1486,17 @@ let serve_run_cmd =
     Arg.(value & flag
          & info [ "recover" ] ~doc:"Recover state from --wal (and --snapshot) before serving.")
   in
+  let series_every =
+    Arg.(value & opt float 1.0
+         & info [ "series-every" ]
+             ~doc:"Metrics time-series sampling interval (virtual s); 0 = off.  Served at \
+                   /series when --port is given.")
+  in
+  let series_out =
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE"
+             ~doc:"Stream the psched-series/1 JSONL to this file as samples are taken.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -1417,12 +1506,12 @@ let serve_run_cmd =
     Term.(const run $ policy $ m $ rate $ count $ seed $ swf $ burst $ batch $ round_every
           $ cap $ shed $ deadline $ latency_high $ latency_low $ wal $ sync $ snapshot
           $ snapshot_every $ fault_rate $ fault_mean $ fault_horizon $ port $ throttle
-          $ duration $ recover)
+          $ duration $ recover $ series_every $ series_out)
 
 let serve_verify_cmd =
   let module Serve = Psched_serve in
   let module Check = Psched_check in
-  let run wal m complete verbose =
+  let run wal m complete verbose series =
     match Serve.Wal.replay wal with
     | Error e ->
       Printf.eprintf "%s: %s\n" wal e;
@@ -1433,7 +1522,23 @@ let serve_verify_cmd =
         Printf.printf "torn tail at line %d (byte %d): %s — dropped\n" t.Serve.Wal.line
           t.Serve.Wal.offset t.Serve.Wal.reason
       | None -> ());
-      let findings = Check.Serve_rules.check ~complete entries in
+      let slo_findings =
+        match series with
+        | None -> []
+        | Some file -> (
+          let contents =
+            let ic = open_in_bin file in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Psched_obs.Series.of_jsonl_string contents with
+          | Error e ->
+            Printf.eprintf "%s: %s\n" file e;
+            exit 1
+          | Ok (interval, samples) -> Check.Slo_rules.check ~interval samples)
+      in
+      let findings = Check.Serve_rules.check ~complete entries @ slo_findings in
       let errors = Check.Finding.count Check.Finding.Error findings in
       let warns = Check.Finding.count Check.Finding.Warn findings in
       List.iter
@@ -1462,13 +1567,20 @@ let serve_verify_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print Info findings too.")
   in
+  let series =
+    Arg.(value & opt (some string) None
+         & info [ "series" ] ~docv:"FILE"
+             ~doc:"Also check a recorded psched-series/1 JSONL against the SLO burn-rate \
+                   rules (wait, goodput, queue).")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Audit a serve WAL: monotone sequencing, job conservation (no admitted job lost or \
-          decided twice), and the schedule rebuilt straight from the log.  Exits 1 on any \
-          error.")
-    Term.(const run $ wal $ m $ complete $ verbose)
+          decided twice), and the schedule rebuilt straight from the log.  With --series, \
+          multiwindow SLO burn-rate rules run over the recorded metrics too.  Exits 1 on \
+          any error.")
+    Term.(const run $ wal $ m $ complete $ verbose $ series)
 
 let serve_cmd =
   Cmd.group
@@ -1641,10 +1753,225 @@ let check_cmd =
     Term.(const run $ all $ policy_arg $ workload $ n_arg $ m_arg $ seed_arg $ rate_arg $ trace
           $ json $ verbose $ list_rules $ jobs_arg)
 
+(* ------------------------------------------------------------- explain *)
+
+let explain_cmd =
+  let module P = Psched_obs.Provenance in
+  let run trace wal job all json partial =
+    let events =
+      match (trace, wal) with
+      | Some file, None -> (
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "%s: no such file\n" file;
+          exit 1
+        end;
+        match Psched_obs.Trace.events_of_file file with
+        | Error { Psched_obs.Trace.line; reason } ->
+          Printf.eprintf "%s:%d: %s\n" file line reason;
+          exit 1
+        | Ok events -> events)
+      | None, Some w -> (
+        match Psched_serve.Wal.replay w with
+        | Error e ->
+          Printf.eprintf "%s: %s\n" w e;
+          exit 1
+        | Ok (entries, torn) ->
+          (match torn with
+          | Some t ->
+            Printf.eprintf "%s: torn tail at byte %d (%s) — dropped\n" w
+              t.Psched_serve.Wal.offset t.Psched_serve.Wal.reason
+          | None -> ());
+          Psched_serve.Explain.events_of_wal entries)
+      | Some _, Some _ ->
+        Printf.eprintf "give either a TRACE file or --wal, not both\n";
+        exit 2
+      | None, None ->
+        Printf.eprintf "give a saved TRACE file or --wal FILE\n";
+        exit 2
+    in
+    let timelines = P.of_events events in
+    let complete = not partial in
+    (* Traces whose dialect never records completions (planning-only
+       policies, live scrapes) terminate at Placed. *)
+    let terminal_placed =
+      not
+        (List.exists
+           (fun (e : Psched_obs.Event.t) ->
+             e.Psched_obs.Event.kind = "job.complete"
+             || e.Psched_obs.Event.kind = "serve.complete")
+           events)
+    in
+    match job with
+    | Some id -> (
+      match P.find id timelines with
+      | None ->
+        Printf.eprintf "job %d does not appear in the trace\n" id;
+        exit 1
+      | Some tl -> print_string (if json then P.to_json tl ^ "\n" else P.to_text tl))
+    | None ->
+      if all then begin
+        List.iter
+          (fun tl -> print_string (if json then P.to_json tl ^ "\n" else P.to_text tl))
+          timelines;
+        if not json then print_string (P.summary ~complete ~terminal_placed timelines);
+        if P.unexplained ~complete ~terminal_placed timelines <> [] then exit 1
+      end
+      else print_string (P.summary ~complete ~terminal_placed timelines)
+  in
+  let trace =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"TRACE" ~doc:"Saved JSONL trace to explain.")
+  in
+  let wal =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE"
+             ~doc:"Explain a serve write-ahead log instead of a trace.")
+  in
+  let job =
+    Arg.(value & opt (some int) None
+         & info [ "job" ] ~docv:"N" ~doc:"Print the causal timeline of one job.")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Print every timeline and exit 1 if any job lacks a complete, \
+                   contradiction-free one.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSONL instead of text.") in
+  let partial =
+    Arg.(value & flag
+         & info [ "partial" ]
+             ~doc:"The trace is a prefix: jobs without a terminal outcome are not errors.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct per-job causal timelines (arrival, admission, rounds considered, \
+          placement or shed, completion or kill) from a saved trace or a serve WAL, with \
+          every candidate hole considered and every rejection reason.")
+    Term.(const run $ trace $ wal $ job $ all $ json $ partial)
+
+(* ----------------------------------------------------------------- top *)
+
+let top_cmd =
+  let http_get ~port path =
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | sock -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+            ignore (Unix.write_substring sock req 0 (String.length req));
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 4096 in
+            let rec read_all () =
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_all ()
+            in
+            read_all ();
+            Buffer.contents buf)
+      with
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | raw -> (
+        (* Split the HTTP head off; the daemon always answers 1.0 with
+           a blank line before the body. *)
+        let sep = "\r\n\r\n" in
+        let rec find i =
+          if i + 4 > String.length raw then None
+          else if String.sub raw i 4 = sep then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i ->
+          let status = try List.nth (String.split_on_char ' ' raw) 1 with _ -> "?" in
+          Ok (status, String.sub raw (i + 4) (String.length raw - i - 4))
+        | None -> Error "malformed HTTP response"))
+  in
+  let gauge_of metrics name =
+    (* psched_gauge{name="..."} V *)
+    let needle = Printf.sprintf "psched_gauge{name=\"%s\"} " name in
+    List.find_map
+      (fun line ->
+        if String.length line > String.length needle
+           && String.sub line 0 (String.length needle) = needle
+        then
+          float_of_string_opt
+            (String.sub line (String.length needle)
+               (String.length line - String.length needle))
+        else None)
+      (String.split_on_char '\n' metrics)
+  in
+  let scrape port width =
+    match http_get ~port "/metrics" with
+    | Error e ->
+      Printf.eprintf "127.0.0.1:%d: %s (is psched serve run --port live?)\n" port e;
+      exit 1
+    | Ok (_, metrics) ->
+      let show name label =
+        match gauge_of metrics name with
+        | Some v -> Printf.printf "%-12s %g   " label v
+        | None -> ()
+      in
+      show "serve.queue_depth" "queue";
+      show "serve.deferred" "deferred";
+      show "serve.live" "live";
+      show "serve.degraded" "degraded";
+      print_newline ();
+      (match http_get ~port "/series" with
+      | Ok ("200", body) -> (
+        match Psched_obs.Series.of_jsonl_string body with
+        | Ok (interval, samples) ->
+          Printf.printf "series: %d sample(s), every %gs\n%s" (List.length samples) interval
+            (Psched_obs.Series.render ~width samples)
+        | Error e -> Printf.printf "series: %s\n" e)
+      | Ok (status, _) -> Printf.printf "series: endpoint answered %s (daemon run without --series?)\n" status
+      | Error e -> Printf.printf "series: %s\n" e);
+      flush stdout
+  in
+  let run port watch width =
+    if watch <= 0.0 then scrape port width
+    else begin
+      (* Refresh loop: clear, redraw, sleep; ^C exits. *)
+      let stop = ref false in
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true)))
+        [ Sys.sigterm; Sys.sigint ];
+      while not !stop do
+        print_string "\027[2J\027[H";
+        scrape port width;
+        Unix.sleepf watch
+      done
+    end
+  in
+  let port =
+    Arg.(required & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"The daemon's --port (serving /metrics and /series).")
+  in
+  let watch =
+    Arg.(value & opt float 0.0
+         & info [ "watch" ] ~docv:"SECS" ~doc:"Refresh every SECS seconds; 0 = one shot.")
+  in
+  let width =
+    Arg.(value & opt int 60 & info [ "width" ] ~doc:"Sparkline width in samples.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live serve observatory: scrape a running daemon's /metrics and /series endpoints \
+          and render queue depth, utilisation, goodput, shed counts and decision-latency \
+          quantiles as ASCII sparklines.")
+    Term.(const run $ port $ watch $ width)
+
 let main =
   Cmd.group
     (Cmd.info "psched" ~version:"1.0.0"
        ~doc:"Scheduling policies for large scale platforms (Dutot et al., IPDPS'04 reproduction).")
-    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; serve_cmd; check_cmd; lint_cmd ]
+    [ fig2_cmd; tables_cmd; ablations_cmd; platform_cmd; simulate_cmd; profile_cmd; bench_cmd; policies_cmd; trace_cmd; dlt_cmd; workload_cmd; gantt_cmd; grid_cmd; resilience_cmd; fault_cmd; serve_cmd; check_cmd; lint_cmd; explain_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -15,7 +15,8 @@ type run = {
 let rules () = Certificates.rules @ Structural.rules @ Trace_rules.rules
 
 let rule_docs () =
-  List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.doc)) (rules ()) @ Serve_rules.rule_docs
+  List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.doc)) (rules ())
+  @ Serve_rules.rule_docs @ Slo_rules.rule_docs
 
 let default_reservations ~m =
   let quarter = max 1 (m / 4) in

@@ -1,0 +1,121 @@
+module E = Psched_obs.Event
+module Series = Psched_obs.Series
+
+(* SRE-style multiwindow burn-rate alerting over a recorded
+   [psched-series/1] time series.  An objective classifies each sample
+   good or bad and grants an error budget (the allowed bad fraction);
+   the burn rate is (observed bad fraction) / budget over a window.
+   An alert fires only when BOTH the fast and the slow window burn
+   above their thresholds — the fast window catches the onset quickly,
+   the slow window keeps one transient spike from paging.  Raise-free
+   like every other rule family. *)
+
+type objective = {
+  id : string;  (* finding rule id, "slo." ^ id *)
+  doc : string;
+  good : Series.sample -> bool;
+  budget : float;  (* allowed bad fraction of samples, in (0,1) *)
+  fast_window : int;  (* samples *)
+  slow_window : int;
+  fast_burn : float;  (* burn-rate thresholds, > 1 *)
+  slow_burn : float;
+}
+
+let objective ~id ~doc ?(budget = 0.05) ?(fast_window = 5) ?(slow_window = 30)
+    ?(fast_burn = 14.4) ?(slow_burn = 6.0) good =
+  {
+    id;
+    doc;
+    good;
+    budget = Float.min 1.0 (Float.max 1e-9 budget);
+    fast_window = max 1 fast_window;
+    slow_window = max 1 slow_window;
+    fast_burn;
+    slow_burn;
+  }
+
+let wait_bound ?(p99 = 1.0) () =
+  objective ~id:"wait" ~budget:0.05
+    ~doc:
+      (Printf.sprintf
+         "wait-time objective: p99 decision latency stays under %gs, multiwindow burn rate" p99)
+    (fun s -> s.Series.lat_p99 <= p99)
+
+let goodput_floor ?(floor = 0.5) () =
+  objective ~id:"goodput" ~budget:0.10
+    ~doc:
+      (Printf.sprintf
+         "goodput objective: useful-work share stays above %g, multiwindow burn rate" floor)
+    (fun s -> s.Series.goodput >= floor)
+
+let queue_bound ?(depth = 64) () =
+  objective ~id:"queue" ~budget:0.10
+    ~doc:
+      (Printf.sprintf
+         "backlog objective: queue depth stays under %d, multiwindow burn rate" depth)
+    (fun s -> s.Series.queue_depth <= depth)
+
+let defaults = [ wait_bound (); goodput_floor (); queue_bound () ]
+
+(* Bad fraction over the trailing [window] samples ending at [i],
+   divided by the budget. *)
+let burn_at ~good ~budget ~window samples i =
+  let lo = max 0 (i - window + 1) in
+  let bad = ref 0 in
+  for k = lo to i do
+    if not (good samples.(k)) then incr bad
+  done;
+  float_of_int !bad /. float_of_int (i - lo + 1) /. budget
+
+let check_objective ~interval samples (o : objective) =
+  let rule = "slo." ^ o.id in
+  let n = Array.length samples in
+  if n = 0 then
+    [ Finding.info ~rule "no samples recorded; objective not evaluated" ]
+  else begin
+    let first_alert = ref None in
+    let alerts = ref 0 in
+    let peak = ref 0.0 in
+    let bad_total = ref 0 in
+    for i = 0 to n - 1 do
+      if not (o.good samples.(i)) then incr bad_total;
+      let fast = burn_at ~good:o.good ~budget:o.budget ~window:o.fast_window samples i in
+      let slow = burn_at ~good:o.good ~budget:o.budget ~window:o.slow_window samples i in
+      if fast >= o.fast_burn && slow >= o.slow_burn then begin
+        incr alerts;
+        peak := Float.max !peak (Float.min fast slow);
+        if !first_alert = None then first_alert := Some samples.(i).Series.t
+      end
+    done;
+    let bad_frac = float_of_int !bad_total /. float_of_int n in
+    match !first_alert with
+    | Some at ->
+      [
+        Finding.error ~rule
+          ~data:
+            [ ("at", E.Float at); ("alerts", E.Int !alerts); ("burn", E.Float !peak);
+              ("bad_fraction", E.Float bad_frac); ("interval", E.Float interval) ]
+          (Printf.sprintf
+             "burn-rate alert: fast(%d-sample) and slow(%d-sample) windows both exceed \
+              thresholds at t=%g (%d alerting sample(s), peak burn %.1fx budget)"
+             o.fast_window o.slow_window at !alerts !peak);
+      ]
+    | None ->
+      if bad_frac > o.budget then
+        [
+          Finding.warn ~rule
+            ~data:[ ("bad_fraction", E.Float bad_frac); ("budget", E.Float o.budget) ]
+            (Printf.sprintf
+               "error budget exhausted slowly: %.1f%% bad samples against a %.1f%% budget, \
+                but no window ever burned fast enough to page"
+               (100.0 *. bad_frac) (100.0 *. o.budget));
+        ]
+      else []
+  end
+
+let check ?(objectives = defaults) ~interval samples =
+  let arr = Array.of_list samples in
+  List.concat_map (check_objective ~interval arr) objectives
+
+let rule_docs =
+  List.map (fun o -> ("slo." ^ o.id, o.doc)) defaults

@@ -235,7 +235,45 @@ let bisim =
       in
       forward @ backward @ completions)
 
-let rules = [ vocab; clock; spans; job_machine; counters; bisim ]
+let provenance =
+  let module P = Psched_obs.Provenance in
+  Rule.make ~id:"trace.provenance"
+    ~doc:
+      "Every job referenced by the trace resolves to a complete, contradiction-free causal \
+       timeline"
+    ~applies:(fun i ->
+      List.exists
+        (fun k -> has_kind k i.events)
+        [ "job.start"; "job.complete"; "serve.admit"; "serve.decide" ])
+    (fun i ->
+      let timelines = P.of_events i.events in
+      (* A dialect that never records completions (EASY's planning
+         trace, a live scrape) terminates at Placed; one that does must
+         resolve every placement. *)
+      let terminal_placed =
+        not (has_kind "job.complete" i.events || has_kind "serve.complete" i.events)
+      in
+      List.concat_map
+        (fun (tl : P.timeline) ->
+          let contra =
+            List.map
+              (fun msg -> err ~data:[ ("job", E.Int tl.P.job) ] "job %d: %s" tl.P.job msg)
+              tl.P.contradictions
+          in
+          if
+            tl.P.contradictions = []
+            && not (P.explained ~complete:i.complete_trace ~terminal_placed tl)
+          then
+            [
+              err
+                ~data:[ ("job", E.Int tl.P.job) ]
+                "job %d has no terminal outcome: timeline stuck at %s" tl.P.job
+                (P.outcome_str tl.P.outcome);
+            ]
+          else contra)
+        timelines)
+
+let rules = [ vocab; clock; spans; job_machine; counters; bisim; provenance ]
 
 let check_events ?(complete = true) events =
   let input =

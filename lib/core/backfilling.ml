@@ -2,8 +2,8 @@ open Psched_workload
 open Psched_sim
 module Obs = Psched_obs.Obs
 
-let conservative ?(reservations = []) ~m allocated =
-  Packing.list_schedule ~reservations ~m allocated
+let conservative ?obs ?(reservations = []) ~m allocated =
+  Packing.list_schedule ?obs ~reservations ~m allocated
 
 module Make (P : Profile_intf.S) = struct
   let seed_reservations ~m reservations =
@@ -57,7 +57,8 @@ module Make (P : Profile_intf.S) = struct
     in
     let rec drain_head now =
       match !queue with
-      | head :: rest when starts_now now head ->
+      | (((hjob : Job.t), _) as head) :: rest when starts_now now head ->
+        if Obs.enabled obs then Obs.prov_choice obs ~job:hjob.Job.id ~chosen:"head";
         start_job now head;
         queue := rest;
         drain_head now
@@ -72,11 +73,14 @@ module Make (P : Profile_intf.S) = struct
         let hdur = Job.time_on hjob hprocs in
         let hstart = P.find_start profile ~earliest:now ~duration:hdur ~procs:hprocs in
         if hdur > 0.0 then P.reserve profile ~start:hstart ~duration:hdur ~procs:hprocs;
+        if Obs.enabled obs then
+          Obs.prov_reserve obs ~job:hjob.Job.id ~start:hstart ~procs:hprocs;
         let kept =
           List.filter
             (fun ((job : Job.t), procs) ->
               if starts_now now (job, procs) then begin
                 if Obs.enabled obs then begin
+                  Obs.prov_choice obs ~job:job.Job.id ~chosen:"backfill";
                   Obs.backfill_fill obs ~job:job.Job.id ~start:now ~procs;
                   Obs.Counter.incr obs "backfill/filled"
                 end;
@@ -95,6 +99,7 @@ module Make (P : Profile_intf.S) = struct
                     | exception Not_found -> infinity
                   in
                   Obs.backfill_hole obs ~job:job.Job.id ~start:at ~procs;
+                  Obs.prov_reject obs ~job:job.Job.id ~reason:"would_delay_head";
                   Obs.Counter.incr obs "backfill/hole_probes"
                 end;
                 true

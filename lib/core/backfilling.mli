@@ -11,10 +11,13 @@
       head's reservation.  Implemented as an event-driven simulation. *)
 
 val conservative :
+  ?obs:Psched_obs.Obs.t ->
   ?reservations:Psched_platform.Reservation.t list ->
   m:int ->
   Packing.allocated list ->
   Psched_sim.Schedule.t
+(** With an enabled [obs], each placement emits a [prov.consider]
+    decision-provenance event (via {!Packing.place}). *)
 
 val easy :
   ?obs:Psched_obs.Obs.t ->

@@ -34,6 +34,9 @@ let run ?(obs = Obs.null) ~offline ~m jobs =
       in
       if Obs.enabled obs then begin
         Obs.batch_flush obs ~start:!clock ~jobs:(List.length batch) ~deadline:None;
+        List.iter
+          (fun (j : Job.t) -> Obs.prov_choice obs ~job:j.id ~chosen:"batch")
+          batch;
         Obs.Counter.incr obs "batch/flushes";
         Obs.Counter.add obs "batch/jobs" (float_of_int (List.length batch))
       end;

@@ -245,11 +245,16 @@ module Make (P : Profile_intf.S) = struct
             let g1 = entry.key.(2 * i) in
             let duration = Alloc_cache.time_on cache g1 in
             P.reserve profile ~start:0.0 ~duration ~procs:g1;
+            if Obs.enabled obs then
+              Obs.prov_choice obs ~job:(Alloc_cache.job cache).Job.id ~chosen:"shelf1";
             entries := Schedule.entry ~job:(Alloc_cache.job cache) ~start:0.0 ~procs:g1 () :: !entries
           end
-          else
+          else begin
             (* Not in shelf 1, so the short allocation existed. *)
-            shelf2 := (cache, entry.key.((2 * i) + 1)) :: !shelf2)
+            if Obs.enabled obs then
+              Obs.prov_choice obs ~job:(Alloc_cache.job cache).Job.id ~chosen:"shelf2";
+            shelf2 := (cache, entry.key.((2 * i) + 1)) :: !shelf2
+          end)
         caches;
       let by_longest (a, ka) (b, kb) =
         compare
@@ -261,6 +266,8 @@ module Make (P : Profile_intf.S) = struct
         (fun (cache, procs) ->
           let duration = Alloc_cache.time_on cache procs in
           let start = P.place profile ~earliest:0.0 ~duration ~procs in
+          if Obs.enabled obs then
+            Obs.prov_consider obs ~job:(Alloc_cache.job cache).Job.id ~start ~procs;
           entries := Schedule.entry ~job:(Alloc_cache.job cache) ~start ~procs () :: !entries)
         sorted2;
       let s = Schedule.make ~m !entries in

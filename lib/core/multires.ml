@@ -86,7 +86,8 @@ let easy ?(obs = Obs.null) ?(reservations = []) ~cap allocated =
   in
   let rec drain_head now =
     match !queue with
-    | head :: rest when starts_now now head ->
+    | (((hjob : Job.t), _) as head) :: rest when starts_now now head ->
+      if Obs.enabled obs then Obs.prov_choice obs ~job:hjob.Job.id ~chosen:"head";
       start_job now head;
       queue := rest;
       drain_head now
@@ -104,11 +105,13 @@ let easy ?(obs = Obs.null) ?(reservations = []) ~cap allocated =
       let hdur = Job.time_on hjob hprocs in
       let hstart = Rprofile.find_start profile ~earliest:now ~duration:hdur ~req:hreq in
       if hdur > 0.0 then Rprofile.reserve profile ~start:hstart ~duration:hdur ~req:hreq;
+      if Obs.enabled obs then Obs.prov_reserve obs ~job:hjob.Job.id ~start:hstart ~procs:hprocs;
       let kept =
         List.filter
           (fun ((job : Job.t), procs) ->
             if starts_now now (job, procs) then begin
               if Obs.enabled obs then begin
+                Obs.prov_choice obs ~job:job.Job.id ~chosen:"backfill";
                 Obs.backfill_fill obs ~job:job.Job.id ~start:now ~procs;
                 Obs.Counter.incr obs "backfill/filled"
               end;
@@ -127,6 +130,7 @@ let easy ?(obs = Obs.null) ?(reservations = []) ~cap allocated =
                   | exception Not_found -> infinity
                 in
                 Obs.backfill_hole obs ~job:job.Job.id ~start:at ~procs;
+                Obs.prov_reject obs ~job:job.Job.id ~reason:"would_delay_head";
                 Obs.Counter.incr obs "backfill/hole_probes"
               end;
               true

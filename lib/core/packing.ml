@@ -1,5 +1,6 @@
 open Psched_workload
 open Psched_sim
+module Obs = Psched_obs.Obs
 
 type allocated = Job.t * int
 
@@ -11,7 +12,7 @@ let allocate_rigid (job : Job.t) =
     invalid_arg "Packing.allocate_rigid: divisible jobs are handled by the DLT layer"
   | Job.Multiparam _ -> (job, 1)
 
-let place ?profile ?(earliest = 0.0) ~m allocated =
+let place ?(obs = Obs.null) ?profile ?(earliest = 0.0) ~m allocated =
   let profile = match profile with Some p -> p | None -> Profile.create m in
   let place_one ((job : Job.t), procs) =
     if procs > m then
@@ -21,6 +22,7 @@ let place ?profile ?(earliest = 0.0) ~m allocated =
     let start =
       Profile.place profile ~earliest:(Float.max job.release earliest) ~duration ~procs
     in
+    if Obs.enabled obs then Obs.prov_consider obs ~job:job.id ~start ~procs;
     Schedule.entry ~job ~start ~procs ()
   in
   List.map place_one allocated
@@ -34,12 +36,12 @@ let largest_area_first ((a : Job.t), ka) ((b : Job.t), kb) =
 let longest_time_first ((a : Job.t), ka) ((b : Job.t), kb) =
   compare (Job.time_on b kb, a.id) (Job.time_on a ka, b.id)
 
-let list_schedule ?(order = fcfs) ?(reservations = []) ~m allocated =
+let list_schedule ?(obs = Obs.null) ?(order = fcfs) ?(reservations = []) ~m allocated =
   let profile = Profile.create m in
   List.iter
     (fun (r : Psched_platform.Reservation.t) ->
       Profile.reserve profile ~start:r.start ~duration:r.duration ~procs:r.procs)
     reservations;
   let sorted = List.sort order allocated in
-  let entries = place ~profile ~m sorted in
+  let entries = place ~obs ~profile ~m sorted in
   Schedule.make ~m entries

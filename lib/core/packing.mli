@@ -18,6 +18,7 @@ val allocate_rigid : Job.t -> allocated
     through the DLT layer). *)
 
 val place :
+  ?obs:Psched_obs.Obs.t ->
   ?profile:Psched_sim.Profile.t ->
   ?earliest:float ->
   m:int ->
@@ -26,10 +27,12 @@ val place :
 (** Place jobs in list order on [profile] (fresh [m]-processor profile
     if omitted; the profile is mutated so callers can chain batches).
     [earliest] floors every start date (default 0).  Each job starts at
-    the earliest feasible date >= max(release, earliest).
+    the earliest feasible date >= max(release, earliest).  With [obs],
+    every placement emits a [prov.consider] decision-provenance event.
     @raise Invalid_argument if a job requires more than [m] processors. *)
 
 val list_schedule :
+  ?obs:Psched_obs.Obs.t ->
   ?order:(allocated -> allocated -> int) ->
   ?reservations:Psched_platform.Reservation.t list ->
   m:int ->

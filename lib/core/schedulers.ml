@@ -153,7 +153,7 @@ let registry : (module I.S) list =
            Multires.easy ~obs:ctx.obs ~reservations:ctx.reservations ~cap:ctx.cap tasks));
     make "conservative" "conservative backfilling: every queued job holds a reservation"
       (rigid_online ~policy:"conservative" (fun ctx tasks ->
-           Backfilling.conservative ~reservations:ctx.reservations ~m:ctx.m tasks));
+           Backfilling.conservative ~obs:ctx.obs ~reservations:ctx.reservations ~m:ctx.m tasks));
     make "fcfs" "first-come first-served queue order, list placement"
       (rigid_online ~policy:"fcfs" (fun ctx tasks ->
            Queue_policies.schedule Queue_policies.Fcfs ~m:ctx.m tasks));

@@ -47,14 +47,22 @@ let schedule ?(obs = Obs.null) ?base ~m tasks =
       let rec fit = function
         | [] ->
           let height = base *. Float.pow 2.0 (float_of_int c) in
+          if Obs.enabled obs then Obs.prov_choice obs ~job:j.Job.id ~chosen:"new_shelf";
           shelves := !shelves @ [ { height; used = k; tasks = [ (j, k) ]; weight = j.weight } ]
         | s :: rest ->
           if s.used + k <= m then begin
+            if Obs.enabled obs then begin
+              Obs.prov_consider obs ~job:j.Job.id ~start:0.0 ~procs:k;
+              Obs.prov_choice obs ~job:j.Job.id ~chosen:"shelf_fit"
+            end;
             s.used <- s.used + k;
             s.tasks <- (j, k) :: s.tasks;
             s.weight <- s.weight +. j.weight
           end
-          else fit rest
+          else begin
+            if Obs.enabled obs then Obs.prov_reject obs ~job:j.Job.id ~reason:"shelf_full";
+            fit rest
+          end
       in
       fit !shelves
     in

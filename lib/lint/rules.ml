@@ -343,6 +343,48 @@ let det_wallclock =
         !acc);
   }
 
+(* --------------------------------- determinism audit: series recorder *)
+
+(* lib/obs is exempt from det-wallclock (the trace layer owns the wall
+   clock), but the series recorder must NOT inherit that licence: its
+   timestamps come from whatever clock the caller passes to [tick], so
+   recorded series replay deterministically.  This rule closes the
+   carve-out for that one file. *)
+let det_series =
+  {
+    id = "det-series";
+    doc =
+      "the metrics time-series recorder takes its timestamps from the caller's clock; a \
+       wall-clock read inside lib/obs/series.ml would make recorded series nondeterministic";
+    severity = Finding.Error;
+    in_scope = (fun file -> file = "lib/obs/series.ml");
+    check =
+      (fun ctx str ->
+        let acc = ref [] in
+        let super = Ast_iterator.default_iterator in
+        let it =
+          {
+            super with
+            expr =
+              (fun it e ->
+                match e.pexp_desc with
+                | Pexp_fun (Asttypes.Optional _, Some default, pat, body)
+                  when is_clock_ident default ->
+                  it.Ast_iterator.pat it pat;
+                  it.Ast_iterator.expr it body
+                | _ when is_clock_ident e ->
+                  acc :=
+                    finding ctx ~rule:"det-series" ~severity:Finding.Error e.pexp_loc
+                      "wall-clock read inside the series recorder (timestamps must come \
+                       from the clock the caller passes to tick)"
+                    :: !acc
+                | _ -> super.expr it e);
+          }
+        in
+        it.structure it str;
+        !acc);
+  }
+
 (* ----------------------------- determinism audit: Hashtbl iteration order *)
 
 let hashtbl_iter_suffixes = [ [ "Hashtbl"; "iter" ]; [ "Hashtbl"; "fold" ] ]
@@ -532,6 +574,7 @@ let all =
     resource_cmp;
     det_random;
     det_wallclock;
+    det_series;
     det_hashtbl_order;
     domain_race;
   ]

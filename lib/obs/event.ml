@@ -50,6 +50,14 @@ let vocabulary =
     "serve.shed";
     "serve.degrade";
     "serve.recover";
+    "serve.complete";
+    "serve.deadline";
+    "serve.breaker";
+    (* decision provenance: why a candidate placement was taken or not *)
+    "prov.consider";
+    "prov.reject";
+    "prov.choice";
+    "prov.reserve";
   ]
 
 let known kind = List.mem kind vocabulary
@@ -164,7 +172,7 @@ let kind_of_jsonl line =
    parser is not needed: nested arrays/objects are rejected. *)
 exception Bad of string
 
-let of_jsonl line =
+let fields_of_jsonl line =
   let n = String.length line in
   let i = ref 0 in
   let fail msg = raise (Bad msg) in
@@ -283,7 +291,13 @@ let of_jsonl line =
     end;
     skip_ws ();
     if !i <> n then fail "trailing characters after object";
-    let fields = List.rev !fields in
+    Ok (List.rev !fields)
+  with Bad msg -> Error msg
+
+let of_jsonl line =
+  match fields_of_jsonl line with
+  | Error _ as e -> e
+  | Ok fields -> (
     let take key = List.assoc_opt key fields in
     let num = function
       | Some (Int k) -> Some (float_of_int k)
@@ -299,8 +313,7 @@ let of_jsonl line =
           fields
       in
       Ok { kind; sim_time; wall_time; span; payload }
-    | _ -> Error "missing kind/t/wall field"
-  with Bad msg -> Error msg
+    | _ -> Error "missing kind/t/wall field")
 
 let pp_value ppf = function
   | Int i -> Format.pp_print_int ppf i

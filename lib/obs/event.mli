@@ -41,6 +41,11 @@ val kind_of_jsonl : string -> string option
 (** Extract the ["kind"] field of an encoded line (used by the trace
     validator; no full JSON parser needed). *)
 
+val fields_of_jsonl : string -> ((string * value) list, string) result
+(** Parse one flat JSON object of scalar fields into its members, in
+    order.  Shared by {!of_jsonl} and the {!Series} decoder; nested
+    arrays/objects are rejected. *)
+
 val of_jsonl : string -> (t, string) result
 (** Decode one line produced by {!to_jsonl} (a flat object of scalar
     fields) back into an event.  ["kind"]/["t"]/["wall"] are required,

@@ -40,7 +40,7 @@ type t = {
   counters : (string, float ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   timers : (string, int ref * float ref) Hashtbl.t;
-  hists : (string, float array * int array) Hashtbl.t;
+  hists : (string, float array * int array * float ref) Hashtbl.t;
   mutable next_span : int;
   mutable span_stack : int list;
   mutable frames : frame list;
@@ -278,21 +278,26 @@ module Hist = struct
     match Hashtbl.find_opt t.hists name with
     | Some c -> c
     | None ->
-      let c = (default_bounds, Array.make (Array.length default_bounds + 1) 0) in
+      let c = (default_bounds, Array.make (Array.length default_bounds + 1) 0, ref 0.0) in
       Hashtbl.replace t.hists name c;
       c
 
   let observe t name v =
     if t.enabled then begin
-      let bounds, counts = cell t name in
+      let bounds, counts, sum = cell t name in
       let rec slot i = if i >= Array.length bounds || v < bounds.(i) then i else slot (i + 1) in
       let i = slot 0 in
-      counts.(i) <- counts.(i) + 1
+      counts.(i) <- counts.(i) + 1;
+      sum := !sum +. v
     end
 
   let all t =
-    Hashtbl.fold (fun name (b, c) acc -> (name, (b, Array.copy c)) :: acc) t.hists []
+    Hashtbl.fold (fun name (b, c, _) acc -> (name, (b, Array.copy c)) :: acc) t.hists []
     |> List.sort compare
+
+  (* Running sum of every observed value, for Prometheus [_sum]. *)
+  let sum t name =
+    match Hashtbl.find_opt t.hists name with Some (_, _, s) -> !s | None -> 0.0
 
   (* Percentile over a recorded histogram: the value reported for a
      bucket is its upper bound (the histogram only knows bounds, not the
@@ -405,3 +410,34 @@ let grid t ~kind ?job ?payload () =
         ((match job with Some j -> [ ("job", Event.Int j) ] | None -> [])
         @ Option.value ~default:[] payload)
       kind
+
+(* ------------------------------------------- decision provenance *)
+
+let prov_consider t ~job ~start ~procs =
+  if t.enabled then
+    record t
+      ~payload:[ ("job", Event.Int job); ("start", Event.Float start); ("procs", Event.Int procs) ]
+      "prov.consider"
+
+let prov_reject t ~job ~reason =
+  if t.enabled then
+    record t ~payload:[ ("job", Event.Int job); ("reason", Event.Str reason) ] "prov.reject"
+
+let prov_choice t ~job ~chosen =
+  if t.enabled then
+    record t ~payload:[ ("job", Event.Int job); ("chosen", Event.Str chosen) ] "prov.choice"
+
+let prov_reserve t ~job ~start ~procs =
+  if t.enabled then
+    record t
+      ~payload:[ ("job", Event.Int job); ("start", Event.Float start); ("procs", Event.Int procs) ]
+      "prov.reserve"
+
+let serve_deadline t ~latency ~deadline =
+  if t.enabled then
+    record t
+      ~payload:[ ("latency", Event.Float latency); ("deadline", Event.Float deadline) ]
+      "serve.deadline"
+
+let serve_breaker t ~trips =
+  if t.enabled then record t ~payload:[ ("trips", Event.Int trips) ] "serve.breaker"

@@ -153,6 +153,10 @@ module Hist : sig
       holding the [p]-th percentile sample ([infinity] for the overflow
       bucket), or [None] when the histogram is empty.  [p] is clamped
       to [0, 100]: p0 is the first non-empty bucket, p100 the last. *)
+
+  val sum : t -> string -> float
+  (** Running sum of every value observed under [name] (0 when the
+      histogram does not exist); backs the Prometheus [_sum] series. *)
 end
 
 (** {2 Typed emission helpers}
@@ -182,3 +186,31 @@ val fault : t -> kind:string -> job:int -> unit
 val grid :
   t -> kind:string -> ?job:int -> ?payload:(string * Event.value) list -> unit -> unit
 (** [kind] one of the ["grid.*"] vocabulary entries. *)
+
+(** {2 Decision provenance}
+
+    Why a specific job landed where it did: candidate placements
+    considered and rejected (with the reason), the backfill-vs-head
+    choice, reservations pushed to protect the queue head, and serve
+    interventions.  {!Provenance} folds these into per-job causal
+    timelines. *)
+
+val prov_consider : t -> job:int -> start:float -> procs:int -> unit
+(** A candidate hole/start for [job] was evaluated. *)
+
+val prov_reject : t -> job:int -> reason:string -> unit
+(** The candidate was discarded ([reason]: ["no_hole"],
+    ["would_delay_head"], ["over_resource"], ...). *)
+
+val prov_choice : t -> job:int -> chosen:string -> unit
+(** The scheduler chose between the queue head and a backfill
+    candidate ([chosen]: ["head"] or ["backfill"]). *)
+
+val prov_reserve : t -> job:int -> start:float -> procs:int -> unit
+(** A reservation was pushed (EASY head hold, conservative slot). *)
+
+val serve_deadline : t -> latency:float -> deadline:float -> unit
+(** A decision round overran its deadline. *)
+
+val serve_breaker : t -> trips:int -> unit
+(** The circuit breaker opened (cumulative trip count). *)

@@ -148,6 +148,9 @@ let prometheus obs =
               (Printf.sprintf "psched_histogram_bucket{name=\"%s\",le=\"%s\"} %d\n" name_l le !cum))
           counts;
         Buffer.add_string b
+          (Printf.sprintf "psched_histogram_sum{name=\"%s\"} %s\n" name_l
+             (num (Obs.Hist.sum obs name)));
+        Buffer.add_string b
           (Printf.sprintf "psched_histogram_count{name=\"%s\"} %d\n" name_l !cum))
       hists
   end;

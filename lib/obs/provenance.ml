@@ -1,0 +1,356 @@
+(* Per-job causal timelines reconstructed from a trace.
+
+   Two event dialects share one reconstruction:
+
+   - policy traces (engines, backfilling, SMART, batch, MRT): the
+     lifecycle authority is job.start / job.complete / fault.kill;
+   - serve traces (the daemon shares its obs handle with the registry
+     policies it batches through, so planning-time job.start events
+     from the inner scheduler interleave with the daemon's own): the
+     authority is serve.admit / serve.decide / serve.shed /
+     serve.complete / fault.kill, and job.* events are demoted to
+     informational "planned" steps.
+
+   Every reconstruction is total: malformed sequences produce
+   [contradictions] on the affected timeline, never an exception
+   (the trace.provenance check rule leans on this). *)
+
+type outcome =
+  | Completed of float  (* finish time *)
+  | Placed of float  (* start time; completion not in the trace *)
+  | Shed of string  (* terminal shed, with the cause *)
+  | Deferred  (* shed-deferred, re-admission still pending *)
+  | Queued  (* admitted, no decision yet *)
+  | Considered  (* referenced by the scheduler, never admitted/placed *)
+
+let outcome_str = function
+  | Completed f -> Printf.sprintf "completed @%g" f
+  | Placed s -> Printf.sprintf "placed @%g (completion not in trace)" s
+  | Shed reason -> Printf.sprintf "shed (%s)" reason
+  | Deferred -> "deferred, re-admission pending"
+  | Queued -> "queued, no decision yet"
+  | Considered -> "considered, never placed"
+
+type step = { at : float; label : string; note : string }
+
+type timeline = {
+  job : int;
+  community : int option;
+  steps : step list;  (* chronological *)
+  outcome : outcome;
+  considered : int;  (* candidate placements / probes evaluated *)
+  rejections : (string * int) list;  (* reject reason -> count *)
+  contradictions : string list;
+}
+
+(* ---------------------------------------------------- reconstruction *)
+
+type cell = {
+  mutable state : outcome;
+  mutable community_ : int option;
+  mutable rsteps : step list;  (* reverse chronological *)
+  mutable nconsidered : int;
+  mutable rejects : (string * int) list;
+  mutable contra : string list;  (* reverse *)
+  mutable kills : int;
+}
+
+let find_int payload k =
+  match List.assoc_opt k payload with
+  | Some (Event.Int i) -> Some i
+  | Some (Event.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let find_float payload k =
+  match List.assoc_opt k payload with
+  | Some (Event.Float f) -> Some f
+  | Some (Event.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let find_str payload k =
+  match List.assoc_opt k payload with Some (Event.Str s) -> Some s | _ -> None
+
+let serve_style events =
+  List.exists (fun (e : Event.t) -> e.Event.kind = "serve.admit" || e.Event.kind = "serve.decide") events
+
+let of_events events =
+  let serve = serve_style events in
+  let cells : (int, cell) Hashtbl.t = Hashtbl.create 64 in
+  let cell job =
+    match Hashtbl.find_opt cells job with
+    | Some c -> c
+    | None ->
+      let c =
+        { state = Considered; community_ = None; rsteps = []; nconsidered = 0; rejects = [];
+          contra = []; kills = 0 }
+      in
+      Hashtbl.add cells job c;
+      c
+  in
+  let step c at label note = c.rsteps <- { at; label; note } :: c.rsteps in
+  let contra c at fmt =
+    Printf.ksprintf (fun msg -> c.contra <- Printf.sprintf "@%g %s" at msg :: c.contra) fmt
+  in
+  let on_event (e : Event.t) =
+    let at = e.Event.sim_time in
+    let payload = e.Event.payload in
+    match find_int payload "job" with
+    | None -> ()
+    | Some job -> (
+      let c = cell job in
+      (match find_int payload "community" with
+      | Some k -> c.community_ <- Some k
+      | None -> ());
+      match e.Event.kind with
+      (* ---- provenance enrichment, both dialects ---- *)
+      | "prov.consider" | "backfill.hole" ->
+        c.nconsidered <- c.nconsidered + 1;
+        step c at "considered"
+          (match (find_float payload "start", find_int payload "procs") with
+          | Some s, Some p -> Printf.sprintf "candidate start %g on %d procs" s p
+          | _ -> "candidate evaluated")
+      | "prov.reject" ->
+        let reason = Option.value ~default:"unspecified" (find_str payload "reason") in
+        c.rejects <-
+          (reason, 1 + Option.value ~default:0 (List.assoc_opt reason c.rejects))
+          :: List.remove_assoc reason c.rejects;
+        step c at "rejected" reason
+      | "prov.choice" ->
+        step c at "chosen"
+          (Printf.sprintf "scheduler picked the %s"
+             (Option.value ~default:"?" (find_str payload "chosen")))
+      | "prov.reserve" ->
+        step c at "reserved"
+          (match find_float payload "start" with
+          | Some s -> Printf.sprintf "reservation pushed to start %g" s
+          | None -> "reservation pushed")
+      | "queue.wait" ->
+        if not serve then
+          step c at "queued"
+            (match find_float payload "wait" with
+            | Some w -> Printf.sprintf "waited %g" w
+            | None -> "waited")
+      | "backfill.fill" ->
+        step c at "backfilled"
+          (match find_float payload "start" with
+          | Some s -> Printf.sprintf "moved ahead of the queue to start %g" s
+          | None -> "moved ahead of the queue")
+      | "grid.submit" | "grid.kill" | "grid.migrate" | "grid.reroute" ->
+        step c at e.Event.kind ""
+      (* ---- policy-dialect lifecycle ---- *)
+      | "job.start" when not serve -> (
+        let start = Option.value ~default:at (find_float payload "start") in
+        match c.state with
+        | Placed _ -> contra c at "starts again without completing or being killed"
+        | Completed _ -> contra c at "starts after completing"
+        | Shed _ -> contra c at "starts after a terminal shed"
+        | Considered | Queued | Deferred ->
+          c.state <- Placed start;
+          step c at "placed"
+            (match find_int payload "procs" with
+            | Some p -> Printf.sprintf "start %g on %d procs" start p
+            | None -> Printf.sprintf "start %g" start))
+      | "job.complete" when not serve -> (
+        let finish = Option.value ~default:at (find_float payload "finish") in
+        match c.state with
+        | Placed _ ->
+          c.state <- Completed finish;
+          step c at "completed" (Printf.sprintf "finish %g" finish)
+        | Completed _ -> contra c at "completes twice"
+        | Considered | Queued | Deferred | Shed _ -> contra c at "completes without a start")
+      | "job.start" | "job.complete" ->
+        (* serve dialect: inner-policy planning, not a commitment *)
+        step c at "planned" ("inner scheduler " ^ e.Event.kind)
+      (* ---- serve-dialect lifecycle ---- *)
+      | "serve.admit" -> (
+        match c.state with
+        | Queued -> contra c at "admitted while already queued"
+        | Placed _ -> contra c at "admitted while already placed"
+        | Considered | Deferred | Shed _ | Completed _ ->
+          c.state <- Queued;
+          step c at "admitted" "")
+      | "serve.shed" -> (
+        let reason = Option.value ~default:"unspecified" (find_str payload "reason") in
+        (match c.state with
+        | Placed _ -> contra c at "shed (%s) while already placed" reason
+        | _ -> ());
+        if reason = "defer" then begin
+          c.state <- Deferred;
+          step c at "deferred" "admission queue full, will retry"
+        end
+        else begin
+          c.state <- Shed reason;
+          step c at "shed" reason
+        end)
+      | "serve.decide" -> (
+        let start = Option.value ~default:at (find_float payload "start") in
+        match c.state with
+        | Queued ->
+          c.state <- Placed start;
+          step c at "placed"
+            (match find_int payload "procs" with
+            | Some p -> Printf.sprintf "start %g on %d procs" start p
+            | None -> Printf.sprintf "start %g" start)
+        | Placed _ -> contra c at "decided twice without an intervening kill"
+        | Deferred -> contra c at "decided while deferred, not queued"
+        | Shed _ -> contra c at "decided after a terminal shed"
+        | Completed _ -> contra c at "decided after completing"
+        | Considered -> contra c at "decided without an admission")
+      | "serve.complete" -> (
+        let finish = Option.value ~default:at (find_float payload "finish") in
+        match c.state with
+        | Placed _ ->
+          c.state <- Completed finish;
+          step c at "completed" (Printf.sprintf "finish %g" finish)
+        | Completed _ -> contra c at "completes twice"
+        | Considered | Queued | Deferred | Shed _ -> contra c at "completes without a decision")
+      (* ---- faults, both dialects ---- *)
+      | "fault.kill" -> (
+        c.kills <- c.kills + 1;
+        match c.state with
+        | Placed _ ->
+          c.state <- Deferred;
+          step c at "killed"
+            (match find_int payload "attempt" with
+            | Some a -> Printf.sprintf "outage killed attempt %d, requeued" a
+            | None -> "outage kill, requeued")
+        | _ -> contra c at "killed while not placed")
+      | "fault.restart" -> step c at "restarted" ""
+      | "fault.checkpoint" -> step c at "checkpointed" ""
+      | _ -> ())
+  in
+  List.iter on_event events;
+  Hashtbl.fold (fun job c acc -> (job, c) :: acc) cells []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (job, c) ->
+         {
+           job;
+           community = c.community_;
+           steps = List.rev c.rsteps;
+           outcome = c.state;
+           considered = c.nconsidered;
+           rejections = List.sort compare c.rejects;
+           contradictions = List.rev c.contra;
+         })
+
+let find job timelines = List.find_opt (fun tl -> tl.job = job) timelines
+
+(* A timeline is explained when it is contradiction-free and — on a
+   complete trace — reached a terminal state.  [Placed] counts as
+   terminal only when the dialect carries no completion events at all
+   (a live serve scrape); traces that do complete jobs must complete
+   every placed job. *)
+let resolved ?(terminal_placed = false) tl =
+  match tl.outcome with
+  | Completed _ | Shed _ -> true
+  | Placed _ -> terminal_placed
+  | Deferred | Queued | Considered -> false
+
+let explained ?(complete = true) ?terminal_placed tl =
+  tl.contradictions = [] && ((not complete) || resolved ?terminal_placed tl)
+
+(* ------------------------------------------------------------ render *)
+
+let to_text tl =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "job %d%s: %s\n" tl.job
+       (match tl.community with Some k -> Printf.sprintf " (class %d)" k | None -> "")
+       (outcome_str tl.outcome));
+  if tl.considered > 0 then
+    Buffer.add_string b (Printf.sprintf "  candidates considered: %d\n" tl.considered);
+  List.iter
+    (fun (reason, n) ->
+      Buffer.add_string b (Printf.sprintf "  rejected %d time(s): %s\n" n reason))
+    tl.rejections;
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "  @%-10g %-12s %s\n" s.at s.label s.note))
+    tl.steps;
+  List.iter
+    (fun msg -> Buffer.add_string b (Printf.sprintf "  CONTRADICTION: %s\n" msg))
+    tl.contradictions;
+  Buffer.contents b
+
+let to_json tl =
+  let b = Buffer.create 256 in
+  let str s = Event.value_str (Event.Str s) in
+  Buffer.add_string b (Printf.sprintf "{\"job\":%d" tl.job);
+  (match tl.community with
+  | Some k -> Buffer.add_string b (Printf.sprintf ",\"community\":%d" k)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"outcome\":%s" (str (outcome_str tl.outcome)));
+  Buffer.add_string b (Printf.sprintf ",\"considered\":%d" tl.considered);
+  Buffer.add_string b ",\"rejections\":{";
+  List.iteri
+    (fun i (reason, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%s:%d" (str reason) n))
+    tl.rejections;
+  Buffer.add_string b "},\"steps\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"t\":%s,\"step\":%s,\"note\":%s}"
+           (Event.value_str (Event.Float s.at))
+           (str s.label) (str s.note)))
+    tl.steps;
+  Buffer.add_string b "],\"contradictions\":[";
+  List.iteri
+    (fun i msg ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (str msg))
+    tl.contradictions;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let summary ?complete ?terminal_placed timelines =
+  let b = Buffer.create 256 in
+  let n = List.length timelines in
+  let count pred = List.length (List.filter pred timelines) in
+  let completed = count (fun tl -> match tl.outcome with Completed _ -> true | _ -> false) in
+  let placed = count (fun tl -> match tl.outcome with Placed _ -> true | _ -> false) in
+  let shed = List.filter (fun tl -> match tl.outcome with Shed _ -> true | _ -> false) timelines in
+  let pending =
+    count (fun tl -> match tl.outcome with Deferred | Queued | Considered -> true | _ -> false)
+  in
+  let unexplained = List.filter (fun tl -> not (explained ?complete ?terminal_placed tl)) timelines in
+  Buffer.add_string b
+    (Printf.sprintf "%d job(s): %d completed, %d placed, %d shed, %d pending\n" n completed
+       placed (List.length shed) pending);
+  (* Shed causes, broken down per workload class when known. *)
+  let causes = Hashtbl.create 8 in
+  List.iter
+    (fun tl ->
+      match tl.outcome with
+      | Shed reason ->
+        let key = (reason, tl.community) in
+        Hashtbl.replace causes key (1 + Option.value ~default:0 (Hashtbl.find_opt causes key))
+      | _ -> ())
+    shed;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []
+  |> List.sort compare
+  |> List.iter (fun ((reason, community), n) ->
+         Buffer.add_string b
+           (Printf.sprintf "  shed cause %-12s%s: %d job(s)\n" reason
+              (match community with Some k -> Printf.sprintf " class %d" k | None -> "")
+              n));
+  let considered = List.fold_left (fun acc tl -> acc + tl.considered) 0 timelines in
+  if considered > 0 then
+    Buffer.add_string b (Printf.sprintf "  candidate placements considered: %d\n" considered);
+  (match unexplained with
+  | [] -> Buffer.add_string b "  every job has a complete, contradiction-free timeline\n"
+  | us ->
+    Buffer.add_string b (Printf.sprintf "  UNEXPLAINED: %d job(s)\n" (List.length us));
+    List.iter
+      (fun tl ->
+        Buffer.add_string b
+          (Printf.sprintf "    job %d: %s%s\n" tl.job (outcome_str tl.outcome)
+             (match tl.contradictions with [] -> "" | c :: _ -> "; " ^ c)))
+      us);
+  Buffer.contents b
+
+let unexplained ?complete ?terminal_placed timelines =
+  List.filter (fun tl -> not (explained ?complete ?terminal_placed tl)) timelines

@@ -1,0 +1,58 @@
+(** Per-job causal timelines (arrival → admission → queued → rounds
+    considered → placed/shed → completed/killed) reconstructed from a
+    trace, for [psched explain].
+
+    Handles both dialects: policy traces (lifecycle authority
+    [job.start]/[job.complete]/[fault.kill]) and serve traces
+    (authority [serve.admit]/[serve.decide]/[serve.shed]/
+    [serve.complete]/[fault.kill]; planning-time [job.*] events from
+    the registry policy the daemon batches through are demoted to
+    informational steps).  Reconstruction is total: malformed
+    sequences yield [contradictions], never exceptions. *)
+
+type outcome =
+  | Completed of float  (** finish time *)
+  | Placed of float  (** start time; completion not in the trace *)
+  | Shed of string  (** terminal shed, with the cause *)
+  | Deferred  (** shed-deferred, re-admission pending *)
+  | Queued  (** admitted, no decision yet *)
+  | Considered  (** referenced by the scheduler, never admitted/placed *)
+
+val outcome_str : outcome -> string
+
+type step = { at : float; label : string; note : string }
+
+type timeline = {
+  job : int;
+  community : int option;  (** workload class, when an event carried it *)
+  steps : step list;  (** chronological *)
+  outcome : outcome;
+  considered : int;  (** candidate placements / probes evaluated *)
+  rejections : (string * int) list;  (** reject reason -> count *)
+  contradictions : string list;
+}
+
+val serve_style : Event.t list -> bool
+(** Whether the trace speaks the serve dialect (contains
+    [serve.admit]/[serve.decide]). *)
+
+val of_events : Event.t list -> timeline list
+(** One timeline per job id referenced anywhere in the trace, sorted
+    by job id. *)
+
+val find : int -> timeline list -> timeline option
+
+val explained : ?complete:bool -> ?terminal_placed:bool -> timeline -> bool
+(** Contradiction-free and (when [complete], the default) resolved to
+    a terminal state.  [terminal_placed] additionally accepts
+    [Placed] — for live scrapes whose dialect never records
+    completions. *)
+
+val unexplained : ?complete:bool -> ?terminal_placed:bool -> timeline list -> timeline list
+
+val to_text : timeline -> string
+val to_json : timeline -> string
+
+val summary : ?complete:bool -> ?terminal_placed:bool -> timeline list -> string
+(** Aggregate report: outcome counts, shed causes per workload class,
+    and the unexplained jobs, if any. *)

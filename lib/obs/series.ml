@@ -1,0 +1,203 @@
+(* Metrics time series: periodic fixed-interval snapshots of the
+   daemon's operational signals into a bounded ring plus an optional
+   JSONL sink (schema [psched-series/1]).
+
+   Timestamps are whatever clock the caller passes to [tick] — the
+   serve daemon passes its virtual clock, so a recorded series is
+   deterministic and crash-recovery-stable.  This module itself never
+   reads a wall clock (the det-series lint rule enforces it). *)
+
+let schema = "psched-series/1"
+
+type sample = {
+  t : float;  (* grid time of the snapshot, from the caller's clock *)
+  queue_depth : int;
+  running : int;
+  deferred : int;
+  utilisation : float;  (* busy processors / m, in [0,1] *)
+  goodput : float;  (* useful work / capacity so far, in [0,1] *)
+  shed : int;  (* cumulative rejected + deferred *)
+  killed : int;  (* cumulative outage kills *)
+  lat_p50 : float;  (* decision-latency quantiles, seconds *)
+  lat_p99 : float;
+}
+
+type t = {
+  interval : float;
+  ring : sample Ring.t;
+  mutable sink : out_channel option;
+  mutable next : float;  (* first grid point not yet sampled *)
+  mutable taken : int;  (* samples taken, overwritten ones included *)
+}
+
+let header interval =
+  Printf.sprintf "{\"schema\":\"%s\",\"interval\":%s}" schema
+    (Event.value_str (Event.Float interval))
+
+let create ?(interval = 1.0) ?(capacity = 1024) () =
+  if not (interval > 0.0) then invalid_arg "Series.create: interval must be positive";
+  { interval; ring = Ring.create capacity; sink = None; next = 0.0; taken = 0 }
+
+let attach_sink t oc =
+  output_string oc (header t.interval);
+  output_char oc '\n';
+  t.sink <- Some oc
+
+let interval t = t.interval
+let samples t = Ring.to_list t.ring
+let taken t = t.taken
+let dropped t = Ring.dropped t.ring
+
+let sample_to_jsonl s =
+  let f v = Event.value_str (Event.Float v) in
+  Printf.sprintf
+    "{\"t\":%s,\"queue\":%d,\"running\":%d,\"deferred\":%d,\"util\":%s,\"goodput\":%s,\"shed\":%d,\"killed\":%d,\"lat_p50\":%s,\"lat_p99\":%s}"
+    (f s.t) s.queue_depth s.running s.deferred (f s.utilisation) (f s.goodput) s.shed s.killed
+    (f s.lat_p50) (f s.lat_p99)
+
+let push t s =
+  Ring.push t.ring s;
+  t.taken <- t.taken + 1;
+  match t.sink with
+  | None -> ()
+  | Some oc ->
+    output_string oc (sample_to_jsonl s);
+    output_char oc '\n';
+    flush oc
+
+(* Sample on the fixed grid: one snapshot per crossed grid point's
+   worth of elapsed time, stamped at the last grid point <= now (idle
+   stretches collapse to a single probe rather than a flood of
+   identical lines). *)
+let due t ~now = now >= t.next
+
+let tick t ~now probe =
+  if due t ~now then begin
+    let k = Float.to_int (Float.floor ((now -. t.next) /. t.interval)) in
+    let grid = t.next +. (float_of_int k *. t.interval) in
+    push t (probe ~t:grid);
+    t.next <- grid +. t.interval
+  end
+
+let to_jsonl t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (header t.interval);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string b (sample_to_jsonl s);
+      Buffer.add_char b '\n')
+    (samples t);
+  Buffer.contents b
+
+(* ------------------------------------------------------------ decode *)
+
+let sample_of_fields fields =
+  let num key =
+    match List.assoc_opt key fields with
+    | Some (Event.Float f) -> Some f
+    | Some (Event.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let int key = Option.map int_of_float (num key) in
+  match (num "t", int "queue") with
+  | Some t, Some queue_depth ->
+    let i key = Option.value ~default:0 (int key) in
+    let f key = Option.value ~default:0.0 (num key) in
+    Ok
+      {
+        t;
+        queue_depth;
+        running = i "running";
+        deferred = i "deferred";
+        utilisation = f "util";
+        goodput = f "goodput";
+        shed = i "shed";
+        killed = i "killed";
+        lat_p50 = f "lat_p50";
+        lat_p99 = f "lat_p99";
+      }
+  | _ -> Error "sample line lacks t/queue fields"
+
+let of_jsonl_string text =
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty series"
+  | head :: rest -> (
+    match Event.fields_of_jsonl head with
+    | Error e -> Error (Printf.sprintf "bad series header: %s" e)
+    | Ok fields -> (
+      match List.assoc_opt "schema" fields with
+      | Some (Event.Str s) when s = schema -> (
+        let interval =
+          match List.assoc_opt "interval" fields with
+          | Some (Event.Float f) -> f
+          | Some (Event.Int i) -> float_of_int i
+          | _ -> 1.0
+        in
+        let rec go acc = function
+          | [] -> Ok (interval, List.rev acc)
+          | line :: rest -> (
+            match Event.fields_of_jsonl line with
+            | Error e -> Error e
+            | Ok fields -> (
+              match sample_of_fields fields with
+              | Ok s -> go (s :: acc) rest
+              | Error e -> Error e))
+        in
+        go [] rest)
+      | Some (Event.Str s) -> Error (Printf.sprintf "schema %S is not %S" s schema)
+      | _ -> Error "series header lacks a schema field"))
+
+(* ------------------------------------------------------------ render *)
+
+let spark =
+  (* eight-level unicode-free ramp; terminals everywhere render it. *)
+  [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min infinity values
+    and hi = List.fold_left Float.max neg_infinity values in
+    let span = hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let level =
+             if span <= 0.0 then if hi > 0.0 then Array.length spark - 1 else 0
+             else
+               int_of_float
+                 (Float.round ((v -. lo) /. span *. float_of_int (Array.length spark - 1)))
+           in
+           String.make 1 spark.(max 0 (min (Array.length spark - 1) level)))
+         values)
+
+let render ?(width = 60) samples =
+  match samples with
+  | [] -> "series: no samples yet\n"
+  | _ ->
+    let tail = List.filteri (fun i _ -> i >= List.length samples - width) samples in
+    let last = List.nth samples (List.length samples - 1) in
+    let first = List.hd samples in
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf "series %g..%g (%d samples)\n" first.t last.t (List.length samples));
+    let row label values fmt_last =
+      Buffer.add_string b (Printf.sprintf "  %-10s [%s] %s\n" label (sparkline values) fmt_last)
+    in
+    row "queue" (List.map (fun s -> float_of_int s.queue_depth) tail)
+      (string_of_int last.queue_depth);
+    row "running" (List.map (fun s -> float_of_int s.running) tail) (string_of_int last.running);
+    row "util" (List.map (fun s -> s.utilisation) tail)
+      (Printf.sprintf "%.0f%%" (100.0 *. last.utilisation));
+    row "goodput" (List.map (fun s -> s.goodput) tail)
+      (Printf.sprintf "%.0f%%" (100.0 *. last.goodput));
+    row "shed" (List.map (fun s -> float_of_int s.shed) tail) (string_of_int last.shed);
+    row "killed" (List.map (fun s -> float_of_int s.killed) tail) (string_of_int last.killed);
+    row "lat p99" (List.map (fun s -> s.lat_p99) tail)
+      (Printf.sprintf "%.1fus" (last.lat_p99 *. 1e6));
+    Buffer.contents b

@@ -1,0 +1,67 @@
+(** Metrics time series: fixed-interval snapshots of queue depth,
+    utilisation, goodput, shed counts and decision-latency quantiles
+    into a bounded ring plus an optional JSONL sink.
+
+    Schema [psched-series/1]: the first line is a header object
+    [{"schema":"psched-series/1","interval":I}], each further line one
+    {!sample}.  The daemon serves the encoded form at [/series];
+    [psched top] renders it.
+
+    Timestamps come from whatever clock the caller passes to {!tick}
+    (the serve daemon passes its virtual clock), never from a wall
+    clock read inside this module — the [det-series] lint rule keeps
+    it that way, so recorded series are deterministic. *)
+
+val schema : string
+
+type sample = {
+  t : float;  (** grid time of the snapshot, from the caller's clock *)
+  queue_depth : int;
+  running : int;
+  deferred : int;
+  utilisation : float;  (** busy processors / m, in [0,1] *)
+  goodput : float;  (** useful work / capacity so far, in [0,1] *)
+  shed : int;  (** cumulative rejected + deferred *)
+  killed : int;  (** cumulative outage kills *)
+  lat_p50 : float;  (** decision-latency quantiles, seconds *)
+  lat_p99 : float;
+}
+
+type t
+
+val create : ?interval:float -> ?capacity:int -> unit -> t
+(** A recorder sampling every [interval] clock units (default 1.0)
+    into a ring of [capacity] samples (default 1024).
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val attach_sink : t -> out_channel -> unit
+(** Stream every future sample as JSONL; writes the schema header
+    immediately. *)
+
+val interval : t -> float
+val samples : t -> sample list
+(** Retained samples, oldest first. *)
+
+val taken : t -> int
+(** Samples taken in total, overwritten ones included. *)
+
+val dropped : t -> int
+
+val due : t -> now:float -> bool
+
+val tick : t -> now:float -> (t:float -> sample) -> unit
+(** [tick t ~now probe] takes one snapshot if [now] has reached the
+    next grid point, calling [probe ~t:grid] with the grid timestamp
+    to fill the sample; idle stretches collapse to one probe. *)
+
+val sample_to_jsonl : sample -> string
+val to_jsonl : t -> string
+(** Header line + one line per retained sample. *)
+
+val of_jsonl_string : string -> (float * sample list, string) result
+(** Decode {!to_jsonl} output: [(interval, samples)].  Rejects a
+    missing or foreign schema header. *)
+
+val render : ?width:int -> sample list -> string
+(** ASCII dashboard: one sparkline row per signal over the last
+    [width] samples (default 60), with the latest value. *)

@@ -42,6 +42,7 @@ type config = {
   horizon : float;  (* ignore arrivals released after this *)
   keep_schedule : bool;
   obs : Obs.t;
+  series : Series.t option;  (* metrics time-series recorder *)
 }
 
 let config ?(mode = Greedy) ?(batch = 1) ?(round_every = 0.0) ?(queue_cap = 0)
@@ -49,7 +50,7 @@ let config ?(mode = Greedy) ?(batch = 1) ?(round_every = 0.0) ?(queue_cap = 0)
     ?(latency_window = 256) ?(latency_high = infinity) ?(latency_low = infinity)
     ?(deadline = infinity) ?(backoff = Recovery.backoff ()) ?(breaker = Recovery.breaker ())
     ?wal ?(wal_sync = false) ?snapshot ?(snapshot_every = 256) ?(horizon = infinity)
-    ?(keep_schedule = false) ?(obs = Obs.null) ~m () =
+    ?(keep_schedule = false) ?(obs = Obs.null) ?series ~m () =
   if m < 1 then invalid_arg "Daemon.config: m must be >= 1";
   if batch < 1 then invalid_arg "Daemon.config: batch must be >= 1";
   if not (round_every >= 0.0) then invalid_arg "Daemon.config: round_every must be >= 0";
@@ -79,6 +80,7 @@ let config ?(mode = Greedy) ?(batch = 1) ?(round_every = 0.0) ?(queue_cap = 0)
     horizon;
     keep_schedule;
     obs;
+    series;
   }
 
 (* ------------------------------------------------------------- runtime *)
@@ -177,7 +179,7 @@ let rebuild_profile rt =
    outages.  The (completion, job_id) sort makes the fold order a
    global property of the placement set, independent of which event
    steps the folds happened at — the keystone of replay identity. *)
-let fold_completions ~keep rt upto =
+let fold_completions ?(obs = Obs.null) ~keep rt upto =
   let done_, rest =
     List.partition (fun p -> completion p <= upto) rt.live
   in
@@ -192,6 +194,8 @@ let fold_completions ~keep rt upto =
       Metrics.Acc.add rt.acc ~job:p.job ~start:p.start ~procs:p.procs ~duration:p.duration;
       rt.useful_work <- rt.useful_work +. (float_of_int p.procs *. p.duration);
       rt.counters <- { rt.counters with completed = rt.counters.completed + 1 };
+      Obs.event obs "serve.complete"
+        ~payload:[ ("job", Event.Int p.job.Job.id); ("finish", Event.Float (completion p)) ];
       if keep then
         rt.entries <-
           { Schedule.job_id = p.job.Job.id; start = p.start; duration = p.duration;
@@ -406,7 +410,45 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
   let latencies = ref [] in
   let max_queue_depth = ref rt.queue_len in
   let degraded_rounds = ref 0 in
+  let last_trips = ref (Recovery.trips breaker_st) in
   let ticks = ref 0 in
+  (* Time-series probe: a pure read of the runtime at a grid instant.
+     The timestamps come from the virtual clock, so a recorded series
+     is as deterministic as the run itself (det-series lint rule). *)
+  let lat_percentile q =
+    match !latencies with
+    | [] -> 0.0
+    | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let sample () =
+    match cfg.series with
+    | None -> ()
+    | Some s ->
+      Series.tick s ~now:rt.clock (fun ~t ->
+          let busy =
+            List.fold_left
+              (fun acc (p : Snapshot.placement) ->
+                if p.start <= rt.clock && completion p > rt.clock then acc + p.procs else acc)
+              0 rt.live
+          in
+          let total = rt.useful_work +. rt.wasted_work in
+          {
+            Series.t;
+            queue_depth = rt.queue_len;
+            running = List.length rt.live;
+            deferred = List.length rt.deferred;
+            utilisation = float_of_int busy /. float_of_int rt.m;
+            goodput = (if total > 0.0 then rt.useful_work /. total else 1.0);
+            shed = rt.counters.shed + rt.counters.deferred_jobs;
+            killed = rt.counters.killed;
+            lat_p50 = lat_percentile 0.50;
+            lat_p99 = lat_percentile 0.99;
+          })
+  in
   (* Fast-forward the deterministic sources past what the recovered
      state already consumed. *)
   Arrivals.skip arrivals rt.arrivals;
@@ -431,7 +473,7 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
   in
   let advance_to t =
     if t > rt.clock then begin
-      fold_completions ~keep:cfg.keep_schedule rt t;
+      fold_completions ~obs ~keep:cfg.keep_schedule rt t;
       rt.clock <- t;
       ignore (Profile.compact !profile ~before:(Float.max 0.0 t))
     end
@@ -450,19 +492,25 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
       max_queue_depth := max !max_queue_depth rt.queue_len;
       rt.counters <- { rt.counters with admitted = rt.counters.admitted + 1 };
       log (Wal.Admit { job; arrival });
-      Obs.event obs "serve.admit" ~payload:[ ("job", Event.Int job.Job.id) ]
+      Obs.event obs "serve.admit"
+        ~payload:
+          [ ("job", Event.Int job.Job.id); ("community", Event.Int job.Job.community) ]
     | Admission.Shed_reject ->
       rt.counters <- { rt.counters with shed = rt.counters.shed + 1 };
       log (Wal.Shed { job; reason = "reject"; arrival; requeue = 0.0 });
       Obs.event obs "serve.shed"
-        ~payload:[ ("job", Event.Int job.Job.id); ("reason", Event.Str "reject") ];
+        ~payload:
+          [ ("job", Event.Int job.Job.id); ("reason", Event.Str "reject");
+            ("community", Event.Int job.Job.community) ];
       Obs.Counter.incr obs "serve.shed.reject"
     | Admission.Shed_defer requeue ->
       rt.counters <- { rt.counters with deferred_jobs = rt.counters.deferred_jobs + 1 };
       insert_deferred rt requeue job;
       log (Wal.Shed { job; reason = "defer"; arrival; requeue });
       Obs.event obs "serve.shed"
-        ~payload:[ ("job", Event.Int job.Job.id); ("reason", Event.Str "defer") ];
+        ~payload:
+          [ ("job", Event.Int job.Job.id); ("reason", Event.Str "defer");
+            ("community", Event.Int job.Job.community) ];
       Obs.Counter.incr obs "serve.shed.defer"
     | Admission.Shed_degrade ->
       rt.queue <- rt.queue @ [ job ];
@@ -604,7 +652,13 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
       if Float.is_finite cfg.deadline && lat > cfg.deadline then begin
         rt.counters <- { rt.counters with timeouts = rt.counters.timeouts + 1 };
         Recovery.record_kill breaker_st rt.clock;
-        Obs.event obs "serve.degrade" ~payload:[ ("reason", Event.Str "deadline") ]
+        Obs.serve_deadline obs ~latency:lat ~deadline:cfg.deadline;
+        Obs.event obs "serve.degrade" ~payload:[ ("reason", Event.Str "deadline") ];
+        let trips = Recovery.trips breaker_st in
+        if trips > !last_trips then begin
+          last_trips := trips;
+          Obs.serve_breaker obs ~trips
+        end
       end;
       (* Queue-pressure hysteresis for the Degrade shed policy. *)
       if rt.degraded && (not (Float.is_finite cfg.latency_high)) && cfg.queue_cap > 0
@@ -686,6 +740,7 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
     incr ticks;
     tick !ticks;
     gauges ();
+    sample ();
     let arr = peek_arrival () in
     (* Work conservation: once arrivals are exhausted and no deferred
        job can re-enter at the current instant, a partially filled
@@ -740,7 +795,7 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
     | None ->
       (* Sources drained and queue decided: run the live work out. *)
       let horizon = live_horizon () in
-      fold_completions ~keep:cfg.keep_schedule rt infinity;
+      fold_completions ~obs ~keep:cfg.keep_schedule rt infinity;
       rt.clock <- horizon
     | Some (_, 0) ->
       (match !outage_stream with
@@ -782,6 +837,7 @@ let run ?state ?(outages = []) ?(tick = fun _ -> ()) (cfg : config) arrivals =
      && (rt.round_open || (cfg.round_every <= 0.0 && rt.queue_len >= cfg.batch))
   then decision_round ();
   Obs.span obs "serve.loop" loop;
+  sample ();
   (match wal with Some w -> Wal.close w | None -> ());
   (match cfg.snapshot with
   | Some path -> Snapshot.save path (state_of_rt rt)

@@ -51,6 +51,10 @@ type config = private {
   horizon : float;
   keep_schedule : bool;
   obs : Obs.t;
+  series : Series.t option;
+      (** metrics time-series recorder sampled on the virtual clock
+          ([psched-series/1]); timestamps never come from a wall clock,
+          so a recorded series is as deterministic as the run *)
 }
 
 val config :
@@ -72,6 +76,7 @@ val config :
   ?horizon:float ->
   ?keep_schedule:bool ->
   ?obs:Obs.t ->
+  ?series:Series.t ->
   m:int ->
   unit ->
   config

@@ -1,0 +1,69 @@
+open Psched_obs
+open Psched_workload
+
+(* WAL -> provenance events.  The dependency arrow runs
+   psched_obs <- psched_serve, so [Provenance] cannot read a WAL
+   itself; this adapter translates a replayed log into the serve event
+   dialect [Provenance.of_events] reconstructs timelines from.  Used
+   by `psched explain --wal` to audit a recovered daemon without a
+   recorded trace. *)
+
+(* Surviving placements: every Decide not later Killed.  Completions
+   are synthesised from them — the daemon folds completions silently
+   (they are derived state, not logged transitions), so the log alone
+   must imply them. *)
+let completions entries =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Wal.entry) ->
+      match e.record with
+      | Wal.Decide { job_id; start; duration; _ } ->
+        Hashtbl.replace tbl job_id (start +. duration)
+      | Wal.Kill { job_id; _ } -> Hashtbl.remove tbl job_id
+      | _ -> ())
+    entries;
+  Hashtbl.fold (fun job finish acc -> (finish, job) :: acc) tbl []
+  |> List.sort compare
+
+let events_of_wal (entries : Wal.entry list) =
+  let attempts = Hashtbl.create 16 in
+  let of_entry (e : Wal.entry) =
+    let ev kind payload = Event.make ~payload ~sim_time:e.clock ~wall_time:0.0 kind in
+    match e.record with
+    | Wal.Admit { job; _ } ->
+      ev "serve.admit"
+        [ ("job", Event.Int job.Job.id); ("community", Event.Int job.Job.community) ]
+    | Wal.Shed { job; reason; _ } ->
+      ev "serve.shed"
+        [ ("job", Event.Int job.Job.id); ("reason", Event.Str reason);
+          ("community", Event.Int job.Job.community) ]
+    | Wal.Decide { job_id; start; procs; _ } ->
+      ev "serve.decide"
+        [ ("job", Event.Int job_id); ("start", Event.Float start);
+          ("procs", Event.Int procs) ]
+    | Wal.Kill { job_id; _ } ->
+      let attempt = 1 + (try Hashtbl.find attempts job_id with Not_found -> 0) in
+      Hashtbl.replace attempts job_id attempt;
+      ev "fault.kill" [ ("job", Event.Int job_id); ("attempt", Event.Int attempt) ]
+    | Wal.Outage { start; duration; procs } ->
+      ev "outage.down"
+        [ ("start", Event.Float start); ("duration", Event.Float duration);
+          ("procs", Event.Int procs) ]
+  in
+  let logged = List.map of_entry entries in
+  let synthesised =
+    List.map
+      (fun (finish, job) ->
+        Event.make
+          ~payload:[ ("job", Event.Int job); ("finish", Event.Float finish) ]
+          ~sim_time:finish ~wall_time:0.0 "serve.complete")
+      (completions entries)
+  in
+  (* Stable merge on the clock: logged transitions first at equal
+     times, completions after (a completion can only follow its
+     Decide). *)
+  List.stable_sort
+    (fun (a : Event.t) b -> compare a.Event.sim_time b.Event.sim_time)
+    (logged @ synthesised)
+
+let timelines_of_wal entries = Provenance.of_events (events_of_wal entries)

@@ -1,0 +1,19 @@
+(** WAL -> decision-provenance adapter for [psched explain --wal].
+
+    Translates a replayed {!Wal} into the serve event dialect so
+    {!Psched_obs.Provenance} can reconstruct per-job causal timelines
+    from a recovered daemon log that has no recorded trace.
+    Completions are synthesised from the surviving placements (every
+    [Decide] not later [Kill]ed), mirroring how the daemon folds them
+    as derived state rather than logging them. *)
+
+open Psched_obs
+
+val events_of_wal : Wal.entry list -> Event.t list
+(** Chronological serve-dialect events: [serve.admit] / [serve.shed] /
+    [serve.decide] / [fault.kill] / [outage.down] straight from the
+    records, plus a synthesised [serve.complete] at [start + duration]
+    for each surviving placement. *)
+
+val timelines_of_wal : Wal.entry list -> Provenance.timeline list
+(** [Provenance.of_events] over {!events_of_wal}. *)

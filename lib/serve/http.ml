@@ -10,11 +10,12 @@ type t = {
   sock : Unix.file_descr;
   port : int;
   obs : Obs.t;
+  series : (unit -> string) option;
   mutable served : int;
   mutable closed : bool;
 }
 
-let start ?(port = 0) obs =
+let start ?(port = 0) ?series obs =
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | sock -> (
@@ -28,7 +29,7 @@ let start ?(port = 0) obs =
         | Unix.ADDR_INET (_, p) -> p
         | Unix.ADDR_UNIX _ -> port
       in
-      Ok { sock; port; obs; served = 0; closed = false }
+      Ok { sock; port; obs; series; served = 0; closed = false }
     with Unix.Unix_error (e, _, _) ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       Error (Unix.error_message e))
@@ -73,6 +74,11 @@ let handle t client =
   (match path with
   | Some p when p = "/metrics" || String.length p >= 9 && String.sub p 0 9 = "/metrics?" ->
     respond client "200 OK" (Profiler.prometheus t.obs) "text/plain; version=0.0.4"
+  | Some p
+    when t.series <> None
+         && (p = "/series" || (String.length p >= 8 && String.sub p 0 8 = "/series?")) ->
+    let body = match t.series with Some f -> f () | None -> "" in
+    respond client "200 OK" body "application/jsonl"
   | Some "/healthz" -> respond client "200 OK" "ok\n" "text/plain"
   | Some _ -> respond client "404 Not Found" "not found\n" "text/plain"
   | None -> respond client "400 Bad Request" "bad request\n" "text/plain");

@@ -4,15 +4,19 @@
     daemon calls {!poll} from its event loop, which accepts whatever
     connections are ready and answers them immediately.  Serves the
     Prometheus exposition of the daemon's {!Psched_obs.Obs} handle at
-    [/metrics] and a liveness probe at [/healthz]. *)
+    [/metrics], the recorded [psched-series/1] time series at
+    [/series] (when a provider is installed), and a liveness probe at
+    [/healthz]. *)
 
 open Psched_obs
 
 type t
 
-val start : ?port:int -> Obs.t -> (t, string) result
+val start : ?port:int -> ?series:(unit -> string) -> Obs.t -> (t, string) result
 (** Bind the loopback interface; [port = 0] (default) picks an
-    ephemeral port, readable back with {!port}. *)
+    ephemeral port, readable back with {!port}.  [series] provides the
+    [/series] body on demand (typically {!Series.to_jsonl} of the
+    daemon's recorder); without it [/series] is a 404. *)
 
 val port : t -> int
 

@@ -45,7 +45,23 @@ let svg_escape s =
     s;
   Buffer.contents b
 
-let render_svg ?(width = 960) ?(row_height = 14) sched =
+(* Fate marks for trace rendering: jobs the trace shed, killed or
+   clipped under an outage get a distinct visual treatment so a glance
+   at the chart answers "what did the disruption cost". *)
+type mark = Shed | Killed | Clipped
+
+let mark_str = function Shed -> "shed" | Killed -> "killed" | Clipped -> "outage-clipped"
+
+let shed_ids marks entries =
+  List.filter_map
+    (fun (id, mk) ->
+      if mk = Shed && not (List.exists (fun (e : Schedule.entry) -> e.job_id = id) entries)
+      then Some id
+      else None)
+    marks
+  |> List.sort_uniq compare
+
+let render_svg ?(width = 960) ?(row_height = 14) ?(marks = []) sched =
   let open Schedule in
   let span = makespan sched in
   if span <= 0.0 || sched.entries = [] then
@@ -54,8 +70,9 @@ let render_svg ?(width = 960) ?(row_height = 14) sched =
   else begin
     let m = sched.m in
     let left = 46 and top = 8 and axis = 26 in
+    let legend = if marks = [] then 0 else 14 in
     let chart_w = width - left - 8 in
-    let height = top + (m * row_height) + axis in
+    let height = top + (m * row_height) + axis + legend in
     let x_of t = float_of_int left +. (t /. span *. float_of_int chart_w) in
     let b = Buffer.create 4096 in
     Buffer.add_string b
@@ -67,14 +84,27 @@ let render_svg ?(width = 960) ?(row_height = 14) sched =
       (Printf.sprintf
          "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>\n"
          left top chart_w (m * row_height));
+    if marks <> [] then
+      Buffer.add_string b
+        "<defs><pattern id=\"hatch\" width=\"6\" height=\"6\" patternTransform=\"rotate(45)\" \
+         patternUnits=\"userSpaceOnUse\"><line x1=\"0\" y1=\"0\" x2=\"0\" y2=\"6\" \
+         stroke=\"#8b1a1a\" stroke-width=\"2\"/></pattern></defs>\n";
     List.iter
       (fun ((e : entry), lanes) ->
         let x = x_of e.start in
         let w = Float.max 1.0 (x_of (completion e) -. x) in
         let hue = e.job_id * 47 mod 360 in
+        let mark = List.assoc_opt e.job_id marks in
         let title =
-          Printf.sprintf "job %d: start %g, duration %g, procs %d" e.job_id e.start e.duration
+          Printf.sprintf "job %d: start %g, duration %g, procs %d%s" e.job_id e.start e.duration
             e.procs
+            (match mark with None -> "" | Some mk -> " (" ^ mark_str mk ^ ")")
+        in
+        let fill =
+          match mark with
+          | Some Killed -> "hsl(0,70%,45%)"
+          | Some Clipped -> Printf.sprintf "hsl(%d,30%%,70%%)" hue
+          | _ -> Printf.sprintf "hsl(%d,65%%,55%%)" hue
         in
         List.iter
           (fun lane ->
@@ -82,9 +112,15 @@ let render_svg ?(width = 960) ?(row_height = 14) sched =
             Buffer.add_string b
               (Printf.sprintf
                  "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" \
-                  fill=\"hsl(%d,65%%,55%%)\" stroke=\"#333\" stroke-width=\"0.4\">\
+                  fill=\"%s\" stroke=\"#333\" stroke-width=\"0.4\">\
                   <title>%s</title></rect>\n"
-                 x (y + 1) w (row_height - 2) hue (svg_escape title)))
+                 x (y + 1) w (row_height - 2) fill (svg_escape title));
+            if mark <> None && mark <> Some Shed then
+              Buffer.add_string b
+                (Printf.sprintf
+                   "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" \
+                    fill=\"url(#hatch)\" stroke=\"none\"/>\n"
+                   x (y + 1) w (row_height - 2)))
           lanes;
         (* One label on the entry's top lane when the bar is wide enough. *)
         match lanes with
@@ -113,6 +149,19 @@ let render_svg ?(width = 960) ?(row_height = 14) sched =
           <text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#555\" text-anchor=\"end\">%s</text>\n"
          left y_axis (left + chart_w) y_axis
          (svg_escape (Printf.sprintf "%.4g" span)));
+    if marks <> [] then begin
+      let shed = shed_ids marks sched.entries in
+      let legend =
+        Printf.sprintf "hatched = killed / outage-clipped%s"
+          (if shed = [] then ""
+           else
+             Printf.sprintf "; shed (never placed): %s"
+               (String.concat "," (List.map string_of_int shed)))
+      in
+      Buffer.add_string b
+        (Printf.sprintf "<text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#8b1a1a\">%s</text>\n"
+           left (y_axis + 14) (svg_escape legend))
+    end;
     Buffer.add_string b "</svg>\n";
     Buffer.contents b
   end
@@ -121,7 +170,7 @@ let label_of_job id =
   let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
   alphabet.[id mod String.length alphabet]
 
-let render ?(width = 72) ?(max_rows = 32) sched =
+let render ?(width = 72) ?(max_rows = 32) ?(marks = []) sched =
   let open Schedule in
   let span = makespan sched in
   if span <= 0.0 || sched.entries = [] then "(empty schedule)\n"
@@ -141,7 +190,14 @@ let render ?(width = 72) ?(max_rows = 32) sched =
       let nrows =
         max 1 (int_of_float (Float.round (float_of_int (e.procs * rows) /. float_of_int sched.m)))
       in
-      let mark = label_of_job e.job_id in
+      let mark =
+        (* A marked fate overrides the id label: the glyph says what
+           happened, the legend says what the glyph means. *)
+        match List.assoc_opt e.job_id marks with
+        | Some Killed -> 'x'
+        | Some Clipped -> '~'
+        | _ -> label_of_job e.job_id
+      in
       let remaining = ref nrows in
       for r = 0 to rows - 1 do
         if !remaining > 0 then begin
@@ -166,5 +222,15 @@ let render ?(width = 72) ?(max_rows = 32) sched =
     done;
     Buffer.add_string buf (Printf.sprintf "     +%s+\n" (String.make width '-'));
     Buffer.add_string buf (Printf.sprintf "      0%*s\n" (width - 1) (Printf.sprintf "%.4g" span));
+    if marks <> [] then begin
+      Buffer.add_string buf "      x killed  ~ outage-clipped";
+      (match shed_ids marks sched.entries with
+      | [] -> ()
+      | shed ->
+        Buffer.add_string buf
+          (Printf.sprintf "  shed (never placed): %s"
+             (String.concat "," (List.map string_of_int shed))));
+      Buffer.add_char buf '\n'
+    end;
     Buffer.contents buf
   end

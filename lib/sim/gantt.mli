@@ -7,18 +7,27 @@
     visualisation purposes; if a job cannot be drawn contiguously it is
     split across free rows. *)
 
-val render : ?width:int -> ?max_rows:int -> Schedule.t -> string
+type mark = Shed | Killed | Clipped
+(** Job fates worth flagging on a rendered trace: shed before
+    placement, killed by an outage, or overlapping an outage window. *)
+
+val render : ?width:int -> ?max_rows:int -> ?marks:(int * mark) list -> Schedule.t -> string
 (** [render sched] draws at most [max_rows] processor rows (default 32,
     capped at the cluster size) over [width] columns (default 72).
     Jobs are labelled with the last character of their id (digits
-    cycle); idle space is ['.'].  Returns a printable multi-line
-    string ending in a time axis. *)
+    cycle); idle space is ['.'].  [marks] overrides the glyph of the
+    listed jobs (['x'] killed, ['~'] outage-clipped) and appends a
+    legend line naming any shed jobs, which have no bar to draw.
+    Returns a printable multi-line string ending in a time axis. *)
 
-val render_svg : ?width:int -> ?row_height:int -> Schedule.t -> string
+val render_svg :
+  ?width:int -> ?row_height:int -> ?marks:(int * mark) list -> Schedule.t -> string
 (** [render_svg sched] is a standalone SVG document of the same
     timeline: one lane per processor ([sched.m] rows of [row_height]
     pixels), one rectangle per (entry, lane) with a hover tooltip
     giving the job id, start, duration and width.  Lane assignment is
     greedy over exact times; if the entries oversubscribe [sched.m]
     (e.g. a trace replayed with a too-small [--m]) bars double up
-    instead of failing. *)
+    instead of failing.  [marks] hatches killed bars red and washes
+    out outage-clipped ones, extends their tooltips, and adds a
+    legend row naming any shed jobs. *)

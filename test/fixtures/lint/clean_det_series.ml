@@ -1,0 +1,7 @@
+(* clean for det-series: every timestamp flows in from the caller —
+   wall clocks appear only as optional-argument defaults. *)
+let due ~now next = now >= next
+
+let tick ?(clock = Unix.gettimeofday) probe =
+  let now = clock () in
+  probe ~t:now

@@ -453,6 +453,121 @@ let test_acc_metrics_rule_trips () =
   in
   Alcotest.(check int) "restart chains exempt" 0 (List.length (Rule.apply acc_rule input))
 
+(* --- SLO burn-rate rules ------------------------------------------------ *)
+
+let slo_sample ~t ~lat_p99 ~goodput ~queue =
+  { Psched_obs.Series.t; queue_depth = queue; running = 0; deferred = 0; utilisation = 0.5;
+    goodput; shed = 0; killed = 0; lat_p50 = lat_p99 /. 2.0; lat_p99 }
+
+let healthy_sample t = slo_sample ~t ~lat_p99:1e-4 ~goodput:0.95 ~queue:1
+
+let test_slo_clean_and_empty () =
+  let samples = List.init 40 (fun i -> healthy_sample (float_of_int i)) in
+  let findings = Slo_rules.check ~interval:1.0 samples in
+  Alcotest.(check int) "healthy series raises nothing" 0 (List.length findings);
+  let empty = Slo_rules.check ~interval:1.0 [] in
+  Alcotest.(check bool) "empty series yields Info per objective" true
+    (empty <> []
+    && List.for_all (fun (f : Finding.t) -> f.Finding.severity = Finding.Info) empty)
+
+let test_slo_sustained_burn_pages () =
+  (* 20 healthy samples then 20 with p99 over the bound: the fast
+     5-sample window saturates AND the slow 30-sample window crosses
+     6x budget -> an error on slo.wait and only there. *)
+  let samples =
+    List.init 40 (fun i ->
+        let t = float_of_int i in
+        if i < 20 then healthy_sample t
+        else slo_sample ~t ~lat_p99:5.0 ~goodput:0.95 ~queue:1)
+  in
+  let findings = Slo_rules.check ~interval:1.0 samples in
+  Alcotest.(check bool) "wait objective pages" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.rule = "slo.wait" && f.Finding.severity = Finding.Error)
+       findings);
+  Alcotest.(check bool) "goodput and queue stay quiet" true
+    (not (has_rule "slo.goodput" findings) && not (has_rule "slo.queue" findings))
+
+let test_slo_transient_spike_does_not_page () =
+  (* one bad sample in 40: the fast window burns but the slow window
+     never crosses, so no error — at most the slow-exhaustion warning
+     (1/40 = 2.5% is inside the 5% budget, so nothing at all). *)
+  let samples =
+    List.init 40 (fun i ->
+        let t = float_of_int i in
+        if i = 20 then slo_sample ~t ~lat_p99:5.0 ~goodput:0.95 ~queue:1
+        else healthy_sample t)
+  in
+  let findings = Slo_rules.check ~interval:1.0 samples in
+  Alcotest.(check int) "one transient spike never pages" 0 (List.length (errors findings))
+
+let test_slo_slow_exhaustion_warns () =
+  (* every 4th sample bad (25% > 10% budget for goodput) but spread out:
+     spaced singles burn the 5-sample fast window to 5x budget = 2.0,
+     under the 14.4 threshold, so it warns instead of paging. *)
+  let samples =
+    List.init 40 (fun i ->
+        let t = float_of_int i in
+        if i mod 4 = 0 then slo_sample ~t ~lat_p99:1e-4 ~goodput:0.2 ~queue:1
+        else healthy_sample t)
+  in
+  let findings = Slo_rules.check ~interval:1.0 samples in
+  let goodput = List.filter (fun (f : Finding.t) -> f.Finding.rule = "slo.goodput") findings in
+  Alcotest.(check bool) "budget exhaustion warns without paging" true
+    (goodput <> []
+    && List.for_all (fun (f : Finding.t) -> f.Finding.severity = Finding.Warn) goodput)
+
+let test_slo_rule_docs_registered () =
+  let ids = List.map fst (Analyzer.rule_docs ()) in
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " listed") true (List.mem id ids))
+    [ "slo.wait"; "slo.goodput"; "slo.queue"; "trace.provenance" ]
+
+(* --- trace.provenance rule ---------------------------------------------- *)
+
+let pev ?(payload = []) ~t kind = Event.make ~payload ~sim_time:t ~wall_time:0.0 kind
+
+let test_trace_provenance_rule () =
+  (* complete lifecycle: clean *)
+  let good =
+    [
+      pev ~t:0.0 "job.start"
+        ~payload:[ ("job", Event.Int 1); ("start", Event.Float 0.0); ("procs", Event.Int 1) ];
+      pev ~t:2.0 "job.complete" ~payload:[ ("job", Event.Int 1); ("finish", Event.Float 2.0) ];
+    ]
+  in
+  Alcotest.(check int) "clean lifecycle passes" 0
+    (List.length (errors (Trace_rules.check_events good)));
+  (* start-only dialect: Placed accepted as terminal *)
+  let starts_only =
+    [ pev ~t:0.0 "job.start"
+        ~payload:[ ("job", Event.Int 1); ("start", Event.Float 0.0); ("procs", Event.Int 1) ] ]
+  in
+  Alcotest.(check int) "start-only dialect passes" 0
+    (List.length (errors (Trace_rules.check_events starts_only)));
+  (* a completing dialect with a stuck job: error *)
+  let stuck =
+    starts_only
+    @ [
+        pev ~t:1.0 "job.start"
+          ~payload:[ ("job", Event.Int 2); ("start", Event.Float 1.0); ("procs", Event.Int 1) ];
+        pev ~t:3.0 "job.complete" ~payload:[ ("job", Event.Int 2); ("finish", Event.Float 3.0) ];
+      ]
+  in
+  let findings = errors (Trace_rules.check_events stuck) in
+  Alcotest.(check bool) "stuck job flagged by provenance" true
+    (List.exists (fun (f : Finding.t) -> f.Finding.rule = "trace.provenance") findings);
+  (* contradiction: complete without start *)
+  let contra =
+    [ pev ~t:1.0 "job.complete" ~payload:[ ("job", Event.Int 9); ("finish", Event.Float 1.0) ] ]
+  in
+  Alcotest.(check bool) "contradiction flagged" true
+    (has_rule "trace.provenance" (errors (Trace_rules.check_events contra)));
+  (* prefix traces stay quiet *)
+  Alcotest.(check bool) "prefix trace tolerated" true
+    (not (has_rule "trace.provenance" (errors (Trace_rules.check_events ~complete:false stuck))))
+
 let suite =
   [
     Alcotest.test_case "MRT certificate on a tight instance" `Quick test_mrt_cert_tight;
@@ -485,4 +600,11 @@ let suite =
     Alcotest.test_case "acc-metrics rule registered and clean" `Quick test_acc_metrics_rule;
     Alcotest.test_case "acc-metrics rule exempts restart chains" `Quick
       test_acc_metrics_rule_trips;
+    Alcotest.test_case "slo: clean and empty series" `Quick test_slo_clean_and_empty;
+    Alcotest.test_case "slo: sustained burn pages" `Quick test_slo_sustained_burn_pages;
+    Alcotest.test_case "slo: transient spike ignored" `Quick
+      test_slo_transient_spike_does_not_page;
+    Alcotest.test_case "slo: slow exhaustion warns" `Quick test_slo_slow_exhaustion_warns;
+    Alcotest.test_case "slo: rule docs registered" `Quick test_slo_rule_docs_registered;
+    Alcotest.test_case "trace provenance rule" `Quick test_trace_provenance_rule;
   ]

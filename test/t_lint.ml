@@ -85,6 +85,15 @@ let test_det_wallclock () =
   clean "det-wallclock" ~file:"bin/fixture.ml" "trip_det_wallclock.ml";
   clean "det-wallclock" ~file:"lib/obs/fixture.ml" "trip_det_wallclock.ml"
 
+let test_det_series () =
+  (* the rule exists to close lib/obs's det-wallclock carve-out for the
+     one file whose output must replay deterministically. *)
+  trips "det-series" ~file:"lib/obs/series.ml" "trip_det_series.ml" ~count:2;
+  clean "det-series" ~file:"lib/obs/series.ml" "clean_det_series.ml";
+  (* scoped to the recorder alone: its neighbours keep the carve-out. *)
+  clean "det-series" ~file:"lib/obs/obs.ml" "trip_det_series.ml";
+  clean "det-series" ~file:"lib/sim/series.ml" "trip_det_series.ml"
+
 let test_clock_default_exemption () =
   let src = "let elapsed ?(clock = Sys.time) t0 = clock () -. t0\n" in
   let hits = by_rule "det-wallclock" (Driver.lint_string ~file:"lib/sim/x.ml" src) in
@@ -265,8 +274,8 @@ let test_rule_docs_complete () =
       Alcotest.(check bool) (id ^ " documented") true (List.mem id ids))
     [
       "export-alias"; "float-cmp"; "domain-spawn"; "check-raise";
-      "resource-cmp"; "det-random"; "det-wallclock"; "det-hashtbl-order";
-      "domain-race"; Rules.ratchet_rule_id;
+      "resource-cmp"; "det-random"; "det-wallclock"; "det-series";
+      "det-hashtbl-order"; "domain-race"; Rules.ratchet_rule_id;
     ]
 
 let suite =
@@ -278,6 +287,7 @@ let suite =
     Alcotest.test_case "gate: resource-cmp" `Quick test_resource_cmp;
     Alcotest.test_case "det: random" `Quick test_det_random;
     Alcotest.test_case "det: wallclock" `Quick test_det_wallclock;
+    Alcotest.test_case "det: series recorder" `Quick test_det_series;
     Alcotest.test_case "det: clock-default exemption" `Quick
       test_clock_default_exemption;
     Alcotest.test_case "det: hashtbl-order" `Quick test_det_hashtbl_order;

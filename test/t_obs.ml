@@ -271,6 +271,162 @@ let test_export_obs_summary () =
   Alcotest.(check bool) "json mentions kind" true (T_helpers.contains json "mrt.guess");
   Alcotest.(check bool) "csv mentions counter" true (T_helpers.contains csv "mrt/guess/accepted")
 
+(* --- metrics time series ------------------------------------------------ *)
+
+module Series = Psched_obs.Series
+module Prov = Psched_obs.Provenance
+
+let probe_const ~queue ~t =
+  { Series.t; queue_depth = queue; running = 0; deferred = 0; utilisation = 0.5;
+    goodput = 1.0; shed = 0; killed = 0; lat_p50 = 1e-5; lat_p99 = 2e-5 }
+
+let test_series_grid () =
+  let s = Series.create ~interval:2.0 () in
+  Series.tick s ~now:0.0 (probe_const ~queue:1);
+  Series.tick s ~now:0.5 (probe_const ~queue:9);
+  (* not due: nothing taken *)
+  Alcotest.(check int) "one sample after sub-interval tick" 1 (Series.taken s);
+  (* a long idle stretch collapses to ONE probe at the last grid point *)
+  Series.tick s ~now:11.0 (probe_const ~queue:2);
+  Alcotest.(check int) "idle stretch is one probe" 2 (Series.taken s);
+  let ts = List.map (fun (x : Series.sample) -> x.Series.t) (Series.samples s) in
+  Alcotest.(check (list (float 1e-9))) "grid-aligned timestamps" [ 0.0; 10.0 ] ts;
+  Series.tick s ~now:12.0 (probe_const ~queue:3);
+  Alcotest.(check int) "next grid point fires" 3 (Series.taken s)
+
+let test_series_jsonl_roundtrip () =
+  let s = Series.create ~interval:0.5 ~capacity:8 () in
+  List.iter (fun now -> Series.tick s ~now (probe_const ~queue:(int_of_float (now *. 2.0))))
+    [ 0.0; 0.5; 1.0; 1.5 ];
+  let text = Series.to_jsonl s in
+  (match Series.of_jsonl_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (interval, samples) ->
+    Alcotest.(check (float 1e-9)) "interval round-trips" 0.5 interval;
+    Alcotest.(check int) "all samples decoded" 4 (List.length samples);
+    Alcotest.(check bool) "samples round-trip exactly" true
+      (samples = Series.samples s));
+  (match Series.of_jsonl_string "{\"schema\":\"other/1\"}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign schema accepted");
+  match Series.of_jsonl_string "{\"t\":1,\"queue\":0}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing header accepted"
+
+let test_series_sink_and_render () =
+  let file = Filename.temp_file "psched" ".series" in
+  let oc = open_out file in
+  let s = Series.create ~interval:1.0 () in
+  Series.attach_sink s oc;
+  List.iter (fun now -> Series.tick s ~now (probe_const ~queue:1)) [ 0.0; 1.0; 2.0 ];
+  close_out oc;
+  let ic = open_in file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove file;
+  (match Series.of_jsonl_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (_, samples) -> Alcotest.(check int) "sink streamed every sample" 3 (List.length samples));
+  let out = Series.render (Series.samples s) in
+  Alcotest.(check bool) "render names the signals" true
+    (T_helpers.contains out "queue" && T_helpers.contains out "goodput"
+    && T_helpers.contains out "lat p99")
+
+(* --- provenance timelines ----------------------------------------------- *)
+
+let ev ?(payload = []) ~t kind = Event.make ~payload ~sim_time:t ~wall_time:0.0 kind
+
+let test_provenance_policy_dialect () =
+  let events =
+    [
+      ev ~t:0.0 "prov.consider"
+        ~payload:[ ("job", Event.Int 1); ("start", Event.Float 0.0); ("procs", Event.Int 2) ];
+      ev ~t:0.0 "prov.reject"
+        ~payload:[ ("job", Event.Int 1); ("reason", Event.Str "would_delay_head") ];
+      ev ~t:0.0 "prov.choice" ~payload:[ ("job", Event.Int 1); ("chosen", Event.Str "backfill") ];
+      ev ~t:1.0 "job.start"
+        ~payload:[ ("job", Event.Int 1); ("start", Event.Float 1.0); ("procs", Event.Int 2) ];
+      ev ~t:4.0 "job.complete" ~payload:[ ("job", Event.Int 1); ("finish", Event.Float 4.0) ];
+    ]
+  in
+  match Prov.of_events events with
+  | [ tl ] ->
+    Alcotest.(check bool) "completed" true (tl.Prov.outcome = Prov.Completed 4.0);
+    Alcotest.(check int) "one candidate considered" 1 tl.Prov.considered;
+    Alcotest.(check bool) "rejection reason counted" true
+      (tl.Prov.rejections = [ ("would_delay_head", 1) ]);
+    Alcotest.(check bool) "explained" true (Prov.explained tl);
+    Alcotest.(check bool) "text narrates the choice" true
+      (T_helpers.contains (Prov.to_text tl) "backfill");
+    Alcotest.(check bool) "json carries the outcome" true
+      (T_helpers.contains (Prov.to_json tl) "\"outcome\"")
+  | tls -> Alcotest.failf "expected one timeline, got %d" (List.length tls)
+
+let test_provenance_contradictions () =
+  (* completes without a start, then starts after completing *)
+  let events =
+    [
+      ev ~t:1.0 "job.complete" ~payload:[ ("job", Event.Int 7); ("finish", Event.Float 1.0) ];
+      ev ~t:2.0 "job.start"
+        ~payload:[ ("job", Event.Int 7); ("start", Event.Float 2.0); ("procs", Event.Int 1) ];
+    ]
+  in
+  (match Prov.of_events events with
+  | [ tl ] ->
+    Alcotest.(check bool) "contradictions recorded" true (tl.Prov.contradictions <> []);
+    Alcotest.(check bool) "not explained" false (Prov.explained tl)
+  | _ -> Alcotest.fail "expected one timeline");
+  (* a placed-only trace: unexplained when completions are expected,
+     fine when the dialect never records them *)
+  let placed =
+    [ ev ~t:0.0 "job.start"
+        ~payload:[ ("job", Event.Int 3); ("start", Event.Float 0.0); ("procs", Event.Int 1) ] ]
+  in
+  match Prov.of_events placed with
+  | [ tl ] ->
+    Alcotest.(check bool) "placed is not terminal by default" false (Prov.explained tl);
+    Alcotest.(check bool) "placed is terminal for start-only dialects" true
+      (Prov.explained ~terminal_placed:true tl);
+    Alcotest.(check bool) "incomplete traces never block" true (Prov.explained ~complete:false tl)
+  | _ -> Alcotest.fail "expected one timeline"
+
+let test_provenance_serve_dialect () =
+  let events =
+    [
+      ev ~t:0.0 "serve.admit" ~payload:[ ("job", Event.Int 4); ("community", Event.Int 2) ];
+      ev ~t:0.5 "job.start"
+        ~payload:[ ("job", Event.Int 4); ("start", Event.Float 0.5); ("procs", Event.Int 1) ];
+      ev ~t:1.0 "serve.decide"
+        ~payload:[ ("job", Event.Int 4); ("start", Event.Float 1.0); ("procs", Event.Int 1) ];
+      ev ~t:2.0 "fault.kill" ~payload:[ ("job", Event.Int 4); ("attempt", Event.Int 1) ];
+      ev ~t:3.0 "serve.admit" ~payload:[ ("job", Event.Int 4) ];
+      ev ~t:4.0 "serve.decide"
+        ~payload:[ ("job", Event.Int 4); ("start", Event.Float 4.0); ("procs", Event.Int 1) ];
+      ev ~t:9.0 "serve.complete" ~payload:[ ("job", Event.Int 4); ("finish", Event.Float 9.0) ];
+      ev ~t:0.0 "serve.admit" ~payload:[ ("job", Event.Int 5); ("community", Event.Int 1) ];
+      ev ~t:0.1 "serve.shed" ~payload:[ ("job", Event.Int 5); ("reason", Event.Str "reject") ];
+    ]
+  in
+  Alcotest.(check bool) "dialect detected" true (Prov.serve_style events);
+  let tls = Prov.of_events events in
+  Alcotest.(check int) "two jobs" 2 (List.length tls);
+  (match Prov.find 4 tls with
+  | Some tl ->
+    Alcotest.(check bool) "kill then completion resolves" true
+      (tl.Prov.outcome = Prov.Completed 9.0 && tl.Prov.contradictions = []);
+    Alcotest.(check bool) "inner job.start demoted to a planning step" true
+      (List.exists (fun (s : Prov.step) -> s.Prov.label = "planned") tl.Prov.steps)
+  | None -> Alcotest.fail "job 4 missing");
+  (match Prov.find 5 tls with
+  | Some tl ->
+    Alcotest.(check bool) "terminal shed with cause" true (tl.Prov.outcome = Prov.Shed "reject");
+    Alcotest.(check bool) "class recorded" true (tl.Prov.community = Some 1)
+  | None -> Alcotest.fail "job 5 missing");
+  let summary = Prov.summary tls in
+  Alcotest.(check bool) "summary breaks shed causes out by class" true
+    (T_helpers.contains summary "reject");
+  Alcotest.(check int) "all explained" 0 (List.length (Prov.unexplained tls))
+
 let suite =
   [
     Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
@@ -290,4 +446,10 @@ let suite =
     qcheck_registry_valid_schedules;
     Alcotest.test_case "fault injector transparent" `Quick test_fault_injector_transparent;
     Alcotest.test_case "export obs summary" `Quick test_export_obs_summary;
+    Alcotest.test_case "series: grid sampling" `Quick test_series_grid;
+    Alcotest.test_case "series: jsonl round-trip" `Quick test_series_jsonl_roundtrip;
+    Alcotest.test_case "series: sink and render" `Quick test_series_sink_and_render;
+    Alcotest.test_case "provenance: policy dialect" `Quick test_provenance_policy_dialect;
+    Alcotest.test_case "provenance: contradictions" `Quick test_provenance_contradictions;
+    Alcotest.test_case "provenance: serve dialect" `Quick test_provenance_serve_dialect;
   ]

@@ -118,6 +118,20 @@ let test_mrt_profile_phases () =
   Alcotest.(check bool) "prometheus counter family" true
     (T_helpers.contains prom "psched_counter_total{name=\"mrt/knapsack/dp\"}")
 
+let test_prometheus_histogram_family () =
+  let obs = Obs.create () in
+  Obs.Hist.observe obs "decide" 0.05;
+  Obs.Hist.observe obs "decide" 0.05;
+  Obs.Hist.observe obs "decide" 2.0;
+  let prom = Profiler.prometheus obs in
+  Alcotest.(check bool) "cumulative buckets exported" true
+    (T_helpers.contains prom "psched_histogram_bucket{name=\"decide\",le=\"0.1\"} 2"
+    && T_helpers.contains prom "psched_histogram_bucket{name=\"decide\",le=\"+Inf\"} 3");
+  Alcotest.(check bool) "sum exported" true
+    (T_helpers.contains prom "psched_histogram_sum{name=\"decide\"} 2.1");
+  Alcotest.(check bool) "count exported" true
+    (T_helpers.contains prom "psched_histogram_count{name=\"decide\"} 3")
+
 let test_profiler_empty () =
   let obs = Obs.create () in
   Alcotest.(check bool) "empty table is a note" true
@@ -269,6 +283,7 @@ let suite =
     Alcotest.test_case "hist percentile edges" `Quick test_hist_percentile_edges;
     Alcotest.test_case "span stats nesting" `Quick test_span_stats_nesting;
     Alcotest.test_case "mrt profile phases" `Quick test_mrt_profile_phases;
+    Alcotest.test_case "prometheus histogram family" `Quick test_prometheus_histogram_family;
     Alcotest.test_case "profiler empty" `Quick test_profiler_empty;
     Alcotest.test_case "span accounting survives ring" `Quick test_span_accounting_survives_ring;
     Alcotest.test_case "bench diff regression vs noise" `Quick test_bench_diff_regression_and_noise;

@@ -556,6 +556,165 @@ let test_http_metrics () =
               (T_helpers.contains response "psched_counter_total{name=\"serve.test\"} 1"));
         Alcotest.(check int) "served one request" 1 (Http.served srv))
 
+(* An open client socket against a started server, with the reply
+   collected after one poll.  Factors the connect/write/poll/read dance
+   the http edge-case tests all share. *)
+let http_request srv req =
+  let port = Http.port srv in
+  let client = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect client (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      if req <> "" then ignore (Unix.write_substring client req 0 (String.length req));
+      Http.poll srv;
+      let buf = Bytes.create 65536 in
+      let rec read_all acc =
+        match Unix.read client buf 0 (Bytes.length buf) with
+        | 0 -> acc
+        | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error _ -> acc
+      in
+      read_all "")
+
+let test_http_series_endpoint () =
+  let obs = Obs.create () in
+  let series = Psched_obs.Series.create ~interval:1.0 () in
+  Psched_obs.Series.tick series ~now:0.0 (fun ~t ->
+      { Psched_obs.Series.t; queue_depth = 2; running = 1; deferred = 0; utilisation = 0.25;
+        goodput = 1.0; shed = 0; killed = 0; lat_p50 = 0.0; lat_p99 = 0.0 });
+  match Http.start ~series:(fun () -> Psched_obs.Series.to_jsonl series) obs with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Http.stop srv)
+      (fun () ->
+        let response = http_request srv "GET /series HTTP/1.0\r\n\r\n" in
+        Alcotest.(check bool) "200" true (T_helpers.contains response "200 OK");
+        Alcotest.(check bool) "schema header served" true
+          (T_helpers.contains response "psched-series/1");
+        Alcotest.(check bool) "sample line served" true
+          (T_helpers.contains response "\"queue\":2"))
+
+let test_http_series_absent_404 () =
+  (* without a provider the endpoint does not exist *)
+  let obs = Obs.create () in
+  match Http.start obs with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Http.stop srv)
+      (fun () ->
+        let response = http_request srv "GET /series HTTP/1.0\r\n\r\n" in
+        Alcotest.(check bool) "404" true (T_helpers.contains response "404"))
+
+let test_http_edge_cases () =
+  let obs = Obs.create () in
+  Obs.Gauge.set obs "serve.queue_depth" 1.0;
+  match Http.start obs with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Http.stop srv)
+      (fun () ->
+        (* unknown path *)
+        let response = http_request srv "GET /nope HTTP/1.0\r\n\r\n" in
+        Alcotest.(check bool) "unknown path is 404" true (T_helpers.contains response "404");
+        (* a partial request line must not wedge or kill the server *)
+        let response = http_request srv "GET /metr" in
+        Alcotest.(check bool) "partial request line answered, not hung" true
+          (response = "" || T_helpers.contains response "400"
+          || T_helpers.contains response "404");
+        (* not a GET *)
+        let response = http_request srv "POST /metrics HTTP/1.0\r\n\r\n" in
+        Alcotest.(check bool) "non-GET rejected" true
+          (T_helpers.contains response "400" || T_helpers.contains response "404"
+          || T_helpers.contains response "405");
+        (* the server survives all of the above *)
+        let response = http_request srv "GET /healthz HTTP/1.0\r\n\r\n" in
+        Alcotest.(check bool) "healthz still 200 afterwards" true
+          (T_helpers.contains response "200 OK"))
+
+let test_http_concurrent_scrapes () =
+  (* two clients with pending requests drained by polling: both must
+     see a complete, identical-length /metrics body. *)
+  let obs = Obs.create () in
+  Obs.Gauge.set obs "serve.queue_depth" 7.0;
+  match Http.start obs with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Http.stop srv)
+      (fun () ->
+        let port = Http.port srv in
+        let connect () =
+          let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect c (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+          ignore (Unix.write_substring c req 0 (String.length req));
+          c
+        in
+        let c1 = connect () and c2 = connect () in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun c -> try Unix.close c with Unix.Unix_error _ -> ()) [ c1; c2 ])
+          (fun () ->
+            (* several polls: accept + serve both whatever the backlog order *)
+            for _ = 1 to 4 do Http.poll srv done;
+            let read c =
+              let buf = Bytes.create 65536 in
+              let rec go acc =
+                match Unix.read c buf 0 (Bytes.length buf) with
+                | 0 -> acc
+                | n -> go (acc ^ Bytes.sub_string buf 0 n)
+                | exception Unix.Unix_error _ -> acc
+              in
+              go ""
+            in
+            let r1 = read c1 and r2 = read c2 in
+            Alcotest.(check bool) "both scrapes answered 200" true
+              (T_helpers.contains r1 "200 OK" && T_helpers.contains r2 "200 OK");
+            Alcotest.(check bool) "both scrapes carry the gauge" true
+              (T_helpers.contains r1 "psched_gauge{name=\"serve.queue_depth\"} 7"
+              && T_helpers.contains r2 "psched_gauge{name=\"serve.queue_depth\"} 7");
+            Alcotest.(check int) "consistent bodies" (String.length r1) (String.length r2)))
+
+(* --- WAL -> provenance (psched explain --wal) ------------------------- *)
+
+let test_explain_wal_timelines () =
+  let module P = Psched_obs.Provenance in
+  let m = 8 in
+  let wal = tmp "explain.wal" in
+  rm wal;
+  let cfg =
+    Daemon.config ~m ~wal ~queue_cap:4 ~shed:Admission.Reject
+      ~backoff:(Recovery.backoff ~base:2.0 ~factor:2.0 ~max_delay:30.0 ())
+      ()
+  in
+  let out = Daemon.run ~outages:crash_outages cfg (poisson_arrivals ~m ~count:25 ~seed:7 ()) in
+  let entries, torn = match Wal.replay wal with Ok r -> r | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "clean log" true (torn = None);
+  let tls = Psched_serve.Explain.timelines_of_wal entries in
+  Alcotest.(check bool) "every admitted job has a timeline" true (List.length tls > 0);
+  Alcotest.(check int) "every timeline complete and contradiction-free" 0
+    (List.length (P.unexplained tls));
+  (* synthesised completions must agree with the daemon's own count *)
+  let completed =
+    List.length (List.filter (fun tl -> match tl.P.outcome with P.Completed _ -> true | _ -> false) tls)
+  in
+  Alcotest.(check int) "completions match the daemon counters"
+    out.Daemon.state.Snapshot.counters.Snapshot.completed completed;
+  (* kills leave a killed step on the restarted jobs *)
+  let killed_steps =
+    List.length
+      (List.filter
+         (fun tl -> List.exists (fun (s : P.step) -> s.P.label = "killed") tl.P.steps)
+         tls)
+  in
+  Alcotest.(check bool) "outage kills narrated" true
+    (killed_steps > 0 = (out.Daemon.state.Snapshot.counters.Snapshot.killed > 0));
+  rm wal
+
 (* --- schedule_of_wal -------------------------------------------------- *)
 
 let test_schedule_of_wal () =
@@ -611,5 +770,10 @@ let suite =
     Alcotest.test_case "admission: watermark hysteresis" `Quick test_watermark_hysteresis;
     Alcotest.test_case "metrics: Acc export/import" `Quick test_acc_export_import;
     Alcotest.test_case "http: /metrics endpoint" `Quick test_http_metrics;
+    Alcotest.test_case "http: /series endpoint" `Quick test_http_series_endpoint;
+    Alcotest.test_case "http: /series absent is 404" `Quick test_http_series_absent_404;
+    Alcotest.test_case "http: malformed requests" `Quick test_http_edge_cases;
+    Alcotest.test_case "http: concurrent scrapes" `Quick test_http_concurrent_scrapes;
+    Alcotest.test_case "explain: WAL timelines complete" `Quick test_explain_wal_timelines;
     Alcotest.test_case "schedule_of_wal matches kept schedule" `Quick test_schedule_of_wal;
   ]

@@ -5,16 +5,20 @@
 # admitted job was lost or decided twice across the crash.
 #
 # Environment knobs:
-#   PSCHED     command prefix (default: dune exec bin/psched.exe --)
-#   SOAK_DIR   scratch directory (default: mktemp -d)
-#   SOAK_PORT  /metrics port (default: 39443)
-#   THROTTLE   wall seconds slept per daemon event (default: 0.05)
+#   PSCHED          command prefix (default: dune exec bin/psched.exe --)
+#   SOAK_DIR        scratch directory (default: mktemp -d)
+#   SOAK_PORT       /metrics + /series port (default: 39443)
+#   THROTTLE        wall seconds slept per daemon event (default: 0.05)
+#   SOAK_ARTIFACTS  directory kept after the run for CI upload (default:
+#                   the scratch dir, i.e. artifacts are discarded)
 set -eu
 
 PSCHED="${PSCHED:-dune exec bin/psched.exe --}"
 DIR="${SOAK_DIR:-$(mktemp -d)}"
 PORT="${SOAK_PORT:-39443}"
 THROTTLE="${THROTTLE:-0.05}"
+ART="${SOAK_ARTIFACTS:-$DIR}"
+mkdir -p "$ART"
 WAL="$DIR/soak.wal"
 SNAP="$DIR/soak.snapshot"
 M=64
@@ -24,13 +28,14 @@ SERVE_ARGS="-m $M --rate 0.8 -n 400 --seed 11 \
   --queue-cap 32 --batch 4 --shed defer:5 \
   --fault-rate 0.02 --fault-duration 20"
 
-echo "== soak: serve under faults with WAL + snapshot + /metrics (dir $DIR)"
+echo "== soak: serve under faults with WAL + snapshot + /metrics + /series (dir $DIR)"
 # shellcheck disable=SC2086  # SERVE_ARGS is a flat flag list by construction
-$PSCHED serve run $SERVE_ARGS --port "$PORT" --throttle "$THROTTLE" &
+$PSCHED serve run $SERVE_ARGS --port "$PORT" --throttle "$THROTTLE" \
+  --series-every 1 --series-out "$ART/soak_series_run1.jsonl" &
 PID=$!
 
 sleep 8
-echo "== soak: scraping /metrics mid-run"
+echo "== soak: scraping /metrics and /series mid-run"
 if command -v curl >/dev/null 2>&1; then
   METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
   echo "$METRICS" | grep -q 'serve.queue_depth' || {
@@ -39,6 +44,17 @@ if command -v curl >/dev/null 2>&1; then
     exit 1
   }
   echo "$METRICS" | grep 'serve\.' | head -5
+  curl -sf "http://127.0.0.1:$PORT/series" > "$ART/soak_series_scrape.jsonl" || {
+    echo "soak: /series scrape failed" >&2
+    kill -9 "$PID" 2>/dev/null || true
+    exit 1
+  }
+  grep -q 'psched-series/1' "$ART/soak_series_scrape.jsonl" || {
+    echo "soak: /series payload is missing the psched-series/1 header" >&2
+    kill -9 "$PID" 2>/dev/null || true
+    exit 1
+  }
+  echo "soak: /series returned $(wc -l < "$ART/soak_series_scrape.jsonl") line(s)"
 else
   echo "soak: curl not available, skipping the scrape"
 fi
@@ -57,10 +73,16 @@ $PSCHED serve verify "$WAL" -m $M
 
 echo "== soak: recovering and finishing the workload"
 # shellcheck disable=SC2086
-$PSCHED serve run $SERVE_ARGS --recover
+$PSCHED serve run $SERVE_ARGS --recover \
+  --series-every 1 --series-out "$ART/soak_series_recover.jsonl"
 
 echo "== soak: final audit — every admitted job decided exactly once"
-$PSCHED serve verify "$WAL" -m $M --complete
+$PSCHED serve verify "$WAL" -m $M --complete \
+  --series "$ART/soak_series_recover.jsonl"
 
-echo "== soak: clean recovery, zero lost or duplicated jobs"
+echo "== soak: explaining every job from the recovered WAL"
+$PSCHED explain --wal "$WAL" --all > "$ART/soak_explain.txt"
+tail -n 6 "$ART/soak_explain.txt"
+
+echo "== soak: clean recovery, zero lost or duplicated jobs, all decisions explained"
 rm -rf "$DIR"
